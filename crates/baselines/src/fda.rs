@@ -1,0 +1,287 @@
+//! Multi-class Fisher discriminant analysis, the dimensionality-reduction
+//! stage of SIMPLE ("It then performs Fisher-Discriminant Analysis to reduce
+//! the dimension of the features", thesis §1.2.1).
+//!
+//! Directions are found by power iteration on `S_w⁻¹ S_b` with deflation —
+//! adequate for the handful of discriminant directions a CAN bus needs
+//! (at most `classes − 1`).
+
+use vprofile_sigstat::{Matrix, SigStatError};
+
+/// A fitted Fisher discriminant projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FisherDiscriminant {
+    /// Projection matrix, one row per discriminant direction.
+    projection: Matrix,
+    /// Global mean subtracted before projecting.
+    grand_mean: Vec<f64>,
+}
+
+impl FisherDiscriminant {
+    /// Fits a projection onto at most `max_directions` discriminant
+    /// directions from per-class observation groups.
+    ///
+    /// # Errors
+    ///
+    /// * [`SigStatError::EmptyInput`] without at least two non-empty
+    ///   classes;
+    /// * [`SigStatError::NotPositiveDefinite`] if the within-class scatter
+    ///   is singular (regularized internally with a small ridge first).
+    pub fn fit(classes: &[Vec<Vec<f64>>], max_directions: usize) -> Result<Self, SigStatError> {
+        let populated: Vec<&Vec<Vec<f64>>> = classes.iter().filter(|c| !c.is_empty()).collect();
+        if populated.len() < 2 {
+            return Err(SigStatError::EmptyInput {
+                context: "FisherDiscriminant::fit",
+            });
+        }
+        let dim = populated[0][0].len();
+        let total: usize = populated.iter().map(|c| c.len()).sum();
+
+        // Grand mean and per-class means.
+        let mut grand_mean = vec![0.0; dim];
+        let mut class_means: Vec<Vec<f64>> = Vec::with_capacity(populated.len());
+        for class in &populated {
+            let mut mean = vec![0.0; dim];
+            for obs in class.iter() {
+                if obs.len() != dim {
+                    return Err(SigStatError::DimensionMismatch {
+                        expected: dim,
+                        actual: obs.len(),
+                        context: "FisherDiscriminant::fit",
+                    });
+                }
+                for (m, &v) in mean.iter_mut().zip(obs) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= class.len() as f64;
+            }
+            for (g, &m) in grand_mean.iter_mut().zip(&mean) {
+                *g += m * class.len() as f64;
+            }
+            class_means.push(mean);
+        }
+        for g in &mut grand_mean {
+            *g /= total as f64;
+        }
+
+        // Within-class scatter S_w and between-class scatter S_b.
+        let mut s_w = Matrix::zeros(dim, dim);
+        let mut s_b = Matrix::zeros(dim, dim);
+        for (class, mean) in populated.iter().zip(&class_means) {
+            for obs in class.iter() {
+                for i in 0..dim {
+                    let di = obs[i] - mean[i];
+                    if di == 0.0 {
+                        continue;
+                    }
+                    for j in 0..dim {
+                        s_w[(i, j)] += di * (obs[j] - mean[j]);
+                    }
+                }
+            }
+            let weight = class.len() as f64;
+            for i in 0..dim {
+                let di = mean[i] - grand_mean[i];
+                for j in 0..dim {
+                    s_b[(i, j)] += weight * di * (mean[j] - grand_mean[j]);
+                }
+            }
+        }
+        // Regularize S_w so the solve is well-posed even for near-collinear
+        // features.
+        s_w.add_ridge(1e-6 * s_w.max_abs_diagonal().max(1e-12));
+        let chol = s_w.cholesky()?;
+
+        // Power iteration with deflation on M = S_w⁻¹ S_b.
+        let directions = max_directions.min(populated.len() - 1).max(1);
+        let mut found: Vec<(Vec<f64>, f64)> = Vec::with_capacity(directions);
+        for k in 0..directions {
+            // Deterministic varied start vector.
+            let mut v: Vec<f64> = (0..dim)
+                .map(|i| if (i + k) % 2 == 0 { 1.0 } else { -0.5 })
+                .collect();
+            normalize(&mut v);
+            let mut eigenvalue = 0.0;
+            for _ in 0..200 {
+                // w = S_b v, u = S_w⁻¹ w.
+                let w = mat_vec(&s_b, &v);
+                let mut u = chol.solve(&w)?;
+                // Deflate against previously found directions (S_w-orthogonal
+                // deflation approximated by plain Gram–Schmidt).
+                for (prev, _) in &found {
+                    let proj: f64 = u.iter().zip(prev).map(|(a, b)| a * b).sum();
+                    for (ui, pi) in u.iter_mut().zip(prev) {
+                        *ui -= proj * pi;
+                    }
+                }
+                eigenvalue = norm(&u);
+                if eigenvalue < 1e-18 {
+                    break;
+                }
+                normalize(&mut u);
+                let delta: f64 = u
+                    .iter()
+                    .zip(&v)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                v = u;
+                if delta < 1e-12 {
+                    break;
+                }
+            }
+            if eigenvalue < 1e-18 {
+                break;
+            }
+            found.push((v, eigenvalue));
+        }
+        if found.is_empty() {
+            return Err(SigStatError::EmptyInput {
+                context: "FisherDiscriminant::fit (no discriminant directions)",
+            });
+        }
+
+        let mut projection = Matrix::zeros(found.len(), dim);
+        for (r, (v, _)) in found.iter().enumerate() {
+            for (c, &x) in v.iter().enumerate() {
+                projection[(r, c)] = x;
+            }
+        }
+        Ok(FisherDiscriminant {
+            projection,
+            grand_mean,
+        })
+    }
+
+    /// Number of discriminant directions.
+    pub fn directions(&self) -> usize {
+        self.projection.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Projects an observation into discriminant space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length.
+    pub fn project(&self, x: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        if x.len() != self.input_dim() {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: x.len(),
+                context: "FisherDiscriminant::project",
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.grand_mean).map(|(a, m)| a - m).collect();
+        self.projection.mul_vec(&centered)
+    }
+}
+
+fn mat_vec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    m.mul_vec(v).expect("dimensions checked at fit time")
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two 3-D classes separated along (1, 1, 0) with isotropic noise.
+    fn two_classes(rng: &mut StdRng) -> Vec<Vec<Vec<f64>>> {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..40 {
+            a.push(vec![
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+            b.push(vec![
+                5.0 + rng.random_range(-1.0..1.0),
+                5.0 + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+        }
+        vec![a, b]
+    }
+
+    #[test]
+    fn two_classes_yield_one_separating_direction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let classes = two_classes(&mut rng);
+        let fda = FisherDiscriminant::fit(&classes, 4).unwrap();
+        assert_eq!(fda.directions(), 1);
+        assert_eq!(fda.input_dim(), 3);
+        // Projected class means must separate by much more than the
+        // projected intra-class spread.
+        let proj_a: Vec<f64> = classes[0].iter().map(|x| fda.project(x).unwrap()[0]).collect();
+        let proj_b: Vec<f64> = classes[1].iter().map(|x| fda.project(x).unwrap()[0]).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let std = |v: &[f64], m: f64| {
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let (ma, mb) = (mean(&proj_a), mean(&proj_b));
+        let spread = std(&proj_a, ma).max(std(&proj_b, mb));
+        assert!(
+            (ma - mb).abs() > 4.0 * spread,
+            "separation {} vs spread {spread}",
+            (ma - mb).abs()
+        );
+    }
+
+    #[test]
+    fn three_classes_yield_two_directions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut classes = two_classes(&mut rng);
+        let c: Vec<Vec<f64>> = (0..40)
+            .map(|_| {
+                vec![
+                    rng.random_range(-1.0..1.0),
+                    5.0 + rng.random_range(-1.0..1.0),
+                    5.0 + rng.random_range(-1.0..1.0),
+                ]
+            })
+            .collect();
+        classes.push(c);
+        let fda = FisherDiscriminant::fit(&classes, 8).unwrap();
+        assert_eq!(fda.directions(), 2);
+    }
+
+    #[test]
+    fn single_class_is_rejected() {
+        let classes = vec![vec![vec![1.0, 2.0]; 5]];
+        assert!(FisherDiscriminant::fit(&classes, 2).is_err());
+    }
+
+    #[test]
+    fn projection_validates_dimension() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fda = FisherDiscriminant::fit(&two_classes(&mut rng), 1).unwrap();
+        assert!(fda.project(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn ragged_observations_are_rejected() {
+        let classes = vec![vec![vec![1.0, 2.0]; 5], vec![vec![1.0]; 5]];
+        assert!(FisherDiscriminant::fit(&classes, 2).is_err());
+    }
+}

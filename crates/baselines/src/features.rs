@@ -1,0 +1,173 @@
+//! Shared time-domain feature extraction.
+//!
+//! Scission splits each message into bit regions ("binned into one of three
+//! groups") and VoltageIDS computes per-region statistics; this module
+//! provides the same decomposition for edge sets: the rising-edge region,
+//! the falling-edge region, and the steady-state samples their suffixes
+//! capture.
+
+use serde::{Deserialize, Serialize};
+
+/// Time-domain statistics of one signal region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionFeatures {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Root mean square.
+    pub rms: f64,
+    /// Peak-to-peak span.
+    pub peak_to_peak: f64,
+    /// Mean absolute successive difference (a roughness measure).
+    pub roughness: f64,
+}
+
+impl RegionFeatures {
+    /// The features as a flat vector, for model consumption.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.max,
+            self.rms,
+            self.peak_to_peak,
+            self.roughness,
+        ]
+    }
+
+    /// Number of features per region.
+    pub const COUNT: usize = 7;
+}
+
+/// Computes [`RegionFeatures`] over a sample region.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn region_features(samples: &[f64]) -> RegionFeatures {
+    assert!(!samples.is_empty(), "cannot featurize an empty region");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let rms = (samples.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
+    let roughness = if samples.len() > 1 {
+        samples
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (n - 1.0)
+    } else {
+        0.0
+    };
+    RegionFeatures {
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+        rms,
+        peak_to_peak: max - min,
+        roughness,
+    }
+}
+
+/// Splits an edge set into its three natural regions: the rising-edge half's
+/// transition window, the falling-edge half's transition window, and the
+/// steady samples (the outer quarter of each half, which the prefix/suffix
+/// geometry leaves at the settled levels).
+///
+/// Returns `(rising, falling, steady)` as owned sample vectors.
+///
+/// # Panics
+///
+/// Panics if the edge set has fewer than 8 samples.
+pub fn split_regions(edge_set: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    assert!(edge_set.len() >= 8, "edge set too short to split");
+    let half = edge_set.len() / 2;
+    let (rise, fall) = edge_set.split_at(half);
+    let quarter = (half / 4).max(1);
+    // Transition windows: the central part of each half.
+    let rising = rise[..half - quarter].to_vec();
+    let falling = fall[..half - quarter].to_vec();
+    // Steady states: the tails of both halves, where the level has settled.
+    let mut steady = rise[half - quarter..].to_vec();
+    steady.extend_from_slice(&fall[half - quarter..]);
+    (rising, falling, steady)
+}
+
+/// The full Scission-style feature vector of an edge set: region features
+/// of the rising, falling, and steady regions concatenated
+/// (3 × [`RegionFeatures::COUNT`] values).
+pub fn scission_features(edge_set: &[f64]) -> Vec<f64> {
+    let (rising, falling, steady) = split_regions(edge_set);
+    let mut out = Vec::with_capacity(3 * RegionFeatures::COUNT);
+    out.extend(region_features(&rising).to_vec());
+    out.extend(region_features(&falling).to_vec());
+    out.extend(region_features(&steady).to_vec());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_region_has_zero_spread() {
+        let f = region_features(&[5.0; 10]);
+        assert_eq!(f.mean, 5.0);
+        assert_eq!(f.std_dev, 0.0);
+        assert_eq!(f.peak_to_peak, 0.0);
+        assert_eq!(f.roughness, 0.0);
+        assert_eq!(f.rms, 5.0);
+    }
+
+    #[test]
+    fn features_of_known_ramp() {
+        let f = region_features(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.mean, 1.5);
+        assert_eq!(f.min, 0.0);
+        assert_eq!(f.max, 3.0);
+        assert_eq!(f.peak_to_peak, 3.0);
+        assert_eq!(f.roughness, 1.0);
+    }
+
+    #[test]
+    fn to_vec_has_stable_arity() {
+        let f = region_features(&[1.0, 2.0]);
+        assert_eq!(f.to_vec().len(), RegionFeatures::COUNT);
+    }
+
+    #[test]
+    fn split_covers_every_sample_exactly_once() {
+        let edge_set: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let (r, f, s) = split_regions(&edge_set);
+        assert_eq!(r.len() + f.len() + s.len(), 32);
+        // Steady region takes the tail of each half.
+        assert!(s.contains(&15.0));
+        assert!(s.contains(&31.0));
+        // Transition windows start at the half boundaries.
+        assert_eq!(r[0], 0.0);
+        assert_eq!(f[0], 16.0);
+    }
+
+    #[test]
+    fn scission_features_have_three_regions() {
+        let edge_set: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let features = scission_features(&edge_set);
+        assert_eq!(features.len(), 21);
+        assert!(features.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn tiny_edge_set_panics() {
+        let _ = split_regions(&[1.0; 4]);
+    }
+}

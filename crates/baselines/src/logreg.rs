@@ -1,0 +1,298 @@
+//! Multinomial logistic regression trained by batch gradient descent — the
+//! classification stage of Scission ("Scission uses the logistic regression
+//! machine learning algorithm for training and classification", §1.2.1).
+
+use vprofile_sigstat::SigStatError;
+
+/// A trained multinomial logistic-regression classifier with per-feature
+/// standardization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// `classes × (dim + 1)` weights, last column is the bias.
+    weights: Vec<Vec<f64>>,
+    /// Per-feature means for standardization.
+    feature_means: Vec<f64>,
+    /// Per-feature standard deviations (floored away from zero).
+    feature_stds: Vec<f64>,
+}
+
+/// Gradient-descent hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainParams {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams {
+            learning_rate: 0.5,
+            epochs: 300,
+            l2: 1e-4,
+        }
+    }
+}
+
+impl LogisticRegression {
+    /// Trains a classifier on `(x, label)` pairs with `classes` classes.
+    ///
+    /// # Errors
+    ///
+    /// * [`SigStatError::EmptyInput`] for an empty training set;
+    /// * [`SigStatError::DimensionMismatch`] for ragged observations or a
+    ///   label `≥ classes`.
+    pub fn fit(
+        data: &[(Vec<f64>, usize)],
+        classes: usize,
+        params: TrainParams,
+    ) -> Result<Self, SigStatError> {
+        if data.is_empty() || classes == 0 {
+            return Err(SigStatError::EmptyInput {
+                context: "LogisticRegression::fit",
+            });
+        }
+        let dim = data[0].0.len();
+        for (x, label) in data {
+            if x.len() != dim {
+                return Err(SigStatError::DimensionMismatch {
+                    expected: dim,
+                    actual: x.len(),
+                    context: "LogisticRegression::fit",
+                });
+            }
+            if *label >= classes {
+                return Err(SigStatError::DimensionMismatch {
+                    expected: classes,
+                    actual: *label,
+                    context: "LogisticRegression::fit (label)",
+                });
+            }
+        }
+
+        // Standardize features: raw ADC-code statistics span orders of
+        // magnitude, which would stall plain gradient descent.
+        let n = data.len() as f64;
+        let mut feature_means = vec![0.0; dim];
+        for (x, _) in data {
+            for (m, &v) in feature_means.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut feature_means {
+            *m /= n;
+        }
+        let mut feature_stds = vec![0.0; dim];
+        for (x, _) in data {
+            for (s, (&v, &m)) in feature_stds.iter_mut().zip(x.iter().zip(&feature_means)) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut feature_stds {
+            *s = (*s / n).sqrt().max(1e-9);
+        }
+        let standardized: Vec<(Vec<f64>, usize)> = data
+            .iter()
+            .map(|(x, label)| {
+                let z: Vec<f64> = x
+                    .iter()
+                    .zip(feature_means.iter().zip(&feature_stds))
+                    .map(|(&v, (&m, &s))| (v - m) / s)
+                    .collect();
+                (z, *label)
+            })
+            .collect();
+
+        let mut weights = vec![vec![0.0; dim + 1]; classes];
+        let mut probs = vec![0.0; classes];
+        let mut grads = vec![vec![0.0; dim + 1]; classes];
+        for _ in 0..params.epochs {
+            for g in grads.iter_mut() {
+                g.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for (z, label) in &standardized {
+                softmax_into(&weights, z, &mut probs);
+                for (c, grad) in grads.iter_mut().enumerate() {
+                    let err = probs[c] - if c == *label { 1.0 } else { 0.0 };
+                    for (gi, &zi) in grad.iter_mut().zip(z) {
+                        *gi += err * zi;
+                    }
+                    grad[dim] += err;
+                }
+            }
+            for (w, g) in weights.iter_mut().zip(&grads) {
+                for (wi, &gi) in w.iter_mut().zip(g) {
+                    *wi -= params.learning_rate * (gi / n + params.l2 * *wi);
+                }
+            }
+        }
+        Ok(LogisticRegression {
+            weights,
+            feature_means,
+            feature_stds,
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.feature_means.len()
+    }
+
+    /// Class probabilities for an observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length.
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        if x.len() != self.dim() {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+                context: "LogisticRegression::predict_proba",
+            });
+        }
+        let z: Vec<f64> = x
+            .iter()
+            .zip(self.feature_means.iter().zip(&self.feature_stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect();
+        let mut probs = vec![0.0; self.classes()];
+        softmax_into(&self.weights, &z, &mut probs);
+        Ok(probs)
+    }
+
+    /// The most probable class and its probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length.
+    pub fn predict(&self, x: &[f64]) -> Result<(usize, f64), SigStatError> {
+        let probs = self.predict_proba(x)?;
+        let (idx, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .expect("at least one class");
+        Ok((idx, p))
+    }
+}
+
+fn softmax_into(weights: &[Vec<f64>], z: &[f64], out: &mut [f64]) {
+    let dim = z.len();
+    let mut max_logit = f64::NEG_INFINITY;
+    for (c, w) in weights.iter().enumerate() {
+        let logit: f64 = w[..dim].iter().zip(z).map(|(a, b)| a * b).sum::<f64>() + w[dim];
+        out[c] = logit;
+        max_logit = max_logit.max(logit);
+    }
+    let mut sum = 0.0;
+    for v in out.iter_mut() {
+        *v = (*v - max_logit).exp();
+        sum += *v;
+    }
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(rng: &mut StdRng, centers: &[(f64, f64)], per: usize) -> Vec<(Vec<f64>, usize)> {
+        let mut data = Vec::new();
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per {
+                data.push((
+                    vec![
+                        cx + rng.random_range(-0.5..0.5),
+                        cy + rng.random_range(-0.5..0.5),
+                    ],
+                    label,
+                ));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = blobs(&mut rng, &[(0.0, 0.0), (4.0, 4.0)], 50);
+        let model = LogisticRegression::fit(&data, 2, TrainParams::default()).unwrap();
+        let mut correct = 0;
+        for (x, label) in &data {
+            if model.predict(x).unwrap().0 == *label {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / data.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = blobs(&mut rng, &[(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)], 40);
+        let model = LogisticRegression::fit(&data, 3, TrainParams::default()).unwrap();
+        let acc = data
+            .iter()
+            .filter(|(x, label)| model.predict(x).unwrap().0 == *label)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = blobs(&mut rng, &[(0.0, 0.0), (3.0, 3.0)], 30);
+        let model = LogisticRegression::fit(&data, 2, TrainParams::default()).unwrap();
+        let probs = model.predict_proba(&[1.0, 1.0]).unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn handles_unscaled_feature_magnitudes() {
+        // Raw ADC-code scale features (thousands) must still train.
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<(Vec<f64>, usize)> = (0..100)
+            .map(|i| {
+                let label = i % 2;
+                (
+                    vec![
+                        30_000.0 + label as f64 * 2_000.0 + rng.random_range(-300.0..300.0),
+                        500.0 + rng.random_range(-50.0..50.0),
+                    ],
+                    label,
+                )
+            })
+            .collect();
+        let model = LogisticRegression::fit(&data, 2, TrainParams::default()).unwrap();
+        let acc = data
+            .iter()
+            .filter(|(x, label)| model.predict(x).unwrap().0 == *label)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LogisticRegression::fit(&[], 2, TrainParams::default()).is_err());
+        let data = vec![(vec![1.0], 5usize)];
+        assert!(LogisticRegression::fit(&data, 2, TrainParams::default()).is_err());
+        let data = vec![(vec![1.0], 0usize), (vec![1.0, 2.0], 1)];
+        assert!(LogisticRegression::fit(&data, 2, TrainParams::default()).is_err());
+    }
+}

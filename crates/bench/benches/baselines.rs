@@ -1,0 +1,76 @@
+//! Per-message classification latency: vProfile vs. the reimplemented
+//! baselines (the thesis argues vProfile's single-feature design beats the
+//! heavy feature-extraction pipelines of §1.2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vprofile_baselines::{
+    ScissionDetector, SenderIdentifier, SimpleDetector, VProfileIdentifier, VidenDetector,
+    VoltageIdsDetector,
+};
+use vprofile_bench::BenchFixture;
+use vprofile_sigstat::DistanceMetric;
+
+fn bench_classify(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 13, DistanceMetric::Mahalanobis);
+    let lut = fixture.vehicle.sa_lut();
+    let probe = fixture.observations[1].clone();
+
+    let vprofile_sys = VProfileIdentifier::new(fixture.model.clone(), 1.0);
+    let simple = SimpleDetector::fit(&fixture.observations, &lut).expect("SIMPLE trains");
+    let viden = VidenDetector::fit(&fixture.observations, &lut, 6.0).expect("Viden trains");
+    let scission = ScissionDetector::fit(&fixture.observations, &lut, 0.5).expect("Scission trains");
+    let voltageids =
+        VoltageIdsDetector::fit(&fixture.observations, &lut, 0.0).expect("VoltageIDS trains");
+
+    let systems: Vec<(&str, &dyn SenderIdentifier)> = vec![
+        ("vprofile", &vprofile_sys),
+        ("simple", &simple),
+        ("viden", &viden),
+        ("scission", &scission),
+        ("voltageids", &voltageids),
+    ];
+    let mut group = c.benchmark_group("classify_per_message");
+    for (name, system) in systems {
+        group.bench_function(name, |b| b.iter(|| system.classify(black_box(&probe))));
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 13, DistanceMetric::Mahalanobis);
+    let lut = fixture.vehicle.sa_lut();
+    let mut group = c.benchmark_group("baseline_training");
+    group.sample_size(10);
+    group.bench_function("simple", |b| {
+        b.iter(|| SimpleDetector::fit(black_box(&fixture.observations), &lut).expect("trains"))
+    });
+    group.bench_function("viden", |b| {
+        b.iter(|| VidenDetector::fit(black_box(&fixture.observations), &lut, 6.0).expect("trains"))
+    });
+    group.bench_function("scission", |b| {
+        b.iter(|| {
+            ScissionDetector::fit(black_box(&fixture.observations), &lut, 0.5).expect("trains")
+        })
+    });
+    group.bench_function("voltageids", |b| {
+        b.iter(|| {
+            VoltageIdsDetector::fit(black_box(&fixture.observations), &lut, 0.0).expect("trains")
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_classify, bench_fit
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Distance-metric cost: Euclidean vs. Mahalanobis across edge-set
+//! dimensionalities (the computational side of the §4.2 metric choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vprofile_sigstat::{euclidean, Gaussian};
+
+fn random_gaussian(rng: &mut StdRng, dim: usize) -> (Gaussian, Vec<f64>) {
+    // Observations with independent noise per dimension → SPD covariance.
+    let observations: Vec<Vec<f64>> = (0..dim * 3 + 4)
+        .map(|_| (0..dim).map(|i| i as f64 + rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let gaussian = Gaussian::fit(&observations, 1e-6).expect("fits");
+    let probe: Vec<f64> = (0..dim)
+        .map(|i| i as f64 + rng.random_range(-2.0..2.0))
+        .collect();
+    (gaussian, probe)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("distance");
+    for dim in [8usize, 16, 32, 64] {
+        let (gaussian, probe) = random_gaussian(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::new("euclidean", dim), &dim, |b, _| {
+            b.iter(|| euclidean(black_box(&probe), gaussian.mean()).expect("dims match"))
+        });
+        group.bench_with_input(BenchmarkId::new("mahalanobis", dim), &dim, |b, _| {
+            b.iter(|| gaussian.mahalanobis(black_box(&probe)).expect("dims match"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let observations: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..32).map(|i| i as f64 + rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    c.bench_function("gaussian_fit_200x32", |b| {
+        b.iter(|| Gaussian::fit(black_box(&observations), 1e-6).expect("fits"))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_metrics, bench_fit
+}
+criterion_main!(benches);

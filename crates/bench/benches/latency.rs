@@ -1,0 +1,75 @@
+//! Detection-pipeline latency: the numbers behind the thesis' claim that
+//! vProfile "minimizes latency since it requires analyzing only a section
+//! at the beginning of messages" and "has a higher potential to be
+//! implemented on less expensive embedded hardware".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vprofile::{Detector, EdgeSetExtractor, Trainer};
+use vprofile_bench::BenchFixture;
+use vprofile_sigstat::DistanceMetric;
+
+fn bench_extraction(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 7, DistanceMetric::Mahalanobis);
+    let extractor = EdgeSetExtractor::new(fixture.config.clone());
+    let trace = fixture.capture.frames()[0].trace.to_f64();
+    c.bench_function("extract_edge_set_per_message", |b| {
+        b.iter(|| extractor.extract(black_box(&trace)).expect("extracts"))
+    });
+
+    let config3 = fixture.config.clone().with_edge_sets_per_message(3);
+    let extractor3 = EdgeSetExtractor::new(config3);
+    c.bench_function("extract_three_edge_sets_per_message", |b| {
+        b.iter(|| extractor3.extract(black_box(&trace)).expect("extracts"))
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    for metric in [DistanceMetric::Mahalanobis, DistanceMetric::Euclidean] {
+        let fixture = BenchFixture::prepare(900, 7, metric);
+        let detector = Detector::with_margin(&fixture.model, 1.0);
+        let probe = fixture.observations[1].clone();
+        c.bench_function(&format!("detect_per_message_{metric}"), |b| {
+            b.iter(|| detector.classify(black_box(&probe)))
+        });
+    }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 7, DistanceMetric::Mahalanobis);
+    let trainer = Trainer::new(fixture.config.clone());
+    let lut = fixture.vehicle.sa_lut();
+    c.bench_function("train_model_900_messages", |b| {
+        b.iter(|| {
+            trainer
+                .train_with_lut(black_box(&fixture.observations), &lut)
+                .expect("trains")
+        })
+    });
+}
+
+fn bench_online_update(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 7, DistanceMetric::Mahalanobis);
+    let batch: Vec<_> = fixture.observations[..16].to_vec();
+    c.bench_function("online_update_batch_of_16", |b| {
+        b.iter_batched(
+            || fixture.model.clone(),
+            |mut model| model.update_online(black_box(&batch)).expect("updates"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_extraction, bench_detection, bench_training, bench_online_update
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Substrate costs: frame encode/decode, arbitration, waveform synthesis,
+//! and the streaming framer — the pieces a deployed monitor runs
+//! continuously.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vprofile_analog::{AdcConfig, Environment, FrameSynthesizer, TransceiverModel};
+use vprofile_bench::BenchFixture;
+use vprofile_can::arbitration::arbitrate;
+use vprofile_can::{DataFrame, ExtendedId, WireFrame};
+use vprofile_ids::StreamFramer;
+use vprofile_sigstat::DistanceMetric;
+
+fn example_frame() -> DataFrame {
+    DataFrame::new(
+        ExtendedId::new(0x0CF0_0417).expect("29-bit"),
+        &[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04],
+    )
+    .expect("payload fits")
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let frame = example_frame();
+    c.bench_function("wireframe_encode", |b| {
+        b.iter(|| WireFrame::encode(black_box(&frame)))
+    });
+    let wire = WireFrame::encode(&frame);
+    c.bench_function("wireframe_decode", |b| {
+        b.iter(|| WireFrame::decode(black_box(wire.bits())).expect("decodes"))
+    });
+}
+
+fn bench_arbitration(c: &mut Criterion) {
+    let ids: Vec<ExtendedId> = (0..8)
+        .map(|k| ExtendedId::new(0x0C00_0000 + k * 0x111).expect("29-bit"))
+        .collect();
+    c.bench_function("arbitrate_8_nodes", |b| {
+        b.iter(|| arbitrate(black_box(&ids)))
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let tx = TransceiverModel::sample_new(&mut rng);
+    let wire = WireFrame::encode(&example_frame());
+    let env = Environment::default();
+    for (name, adc) in [
+        ("synthesize_frame_10msps_12bit", AdcConfig::vehicle_b()),
+        ("synthesize_frame_20msps_16bit", AdcConfig::vehicle_a()),
+    ] {
+        let synth = FrameSynthesizer::new(250_000, adc);
+        c.bench_function(name, |b| {
+            b.iter(|| synth.synthesize(black_box(wire.bits()), &tx, &env, &mut rng))
+        });
+    }
+}
+
+fn bench_framer(c: &mut Criterion) {
+    let fixture = BenchFixture::prepare(900, 3, DistanceMetric::Mahalanobis);
+    let mut stream = Vec::new();
+    for frame in fixture.capture.frames().iter().take(20) {
+        stream.extend(frame.trace.to_f64());
+    }
+    let config = &fixture.config;
+    c.bench_function("stream_framer_20_frames", |b| {
+        b.iter(|| {
+            let mut framer =
+                StreamFramer::new(config.bit_width_samples, config.bit_threshold);
+            framer.push(black_box(&stream)).len()
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_wire, bench_arbitration, bench_synthesis, bench_framer
+}
+criterion_main!(benches);

@@ -1,0 +1,732 @@
+//! `repro` — regenerates every table and figure of the vProfile thesis
+//! evaluation on the simulated substrate.
+//!
+//! ```text
+//! repro <experiment> [--frames N] [--seed S]
+//! repro all [--out DIR]
+//! repro list
+//! ```
+//!
+//! See `DESIGN.md` §4 for the experiment index.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use vprofile_experiments::tables::{
+    table_4_5, table_4_6, table_4_7, table_4_8, table_4_9, table_5_1, table_5_2,
+    three_test_table, SpreadRow, SweepCell, ThreeTestResult,
+};
+use vprofile_experiments::{figures, markdown_table, Series, VehicleKind};
+use vprofile_sigstat::DistanceMetric;
+
+/// Experiment ids in canonical order.
+const EXPERIMENTS: &[&str] = &[
+    "table-4.1",
+    "table-4.2",
+    "table-4.3",
+    "table-4.4",
+    "table-4.5",
+    "table-4.6",
+    "table-4.7",
+    "table-4.8",
+    "table-4.9",
+    "table-5.1",
+    "table-5.2",
+    "fig-2.1",
+    "fig-2.3",
+    "fig-2.5",
+    "fig-3.1",
+    "fig-4.2",
+    "fig-4.4",
+    "fig-4.5",
+    "fig-4.6",
+    "fig-4.7",
+    "fig-4.8",
+    "frame-layout",
+    "margin-sweep",
+    "online-update",
+    "singular-cov",
+    "baseline-comparison",
+    "latency",
+    "roc",
+];
+
+struct Options {
+    frames: Option<usize>,
+    seed: u64,
+    out_dir: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("usage: repro <experiment|all|list> [--frames N] [--seed S] [--out DIR]");
+        return ExitCode::FAILURE;
+    };
+    let mut options = Options {
+        frames: None,
+        seed: 11,
+        out_dir: None,
+    };
+    let mut iter = args[1..].iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.frames = Some(v),
+                None => return usage_error("--frames needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(v) => options.out_dir = Some(v.clone()),
+                None => return usage_error("--out needs a directory"),
+            },
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    match command {
+        "list" => {
+            for id in EXPERIMENTS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => run_all(&options),
+        id => match run_experiment(id, &options) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn run_all(options: &Options) -> ExitCode {
+    let out_dir = options.out_dir.clone().unwrap_or_else(|| "repro_out".into());
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {out_dir}: {err}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0;
+    for id in EXPERIMENTS {
+        eprintln!("running {id} …");
+        match run_experiment(id, options) {
+            Ok(report) => {
+                let path = format!("{out_dir}/{}.md", id.replace('.', "_"));
+                if let Err(err) = std::fs::write(&path, &report) {
+                    eprintln!("  write {path} failed: {err}");
+                    failures += 1;
+                } else {
+                    eprintln!("  → {path}");
+                }
+            }
+            Err(message) => {
+                eprintln!("  FAILED: {message}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!("all experiments completed; reports in {out_dir}/");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} experiment(s) failed");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_experiment(id: &str, options: &Options) -> Result<String, String> {
+    let seed = options.seed;
+    let frames_a = options.frames.unwrap_or(3000);
+    let frames_b = options.frames.unwrap_or(2000);
+    let err = |e: vprofile::VProfileError| e.to_string();
+    match id {
+        "table-4.1" => three_test_table(VehicleKind::A, DistanceMetric::Euclidean, frames_a, seed)
+            .map(|r| render_three_tests("Table 4.1 — Vehicle A, Euclidean", &r))
+            .map_err(err),
+        "table-4.2" => three_test_table(VehicleKind::B, DistanceMetric::Euclidean, frames_b, seed)
+            .map(|r| render_three_tests("Table 4.2 — Vehicle B, Euclidean", &r))
+            .map_err(err),
+        "table-4.3" => {
+            three_test_table(VehicleKind::A, DistanceMetric::Mahalanobis, frames_a, seed)
+                .map(|r| render_three_tests("Table 4.3 — Vehicle A, Mahalanobis", &r))
+                .map_err(err)
+        }
+        "table-4.4" => {
+            three_test_table(VehicleKind::B, DistanceMetric::Mahalanobis, frames_b, seed)
+                .map(|r| render_three_tests("Table 4.4 — Vehicle B, Mahalanobis", &r))
+                .map_err(err)
+        }
+        "table-4.5" => table_4_5(options.frames.unwrap_or(1600), seed)
+            .map(render_table_4_5)
+            .map_err(err),
+        "table-4.6" => table_4_6(options.frames.unwrap_or(1600), seed)
+            .map(|cells| render_sweep("Table 4.6 — Vehicle A rate × resolution sweep", &cells))
+            .map_err(err),
+        "table-4.7" => table_4_7(options.frames.unwrap_or(1200), seed)
+            .map(|cells| render_sweep("Table 4.7 — Vehicle B rate sweep", &cells))
+            .map_err(err),
+        "table-4.8" => table_4_8(options.frames.unwrap_or(1400), seed)
+            .map(render_table_4_8)
+            .map_err(err),
+        "table-4.9" => table_4_9(options.frames.unwrap_or(1100), seed)
+            .map(|confusion| {
+                format!(
+                    "# Table 4.9 — high-power vehicle functions (Vehicle A)\n\n\
+                     Train: accessory mode baseline. Test: lights/A-C events.\n\n\
+                     ```\n{confusion}\n```\n\naccuracy: {:.5}\n",
+                    confusion.accuracy()
+                )
+            })
+            .map_err(err),
+        "table-5.1" => table_5_1(options.frames.unwrap_or(1600), seed)
+            .map(|rows| {
+                render_spread(
+                    "Table 5.1 — fixed vs. cluster extraction thresholds (Vehicle A)",
+                    "fixed",
+                    "cluster",
+                    &rows,
+                )
+            })
+            .map_err(err),
+        "table-5.2" => table_5_2(options.frames.unwrap_or(1600), seed)
+            .map(|rows| {
+                render_spread(
+                    "Table 5.2 — one vs. three edge sets per message (Vehicle A)",
+                    "1 edge set",
+                    "3 edge sets",
+                    &rows,
+                )
+            })
+            .map_err(err),
+        "fig-2.1" => Ok(render_series("Figure 2.1 — CAN differential signalling", &figures::fig_2_1(seed))),
+        "fig-2.3" => Ok(render_series("Figure 2.3 — arbitration (ECU 1 loses at bit 7)", &figures::fig_2_3())),
+        "fig-2.5" => figures::fig_2_5(options.frames.map(|f| f / 12).unwrap_or(200), seed)
+            .map(|s| render_series("Figure 2.5 — two-ECU edge-set overlay", &s))
+            .map_err(err),
+        "fig-3.1" => figures::fig_3_1(seed)
+            .map(|s| render_series("Figure 3.1 — rate/resolution reduction of one edge set", &s))
+            .map_err(err),
+        "fig-4.2" => figures::fig_4_2(options.frames.unwrap_or(1600), seed)
+            .map(|s| render_series("Figure 4.2 — Vehicle A voltage profiles", &s))
+            .map_err(err),
+        "fig-4.4" => figures::fig_4_4(options.frames.unwrap_or(1600), seed)
+            .map(|s| render_series("Figure 4.4 — per-sample-index std (ECU 0)", &[s]))
+            .map_err(err),
+        "fig-4.5" => figures::fig_4_5(options.frames.unwrap_or(1600), seed)
+            .map(|s| render_series("Figure 4.5 — cluster means and a test edge set", &s))
+            .map_err(err),
+        "fig-4.6" => figures::fig_4_6(options.frames.unwrap_or(1400), seed)
+            .map(|s| render_series("Figure 4.6 — temperature %Δ Mahalanobis (99% CI)", &s))
+            .map_err(err),
+        "fig-4.7" => figures::fig_4_7_and_4_8(5, options.frames.unwrap_or(1100), seed)
+            .map(|(s, _)| render_series("Figure 4.7 — power-event %Δ (99% CI)", &s))
+            .map_err(err),
+        "fig-4.8" => figures::fig_4_7_and_4_8(5, options.frames.unwrap_or(1100), seed)
+            .map(|(_, s)| render_series("Figure 4.8 — accessory-mode drift across trials", &s))
+            .map_err(err),
+        "frame-layout" => Ok(frame_layout()),
+        "margin-sweep" => margin_sweep(options.frames.unwrap_or(1200), seed).map_err(err),
+        "online-update" => online_update(options.frames.unwrap_or(1400), seed).map_err(err),
+        "singular-cov" => singular_cov(options.frames.unwrap_or(1200), seed).map_err(err),
+        "baseline-comparison" => {
+            baseline_comparison(options.frames.unwrap_or(1600), seed).map_err(err)
+        }
+        "latency" => latency(options.frames.unwrap_or(900), seed).map_err(err),
+        "roc" => roc(options.frames.unwrap_or(1200), seed).map_err(err),
+        other => Err(format!("unknown experiment {other}; try `repro list`")),
+    }
+}
+
+fn render_three_tests(title: &str, result: &ThreeTestResult) -> String {
+    let mut out = format!("# {title}\n\n");
+    let _ = writeln!(
+        out,
+        "Foreign pair (attacker → victim): ECU {} → ECU {} (distance {:.2})\n",
+        result.foreign_pair.0, result.foreign_pair.1, result.foreign_pair_distance
+    );
+    for (name, outcome, headline) in [
+        (
+            "False positive test",
+            &result.false_positive,
+            format!("accuracy: {:.5}", result.false_positive.confusion.accuracy()),
+        ),
+        (
+            "Hijack imitation test",
+            &result.hijack,
+            format!("F-score: {:.5}", result.hijack.confusion.f_score()),
+        ),
+        (
+            "Foreign device imitation test",
+            &result.foreign,
+            format!("F-score: {:.5}", result.foreign.confusion.f_score()),
+        ),
+    ] {
+        let _ = writeln!(
+            out,
+            "## {name} (margin {:.3})\n\n```\n{}\n```\n\n{headline}\n",
+            outcome.margin, outcome.confusion
+        );
+    }
+    let _ = writeln!(
+        out,
+        "precision: {:.5}  recall: {:.5} (hijack test)",
+        result.hijack.confusion.precision(),
+        result.hijack.confusion.recall()
+    );
+    out
+}
+
+fn render_table_4_5(t: vprofile_experiments::tables::Table45) -> String {
+    let rows = vec![
+        vec![
+            "Euclidean".into(),
+            format!("{:.2}", t.euclidean.0),
+            format!("{:.2}", t.euclidean.1),
+            format!("{:.2}", t.euclidean.2),
+        ],
+        vec![
+            "Mahalanobis".into(),
+            format!("{:.2}", t.mahalanobis.0),
+            format!("{:.2}", t.mahalanobis.1),
+            format!("{:.2}", t.mahalanobis.2),
+        ],
+    ];
+    format!(
+        "# Table 4.5 — distances from an ECU 0 edge set to ECUs 0 and 1\n\n{}",
+        markdown_table(
+            &["Metric", "Distance to ECU 0", "Distance to ECU 1", "Quotient"],
+            &rows
+        )
+    )
+}
+
+fn render_sweep(title: &str, cells: &[SweepCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let fmt = |v: f64| {
+                if c.singular {
+                    "singular".to_string()
+                } else {
+                    format!("{v:.5}")
+                }
+            };
+            vec![
+                format!("{:.1}", c.rate_mss),
+                format!("{}", c.resolution_bits),
+                fmt(c.fp_accuracy),
+                fmt(c.hijack_f),
+                fmt(c.foreign_f),
+            ]
+        })
+        .collect();
+    format!(
+        "# {title}\n\n{}",
+        markdown_table(
+            &["MS/s", "bits", "FP accuracy", "Hijack F", "Foreign F"],
+            &rows
+        )
+    )
+}
+
+fn render_table_4_8(t: vprofile_experiments::tables::Table48) -> String {
+    let mut out = String::from("# Table 4.8 — temperature variance (Vehicle A)\n\n");
+    let _ = writeln!(
+        out,
+        "Train: −5…0 °C bin. Test: 0…25 °C bins.\n\n```\n{}\n```\n",
+        t.cold_trained
+    );
+    let rows: Vec<Vec<String>> = t
+        .fp_by_bin
+        .iter()
+        .map(|(lo, hi, fp)| vec![format!("{lo}…{hi} °C"), fp.to_string()])
+        .collect();
+    let _ = writeln!(
+        out,
+        "False positives by bin:\n\n{}",
+        markdown_table(&["bin", "false positives"], &rows)
+    );
+    let _ = writeln!(
+        out,
+        "After adding 20–25 °C data to training:\n\n```\n{}\n```\n",
+        t.warm_augmented
+    );
+    out
+}
+
+fn render_spread(title: &str, base: &str, enhanced: &str, rows: &[SpreadRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.ecu.to_string(),
+                format!("{:.3}", r.std_baseline),
+                format!("{:.3}", r.std_enhanced),
+                format!("{:.3}", r.max_dist_baseline),
+                format!("{:.3}", r.max_dist_enhanced),
+            ]
+        })
+        .collect();
+    format!(
+        "# {title}\n\n{}",
+        markdown_table(
+            &[
+                "ECU",
+                &format!("std ({base})"),
+                &format!("std ({enhanced})"),
+                &format!("max dist ({base})"),
+                &format!("max dist ({enhanced})"),
+            ],
+            &table
+        )
+    )
+}
+
+fn render_series(title: &str, series: &[Series]) -> String {
+    let mut out = format!("# {title}\n\nseries,x,y[,ci]\n");
+    for s in series {
+        out.push_str(&s.to_csv());
+    }
+    out
+}
+
+fn frame_layout() -> String {
+    use vprofile_can::{DataFrame, ExtendedId, WireFrame};
+    let frame = DataFrame::new(
+        ExtendedId::new(0x0CF0_0400).expect("29-bit id"),
+        &[0x12, 0x34, 0x56, 0x78],
+    )
+    .expect("payload fits");
+    let wire = WireFrame::encode(&frame);
+    let rows: Vec<Vec<String>> = wire
+        .field_spans()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.start.to_string(),
+                s.len.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "# Figures 2.2/2.4 — extended frame field layout (from the encoder)\n\n\
+         Frame: {frame}  (CRC {:#06x}, {} stuff bits, {} wire bits)\n\n{}",
+        wire.crc(),
+        wire.stuff_bit_count(),
+        wire.duration_bits(),
+        markdown_table(&["field", "start bit", "bits"], &rows)
+    )
+}
+
+fn margin_sweep(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use vprofile_experiments::{evaluate_messages, ExperimentFixture};
+    use vprofile_vehicle::attack::{false_positive_test, foreign_device_test};
+
+    let fixture =
+        ExperimentFixture::prepare(VehicleKind::A, DistanceMetric::Mahalanobis, frames, seed)?;
+    let model = fixture.train_model()?;
+    let (attacker, victim, _) =
+        vprofile_experiments::most_similar_pair(&model, DistanceMetric::Mahalanobis);
+    let reduced = fixture.train_model_without_ecu(attacker)?;
+    let victim_sa = *fixture
+        .lut
+        .iter()
+        .find(|(_, c)| c.0 == victim)
+        .map(|(sa, _)| sa)
+        .expect("victim has an SA");
+
+    let fp = false_positive_test(&fixture.test_extracted());
+    let foreign = foreign_device_test(&fixture.test_extracted(), attacker, victim_sa);
+
+    let mut rows = Vec::new();
+    for factor in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
+        let scale: f64 = model.clusters().iter().map(|c| c.max_distance()).sum::<f64>()
+            / model.cluster_count() as f64;
+        let margin = factor * scale;
+        let fp_c = evaluate_messages(&model, margin, &fp);
+        let fd_c = evaluate_messages(&reduced, margin, &foreign);
+        rows.push(vec![
+            format!("{margin:.2}"),
+            format!("{:.5}", fp_c.accuracy()),
+            format!("{:.5}", fd_c.f_score()),
+        ]);
+    }
+    Ok(format!(
+        "# Ablation — margin sensitivity (Vehicle A, Mahalanobis)\n\n\
+         The thesis' trade-off: growing the margin removes false positives\n\
+         but lets the foreign device through (§4.2.2).\n\n{}",
+        markdown_table(&["margin", "FP accuracy", "Foreign F"], &rows)
+    ))
+}
+
+fn online_update(frames_per_bin: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use vprofile::{ClusterId, EdgeSetExtractor, Trainer};
+    use vprofile_vehicle::scenario::{five_degree_bins, temperature_sweep};
+    use vprofile_vehicle::Vehicle;
+
+    let vehicle = Vehicle::vehicle_a(seed);
+    let bins = five_degree_bins();
+    let sweep = temperature_sweep(&vehicle, &bins, frames_per_bin, seed)?;
+    let config = vprofile::VProfileConfig::for_adc(sweep[0].capture.adc(), vehicle.bit_rate_bps());
+    let extractor = EdgeSetExtractor::new(config.clone());
+    let lut = vehicle.sa_lut();
+
+    // Train both models on half of the cold bin (the held-out half anchors
+    // the baseline, see `fig_4_6`).
+    let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test();
+    let cold: Vec<_> = cold_train.iter().map(|o| o.observation.clone()).collect();
+    let static_model = Trainer::new(config).train_with_lut(&cold, &lut)?;
+    let mut online_model = static_model.clone();
+
+    // Mean Mahalanobis distance of the temperature-sensitive ECM (ECU 0).
+    let ecm_mean = |model: &vprofile::Model,
+                    observations: &[vprofile_vehicle::TruthObservation]|
+     -> f64 {
+        let dists: Vec<f64> = observations
+            .iter()
+            .filter(|o| o.true_ecu == 0)
+            .filter_map(|o| {
+                model
+                    .cluster(ClusterId(0))
+                    .distance(o.observation.edge_set.samples(), DistanceMetric::Mahalanobis)
+                    .ok()
+            })
+            .collect();
+        dists.iter().sum::<f64>() / dists.len() as f64
+    };
+    let baseline = ecm_mean(&static_model, &cold_holdout);
+
+    let mut rows = Vec::new();
+    for tc in sweep.iter().skip(1) {
+        let extracted = tc.capture.extract(&extractor);
+        let d_static = ecm_mean(&static_model, &extracted.observations);
+        let d_online = ecm_mean(&online_model, &extracted.observations);
+        // Absorb this bin's data before moving on — Algorithm 4.
+        online_model.update_online(&extracted.labeled())?;
+        rows.push(vec![
+            format!("{}…{} °C", tc.bin_lo_c, tc.bin_hi_c),
+            format!("{:+.1} %", (d_static / baseline - 1.0) * 100.0),
+            format!("{:+.1} %", (d_online / baseline - 1.0) * 100.0),
+        ]);
+    }
+    Ok(format!(
+        "# Ablation — online model update under temperature drift (§5.3)\n\n\
+         Both models train on the −5…0 °C bin; the online model absorbs each\n\
+         bin after scoring it. Values are the ECM's mean Mahalanobis distance\n\
+         relative to the cold holdout baseline ({baseline:.2}).\n\n{}",
+        markdown_table(&["bin", "static model Δ", "online-updated Δ"], &rows)
+    ))
+}
+
+fn singular_cov(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use vprofile::{EdgeSetExtractor, Trainer};
+    use vprofile_vehicle::{CaptureConfig, Vehicle};
+
+    let vehicle = Vehicle::vehicle_a(seed);
+    let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
+    let mut rows = Vec::new();
+    for bits in [16u32, 12, 10, 8, 6] {
+        let reduced = capture.requantize(bits);
+        let config = vprofile::VProfileConfig::for_adc(reduced.adc(), vehicle.bit_rate_bps());
+        let extracted = reduced.extract(&EdgeSetExtractor::new(config.clone()));
+        let strict = Trainer::new(config.clone().with_max_ridge(0.0))
+            .train_with_lut(&extracted.labeled(), &vehicle.sa_lut());
+        let ridged = Trainer::new(config.with_max_ridge(1e-3))
+            .train_with_lut(&extracted.labeled(), &vehicle.sa_lut());
+        let describe = |r: &Result<vprofile::Model, vprofile::VProfileError>| match r {
+            Ok(_) => "trains".to_string(),
+            Err(vprofile::VProfileError::Numeric(_)) => "singular".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        rows.push(vec![
+            bits.to_string(),
+            describe(&strict),
+            describe(&ridged),
+        ]);
+    }
+    Ok(format!(
+        "# Ablation — singular covariance vs. resolution (§4.3)\n\n\
+         The thesis \"could not reduce the resolution past 10 bits since it\n\
+         resulted in singular covariance matrices\"; ridge regularization is\n\
+         the repair this reproduction adds.\n\n{}",
+        markdown_table(&["resolution (bits)", "strict training", "ridge 1e-3"], &rows)
+    ))
+}
+
+fn baseline_comparison(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use vprofile_baselines::{
+        ScissionDetector, SenderIdentifier, SimpleDetector, VProfileIdentifier, VidenDetector,
+        VoltageIdsDetector,
+    };
+    use vprofile_experiments::ExperimentFixture;
+    use vprofile_vehicle::attack::{false_positive_test, hijack_imitation_test};
+
+    let fixture =
+        ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, frames, seed)?;
+    let train = fixture
+        .train
+        .iter()
+        .map(|o| o.observation.clone())
+        .collect::<Vec<_>>();
+    let model = fixture.train_model()?;
+    // Margin selected the way the thesis tunes it (max accuracy on the
+    // false-positive replay); the baselines carry their own thresholds
+    // (EER / profile radius / posterior confidence).
+    let fp_probe = false_positive_test(&fixture.test_extracted());
+    let (margin, _) = vprofile_experiments::select_margin(
+        &model,
+        &fp_probe,
+        vprofile_experiments::MarginObjective::Accuracy,
+    );
+
+    let vprofile_sys = VProfileIdentifier::new(model, margin);
+    let simple = SimpleDetector::fit(&train, &fixture.lut)
+        .map_err(vprofile::VProfileError::Numeric)?;
+    let viden = VidenDetector::fit(&train, &fixture.lut, 6.0)
+        .map_err(vprofile::VProfileError::Numeric)?;
+    let scission = ScissionDetector::fit(&train, &fixture.lut, 0.5)
+        .map_err(vprofile::VProfileError::Numeric)?;
+    let voltageids = VoltageIdsDetector::fit(&train, &fixture.lut, 0.0)
+        .map_err(vprofile::VProfileError::Numeric)?;
+
+    let fp = false_positive_test(&fixture.test_extracted());
+    let hijack = hijack_imitation_test(&fixture.test_extracted(), &fixture.lut, 0.2, seed ^ 0xBA5E);
+
+    let systems: Vec<&dyn SenderIdentifier> =
+        vec![&vprofile_sys, &simple, &viden, &scission, &voltageids];
+    let mut rows = Vec::new();
+    for system in systems {
+        let mut fp_matrix = vprofile_experiments::ConfusionMatrix::new();
+        for m in &fp {
+            fp_matrix.record(m.is_attack, system.classify(&m.observation).is_anomaly());
+        }
+        let mut hj_matrix = vprofile_experiments::ConfusionMatrix::new();
+        for m in &hijack {
+            hj_matrix.record(m.is_attack, system.classify(&m.observation).is_anomaly());
+        }
+        rows.push(vec![
+            system.name().to_string(),
+            format!("{:.5}", fp_matrix.accuracy()),
+            format!("{:.5}", hj_matrix.f_score()),
+        ]);
+    }
+    Ok(format!(
+        "# Ablation — vProfile vs. baseline detectors (Vehicle B)\n\n\
+         All systems train on the same edge sets; accuracy on the\n\
+         false-positive replay and F-score on the 20 % hijack test.\n\n{}",
+        markdown_table(&["system", "FP accuracy", "Hijack F"], &rows)
+    ))
+}
+
+fn latency(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use std::time::Instant;
+    use vprofile::{Detector, EdgeSetExtractor, Trainer};
+    use vprofile_experiments::ExperimentFixture;
+
+    let fixture =
+        ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, frames, seed)?;
+    let model = fixture.train_model()?;
+    let extractor = EdgeSetExtractor::new(fixture.config.clone());
+    // Operate at the margin the thesis' sweep would select on this replay.
+    let fp_messages = vprofile_vehicle::attack::false_positive_test(&fixture.test_extracted());
+    let (margin, _) = vprofile_experiments::select_margin(
+        &model,
+        &fp_messages,
+        vprofile_experiments::MarginObjective::Accuracy,
+    );
+    let detector = Detector::with_margin(&model, margin);
+
+    // Wall-clock the two pipeline stages over the whole capture.
+    let traces: Vec<Vec<f64>> = fixture
+        .capture
+        .frames()
+        .iter()
+        .map(|f| f.trace.to_f64())
+        .collect();
+    let t0 = Instant::now();
+    let observations: Vec<_> = traces
+        .iter()
+        .map(|t| extractor.extract(t).expect("capture extracts cleanly"))
+        .collect();
+    let extract_us = t0.elapsed().as_secs_f64() * 1e6 / traces.len() as f64;
+
+    let t1 = Instant::now();
+    let mut anomalies = 0usize;
+    for obs in &observations {
+        if detector.classify(obs).is_anomaly() {
+            anomalies += 1;
+        }
+    }
+    let detect_us = t1.elapsed().as_secs_f64() * 1e6 / observations.len() as f64;
+
+    let t2 = Instant::now();
+    let _model2 = Trainer::new(fixture.config.clone())
+        .train_with_lut(&fixture.test_extracted().labeled(), &fixture.lut)?;
+    let train_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    // Context: a minimal extended frame at 250 kb/s lasts ~64 bits × 4 µs.
+    let min_frame_us = 64.0 * 4.0;
+    Ok(format!(
+        "# Latency — the §1.3 claims, measured\n\n\
+         Per message (Vehicle B capture, {} frames, release build):\n\n\
+         | stage | per message |\n|---|---|\n\
+         | edge-set extraction (Algorithm 1) | {extract_us:.2} µs |\n\
+         | detection (Algorithm 3, Mahalanobis) | {detect_us:.2} µs |\n\
+         | total | {:.2} µs |\n\n\
+         A minimal extended frame at 250 kb/s occupies the bus for ≈ {min_frame_us:.0} µs,\n\
+         so the pipeline uses {:.2} % of the tightest inter-frame budget.\n\
+         Choi et al.'s feature extraction (thesis §1.2.1) needs 1 020 µs and\n\
+         misses two messages per classification; vProfile is {:.0}× faster.\n\n\
+         Training on {} messages: {train_ms:.1} ms; {anomalies} anomalies on the\n\
+         clean replay at the operating margin.\n",
+        traces.len(),
+        extract_us + detect_us,
+        (extract_us + detect_us) / min_frame_us * 100.0,
+        1020.0 / (extract_us + detect_us),
+        fixture.test.len(),
+    ))
+}
+
+fn roc(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
+    use vprofile_experiments::{roc_curve, ExperimentFixture};
+    use vprofile_vehicle::attack::{hijack_imitation_test, HIJACK_PROBABILITY};
+
+    let mut rows = Vec::new();
+    let mut curves = String::new();
+    for metric in [DistanceMetric::Euclidean, DistanceMetric::Mahalanobis] {
+        let fixture = ExperimentFixture::prepare(VehicleKind::B, metric, frames, seed)?;
+        let model = fixture.train_model()?;
+        let messages =
+            hijack_imitation_test(&fixture.test_extracted(), &fixture.lut, HIJACK_PROBABILITY, seed);
+        let curve = roc_curve(&model, &messages);
+        rows.push(vec![
+            metric.to_string(),
+            format!("{:.5}", curve.auc),
+            format!("{:.5}", curve.eer),
+        ]);
+        // Decimate the curve for the CSV (keep ~50 points).
+        let step = (curve.points.len() / 50).max(1);
+        for p in curve.points.iter().step_by(step) {
+            curves.push_str(&format!("{metric},{:.6},{:.6}\n", p.fpr, p.tpr));
+        }
+    }
+    Ok(format!(
+        "# Ablation — ROC of the margin-threshold detector (Vehicle B, hijack test)\n\n\
+         Threshold-free restatement of the §4.2 metric choice.\n\n{}\n\
+         Curve points (series,fpr,tpr):\n\n{curves}",
+        markdown_table(&["metric", "AUC", "EER"], &rows)
+    ))
+}

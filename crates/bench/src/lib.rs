@@ -1,0 +1,54 @@
+//! Shared fixtures for the criterion benches and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vprofile::{EdgeSetExtractor, LabeledEdgeSet, Model, Trainer, VProfileConfig};
+use vprofile_sigstat::DistanceMetric;
+use vprofile_vehicle::{Capture, CaptureConfig, Vehicle};
+
+/// A trained-model fixture shared by benches: Vehicle B, Mahalanobis,
+/// with the raw capture and the extracted observations kept around.
+#[derive(Debug, Clone)]
+pub struct BenchFixture {
+    /// The vehicle.
+    pub vehicle: Vehicle,
+    /// The recorded capture.
+    pub capture: Capture,
+    /// Extraction/detection configuration.
+    pub config: VProfileConfig,
+    /// All extracted observations.
+    pub observations: Vec<LabeledEdgeSet>,
+    /// A model trained on the observations.
+    pub model: Model,
+}
+
+impl BenchFixture {
+    /// Builds the standard bench fixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capture/training failure (deterministic given the seed).
+    pub fn prepare(frames: usize, seed: u64, metric: DistanceMetric) -> Self {
+        let vehicle = Vehicle::vehicle_b(seed);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))
+            .expect("capture succeeds");
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps())
+            .with_metric(metric);
+        let extractor = EdgeSetExtractor::new(config.clone());
+        let extracted = capture.extract(&extractor);
+        assert_eq!(extracted.failures, 0, "bench capture must extract cleanly");
+        let observations = extracted.labeled();
+        let model = Trainer::new(config.clone())
+            .train_with_lut(&observations, &vehicle.sa_lut())
+            .expect("training succeeds");
+        BenchFixture {
+            vehicle,
+            capture,
+            config,
+            observations,
+            model,
+        }
+    }
+}

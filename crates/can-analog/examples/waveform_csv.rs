@@ -1,0 +1,44 @@
+//! Dump one frame's synthesized differential-voltage trace as CSV — pipe it
+//! into any plotting tool to see the waveform the detector works from.
+//!
+//! ```sh
+//! cargo run --release -p vprofile-analog --example waveform_csv > frame.csv
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vprofile_analog::{AdcConfig, Environment, FrameSynthesizer, TransceiverModel};
+use vprofile_can::{DataFrame, ExtendedId, WireFrame};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cold_tx = TransceiverModel::sample_new(&mut rng).with_thermal_gain(8.0);
+    let synth = FrameSynthesizer::new(250_000, AdcConfig::vehicle_b());
+    let frame = DataFrame::new(ExtendedId::new(0x0CF0_0400)?, &[0x12, 0x34, 0x56, 0x78])?;
+    let wire = WireFrame::encode(&frame);
+    eprintln!(
+        "frame {frame}: {} wire bits ({} stuffed), CRC {:#06x}",
+        wire.duration_bits(),
+        wire.stuff_bit_count(),
+        wire.crc()
+    );
+
+    // The same device captured cold and hot: the hot trace sags and its
+    // edges slow — the drift of thesis §4.4.1, visible sample by sample.
+    let cold = synth.synthesize(wire.bits(), &cold_tx, &Environment::idling_at(-5.0), &mut rng);
+    let hot = synth.synthesize(wire.bits(), &cold_tx, &Environment::idling_at(45.0), &mut rng);
+
+    println!("sample,t_us,cold_code,cold_volts,hot_code,hot_volts");
+    let dt_us = 1e6 / cold.adc().sample_rate_hz;
+    let n = cold.len().min(hot.len());
+    for k in 0..n {
+        let (cc, hc) = (cold.codes()[k], hot.codes()[k]);
+        println!(
+            "{k},{:.3},{cc},{:.4},{hc},{:.4}",
+            k as f64 * dt_us,
+            cold.adc().code_to_volts(cc),
+            hot.adc().code_to_volts(hc),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A high-power vehicle function exercised during the battery-voltage
+/// experiment (thesis §4.4.2: "we turned on and off all of the interior and
+/// exterior lights, the air conditioning (A/C), and then both together").
+///
+/// Each event sinks current from the battery while the engine is off
+/// (accessory mode), dropping the effective supply seen by the ECUs by a few
+/// tens of millivolts — enough to move Mahalanobis distances measurably
+/// (Figure 4.7) but not enough to trip the detector (Table 4.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PowerEvent {
+    /// Accessory mode with no extra loads: the training condition.
+    #[default]
+    Baseline,
+    /// Interior lights on.
+    InteriorLights,
+    /// Exterior lights on.
+    ExteriorLights,
+    /// All interior and exterior lights on.
+    AllLights,
+    /// Air conditioning blower on.
+    AirConditioning,
+    /// Lights and A/C together — the most current-consuming event, which
+    /// the thesis observes causes the largest distance increase.
+    LightsAndAc,
+}
+
+impl PowerEvent {
+    /// All events in the order the thesis exercises them.
+    pub const ALL: [PowerEvent; 6] = [
+        PowerEvent::Baseline,
+        PowerEvent::InteriorLights,
+        PowerEvent::ExteriorLights,
+        PowerEvent::AllLights,
+        PowerEvent::AirConditioning,
+        PowerEvent::LightsAndAc,
+    ];
+
+    /// Supply-rail droop caused by the event's load current through the
+    /// harness resistance, in volts.
+    pub fn supply_drop_v(self) -> f64 {
+        match self {
+            PowerEvent::Baseline => 0.0,
+            PowerEvent::InteriorLights => 0.006,
+            PowerEvent::ExteriorLights => 0.012,
+            PowerEvent::AllLights => 0.018,
+            PowerEvent::AirConditioning => 0.022,
+            PowerEvent::LightsAndAc => 0.042,
+        }
+    }
+}
+
+impl fmt::Display for PowerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PowerEvent::Baseline => "baseline",
+            PowerEvent::InteriorLights => "interior lights",
+            PowerEvent::ExteriorLights => "exterior lights",
+            PowerEvent::AllLights => "all lights",
+            PowerEvent::AirConditioning => "a/c",
+            PowerEvent::LightsAndAc => "lights + a/c",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The operating environment during a capture: ambient/ECU temperature,
+/// battery voltage, and any active high-power load.
+///
+/// The thesis' reference conditions: engine idling holds the battery at
+/// 13.60 V (alternator), accessory mode sits around 12.6 V; the temperature
+/// experiment spans −5 °C to 25 °C at the ECM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Representative ECU temperature in °C.
+    pub temperature_c: f64,
+    /// Battery terminal voltage in volts.
+    pub battery_v: f64,
+    /// Active high-power vehicle function.
+    pub power_event: PowerEvent,
+}
+
+impl Environment {
+    /// Nominal battery voltage with the engine running (thesis §4.4.1:
+    /// "the battery stayed at 13.60 V ± 0.03 V").
+    pub const ENGINE_RUNNING_V: f64 = 13.60;
+    /// Nominal battery voltage in accessory mode before trials
+    /// (thesis §4.4.2: "12.61 V ± 0.02 V").
+    pub const ACCESSORY_V: f64 = 12.61;
+    /// Reference temperature at which transceiver parameters are specified.
+    pub const REFERENCE_TEMP_C: f64 = 25.0;
+
+    /// Engine idling at a given temperature — the temperature-experiment
+    /// setting (§4.4.1).
+    pub fn idling_at(temperature_c: f64) -> Self {
+        Environment {
+            temperature_c,
+            battery_v: Self::ENGINE_RUNNING_V,
+            power_event: PowerEvent::Baseline,
+        }
+    }
+
+    /// Accessory mode with a given load event — the voltage-experiment
+    /// setting (§4.4.2).
+    pub fn accessory(power_event: PowerEvent) -> Self {
+        Environment {
+            temperature_c: 28.4, // §4.4.2: "we maintained 28.4 °C ± 0.4 °C"
+            battery_v: Self::ACCESSORY_V,
+            power_event,
+        }
+    }
+
+    /// The supply voltage actually reaching the ECUs: battery minus the
+    /// active event's harness droop.
+    pub fn effective_supply_v(&self) -> f64 {
+        self.battery_v - self.power_event.supply_drop_v()
+    }
+
+    /// Temperature delta from the transceiver reference point.
+    pub fn temp_delta_c(&self) -> f64 {
+        self.temperature_c - Self::REFERENCE_TEMP_C
+    }
+}
+
+impl Default for Environment {
+    /// Engine running at the reference temperature.
+    fn default() -> Self {
+        Environment {
+            temperature_c: Self::REFERENCE_TEMP_C,
+            battery_v: Self::ENGINE_RUNNING_V,
+            power_event: PowerEvent::Baseline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reference_conditions() {
+        let env = Environment::default();
+        assert_eq!(env.temperature_c, 25.0);
+        assert_eq!(env.battery_v, 13.60);
+        assert_eq!(env.power_event, PowerEvent::Baseline);
+        assert_eq!(env.temp_delta_c(), 0.0);
+    }
+
+    #[test]
+    fn lights_and_ac_is_the_largest_load() {
+        let max = PowerEvent::ALL
+            .iter()
+            .map(|e| e.supply_drop_v())
+            .fold(0.0, f64::max);
+        assert_eq!(max, PowerEvent::LightsAndAc.supply_drop_v());
+    }
+
+    #[test]
+    fn baseline_has_no_droop() {
+        assert_eq!(PowerEvent::Baseline.supply_drop_v(), 0.0);
+        let env = Environment::accessory(PowerEvent::Baseline);
+        assert_eq!(env.effective_supply_v(), Environment::ACCESSORY_V);
+    }
+
+    #[test]
+    fn effective_supply_subtracts_droop() {
+        let env = Environment::accessory(PowerEvent::LightsAndAc);
+        assert!(env.effective_supply_v() < Environment::ACCESSORY_V);
+        assert!(
+            (env.effective_supply_v()
+                - (Environment::ACCESSORY_V - PowerEvent::LightsAndAc.supply_drop_v()))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn idling_preset_matches_thesis() {
+        let env = Environment::idling_at(-5.0);
+        assert_eq!(env.battery_v, Environment::ENGINE_RUNNING_V);
+        assert_eq!(env.temperature_c, -5.0);
+    }
+
+    #[test]
+    fn event_display_names_are_human_readable() {
+        assert_eq!(PowerEvent::LightsAndAc.to_string(), "lights + a/c");
+        assert_eq!(PowerEvent::Baseline.to_string(), "baseline");
+    }
+}

@@ -1,0 +1,61 @@
+//! Analog CAN physical-layer simulation for the vProfile reproduction.
+//!
+//! The thesis samples real bus voltages with an AlazarTech digitizer
+//! (Vehicle A, 20 MS/s @ 16 bit) and a custom capture board (Vehicle B,
+//! 10 MS/s @ 12 bit). This crate is the substitute for that hardware: it
+//! turns the wire bitstreams produced by [`vprofile_can`] into sampled
+//! differential-voltage traces with the same statistical structure the
+//! thesis exploits:
+//!
+//! * **Per-device uniqueness** (§2.2.1 "Immutable ECU Property"): each
+//!   [`TransceiverModel`] carries its own dominant/recessive levels, edge
+//!   time constants, damping (→ overshoot/ringing), and noise figures,
+//!   drawn once per physical device.
+//! * **High edge variance, low steady-state variance** (Figure 4.4): the
+//!   sampling clock is asynchronous to the bit clock, so each captured
+//!   message lands on a different sub-sample phase; steep edge regions
+//!   translate that phase into large amplitude spread while flats do not.
+//!   Per-transition timing jitter adds to the effect.
+//! * **Environmental drift** (§4.4): temperature shifts levels and slows
+//!   edges through per-device sensitivities; battery/load events scale the
+//!   effective supply.
+//! * **Quantization**: an [`AdcConfig`] converts volts into offset-binary
+//!   codes at a configurable rate and resolution; software
+//!   downsample/requantize mirrors the Tables 4.6/4.7 sweeps and reproduces
+//!   the singular-covariance floor at low resolution.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand::rngs::StdRng;
+//! use vprofile_analog::{AdcConfig, Environment, FrameSynthesizer, TransceiverModel};
+//! use vprofile_can::{DataFrame, ExtendedId, WireFrame};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let transceiver = TransceiverModel::sample_new(&mut rng);
+//! let adc = AdcConfig::vehicle_b();
+//! let synth = FrameSynthesizer::new(250_000, adc);
+//! let frame = DataFrame::new(ExtendedId::new(0x0CF00400)?, &[1, 2, 3])?;
+//! let wire = WireFrame::encode(&frame);
+//! let trace = synth.synthesize(wire.bits(), &transceiver, &Environment::default(), &mut rng);
+//! assert!(trace.len() > wire.bits().len()); // several samples per bit
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod environment;
+mod noise;
+mod transceiver;
+mod waveform;
+
+pub use adc::{AdcConfig, VoltageTrace};
+pub use environment::{Environment, PowerEvent};
+pub use noise::sample_normal;
+pub use transceiver::{EffectiveElectricals, TransceiverModel};
+pub use waveform::FrameSynthesizer;

@@ -1,0 +1,295 @@
+use crate::{sample_normal, AdcConfig, Environment, TransceiverModel, VoltageTrace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Synthesizes sampled differential-voltage traces from wire bitstreams.
+///
+/// This is the reproduction's stand-in for the physical capture chain
+/// (transceiver → bus → OBD-II tap → digitizer): given a frame's stuffed
+/// wire bits and the transmitting device's [`TransceiverModel`], it renders
+/// the continuous waveform as a sequence of second-order step-response
+/// segments and samples it with an asynchronous ADC clock.
+///
+/// Two randomness sources shape each capture, and both are essential to the
+/// statistics the detector sees:
+///
+/// * a uniform **sampling phase** in `[0, 1/fs)` per capture — the ADC clock
+///   is not synchronized to the bit clock, which is what gives edge-region
+///   sample indices their large variance (Figure 4.4);
+/// * per-transition **timing jitter** and per-sample **voltage noise** from
+///   the transceiver model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameSynthesizer {
+    bit_rate_bps: u32,
+    adc: AdcConfig,
+    /// Recessive idle bits rendered before SOF.
+    idle_bits_before: usize,
+    /// Recessive idle bits rendered after the last wire bit.
+    idle_bits_after: usize,
+}
+
+impl FrameSynthesizer {
+    /// Creates a synthesizer for the given bus bit rate and converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_rate_bps` is zero or the ADC does not take at least
+    /// four samples per bit (the extraction algorithm needs usable edges).
+    pub fn new(bit_rate_bps: u32, adc: AdcConfig) -> Self {
+        assert!(bit_rate_bps > 0, "bit rate must be non-zero");
+        assert!(
+            adc.samples_per_bit(bit_rate_bps) >= 4.0,
+            "need at least 4 samples per bit"
+        );
+        FrameSynthesizer {
+            bit_rate_bps,
+            adc,
+            idle_bits_before: 4,
+            idle_bits_after: 2,
+        }
+    }
+
+    /// The converter configuration.
+    pub fn adc(&self) -> &AdcConfig {
+        &self.adc
+    }
+
+    /// The bus bit rate.
+    pub fn bit_rate_bps(&self) -> u32 {
+        self.bit_rate_bps
+    }
+
+    /// Sets the number of recessive idle bits rendered before SOF.
+    pub fn with_idle_bits(mut self, before: usize, after: usize) -> Self {
+        self.idle_bits_before = before;
+        self.idle_bits_after = after;
+        self
+    }
+
+    /// Renders and digitizes one frame transmission.
+    ///
+    /// `wire_bits` are the stuffed wire bits (`true` = recessive) from
+    /// [`vprofile_can::WireFrame::bits`]. The returned trace covers
+    /// `idle_before + bits + idle_after` bit times.
+    pub fn synthesize<R: Rng + ?Sized>(
+        &self,
+        wire_bits: &[bool],
+        transceiver: &TransceiverModel,
+        env: &Environment,
+        rng: &mut R,
+    ) -> VoltageTrace {
+        let eff = transceiver.effective(env);
+        let bit_t = 1.0 / f64::from(self.bit_rate_bps);
+        let sample_t = self.adc.sample_period_s();
+        let sof_t = self.idle_bits_before as f64 * bit_t;
+        let total_t =
+            (self.idle_bits_before + wire_bits.len() + self.idle_bits_after) as f64 * bit_t;
+
+        // Build the transition list: (start_time, start_level, target_level).
+        // Jitter is clamped to a quarter bit so transitions cannot reorder.
+        let max_jitter = bit_t / 4.0;
+        let mut segments: Vec<(f64, f64, f64)> = Vec::with_capacity(wire_bits.len() / 2 + 1);
+        segments.push((f64::NEG_INFINITY, eff.recessive_v, eff.recessive_v));
+        let mut driven = true; // bus idles recessive
+        for (i, &bit) in wire_bits.iter().enumerate() {
+            if bit != driven {
+                let nominal = sof_t + i as f64 * bit_t;
+                let jitter = sample_normal(rng, 0.0, transceiver.edge_jitter_s)
+                    .clamp(-max_jitter, max_jitter);
+                let t0 = nominal + jitter;
+                let (prev_t0, prev_from, prev_target) =
+                    *segments.last().expect("seeded with idle segment");
+                let start_level = eff.step_response(prev_from, prev_target, t0 - prev_t0);
+                segments.push((t0, start_level, eff.level_for_bit(bit)));
+                driven = bit;
+            }
+        }
+        // Return to recessive idle after the frame if it ended dominant
+        // (cannot happen for well-formed frames, which end with EOF, but the
+        // synthesizer also renders arbitrary bit patterns).
+        if !driven {
+            let t0 = sof_t + wire_bits.len() as f64 * bit_t;
+            let (prev_t0, prev_from, prev_target) = *segments.last().expect("non-empty");
+            let start_level = eff.step_response(prev_from, prev_target, t0 - prev_t0);
+            segments.push((t0, start_level, eff.recessive_v));
+        }
+
+        // Sample with a random phase: the ADC clock is asynchronous to the
+        // bit clock.
+        let phase = rng.random_range(0.0..sample_t);
+        let count = ((total_t - phase) / sample_t).floor() as usize;
+        let mut codes = Vec::with_capacity(count);
+        let mut seg_idx = 0usize;
+        for k in 0..count {
+            let t = phase + k as f64 * sample_t;
+            while seg_idx + 1 < segments.len() && segments[seg_idx + 1].0 <= t {
+                seg_idx += 1;
+            }
+            let (t0, from, target) = segments[seg_idx];
+            let clean = eff.step_response(from, target, t - t0);
+            let noisy = clean + sample_normal(rng, 0.0, transceiver.noise_sigma_v);
+            codes.push(self.adc.digitize(noisy));
+        }
+        VoltageTrace::new(codes, self.adc)
+    }
+
+    /// The approximate ADC code of the midpoint between recessive and
+    /// dominant levels for a device at reference conditions — a reasonable
+    /// default extraction threshold (thesis §3.2.1 suggests a value that
+    /// "approximately horizontally bisects the rising edge").
+    pub fn midpoint_code(&self, transceiver: &TransceiverModel, env: &Environment) -> i64 {
+        let eff = transceiver.effective(env);
+        self.adc
+            .digitize((eff.dominant_v + eff.recessive_v) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vprofile_can::{DataFrame, ExtendedId, WireFrame};
+
+    fn setup() -> (FrameSynthesizer, TransceiverModel, WireFrame) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tx = TransceiverModel::sample_new(&mut rng);
+        let synth = FrameSynthesizer::new(250_000, AdcConfig::vehicle_b());
+        let frame =
+            DataFrame::new(ExtendedId::new(0x0CF0_0417).unwrap(), &[0xA5, 0x5A]).unwrap();
+        (synth, tx, WireFrame::encode(&frame))
+    }
+
+    #[test]
+    fn trace_length_matches_duration() {
+        let (synth, tx, wire) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = synth.synthesize(wire.bits(), &tx, &Environment::default(), &mut rng);
+        let expected = (wire.bits().len() + 6) * 40; // 40 samples/bit, 6 idle bits
+        assert!((trace.len() as i64 - expected as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn idle_region_is_recessive_and_flat() {
+        let (synth, tx, wire) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = synth.synthesize(wire.bits(), &tx, &Environment::default(), &mut rng);
+        let adc = *trace.adc();
+        // First ~3 bits (120 samples) are idle: all near the recessive code.
+        let recessive_code = adc.digitize(tx.recessive_v);
+        for &c in &trace.codes()[..120] {
+            assert!(
+                (c - recessive_code).abs() < adc.full_scale_code() / 50,
+                "idle sample {c} far from recessive {recessive_code}"
+            );
+        }
+    }
+
+    #[test]
+    fn sof_produces_a_dominant_excursion() {
+        let (synth, tx, wire) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = synth.synthesize(wire.bits(), &tx, &Environment::default(), &mut rng);
+        let adc = *trace.adc();
+        let dominant_code = adc.digitize(tx.dominant_v);
+        // Bit 4 (samples 160..200) is SOF: dominant.
+        let window = &trace.codes()[170..190];
+        let mean: f64 = window.iter().map(|&c| c as f64).sum::<f64>() / window.len() as f64;
+        assert!(
+            (mean - dominant_code as f64).abs() < adc.full_scale_code() as f64 / 20.0,
+            "SOF mean {mean} vs dominant {dominant_code}"
+        );
+    }
+
+    #[test]
+    fn bits_can_be_recovered_by_thresholding() {
+        // Decode the synthesized waveform back to bits by sampling each bit
+        // center against the midpoint threshold; it must reproduce the wire
+        // bits exactly (this validates timing alignment end to end).
+        let (synth, tx, wire) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let env = Environment::default();
+        let trace = synth.synthesize(wire.bits(), &tx, &env, &mut rng);
+        let threshold = synth.midpoint_code(&tx, &env);
+        let spb = 40.0;
+        let codes = trace.codes();
+        for (i, &bit) in wire.bits().iter().enumerate() {
+            let center = ((4.0 + i as f64 + 0.5) * spb) as usize;
+            let dominant = codes[center] >= threshold;
+            assert_eq!(
+                !dominant, bit,
+                "bit {i} misread (code {} vs threshold {threshold})",
+                codes[center]
+            );
+        }
+    }
+
+    #[test]
+    fn same_device_produces_similar_waveforms_different_devices_do_not() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let tx_a = TransceiverModel::sample_new(&mut rng);
+        let tx_b = TransceiverModel::sample_new(&mut rng);
+        let synth = FrameSynthesizer::new(250_000, AdcConfig::vehicle_b());
+        let frame = DataFrame::new(ExtendedId::new(0x100).unwrap(), &[1]).unwrap();
+        let wire = WireFrame::encode(&frame);
+        let env = Environment::default();
+
+        // Average dominant-region level per capture.
+        let dominant_level = |tx: &TransceiverModel, rng: &mut StdRng| {
+            let trace = synth.synthesize(wire.bits(), tx, &env, rng);
+            // SOF bit region.
+            let window = &trace.codes()[170..190];
+            window.iter().map(|&c| c as f64).sum::<f64>() / window.len() as f64
+        };
+        let a1 = dominant_level(&tx_a, &mut rng);
+        let a2 = dominant_level(&tx_a, &mut rng);
+        let b1 = dominant_level(&tx_b, &mut rng);
+        assert!((a1 - a2).abs() < (a1 - b1).abs(),
+            "same-device spread {} should be below cross-device gap {}",
+            (a1 - a2).abs(), (a1 - b1).abs());
+    }
+
+    #[test]
+    fn temperature_shifts_the_waveform() {
+        let (synth, tx, wire) = setup();
+        let tx = tx.with_thermal_gain(5.0);
+        let mut rng = StdRng::seed_from_u64(30);
+        let cold = synth.synthesize(wire.bits(), &tx, &Environment::idling_at(-5.0), &mut rng);
+        let hot = synth.synthesize(wire.bits(), &tx, &Environment::idling_at(45.0), &mut rng);
+        let mean = |t: &VoltageTrace| {
+            let w = &t.codes()[170..190];
+            w.iter().map(|&c| c as f64).sum::<f64>() / w.len() as f64
+        };
+        assert!(mean(&hot) < mean(&cold), "hot dominant level should sag");
+    }
+
+    #[test]
+    fn synthesis_is_reproducible_per_seed() {
+        let (synth, tx, wire) = setup();
+        let t1 = synthesize_seeded(&synth, &tx, &wire, 77);
+        let t2 = synthesize_seeded(&synth, &tx, &wire, 77);
+        assert_eq!(t1, t2);
+        let t3 = synthesize_seeded(&synth, &tx, &wire, 78);
+        assert_ne!(t1, t3);
+    }
+
+    fn synthesize_seeded(
+        synth: &FrameSynthesizer,
+        tx: &TransceiverModel,
+        wire: &WireFrame,
+        seed: u64,
+    ) -> VoltageTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        synth.synthesize(wire.bits(), tx, &Environment::default(), &mut rng)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn rejects_insufficient_oversampling() {
+        let adc = AdcConfig {
+            sample_rate_hz: 500_000.0,
+            ..AdcConfig::vehicle_b()
+        };
+        let _ = FrameSynthesizer::new(250_000, adc);
+    }
+}

@@ -1,0 +1,213 @@
+//! Bitwise wired-AND bus arbitration (thesis §2.1.2 "Arbitration",
+//! Figure 2.3).
+//!
+//! When several nodes start transmitting in the same bit slot, each compares
+//! the bit it drives with the resulting bus level. Because the bus is
+//! wired-AND, a dominant (`0`) bit overrides recessive (`1`); a node that
+//! reads a value different from what it sent has lost arbitration and backs
+//! off. Lower identifiers therefore always win, without destroying the
+//! winning frame ("neither information nor time is lost").
+
+use crate::ExtendedId;
+use serde::{Deserialize, Serialize};
+
+/// The arbitration-field bits a node drives for an extended frame:
+/// SOF(0), 11 base-id bits, SRR(1), IDE(1), 18 extension bits, RTR(0).
+pub fn arbitration_bits(id: ExtendedId) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(32);
+    bits.push(false); // SOF
+    for i in (0..11).rev() {
+        bits.push((id.base() >> i) & 1 == 1);
+    }
+    bits.push(true); // SRR
+    bits.push(true); // IDE
+    for i in (0..18).rev() {
+        bits.push((id.extension() >> i) & 1 == 1);
+    }
+    bits.push(false); // RTR (data frame)
+    bits
+}
+
+/// Outcome of a multi-node arbitration round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbitrationOutcome {
+    /// Index (into the contender slice) of the winning node.
+    pub winner: usize,
+    /// For each contender, the bit position at which it lost (sent recessive
+    /// while the bus was dominant), or `None` for the winner.
+    pub lost_at_bit: Vec<Option<usize>>,
+    /// The bus level actually observed during the arbitration field: the
+    /// bitwise AND of all contenders' bits up to each loser's drop-out.
+    pub bus_bits: Vec<bool>,
+}
+
+/// Resolves arbitration among simultaneously starting transmitters.
+///
+/// # Panics
+///
+/// Panics if `contenders` is empty or if two contenders share an identifier
+/// (CAN requires unique IDs; two nodes driving the same ID would corrupt
+/// each other undetectably).
+///
+/// # Example
+///
+/// ```
+/// use vprofile_can::arbitration::arbitrate;
+/// use vprofile_can::ExtendedId;
+///
+/// let low = ExtendedId::new(0x100)?;
+/// let high = ExtendedId::new(0x1FF)?;
+/// let outcome = arbitrate(&[high, low]);
+/// assert_eq!(outcome.winner, 1); // lower ID wins
+/// assert!(outcome.lost_at_bit[0].is_some());
+/// # Ok::<(), vprofile_can::CanError>(())
+/// ```
+pub fn arbitrate(contenders: &[ExtendedId]) -> ArbitrationOutcome {
+    assert!(!contenders.is_empty(), "arbitration needs at least one node");
+    for (i, a) in contenders.iter().enumerate() {
+        for b in &contenders[i + 1..] {
+            assert_ne!(a, b, "duplicate identifier {a} on the bus");
+        }
+    }
+
+    let sequences: Vec<Vec<bool>> = contenders
+        .iter()
+        .map(|&id| arbitration_bits(id))
+        .collect();
+    let nbits = sequences[0].len();
+    let mut active: Vec<bool> = vec![true; contenders.len()];
+    let mut lost_at_bit: Vec<Option<usize>> = vec![None; contenders.len()];
+    let mut bus_bits = Vec::with_capacity(nbits);
+
+    for bit in 0..nbits {
+        // Wired-AND of every still-active node's bit.
+        let bus = sequences
+            .iter()
+            .zip(&active)
+            .filter(|(_, &a)| a)
+            .all(|(seq, _)| seq[bit]);
+        bus_bits.push(bus);
+        for (node, seq) in sequences.iter().enumerate() {
+            if active[node] && seq[bit] && !bus {
+                // Sent recessive, read dominant: lost.
+                active[node] = false;
+                lost_at_bit[node] = Some(bit);
+            }
+        }
+    }
+
+    let winner = active
+        .iter()
+        .position(|&a| a)
+        .expect("unique ids guarantee exactly one winner");
+    ArbitrationOutcome {
+        winner,
+        lost_at_bit,
+        bus_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn id(raw: u32) -> ExtendedId {
+        ExtendedId::new(raw).unwrap()
+    }
+
+    #[test]
+    fn single_contender_always_wins() {
+        let outcome = arbitrate(&[id(0x12345)]);
+        assert_eq!(outcome.winner, 0);
+        assert_eq!(outcome.lost_at_bit, vec![None]);
+    }
+
+    #[test]
+    fn lowest_id_wins_among_three() {
+        let outcome = arbitrate(&[id(0x300), id(0x100), id(0x200)]);
+        assert_eq!(outcome.winner, 1);
+        assert!(outcome.lost_at_bit[0].is_some());
+        assert!(outcome.lost_at_bit[2].is_some());
+        assert!(outcome.lost_at_bit[1].is_none());
+    }
+
+    #[test]
+    fn figure_2_3_style_dropout_position() {
+        // Construct two IDs that agree on base bits until one position.
+        // Base IDs differing only in base bit 6 (0-indexed from MSB): the
+        // loser drops out at arbitration bit 1 + 6 = 7, matching "ECU 1
+        // loses to ECU 0 during bit 7".
+        let ecu0_base: u32 = 0b10101_000101;
+        let ecu1_base: u32 = 0b10101_010101; // differs at base bit index 6
+        let ecu0 = id(ecu0_base << 18 | 0x2AAAA);
+        let ecu1 = id(ecu1_base << 18 | 0x2AAAA);
+        let outcome = arbitrate(&[ecu0, ecu1]);
+        assert_eq!(outcome.winner, 0);
+        assert_eq!(outcome.lost_at_bit[1], Some(7));
+    }
+
+    #[test]
+    fn bus_bits_match_winner_prefix() {
+        let a = id(0x0ABC_DE01);
+        let b = id(0x1ABC_DE02);
+        let outcome = arbitrate(&[a, b]);
+        let winner_bits = arbitration_bits(a);
+        assert_eq!(outcome.bus_bits, winner_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate identifier")]
+    fn duplicate_ids_panic() {
+        let _ = arbitrate(&[id(5), id(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_contenders_panic() {
+        let _ = arbitrate(&[]);
+    }
+
+    #[test]
+    fn arbitration_bits_layout() {
+        // SOF(1) + base(11) + SRR(1) + IDE(1) + ext(18) + RTR(1) = 33 bits.
+        let bits = arbitration_bits(id(0));
+        assert_eq!(bits.len(), 33);
+        assert!(!bits[0], "SOF dominant");
+        assert!(bits[12], "SRR recessive");
+        assert!(bits[13], "IDE recessive");
+        assert!(!bits[32], "RTR dominant");
+    }
+
+    proptest! {
+        /// The winner is always the numerically smallest identifier.
+        #[test]
+        fn prop_min_id_wins(
+            ids in proptest::collection::hash_set(0u32..=ExtendedId::MAX, 1..8)
+        ) {
+            let ids: Vec<ExtendedId> = ids.into_iter().map(id).collect();
+            let outcome = arbitrate(&ids);
+            let min = ids.iter().min().unwrap();
+            prop_assert_eq!(ids[outcome.winner], *min);
+        }
+
+        /// Exactly one node survives, and every loser has a drop-out bit at
+        /// which its own bit is recessive while the bus is dominant.
+        #[test]
+        fn prop_losers_dropped_on_dominant_bus(
+            ids in proptest::collection::hash_set(0u32..=ExtendedId::MAX, 2..6)
+        ) {
+            let ids: Vec<ExtendedId> = ids.into_iter().map(id).collect();
+            let outcome = arbitrate(&ids);
+            let survivors = outcome.lost_at_bit.iter().filter(|l| l.is_none()).count();
+            prop_assert_eq!(survivors, 1);
+            for (node, lost) in outcome.lost_at_bit.iter().enumerate() {
+                if let Some(bit) = lost {
+                    let own = arbitration_bits(ids[node]);
+                    prop_assert!(own[*bit]);
+                    prop_assert!(!outcome.bus_bits[*bit]);
+                }
+            }
+        }
+    }
+}

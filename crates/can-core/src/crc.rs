@@ -1,0 +1,150 @@
+//! The CAN frame check sequence: a 15-bit BCH CRC (thesis Table 2.1,
+//! "Redundancy check using Bose–Chaudhuri–Hocquenghem (BCH) code").
+//!
+//! Polynomial per ISO 11898-1 / Bosch CAN 2.0 §3.1.1:
+//! `x¹⁵ + x¹⁴ + x¹⁰ + x⁸ + x⁷ + x⁴ + x³ + 1` (0x4599), initial value 0,
+//! computed over the unstuffed bits from SOF through the end of the data
+//! field.
+
+/// The CAN CRC-15 generator polynomial, 0x4599.
+const CRC15_POLY: u16 = 0x4599;
+
+/// Mask keeping a value to 15 bits.
+const CRC15_MASK: u16 = 0x7FFF;
+
+/// Computes the CAN CRC-15 over a bit sequence (MSB-first order, i.e. the
+/// order bits appear on the wire).
+///
+/// This is the bit-serial algorithm from the Bosch CAN 2.0 specification:
+/// for each input bit, compare it with the register MSB, shift, and
+/// conditionally XOR the generator polynomial.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_can::crc15;
+///
+/// // CRC of the empty sequence is the initial register value.
+/// assert_eq!(crc15(std::iter::empty()), 0);
+/// // A single recessive (logical 1) bit loads the generator polynomial.
+/// assert_eq!(crc15([true]), 0x4599);
+/// ```
+pub fn crc15(bits: impl IntoIterator<Item = bool>) -> u16 {
+    let mut crc: u16 = 0;
+    for bit in bits {
+        let msb = (crc >> 14) & 1 == 1;
+        crc = (crc << 1) & CRC15_MASK;
+        // In CAN's convention a wire bit is dominant(0)/recessive(1); the
+        // CRC operates on the logical bit value where recessive = 1.
+        if bit != msb {
+            crc ^= CRC15_POLY;
+        }
+    }
+    crc & CRC15_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: polynomial long division over GF(2) using
+    /// explicit message-append semantics.
+    fn crc15_reference(bits: &[bool]) -> u16 {
+        // Append 15 zero bits and divide by the generator (with the implicit
+        // x^15 term).
+        let mut msg: Vec<bool> = bits.to_vec();
+        msg.extend(std::iter::repeat_n(false, 15));
+        let gen_bits: Vec<bool> = (0..16)
+            .rev()
+            .map(|i| ((0x4599u32 | 0x8000) >> i) & 1 == 1)
+            .collect();
+        for i in 0..bits.len() {
+            if msg[i] {
+                for (j, &g) in gen_bits.iter().enumerate() {
+                    msg[i + j] ^= g;
+                }
+            }
+        }
+        let mut crc = 0u16;
+        for &b in &msg[bits.len()..] {
+            crc = (crc << 1) | u16::from(b);
+        }
+        crc
+    }
+
+    #[test]
+    fn empty_sequence_has_zero_crc() {
+        assert_eq!(crc15(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn single_one_bit() {
+        // One '1' bit: register becomes the polynomial itself.
+        assert_eq!(crc15([true]), CRC15_POLY);
+    }
+
+    #[test]
+    fn leading_zeros_do_not_change_crc_of_zero() {
+        assert_eq!(crc15([false; 64]), 0);
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_patterns() {
+        let patterns: [&[bool]; 4] = [
+            &[true, false, true, true, false, false, true, true],
+            &[true; 15],
+            &[false, true, false, true, false, true, false, true, true, true],
+            &[true, true, false, false, true],
+        ];
+        for bits in patterns {
+            assert_eq!(crc15(bits.iter().copied()), crc15_reference(bits));
+        }
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let bits = vec![true, false, true, true, false, true, false, false, true];
+        let base = crc15(bits.iter().copied());
+        for i in 0..bits.len() {
+            let mut flipped = bits.clone();
+            flipped[i] = !flipped[i];
+            assert_ne!(
+                crc15(flipped.iter().copied()),
+                base,
+                "flip at {i} undetected"
+            );
+        }
+    }
+
+    proptest! {
+        /// The shift-register implementation must agree with polynomial long
+        /// division for arbitrary messages.
+        #[test]
+        fn prop_matches_long_division(
+            bits in proptest::collection::vec(any::<bool>(), 0..200)
+        ) {
+            prop_assert_eq!(crc15(bits.iter().copied()), crc15_reference(&bits));
+        }
+
+        /// Appending the CRC to the message makes the overall remainder zero
+        /// (the defining property of a CRC).
+        #[test]
+        fn prop_self_check_is_zero(
+            bits in proptest::collection::vec(any::<bool>(), 1..120)
+        ) {
+            let crc = crc15(bits.iter().copied());
+            let crc_bits = (0..15).rev().map(|i| (crc >> i) & 1 == 1);
+            let total = crc15(bits.iter().copied().chain(crc_bits));
+            prop_assert_eq!(total, 0);
+        }
+
+        /// CRC-15 is 15 bits.
+        #[test]
+        fn prop_fits_15_bits(
+            bits in proptest::collection::vec(any::<bool>(), 0..300)
+        ) {
+            prop_assert!(crc15(bits.iter().copied()) <= CRC15_MASK);
+        }
+    }
+}

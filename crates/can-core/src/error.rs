@@ -1,0 +1,116 @@
+use std::fmt;
+
+/// Errors produced by the CAN data-link layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanError {
+    /// A 29-bit identifier was constructed from a value exceeding 29 bits.
+    IdOutOfRange {
+        /// The offending raw value.
+        value: u32,
+    },
+    /// A J1939 priority must fit in 3 bits (0–7).
+    PriorityOutOfRange {
+        /// The offending raw value.
+        value: u8,
+    },
+    /// A J1939 parameter group number must fit in 18 bits.
+    PgnOutOfRange {
+        /// The offending raw value.
+        value: u32,
+    },
+    /// A data frame payload may carry at most 8 bytes (Table 2.1).
+    PayloadTooLong {
+        /// The attempted payload length.
+        len: usize,
+    },
+    /// A wire bitstream ended before the frame was complete.
+    TruncatedFrame {
+        /// Bit offset at which the stream ran out.
+        at_bit: usize,
+    },
+    /// A fixed-form bit (SOF, SRR, IDE, RTR, delimiters, EOF) held the wrong
+    /// value during decoding.
+    FormError {
+        /// Name of the violated field.
+        field: &'static str,
+        /// Bit offset of the violation in the unstuffed stream.
+        at_bit: usize,
+    },
+    /// More than five consecutive equal bits appeared in the stuffed region.
+    StuffError {
+        /// Bit offset of the sixth equal bit in the stuffed stream.
+        at_bit: usize,
+    },
+    /// The received CRC sequence did not match the computed checksum.
+    CrcMismatch {
+        /// CRC computed over the received bits.
+        computed: u16,
+        /// CRC carried by the frame.
+        received: u16,
+    },
+}
+
+impl fmt::Display for CanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanError::IdOutOfRange { value } => {
+                write!(f, "identifier {value:#x} exceeds 29 bits")
+            }
+            CanError::PriorityOutOfRange { value } => {
+                write!(f, "priority {value} exceeds 3 bits")
+            }
+            CanError::PgnOutOfRange { value } => {
+                write!(f, "parameter group number {value:#x} exceeds 18 bits")
+            }
+            CanError::PayloadTooLong { len } => {
+                write!(f, "payload of {len} bytes exceeds the 8-byte CAN limit")
+            }
+            CanError::TruncatedFrame { at_bit } => {
+                write!(f, "bitstream truncated at bit {at_bit}")
+            }
+            CanError::FormError { field, at_bit } => {
+                write!(f, "fixed-form field {field} violated at bit {at_bit}")
+            }
+            CanError::StuffError { at_bit } => {
+                write!(f, "bit-stuffing violation at bit {at_bit}")
+            }
+            CanError::CrcMismatch { computed, received } => write!(
+                f,
+                "crc mismatch: computed {computed:#06x}, received {received:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CanError::IdOutOfRange { value: 1 << 29 }
+            .to_string()
+            .contains("29 bits"));
+        assert!(CanError::CrcMismatch {
+            computed: 0x1234,
+            received: 0x4321
+        }
+        .to_string()
+        .contains("0x1234"));
+        assert!(CanError::StuffError { at_bit: 7 }.to_string().contains('7'));
+        assert!(CanError::FormError {
+            field: "SRR",
+            at_bit: 12
+        }
+        .to_string()
+        .contains("SRR"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<CanError>();
+    }
+}

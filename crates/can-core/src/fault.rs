@@ -1,0 +1,290 @@
+//! CAN error confinement: transmit/receive error counters and the
+//! error-active → error-passive → bus-off state machine (Bosch CAN 2.0
+//! §8; the thesis credits CAN's "inherent error detection and
+//! retransmission features" for its ubiquity, §2.1).
+//!
+//! The vProfile threat model includes attackers who "induce faults to
+//! disable an ECU" (§1.1) — the classic bus-off attack drives a victim's
+//! transmit error counter past 255 by forcing bit errors. This module
+//! models the counter rules so the vehicle simulator can host such
+//! scenarios.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node's fault-confinement state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FaultState {
+    /// Normal operation: the node signals errors with active (dominant)
+    /// error flags.
+    #[default]
+    ErrorActive,
+    /// Suspect node: may still transmit, but signals errors passively and
+    /// waits an extra suspension before retransmitting.
+    ErrorPassive,
+    /// The node has disconnected itself from the bus.
+    BusOff,
+}
+
+impl fmt::Display for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultState::ErrorActive => f.write_str("error-active"),
+            FaultState::ErrorPassive => f.write_str("error-passive"),
+            FaultState::BusOff => f.write_str("bus-off"),
+        }
+    }
+}
+
+/// The error events a node can observe, with their standard counter
+/// penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorEvent {
+    /// A transmit error (bit error, missing ACK, …): TEC += 8.
+    TransmitError,
+    /// A receive error (stuff/CRC/form error on a received frame): REC += 1.
+    ReceiveError,
+    /// The node transmitted a frame successfully: TEC −= 1.
+    SuccessfulTransmit,
+    /// The node received a frame successfully: REC −= 1.
+    SuccessfulReceive,
+}
+
+/// Error-active threshold: at or above this count a node turns
+/// error-passive.
+pub const ERROR_PASSIVE_THRESHOLD: u16 = 128;
+/// Bus-off threshold: a TEC above this disconnects the node.
+pub const BUS_OFF_THRESHOLD: u16 = 255;
+
+/// A node's transmit/receive error counters with the CAN fault-confinement
+/// rules.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_can::fault::{ErrorCounters, ErrorEvent, FaultState};
+///
+/// let mut counters = ErrorCounters::new();
+/// // A bus-off attack: 32 forced transmit errors.
+/// for _ in 0..32 {
+///     counters.record(ErrorEvent::TransmitError);
+/// }
+/// assert_eq!(counters.state(), FaultState::BusOff);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct ErrorCounters {
+    tec: u16,
+    rec: u16,
+}
+
+impl ErrorCounters {
+    /// Fresh counters (error-active, TEC = REC = 0).
+    pub fn new() -> Self {
+        ErrorCounters::default()
+    }
+
+    /// Transmit error counter.
+    pub fn tec(&self) -> u16 {
+        self.tec
+    }
+
+    /// Receive error counter.
+    pub fn rec(&self) -> u16 {
+        self.rec
+    }
+
+    /// The node's current fault state.
+    pub fn state(&self) -> FaultState {
+        if self.tec > BUS_OFF_THRESHOLD {
+            FaultState::BusOff
+        } else if self.tec >= ERROR_PASSIVE_THRESHOLD || self.rec >= ERROR_PASSIVE_THRESHOLD {
+            FaultState::ErrorPassive
+        } else {
+            FaultState::ErrorActive
+        }
+    }
+
+    /// `true` once the node has disconnected itself.
+    pub fn is_bus_off(&self) -> bool {
+        self.state() == FaultState::BusOff
+    }
+
+    /// Records one error event and returns the (possibly changed) state.
+    ///
+    /// Counter arithmetic follows the standard rules: +8 per transmit
+    /// error, +1 per receive error, −1 per success (saturating at 0). A
+    /// bus-off node's counters freeze until [`ErrorCounters::reset`].
+    pub fn record(&mut self, event: ErrorEvent) -> FaultState {
+        if self.is_bus_off() {
+            return FaultState::BusOff;
+        }
+        match event {
+            ErrorEvent::TransmitError => self.tec = self.tec.saturating_add(8),
+            ErrorEvent::ReceiveError => self.rec = self.rec.saturating_add(1),
+            ErrorEvent::SuccessfulTransmit => self.tec = self.tec.saturating_sub(1),
+            ErrorEvent::SuccessfulReceive => {
+                // Per the spec, a successful reception lowers REC by 1, or
+                // re-seats it between 119 and 127 if it was above the
+                // passive threshold.
+                self.rec = if self.rec >= ERROR_PASSIVE_THRESHOLD {
+                    119
+                } else {
+                    self.rec.saturating_sub(1)
+                };
+            }
+        }
+        self.state()
+    }
+
+    /// Re-joins the bus after bus-off recovery (128 × 11 recessive bits in
+    /// hardware; instantaneous here).
+    pub fn reset(&mut self) {
+        *self = ErrorCounters::new();
+    }
+}
+
+/// Number of consecutive forced transmit errors that drive a fresh node to
+/// bus-off: ⌈256 / 8⌉ = 32 — the figure bus-off-attack papers quote.
+pub fn bus_off_attack_budget() -> u16 {
+    (BUS_OFF_THRESHOLD + 1).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_node_is_error_active() {
+        let counters = ErrorCounters::new();
+        assert_eq!(counters.state(), FaultState::ErrorActive);
+        assert_eq!(counters.tec(), 0);
+        assert_eq!(counters.rec(), 0);
+    }
+
+    #[test]
+    fn sixteen_transmit_errors_reach_error_passive() {
+        let mut counters = ErrorCounters::new();
+        for _ in 0..15 {
+            counters.record(ErrorEvent::TransmitError);
+        }
+        assert_eq!(counters.state(), FaultState::ErrorActive);
+        counters.record(ErrorEvent::TransmitError);
+        assert_eq!(counters.state(), FaultState::ErrorPassive);
+    }
+
+    #[test]
+    fn thirty_two_transmit_errors_reach_bus_off() {
+        let mut counters = ErrorCounters::new();
+        for k in 1..=32u16 {
+            counters.record(ErrorEvent::TransmitError);
+            if k < 32 {
+                assert!(!counters.is_bus_off(), "bus-off too early at {k}");
+            }
+        }
+        assert!(counters.is_bus_off());
+        assert_eq!(bus_off_attack_budget(), 32);
+    }
+
+    #[test]
+    fn successes_recover_the_counters() {
+        let mut counters = ErrorCounters::new();
+        for _ in 0..10 {
+            counters.record(ErrorEvent::TransmitError);
+        }
+        assert_eq!(counters.tec(), 80);
+        for _ in 0..80 {
+            counters.record(ErrorEvent::SuccessfulTransmit);
+        }
+        assert_eq!(counters.tec(), 0);
+        assert_eq!(counters.state(), FaultState::ErrorActive);
+    }
+
+    #[test]
+    fn receive_errors_only_reach_error_passive() {
+        let mut counters = ErrorCounters::new();
+        for _ in 0..1000 {
+            counters.record(ErrorEvent::ReceiveError);
+        }
+        assert_eq!(counters.state(), FaultState::ErrorPassive);
+        assert!(!counters.is_bus_off(), "REC alone never causes bus-off");
+    }
+
+    #[test]
+    fn passive_rec_reseats_on_success() {
+        let mut counters = ErrorCounters::new();
+        for _ in 0..200 {
+            counters.record(ErrorEvent::ReceiveError);
+        }
+        counters.record(ErrorEvent::SuccessfulReceive);
+        assert_eq!(counters.rec(), 119);
+        assert_eq!(counters.state(), FaultState::ErrorActive);
+    }
+
+    #[test]
+    fn bus_off_freezes_until_reset() {
+        let mut counters = ErrorCounters::new();
+        for _ in 0..32 {
+            counters.record(ErrorEvent::TransmitError);
+        }
+        let frozen = counters;
+        counters.record(ErrorEvent::SuccessfulTransmit);
+        assert_eq!(counters, frozen, "bus-off counters must freeze");
+        counters.reset();
+        assert_eq!(counters.state(), FaultState::ErrorActive);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(FaultState::BusOff.to_string(), "bus-off");
+        assert_eq!(FaultState::ErrorActive.to_string(), "error-active");
+        assert_eq!(FaultState::ErrorPassive.to_string(), "error-passive");
+    }
+
+    proptest! {
+        /// Counters never underflow and the state function is consistent
+        /// with the thresholds for any event sequence.
+        #[test]
+        fn prop_state_matches_thresholds(
+            events in proptest::collection::vec(0u8..4, 0..500)
+        ) {
+            let mut counters = ErrorCounters::new();
+            for e in events {
+                let event = match e {
+                    0 => ErrorEvent::TransmitError,
+                    1 => ErrorEvent::ReceiveError,
+                    2 => ErrorEvent::SuccessfulTransmit,
+                    _ => ErrorEvent::SuccessfulReceive,
+                };
+                let state = counters.record(event);
+                prop_assert_eq!(state, counters.state());
+                if counters.tec() > BUS_OFF_THRESHOLD {
+                    prop_assert_eq!(state, FaultState::BusOff);
+                }
+                if state == FaultState::ErrorActive {
+                    prop_assert!(counters.tec() < ERROR_PASSIVE_THRESHOLD);
+                    prop_assert!(counters.rec() < ERROR_PASSIVE_THRESHOLD);
+                }
+            }
+        }
+
+        /// Enough successful transmissions always bring a non-bus-off node
+        /// back to error-active.
+        #[test]
+        fn prop_successes_recover(
+            errors in 0u16..16
+        ) {
+            let mut counters = ErrorCounters::new();
+            for _ in 0..errors {
+                counters.record(ErrorEvent::TransmitError);
+            }
+            prop_assume!(!counters.is_bus_off());
+            for _ in 0..2000u32 {
+                counters.record(ErrorEvent::SuccessfulTransmit);
+                counters.record(ErrorEvent::SuccessfulReceive);
+            }
+            prop_assert_eq!(counters.state(), FaultState::ErrorActive);
+            prop_assert_eq!(counters.tec(), 0);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+use crate::{CanError, ExtendedId, J1939Id};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 4-bit data length code of a CAN frame (Table 2.1): the payload
+/// length in octets, 0–8.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Dlc(u8);
+
+impl Dlc {
+    /// Creates a DLC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PayloadTooLong`] for values above 8. (CAN permits
+    /// DLC codes 9–15 on the wire but clamps them to 8 data bytes; J1939
+    /// never uses them, so this model rejects them outright.)
+    pub fn new(len: u8) -> Result<Self, CanError> {
+        if len > 8 {
+            return Err(CanError::PayloadTooLong { len: len as usize });
+        }
+        Ok(Dlc(len))
+    }
+
+    /// Payload length in bytes.
+    pub fn len(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for a zero-length payload.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw 4-bit code.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Dlc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A CAN 2.0B extended-format data frame: 29-bit identifier plus 0–8 data
+/// bytes (thesis Figure 2.2 / Table 2.1).
+///
+/// Data frames are "arguably the most important type for intrusion
+/// detection" (thesis §2.1.2); remote/error/overload frames are not modelled
+/// because neither the vehicles' traffic nor the attacks use them.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_can::{DataFrame, ExtendedId};
+///
+/// let frame = DataFrame::new(ExtendedId::new(0x0CF00400)?, &[0xDE, 0xAD])?;
+/// assert_eq!(frame.dlc().len(), 2);
+/// assert_eq!(frame.j1939_id().source_address.raw(), 0x00);
+/// # Ok::<(), vprofile_can::CanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataFrame {
+    id: ExtendedId,
+    #[serde(with = "serde_bytes_compat")]
+    data: Bytes,
+}
+
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(data: &Bytes, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_bytes(data)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(de)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl DataFrame {
+    /// Creates a data frame, copying the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PayloadTooLong`] for payloads longer than 8
+    /// bytes.
+    pub fn new(id: ExtendedId, data: &[u8]) -> Result<Self, CanError> {
+        if data.len() > 8 {
+            return Err(CanError::PayloadTooLong { len: data.len() });
+        }
+        Ok(DataFrame {
+            id,
+            data: Bytes::copy_from_slice(data),
+        })
+    }
+
+    /// Creates a data frame from an owned payload buffer without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PayloadTooLong`] for payloads longer than 8
+    /// bytes.
+    pub fn from_bytes(id: ExtendedId, data: Bytes) -> Result<Self, CanError> {
+        if data.len() > 8 {
+            return Err(CanError::PayloadTooLong { len: data.len() });
+        }
+        Ok(DataFrame { id, data })
+    }
+
+    /// The 29-bit identifier.
+    pub fn id(&self) -> ExtendedId {
+        self.id
+    }
+
+    /// The identifier through the J1939 lens (priority / PGN / SA).
+    pub fn j1939_id(&self) -> J1939Id {
+        self.id.into()
+    }
+
+    /// The payload bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The data length code.
+    pub fn dlc(&self) -> Dlc {
+        Dlc(self.data.len() as u8)
+    }
+
+    /// Returns a copy of this frame with the identifier's source-address
+    /// byte replaced — the hijack-imitation transformation of thesis §4.1
+    /// ("we change each message's SA in software to one that belongs to
+    /// another cluster").
+    pub fn with_source_address(&self, sa: crate::SourceAddress) -> DataFrame {
+        let mut j: J1939Id = self.id.into();
+        j.source_address = sa;
+        DataFrame {
+            id: j.into(),
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#", self.id)?;
+        for b in self.data.iter() {
+            write!(f, "{b:02X}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceAddress;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dlc_bounds() {
+        assert!(Dlc::new(8).is_ok());
+        assert!(Dlc::new(9).is_err());
+        assert!(Dlc::new(0).unwrap().is_empty());
+        assert_eq!(Dlc::new(5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn frame_rejects_oversized_payload() {
+        let id = ExtendedId::new(0x123).unwrap();
+        assert!(DataFrame::new(id, &[0; 9]).is_err());
+        assert!(DataFrame::new(id, &[0; 8]).is_ok());
+    }
+
+    #[test]
+    fn from_bytes_shares_ownership() {
+        let id = ExtendedId::new(0x123).unwrap();
+        let payload = Bytes::from_static(&[1, 2, 3]);
+        let frame = DataFrame::from_bytes(id, payload).unwrap();
+        assert_eq!(frame.data(), &[1, 2, 3]);
+        assert_eq!(frame.dlc().raw(), 3);
+    }
+
+    #[test]
+    fn with_source_address_rewrites_only_sa() {
+        let id = ExtendedId::new(0x0CF0_0412).unwrap();
+        let frame = DataFrame::new(id, &[0xAA]).unwrap();
+        let spoofed = frame.with_source_address(SourceAddress(0x55));
+        assert_eq!(spoofed.j1939_id().source_address, SourceAddress(0x55));
+        assert_eq!(spoofed.j1939_id().pgn, frame.j1939_id().pgn);
+        assert_eq!(spoofed.j1939_id().priority, frame.j1939_id().priority);
+        assert_eq!(spoofed.data(), frame.data());
+    }
+
+    #[test]
+    fn display_is_candump_like() {
+        let frame = DataFrame::new(ExtendedId::new(0x18FF_0102).unwrap(), &[0xDE, 0xAD]).unwrap();
+        assert_eq!(frame.to_string(), "18FF0102#DEAD");
+    }
+
+    proptest! {
+        /// DLC always equals payload length for valid frames.
+        #[test]
+        fn prop_dlc_matches_payload(
+            raw in 0u32..=ExtendedId::MAX,
+            data in proptest::collection::vec(any::<u8>(), 0..=8),
+        ) {
+            let frame = DataFrame::new(ExtendedId::new(raw).unwrap(), &data).unwrap();
+            prop_assert_eq!(frame.dlc().len(), data.len());
+            prop_assert_eq!(frame.data(), &data[..]);
+        }
+
+        /// SA rewrite is an involution when applied twice with the original SA.
+        #[test]
+        fn prop_sa_rewrite_involution(
+            raw in 0u32..=ExtendedId::MAX,
+            sa in any::<u8>(),
+        ) {
+            let frame = DataFrame::new(ExtendedId::new(raw).unwrap(), &[1, 2]).unwrap();
+            let original_sa = frame.j1939_id().source_address;
+            let spoofed = frame.with_source_address(SourceAddress(sa));
+            let restored = spoofed.with_source_address(original_sa);
+            prop_assert_eq!(restored, frame);
+        }
+    }
+}

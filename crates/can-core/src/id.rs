@@ -1,0 +1,357 @@
+use crate::CanError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 29-bit CAN 2.0B extended identifier (thesis §2.1.2).
+///
+/// Lower identifier values win arbitration because dominant (`0`) beats
+/// recessive (`1`) on the wired-AND bus, so `ExtendedId` derives `Ord` with
+/// exactly that meaning.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_can::ExtendedId;
+///
+/// let high_priority = ExtendedId::new(0x0000_0100)?;
+/// let low_priority = ExtendedId::new(0x1FFF_FF00)?;
+/// assert!(high_priority < low_priority); // wins arbitration
+/// # Ok::<(), vprofile_can::CanError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ExtendedId(u32);
+
+impl ExtendedId {
+    /// Maximum raw value of a 29-bit identifier.
+    pub const MAX: u32 = (1 << 29) - 1;
+
+    /// Creates an identifier from a raw 29-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::IdOutOfRange`] if `raw` exceeds 29 bits.
+    pub fn new(raw: u32) -> Result<Self, CanError> {
+        if raw > Self::MAX {
+            return Err(CanError::IdOutOfRange { value: raw });
+        }
+        Ok(ExtendedId(raw))
+    }
+
+    /// The raw 29-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The 11-bit base identifier (the first part of the arbitration field,
+    /// Table 2.1).
+    pub fn base(self) -> u16 {
+        (self.0 >> 18) as u16
+    }
+
+    /// The 18-bit identifier extension (the second part, Table 2.1).
+    pub fn extension(self) -> u32 {
+        self.0 & 0x3_FFFF
+    }
+}
+
+impl fmt::Display for ExtendedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08X}", self.0)
+    }
+}
+
+impl fmt::LowerHex for ExtendedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for ExtendedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl TryFrom<u32> for ExtendedId {
+    type Error = CanError;
+
+    fn try_from(raw: u32) -> Result<Self, CanError> {
+        ExtendedId::new(raw)
+    }
+}
+
+impl From<J1939Id> for ExtendedId {
+    fn from(id: J1939Id) -> Self {
+        ExtendedId(
+            (u32::from(id.priority.0) << 26) | (id.pgn.0 << 8) | u32::from(id.source_address.0),
+        )
+    }
+}
+
+/// A 3-bit J1939 message priority (Table 2.2). Zero is the *highest*
+/// priority: it produces the most dominant leading bits.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Priority(pub(crate) u8);
+
+impl Priority {
+    /// Highest priority (0).
+    pub const HIGHEST: Priority = Priority(0);
+    /// Lowest priority (7).
+    pub const LOWEST: Priority = Priority(7);
+
+    /// Creates a priority.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PriorityOutOfRange`] if `raw > 7`.
+    pub fn new(raw: u8) -> Result<Self, CanError> {
+        if raw > 7 {
+            return Err(CanError::PriorityOutOfRange { value: raw });
+        }
+        Ok(Priority(raw))
+    }
+
+    /// The raw 3-bit value.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An 18-bit J1939 parameter group number: the message *type*, e.g. engine
+/// speed (Table 2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Pgn(pub(crate) u32);
+
+impl Pgn {
+    /// Maximum raw value of an 18-bit PGN.
+    pub const MAX: u32 = (1 << 18) - 1;
+
+    /// Creates a PGN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CanError::PgnOutOfRange`] if `raw` exceeds 18 bits.
+    pub fn new(raw: u32) -> Result<Self, CanError> {
+        if raw > Self::MAX {
+            return Err(CanError::PgnOutOfRange { value: raw });
+        }
+        Ok(Pgn(raw))
+    }
+
+    /// The raw 18-bit value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pgn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:05X}", self.0)
+    }
+}
+
+/// An 8-bit J1939 source address: the origin ECU of a message (Table 2.2).
+///
+/// "Each ID can map to only a single ECU, but each ECU can send multiple
+/// IDs. Thus, the ID can uniquely identify the sender of a legitimate
+/// message. The source address … exhibits this property, so vProfile needs
+/// only the SA to detect intrusions." (thesis §2.1.2)
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SourceAddress(pub u8);
+
+impl SourceAddress {
+    /// The raw 8-bit value.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SourceAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02X}", self.0)
+    }
+}
+
+impl From<u8> for SourceAddress {
+    fn from(raw: u8) -> Self {
+        SourceAddress(raw)
+    }
+}
+
+/// A 29-bit identifier interpreted through the SAE J1939 lens: 3-bit
+/// priority, 18-bit PGN, 8-bit source address (thesis Figure 2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct J1939Id {
+    /// Arbitration priority (0 = highest).
+    pub priority: Priority,
+    /// Parameter group number (message type).
+    pub pgn: Pgn,
+    /// Source address (origin ECU).
+    pub source_address: SourceAddress,
+}
+
+impl J1939Id {
+    /// Assembles a J1939 identifier from its fields.
+    pub fn new(priority: Priority, pgn: Pgn, source_address: SourceAddress) -> Self {
+        J1939Id {
+            priority,
+            pgn,
+            source_address,
+        }
+    }
+
+    /// The source address. Shorthand used pervasively by the detector.
+    pub fn sa(self) -> SourceAddress {
+        self.source_address
+    }
+}
+
+impl From<ExtendedId> for J1939Id {
+    fn from(id: ExtendedId) -> Self {
+        let raw = id.raw();
+        J1939Id {
+            priority: Priority(((raw >> 26) & 0x7) as u8),
+            pgn: Pgn((raw >> 8) & Pgn::MAX),
+            source_address: SourceAddress((raw & 0xFF) as u8),
+        }
+    }
+}
+
+impl fmt::Display for J1939Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p{} pgn:{} sa:{}",
+            self.priority, self.pgn, self.source_address
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extended_id_rejects_30_bit_values() {
+        assert!(ExtendedId::new(1 << 29).is_err());
+        assert!(ExtendedId::new(ExtendedId::MAX).is_ok());
+    }
+
+    #[test]
+    fn base_and_extension_partition_the_id() {
+        let id = ExtendedId::new(0b10101010101_110011001100110011).unwrap();
+        assert_eq!(id.base(), 0b10101010101);
+        assert_eq!(id.extension(), 0b110011001100110011);
+        assert_eq!(
+            (u32::from(id.base()) << 18) | id.extension(),
+            id.raw()
+        );
+    }
+
+    #[test]
+    fn lower_id_wins_ordering() {
+        let a = ExtendedId::new(0x100).unwrap();
+        let b = ExtendedId::new(0x200).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn priority_bounds() {
+        assert!(Priority::new(7).is_ok());
+        assert!(Priority::new(8).is_err());
+        assert_eq!(Priority::HIGHEST.raw(), 0);
+        assert_eq!(Priority::LOWEST.raw(), 7);
+    }
+
+    #[test]
+    fn pgn_bounds() {
+        assert!(Pgn::new(Pgn::MAX).is_ok());
+        assert!(Pgn::new(Pgn::MAX + 1).is_err());
+    }
+
+    #[test]
+    fn j1939_field_packing_matches_figure_2_4() {
+        // Figure 2.4: [3-bit priority][18-bit PGN][8-bit SA].
+        let id = J1939Id::new(
+            Priority::new(0b011).unwrap(),
+            Pgn::new(0x1_F00F).unwrap(),
+            SourceAddress(0xAB),
+        );
+        let ext: ExtendedId = id.into();
+        assert_eq!(ext.raw(), (0b011 << 26) | (0x1_F00F << 8) | 0xAB);
+        let back: J1939Id = ext.into();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn ecm_engine_speed_id_is_small() {
+        // Thesis: "the SA of the Engine Control Module (ECM) is usually '0'
+        // and the PGN for messages about engine speed is also commonly '0'".
+        let id = J1939Id::new(Priority::HIGHEST, Pgn::new(0).unwrap(), SourceAddress(0));
+        let ext: ExtendedId = id.into();
+        assert_eq!(ext.raw(), 0);
+    }
+
+    #[test]
+    fn priority_dominates_arbitration_order() {
+        // A lower priority value must always produce a smaller raw ID than a
+        // higher priority value, regardless of PGN/SA.
+        let urgent = J1939Id::new(
+            Priority::new(0).unwrap(),
+            Pgn::new(Pgn::MAX).unwrap(),
+            SourceAddress(0xFF),
+        );
+        let relaxed = J1939Id::new(Priority::new(1).unwrap(), Pgn::new(0).unwrap(), SourceAddress(0));
+        assert!(ExtendedId::from(urgent) < ExtendedId::from(relaxed));
+    }
+
+    #[test]
+    fn display_formats() {
+        let id = J1939Id::new(
+            Priority::new(3).unwrap(),
+            Pgn::new(0xF004).unwrap(),
+            SourceAddress(0),
+        );
+        assert_eq!(id.to_string(), "p3 pgn:0F004 sa:00");
+        let ext: ExtendedId = id.into();
+        assert_eq!(format!("{ext:x}"), format!("{:x}", ext.raw()));
+    }
+
+    proptest! {
+        /// J1939 ↔ 29-bit conversion round-trips for all field values.
+        #[test]
+        fn prop_j1939_round_trip(p in 0u8..8, pgn in 0u32..=Pgn::MAX, sa in 0u8..=255) {
+            let id = J1939Id::new(
+                Priority::new(p).unwrap(),
+                Pgn::new(pgn).unwrap(),
+                SourceAddress(sa),
+            );
+            let ext: ExtendedId = id.into();
+            prop_assert!(ext.raw() <= ExtendedId::MAX);
+            let back: J1939Id = ext.into();
+            prop_assert_eq!(back, id);
+        }
+
+        /// base/extension always reassemble into the raw value.
+        #[test]
+        fn prop_base_extension_partition(raw in 0u32..=ExtendedId::MAX) {
+            let id = ExtendedId::new(raw).unwrap();
+            prop_assert_eq!((u32::from(id.base()) << 18) | id.extension(), raw);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! CAN 2.0B / SAE J1939 data-link substrate for the vProfile reproduction.
+//!
+//! The thesis evaluates vProfile on two heavy trucks whose 250 kb/s buses
+//! speak SAE J1939 over CAN 2.0B extended frames (thesis §2.1). This crate
+//! implements that data-link layer from scratch:
+//!
+//! * 29-bit [`ExtendedId`]s and their J1939 interpretation
+//!   ([`J1939Id`]: 3-bit priority, 18-bit PGN, 8-bit source address —
+//!   thesis Figure 2.4 / Table 2.2);
+//! * [`DataFrame`]s with 0–8 byte payloads (Table 2.1);
+//! * the CAN [`crc15`] (BCH) checksum;
+//! * wire-level bitstreams with bit stuffing ([`WireFrame`], §2.1.1
+//!   "Synchronization");
+//! * bitwise wired-AND [`arbitration`] (Figure 2.3);
+//! * an event-driven multi-node [`bus`] simulator that turns per-ECU
+//!   message schedules into a chronological frame log.
+//!
+//! Everything downstream (waveform synthesis, edge-set extraction) consumes
+//! the stuffed wire bits produced here, so frames really are bit-stuffed and
+//! CRC-protected end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use vprofile_can::{DataFrame, J1939Id, Priority, Pgn, SourceAddress, WireFrame};
+//!
+//! # fn main() -> Result<(), vprofile_can::CanError> {
+//! // Engine speed (PGN 0) from the ECM (SA 0) at priority 3.
+//! let id = J1939Id::new(Priority::new(3)?, Pgn::new(0)?, SourceAddress(0));
+//! let frame = DataFrame::new(id.into(), &[0x12, 0x34, 0x56, 0x78])?;
+//! let wire = WireFrame::encode(&frame);
+//! let decoded = WireFrame::decode(wire.bits())?;
+//! assert_eq!(decoded, frame);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitration;
+mod bitstream;
+pub mod bus;
+pub mod fault;
+mod crc;
+mod error;
+mod frame;
+mod id;
+
+pub use bitstream::{destuff_bits, stuff_bits, FieldSpan, WireFrame};
+pub use crc::crc15;
+pub use error::CanError;
+pub use frame::{DataFrame, Dlc};
+pub use id::{ExtendedId, J1939Id, Pgn, Priority, SourceAddress};
+
+/// The nominal bit rate of both test vehicles (thesis §4.1): 250 kb/s.
+pub const J1939_BIT_RATE_BPS: u32 = 250_000;

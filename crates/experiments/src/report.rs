@@ -1,0 +1,126 @@
+//! Report rendering helpers: markdown tables and CSV series.
+
+use serde::{Deserialize, Serialize};
+
+/// A named data series for figure reproduction: `(x, y)` points plus an
+/// optional per-point error bar (confidence-interval half-width).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Optional symmetric error bars, one per point.
+    pub error_bars: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates a series without error bars.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+            error_bars: None,
+        }
+    }
+
+    /// Creates a series with symmetric error bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error_bars.len() != points.len()`.
+    pub fn with_error_bars(
+        name: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        error_bars: Vec<f64>,
+    ) -> Self {
+        assert_eq!(points.len(), error_bars.len(), "one error bar per point");
+        Series {
+            name: name.into(),
+            points,
+            error_bars: Some(error_bars),
+        }
+    }
+
+    /// Renders `series,x,y[,err]` CSV lines (no header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            out.push_str(&self.name);
+            out.push(',');
+            out.push_str(&format!("{x},{y}"));
+            if let Some(bars) = &self.error_bars {
+                out.push_str(&format!(",{}", bars[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a markdown table from a header and rows.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_without_error_bars() {
+        let s = Series::new("ecu0", vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(s.to_csv(), "ecu0,1,2\necu0,3,4\n");
+    }
+
+    #[test]
+    fn csv_with_error_bars() {
+        let s = Series::with_error_bars("ecu1", vec![(1.0, 2.0)], vec![0.5]);
+        assert_eq!(s.to_csv(), "ecu1,1,2,0.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "one error bar per point")]
+    fn mismatched_error_bars_panic() {
+        let _ = Series::with_error_bars("bad", vec![(1.0, 2.0)], vec![]);
+    }
+
+    #[test]
+    fn markdown_table_renders() {
+        let table = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(table.starts_with("| a | b |\n|---|---|\n"));
+        assert!(table.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

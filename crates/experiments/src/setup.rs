@@ -1,0 +1,264 @@
+//! Shared experiment fixtures: capture → extract → split → train, plus the
+//! message-evaluation loop every table uses.
+
+use crate::ConfusionMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vprofile::{
+    ClusterId, Detector, EdgeSetExtractor, LabeledEdgeSet, Model, Trainer, VProfileConfig,
+};
+use vprofile_can::SourceAddress;
+use vprofile_sigstat::DistanceMetric;
+use vprofile_vehicle::attack::TestMessage;
+use vprofile_vehicle::{Capture, CaptureConfig, ExtractedCapture, TruthObservation, Vehicle};
+
+/// Which thesis vehicle an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VehicleKind {
+    /// The 2016 Peterbilt 579 (5 ECUs, 20 MS/s @ 16 bit).
+    A,
+    /// The confidential partner vehicle (9 ECUs, 10 MS/s @ 12 bit).
+    B,
+}
+
+impl VehicleKind {
+    /// Instantiates the preset.
+    pub fn build(self, seed: u64) -> Vehicle {
+        match self {
+            VehicleKind::A => Vehicle::vehicle_a(seed),
+            VehicleKind::B => Vehicle::vehicle_b(seed),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VehicleKind::A => "Vehicle A",
+            VehicleKind::B => "Vehicle B",
+        }
+    }
+}
+
+/// A ready-to-run experiment bundle: the vehicle, its capture, the
+/// extracted observations split into train/test halves, and the SA lookup
+/// table.
+#[derive(Debug, Clone)]
+pub struct ExperimentFixture {
+    /// The vehicle under test.
+    pub vehicle: Vehicle,
+    /// The recorded capture.
+    pub capture: Capture,
+    /// The extraction configuration used.
+    pub config: VProfileConfig,
+    /// Training half (even capture indices).
+    pub train: Vec<TruthObservation>,
+    /// Test half (odd capture indices).
+    pub test: Vec<TruthObservation>,
+    /// Ground-truth SA → ECU database.
+    pub lut: BTreeMap<SourceAddress, ClusterId>,
+    /// Extraction failures over the capture (should be zero).
+    pub extraction_failures: usize,
+}
+
+impl ExperimentFixture {
+    /// Captures and preprocesses traffic for a vehicle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture failures.
+    pub fn prepare(
+        kind: VehicleKind,
+        metric: DistanceMetric,
+        frames: usize,
+        seed: u64,
+    ) -> Result<Self, vprofile::VProfileError> {
+        let vehicle = kind.build(seed);
+        let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
+        Self::from_capture(vehicle, capture, metric)
+    }
+
+    /// Builds a fixture from an existing capture (used by the sweep tables,
+    /// which reduce one capture many ways).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction configuration failures.
+    pub fn from_capture(
+        vehicle: Vehicle,
+        capture: Capture,
+        metric: DistanceMetric,
+    ) -> Result<Self, vprofile::VProfileError> {
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps())
+            .with_metric(metric)
+            .with_max_ridge(0.0);
+        let extractor = EdgeSetExtractor::new(config.clone());
+        let extracted = capture.extract(&extractor);
+        let (train, test) = extracted.split_train_test();
+        let lut = vehicle.sa_lut();
+        Ok(ExperimentFixture {
+            vehicle,
+            capture,
+            config,
+            train,
+            test,
+            lut,
+            extraction_failures: extracted.failures,
+        })
+    }
+
+    /// Trains a model on the training half.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures (insufficient data, singular
+    /// covariance).
+    pub fn train_model(&self) -> Result<Model, vprofile::VProfileError> {
+        let labeled: Vec<LabeledEdgeSet> =
+            self.train.iter().map(|o| o.observation.clone()).collect();
+        Trainer::new(self.config.clone()).train_with_lut(&labeled, &self.lut)
+    }
+
+    /// The test half as an [`ExtractedCapture`], for the attack builders.
+    pub fn test_extracted(&self) -> ExtractedCapture {
+        ExtractedCapture {
+            observations: self.test.clone(),
+            failures: 0,
+        }
+    }
+
+    /// Training data with one ECU excluded (foreign-device test).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn train_model_without_ecu(
+        &self,
+        excluded: usize,
+    ) -> Result<Model, vprofile::VProfileError> {
+        let labeled: Vec<LabeledEdgeSet> = self
+            .train
+            .iter()
+            .filter(|o| o.true_ecu != excluded)
+            .map(|o| o.observation.clone())
+            .collect();
+        let lut: BTreeMap<SourceAddress, ClusterId> = self
+            .lut
+            .iter()
+            .filter(|(_, c)| c.0 != excluded)
+            .map(|(&sa, &c)| (sa, c))
+            .collect();
+        Trainer::new(self.config.clone()).train_with_lut(&labeled, &lut)
+    }
+}
+
+/// Runs the detector over a test set and tallies the confusion matrix.
+pub fn evaluate_messages(model: &Model, margin: f64, messages: &[TestMessage]) -> ConfusionMatrix {
+    let detector = Detector::with_margin(model, margin);
+    let mut confusion = ConfusionMatrix::new();
+    for message in messages {
+        let verdict = detector.classify(&message.observation);
+        confusion.record(message.is_attack, verdict.is_anomaly());
+    }
+    confusion
+}
+
+/// Finds the two clusters with the most similar voltage profiles under the
+/// given metric — the attacker/victim pairing rule of the foreign-device
+/// test (§4.2.1/§4.2.2).
+///
+/// For Mahalanobis the (asymmetric) distance of one cluster's mean within
+/// the other's distribution is averaged over both directions.
+///
+/// Returns `(ecu_i, ecu_j, distance)` with `i < j`.
+///
+/// # Panics
+///
+/// Panics if the model has fewer than two clusters or distances cannot be
+/// computed (covariance missing).
+pub fn most_similar_pair(model: &Model, metric: DistanceMetric) -> (usize, usize, f64) {
+    let n = model.cluster_count();
+    assert!(n >= 2, "need at least two clusters");
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ci = model.cluster(ClusterId(i));
+            let cj = model.cluster(ClusterId(j));
+            let dij = cj
+                .distance(ci.mean(), metric)
+                .expect("model clusters share dimensions");
+            let dji = ci
+                .distance(cj.mean(), metric)
+                .expect("model clusters share dimensions");
+            let d = (dij + dji) / 2.0;
+            if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                best = Some((i, j, d));
+            }
+        }
+    }
+    best.expect("at least one pair")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> ExperimentFixture {
+        ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, 800, 21).unwrap()
+    }
+
+    #[test]
+    fn fixture_splits_and_extracts_cleanly() {
+        let fx = fixture();
+        assert_eq!(fx.extraction_failures, 0);
+        assert_eq!(fx.train.len() + fx.test.len(), 800);
+        assert_eq!(fx.lut.len(), 11); // 9 ECUs, two with 2 SAs
+    }
+
+    #[test]
+    fn model_trains_on_fixture() {
+        let fx = fixture();
+        let model = fx.train_model().unwrap();
+        assert_eq!(model.cluster_count(), fx.vehicle.ecu_count());
+    }
+
+    #[test]
+    fn evaluate_counts_all_messages() {
+        let fx = fixture();
+        let model = fx.train_model().unwrap();
+        let messages = vprofile_vehicle::attack::false_positive_test(&fx.test_extracted());
+        let confusion = evaluate_messages(&model, 1.0, &messages);
+        assert_eq!(confusion.total() as usize, fx.test.len());
+        // No attacks in the FP test.
+        assert_eq!(confusion.true_positives + confusion.false_negatives, 0);
+    }
+
+    #[test]
+    fn excluding_an_ecu_shrinks_the_model() {
+        let fx = fixture();
+        let full = fx.train_model().unwrap();
+        let reduced = fx.train_model_without_ecu(0).unwrap();
+        assert_eq!(reduced.cluster_count(), full.cluster_count() - 1);
+        // SA 0 (the ECM) is unknown to the reduced model.
+        assert!(reduced.lookup_sa(SourceAddress(0)).is_none());
+    }
+
+    #[test]
+    fn most_similar_pair_is_symmetric_in_input_order() {
+        let fx = fixture();
+        let model = fx.train_model().unwrap();
+        let (i, j, d) = most_similar_pair(&model, DistanceMetric::Mahalanobis);
+        assert!(i < j);
+        assert!(d > 0.0);
+        assert!(j < model.cluster_count());
+    }
+
+    #[test]
+    fn vehicle_a_most_similar_pair_is_1_and_4_euclidean() {
+        // The thesis measures ECUs 1 and 4 as the closest pair on Vehicle A.
+        let fx =
+            ExperimentFixture::prepare(VehicleKind::A, DistanceMetric::Euclidean, 1200, 3).unwrap();
+        let model = fx.train_model().unwrap();
+        let (i, j, _) = most_similar_pair(&model, DistanceMetric::Euclidean);
+        assert_eq!((i, j), (1, 4));
+    }
+}

@@ -1,0 +1,298 @@
+//! Alarm aggregation and fleet-style reporting.
+//!
+//! A raw event stream from a compromised bus can contain thousands of
+//! anomalies per second (a hijacked ECU transmits continuously). A human —
+//! or an upstream fleet backend — needs the *campaign*, not every frame:
+//! which SA is being abused, what kind of anomaly, since when, how often.
+//! [`AlarmAggregator`] folds events into per-key incidents with throttled
+//! escalation.
+
+use crate::IdsEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vprofile::{AnomalyKind, Verdict};
+
+/// The coarse anomaly classes incidents are grouped by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlarmClass {
+    /// Claimed SA absent from the model.
+    UnknownSa,
+    /// Waveform matched a different ECU (hijack signature).
+    Impersonation,
+    /// Waveform matched the right ECU but beyond threshold (foreign device
+    /// or drift signature).
+    OutOfProfile,
+    /// The frame could not be parsed at all.
+    Unparseable,
+}
+
+impl fmt::Display for AlarmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlarmClass::UnknownSa => f.write_str("unknown-sa"),
+            AlarmClass::Impersonation => f.write_str("impersonation"),
+            AlarmClass::OutOfProfile => f.write_str("out-of-profile"),
+            AlarmClass::Unparseable => f.write_str("unparseable"),
+        }
+    }
+}
+
+/// An open incident: consecutive anomalies of one class under one claimed
+/// SA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Anomaly class.
+    pub class: AlarmClass,
+    /// The claimed SA (`None` for unparseable frames).
+    pub sa: Option<u8>,
+    /// Stream position of the first offending frame.
+    pub first_seen: u64,
+    /// Stream position of the latest offending frame.
+    pub last_seen: u64,
+    /// Number of offending frames.
+    pub count: u64,
+    /// When the attribution is available (impersonation), the cluster index
+    /// of the suspected physical origin.
+    pub suspected_origin: Option<usize>,
+}
+
+/// Folds detection events into incidents and throttles escalations.
+///
+/// `escalate_every` controls how often a growing incident is re-surfaced by
+/// [`AlarmAggregator::absorb`]: the 1st, then every N-th offending frame
+/// (1 = escalate on every frame).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlarmAggregator {
+    escalate_every: u64,
+    incidents: BTreeMap<(AlarmClass, Option<u8>), Incident>,
+    frames_seen: u64,
+    anomalies_seen: u64,
+}
+
+impl AlarmAggregator {
+    /// Creates an aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `escalate_every == 0`.
+    pub fn new(escalate_every: u64) -> Self {
+        assert!(escalate_every > 0, "escalation period must be non-zero");
+        AlarmAggregator {
+            escalate_every,
+            incidents: BTreeMap::new(),
+            frames_seen: 0,
+            anomalies_seen: 0,
+        }
+    }
+
+    /// Total frames absorbed.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Total anomalous frames absorbed.
+    pub fn anomalies_seen(&self) -> u64 {
+        self.anomalies_seen
+    }
+
+    /// Folds one event in. Returns a snapshot of the incident when it
+    /// should be escalated (first occurrence, then every `escalate_every`
+    /// occurrences), `None` otherwise.
+    pub fn absorb(&mut self, event: &IdsEvent) -> Option<Incident> {
+        self.frames_seen += 1;
+        let (class, suspected_origin) = match (&event.verdict, event.extraction_failed) {
+            (_, true) => (AlarmClass::Unparseable, None),
+            (Verdict::Ok { .. }, false) => return None,
+            (Verdict::Anomaly { kind }, false) => match kind {
+                AnomalyKind::UnknownSa { .. } => (AlarmClass::UnknownSa, None),
+                AnomalyKind::ClusterMismatch { predicted, .. } => {
+                    (AlarmClass::Impersonation, Some(predicted.0))
+                }
+                AnomalyKind::ThresholdExceeded { .. } => (AlarmClass::OutOfProfile, None),
+            },
+        };
+        self.anomalies_seen += 1;
+        let sa = event.sa.map(|sa| sa.raw());
+        let incident = self
+            .incidents
+            .entry((class, sa))
+            .and_modify(|incident| {
+                incident.count += 1;
+                incident.last_seen = event.stream_pos;
+                if suspected_origin.is_some() {
+                    incident.suspected_origin = suspected_origin;
+                }
+            })
+            .or_insert(Incident {
+                class,
+                sa,
+                first_seen: event.stream_pos,
+                last_seen: event.stream_pos,
+                count: 1,
+                suspected_origin,
+            });
+        if incident.count == 1 || incident.count.is_multiple_of(self.escalate_every) {
+            Some(incident.clone())
+        } else {
+            None
+        }
+    }
+
+    /// All incidents, most frequent first.
+    pub fn incidents(&self) -> Vec<Incident> {
+        let mut all: Vec<Incident> = self.incidents.values().cloned().collect();
+        all.sort_by_key(|incident| std::cmp::Reverse(incident.count));
+        all
+    }
+
+    /// A one-screen summary report.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} frames, {} anomalous, {} incident(s)\n",
+            self.frames_seen,
+            self.anomalies_seen,
+            self.incidents.len()
+        );
+        for incident in self.incidents() {
+            let sa = incident
+                .sa
+                .map(|sa| format!("SA 0x{sa:02X}"))
+                .unwrap_or_else(|| "no SA".to_string());
+            let origin = incident
+                .suspected_origin
+                .map(|e| format!(", suspected origin ECU {e}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  [{}] {} × {} (samples {}..{}{})\n",
+                incident.class, incident.count, sa, incident.first_seen, incident.last_seen, origin
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vprofile::{AnomalyKind, ClusterId};
+    use vprofile_can::SourceAddress;
+
+    fn ok_event(pos: u64) -> IdsEvent {
+        IdsEvent {
+            stream_pos: pos,
+            sa: Some(SourceAddress(1)),
+            verdict: Verdict::Ok {
+                cluster: ClusterId(0),
+                distance: 1.0,
+            },
+            extraction_failed: false,
+            retrain_due: false,
+        }
+    }
+
+    fn mismatch_event(pos: u64, sa: u8, origin: usize) -> IdsEvent {
+        IdsEvent {
+            stream_pos: pos,
+            sa: Some(SourceAddress(sa)),
+            verdict: Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch {
+                    expected: ClusterId(0),
+                    predicted: ClusterId(origin),
+                    distance: 9.0,
+                },
+            },
+            extraction_failed: false,
+            retrain_due: false,
+        }
+    }
+
+    #[test]
+    fn ok_events_produce_no_incidents() {
+        let mut agg = AlarmAggregator::new(10);
+        for k in 0..50 {
+            assert!(agg.absorb(&ok_event(k)).is_none());
+        }
+        assert_eq!(agg.frames_seen(), 50);
+        assert_eq!(agg.anomalies_seen(), 0);
+        assert!(agg.incidents().is_empty());
+    }
+
+    #[test]
+    fn first_anomaly_escalates_immediately() {
+        let mut agg = AlarmAggregator::new(100);
+        let escalation = agg.absorb(&mismatch_event(5, 1, 3)).expect("first escalates");
+        assert_eq!(escalation.class, AlarmClass::Impersonation);
+        assert_eq!(escalation.sa, Some(1));
+        assert_eq!(escalation.suspected_origin, Some(3));
+        assert_eq!(escalation.count, 1);
+    }
+
+    #[test]
+    fn repeated_anomalies_are_throttled() {
+        let mut agg = AlarmAggregator::new(10);
+        let mut escalations = 0;
+        for k in 0..35u64 {
+            if agg.absorb(&mismatch_event(k, 1, 3)).is_some() {
+                escalations += 1;
+            }
+        }
+        // 1st, 10th, 20th, 30th.
+        assert_eq!(escalations, 4);
+        let incidents = agg.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].count, 35);
+        assert_eq!(incidents[0].first_seen, 0);
+        assert_eq!(incidents[0].last_seen, 34);
+    }
+
+    #[test]
+    fn different_sas_open_separate_incidents() {
+        let mut agg = AlarmAggregator::new(5);
+        agg.absorb(&mismatch_event(1, 1, 3));
+        agg.absorb(&mismatch_event(2, 2, 3));
+        agg.absorb(&mismatch_event(3, 1, 3));
+        let incidents = agg.incidents();
+        assert_eq!(incidents.len(), 2);
+        // Sorted most-frequent first.
+        assert_eq!(incidents[0].sa, Some(1));
+        assert_eq!(incidents[0].count, 2);
+    }
+
+    #[test]
+    fn unparseable_frames_are_their_own_class() {
+        let mut agg = AlarmAggregator::new(5);
+        let event = IdsEvent {
+            stream_pos: 9,
+            sa: None,
+            verdict: Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa {
+                    sa: SourceAddress(0xFF),
+                },
+            },
+            extraction_failed: true,
+            retrain_due: false,
+        };
+        let escalation = agg.absorb(&event).expect("escalates");
+        assert_eq!(escalation.class, AlarmClass::Unparseable);
+        assert_eq!(escalation.sa, None);
+    }
+
+    #[test]
+    fn summary_mentions_every_incident() {
+        let mut agg = AlarmAggregator::new(5);
+        agg.absorb(&mismatch_event(1, 0x17, 2));
+        agg.absorb(&ok_event(2));
+        let summary = agg.summary();
+        assert!(summary.contains("impersonation"));
+        assert!(summary.contains("SA 0x17"));
+        assert!(summary.contains("suspected origin ECU 2"));
+        assert!(summary.contains("2 frames, 1 anomalous"));
+    }
+
+    #[test]
+    #[should_panic(expected = "escalation period")]
+    fn zero_period_panics() {
+        let _ = AlarmAggregator::new(0);
+    }
+}

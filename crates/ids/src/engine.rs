@@ -1,0 +1,295 @@
+//! The synchronous IDS core: framing → extraction → detection → events,
+//! plus the §5.3 online-update policy.
+
+use crate::StreamFramer;
+use serde::{Deserialize, Serialize};
+use vprofile::{Detector, EdgeSetExtractor, LabeledEdgeSet, Model, Verdict};
+use vprofile_can::SourceAddress;
+
+/// When and how the engine feeds accepted messages back into the model
+/// (thesis §5.3 / Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdatePolicy {
+    /// Absorb every `interval`-th accepted message into the model
+    /// (`0` disables online updates).
+    pub interval: usize,
+    /// Signal a retrain once any cluster's count reaches this bound — the
+    /// thesis' `M` ("a model should not be updated too often … we recommend
+    /// training a new model after `N_n` reaches some upper bound `M`").
+    pub retrain_bound: usize,
+}
+
+impl UpdatePolicy {
+    /// No online updates.
+    pub fn disabled() -> Self {
+        UpdatePolicy {
+            interval: 0,
+            retrain_bound: usize::MAX,
+        }
+    }
+
+    /// Update with every `interval`-th accepted message, retraining at
+    /// `retrain_bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0` (use [`UpdatePolicy::disabled`]).
+    pub fn every(interval: usize, retrain_bound: usize) -> Self {
+        assert!(interval > 0, "interval 0 means disabled");
+        UpdatePolicy {
+            interval,
+            retrain_bound,
+        }
+    }
+
+    /// `true` if updates are active.
+    pub fn is_enabled(&self) -> bool {
+        self.interval > 0
+    }
+}
+
+/// One detection event produced by the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdsEvent {
+    /// Stream position (sample index) of the frame window's start.
+    pub stream_pos: u64,
+    /// The claimed source address, when extraction succeeded.
+    pub sa: Option<SourceAddress>,
+    /// The detector's verdict. Frames whose extraction failed are reported
+    /// as anomalies with [`IdsEvent::extraction_failed`] set.
+    pub verdict: Verdict,
+    /// `true` if Algorithm 1 could not parse the frame window (treated as
+    /// anomalous: an unparseable transmission on a healthy bus is itself
+    /// suspicious).
+    pub extraction_failed: bool,
+    /// `true` once the update policy wants a full retrain.
+    pub retrain_due: bool,
+}
+
+/// The synchronous IDS engine: owns the model, a framer, and the update
+/// policy. See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct IdsEngine {
+    model: Model,
+    extractor: EdgeSetExtractor,
+    framer: StreamFramer,
+    margin: f64,
+    policy: UpdatePolicy,
+    accepted_count: usize,
+    pending_updates: Vec<LabeledEdgeSet>,
+}
+
+impl IdsEngine {
+    /// Creates an engine around a trained model.
+    pub fn new(model: Model, margin: f64, policy: UpdatePolicy) -> Self {
+        let config = model.config().clone();
+        let framer = StreamFramer::new(config.bit_width_samples, config.bit_threshold);
+        let extractor = EdgeSetExtractor::new(config);
+        IdsEngine {
+            model,
+            extractor,
+            framer,
+            margin,
+            policy,
+            accepted_count: 0,
+            pending_updates: Vec::new(),
+        }
+    }
+
+    /// The current model (reflects online updates).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Replaces the model after an external retrain and resets the update
+    /// bookkeeping.
+    pub fn install_model(&mut self, model: Model) {
+        self.model = model;
+        self.accepted_count = 0;
+        self.pending_updates.clear();
+    }
+
+    /// Feeds raw samples; returns one event per completed frame.
+    pub fn process_samples(&mut self, samples: &[f64]) -> Vec<IdsEvent> {
+        let windows = self.framer.push(samples);
+        let mut events = Vec::with_capacity(windows.len());
+        for (stream_pos, window) in windows {
+            events.push(self.process_window(stream_pos, &window));
+        }
+        events
+    }
+
+    /// Flushes a trailing unterminated frame at end of stream.
+    pub fn finish(&mut self) -> Option<IdsEvent> {
+        let (stream_pos, window) = self.framer.flush()?;
+        Some(self.process_window(stream_pos, &window))
+    }
+
+    /// Classifies one already-framed window.
+    pub fn process_window(&mut self, stream_pos: u64, window: &[f64]) -> IdsEvent {
+        match self.extractor.extract(window) {
+            Ok(observation) => {
+                let detector = Detector::with_margin(&self.model, self.margin);
+                let verdict = detector.classify(&observation);
+                let mut retrain_due = false;
+                if !verdict.is_anomaly() && self.policy.is_enabled() {
+                    self.accepted_count += 1;
+                    if self.accepted_count.is_multiple_of(self.policy.interval) {
+                        self.pending_updates.push(observation.clone());
+                        // Batch pending updates to amortize refactorization.
+                        if self.pending_updates.len() >= 16 {
+                            self.apply_pending_updates();
+                        }
+                    }
+                    retrain_due = self.model.needs_retrain(self.policy.retrain_bound);
+                }
+                IdsEvent {
+                    stream_pos,
+                    sa: Some(observation.sa),
+                    verdict,
+                    extraction_failed: false,
+                    retrain_due,
+                }
+            }
+            Err(_) => IdsEvent {
+                stream_pos,
+                sa: None,
+                verdict: Verdict::Anomaly {
+                    kind: vprofile::AnomalyKind::UnknownSa {
+                        sa: SourceAddress(0xFF),
+                    },
+                },
+                extraction_failed: true,
+                retrain_due: false,
+            },
+        }
+    }
+
+    /// Applies any buffered online updates immediately.
+    pub fn apply_pending_updates(&mut self) {
+        if self.pending_updates.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending_updates);
+        // A failed update (e.g. covariance went singular) is dropped: the
+        // previous model stays in force, which is the safe behaviour for a
+        // monitor.
+        let _ = self.model.update_online(&batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vprofile::{Trainer, VProfileConfig};
+    use vprofile_vehicle::{CaptureConfig, Vehicle};
+
+    fn trained_setup(frames: usize) -> (IdsEngine, vprofile_vehicle::Capture) {
+        let vehicle = Vehicle::vehicle_b(17);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(frames).with_seed(17))
+            .unwrap();
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+        let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+        let model = Trainer::new(config)
+            .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+            .unwrap();
+        (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), capture)
+    }
+
+    #[test]
+    fn replayed_capture_produces_one_event_per_frame() {
+        let (mut engine, capture) = trained_setup(800);
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(60) {
+            stream.extend(frame.trace.to_f64());
+        }
+        let mut events = engine.process_samples(&stream);
+        if let Some(last) = engine.finish() {
+            events.push(last);
+        }
+        assert_eq!(events.len(), 60);
+        let anomalies = events.iter().filter(|e| e.verdict.is_anomaly()).count();
+        assert_eq!(anomalies, 0, "clean replay must not alarm");
+        assert!(events.iter().all(|e| !e.extraction_failed));
+    }
+
+    #[test]
+    fn events_carry_stream_positions_in_order() {
+        let (mut engine, capture) = trained_setup(800);
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(10) {
+            stream.extend(frame.trace.to_f64());
+        }
+        let events = engine.process_samples(&stream);
+        assert!(events.windows(2).all(|w| w[0].stream_pos < w[1].stream_pos));
+    }
+
+    #[test]
+    fn garbage_window_reports_extraction_failure() {
+        let (mut engine, _) = trained_setup(800);
+        // A lone dominant blip too short to be a frame.
+        let mut stream = vec![1000.0; 200];
+        stream.extend(vec![3000.0; 20]);
+        stream.extend(vec![1000.0; 600]);
+        let events = engine.process_samples(&stream);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].extraction_failed);
+        assert!(events[0].verdict.is_anomaly());
+    }
+
+    #[test]
+    fn online_updates_grow_cluster_counts() {
+        let (engine, capture) = trained_setup(800);
+        let model = engine.model().clone();
+        let before: usize = model.clusters().iter().map(|c| c.count()).sum();
+        let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(80) {
+            stream.extend(frame.trace.to_f64());
+        }
+        engine.process_samples(&stream);
+        engine.apply_pending_updates();
+        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        assert!(after > before, "counts must grow: {before} → {after}");
+    }
+
+    #[test]
+    fn retrain_bound_is_signalled() {
+        let (engine, capture) = trained_setup(800);
+        let model = engine.model().clone();
+        let bound = model.clusters().iter().map(|c| c.count()).max().unwrap() + 4;
+        let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, bound));
+        let mut stream = Vec::new();
+        for frame in capture.frames() {
+            stream.extend(frame.trace.to_f64());
+        }
+        let events = engine.process_samples(&stream);
+        assert!(
+            events.iter().any(|e| e.retrain_due),
+            "retrain flag never raised"
+        );
+    }
+
+    #[test]
+    fn install_model_resets_update_state() {
+        let (engine, _) = trained_setup(800);
+        let model = engine.model().clone();
+        let mut engine = IdsEngine::new(model.clone(), 2.0, UpdatePolicy::every(1, 10));
+        engine.accepted_count = 7;
+        engine.install_model(model);
+        assert_eq!(engine.accepted_count, 0);
+    }
+
+    #[test]
+    fn update_policy_constructors() {
+        assert!(!UpdatePolicy::disabled().is_enabled());
+        assert!(UpdatePolicy::every(3, 100).is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval 0")]
+    fn zero_interval_panics() {
+        let _ = UpdatePolicy::every(0, 10);
+    }
+}

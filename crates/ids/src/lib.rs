@@ -1,0 +1,60 @@
+//! A streaming intrusion-detection system built around the vProfile
+//! detector.
+//!
+//! The `vprofile` crate classifies one already-extracted message at a time;
+//! this crate supplies the runtime around it that a deployed monitor needs
+//! (thesis §1: "vProfile can integrate into an IDS to enable message sender
+//! identification"):
+//!
+//! * [`StreamFramer`] — finds frame boundaries in a continuous raw sample
+//!   stream (idle detection + SOF), so the monitor can tap the bus with
+//!   nothing but an ADC;
+//! * [`IdsEngine`] — the synchronous core: frame window → Algorithm 1
+//!   extraction → Algorithm 3 detection → [`IdsEvent`]s, with an optional
+//!   online-update policy (§5.3) that absorbs accepted messages and signals
+//!   when a full retrain is due;
+//! * [`IdsPipeline`] — a threaded wrapper moving sample chunks and events
+//!   over crossbeam channels, with the model behind a `parking_lot` lock so
+//!   updates and detection interleave safely.
+//!
+//! # Example
+//!
+//! ```
+//! use vprofile_ids::{IdsEngine, UpdatePolicy};
+//! use vprofile_vehicle::{CaptureConfig, Vehicle};
+//! use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let vehicle = Vehicle::vehicle_b(9);
+//! let capture = vehicle.capture(&CaptureConfig::default().with_frames(900))?;
+//! let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+//! let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+//! let model = Trainer::new(config).train_with_lut(&extracted.labeled(), &vehicle.sa_lut())?;
+//!
+//! // Feed the raw concatenated sample stream back through the engine.
+//! let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::disabled());
+//! let mut stream = Vec::new();
+//! for frame in capture.frames().iter().take(50) {
+//!     stream.extend(frame.trace.to_f64());
+//! }
+//! let events = engine.process_samples(&stream);
+//! assert_eq!(events.len(), 50);
+//! assert!(events.iter().all(|e| !e.verdict.is_anomaly()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alarm;
+mod engine;
+mod framer;
+mod period;
+mod pipeline;
+
+pub use alarm::{AlarmAggregator, AlarmClass, Incident};
+pub use engine::{IdsEngine, IdsEvent, UpdatePolicy};
+pub use framer::StreamFramer;
+pub use period::{PeriodMonitor, PeriodVerdict};
+pub use pipeline::{IdsPipeline, PipelineStats};

@@ -1,0 +1,307 @@
+//! A complementary timing-based monitor.
+//!
+//! The thesis' own limitation analysis (§6.1): "the current implementation
+//! of vProfile cannot detect when a hijacked ECU sends messages with SAs
+//! that are within its normal operating set. For additional coverage, we
+//! recommend using vProfile in an IDS that can detect anomalies based on
+//! other message properties, such as the period and payload."
+//!
+//! [`PeriodMonitor`] provides the period half of that recommendation, in
+//! the spirit of the timing-based systems of thesis §1.2.2: it learns each
+//! SA's inter-arrival statistics from clean traffic and flags arrivals that
+//! are far too early (injection alongside the legitimate sender) as well as
+//! streams that fall silent (suppression/bus-off).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vprofile_can::SourceAddress;
+
+/// Learned inter-arrival statistics for one SA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PeriodStats {
+    mean_s: f64,
+    std_s: f64,
+    count: usize,
+}
+
+/// Verdict on one observed arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PeriodVerdict {
+    /// Arrival consistent with the learned period.
+    OnSchedule,
+    /// Arrived much earlier than the learned period allows — an extra
+    /// transmitter is likely injecting under this SA.
+    TooEarly {
+        /// Observed gap in seconds.
+        gap_s: f64,
+        /// Smallest acceptable gap.
+        limit_s: f64,
+    },
+    /// The SA was never seen during training.
+    UnknownSa,
+    /// First arrival for this SA since monitoring started (no gap yet).
+    FirstArrival,
+}
+
+impl PeriodVerdict {
+    /// `true` for the anomalous verdicts.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(
+            self,
+            PeriodVerdict::TooEarly { .. } | PeriodVerdict::UnknownSa
+        )
+    }
+}
+
+/// A per-SA message-period monitor.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_ids::{PeriodMonitor, PeriodVerdict};
+/// use vprofile_can::SourceAddress;
+///
+/// let sa = SourceAddress(0x00);
+/// // Learn a clean 20 ms schedule.
+/// let arrivals: Vec<(SourceAddress, f64)> =
+///     (0..50).map(|k| (sa, k as f64 * 0.020)).collect();
+/// let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+///
+/// // The next on-schedule frame passes; an immediate duplicate does not.
+/// assert!(!monitor.observe(sa, 1.000).is_anomaly());
+/// assert!(monitor.observe(sa, 1.0005).is_anomaly());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodMonitor {
+    stats: BTreeMap<u8, PeriodStats>,
+    /// Tolerance in learned standard deviations (plus an absolute floor of
+    /// half the mean period).
+    tolerance_sigmas: f64,
+    last_seen: BTreeMap<u8, f64>,
+}
+
+impl PeriodMonitor {
+    /// Learns per-SA periods from `(sa, arrival_time_s)` pairs of clean
+    /// traffic. SAs with fewer than three arrivals are dropped (no usable
+    /// period estimate).
+    ///
+    /// Returns `None` if no SA has enough arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance_sigmas` is not positive or arrivals go
+    /// backwards in time for an SA.
+    pub fn learn(arrivals: &[(SourceAddress, f64)], tolerance_sigmas: f64) -> Option<Self> {
+        assert!(tolerance_sigmas > 0.0, "tolerance must be positive");
+        let mut per_sa: BTreeMap<u8, Vec<f64>> = BTreeMap::new();
+        for &(sa, t) in arrivals {
+            per_sa.entry(sa.raw()).or_default().push(t);
+        }
+        let mut stats = BTreeMap::new();
+        for (sa, times) in per_sa {
+            if times.len() < 3 {
+                continue;
+            }
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .map(|w| {
+                    assert!(w[1] >= w[0], "arrivals must be chronological per SA");
+                    w[1] - w[0]
+                })
+                .collect();
+            let n = gaps.len() as f64;
+            let mean = gaps.iter().sum::<f64>() / n;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+            stats.insert(
+                sa,
+                PeriodStats {
+                    mean_s: mean,
+                    std_s: var.sqrt(),
+                    count: gaps.len(),
+                },
+            );
+        }
+        if stats.is_empty() {
+            return None;
+        }
+        Some(PeriodMonitor {
+            stats,
+            tolerance_sigmas,
+            last_seen: BTreeMap::new(),
+        })
+    }
+
+    /// Number of SAs with learned periods.
+    pub fn sa_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The learned mean period of an SA, seconds.
+    pub fn mean_period_s(&self, sa: SourceAddress) -> Option<f64> {
+        self.stats.get(&sa.raw()).map(|s| s.mean_s)
+    }
+
+    /// Processes one arrival and classifies its timing.
+    pub fn observe(&mut self, sa: SourceAddress, time_s: f64) -> PeriodVerdict {
+        let Some(stats) = self.stats.get(&sa.raw()) else {
+            return PeriodVerdict::UnknownSa;
+        };
+        let verdict = match self.last_seen.get(&sa.raw()) {
+            None => PeriodVerdict::FirstArrival,
+            Some(&last) => {
+                let gap = time_s - last;
+                // Early-arrival limit: the learned period minus the larger
+                // of the tolerance band and half a period (queuing delay on
+                // a busy bus shifts arrivals; injections land at a fraction
+                // of the period).
+                let band = (self.tolerance_sigmas * stats.std_s).max(stats.mean_s / 2.0);
+                let limit = (stats.mean_s - band).max(0.0);
+                if gap < limit {
+                    PeriodVerdict::TooEarly {
+                        gap_s: gap,
+                        limit_s: limit,
+                    }
+                } else {
+                    PeriodVerdict::OnSchedule
+                }
+            }
+        };
+        // Injected (too-early) frames do not reset the schedule, so a burst
+        // of injections keeps alarming instead of retraining the monitor.
+        if !verdict.is_anomaly() {
+            self.last_seen.insert(sa.raw(), time_s);
+        }
+        verdict
+    }
+
+    /// SAs that have gone silent: last seen more than `factor` learned
+    /// periods before `now_s` (suppression / bus-off detection).
+    pub fn silent_sas(&self, now_s: f64, factor: f64) -> Vec<SourceAddress> {
+        self.last_seen
+            .iter()
+            .filter_map(|(&sa, &last)| {
+                let stats = self.stats.get(&sa)?;
+                (now_s - last > factor * stats.mean_s).then_some(SourceAddress(sa))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(sa: u8, period_s: f64, count: usize) -> Vec<(SourceAddress, f64)> {
+        (0..count)
+            .map(|k| (SourceAddress(sa), k as f64 * period_s))
+            .collect()
+    }
+
+    #[test]
+    fn learns_per_sa_periods() {
+        let mut arrivals = schedule(1, 0.020, 50);
+        arrivals.extend(schedule(2, 0.100, 20));
+        let monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        assert_eq!(monitor.sa_count(), 2);
+        assert!((monitor.mean_period_s(SourceAddress(1)).unwrap() - 0.020).abs() < 1e-9);
+        assert!((monitor.mean_period_s(SourceAddress(2)).unwrap() - 0.100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_sas_are_dropped() {
+        let mut arrivals = schedule(1, 0.020, 50);
+        arrivals.push((SourceAddress(9), 0.0));
+        arrivals.push((SourceAddress(9), 1.0));
+        let monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        assert_eq!(monitor.sa_count(), 1);
+        assert!(monitor.mean_period_s(SourceAddress(9)).is_none());
+    }
+
+    #[test]
+    fn on_schedule_traffic_passes() {
+        let arrivals = schedule(1, 0.020, 50);
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        assert_eq!(
+            monitor.observe(SourceAddress(1), 10.0),
+            PeriodVerdict::FirstArrival
+        );
+        for k in 1..20 {
+            let verdict = monitor.observe(SourceAddress(1), 10.0 + k as f64 * 0.020);
+            assert!(!verdict.is_anomaly(), "clean frame flagged: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn injection_burst_keeps_alarming() {
+        let arrivals = schedule(1, 0.020, 50);
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        monitor.observe(SourceAddress(1), 10.0);
+        // Attacker floods at 1 ms spacing.
+        let mut alarms = 0;
+        for k in 1..=10 {
+            if monitor
+                .observe(SourceAddress(1), 10.0 + k as f64 * 0.001)
+                .is_anomaly()
+            {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 10, "every injected frame must alarm");
+        // The legitimate frame, on schedule relative to the last accepted
+        // one, still passes.
+        assert!(!monitor.observe(SourceAddress(1), 10.020).is_anomaly());
+    }
+
+    #[test]
+    fn late_frames_are_tolerated() {
+        // Arbitration delay makes frames late; lateness alone must not
+        // alarm (a slow frame is not an injection).
+        let arrivals = schedule(1, 0.020, 50);
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        monitor.observe(SourceAddress(1), 10.0);
+        assert!(!monitor.observe(SourceAddress(1), 10.055).is_anomaly());
+    }
+
+    #[test]
+    fn unknown_sa_is_flagged() {
+        let arrivals = schedule(1, 0.020, 50);
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        assert_eq!(
+            monitor.observe(SourceAddress(0x55), 1.0),
+            PeriodVerdict::UnknownSa
+        );
+    }
+
+    #[test]
+    fn silence_is_reported() {
+        let arrivals = schedule(1, 0.020, 50);
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        monitor.observe(SourceAddress(1), 10.0);
+        assert!(monitor.silent_sas(10.01, 5.0).is_empty());
+        let silent = monitor.silent_sas(11.0, 5.0);
+        assert_eq!(silent, vec![SourceAddress(1)]);
+    }
+
+    #[test]
+    fn no_learnable_sas_yields_none() {
+        let arrivals = vec![(SourceAddress(1), 0.0)];
+        assert!(PeriodMonitor::learn(&arrivals, 4.0).is_none());
+    }
+
+    #[test]
+    fn jittered_schedule_still_learns_a_usable_band() {
+        // ±10 % jitter around 50 ms.
+        let arrivals: Vec<(SourceAddress, f64)> = (0..60)
+            .scan(0.0f64, |t, k| {
+                *t += 0.050 * (1.0 + 0.1 * ((k as f64 * 0.7).sin()));
+                Some((SourceAddress(3), *t))
+            })
+            .collect();
+        let mut monitor = PeriodMonitor::learn(&arrivals, 4.0).unwrap();
+        monitor.observe(SourceAddress(3), 100.0);
+        // A slightly-early but plausible frame passes…
+        assert!(!monitor.observe(SourceAddress(3), 100.048).is_anomaly());
+        // …an immediate follow-up injection does not.
+        assert!(monitor.observe(SourceAddress(3), 100.053).is_anomaly());
+    }
+}

@@ -1,0 +1,222 @@
+//! A threaded IDS pipeline: sample chunks in, detection events out.
+//!
+//! The detection worker owns an [`IdsEngine`]; samples arrive over a bounded
+//! crossbeam channel (back-pressuring the producer, as a real ADC DMA ring
+//! would) and events leave over an unbounded one. Aggregate statistics are
+//! shared behind a `parking_lot` mutex for cheap polling from the control
+//! thread.
+
+use crate::{IdsEngine, IdsEvent};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Aggregate pipeline counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Frames classified.
+    pub frames: u64,
+    /// Anomalies raised.
+    pub anomalies: u64,
+    /// Frames whose extraction failed.
+    pub extraction_failures: u64,
+}
+
+/// A running threaded IDS. Drop-free shutdown: close the sample sender
+/// (drop it or call [`IdsPipeline::finish`]) and join.
+#[derive(Debug)]
+pub struct IdsPipeline {
+    sample_tx: Option<Sender<Vec<f64>>>,
+    event_rx: Receiver<IdsEvent>,
+    stats: Arc<Mutex<PipelineStats>>,
+    worker: Option<JoinHandle<IdsEngine>>,
+}
+
+impl IdsPipeline {
+    /// Spawns the detection worker around an engine.
+    ///
+    /// `chunk_backlog` bounds the sample channel (chunks, not samples): a
+    /// slow detector back-pressures the producer instead of buffering
+    /// unboundedly.
+    pub fn spawn(engine: IdsEngine, chunk_backlog: usize) -> Self {
+        let (sample_tx, sample_rx) = bounded::<Vec<f64>>(chunk_backlog.max(1));
+        let (event_tx, event_rx) = unbounded::<IdsEvent>();
+        let stats = Arc::new(Mutex::new(PipelineStats::default()));
+        let worker_stats = Arc::clone(&stats);
+        let worker = std::thread::spawn(move || {
+            let mut engine = engine;
+            for chunk in sample_rx {
+                for event in engine.process_samples(&chunk) {
+                    record(&worker_stats, &event);
+                    // Receiver gone: keep draining so the producer is not
+                    // blocked, but stop forwarding.
+                    let _ = event_tx.send(event);
+                }
+            }
+            if let Some(event) = engine.finish() {
+                record(&worker_stats, &event);
+                let _ = event_tx.send(event);
+            }
+            engine.apply_pending_updates();
+            engine
+        });
+        IdsPipeline {
+            sample_tx: Some(sample_tx),
+            event_rx,
+            stats,
+            worker: Some(worker),
+        }
+    }
+
+    /// Feeds one chunk of samples. Blocks when the backlog is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`IdsPipeline::finish`] or if the worker died.
+    pub fn feed(&self, samples: Vec<f64>) {
+        self.sample_tx
+            .as_ref()
+            .expect("pipeline already finished")
+            .send(samples)
+            .expect("detection worker alive");
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &Receiver<IdsEvent> {
+        &self.event_rx
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock()
+    }
+
+    /// Closes the input, waits for the worker to drain, and returns the
+    /// final engine (with its possibly-updated model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread panicked.
+    pub fn finish(mut self) -> (IdsEngine, PipelineStats) {
+        self.sample_tx.take();
+        let engine = self
+            .worker
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("detection worker must not panic");
+        let stats = *self.stats.lock();
+        (engine, stats)
+    }
+}
+
+impl Drop for IdsPipeline {
+    fn drop(&mut self) {
+        self.sample_tx.take();
+        if let Some(worker) = self.worker.take() {
+            // Best effort: never panic in drop.
+            let _ = worker.join();
+        }
+    }
+}
+
+fn record(stats: &Mutex<PipelineStats>, event: &IdsEvent) {
+    let mut s = stats.lock();
+    s.frames += 1;
+    if event.verdict.is_anomaly() {
+        s.anomalies += 1;
+    }
+    if event.extraction_failed {
+        s.extraction_failures += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UpdatePolicy;
+    use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+    use vprofile_vehicle::{CaptureConfig, Vehicle};
+
+    fn engine_and_capture() -> (IdsEngine, vprofile_vehicle::Capture) {
+        let vehicle = Vehicle::vehicle_b(23);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(800).with_seed(23))
+            .unwrap();
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+        let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+        let model = Trainer::new(config)
+            .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+            .unwrap();
+        (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), capture)
+    }
+
+    #[test]
+    fn pipeline_processes_chunked_stream() {
+        let (engine, capture) = engine_and_capture();
+        let pipeline = IdsPipeline::spawn(engine, 4);
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(40) {
+            stream.extend(frame.trace.to_f64());
+        }
+        for chunk in stream.chunks(2048) {
+            pipeline.feed(chunk.to_vec());
+        }
+        let (_, stats) = pipeline.finish();
+        assert_eq!(stats.frames, 40);
+        assert_eq!(stats.anomalies, 0);
+        assert_eq!(stats.extraction_failures, 0);
+    }
+
+    #[test]
+    fn events_are_received_while_running() {
+        let (engine, capture) = engine_and_capture();
+        let pipeline = IdsPipeline::spawn(engine, 4);
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(5) {
+            stream.extend(frame.trace.to_f64());
+        }
+        pipeline.feed(stream);
+        // At least the first few events arrive without finishing.
+        let mut seen = 0;
+        for _ in 0..4 {
+            if pipeline
+                .events()
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .is_ok()
+            {
+                seen += 1;
+            }
+        }
+        assert!(seen >= 4);
+        let (_, stats) = pipeline.finish();
+        assert_eq!(stats.frames, 5);
+    }
+
+    #[test]
+    fn finish_returns_engine_with_updates_applied() {
+        let (engine, capture) = engine_and_capture();
+        let model = engine.model().clone();
+        let before: usize = model.clusters().iter().map(|c| c.count()).sum();
+        let engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
+        let pipeline = IdsPipeline::spawn(engine, 2);
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(60) {
+            stream.extend(frame.trace.to_f64());
+        }
+        pipeline.feed(stream);
+        let (engine, stats) = pipeline.finish();
+        assert_eq!(stats.frames, 60);
+        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let (engine, _) = engine_and_capture();
+        let pipeline = IdsPipeline::spawn(engine, 2);
+        pipeline.feed(vec![1000.0; 100]);
+        drop(pipeline); // must join cleanly
+    }
+}

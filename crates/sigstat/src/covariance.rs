@@ -1,0 +1,287 @@
+use crate::{Matrix, SigStatError};
+
+/// Sample mean of a set of equal-length observations.
+///
+/// # Errors
+///
+/// Returns [`SigStatError::EmptyInput`] for an empty observation set and
+/// [`SigStatError::DimensionMismatch`] for ragged observations.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::sample_mean;
+///
+/// let mean = sample_mean(&[vec![1.0, 4.0], vec![3.0, 8.0]])?;
+/// assert_eq!(mean, vec![2.0, 6.0]);
+/// # Ok::<(), vprofile_sigstat::SigStatError>(())
+/// ```
+pub fn sample_mean(observations: &[Vec<f64>]) -> Result<Vec<f64>, SigStatError> {
+    let n = observations.len();
+    if n == 0 {
+        return Err(SigStatError::EmptyInput {
+            context: "sample_mean",
+        });
+    }
+    let dim = observations[0].len();
+    let mut mean = vec![0.0; dim];
+    for obs in observations {
+        if obs.len() != dim {
+            return Err(SigStatError::DimensionMismatch {
+                expected: dim,
+                actual: obs.len(),
+                context: "sample_mean",
+            });
+        }
+        for (m, &v) in mean.iter_mut().zip(obs) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    Ok(mean)
+}
+
+/// Unbiased (`n − 1` denominator) sample covariance matrix of a set of
+/// equal-length observations.
+///
+/// # Errors
+///
+/// Returns [`SigStatError::InsufficientObservations`] for fewer than two
+/// observations and [`SigStatError::DimensionMismatch`] for ragged input.
+pub fn sample_covariance(
+    observations: &[Vec<f64>],
+    mean: &[f64],
+) -> Result<Matrix, SigStatError> {
+    let n = observations.len();
+    if n < 2 {
+        return Err(SigStatError::InsufficientObservations { actual: n });
+    }
+    let dim = mean.len();
+    let mut cov = Matrix::zeros(dim, dim);
+    let mut centered = vec![0.0; dim];
+    for obs in observations {
+        if obs.len() != dim {
+            return Err(SigStatError::DimensionMismatch {
+                expected: dim,
+                actual: obs.len(),
+                context: "sample_covariance",
+            });
+        }
+        for (c, (&v, &m)) in centered.iter_mut().zip(obs.iter().zip(mean)) {
+            *c = v - m;
+        }
+        for i in 0..dim {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            for j in i..dim {
+                cov[(i, j)] += ci * centered[j];
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..dim {
+        for j in i..dim {
+            let v = cov[(i, j)] / denom;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// A fitted mean + covariance pair, with optional ridge regularization
+/// tracking.
+///
+/// This is the "cluster statistics" building block of the vProfile model:
+/// one estimate per ECU cluster. The `applied_ridge` field records whether
+/// the raw sample covariance was singular (thesis §4.3 observes this for
+/// ≤10-bit data) and how much diagonal loading was required to factor it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CovarianceEstimate {
+    /// Sample mean vector.
+    pub mean: Vec<f64>,
+    /// (Possibly ridge-regularized) covariance matrix.
+    pub covariance: Matrix,
+    /// Number of observations the estimate was computed from.
+    pub count: usize,
+    /// Ridge added to the diagonal; `0.0` when the raw estimate was already
+    /// positive definite.
+    pub applied_ridge: f64,
+}
+
+impl CovarianceEstimate {
+    /// Fits mean and covariance, applying at most `max_ridge` of diagonal
+    /// loading (in geometric steps from `1e-9 · scale`) if the raw covariance
+    /// is not positive definite.
+    ///
+    /// Passing `max_ridge = 0.0` reproduces the thesis' strict behaviour:
+    /// singular covariance matrices are reported as errors rather than
+    /// repaired, which is how the resolution floor of Tables 4.6/4.7 shows
+    /// up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors, and returns
+    /// [`SigStatError::NotPositiveDefinite`] if the covariance cannot be
+    /// factored within the ridge budget.
+    pub fn fit(observations: &[Vec<f64>], max_ridge: f64) -> Result<Self, SigStatError> {
+        let mean = sample_mean(observations)?;
+        let mut covariance = sample_covariance(observations, &mean)?;
+        let scale = covariance.max_abs_diagonal().max(f64::MIN_POSITIVE);
+        let mut applied_ridge = 0.0;
+        let mut ridge = 1e-9 * scale;
+        loop {
+            match covariance.cholesky() {
+                Ok(_) => {
+                    return Ok(CovarianceEstimate {
+                        mean,
+                        covariance,
+                        count: observations.len(),
+                        applied_ridge,
+                    })
+                }
+                Err(err @ SigStatError::NotPositiveDefinite { .. }) => {
+                    if applied_ridge + ridge > max_ridge * scale.max(1.0) {
+                        return Err(err);
+                    }
+                    covariance.add_ridge(ridge);
+                    applied_ridge += ridge;
+                    ridge *= 10.0;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_of_empty_set_errors() {
+        assert!(matches!(
+            sample_mean(&[]).unwrap_err(),
+            SigStatError::EmptyInput { .. }
+        ));
+    }
+
+    #[test]
+    fn mean_of_ragged_set_errors() {
+        let err = sample_mean(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, SigStatError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Two variables, perfectly anti-correlated.
+        let obs = vec![vec![1.0, -1.0], vec![-1.0, 1.0], vec![2.0, -2.0], vec![-2.0, 2.0]];
+        let mean = sample_mean(&obs).unwrap();
+        assert_eq!(mean, vec![0.0, 0.0]);
+        let cov = sample_covariance(&obs, &mean).unwrap();
+        // var = (1+1+4+4)/3
+        let var = 10.0 / 3.0;
+        assert!((cov[(0, 0)] - var).abs() < 1e-12);
+        assert!((cov[(1, 1)] - var).abs() < 1e-12);
+        assert!((cov[(0, 1)] + var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_requires_two_observations() {
+        let err = sample_covariance(&[vec![1.0]], &[1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            SigStatError::InsufficientObservations { actual: 1 }
+        ));
+    }
+
+    #[test]
+    fn fit_reports_singular_with_zero_budget() {
+        // Identical observations → zero covariance → singular.
+        let obs = vec![vec![1.0, 2.0]; 5];
+        let err = CovarianceEstimate::fit(&obs, 0.0).unwrap_err();
+        assert!(matches!(err, SigStatError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn fit_repairs_singular_with_ridge_budget() {
+        let obs = vec![vec![1.0, 2.0]; 5];
+        let est = CovarianceEstimate::fit(&obs, 1e-3).unwrap();
+        assert!(est.applied_ridge > 0.0);
+        assert_eq!(est.count, 5);
+        assert!(est.covariance.cholesky().is_ok());
+    }
+
+    #[test]
+    fn fit_leaves_well_conditioned_data_untouched() {
+        let obs = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.5],
+            vec![0.5, -1.0],
+        ];
+        let est = CovarianceEstimate::fit(&obs, 1e-3).unwrap();
+        assert_eq!(est.applied_ridge, 0.0);
+    }
+
+    proptest! {
+        /// Covariance matrices are symmetric with non-negative diagonals.
+        #[test]
+        fn prop_covariance_symmetric_psd_diag(
+            obs in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 4), 2..20)
+        ) {
+            let mean = sample_mean(&obs).unwrap();
+            let cov = sample_covariance(&obs, &mean).unwrap();
+            for i in 0..4 {
+                prop_assert!(cov[(i, i)] >= -1e-9);
+                for j in 0..4 {
+                    prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-9);
+                }
+            }
+        }
+
+        /// Mean is translation-equivariant.
+        #[test]
+        fn prop_mean_translation(
+            obs in proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, 3), 1..10),
+            shift in -10.0f64..10.0,
+        ) {
+            let base = sample_mean(&obs).unwrap();
+            let shifted: Vec<Vec<f64>> = obs.iter()
+                .map(|o| o.iter().map(|v| v + shift).collect())
+                .collect();
+            let m2 = sample_mean(&shifted).unwrap();
+            for (a, b) in base.iter().zip(&m2) {
+                prop_assert!((a + shift - b).abs() < 1e-9);
+            }
+        }
+
+        /// Covariance is translation-invariant.
+        #[test]
+        fn prop_covariance_translation_invariant(
+            obs in proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, 3), 2..10),
+            shift in -10.0f64..10.0,
+        ) {
+            let mean = sample_mean(&obs).unwrap();
+            let cov = sample_covariance(&obs, &mean).unwrap();
+            let shifted: Vec<Vec<f64>> = obs.iter()
+                .map(|o| o.iter().map(|v| v + shift).collect())
+                .collect();
+            let m2 = sample_mean(&shifted).unwrap();
+            let cov2 = sample_covariance(&shifted, &m2).unwrap();
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((cov[(i, j)] - cov2[(i, j)]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

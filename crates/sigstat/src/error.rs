@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced by the numeric routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigStatError {
+    /// A matrix operation received operands with incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension it actually received.
+        actual: usize,
+        /// Human-readable context, e.g. the operation name.
+        context: &'static str,
+    },
+    /// Cholesky factorization failed because the matrix is not (numerically)
+    /// positive definite. This is the failure mode the thesis reports for
+    /// covariance matrices estimated from ≤10-bit quantized data
+    /// ("singular covariance matrices", §4.3).
+    NotPositiveDefinite {
+        /// Index of the pivot at which factorization broke down.
+        pivot: usize,
+        /// Value of the offending diagonal term.
+        diagonal: f64,
+    },
+    /// A statistical estimator was asked to run on an empty data set.
+    EmptyInput {
+        /// Human-readable context, e.g. the estimator name.
+        context: &'static str,
+    },
+    /// A covariance estimate needs at least two observations.
+    InsufficientObservations {
+        /// Number of observations supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SigStatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigStatError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            SigStatError::NotPositiveDefinite { pivot, diagonal } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has diagonal {diagonal:e}"
+            ),
+            SigStatError::EmptyInput { context } => {
+                write!(f, "empty input provided to {context}")
+            }
+            SigStatError::InsufficientObservations { actual } => write!(
+                f,
+                "covariance estimation needs at least 2 observations, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SigStatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let err = SigStatError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+            context: "dot product",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("dot product"));
+        assert!(msg.contains('3') && msg.contains('5'));
+
+        let err = SigStatError::NotPositiveDefinite {
+            pivot: 2,
+            diagonal: -1e-12,
+        };
+        assert!(err.to_string().contains("positive definite"));
+
+        let err = SigStatError::EmptyInput { context: "mean" };
+        assert!(err.to_string().contains("mean"));
+
+        let err = SigStatError::InsufficientObservations { actual: 1 };
+        assert!(err.to_string().contains("got 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SigStatError>();
+    }
+}

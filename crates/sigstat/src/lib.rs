@@ -1,0 +1,58 @@
+//! Numeric substrate for the vProfile reproduction.
+//!
+//! The vProfile detection algorithm (see the `vprofile` crate) is built on a
+//! small amount of dense linear algebra and statistics: sample means and
+//! covariance matrices of edge sets, Cholesky factorization for Mahalanobis
+//! distances, Welford-style online updates for the Chapter 5 model-update
+//! algorithm, and the resampling helpers used by the sampling-rate /
+//! resolution sweeps of Tables 4.6 and 4.7.
+//!
+//! Everything here is written from scratch so that the reproduction has no
+//! dependency on an external linear-algebra stack; the matrices involved are
+//! tiny (edge sets are a few dozen samples long), so simple `O(n^3)` dense
+//! algorithms are more than fast enough and easy to audit.
+//!
+//! # Example
+//!
+//! ```
+//! use vprofile_sigstat::{Gaussian, Matrix};
+//!
+//! # fn main() -> Result<(), vprofile_sigstat::SigStatError> {
+//! // Fit a 2-D Gaussian to a handful of observations and measure how far a
+//! // new point is from the distribution.
+//! let observations = vec![
+//!     vec![1.0, 10.0],
+//!     vec![1.1, 10.3],
+//!     vec![0.9, 9.9],
+//!     vec![1.05, 10.1],
+//!     vec![0.95, 9.7],
+//! ];
+//! let gaussian = Gaussian::fit(&observations, 1e-9)?;
+//! let d_near = gaussian.mahalanobis(&[1.0, 10.0])?;
+//! let d_far = gaussian.mahalanobis(&[3.0, 4.0])?;
+//! assert!(d_far > d_near);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod covariance;
+mod distance;
+mod error;
+mod matrix;
+mod resample;
+mod stats;
+mod welford;
+
+pub use covariance::{sample_covariance, sample_mean, CovarianceEstimate};
+pub use distance::{euclidean, squared_euclidean, DistanceMetric, Gaussian};
+pub use error::SigStatError;
+pub use matrix::{Cholesky, Matrix};
+pub use resample::{decimate, decimate_average, requantize, resample_to_rate};
+pub use stats::{
+    confidence_interval, max_f64, mean, min_f64, percent_delta, population_variance, std_dev,
+    variance, ConfidenceInterval, Summary,
+};
+pub use welford::OnlineGaussian;

@@ -1,0 +1,694 @@
+use crate::SigStatError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major, heap-allocated matrix of `f64`.
+///
+/// Sized for the vProfile workload: edge sets are a few dozen samples long,
+/// so covariance matrices are on the order of 32×32 up to ~200×200 for the
+/// high-sample-rate sweeps. Simple dense algorithms are used throughout.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::Matrix;
+///
+/// let identity = Matrix::identity(3);
+/// let scaled = &identity * 2.0;
+/// assert_eq!(scaled[(1, 1)], 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, SigStatError> {
+        if data.len() != rows * cols {
+            return Err(SigStatError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                context: "Matrix::from_row_major",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::EmptyInput`] for an empty row set and
+    /// [`SigStatError::DimensionMismatch`] for ragged rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, SigStatError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(SigStatError::EmptyInput {
+                context: "Matrix::from_rows",
+            });
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(SigStatError::DimensionMismatch {
+                    expected: ncols,
+                    actual: row.len(),
+                    context: "Matrix::from_rows",
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        if x.len() != self.cols {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                context: "Matrix::mul_vec",
+            });
+        }
+        let out = (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(out)
+    }
+
+    /// Adds `lambda` to every diagonal entry, in place.
+    ///
+    /// This is the ridge ("shrinkage") regularization used when a sample
+    /// covariance is numerically singular, e.g. for heavily quantized
+    /// low-resolution traces (thesis §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_ridge(&mut self, lambda: f64) {
+        assert!(self.is_square(), "ridge requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute diagonal entry. Zero-dimension matrices cannot exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn max_abs_diagonal(&self) -> f64 {
+        assert!(self.is_square(), "diagonal requires a square matrix");
+        (0..self.rows)
+            .map(|i| self[(i, i)].abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::NotPositiveDefinite`] if a pivot is
+    /// non-positive (within a tiny relative tolerance), which is exactly how
+    /// the singular covariance matrices of thesis §4.3 manifest, and
+    /// [`SigStatError::DimensionMismatch`] for non-square input.
+    pub fn cholesky(&self) -> Result<Cholesky, SigStatError> {
+        if !self.is_square() {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+                context: "Matrix::cholesky",
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        // Tolerance scaled to the matrix magnitude: pivots smaller than this
+        // are treated as zero, i.e. the matrix is singular.
+        let tol = 1e-12 * self.max_abs_diagonal().max(f64::MIN_POSITIVE);
+        for j in 0..n {
+            let mut diag = self[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= tol || !diag.is_finite() {
+                return Err(SigStatError::NotPositiveDefinite {
+                    pivot: j,
+                    diagonal: diag,
+                });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = self[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix addition requires equal shapes"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix subtraction requires equal shapes"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product requires inner dimensions to match"
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, scalar: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * scalar).collect(),
+        }
+    }
+}
+
+/// The lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`, with solvers built on forward/back substitution.
+///
+/// Mahalanobis distances are computed through this factor rather than an
+/// explicit inverse covariance: `d²(x) = ‖L⁻¹ (x − μ)‖²`, which is cheaper
+/// and numerically better behaved.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::Matrix;
+///
+/// # fn main() -> Result<(), vprofile_sigstat::SigStatError> {
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+/// let chol = a.cholesky()?;
+/// let x = chol.solve(&[1.0, 1.0])?;
+/// // A * x == [1, 1]
+/// let back = a.mul_vec(&x)?;
+/// assert!((back[0] - 1.0).abs() < 1e-12);
+/// assert!((back[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// The dimension `n` of the factored `n × n` matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular solves read partial results
+    pub fn forward_solve(&self, b: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SigStatError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+                context: "Cholesky::forward_solve",
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` by back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `y.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular solves read partial results
+    pub fn backward_solve(&self, y: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(SigStatError::DimensionMismatch {
+                expected: n,
+                actual: y.len(),
+                context: "Cholesky::backward_solve",
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let y = self.forward_solve(b)?;
+        self.backward_solve(&y)
+    }
+
+    /// The squared Mahalanobis norm `bᵀ A⁻¹ b = ‖L⁻¹ b‖²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn quadratic_form(&self, b: &[f64]) -> Result<f64, SigStatError> {
+        let y = self.forward_solve(b)?;
+        Ok(y.iter().map(|v| v * v).sum())
+    }
+
+    /// Reconstructs the explicit inverse `A⁻¹`.
+    ///
+    /// The detection hot path never needs this (it uses [`Cholesky::solve`]),
+    /// but the thesis' Algorithm 4 stores `clustInvCovs` explicitly, so the
+    /// model-serialization code exposes it.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            // Unit vectors always have the right dimension.
+            let col = self.solve(&e).expect("unit basis vector has dimension n");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+
+    /// Log-determinant of `A`, `log det A = 2 Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn identity_round_trips_through_mul() {
+        let i3 = Matrix::identity(3);
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        assert_eq!(&m * &i3, m);
+        assert_eq!(&i3 * &m, m);
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        let err = Matrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, SigStatError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, SigStatError::DimensionMismatch { .. }));
+        let err = Matrix::from_rows(&[]).unwrap_err();
+        assert!(matches!(err, SigStatError::EmptyInput { .. }));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_computation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let y = m.mul_vec(&[5.0, 6.0]).unwrap();
+        assert_eq!(y, vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn mul_vec_rejects_wrong_length() {
+        let m = Matrix::identity(2);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        assert!(approx(chol.factor()[(0, 0)], 2.0, 1e-12));
+        assert!(approx(chol.factor()[(1, 0)], 1.0, 1e-12));
+        assert!(approx(chol.factor()[(1, 1)], 2.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn cholesky_rejects_singular_matrix() {
+        // Rank-1 matrix.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let err = a.cholesky().unwrap_err();
+        assert!(matches!(err, SigStatError::NotPositiveDefinite { pivot: 1, .. }));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.cholesky().unwrap_err(),
+            SigStatError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn ridge_restores_positive_definiteness() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(a.cholesky().is_err());
+        a.add_ridge(1e-6);
+        assert!(a.cholesky().is_ok());
+    }
+
+    #[test]
+    fn solve_inverts_known_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let chol = a.cholesky().unwrap();
+        let x = chol.solve(&[8.0, 7.0]).unwrap();
+        let b = a.mul_vec(&x).unwrap();
+        assert!(approx(b[0], 8.0, 1e-12));
+        assert!(approx(b[1], 7.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let inv = a.cholesky().unwrap().inverse();
+        let prod = &a * &inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(prod[(i, j)], want, 1e-10), "({i},{j}) = {}", prod[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_known_value() {
+        let a = Matrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let chol = a.cholesky().unwrap();
+        assert!(approx(chol.log_determinant(), (24.0_f64).ln(), 1e-12));
+    }
+
+    #[test]
+    fn quadratic_form_on_identity_is_squared_norm() {
+        let chol = Matrix::identity(3).cholesky().unwrap();
+        let q = chol.quadratic_form(&[1.0, 2.0, 2.0]).unwrap();
+        assert!(approx(q, 9.0, 1e-12));
+    }
+
+    #[test]
+    fn display_renders_all_entries() {
+        let m = Matrix::identity(2);
+        let s = m.to_string();
+        assert!(s.lines().count() == 2);
+        assert!(s.contains("1.000000"));
+    }
+
+    proptest! {
+        /// For any SPD matrix built as B Bᵀ + εI, Cholesky must succeed and
+        /// solving must reproduce the right-hand side.
+        #[test]
+        fn prop_cholesky_solve_round_trip(
+            vals in proptest::collection::vec(-5.0f64..5.0, 9),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let bmat = Matrix::from_row_major(3, 3, vals).unwrap();
+            let mut spd = &bmat * &bmat.transpose();
+            spd.add_ridge(1e-3);
+            let chol = spd.cholesky().unwrap();
+            let x = chol.solve(&b).unwrap();
+            let back = spd.mul_vec(&x).unwrap();
+            for (got, want) in back.iter().zip(&b) {
+                prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()));
+            }
+        }
+
+        /// L Lᵀ must reconstruct the original matrix.
+        #[test]
+        fn prop_factor_reconstructs(
+            vals in proptest::collection::vec(-3.0f64..3.0, 16),
+        ) {
+            let bmat = Matrix::from_row_major(4, 4, vals).unwrap();
+            let mut spd = &bmat * &bmat.transpose();
+            spd.add_ridge(1e-2);
+            let l = spd.cholesky().unwrap();
+            let rebuilt = &(l.factor().clone()) * &l.factor().transpose();
+            for i in 0..4 {
+                for j in 0..4 {
+                    prop_assert!((rebuilt[(i, j)] - spd[(i, j)]).abs() < 1e-8 * (1.0 + spd[(i, j)].abs()));
+                }
+            }
+        }
+
+        /// The quadratic form through the factor equals bᵀ A⁻¹ b via the
+        /// explicit inverse.
+        #[test]
+        fn prop_quadratic_form_matches_inverse(
+            vals in proptest::collection::vec(-3.0f64..3.0, 9),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            let bmat = Matrix::from_row_major(3, 3, vals).unwrap();
+            let mut spd = &bmat * &bmat.transpose();
+            spd.add_ridge(1e-2);
+            let chol = spd.cholesky().unwrap();
+            let q = chol.quadratic_form(&b).unwrap();
+            let inv = chol.inverse();
+            let ib = inv.mul_vec(&b).unwrap();
+            let q2: f64 = b.iter().zip(&ib).map(|(a, c)| a * c).sum();
+            prop_assert!((q - q2).abs() < 1e-6 * (1.0 + q.abs()));
+        }
+    }
+}

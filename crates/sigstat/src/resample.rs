@@ -1,0 +1,196 @@
+//! Software resampling helpers for the sampling-rate / resolution sweeps.
+//!
+//! The thesis downsamples and requantizes its captured data *in software*
+//! (§4.3: "We downsampled and reduced the resolution of Vehicle A's 20 MS/s
+//! and 16-bit data in software and then ran the three tests"). These are the
+//! exact operations: integer-factor decimation for rate reduction, and
+//! least-significant-bit truncation for resolution reduction.
+
+/// Keeps every `factor`-th sample (simple decimation, no anti-alias filter —
+/// matching the thesis' direct software downsampling of already-captured
+/// traces).
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::decimate;
+///
+/// assert_eq!(decimate(&[1.0, 2.0, 3.0, 4.0, 5.0], 2), vec![1.0, 3.0, 5.0]);
+/// ```
+pub fn decimate(samples: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be non-zero");
+    samples.iter().copied().step_by(factor).collect()
+}
+
+/// Decimates by averaging each block of `factor` samples. This variant
+/// models an ADC that natively runs slower (integrating converter) rather
+/// than software subsampling; exposed for the ablation benches.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn decimate_average(samples: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be non-zero");
+    samples
+        .chunks(factor)
+        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+        .collect()
+}
+
+/// Drops the least-significant bits of offset-binary ADC codes, reducing
+/// `from_bits` of resolution to `to_bits` (thesis §3.2.1: "we drop the least
+/// significant bits for the lower resolutions").
+///
+/// Codes are truncated (shifted right then left), so the result stays on the
+/// original code scale and traces at different resolutions remain directly
+/// comparable — exactly how Figure 3.1b overlays them.
+///
+/// # Panics
+///
+/// Panics if `to_bits > from_bits` or `to_bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::requantize;
+///
+/// let codes = vec![0x1234, 0x5678];
+/// let coarse = requantize(&codes, 16, 8);
+/// assert_eq!(coarse, vec![0x1200, 0x5600]);
+/// ```
+pub fn requantize(codes: &[i64], from_bits: u32, to_bits: u32) -> Vec<i64> {
+    assert!(to_bits > 0, "target resolution must be non-zero");
+    assert!(
+        to_bits <= from_bits,
+        "cannot requantize {from_bits}-bit data up to {to_bits} bits"
+    );
+    let shift = from_bits - to_bits;
+    codes.iter().map(|c| (c >> shift) << shift).collect()
+}
+
+/// Decimates a trace captured at `from_rate_hz` down to `to_rate_hz`.
+///
+/// Only integer ratios are supported because the sweep points in the thesis
+/// (20 → 10 → 5 → 2.5 MS/s) are all powers of two apart.
+///
+/// # Panics
+///
+/// Panics if `from_rate_hz` is not an integer multiple of `to_rate_hz`.
+pub fn resample_to_rate(samples: &[f64], from_rate_hz: f64, to_rate_hz: f64) -> Vec<f64> {
+    let ratio = from_rate_hz / to_rate_hz;
+    let factor = ratio.round() as usize;
+    assert!(
+        factor >= 1 && (ratio - factor as f64).abs() < 1e-9,
+        "sample-rate ratio {ratio} is not an integer"
+    );
+    decimate(samples, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(decimate(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn decimate_keeps_first_sample() {
+        let xs = [9.0, 1.0, 1.0, 1.0];
+        assert_eq!(decimate(&xs, 4), vec![9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation factor")]
+    fn decimate_rejects_zero_factor() {
+        let _ = decimate(&[1.0], 0);
+    }
+
+    #[test]
+    fn decimate_average_of_pairs() {
+        assert_eq!(decimate_average(&[1.0, 3.0, 5.0, 7.0], 2), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn decimate_average_handles_ragged_tail() {
+        assert_eq!(decimate_average(&[1.0, 3.0, 10.0], 2), vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn requantize_identity_when_bits_equal() {
+        let codes = vec![123, 456];
+        assert_eq!(requantize(&codes, 12, 12), codes);
+    }
+
+    #[test]
+    fn requantize_truncates_lsbs() {
+        assert_eq!(requantize(&[0b1111_1111], 8, 4), vec![0b1111_0000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot requantize")]
+    fn requantize_rejects_upscaling() {
+        let _ = requantize(&[1], 8, 12);
+    }
+
+    #[test]
+    fn resample_20_to_5_mss() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let out = resample_to_rate(&xs, 20e6, 5e6);
+        assert_eq!(out, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an integer")]
+    fn resample_rejects_non_integer_ratio() {
+        let _ = resample_to_rate(&[1.0], 10e6, 3e6);
+    }
+
+    proptest! {
+        /// Decimation output length is ceil(n / factor).
+        #[test]
+        fn prop_decimate_length(
+            xs in proptest::collection::vec(-10.0f64..10.0, 0..200),
+            factor in 1usize..10,
+        ) {
+            let out = decimate(&xs, factor);
+            prop_assert_eq!(out.len(), xs.len().div_ceil(factor));
+        }
+
+        /// Requantization is idempotent and never increases magnitude.
+        #[test]
+        fn prop_requantize_idempotent(
+            codes in proptest::collection::vec(0i64..65536, 1..50),
+            to_bits in 1u32..16,
+        ) {
+            let once = requantize(&codes, 16, to_bits);
+            let twice = requantize(&once, 16, to_bits);
+            prop_assert_eq!(&once, &twice);
+            for (orig, q) in codes.iter().zip(&once) {
+                prop_assert!(q <= orig);
+                prop_assert!(orig - q < (1 << (16 - to_bits)));
+            }
+        }
+
+        /// Averaged decimation preserves the overall mean for exact blocks.
+        #[test]
+        fn prop_decimate_average_preserves_mean(
+            blocks in proptest::collection::vec(-100.0f64..100.0, 1..25),
+        ) {
+            // Build a signal with 4 samples per block value.
+            let xs: Vec<f64> = blocks.iter().flat_map(|&b| [b; 4]).collect();
+            let out = decimate_average(&xs, 4);
+            prop_assert_eq!(out.len(), blocks.len());
+            for (a, b) in out.iter().zip(&blocks) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

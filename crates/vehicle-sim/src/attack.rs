@@ -1,0 +1,404 @@
+//! The three thesis attack/test workloads (§4.1):
+//!
+//! * **false positive test** — replay the capture unmodified; any alarm is a
+//!   false positive;
+//! * **hijack imitation test** — "when we replay the data, we change each
+//!   message's SA in software to one that belongs to another cluster with a
+//!   20 % chance", simulating every ECU imitating every other ECU;
+//! * **foreign device imitation test** — "we pick two ECUs with the most
+//!   similar voltage profiles and remove the former's messages from the
+//!   training set and then replay data into vProfile while having it imitate
+//!   the latter".
+//!
+//! The SA rewrite happens on the decoded observation, exactly as the thesis
+//! does during replay: the analog waveform stays the true sender's while the
+//! claimed SA changes. (A physically hijacked ECU transmits the spoofed SA
+//! itself; since the SA bits lie *before* the extracted edge set, the two
+//! formulations present identical inputs to the detector.)
+
+use crate::{ExtractedCapture, TruthObservation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vprofile::{ClusterId, LabeledEdgeSet};
+use vprofile_can::SourceAddress;
+
+/// Default hijack rewrite probability (thesis §4.1: "a 20 % chance").
+pub const HIJACK_PROBABILITY: f64 = 0.20;
+
+/// One replayed message with its attack ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestMessage {
+    /// What the detector sees.
+    pub observation: LabeledEdgeSet,
+    /// `true` if the message is an (injected) attack.
+    pub is_attack: bool,
+    /// Ground-truth transmitting ECU.
+    pub true_ecu: usize,
+}
+
+/// Builds the false-positive test: the capture replayed as-is.
+pub fn false_positive_test(extracted: &ExtractedCapture) -> Vec<TestMessage> {
+    extracted
+        .observations
+        .iter()
+        .map(|obs| TestMessage {
+            observation: obs.observation.clone(),
+            is_attack: false,
+            true_ecu: obs.true_ecu,
+        })
+        .collect()
+}
+
+/// Builds the hijack-imitation test: each message's SA is rewritten, with
+/// probability `probability`, to a random SA belonging to a *different*
+/// cluster.
+///
+/// # Panics
+///
+/// Panics if `probability` is outside `[0, 1]` or if `lut` maps every SA to
+/// one single cluster (no foreign SA exists to rewrite to).
+pub fn hijack_imitation_test(
+    extracted: &ExtractedCapture,
+    lut: &BTreeMap<SourceAddress, ClusterId>,
+    probability: f64,
+    seed: u64,
+) -> Vec<TestMessage> {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability must be in [0, 1]"
+    );
+    let clusters: std::collections::BTreeSet<ClusterId> = lut.values().copied().collect();
+    assert!(
+        clusters.len() >= 2,
+        "hijack test needs at least two clusters"
+    );
+    let sas: Vec<(SourceAddress, ClusterId)> = lut.iter().map(|(&sa, &c)| (sa, c)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    extracted
+        .observations
+        .iter()
+        .map(|obs| {
+            let own_cluster = lut.get(&obs.observation.sa).copied();
+            let hijack = rng.random_range(0.0..1.0) < probability;
+            if hijack {
+                // Pick a random SA from another cluster.
+                let foreign: Vec<SourceAddress> = sas
+                    .iter()
+                    .filter(|(_, c)| Some(*c) != own_cluster)
+                    .map(|(sa, _)| *sa)
+                    .collect();
+                let target = foreign[rng.random_range(0..foreign.len())];
+                TestMessage {
+                    observation: obs.observation.with_sa(target),
+                    is_attack: true,
+                    true_ecu: obs.true_ecu,
+                }
+            } else {
+                TestMessage {
+                    observation: obs.observation.clone(),
+                    is_attack: false,
+                    true_ecu: obs.true_ecu,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds the foreign-device imitation test: messages from `attacker_ecu`
+/// (which must be excluded from training — see [`training_without_ecu`])
+/// are relabeled to `victim_sa`; everything else replays unchanged.
+pub fn foreign_device_test(
+    extracted: &ExtractedCapture,
+    attacker_ecu: usize,
+    victim_sa: SourceAddress,
+) -> Vec<TestMessage> {
+    extracted
+        .observations
+        .iter()
+        .map(|obs| {
+            if obs.true_ecu == attacker_ecu {
+                TestMessage {
+                    observation: obs.observation.with_sa(victim_sa),
+                    is_attack: true,
+                    true_ecu: obs.true_ecu,
+                }
+            } else {
+                TestMessage {
+                    observation: obs.observation.clone(),
+                    is_attack: false,
+                    true_ecu: obs.true_ecu,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Training data with one ECU's messages removed (the foreign device "did
+/// not exist during model training", §3.1).
+pub fn training_without_ecu(
+    extracted: &ExtractedCapture,
+    excluded_ecu: usize,
+) -> Vec<LabeledEdgeSet> {
+    extracted
+        .observations
+        .iter()
+        .filter(|obs| obs.true_ecu != excluded_ecu)
+        .map(|obs| obs.observation.clone())
+        .collect()
+}
+
+
+/// Report of a simulated bus-off takeover campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusOffReport {
+    /// Victim transmissions the attacker corrupted to drive the victim
+    /// bus-off (each costs the victim +8 TEC; see
+    /// [`vprofile_can::fault`]).
+    pub frames_sacrificed: usize,
+    /// Victim frames silenced after bus-off (replaced by the attacker).
+    pub frames_taken_over: usize,
+}
+
+/// Builds the classic two-stage bus-off campaign (the "induce faults to
+/// disable an ECU" attack class of thesis §1.1): the attacker corrupts the
+/// victim's transmissions until its transmit error counter passes the
+/// bus-off threshold, then transmits in the victim's place under its SA.
+///
+/// The returned test set reflects what the monitor sees:
+///
+/// * during the fault-injection phase, the victim's frames are corrupted on
+///   the wire and never complete (they are *absent* from the replay);
+/// * after bus-off, every message under the victim's SAs is physically
+///   transmitted by `attacker_ecu` (ground truth `is_attack = true`);
+/// * all other traffic replays unchanged.
+///
+/// The fault-confinement arithmetic comes from
+/// [`vprofile_can::fault::ErrorCounters`]; a fresh victim needs
+/// [`vprofile_can::fault::bus_off_attack_budget`] corrupted transmissions.
+pub fn bus_off_takeover_test(
+    extracted: &ExtractedCapture,
+    victim_ecu: usize,
+    attacker_ecu: usize,
+) -> (Vec<TestMessage>, BusOffReport) {
+    use vprofile_can::fault::{ErrorCounters, ErrorEvent};
+
+    let mut counters = ErrorCounters::new();
+    let mut messages = Vec::with_capacity(extracted.observations.len());
+    let mut report = BusOffReport {
+        frames_sacrificed: 0,
+        frames_taken_over: 0,
+    };
+    // Edge sets from the attacker, reused round-robin as its transmissions
+    // under the victim's SAs after the takeover.
+    let attacker_sets: Vec<&TruthObservation> = extracted
+        .observations
+        .iter()
+        .filter(|o| o.true_ecu == attacker_ecu)
+        .collect();
+    let mut next_attacker = 0usize;
+
+    for obs in &extracted.observations {
+        if obs.true_ecu != victim_ecu {
+            // Bystander traffic (including the attacker's own legitimate
+            // frames) replays unchanged.
+            messages.push(TestMessage {
+                observation: obs.observation.clone(),
+                is_attack: false,
+                true_ecu: obs.true_ecu,
+            });
+            continue;
+        }
+        if !counters.is_bus_off() {
+            // Phase 1: the attacker forces a bit error on this victim
+            // transmission; the frame never completes.
+            counters.record(ErrorEvent::TransmitError);
+            report.frames_sacrificed += 1;
+            continue;
+        }
+        // Phase 2: the victim is off the bus; the attacker transmits in
+        // its place, keeping the victim's claimed SA.
+        if attacker_sets.is_empty() {
+            continue;
+        }
+        let donor = attacker_sets[next_attacker % attacker_sets.len()];
+        next_attacker += 1;
+        messages.push(TestMessage {
+            observation: donor.observation.with_sa(obs.observation.sa),
+            is_attack: true,
+            true_ecu: attacker_ecu,
+        });
+        report.frames_taken_over += 1;
+    }
+    (messages, report)
+}
+
+/// Ground-truth observations for one ECU only.
+pub fn observations_of_ecu(
+    extracted: &ExtractedCapture,
+    ecu: usize,
+) -> Vec<TruthObservation> {
+    extracted
+        .observations
+        .iter()
+        .filter(|obs| obs.true_ecu == ecu)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vprofile::EdgeSet;
+
+    fn fake_extracted() -> (ExtractedCapture, BTreeMap<SourceAddress, ClusterId>) {
+        let mut observations = Vec::new();
+        // ECU 0 sends SA 1 and 2; ECU 1 sends SA 3.
+        for k in 0..50 {
+            let (sa, ecu) = match k % 3 {
+                0 => (1u8, 0usize),
+                1 => (2, 0),
+                _ => (3, 1),
+            };
+            observations.push(TruthObservation {
+                observation: LabeledEdgeSet::new(
+                    SourceAddress(sa),
+                    EdgeSet::new(vec![k as f64, 1.0]),
+                ),
+                true_ecu: ecu,
+            });
+        }
+        let mut lut = BTreeMap::new();
+        lut.insert(SourceAddress(1), ClusterId(0));
+        lut.insert(SourceAddress(2), ClusterId(0));
+        lut.insert(SourceAddress(3), ClusterId(1));
+        (
+            ExtractedCapture {
+                observations,
+                failures: 0,
+            },
+            lut,
+        )
+    }
+
+    #[test]
+    fn false_positive_test_marks_nothing() {
+        let (extracted, _) = fake_extracted();
+        let test = false_positive_test(&extracted);
+        assert_eq!(test.len(), 50);
+        assert!(test.iter().all(|m| !m.is_attack));
+    }
+
+    #[test]
+    fn hijack_rewrites_to_other_cluster_only() {
+        let (extracted, lut) = fake_extracted();
+        let test = hijack_imitation_test(&extracted, &lut, 0.5, 42);
+        let attacks: Vec<&TestMessage> = test.iter().filter(|m| m.is_attack).collect();
+        assert!(!attacks.is_empty());
+        for message in &attacks {
+            let claimed_cluster = lut[&message.observation.sa];
+            let true_cluster = ClusterId(message.true_ecu);
+            assert_ne!(
+                claimed_cluster, true_cluster,
+                "hijacked SA must belong to a different cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn hijack_probability_zero_changes_nothing() {
+        let (extracted, lut) = fake_extracted();
+        let test = hijack_imitation_test(&extracted, &lut, 0.0, 1);
+        assert!(test.iter().all(|m| !m.is_attack));
+    }
+
+    #[test]
+    fn hijack_probability_controls_attack_rate() {
+        let (extracted, lut) = fake_extracted();
+        let test = hijack_imitation_test(&extracted, &lut, HIJACK_PROBABILITY, 7);
+        let rate = test.iter().filter(|m| m.is_attack).count() as f64 / test.len() as f64;
+        assert!(rate > 0.05 && rate < 0.45, "attack rate {rate} implausible");
+    }
+
+    #[test]
+    fn hijack_is_deterministic_per_seed() {
+        let (extracted, lut) = fake_extracted();
+        let a = hijack_imitation_test(&extracted, &lut, 0.2, 9);
+        let b = hijack_imitation_test(&extracted, &lut, 0.2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn foreign_device_relabels_attacker_messages() {
+        let (extracted, _) = fake_extracted();
+        let test = foreign_device_test(&extracted, 0, SourceAddress(3));
+        for message in &test {
+            if message.true_ecu == 0 {
+                assert!(message.is_attack);
+                assert_eq!(message.observation.sa, SourceAddress(3));
+            } else {
+                assert!(!message.is_attack);
+            }
+        }
+    }
+
+    #[test]
+    fn training_without_ecu_drops_exactly_that_ecu() {
+        let (extracted, _) = fake_extracted();
+        let training = training_without_ecu(&extracted, 1);
+        // ECU 1 sent every third message.
+        assert_eq!(training.len(), 34);
+        assert!(training.iter().all(|l| l.sa != SourceAddress(3)));
+    }
+
+    #[test]
+    fn observations_of_ecu_filters() {
+        let (extracted, _) = fake_extracted();
+        let only = observations_of_ecu(&extracted, 1);
+        assert_eq!(only.len(), 16);
+        assert!(only.iter().all(|o| o.true_ecu == 1));
+    }
+
+    #[test]
+    fn bus_off_takeover_follows_fault_arithmetic() {
+        let (extracted, _) = fake_extracted();
+        // ECU 0 sends 34 of the 50 messages (SAs 1 and 2); ECU 1 sends 16.
+        let (messages, report) = bus_off_takeover_test(&extracted, 0, 1);
+        // A fresh node needs 32 corrupted transmissions to go bus-off.
+        assert_eq!(report.frames_sacrificed, 32);
+        // The remaining victim slots are taken over by the attacker.
+        assert_eq!(report.frames_taken_over, 34 - 32);
+        let attacks: Vec<&TestMessage> = messages.iter().filter(|m| m.is_attack).collect();
+        assert_eq!(attacks.len(), report.frames_taken_over);
+        for attack in attacks {
+            assert_eq!(attack.true_ecu, 1, "attacker transmits the takeover");
+            // The claimed SA stays one of the victim's.
+            assert!(matches!(attack.observation.sa.raw(), 1 | 2));
+        }
+        // Bystander traffic (ECU 1's own frames) is untouched.
+        assert_eq!(
+            messages.iter().filter(|m| !m.is_attack).count(),
+            16
+        );
+    }
+
+    #[test]
+    fn bus_off_without_attacker_data_silences_the_victim() {
+        let (extracted, _) = fake_extracted();
+        // Attacker index with no traffic in the capture.
+        let (messages, report) = bus_off_takeover_test(&extracted, 0, 7);
+        assert_eq!(report.frames_sacrificed, 32);
+        assert_eq!(report.frames_taken_over, 0);
+        assert!(messages.iter().all(|m| !m.is_attack));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn hijack_needs_two_clusters() {
+        let (extracted, _) = fake_extracted();
+        let mut lut = BTreeMap::new();
+        lut.insert(SourceAddress(1), ClusterId(0));
+        let _ = hijack_imitation_test(&extracted, &lut, 0.2, 1);
+    }
+}

@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+use vprofile_analog::TransceiverModel;
+use vprofile_can::{J1939Id, Pgn, Priority, SourceAddress};
+
+/// One periodic J1939 broadcast an ECU emits: message identity plus its
+/// transmission period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageSchedule {
+    /// Source address the message is sent under.
+    pub sa: SourceAddress,
+    /// Arbitration priority.
+    pub priority: Priority,
+    /// Parameter group number.
+    pub pgn: Pgn,
+    /// Transmission period in milliseconds.
+    pub period_ms: f64,
+    /// Payload length in bytes (0–8).
+    pub dlc: usize,
+}
+
+impl MessageSchedule {
+    /// Builds a schedule entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ms` is not positive or `dlc > 8`.
+    pub fn new(sa: u8, priority: u8, pgn: u32, period_ms: f64, dlc: usize) -> Self {
+        assert!(period_ms > 0.0, "period must be positive");
+        assert!(dlc <= 8, "dlc must be at most 8");
+        MessageSchedule {
+            sa: SourceAddress(sa),
+            priority: Priority::new(priority).expect("priority fits 3 bits"),
+            pgn: Pgn::new(pgn).expect("pgn fits 18 bits"),
+            period_ms,
+            dlc,
+        }
+    }
+
+    /// The 29-bit J1939 identifier of this message.
+    pub fn id(&self) -> J1939Id {
+        J1939Id::new(self.priority, self.pgn, self.sa)
+    }
+
+    /// The period expressed in bus bit times at the given bit rate.
+    pub fn period_bits(&self, bit_rate_bps: u32) -> u64 {
+        (self.period_ms / 1000.0 * f64::from(bit_rate_bps)).round() as u64
+    }
+}
+
+/// One electronic control unit: a name, the physical transceiver that gives
+/// it a voltage fingerprint, and the periodic messages it broadcasts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcuSpec {
+    /// Human-readable name (e.g. "Engine Control Module").
+    pub name: String,
+    /// The device's electrical personality — the fingerprint vProfile
+    /// learns.
+    pub transceiver: TransceiverModel,
+    /// Periodic broadcast schedule.
+    pub schedules: Vec<MessageSchedule>,
+}
+
+impl EcuSpec {
+    /// Creates an ECU spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule list is empty (a silent ECU produces no
+    /// training data).
+    pub fn new(
+        name: impl Into<String>,
+        transceiver: TransceiverModel,
+        schedules: Vec<MessageSchedule>,
+    ) -> Self {
+        assert!(!schedules.is_empty(), "an ECU needs at least one schedule");
+        EcuSpec {
+            name: name.into(),
+            transceiver,
+            schedules,
+        }
+    }
+
+    /// The distinct source addresses this ECU transmits under, in schedule
+    /// order ("each ECU can send multiple IDs", §2.1.2).
+    pub fn source_addresses(&self) -> Vec<SourceAddress> {
+        let mut sas = Vec::new();
+        for schedule in &self.schedules {
+            if !sas.contains(&schedule.sa) {
+                sas.push(schedule.sa);
+            }
+        }
+        sas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn transceiver() -> TransceiverModel {
+        let mut rng = StdRng::seed_from_u64(1);
+        TransceiverModel::sample_new(&mut rng)
+    }
+
+    #[test]
+    fn schedule_id_assembles_j1939_fields() {
+        let schedule = MessageSchedule::new(0x17, 6, 0xFEF1, 100.0, 8);
+        let id = schedule.id();
+        assert_eq!(id.source_address.raw(), 0x17);
+        assert_eq!(id.pgn.raw(), 0xFEF1);
+        assert_eq!(id.priority.raw(), 6);
+    }
+
+    #[test]
+    fn period_bits_at_250kbps() {
+        let schedule = MessageSchedule::new(0, 3, 0xF004, 20.0, 8);
+        // 20 ms at 250 kb/s = 5000 bit times.
+        assert_eq!(schedule.period_bits(250_000), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = MessageSchedule::new(0, 3, 0xF004, 0.0, 8);
+    }
+
+    #[test]
+    fn source_addresses_deduplicate_in_order() {
+        let ecu = EcuSpec::new(
+            "ECM",
+            transceiver(),
+            vec![
+                MessageSchedule::new(0x00, 3, 0xF004, 20.0, 8),
+                MessageSchedule::new(0x00, 6, 0xFEEE, 1000.0, 8),
+                MessageSchedule::new(0x03, 6, 0xFEF8, 1000.0, 8),
+            ],
+        );
+        assert_eq!(
+            ecu.source_addresses(),
+            vec![SourceAddress(0x00), SourceAddress(0x03)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one schedule")]
+    fn silent_ecu_rejected() {
+        let _ = EcuSpec::new("mute", transceiver(), vec![]);
+    }
+}

@@ -1,0 +1,91 @@
+//! A miniature SAE J1939 name database: the well-known source addresses and
+//! parameter group numbers the synthetic vehicles use.
+//!
+//! Real deployments would hold the full SAE tables; the thesis only needs
+//! the mapping property ("Each ID can map to only a single ECU", §2.1.2) and
+//! human-readable names for reporting.
+
+/// Name of a well-known J1939 source address, if this database knows it.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_vehicle::j1939db::sa_name;
+///
+/// assert_eq!(sa_name(0x00), Some("Engine #1 (ECM)"));
+/// assert_eq!(sa_name(0xFE), None);
+/// ```
+pub fn sa_name(sa: u8) -> Option<&'static str> {
+    Some(match sa {
+        0x00 => "Engine #1 (ECM)",
+        0x03 => "Transmission #1",
+        0x0B => "Brakes - System Controller",
+        0x17 => "Instrument Cluster",
+        0x19 => "Climate Control #1",
+        0x21 => "Body Controller",
+        0x25 => "Passenger-Operator Climate Control",
+        0x27 => "Cab Controller - Primary",
+        0x28 => "Cab Controller - Secondary",
+        0x29 => "Retarder - Engine",
+        0x31 => "Aftertreatment #1 System",
+        0x33 => "Chassis Controller #1",
+        0x37 => "Suspension - Drive Axle #1",
+        0x3D => "Fuel System",
+        0x4A => "Auxiliary Valve Control",
+        0x55 => "Diagnostics Tool #1",
+        _ => return None,
+    })
+}
+
+/// Name of a well-known parameter group number, if known.
+pub fn pgn_name(pgn: u32) -> Option<&'static str> {
+    Some(match pgn {
+        0xF004 => "EEC1 - Electronic Engine Controller 1",
+        0xF003 => "EEC2 - Electronic Engine Controller 2",
+        0xF005 => "ETC2 - Electronic Transmission Controller 2",
+        0xF001 => "EBC1 - Electronic Brake Controller 1",
+        0xFEBF => "EBC2 - Wheel Speed Information",
+        0xFEF1 => "CCVS - Cruise Control/Vehicle Speed",
+        0xFEEE => "ET1 - Engine Temperature 1",
+        0xFEF7 => "VEP1 - Vehicle Electrical Power 1",
+        0xFEF6 => "IC1 - Intake/Exhaust Conditions 1",
+        0xFEF5 => "AMB - Ambient Conditions",
+        0xFEE6 => "TD - Time/Date",
+        0xFEF2 => "LFE - Fuel Economy",
+        0xFE6C => "TCO1 - Tachograph",
+        0xFEC1 => "VDHR - High Resolution Vehicle Distance",
+        0xFEF8 => "TRF1 - Transmission Fluids 1",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecm_is_source_address_zero() {
+        // Thesis §2.1.2: "the SA of the Engine Control Module (ECM) is
+        // usually '0'".
+        assert_eq!(sa_name(0x00), Some("Engine #1 (ECM)"));
+    }
+
+    #[test]
+    fn unknown_entries_return_none() {
+        assert_eq!(sa_name(0xF0), None);
+        assert_eq!(pgn_name(0x12345), None);
+    }
+
+    #[test]
+    fn engine_speed_pgn_is_known() {
+        assert!(pgn_name(0xF004).unwrap().contains("Engine"));
+    }
+
+    #[test]
+    fn pgns_fit_18_bits() {
+        for pgn in [0xF004u32, 0xF003, 0xF001, 0xFEBF, 0xFEF1, 0xFEEE, 0xFEF7] {
+            assert!(pgn < (1 << 18));
+            assert!(pgn_name(pgn).is_some());
+        }
+    }
+}

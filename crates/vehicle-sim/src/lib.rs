@@ -1,0 +1,39 @@
+//! Synthetic vehicles for the vProfile reproduction.
+//!
+//! The thesis evaluates on two production trucks that cannot be shipped in a
+//! repository; this crate builds their statistical stand-ins. A [`Vehicle`]
+//! is a set of [`EcuSpec`]s — each with its own transceiver electricals,
+//! J1939 source addresses, and periodic message schedules — attached to the
+//! event-driven bus simulator of [`vprofile_can::bus`] and the analog
+//! synthesis of [`vprofile_analog`].
+//!
+//! Two presets encode the geometry the thesis reports:
+//!
+//! * [`Vehicle::vehicle_a`] — the 2016 Peterbilt 579: five ECUs with
+//!   visually distinct voltage profiles (Figure 4.2), ECUs 1 and 4 closest
+//!   to each other (§4.2.1), and ECUs 0 (the engine-mounted ECM) and 2
+//!   strongly temperature-sensitive (Figure 4.6).
+//! * [`Vehicle::vehicle_b`] — the confidential partner vehicle: more ECUs
+//!   with *less distinct* profiles (§4.2.1), captured at 10 MS/s / 12 bit,
+//!   with driving-manoeuvre traffic.
+//!
+//! A [`CaptureSession`](CaptureConfig) replays scheduled traffic through
+//! arbitration and renders every transmitted frame to a [`CapturedFrame`]
+//! voltage trace. [`attack`] builds the three thesis test sets (false
+//! positive, hijack imitation, foreign device imitation) and [`scenario`]
+//! drives the environmental sweeps of §4.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+mod capture;
+mod ecu;
+pub mod j1939db;
+pub mod scenario;
+pub mod signals;
+mod vehicle;
+
+pub use capture::{Capture, CaptureConfig, CapturedFrame, ExtractedCapture, TruthObservation};
+pub use ecu::{EcuSpec, MessageSchedule};
+pub use vehicle::Vehicle;

@@ -1,0 +1,294 @@
+use crate::{Capture, CaptureConfig, EcuSpec, MessageSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vprofile::ClusterId;
+use vprofile_analog::{AdcConfig, TransceiverModel};
+use vprofile_can::SourceAddress;
+
+/// A synthetic vehicle: ECUs on a shared J1939 bus plus the capture
+/// hardware tapping it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    name: String,
+    bit_rate_bps: u32,
+    adc: AdcConfig,
+    ecus: Vec<EcuSpec>,
+}
+
+impl Vehicle {
+    /// Builds a custom vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ecus` is empty, if two ECUs share a source address, or if
+    /// two schedules collide on the same 29-bit identifier (CAN requires
+    /// unique IDs).
+    pub fn new(
+        name: impl Into<String>,
+        bit_rate_bps: u32,
+        adc: AdcConfig,
+        ecus: Vec<EcuSpec>,
+    ) -> Self {
+        assert!(!ecus.is_empty(), "a vehicle needs at least one ECU");
+        let mut seen_sas = BTreeMap::new();
+        let mut seen_ids = BTreeMap::new();
+        for (idx, ecu) in ecus.iter().enumerate() {
+            for sa in ecu.source_addresses() {
+                if let Some(prev) = seen_sas.insert(sa, idx) {
+                    assert_ne!(prev, prev + 1, "unreachable");
+                    panic!(
+                        "source address 0x{sa} claimed by both ECU {prev} and ECU {idx}"
+                    );
+                }
+            }
+            for schedule in &ecu.schedules {
+                let raw: u32 = vprofile_can::ExtendedId::from(schedule.id()).raw();
+                if seen_ids.insert(raw, idx).is_some() {
+                    panic!("duplicate 29-bit identifier {raw:#010x}");
+                }
+            }
+        }
+        Vehicle {
+            name: name.into(),
+            bit_rate_bps,
+            adc,
+            ecus,
+        }
+    }
+
+    /// The reproduction's Vehicle A: the 2016 Peterbilt 579 (thesis §4.1).
+    ///
+    /// Five ECUs with well-separated voltage profiles, captured by the
+    /// AlazarTech digitizer (20 MS/s @ 16 bit). Encoded thesis geometry:
+    ///
+    /// * ECU 4's transceiver is a close perturbation of ECU 1's — the pair
+    ///   the thesis measures as most similar (Euclidean distance 3634.96 vs.
+    ///   6671.10 for the next pair).
+    /// * ECU 0 (the engine-block-mounted ECM) and ECU 2 carry large thermal
+    ///   sensitivities; the rest barely react (Figure 4.6).
+    pub fn vehicle_a(seed: u64) -> Vehicle {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11CE);
+        let ecm_tx = TransceiverModel::sample_new(&mut rng).with_thermal_gain(10.0);
+        let trans_tx = TransceiverModel::sample_new(&mut rng).with_thermal_gain(0.8);
+        let brake_tx = TransceiverModel::sample_new(&mut rng).with_thermal_gain(7.0);
+        let body_tx = TransceiverModel::sample_new(&mut rng).with_thermal_gain(0.6);
+        // ECU 4 ≈ ECU 1 (transmission): the most-similar pair under both
+        // metrics (§4.2.1/§4.2.2). Shapes are perturbed; levels are pinned a
+        // fixed small offset from ECU 1's so the pair stays the closest in
+        // Euclidean terms regardless of the other ECUs' draws.
+        let mut cluster_tx = trans_tx.perturbed(&mut rng, 0.06).with_thermal_gain(0.7);
+        cluster_tx.dominant_v = trans_tx.dominant_v + 0.018;
+        cluster_tx.recessive_v = trans_tx.recessive_v + 0.004;
+
+        // Periods are compressed relative to stock J1939 rates (where some
+        // broadcasts fire once per second) so that every ECU accumulates
+        // enough edge sets for covariance estimation within short capture
+        // sessions; the per-ECU traffic *shares* stay realistic.
+        let ecus = vec![
+            EcuSpec::new(
+                "Engine Control Module",
+                ecm_tx,
+                vec![
+                    MessageSchedule::new(0x00, 3, 0xF004, 20.0, 8),
+                    MessageSchedule::new(0x00, 6, 0xFEEE, 500.0, 8),
+                    MessageSchedule::new(0x00, 6, 0xFEF2, 100.0, 8),
+                ],
+            ),
+            EcuSpec::new(
+                "Transmission Controller",
+                trans_tx,
+                vec![
+                    MessageSchedule::new(0x03, 3, 0xF005, 50.0, 8),
+                    MessageSchedule::new(0x03, 6, 0xFEF8, 500.0, 8),
+                ],
+            ),
+            EcuSpec::new(
+                "Brake System Controller",
+                brake_tx,
+                vec![
+                    MessageSchedule::new(0x0B, 3, 0xF001, 50.0, 8),
+                    MessageSchedule::new(0x0B, 6, 0xFEBF, 100.0, 8),
+                ],
+            ),
+            EcuSpec::new(
+                "Body Controller",
+                body_tx,
+                vec![
+                    MessageSchedule::new(0x21, 6, 0xFEF7, 50.0, 8),
+                    MessageSchedule::new(0x25, 6, 0xFEF5, 200.0, 8),
+                ],
+            ),
+            EcuSpec::new(
+                "Instrument Cluster",
+                cluster_tx,
+                vec![MessageSchedule::new(0x17, 6, 0xFEF1, 50.0, 8)],
+            ),
+        ];
+        Vehicle::new("Vehicle A (Peterbilt 579)", 250_000, AdcConfig::vehicle_a(), ecus)
+    }
+
+    /// The reproduction's Vehicle B: the confidential partner vehicle
+    /// (thesis §4.1) — nine ECUs drawn from a narrowed manufacturing spread,
+    /// so their voltage profiles are much less distinct (the regime where
+    /// Euclidean detection degrades, Table 4.2), captured by the custom
+    /// board (10 MS/s @ 12 bit). Its driver "performed various maneuvers",
+    /// so traffic is denser and payloads vary faster.
+    pub fn vehicle_b(seed: u64) -> Vehicle {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B);
+        let level_spread = 0.80;
+        let shape_spread = 0.70;
+        let next_tx =
+            |gain: f64, rng: &mut StdRng| {
+                TransceiverModel::sample_with_spreads(rng, level_spread, shape_spread).with_thermal_gain(gain)
+            };
+        // Periods compressed (see `vehicle_a`) so short sessions feed every
+        // cluster's covariance estimate.
+        let configs: [(&str, u8, u32, f64, u8, u32, f64); 9] = [
+            // name, sa1, pgn1, period1, sa2 (0xFF = none), pgn2, period2
+            ("Engine Control Module", 0x00, 0xF004, 20.0, 0xFF, 0, 0.0),
+            ("Transmission", 0x03, 0xF005, 50.0, 0xFF, 0, 0.0),
+            ("Brake Controller", 0x0B, 0xF001, 50.0, 0xFF, 0, 0.0),
+            ("Instrument Cluster", 0x17, 0xFEF1, 50.0, 0xFF, 0, 0.0),
+            ("Climate Control", 0x19, 0xFEF5, 100.0, 0x25, 0xFEE6, 100.0),
+            ("Body Controller", 0x21, 0xFEF7, 50.0, 0xFF, 0, 0.0),
+            ("Cab Controller", 0x27, 0xFE6C, 100.0, 0x28, 0xFEC1, 100.0),
+            ("Retarder", 0x29, 0xF003, 50.0, 0xFF, 0, 0.0),
+            ("Aftertreatment", 0x31, 0xFEF6, 50.0, 0xFF, 0, 0.0),
+        ];
+        let mut ecus = Vec::new();
+        for (name, sa1, pgn1, period1, sa2, pgn2, period2) in configs {
+            let mut schedules = vec![MessageSchedule::new(sa1, 3, pgn1, period1, 8)];
+            if sa2 != 0xFF {
+                schedules.push(MessageSchedule::new(sa2, 6, pgn2, period2, 8));
+            }
+            ecus.push(EcuSpec::new(name, next_tx(1.0, &mut rng), schedules));
+        }
+        Vehicle::new("Vehicle B (partner)", 250_000, AdcConfig::vehicle_b(), ecus)
+    }
+
+    /// The vehicle's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bus bit rate (250 kb/s for both presets).
+    pub fn bit_rate_bps(&self) -> u32 {
+        self.bit_rate_bps
+    }
+
+    /// The capture hardware configuration.
+    pub fn adc(&self) -> &AdcConfig {
+        &self.adc
+    }
+
+    /// The ECUs on the bus.
+    pub fn ecus(&self) -> &[EcuSpec] {
+        &self.ecus
+    }
+
+    /// Number of ECUs.
+    pub fn ecu_count(&self) -> usize {
+        self.ecus.len()
+    }
+
+    /// The ground-truth SA → ECU lookup table — the "fortunate" database of
+    /// Algorithm 2.
+    pub fn sa_lut(&self) -> BTreeMap<SourceAddress, ClusterId> {
+        let mut lut = BTreeMap::new();
+        for (idx, ecu) in self.ecus.iter().enumerate() {
+            for sa in ecu.source_addresses() {
+                lut.insert(sa, ClusterId(idx));
+            }
+        }
+        lut
+    }
+
+    /// Runs a capture session: schedules traffic, resolves arbitration, and
+    /// digitizes every transmitted frame. See [`CaptureConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves room for
+    /// capture-hardware failure modes.
+    pub fn capture(&self, config: &CaptureConfig) -> Result<Capture, vprofile::VProfileError> {
+        Ok(Capture::record(self, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vehicle_a_matches_thesis_inventory() {
+        let v = Vehicle::vehicle_a(42);
+        assert_eq!(v.ecu_count(), 5);
+        assert_eq!(v.bit_rate_bps(), 250_000);
+        assert_eq!(v.adc().sample_rate_hz, 20e6);
+        assert_eq!(v.adc().resolution_bits, 16);
+        // ECU 0 is the ECM at SA 0.
+        assert_eq!(
+            v.sa_lut()[&SourceAddress(0x00)],
+            ClusterId(0)
+        );
+    }
+
+    #[test]
+    fn vehicle_b_has_more_less_distinct_ecus() {
+        let v = Vehicle::vehicle_b(42);
+        assert!(v.ecu_count() > Vehicle::vehicle_a(42).ecu_count());
+        assert_eq!(v.adc().sample_rate_hz, 10e6);
+        assert_eq!(v.adc().resolution_bits, 12);
+    }
+
+    #[test]
+    fn ecus_1_and_4_share_similar_electricals_on_vehicle_a() {
+        // ECU 4's levels are pinned 18 mV from ECU 1's — far tighter than
+        // the manufacturing range other pairs are drawn from.
+        let v = Vehicle::vehicle_a(7);
+        let e = v.ecus();
+        let d14 = (e[1].transceiver.dominant_v - e[4].transceiver.dominant_v).abs();
+        assert!((d14 - 0.018).abs() < 1e-9, "pinned level offset, got {d14}");
+        // And the edge shapes are close (6 % relative perturbation).
+        let rel = (e[1].transceiver.rise_omega - e[4].transceiver.rise_omega).abs()
+            / e[1].transceiver.rise_omega;
+        assert!(rel < 0.25, "rise omega perturbation too large: {rel}");
+    }
+
+    #[test]
+    fn sa_lut_covers_every_schedule() {
+        for vehicle in [Vehicle::vehicle_a(1), Vehicle::vehicle_b(1)] {
+            let lut = vehicle.sa_lut();
+            for (idx, ecu) in vehicle.ecus().iter().enumerate() {
+                for schedule in &ecu.schedules {
+                    assert_eq!(lut[&schedule.sa], ClusterId(idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic_per_seed() {
+        assert_eq!(Vehicle::vehicle_a(5), Vehicle::vehicle_a(5));
+        assert_ne!(Vehicle::vehicle_a(5), Vehicle::vehicle_a(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by both")]
+    fn duplicate_sa_across_ecus_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tx1 = TransceiverModel::sample_new(&mut rng);
+        let tx2 = TransceiverModel::sample_new(&mut rng);
+        let _ = Vehicle::new(
+            "bad",
+            250_000,
+            AdcConfig::vehicle_b(),
+            vec![
+                EcuSpec::new("a", tx1, vec![MessageSchedule::new(1, 3, 0x100, 10.0, 8)]),
+                EcuSpec::new("b", tx2, vec![MessageSchedule::new(1, 3, 0x200, 10.0, 8)]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Grouping edge sets by source address and clustering SAs into ECUs
+//! (thesis §3.2.2).
+//!
+//! An ECU can transmit under several SAs, so the model clusters SAs: either
+//! through a vehicle database ("If one is fortunate enough to be provided
+//! with a database containing the target system's ECUs and their valid SAs"
+//! — [`cluster_by_lut`]) or by waveform distance ("group the data by SA and
+//! then calculate the distance between the edge sets of every pair of SAs
+//! and cluster those with the smallest distance" — [`cluster_by_distance`]).
+
+use crate::{EdgeSet, LabeledEdgeSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vprofile_can::SourceAddress;
+use vprofile_sigstat::{euclidean, sample_mean};
+
+/// Identifier of an ECU cluster within a trained model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub usize);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ECU{}", self.0)
+    }
+}
+
+/// Edge sets grouped by the SA they were transmitted under. `BTreeMap`
+/// keeps iteration (and therefore cluster numbering) deterministic.
+pub type SaGroups = BTreeMap<SourceAddress, Vec<EdgeSet>>;
+
+/// Groups labeled edge sets by source address.
+pub fn group_by_sa(data: &[LabeledEdgeSet]) -> SaGroups {
+    let mut groups: SaGroups = BTreeMap::new();
+    for item in data {
+        groups.entry(item.sa).or_default().push(item.edge_set.clone());
+    }
+    groups
+}
+
+/// One ECU cluster's training data: its SAs and all of their edge sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterData {
+    /// Source addresses assigned to this cluster.
+    pub sas: Vec<SourceAddress>,
+    /// Every training edge set observed under those SAs.
+    pub edge_sets: Vec<EdgeSet>,
+}
+
+/// Clusters SA groups using a known SA → cluster database (the "fortunate"
+/// path of Algorithm 2).
+///
+/// SAs present in the data but missing from the LUT are given fresh
+/// singleton clusters after the mapped ones, so no training data is silently
+/// dropped.
+pub fn cluster_by_lut(
+    groups: SaGroups,
+    lut: &BTreeMap<SourceAddress, ClusterId>,
+) -> Vec<ClusterData> {
+    let mut by_cluster: BTreeMap<ClusterId, ClusterData> = BTreeMap::new();
+    let mut orphans: Vec<(SourceAddress, Vec<EdgeSet>)> = Vec::new();
+    for (sa, sets) in groups {
+        match lut.get(&sa) {
+            Some(&cluster) => {
+                let entry = by_cluster.entry(cluster).or_insert_with(|| ClusterData {
+                    sas: Vec::new(),
+                    edge_sets: Vec::new(),
+                });
+                entry.sas.push(sa);
+                entry.edge_sets.extend(sets);
+            }
+            None => orphans.push((sa, sets)),
+        }
+    }
+    let mut clusters: Vec<ClusterData> = by_cluster.into_values().collect();
+    for (sa, sets) in orphans {
+        clusters.push(ClusterData {
+            sas: vec![sa],
+            edge_sets: sets,
+        });
+    }
+    clusters
+}
+
+/// Clusters SA groups by the Euclidean distance between their mean edge
+/// sets, using single-linkage agglomeration.
+///
+/// With `linkage_threshold = Some(tau)`, SA pairs whose means are closer
+/// than `tau` are merged. With `None`, the threshold is chosen from the
+/// data: pairwise distances are sorted and the largest *ratio* gap splits
+/// intra-ECU from inter-ECU distances; if no gap of at least 4× exists, no
+/// merging happens (every SA becomes its own cluster).
+///
+/// # Panics
+///
+/// Panics if any SA group is empty (cannot happen through
+/// [`group_by_sa`]).
+pub fn cluster_by_distance(groups: SaGroups, linkage_threshold: Option<f64>) -> Vec<ClusterData> {
+    let sas: Vec<SourceAddress> = groups.keys().copied().collect();
+    let n = sas.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let means: Vec<Vec<f64>> = groups
+        .values()
+        .map(|sets| {
+            let obs: Vec<Vec<f64>> = sets.iter().map(|s| s.samples().to_vec()).collect();
+            sample_mean(&obs).expect("SA groups are non-empty")
+        })
+        .collect();
+
+    // Pairwise distances between SA means.
+    let mut pair_distances: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(&means[i], &means[j]).expect("means share dimension");
+            pair_distances.push((d, i, j));
+        }
+    }
+    let tau = linkage_threshold.or_else(|| auto_linkage_threshold(&pair_distances));
+
+    // Union-find over SA indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    if let Some(tau) = tau {
+        for &(d, i, j) in &pair_distances {
+            if d < tau {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+
+    // Collect clusters in deterministic order of their lowest SA index.
+    let mut root_to_cluster: BTreeMap<usize, ClusterData> = BTreeMap::new();
+    let mut sets_by_sa: Vec<Vec<EdgeSet>> = groups.into_values().collect();
+    for i in (0..n).rev() {
+        let root = find(&mut parent, i);
+        let entry = root_to_cluster.entry(root).or_insert_with(|| ClusterData {
+            sas: Vec::new(),
+            edge_sets: Vec::new(),
+        });
+        entry.sas.insert(0, sas[i]);
+        let mut sets = std::mem::take(&mut sets_by_sa[i]);
+        sets.extend(std::mem::take(&mut entry.edge_sets));
+        entry.edge_sets = sets;
+    }
+    root_to_cluster.into_values().collect()
+}
+
+/// Picks a linkage threshold from the largest multiplicative gap in the
+/// sorted pairwise distances, requiring at least a 4× jump so that a vehicle
+/// where every SA belongs to a different ECU is not spuriously merged.
+fn auto_linkage_threshold(pair_distances: &[(f64, usize, usize)]) -> Option<f64> {
+    if pair_distances.len() < 2 {
+        return None;
+    }
+    let mut distances: Vec<f64> = pair_distances.iter().map(|&(d, _, _)| d).collect();
+    distances.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    let mut best_ratio = 0.0;
+    let mut split = None;
+    for w in distances.windows(2) {
+        let (lo, hi) = (w[0].max(1e-12), w[1]);
+        let ratio = hi / lo;
+        if ratio > best_ratio {
+            best_ratio = ratio;
+            split = Some((lo * hi).sqrt());
+        }
+    }
+    if best_ratio >= 4.0 {
+        split
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(sa: u8, base: f64) -> LabeledEdgeSet {
+        LabeledEdgeSet::new(
+            SourceAddress(sa),
+            EdgeSet::new(vec![base, base + 1.0, base + 2.0]),
+        )
+    }
+
+    #[test]
+    fn group_by_sa_collects_per_address() {
+        let data = vec![labeled(1, 0.0), labeled(2, 10.0), labeled(1, 0.1)];
+        let groups = group_by_sa(&data);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&SourceAddress(1)].len(), 2);
+        assert_eq!(groups[&SourceAddress(2)].len(), 1);
+    }
+
+    #[test]
+    fn lut_clustering_follows_database() {
+        let data = vec![labeled(1, 0.0), labeled(2, 0.1), labeled(3, 100.0)];
+        let mut lut = BTreeMap::new();
+        lut.insert(SourceAddress(1), ClusterId(0));
+        lut.insert(SourceAddress(2), ClusterId(0));
+        lut.insert(SourceAddress(3), ClusterId(1));
+        let clusters = cluster_by_lut(group_by_sa(&data), &lut);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].sas, vec![SourceAddress(1), SourceAddress(2)]);
+        assert_eq!(clusters[0].edge_sets.len(), 2);
+        assert_eq!(clusters[1].sas, vec![SourceAddress(3)]);
+    }
+
+    #[test]
+    fn lut_clustering_keeps_unknown_sas_as_singletons() {
+        let data = vec![labeled(1, 0.0), labeled(9, 50.0)];
+        let mut lut = BTreeMap::new();
+        lut.insert(SourceAddress(1), ClusterId(0));
+        let clusters = cluster_by_lut(group_by_sa(&data), &lut);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[1].sas, vec![SourceAddress(9)]);
+    }
+
+    #[test]
+    fn distance_clustering_merges_close_sas() {
+        // SAs 1 and 2 share a waveform (one ECU); SA 3 is far away.
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.push(labeled(1, 0.0));
+            data.push(labeled(2, 0.05));
+            data.push(labeled(3, 1000.0));
+        }
+        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        assert_eq!(clusters.len(), 2);
+        let merged = clusters
+            .iter()
+            .find(|c| c.sas.contains(&SourceAddress(1)))
+            .unwrap();
+        assert!(merged.sas.contains(&SourceAddress(2)));
+        assert_eq!(merged.edge_sets.len(), 10);
+    }
+
+    #[test]
+    fn distance_clustering_with_explicit_threshold() {
+        let data = vec![labeled(1, 0.0), labeled(2, 10.0), labeled(3, 20.0)];
+        // Threshold so large everything merges.
+        let all = cluster_by_distance(group_by_sa(&data), Some(1e9));
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].sas.len(), 3);
+        // Threshold so small nothing merges.
+        let none = cluster_by_distance(group_by_sa(&data), Some(1e-9));
+        assert_eq!(none.len(), 3);
+    }
+
+    #[test]
+    fn distance_clustering_without_clear_gap_keeps_sas_separate() {
+        // Evenly spaced means: no 4x ratio gap → no merging.
+        let data = vec![
+            labeled(1, 0.0),
+            labeled(2, 10.0),
+            labeled(3, 20.0),
+            labeled(4, 30.0),
+        ];
+        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        assert_eq!(clusters.len(), 4);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        assert!(cluster_by_distance(SaGroups::new(), None).is_empty());
+        assert!(cluster_by_lut(SaGroups::new(), &BTreeMap::new()).is_empty());
+    }
+
+    #[test]
+    fn single_sa_forms_single_cluster() {
+        let data = vec![labeled(7, 1.0), labeled(7, 1.1)];
+        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].sas, vec![SourceAddress(7)]);
+        assert_eq!(clusters[0].edge_sets.len(), 2);
+    }
+
+    #[test]
+    fn cluster_id_display() {
+        assert_eq!(ClusterId(3).to_string(), "ECU3");
+    }
+}

@@ -1,0 +1,309 @@
+//! Intrusion detection — Algorithm 3 of the thesis.
+
+use crate::{ClusterId, LabeledEdgeSet, Model, VProfileError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vprofile_can::SourceAddress;
+
+/// Why a message was flagged as anomalous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// The claimed SA does not exist in the model's lookup table. The
+    /// thesis calls this case "trivially detected" (§3.1) and excludes it
+    /// from the experiments.
+    UnknownSa {
+        /// The unknown source address.
+        sa: SourceAddress,
+    },
+    /// The nearest cluster is not the cluster the claimed SA belongs to —
+    /// the message's waveform identifies a *different* ECU, whose identity
+    /// (`predicted`) localizes the attack origin (§3.2.3).
+    ClusterMismatch {
+        /// Cluster the claimed SA maps to.
+        expected: ClusterId,
+        /// Cluster the waveform actually matches.
+        predicted: ClusterId,
+        /// Distance to the predicted cluster.
+        distance: f64,
+    },
+    /// The waveform matches the right cluster but sits farther from its
+    /// mean than the training threshold plus margin allows — e.g. a foreign
+    /// device imitating the ECU imperfectly.
+    ThresholdExceeded {
+        /// The claimed (and nearest) cluster.
+        cluster: ClusterId,
+        /// Measured distance.
+        distance: f64,
+        /// The limit that was exceeded (`max_distance + margin`).
+        limit: f64,
+    },
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyKind::UnknownSa { sa } => write!(f, "unknown source address 0x{sa}"),
+            AnomalyKind::ClusterMismatch {
+                expected,
+                predicted,
+                ..
+            } => write!(f, "waveform of {predicted} under an SA of {expected}"),
+            AnomalyKind::ThresholdExceeded {
+                cluster,
+                distance,
+                limit,
+            } => write!(
+                f,
+                "{cluster} distance {distance:.3} exceeds limit {limit:.3}"
+            ),
+        }
+    }
+}
+
+/// The outcome of classifying one message (Algorithm 3's `OK` / `ANOMALY`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The message is consistent with its claimed sender.
+    Ok {
+        /// The matched cluster.
+        cluster: ClusterId,
+        /// Distance to the cluster under the model metric.
+        distance: f64,
+    },
+    /// The message is anomalous.
+    Anomaly {
+        /// The reason.
+        kind: AnomalyKind,
+    },
+}
+
+impl Verdict {
+    /// `true` for an anomaly verdict.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(self, Verdict::Anomaly { .. })
+    }
+}
+
+/// The vProfile detector: classifies labeled edge sets against a trained
+/// [`Model`] (Algorithm 3).
+///
+/// Borrow-based: detectors are cheap views over a model, so one model can
+/// serve many concurrent detectors.
+#[derive(Debug, Clone, Copy)]
+pub struct Detector<'a> {
+    model: &'a Model,
+    margin: f64,
+}
+
+impl<'a> Detector<'a> {
+    /// Creates a detector using the margin stored in the model's
+    /// configuration.
+    pub fn new(model: &'a Model) -> Self {
+        Detector {
+            model,
+            margin: model.config().margin,
+        }
+    }
+
+    /// Creates a detector with an explicit margin — the experiment sweeps
+    /// tune this per test (§4.2: "We selected the margin to maximize the
+    /// accuracy for the false positive test and the F-score for the other
+    /// two tests").
+    pub fn with_margin(model: &'a Model, margin: f64) -> Self {
+        Detector { model, margin }
+    }
+
+    /// The active margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// Classifies one observation, panicking only on malformed input
+    /// dimensions (see [`Detector::try_classify`] for the fallible form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge set's dimensionality does not match the model.
+    pub fn classify(&self, obs: &LabeledEdgeSet) -> Verdict {
+        self.try_classify(obs)
+            .expect("edge set dimension matches the model")
+    }
+
+    /// Classifies one observation (Algorithm 3):
+    ///
+    /// 1. unknown SA → anomaly;
+    /// 2. nearest cluster ≠ claimed cluster → anomaly (origin identified);
+    /// 3. distance beyond `max_distance + margin` → anomaly;
+    /// 4. otherwise OK.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VProfileError`] on dimensional mismatch between the edge
+    /// set and the model.
+    pub fn try_classify(&self, obs: &LabeledEdgeSet) -> Result<Verdict, VProfileError> {
+        let Some(expected) = self.model.lookup_sa(obs.sa) else {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa: obs.sa },
+            });
+        };
+        let x = obs.edge_set.samples();
+        let (predicted, distance) = self.model.nearest_cluster(x)?;
+        if predicted != expected {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch {
+                    expected,
+                    predicted,
+                    distance,
+                },
+            });
+        }
+        let limit = self.model.cluster(predicted).max_distance() + self.margin;
+        if distance > limit {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::ThresholdExceeded {
+                    cluster: predicted,
+                    distance,
+                    limit,
+                },
+            });
+        }
+        Ok(Verdict::Ok {
+            cluster: predicted,
+            distance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeSet, Trainer, VProfileConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Model with two well-separated 4-dimensional clusters around 100 and
+    /// 900 for SAs 1 and 2.
+    fn two_cluster_model() -> Model {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = Vec::new();
+        for (sa, center) in [(1u8, 100.0), (2u8, 900.0)] {
+            for _ in 0..12 {
+                let samples: Vec<f64> = (0..4)
+                    .map(|i| center + i as f64 * 5.0 + rng.random_range(-1.0..1.0))
+                    .collect();
+                data.push(LabeledEdgeSet::new(
+                    SourceAddress(sa),
+                    EdgeSet::new(samples),
+                ));
+            }
+        }
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        Trainer::new(config).train(&data).unwrap()
+    }
+
+    fn obs(sa: u8, center: f64) -> LabeledEdgeSet {
+        let samples: Vec<f64> = (0..4).map(|i| center + i as f64 * 5.0).collect();
+        LabeledEdgeSet::new(SourceAddress(sa), EdgeSet::new(samples))
+    }
+
+    #[test]
+    fn legitimate_message_is_ok() {
+        let model = two_cluster_model();
+        let detector = Detector::with_margin(&model, 1.0);
+        let verdict = detector.classify(&obs(1, 100.0));
+        match verdict {
+            Verdict::Ok { cluster, distance } => {
+                assert_eq!(cluster, model.lookup_sa(SourceAddress(1)).unwrap());
+                assert!(distance >= 0.0);
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_sa_is_trivially_detected() {
+        let model = two_cluster_model();
+        let detector = Detector::new(&model);
+        let verdict = detector.classify(&obs(0x99, 100.0));
+        assert!(matches!(
+            verdict,
+            Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa: SourceAddress(0x99) }
+            }
+        ));
+    }
+
+    #[test]
+    fn hijack_is_caught_as_cluster_mismatch_with_origin() {
+        let model = two_cluster_model();
+        let detector = Detector::new(&model);
+        // Waveform of ECU at 900 (SA 2) claiming SA 1.
+        let verdict = detector.classify(&obs(1, 900.0));
+        match verdict {
+            Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch { expected, predicted, .. },
+            } => {
+                assert_eq!(expected, model.lookup_sa(SourceAddress(1)).unwrap());
+                // Attack origin identified as the real sender's cluster.
+                assert_eq!(predicted, model.lookup_sa(SourceAddress(2)).unwrap());
+            }
+            other => panic!("expected cluster mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outlier_within_cluster_exceeds_threshold() {
+        let model = two_cluster_model();
+        let detector = Detector::with_margin(&model, 0.0);
+        // Close to cluster 0's mean direction but far enough to breach the
+        // max-distance threshold, while staying nearest to cluster 0.
+        let verdict = detector.classify(&obs(1, 160.0));
+        assert!(matches!(
+            verdict,
+            Verdict::Anomaly {
+                kind: AnomalyKind::ThresholdExceeded { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn margin_suppresses_borderline_alarms() {
+        let model = two_cluster_model();
+        // Find a point slightly beyond the learned threshold.
+        let strict = Detector::with_margin(&model, 0.0);
+        let lax = Detector::with_margin(&model, 1e9);
+        let probe = obs(1, 104.0);
+        if strict.classify(&probe).is_anomaly() {
+            assert!(!lax.classify(&probe).is_anomaly());
+        }
+        // A huge margin never converts mismatches into OK.
+        assert!(lax.classify(&obs(1, 900.0)).is_anomaly());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_fallible_error() {
+        let model = two_cluster_model();
+        let detector = Detector::new(&model);
+        let bad = LabeledEdgeSet::new(SourceAddress(1), EdgeSet::new(vec![1.0; 7]));
+        assert!(detector.try_classify(&bad).is_err());
+    }
+
+    #[test]
+    fn verdict_and_anomaly_render() {
+        let model = two_cluster_model();
+        let detector = Detector::new(&model);
+        if let Verdict::Anomaly { kind } = detector.classify(&obs(1, 900.0)) {
+            assert!(!kind.to_string().is_empty());
+        } else {
+            panic!("expected anomaly");
+        }
+        assert!(!detector.classify(&obs(1, 100.0)).is_anomaly());
+    }
+}

@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+use vprofile_can::SourceAddress;
+
+/// An *edge set*: the samples of one rising and one falling edge (plus the
+/// steady states their suffixes capture), the single feature vProfile
+/// classifies on (thesis §2.2.1).
+///
+/// Sample values are raw ADC codes as `f64`, exactly the domain the thesis
+/// works in (its plots are in 16-bit code units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSet {
+    samples: Vec<f64>,
+}
+
+impl EdgeSet {
+    /// Wraps extracted samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "an edge set cannot be empty");
+        EdgeSet { samples }
+    }
+
+    /// The sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Dimensionality (number of samples).
+    pub fn dim(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sample-wise mean of several equal-length edge sets — the §5.2
+    /// multi-edge-set enhancement ("extract more edges from the same message
+    /// … and then take their mean").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty or dimensions disagree.
+    pub fn mean_of(sets: &[EdgeSet]) -> EdgeSet {
+        assert!(!sets.is_empty(), "cannot average zero edge sets");
+        let dim = sets[0].dim();
+        let mut acc = vec![0.0; dim];
+        for set in sets {
+            assert_eq!(set.dim(), dim, "edge set dimensions disagree");
+            for (a, &s) in acc.iter_mut().zip(set.samples()) {
+                *a += s;
+            }
+        }
+        for a in &mut acc {
+            *a /= sets.len() as f64;
+        }
+        EdgeSet::new(acc)
+    }
+}
+
+impl AsRef<[f64]> for EdgeSet {
+    fn as_ref(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl From<EdgeSet> for Vec<f64> {
+    fn from(set: EdgeSet) -> Vec<f64> {
+        set.samples
+    }
+}
+
+/// An edge set paired with the source address decoded from the same message
+/// — the unit of vProfile's training data and detection input (§3.2.1:
+/// "the message's SA is decoded and paired with its edge set because we
+/// would lose that information otherwise").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledEdgeSet {
+    /// The source address the message *claims*.
+    pub sa: SourceAddress,
+    /// The extracted waveform feature.
+    pub edge_set: EdgeSet,
+}
+
+impl LabeledEdgeSet {
+    /// Pairs an edge set with its decoded source address.
+    pub fn new(sa: SourceAddress, edge_set: EdgeSet) -> Self {
+        LabeledEdgeSet { sa, edge_set }
+    }
+
+    /// Returns this observation with the claimed SA replaced — the software
+    /// SA rewrite of the hijack-imitation test (§4.1).
+    pub fn with_sa(&self, sa: SourceAddress) -> LabeledEdgeSet {
+        LabeledEdgeSet {
+            sa,
+            edge_set: self.edge_set.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_set_exposes_samples() {
+        let set = EdgeSet::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(set.dim(), 3);
+        assert_eq!(set.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(set.as_ref(), &[1.0, 2.0, 3.0]);
+        let v: Vec<f64> = set.into();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_edge_set_panics() {
+        let _ = EdgeSet::new(vec![]);
+    }
+
+    #[test]
+    fn mean_of_averages_sample_wise() {
+        let a = EdgeSet::new(vec![0.0, 10.0]);
+        let b = EdgeSet::new(vec![2.0, 20.0]);
+        let c = EdgeSet::new(vec![4.0, 30.0]);
+        let mean = EdgeSet::mean_of(&[a, b, c]);
+        assert_eq!(mean.samples(), &[2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions disagree")]
+    fn mean_of_rejects_mixed_dims() {
+        let _ = EdgeSet::mean_of(&[EdgeSet::new(vec![1.0]), EdgeSet::new(vec![1.0, 2.0])]);
+    }
+
+    #[test]
+    fn labeled_sa_rewrite_keeps_waveform() {
+        let original = LabeledEdgeSet::new(SourceAddress(0x11), EdgeSet::new(vec![5.0]));
+        let spoofed = original.with_sa(SourceAddress(0x22));
+        assert_eq!(spoofed.sa, SourceAddress(0x22));
+        assert_eq!(spoofed.edge_set, original.edge_set);
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+use vprofile_sigstat::SigStatError;
+
+/// Errors produced by the vProfile pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VProfileError {
+    /// The trace never crossed the bit threshold, so no start-of-frame could
+    /// be located.
+    SofNotFound,
+    /// The trace ended before the extractor reached the edge set (or the
+    /// requested number of edge sets).
+    TraceTooShort {
+        /// Sample index at which the extractor ran out of data.
+        at_sample: usize,
+    },
+    /// Training requires at least this many edge sets per cluster to
+    /// estimate a covariance matrix.
+    NotEnoughTrainingData {
+        /// The offending cluster's source addresses, rendered for context.
+        cluster: String,
+        /// Number of edge sets available.
+        have: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Edge sets of different dimensionality were mixed (e.g. traces captured
+    /// at different sampling rates).
+    MixedDimensions {
+        /// Dimension of the first edge set seen.
+        expected: usize,
+        /// The conflicting dimension.
+        actual: usize,
+    },
+    /// The model was asked for a Mahalanobis distance but holds no
+    /// covariance (it was trained with the Euclidean metric).
+    CovarianceUnavailable,
+    /// A numeric failure, most importantly
+    /// [`SigStatError::NotPositiveDefinite`] for singular covariance
+    /// matrices (the thesis' low-resolution failure mode, §4.3).
+    Numeric(SigStatError),
+    /// The model contains no clusters.
+    EmptyModel,
+}
+
+impl fmt::Display for VProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VProfileError::SofNotFound => f.write_str("no start-of-frame found in trace"),
+            VProfileError::TraceTooShort { at_sample } => {
+                write!(f, "trace ended at sample {at_sample} before extraction finished")
+            }
+            VProfileError::NotEnoughTrainingData { cluster, have, need } => write!(
+                f,
+                "cluster {cluster} has {have} edge sets; {need} required for training"
+            ),
+            VProfileError::MixedDimensions { expected, actual } => write!(
+                f,
+                "edge set dimension {actual} conflicts with expected {expected}"
+            ),
+            VProfileError::CovarianceUnavailable => {
+                f.write_str("model holds no covariance; train with the mahalanobis metric")
+            }
+            VProfileError::Numeric(err) => write!(f, "numeric failure: {err}"),
+            VProfileError::EmptyModel => f.write_str("model contains no clusters"),
+        }
+    }
+}
+
+impl std::error::Error for VProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VProfileError::Numeric(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SigStatError> for VProfileError {
+    fn from(err: SigStatError) -> Self {
+        VProfileError::Numeric(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<VProfileError> = vec![
+            VProfileError::SofNotFound,
+            VProfileError::TraceTooShort { at_sample: 10 },
+            VProfileError::NotEnoughTrainingData {
+                cluster: "sa 0x17".into(),
+                have: 1,
+                need: 2,
+            },
+            VProfileError::MixedDimensions {
+                expected: 32,
+                actual: 16,
+            },
+            VProfileError::CovarianceUnavailable,
+            VProfileError::Numeric(SigStatError::EmptyInput { context: "mean" }),
+            VProfileError::EmptyModel,
+        ];
+        for err in cases {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn numeric_error_exposes_source() {
+        use std::error::Error;
+        let err = VProfileError::from(SigStatError::InsufficientObservations { actual: 1 });
+        assert!(err.source().is_some());
+    }
+}

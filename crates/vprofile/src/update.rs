@@ -1,0 +1,303 @@
+//! Online model updates — §5.3 / Algorithm 4 of the thesis.
+//!
+//! Environmental drift (temperature, battery voltage — §4.4) moves the bus
+//! voltage without warranting a full retrain. Algorithm 4 folds new edge
+//! sets into the existing per-cluster mean, covariance, and max-distance
+//! threshold using the incremental recursion of Equation 5.1, carried here
+//! by [`vprofile_sigstat::OnlineGaussian`].
+//!
+//! One deliberate efficiency deviation: Algorithm 4 recomputes the inverse
+//! covariance after *every* edge set; this implementation absorbs a batch of
+//! edge sets per cluster first and re-factors the covariance once per
+//! cluster per call (`O(d³)` once instead of per message). Threshold updates
+//! use the final post-batch moments, which is the same fixed point the
+//! per-message variant converges to for the batch.
+
+use crate::{LabeledEdgeSet, Model, VProfileError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vprofile_sigstat::{DistanceMetric, Gaussian, OnlineGaussian};
+
+/// Summary of one [`Model::update_online`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UpdateOutcome {
+    /// Edge sets absorbed into the model.
+    pub absorbed: usize,
+    /// Edge sets skipped because their SA is not in the model (Algorithm 4
+    /// assumes "no new SAs exist"; skipped ones should go to the detector
+    /// instead).
+    pub skipped_unknown_sa: usize,
+    /// Number of clusters whose statistics changed.
+    pub clusters_touched: usize,
+}
+
+impl Model {
+    /// Folds new edge sets into the model (Algorithm 4). Per touched
+    /// cluster this updates the edge-set count `N_n`, the mean, the
+    /// covariance (Mahalanobis models), and the max-distance threshold.
+    ///
+    /// # Errors
+    ///
+    /// * [`VProfileError::MixedDimensions`] if an edge set has the wrong
+    ///   dimensionality;
+    /// * [`VProfileError::Numeric`] if an updated covariance no longer
+    ///   factors.
+    pub fn update_online(
+        &mut self,
+        new_data: &[LabeledEdgeSet],
+    ) -> Result<UpdateOutcome, VProfileError> {
+        let mut outcome = UpdateOutcome::default();
+        let dim = self.dim();
+
+        // GroupByCluster(model.clustSaLut, edgeSets).
+        let mut per_cluster: BTreeMap<usize, Vec<&LabeledEdgeSet>> = BTreeMap::new();
+        for item in new_data {
+            match self.lookup_sa(item.sa) {
+                Some(cluster) => {
+                    if item.edge_set.dim() != dim {
+                        return Err(VProfileError::MixedDimensions {
+                            expected: dim,
+                            actual: item.edge_set.dim(),
+                        });
+                    }
+                    per_cluster.entry(cluster.0).or_default().push(item);
+                }
+                None => outcome.skipped_unknown_sa += 1,
+            }
+        }
+
+        for (cluster_idx, items) in per_cluster {
+            let stats = &mut self.clusters[cluster_idx];
+            match self.config.metric {
+                DistanceMetric::Mahalanobis => {
+                    let gaussian = stats
+                        .gaussian
+                        .as_ref()
+                        .ok_or(VProfileError::CovarianceUnavailable)?;
+                    let mut online = OnlineGaussian::from_moments(
+                        gaussian.mean().to_vec(),
+                        gaussian.covariance(),
+                        stats.count,
+                    )?;
+                    for item in &items {
+                        online.push(item.edge_set.samples())?;
+                    }
+                    let covariance = online.sample_covariance()?;
+                    let refit =
+                        Gaussian::from_moments(online.mean().to_vec(), covariance, online.count())?;
+                    stats.mean = refit.mean().to_vec();
+                    stats.count = refit.count();
+                    // UpdateModel: clustMaxDists = max(old, distance of each
+                    // new edge set under the updated statistics).
+                    for item in &items {
+                        let d = refit.mahalanobis(item.edge_set.samples())?;
+                        stats.max_distance = stats.max_distance.max(d);
+                    }
+                    stats.gaussian = Some(refit);
+                }
+                DistanceMetric::Euclidean => {
+                    // Mean-only running update.
+                    let mut mean = stats.mean.clone();
+                    let mut count = stats.count;
+                    for item in &items {
+                        count += 1;
+                        for (m, &x) in mean.iter_mut().zip(item.edge_set.samples()) {
+                            *m += (x - *m) / count as f64;
+                        }
+                    }
+                    stats.mean = mean;
+                    stats.count = count;
+                    for item in &items {
+                        let d = stats.distance(item.edge_set.samples(), DistanceMetric::Euclidean)?;
+                        stats.max_distance = stats.max_distance.max(d);
+                    }
+                }
+            }
+            outcome.clusters_touched += 1;
+            outcome.absorbed += items.len();
+        }
+        Ok(outcome)
+    }
+
+    /// `true` once any cluster has absorbed at least `bound` edge sets.
+    ///
+    /// §5.3: "we recommend training a new model after `N_n` reaches some
+    /// upper bound `M`. The threshold can be applied to individual clusters
+    /// since our findings show that some ECUs transmit more often than
+    /// others."
+    pub fn needs_retrain(&self, bound: usize) -> bool {
+        self.clusters.iter().any(|c| c.count >= bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterId, EdgeSet, Trainer, VProfileConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vprofile_can::SourceAddress;
+
+    fn sample(rng: &mut StdRng, sa: u8, center: f64) -> LabeledEdgeSet {
+        let samples: Vec<f64> = (0..4)
+            .map(|i| center + i as f64 * 5.0 + rng.random_range(-1.0..1.0))
+            .collect();
+        LabeledEdgeSet::new(SourceAddress(sa), EdgeSet::new(samples))
+    }
+
+    fn base_model(rng: &mut StdRng) -> Model {
+        let mut data = Vec::new();
+        for _ in 0..15 {
+            data.push(sample(rng, 1, 100.0));
+            data.push(sample(rng, 2, 900.0));
+        }
+        let mut config =
+            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        Trainer::new(config).train(&data).unwrap()
+    }
+
+    #[test]
+    fn update_absorbs_and_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = base_model(&mut rng);
+        let before = model.cluster(ClusterId(0)).count();
+        let new: Vec<LabeledEdgeSet> = (0..8).map(|_| sample(&mut rng, 1, 100.0)).collect();
+        let outcome = model.update_online(&new).unwrap();
+        assert_eq!(outcome.absorbed, 8);
+        assert_eq!(outcome.clusters_touched, 1);
+        assert_eq!(outcome.skipped_unknown_sa, 0);
+        assert_eq!(model.cluster(ClusterId(0)).count(), before + 8);
+    }
+
+    #[test]
+    fn unknown_sa_edge_sets_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = base_model(&mut rng);
+        let new = vec![sample(&mut rng, 0x77, 100.0)];
+        let outcome = model.update_online(&new).unwrap();
+        assert_eq!(outcome.absorbed, 0);
+        assert_eq!(outcome.skipped_unknown_sa, 1);
+    }
+
+    #[test]
+    fn drifted_data_moves_the_mean_toward_it() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = base_model(&mut rng);
+        let before = model.cluster(ClusterId(0)).mean().to_vec();
+        // Drifted upward by 5 code units (temperature-style shift).
+        let new: Vec<LabeledEdgeSet> = (0..10).map(|_| sample(&mut rng, 1, 105.0)).collect();
+        model.update_online(&new).unwrap();
+        let after = model.cluster(ClusterId(0)).mean();
+        assert!(after[0] > before[0], "mean must move toward the drift");
+    }
+
+    #[test]
+    fn update_reduces_distance_of_drifted_probes() {
+        // The §5.3 motivation: after absorbing drifted data, drifted probes
+        // score closer.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = base_model(&mut rng);
+        let probe = sample(&mut rng, 1, 106.0);
+        let d_before = model
+            .cluster(ClusterId(0))
+            .distance(probe.edge_set.samples(), model.metric())
+            .unwrap();
+        let new: Vec<LabeledEdgeSet> = (0..30).map(|_| sample(&mut rng, 1, 106.0)).collect();
+        model.update_online(&new).unwrap();
+        let d_after = model
+            .cluster(ClusterId(0))
+            .distance(probe.edge_set.samples(), model.metric())
+            .unwrap();
+        assert!(
+            d_after < d_before,
+            "distance should shrink: {d_before} → {d_after}"
+        );
+    }
+
+    #[test]
+    fn max_distance_never_decreases() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = base_model(&mut rng);
+        let before = model.cluster(ClusterId(0)).max_distance();
+        let new: Vec<LabeledEdgeSet> = (0..5).map(|_| sample(&mut rng, 1, 100.0)).collect();
+        model.update_online(&new).unwrap();
+        assert!(model.cluster(ClusterId(0)).max_distance() >= before * 0.999);
+    }
+
+    #[test]
+    fn euclidean_model_updates_mean_only() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data = Vec::new();
+        for _ in 0..10 {
+            data.push(sample(&mut rng, 1, 100.0));
+        }
+        let mut config =
+            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000)
+                .with_metric(DistanceMetric::Euclidean);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        let mut model = Trainer::new(config).train(&data).unwrap();
+        let new: Vec<LabeledEdgeSet> = (0..5).map(|_| sample(&mut rng, 1, 110.0)).collect();
+        let outcome = model.update_online(&new).unwrap();
+        assert_eq!(outcome.absorbed, 5);
+        assert!(model.cluster(ClusterId(0)).gaussian().is_none());
+        assert_eq!(model.cluster(ClusterId(0)).count(), 15);
+    }
+
+    #[test]
+    fn wrong_dimension_update_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = base_model(&mut rng);
+        let bad = LabeledEdgeSet::new(SourceAddress(1), EdgeSet::new(vec![0.0; 9]));
+        assert!(matches!(
+            model.update_online(&[bad]).unwrap_err(),
+            VProfileError::MixedDimensions { .. }
+        ));
+    }
+
+    #[test]
+    fn retrain_bound_triggers_per_cluster() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = base_model(&mut rng);
+        // Training used 15 per cluster.
+        assert!(!model.needs_retrain(100));
+        assert!(model.needs_retrain(15));
+        assert!(model.needs_retrain(10));
+    }
+
+    #[test]
+    fn online_update_matches_full_retrain_statistics() {
+        // Absorbing data online must land on the same moments as training
+        // on the union from scratch (same-metric check via cluster means).
+        let mut rng = StdRng::seed_from_u64(9);
+        let head: Vec<LabeledEdgeSet> = (0..20).map(|_| sample(&mut rng, 1, 100.0)).collect();
+        let tail: Vec<LabeledEdgeSet> = (0..20).map(|_| sample(&mut rng, 1, 103.0)).collect();
+        let mut config =
+            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        let trainer = Trainer::new(config);
+        let mut online_model = trainer.train(&head).unwrap();
+        online_model.update_online(&tail).unwrap();
+
+        let all: Vec<LabeledEdgeSet> = head.into_iter().chain(tail).collect();
+        let batch_model = trainer.train(&all).unwrap();
+
+        let online_mean = online_model.cluster(ClusterId(0)).mean();
+        let batch_mean = batch_model.cluster(ClusterId(0)).mean();
+        for (a, b) in online_mean.iter().zip(batch_mean) {
+            assert!((a - b).abs() < 1e-9, "means diverge: {a} vs {b}");
+        }
+        let g1 = online_model.cluster(ClusterId(0)).gaussian().unwrap();
+        let g2 = batch_model.cluster(ClusterId(0)).gaussian().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = g1.covariance()[(i, j)];
+                let b = g2.covariance()[(i, j)];
+                assert!((a - b).abs() < 1e-8, "covariance diverges at ({i},{j})");
+            }
+        }
+    }
+}

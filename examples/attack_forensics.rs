@@ -1,0 +1,81 @@
+//! Attack forensics: identifying *which* ECU sent a spoofed message.
+//!
+//! When a hijacked ECU transmits under another ECU's SA, vProfile's
+//! cluster-mismatch verdict carries the predicted cluster — the physical
+//! origin of the attack (thesis §3.2.3: "vProfile can also determine the
+//! attack's origin from the predicted cluster"). This example cross-checks
+//! that attribution against the Viden-style baseline.
+//!
+//! ```sh
+//! cargo run --release --example attack_forensics
+//! ```
+
+use vprofile_suite::baselines::VidenDetector;
+use vprofile_suite::can::SourceAddress;
+use vprofile_suite::core::{AnomalyKind, Detector, EdgeSetExtractor, Trainer, VProfileConfig, Verdict};
+use vprofile_suite::vehicle::{CaptureConfig, Vehicle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vehicle = Vehicle::vehicle_a(31);
+    let capture = vehicle.capture(&CaptureConfig::default().with_frames(2200).with_seed(31))?;
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    let (train, test) = extracted.split_train_test();
+    let training: Vec<_> = train.iter().map(|o| o.observation.clone()).collect();
+    let lut = vehicle.sa_lut();
+
+    let model = Trainer::new(config).train_with_lut(&training, &lut)?;
+    let detector = Detector::with_margin(&model, 2.0);
+    let viden = VidenDetector::fit(&training, &lut, 6.0)?;
+
+    // The hijack: the transmission controller (ECU 1) sends messages under
+    // the ECM's SA 0x00.
+    let ecm_sa = SourceAddress(0x00);
+    let attacks: Vec<_> = test
+        .iter()
+        .filter(|o| o.true_ecu == 1)
+        .map(|o| o.observation.with_sa(ecm_sa))
+        .collect();
+    println!(
+        "replaying {} spoofed frames (ECU 1 imitating the ECM) …",
+        attacks.len()
+    );
+
+    let mut attributed = 0usize;
+    let mut detected = 0usize;
+    let mut viden_agrees = 0usize;
+    for (idx, attack) in attacks.iter().enumerate() {
+        match detector.classify(attack) {
+            Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch { expected, predicted, distance },
+            } => {
+                detected += 1;
+                if predicted.0 == 1 {
+                    attributed += 1;
+                }
+                if idx == 0 {
+                    println!(
+                        "first alarm: claimed {expected}, waveform matches {predicted} \
+                         (distance {distance:.2})"
+                    );
+                    println!(
+                        "  offending ECU: \"{}\"",
+                        vehicle.ecus()[predicted.0].name
+                    );
+                }
+                let (viden_origin, _) = viden.attribute(attack);
+                if viden_origin == predicted {
+                    viden_agrees += 1;
+                }
+            }
+            Verdict::Anomaly { .. } => detected += 1,
+            Verdict::Ok { .. } => {}
+        }
+    }
+    println!(
+        "detected {detected}/{} spoofed frames; {attributed} attributed to the true origin",
+        attacks.len()
+    );
+    println!("Viden-style attribution agreed on {viden_agrees}/{detected} alarms");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Umbrella crate for the vProfile reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`can`] — CAN 2.0B / J1939 data-link substrate.
+//! * [`analog`] — analog PHY simulation (transceivers, waveforms, ADC,
+//!   environment).
+//! * [`sigstat`] — linear algebra and statistics.
+//! * [`vehicle`] — synthetic vehicles, traffic, captures, attacks.
+//! * [`core`] — the vProfile algorithm itself (extraction, training,
+//!   detection, online update).
+//! * [`baselines`] — SIMPLE/Viden/Scission-style comparator detectors.
+//! * [`ids`] — streaming intrusion-detection pipeline.
+//! * [`experiments`] — the table/figure reproduction harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vprofile_suite::vehicle::{CaptureConfig, Vehicle};
+//! use vprofile_suite::core::{EdgeSetExtractor, Trainer, VProfileConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let vehicle = Vehicle::vehicle_b(42);
+//! let capture = vehicle.capture(&CaptureConfig::default().with_frames(800))?;
+//! let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+//! let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+//! let model = Trainer::new(config).train_with_lut(&extracted.labeled(), &vehicle.sa_lut())?;
+//! assert_eq!(model.cluster_count(), vehicle.ecu_count());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use vprofile as core;
+pub use vprofile_analog as analog;
+pub use vprofile_baselines as baselines;
+pub use vprofile_can as can;
+pub use vprofile_experiments as experiments;
+pub use vprofile_ids as ids;
+pub use vprofile_sigstat as sigstat;
+pub use vprofile_vehicle as vehicle;

@@ -1,0 +1,142 @@
+//! Environmental shape targets of DESIGN.md §5: distances grow with
+//! temperature (fastest for the engine-mounted ECM), high-power load events
+//! barely move the bus, and the online update absorbs the drift.
+
+use vprofile_suite::analog::PowerEvent;
+use vprofile_suite::core::{ClusterId, EdgeSetExtractor, Model, Trainer, VProfileConfig};
+use vprofile_suite::sigstat::DistanceMetric;
+use vprofile_suite::vehicle::scenario::{power_event_trials, temperature_sweep};
+use vprofile_suite::vehicle::{TruthObservation, Vehicle};
+
+const FRAMES: usize = 1400;
+
+/// Trains on half the first capture of `sweep`, returns the model and the
+/// held-out half.
+fn train_on_first(
+    vehicle: &Vehicle,
+    capture: &vprofile_suite::vehicle::Capture,
+) -> (Model, Vec<TruthObservation>, EdgeSetExtractor) {
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extractor = EdgeSetExtractor::new(config.clone());
+    let (train, holdout) = capture.extract(&extractor).split_train_test();
+    let labeled: Vec<_> = train.iter().map(|o| o.observation.clone()).collect();
+    let model = Trainer::new(config)
+        .train_with_lut(&labeled, &vehicle.sa_lut())
+        .expect("training");
+    (model, holdout, extractor)
+}
+
+fn ecu_mean_distance(
+    model: &Model,
+    observations: &[TruthObservation],
+    ecu: usize,
+) -> f64 {
+    let dists: Vec<f64> = observations
+        .iter()
+        .filter(|o| o.true_ecu == ecu)
+        .filter_map(|o| {
+            model
+                .cluster(ClusterId(ecu))
+                .distance(o.observation.edge_set.samples(), DistanceMetric::Mahalanobis)
+                .ok()
+        })
+        .collect();
+    assert!(dists.len() > 10, "need traffic from ECU {ecu}");
+    dists.iter().sum::<f64>() / dists.len() as f64
+}
+
+#[test]
+fn temperature_drift_is_monotone_and_ecm_dominated() {
+    let vehicle = Vehicle::vehicle_a(5);
+    // Cold training bin plus three test bins spanning the thesis range.
+    let bins = [(-5.0, 0.0), (5.0, 10.0), (12.5, 17.5), (20.0, 25.0)];
+    let sweep = temperature_sweep(&vehicle, &bins, FRAMES, 5).expect("sweep");
+    let (model, holdout, extractor) = train_on_first(&vehicle, &sweep[0].capture);
+
+    let baseline_ecm = ecu_mean_distance(&model, &holdout, 0);
+    let baseline_body = ecu_mean_distance(&model, &holdout, 3);
+
+    let mut prev = baseline_ecm;
+    let mut hottest_delta_ecm = 0.0;
+    let mut hottest_delta_body = 0.0;
+    for tc in sweep.iter().skip(1) {
+        let observations = tc.capture.extract(&extractor).observations;
+        let d_ecm = ecu_mean_distance(&model, &observations, 0);
+        assert!(
+            d_ecm > prev * 0.98,
+            "ECM distance must grow (within noise) with temperature: {prev} → {d_ecm}"
+        );
+        prev = d_ecm;
+        hottest_delta_ecm = d_ecm / baseline_ecm - 1.0;
+        hottest_delta_body =
+            ecu_mean_distance(&model, &observations, 3) / baseline_body - 1.0;
+    }
+    // Figure 4.6's defining contrast: the engine-mounted ECM drifts
+    // drastically, the body controller barely.
+    assert!(
+        hottest_delta_ecm > 0.3,
+        "ECM delta {hottest_delta_ecm} too small"
+    );
+    assert!(
+        hottest_delta_ecm > 4.0 * hottest_delta_body.abs(),
+        "ECM delta {hottest_delta_ecm} should dwarf body delta {hottest_delta_body}"
+    );
+}
+
+#[test]
+fn online_update_absorbs_temperature_drift() {
+    let vehicle = Vehicle::vehicle_a(6);
+    let bins = [(-5.0, 0.0), (20.0, 25.0)];
+    let sweep = temperature_sweep(&vehicle, &bins, FRAMES, 6).expect("sweep");
+    let (static_model, holdout, extractor) = train_on_first(&vehicle, &sweep[0].capture);
+    let baseline = ecu_mean_distance(&static_model, &holdout, 0);
+
+    let hot = sweep[1].capture.extract(&extractor);
+    let d_static = ecu_mean_distance(&static_model, &hot.observations, 0);
+    assert!(d_static > baseline * 1.2, "premise: hot data drifts");
+
+    let mut online_model = static_model.clone();
+    online_model.update_online(&hot.labeled()).expect("update");
+    let d_online = ecu_mean_distance(&online_model, &hot.observations, 0);
+    assert!(
+        d_online < d_static * 0.7,
+        "online update must absorb drift: {d_static} → {d_online}"
+    );
+}
+
+#[test]
+fn power_events_barely_move_the_bus() {
+    // Thesis Table 4.9 / Figure 4.7: high-power functions leave detection
+    // untouched; the largest (still small) shift comes from lights + A/C.
+    let vehicle = Vehicle::vehicle_a(7);
+    let trials = power_event_trials(&vehicle, 1, FRAMES, 7).expect("trials");
+    let baseline = trials
+        .iter()
+        .find(|t| t.event == PowerEvent::Baseline)
+        .expect("baseline");
+    let (model, holdout, extractor) = train_on_first(&vehicle, &baseline.capture);
+    let base_mean = ecu_mean_distance(&model, &holdout, 0);
+
+    let mut max_event_delta = 0.0f64;
+    let mut lights_ac_delta = 0.0f64;
+    for trial in trials.iter().filter(|t| t.event != PowerEvent::Baseline) {
+        let observations = trial.capture.extract(&extractor).observations;
+        let delta = (ecu_mean_distance(&model, &observations, 0) / base_mean - 1.0).abs();
+        assert!(
+            delta < 0.30,
+            "event {} moved distances by {delta}",
+            trial.event
+        );
+        if delta > max_event_delta {
+            max_event_delta = delta;
+        }
+        if trial.event == PowerEvent::LightsAndAc {
+            lights_ac_delta = delta;
+        }
+    }
+    assert!(
+        lights_ac_delta >= max_event_delta * 0.5,
+        "lights+A/C ({lights_ac_delta}) should be among the largest shifts \
+         (max {max_event_delta})"
+    );
+}

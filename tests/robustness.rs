@@ -1,0 +1,104 @@
+//! Adversarial-input robustness: a monitor parses whatever is on the wire,
+//! so no component may panic on arbitrary input — malformed bitstreams,
+//! garbage sample streams, corrupted frames.
+
+use proptest::prelude::*;
+use vprofile_suite::analog::AdcConfig;
+use vprofile_suite::can::WireFrame;
+use vprofile_suite::core::{EdgeSetExtractor, VProfileConfig};
+use vprofile_suite::ids::StreamFramer;
+
+proptest! {
+    /// Decoding arbitrary bit salad returns an error or a valid frame,
+    /// never panics.
+    #[test]
+    fn decode_never_panics(bits in proptest::collection::vec(any::<bool>(), 0..400)) {
+        if let Ok(frame) = WireFrame::decode(&bits) {
+            // Anything that decodes must re-encode to a self-consistent
+            // wire image that decodes to the same frame.
+            let wire = WireFrame::encode(&frame);
+            prop_assert_eq!(WireFrame::decode(wire.bits()).unwrap(), frame);
+        }
+    }
+
+    /// Flipping any single bit of a valid frame is either detected as an
+    /// error or yields some (possibly different) well-formed frame — the
+    /// decoder never panics and never returns garbage it cannot re-encode.
+    #[test]
+    fn single_bit_flips_are_handled(
+        raw in 0u32..=0x1FFF_FFFF,
+        data in proptest::collection::vec(any::<u8>(), 0..=8),
+        flip in 0usize..200,
+    ) {
+        let frame = vprofile_suite::can::DataFrame::new(
+            vprofile_suite::can::ExtendedId::new(raw).unwrap(),
+            &data,
+        ).unwrap();
+        let wire = WireFrame::encode(&frame);
+        let mut bits = wire.bits().to_vec();
+        let idx = flip % bits.len();
+        bits[idx] = !bits[idx];
+        if let Ok(decoded) = WireFrame::decode(&bits) {
+            let rewire = WireFrame::encode(&decoded);
+            prop_assert!(WireFrame::decode(rewire.bits()).is_ok());
+        }
+    }
+
+    /// The edge-set extractor returns a result (never panics) on arbitrary
+    /// finite sample streams.
+    #[test]
+    fn extractor_never_panics(
+        samples in proptest::collection::vec(-100.0f64..70000.0, 0..4000)
+    ) {
+        let config = VProfileConfig::for_adc(&AdcConfig::vehicle_b(), 250_000);
+        let extractor = EdgeSetExtractor::new(config);
+        let _ = extractor.extract(&samples);
+    }
+
+    /// The stream framer accepts arbitrary chunkings of arbitrary samples
+    /// without panicking, and chunking never changes the result.
+    #[test]
+    fn framer_is_chunking_invariant(
+        samples in proptest::collection::vec(0.0f64..4096.0, 0..3000),
+        chunk in 1usize..512,
+    ) {
+        let mut whole = StreamFramer::new(40.0, 2048.0);
+        let mut expected = whole.push(&samples);
+        if let Some(tail) = whole.flush() {
+            expected.push(tail);
+        }
+        let mut chunked = StreamFramer::new(40.0, 2048.0);
+        let mut got = Vec::new();
+        for piece in samples.chunks(chunk) {
+            got.extend(chunked.push(piece));
+        }
+        if let Some(tail) = chunked.flush() {
+            got.push(tail);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Requantize → extract at any legal resolution either works or errors
+    /// cleanly; extraction output dimensionality is always the configured
+    /// one.
+    #[test]
+    fn extraction_dimension_is_invariant(
+        seed in 0u64..50,
+        bits in 6u32..=12,
+    ) {
+        use vprofile_suite::vehicle::{CaptureConfig, Vehicle};
+        let vehicle = Vehicle::vehicle_b(seed);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(2).with_seed(seed))
+            .unwrap();
+        let reduced = capture.requantize(bits);
+        let config = VProfileConfig::for_adc(reduced.adc(), reduced.bit_rate_bps());
+        let dim = config.edge_set_dim();
+        let extractor = EdgeSetExtractor::new(config);
+        for frame in reduced.frames() {
+            if let Ok(obs) = extractor.extract(&frame.trace.to_f64()) {
+                prop_assert_eq!(obs.edge_set.dim(), dim);
+            }
+        }
+    }
+}

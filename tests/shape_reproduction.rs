@@ -1,0 +1,107 @@
+//! The headline reproduction targets of DESIGN.md §5: the *shapes* of
+//! Tables 4.1–4.4 must hold — Mahalanobis ≫ Euclidean, Euclidean collapses
+//! on the foreign-device test for Vehicle A and degrades broadly on
+//! Vehicle B.
+
+use vprofile_suite::experiments::tables::three_test_table;
+use vprofile_suite::experiments::VehicleKind;
+use vprofile_suite::sigstat::DistanceMetric;
+
+const SEED: u64 = 11;
+const FRAMES_A: usize = 1400;
+const FRAMES_B: usize = 900;
+
+#[test]
+fn vehicle_a_mahalanobis_is_nearly_perfect() {
+    // Thesis Table 4.3: accuracy 1.00000, hijack F 0.99999, foreign F 1.00000.
+    let r = three_test_table(VehicleKind::A, DistanceMetric::Mahalanobis, FRAMES_A, SEED)
+        .expect("experiment runs");
+    assert!(
+        r.false_positive.confusion.accuracy() >= 0.999,
+        "fp accuracy {}",
+        r.false_positive.confusion.accuracy()
+    );
+    assert!(
+        r.hijack.confusion.f_score() >= 0.999,
+        "hijack F {}",
+        r.hijack.confusion.f_score()
+    );
+    assert!(
+        r.foreign.confusion.f_score() >= 0.99,
+        "foreign F {}",
+        r.foreign.confusion.f_score()
+    );
+    // Thesis §4.2.2: the most similar Vehicle A pair is ECUs 1 and 4.
+    assert_eq!(r.foreign_pair, (1, 4));
+}
+
+#[test]
+fn vehicle_b_mahalanobis_stays_high() {
+    // Thesis Table 4.4: accuracy 1.00000, F-scores 0.99999/1.00000.
+    let r = three_test_table(VehicleKind::B, DistanceMetric::Mahalanobis, FRAMES_B, SEED)
+        .expect("experiment runs");
+    assert!(
+        r.false_positive.confusion.accuracy() >= 0.995,
+        "fp accuracy {}",
+        r.false_positive.confusion.accuracy()
+    );
+    assert!(
+        r.hijack.confusion.f_score() >= 0.99,
+        "hijack F {}",
+        r.hijack.confusion.f_score()
+    );
+    assert!(
+        r.foreign.confusion.f_score() >= 0.95,
+        "foreign F {}",
+        r.foreign.confusion.f_score()
+    );
+}
+
+#[test]
+fn vehicle_a_euclidean_misses_the_foreign_device() {
+    // Thesis Table 4.1: fp/hijack near-perfect but foreign F ≈ 0.00065 —
+    // the foreign device walks right through a Euclidean detector.
+    let r = three_test_table(VehicleKind::A, DistanceMetric::Euclidean, FRAMES_A, SEED)
+        .expect("experiment runs");
+    assert!(
+        r.false_positive.confusion.accuracy() >= 0.99,
+        "fp accuracy {}",
+        r.false_positive.confusion.accuracy()
+    );
+    assert!(
+        r.hijack.confusion.f_score() >= 0.98,
+        "hijack F {}",
+        r.hijack.confusion.f_score()
+    );
+    assert!(
+        r.foreign.confusion.f_score() <= 0.5,
+        "foreign F {} should collapse",
+        r.foreign.confusion.f_score()
+    );
+    assert_eq!(r.foreign_pair, (1, 4));
+}
+
+#[test]
+fn vehicle_b_euclidean_degrades_broadly() {
+    // Thesis Table 4.2: accuracy 0.88606, hijack F 0.80637, foreign 0.42205
+    // — "considerably more false positives overall".
+    let euclid = three_test_table(VehicleKind::B, DistanceMetric::Euclidean, FRAMES_B, SEED)
+        .expect("experiment runs");
+    let mahal = three_test_table(VehicleKind::B, DistanceMetric::Mahalanobis, FRAMES_B, SEED)
+        .expect("experiment runs");
+
+    let e_acc = euclid.false_positive.confusion.accuracy();
+    assert!(
+        (0.5..=0.97).contains(&e_acc),
+        "Euclidean fp accuracy {e_acc} should degrade but not vanish"
+    );
+    assert!(
+        euclid.hijack.confusion.f_score() < 0.95,
+        "Euclidean hijack F {}",
+        euclid.hijack.confusion.f_score()
+    );
+    // Mahalanobis dominates on every test.
+    assert!(mahal.false_positive.confusion.accuracy() > e_acc);
+    assert!(mahal.hijack.confusion.f_score() > euclid.hijack.confusion.f_score());
+    assert!(mahal.foreign.confusion.f_score() > euclid.foreign.confusion.f_score());
+}
