@@ -6,7 +6,7 @@
 //! adequate for the handful of discriminant directions a CAN bus needs
 //! (at most `classes − 1`).
 
-use vprofile_sigstat::{Matrix, SigStatError};
+use vprofile_sigstat::{exactly_zero, Matrix, SigStatError};
 
 /// A fitted Fisher discriminant projection.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +73,7 @@ impl FisherDiscriminant {
             for obs in class.iter() {
                 for i in 0..dim {
                     let di = obs[i] - mean[i];
-                    if di == 0.0 {
+                    if exactly_zero(di) {
                         continue;
                     }
                     for j in 0..dim {
@@ -106,7 +106,7 @@ impl FisherDiscriminant {
             let mut eigenvalue = 0.0;
             for _ in 0..200 {
                 // w = S_b v, u = S_w⁻¹ w.
-                let w = mat_vec(&s_b, &v);
+                let w = s_b.mul_vec(&v)?;
                 let mut u = chol.solve(&w)?;
                 // Deflate against previously found directions (S_w-orthogonal
                 // deflation approximated by plain Gram–Schmidt).
@@ -182,10 +182,6 @@ impl FisherDiscriminant {
     }
 }
 
-fn mat_vec(m: &Matrix, v: &[f64]) -> Vec<f64> {
-    m.mul_vec(v).expect("dimensions checked at fit time")
-}
-
 fn norm(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
@@ -233,8 +229,14 @@ mod tests {
         assert_eq!(fda.input_dim(), 3);
         // Projected class means must separate by much more than the
         // projected intra-class spread.
-        let proj_a: Vec<f64> = classes[0].iter().map(|x| fda.project(x).unwrap()[0]).collect();
-        let proj_b: Vec<f64> = classes[1].iter().map(|x| fda.project(x).unwrap()[0]).collect();
+        let proj_a: Vec<f64> = classes[0]
+            .iter()
+            .map(|x| fda.project(x).unwrap()[0])
+            .collect();
+        let proj_b: Vec<f64> = classes[1]
+            .iter()
+            .map(|x| fda.project(x).unwrap()[0])
+            .collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let std = |v: &[f64], m: f64| {
             (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()

@@ -59,11 +59,7 @@ pub fn region_features(samples: &[f64]) -> RegionFeatures {
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let rms = (samples.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
     let roughness = if samples.len() > 1 {
-        samples
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .sum::<f64>()
-            / (n - 1.0)
+        samples.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1.0)
     } else {
         0.0
     };

@@ -169,18 +169,23 @@ impl LogisticRegression {
         Ok(probs)
     }
 
-    /// The most probable class and its probability.
+    /// The most probable class and its probability. NaN probabilities are
+    /// ordered below every real value by `total_cmp`, so a poisoned logit
+    /// cannot panic the argmax.
     ///
     /// # Errors
     ///
-    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length.
+    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length and
+    /// [`SigStatError::EmptyInput`] for a model with zero classes.
     pub fn predict(&self, x: &[f64]) -> Result<(usize, f64), SigStatError> {
         let probs = self.predict_proba(x)?;
         let (idx, &p) = probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .expect("at least one class");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .ok_or(SigStatError::EmptyInput {
+                context: "LogisticRegression::predict",
+            })?;
         Ok((idx, p))
     }
 }

@@ -105,7 +105,11 @@ mod tests {
                     samples.push(v + rng.random_range(-3.0..3.0));
                 }
                 for i in 0..8 {
-                    let v = if i < 4 { level * (1.0 - i as f64 / 4.0) } else { 0.0 };
+                    let v = if i < 4 {
+                        level * (1.0 - i as f64 / 4.0)
+                    } else {
+                        0.0
+                    };
                     samples.push(v + rng.random_range(-3.0..3.0));
                 }
                 LabeledEdgeSet::new(SourceAddress(sa), EdgeSet::new(samples))
@@ -148,8 +152,7 @@ mod tests {
             .filter(|m| !detector.classify(m).is_anomaly())
             .count();
         assert!(genuine_pass as f64 / a.len() as f64 > 0.9);
-        let attacks: Vec<LabeledEdgeSet> =
-            b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
+        let attacks: Vec<LabeledEdgeSet> = b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
         let caught = attacks
             .iter()
             .filter(|m| detector.classify(m).is_anomaly())
@@ -161,7 +164,9 @@ mod tests {
     fn unknown_sa_is_anomalous() {
         let mut rng = StdRng::seed_from_u64(3);
         let (detector, a, _) = train(&mut rng);
-        assert!(detector.classify(&a[0].with_sa(SourceAddress(9))).is_anomaly());
+        assert!(detector
+            .classify(&a[0].with_sa(SourceAddress(9)))
+            .is_anomaly());
     }
 
     #[test]

@@ -100,8 +100,8 @@ impl SimpleDetector {
 /// find Mahalanobis distance thresholds for each ECU based on equal error
 /// rates").
 fn eer_threshold(genuine: &mut [f64], impostor: &mut [f64]) -> f64 {
-    genuine.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
-    impostor.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    genuine.sort_by(f64::total_cmp);
+    impostor.sort_by(f64::total_cmp);
     if impostor.is_empty() {
         return genuine.last().copied().unwrap_or(0.0);
     }
@@ -196,8 +196,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (detector, _, b) = train(&mut rng);
         // ECU at 400 claims SA 1 (cluster at 100).
-        let attacks: Vec<LabeledEdgeSet> =
-            b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
+        let attacks: Vec<LabeledEdgeSet> = b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
         let detected = attacks
             .iter()
             .filter(|m| detector.classify(m).is_anomaly())
@@ -221,6 +220,17 @@ mod tests {
         // [3, 10); anywhere in it is a valid EER threshold.
         let t = eer_threshold(&mut genuine, &mut impostor);
         assert!((3.0 - 1e-6..10.0).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn eer_threshold_tolerates_nan_scores() {
+        // Regression: the sort previously used `partial_cmp(..).unwrap()`,
+        // which panics on NaN. `total_cmp` orders NaN after every finite
+        // value, so a poisoned score degrades gracefully instead.
+        let mut genuine = vec![1.0, f64::NAN, 3.0];
+        let mut impostor = vec![10.0, 11.0, f64::NAN];
+        let t = eer_threshold(&mut genuine, &mut impostor);
+        assert!(t.is_finite() || t.is_nan(), "no panic is the contract");
     }
 
     #[test]

@@ -96,8 +96,12 @@ impl LinearSvm {
             for (z, y) in &standardized {
                 t += 1.0;
                 let eta = 1.0 / (params.lambda * t);
-                let score: f64 =
-                    weights[..dim].iter().zip(z).map(|(w, x)| w * x).sum::<f64>() + weights[dim];
+                let score: f64 = weights[..dim]
+                    .iter()
+                    .zip(z)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + weights[dim];
                 // L2 shrinkage on the weight part (not the bias).
                 for w in &mut weights[..dim] {
                     *w *= 1.0 - eta * params.lambda;

@@ -202,7 +202,11 @@ mod tests {
                     samples.push(v + rng.random_range(-2.0..2.0));
                 }
                 for i in 0..8 {
-                    let v = if i < 4 { level * (1.0 - i as f64 / 4.0) } else { 0.0 };
+                    let v = if i < 4 {
+                        level * (1.0 - i as f64 / 4.0)
+                    } else {
+                        0.0
+                    };
                     samples.push(v + rng.random_range(-2.0..2.0));
                 }
                 LabeledEdgeSet::new(SourceAddress(sa), EdgeSet::new(samples))
@@ -262,7 +266,9 @@ mod tests {
     fn unknown_sa_is_anomalous() {
         let mut rng = StdRng::seed_from_u64(4);
         let (detector, a, _) = train(&mut rng);
-        assert!(detector.classify(&a[0].with_sa(SourceAddress(0x70))).is_anomaly());
+        assert!(detector
+            .classify(&a[0].with_sa(SourceAddress(0x70)))
+            .is_anomaly());
     }
 
     #[test]

@@ -63,10 +63,7 @@ impl VoltageIdsDetector {
     /// # Errors
     ///
     /// Propagates dimension errors.
-    pub fn identify(
-        &self,
-        observation: &LabeledEdgeSet,
-    ) -> Result<(ClusterId, f64), SigStatError> {
+    pub fn identify(&self, observation: &LabeledEdgeSet) -> Result<(ClusterId, f64), SigStatError> {
         let features = scission_features(observation.edge_set.samples());
         let (class, margin) = self.svm.predict(&features)?;
         Ok((ClusterId(class), margin))
@@ -116,7 +113,11 @@ mod tests {
                     samples.push(v + rng.random_range(-3.0..3.0));
                 }
                 for i in 0..8 {
-                    let v = if i < 4 { level * (1.0 - i as f64 / 4.0) } else { 0.0 };
+                    let v = if i < 4 {
+                        level * (1.0 - i as f64 / 4.0)
+                    } else {
+                        0.0
+                    };
                     samples.push(v + rng.random_range(-3.0..3.0));
                 }
                 LabeledEdgeSet::new(SourceAddress(sa), EdgeSet::new(samples))
@@ -136,11 +137,7 @@ mod tests {
         let b = synthetic(rng, 2, 1300.0, 50);
         let mut data = a.clone();
         data.extend(b.clone());
-        (
-            VoltageIdsDetector::fit(&data, &lut(), 0.0).unwrap(),
-            a,
-            b,
-        )
+        (VoltageIdsDetector::fit(&data, &lut(), 0.0).unwrap(), a, b)
     }
 
     #[test]

@@ -19,7 +19,8 @@ fn bench_classify(c: &mut Criterion) {
     let vprofile_sys = VProfileIdentifier::new(fixture.model.clone(), 1.0);
     let simple = SimpleDetector::fit(&fixture.observations, &lut).expect("SIMPLE trains");
     let viden = VidenDetector::fit(&fixture.observations, &lut, 6.0).expect("Viden trains");
-    let scission = ScissionDetector::fit(&fixture.observations, &lut, 0.5).expect("Scission trains");
+    let scission =
+        ScissionDetector::fit(&fixture.observations, &lut, 0.5).expect("Scission trains");
     let voltageids =
         VoltageIdsDetector::fit(&fixture.observations, &lut, 0.0).expect("VoltageIDS trains");
 

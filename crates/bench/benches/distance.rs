@@ -10,7 +10,11 @@ use vprofile_sigstat::{euclidean, Gaussian};
 fn random_gaussian(rng: &mut StdRng, dim: usize) -> (Gaussian, Vec<f64>) {
     // Observations with independent noise per dimension → SPD covariance.
     let observations: Vec<Vec<f64>> = (0..dim * 3 + 4)
-        .map(|_| (0..dim).map(|i| i as f64 + rng.random_range(-1.0..1.0)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|i| i as f64 + rng.random_range(-1.0..1.0))
+                .collect()
+        })
         .collect();
     let gaussian = Gaussian::fit(&observations, 1e-6).expect("fits");
     let probe: Vec<f64> = (0..dim)
@@ -37,7 +41,11 @@ fn bench_metrics(c: &mut Criterion) {
 fn bench_fit(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let observations: Vec<Vec<f64>> = (0..200)
-        .map(|_| (0..32).map(|i| i as f64 + rng.random_range(-1.0..1.0)).collect())
+        .map(|_| {
+            (0..32)
+                .map(|i| i as f64 + rng.random_range(-1.0..1.0))
+                .collect()
+        })
         .collect();
     c.bench_function("gaussian_fit_200x32", |b| {
         b.iter(|| Gaussian::fit(black_box(&observations), 1e-6).expect("fits"))

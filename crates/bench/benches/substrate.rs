@@ -66,8 +66,7 @@ fn bench_framer(c: &mut Criterion) {
     let config = &fixture.config;
     c.bench_function("stream_framer_20_frames", |b| {
         b.iter(|| {
-            let mut framer =
-                StreamFramer::new(config.bit_width_samples, config.bit_threshold);
+            let mut framer = StreamFramer::new(config.bit_width_samples, config.bit_threshold);
             framer.push(black_box(&stream)).len()
         })
     });

@@ -12,8 +12,8 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use vprofile_experiments::tables::{
-    table_4_5, table_4_6, table_4_7, table_4_8, table_4_9, table_5_1, table_5_2,
-    three_test_table, SpreadRow, SweepCell, ThreeTestResult,
+    table_4_5, table_4_6, table_4_7, table_4_8, table_4_9, table_5_1, table_5_2, three_test_table,
+    SpreadRow, SweepCell, ThreeTestResult,
 };
 use vprofile_experiments::{figures, markdown_table, Series, VehicleKind};
 use vprofile_sigstat::DistanceMetric;
@@ -113,7 +113,10 @@ fn usage_error(message: &str) -> ExitCode {
 }
 
 fn run_all(options: &Options) -> ExitCode {
-    let out_dir = options.out_dir.clone().unwrap_or_else(|| "repro_out".into());
+    let out_dir = options
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| "repro_out".into());
     if let Err(err) = std::fs::create_dir_all(&out_dir) {
         eprintln!("error: cannot create {out_dir}: {err}");
         return ExitCode::FAILURE;
@@ -210,8 +213,14 @@ fn run_experiment(id: &str, options: &Options) -> Result<String, String> {
                 )
             })
             .map_err(err),
-        "fig-2.1" => Ok(render_series("Figure 2.1 — CAN differential signalling", &figures::fig_2_1(seed))),
-        "fig-2.3" => Ok(render_series("Figure 2.3 — arbitration (ECU 1 loses at bit 7)", &figures::fig_2_3())),
+        "fig-2.1" => Ok(render_series(
+            "Figure 2.1 — CAN differential signalling",
+            &figures::fig_2_1(seed),
+        )),
+        "fig-2.3" => Ok(render_series(
+            "Figure 2.3 — arbitration (ECU 1 loses at bit 7)",
+            &figures::fig_2_3(),
+        )),
         "fig-2.5" => figures::fig_2_5(options.frames.map(|f| f / 12).unwrap_or(200), seed)
             .map(|s| render_series("Figure 2.5 — two-ECU edge-set overlay", &s))
             .map_err(err),
@@ -236,7 +245,7 @@ fn run_experiment(id: &str, options: &Options) -> Result<String, String> {
         "fig-4.8" => figures::fig_4_7_and_4_8(5, options.frames.unwrap_or(1100), seed)
             .map(|(_, s)| render_series("Figure 4.8 — accessory-mode drift across trials", &s))
             .map_err(err),
-        "frame-layout" => Ok(frame_layout()),
+        "frame-layout" => frame_layout(),
         "margin-sweep" => margin_sweep(options.frames.unwrap_or(1200), seed).map_err(err),
         "online-update" => online_update(options.frames.unwrap_or(1400), seed).map_err(err),
         "singular-cov" => singular_cov(options.frames.unwrap_or(1200), seed).map_err(err),
@@ -260,7 +269,10 @@ fn render_three_tests(title: &str, result: &ThreeTestResult) -> String {
         (
             "False positive test",
             &result.false_positive,
-            format!("accuracy: {:.5}", result.false_positive.confusion.accuracy()),
+            format!(
+                "accuracy: {:.5}",
+                result.false_positive.confusion.accuracy()
+            ),
         ),
         (
             "Hijack imitation test",
@@ -306,7 +318,12 @@ fn render_table_4_5(t: vprofile_experiments::tables::Table45) -> String {
     format!(
         "# Table 4.5 — distances from an ECU 0 edge set to ECUs 0 and 1\n\n{}",
         markdown_table(
-            &["Metric", "Distance to ECU 0", "Distance to ECU 1", "Quotient"],
+            &[
+                "Metric",
+                "Distance to ECU 0",
+                "Distance to ECU 1",
+                "Quotient"
+            ],
             &rows
         )
     )
@@ -402,33 +419,27 @@ fn render_series(title: &str, series: &[Series]) -> String {
     out
 }
 
-fn frame_layout() -> String {
+fn frame_layout() -> Result<String, String> {
     use vprofile_can::{DataFrame, ExtendedId, WireFrame};
     let frame = DataFrame::new(
-        ExtendedId::new(0x0CF0_0400).expect("29-bit id"),
+        ExtendedId::new_truncated(0x0CF0_0400),
         &[0x12, 0x34, 0x56, 0x78],
     )
-    .expect("payload fits");
+    .map_err(|e| e.to_string())?;
     let wire = WireFrame::encode(&frame);
     let rows: Vec<Vec<String>> = wire
         .field_spans()
         .iter()
-        .map(|s| {
-            vec![
-                s.name.to_string(),
-                s.start.to_string(),
-                s.len.to_string(),
-            ]
-        })
+        .map(|s| vec![s.name.to_string(), s.start.to_string(), s.len.to_string()])
         .collect();
-    format!(
+    Ok(format!(
         "# Figures 2.2/2.4 — extended frame field layout (from the encoder)\n\n\
          Frame: {frame}  (CRC {:#06x}, {} stuff bits, {} wire bits)\n\n{}",
         wire.crc(),
         wire.stuff_bit_count(),
         wire.duration_bits(),
         markdown_table(&["field", "start bit", "bits"], &rows)
-    )
+    ))
 }
 
 fn margin_sweep(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
@@ -439,21 +450,27 @@ fn margin_sweep(frames: usize, seed: u64) -> Result<String, vprofile::VProfileEr
         ExperimentFixture::prepare(VehicleKind::A, DistanceMetric::Mahalanobis, frames, seed)?;
     let model = fixture.train_model()?;
     let (attacker, victim, _) =
-        vprofile_experiments::most_similar_pair(&model, DistanceMetric::Mahalanobis);
+        vprofile_experiments::most_similar_pair(&model, DistanceMetric::Mahalanobis)?;
     let reduced = fixture.train_model_without_ecu(attacker)?;
     let victim_sa = *fixture
         .lut
         .iter()
         .find(|(_, c)| c.0 == victim)
         .map(|(sa, _)| sa)
-        .expect("victim has an SA");
+        .ok_or(vprofile::VProfileError::DataUnavailable {
+            context: "an SA mapping for the victim ECU",
+        })?;
 
     let fp = false_positive_test(&fixture.test_extracted());
     let foreign = foreign_device_test(&fixture.test_extracted(), attacker, victim_sa);
 
     let mut rows = Vec::new();
     for factor in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
-        let scale: f64 = model.clusters().iter().map(|c| c.max_distance()).sum::<f64>()
+        let scale: f64 = model
+            .clusters()
+            .iter()
+            .map(|c| c.max_distance())
+            .sum::<f64>()
             / model.cluster_count() as f64;
         let margin = factor * scale;
         let fp_c = evaluate_messages(&model, margin, &fp);
@@ -492,21 +509,23 @@ fn online_update(frames_per_bin: usize, seed: u64) -> Result<String, vprofile::V
     let mut online_model = static_model.clone();
 
     // Mean Mahalanobis distance of the temperature-sensitive ECM (ECU 0).
-    let ecm_mean = |model: &vprofile::Model,
-                    observations: &[vprofile_vehicle::TruthObservation]|
-     -> f64 {
-        let dists: Vec<f64> = observations
-            .iter()
-            .filter(|o| o.true_ecu == 0)
-            .filter_map(|o| {
-                model
-                    .cluster(ClusterId(0))
-                    .distance(o.observation.edge_set.samples(), DistanceMetric::Mahalanobis)
-                    .ok()
-            })
-            .collect();
-        dists.iter().sum::<f64>() / dists.len() as f64
-    };
+    let ecm_mean =
+        |model: &vprofile::Model, observations: &[vprofile_vehicle::TruthObservation]| -> f64 {
+            let dists: Vec<f64> = observations
+                .iter()
+                .filter(|o| o.true_ecu == 0)
+                .filter_map(|o| {
+                    model
+                        .cluster(ClusterId(0))
+                        .distance(
+                            o.observation.edge_set.samples(),
+                            DistanceMetric::Mahalanobis,
+                        )
+                        .ok()
+                })
+                .collect();
+            dists.iter().sum::<f64>() / dists.len() as f64
+        };
     let baseline = ecm_mean(&static_model, &cold_holdout);
 
     let mut rows = Vec::new();
@@ -551,18 +570,17 @@ fn singular_cov(frames: usize, seed: u64) -> Result<String, vprofile::VProfileEr
             Err(vprofile::VProfileError::Numeric(_)) => "singular".to_string(),
             Err(e) => format!("error: {e}"),
         };
-        rows.push(vec![
-            bits.to_string(),
-            describe(&strict),
-            describe(&ridged),
-        ]);
+        rows.push(vec![bits.to_string(), describe(&strict), describe(&ridged)]);
     }
     Ok(format!(
         "# Ablation — singular covariance vs. resolution (§4.3)\n\n\
          The thesis \"could not reduce the resolution past 10 bits since it\n\
          resulted in singular covariance matrices\"; ridge regularization is\n\
          the repair this reproduction adds.\n\n{}",
-        markdown_table(&["resolution (bits)", "strict training", "ridge 1e-3"], &rows)
+        markdown_table(
+            &["resolution (bits)", "strict training", "ridge 1e-3"],
+            &rows
+        )
     ))
 }
 
@@ -593,10 +611,10 @@ fn baseline_comparison(frames: usize, seed: u64) -> Result<String, vprofile::VPr
     );
 
     let vprofile_sys = VProfileIdentifier::new(model, margin);
-    let simple = SimpleDetector::fit(&train, &fixture.lut)
-        .map_err(vprofile::VProfileError::Numeric)?;
-    let viden = VidenDetector::fit(&train, &fixture.lut, 6.0)
-        .map_err(vprofile::VProfileError::Numeric)?;
+    let simple =
+        SimpleDetector::fit(&train, &fixture.lut).map_err(vprofile::VProfileError::Numeric)?;
+    let viden =
+        VidenDetector::fit(&train, &fixture.lut, 6.0).map_err(vprofile::VProfileError::Numeric)?;
     let scission = ScissionDetector::fit(&train, &fixture.lut, 0.5)
         .map_err(vprofile::VProfileError::Numeric)?;
     let voltageids = VoltageIdsDetector::fit(&train, &fixture.lut, 0.0)
@@ -659,8 +677,8 @@ fn latency(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> 
     let t0 = Instant::now();
     let observations: Vec<_> = traces
         .iter()
-        .map(|t| extractor.extract(t).expect("capture extracts cleanly"))
-        .collect();
+        .map(|t| extractor.extract(t))
+        .collect::<Result<_, _>>()?;
     let extract_us = t0.elapsed().as_secs_f64() * 1e6 / traces.len() as f64;
 
     let t1 = Instant::now();
@@ -709,8 +727,12 @@ fn roc(frames: usize, seed: u64) -> Result<String, vprofile::VProfileError> {
     for metric in [DistanceMetric::Euclidean, DistanceMetric::Mahalanobis] {
         let fixture = ExperimentFixture::prepare(VehicleKind::B, metric, frames, seed)?;
         let model = fixture.train_model()?;
-        let messages =
-            hijack_imitation_test(&fixture.test_extracted(), &fixture.lut, HIJACK_PROBABILITY, seed);
+        let messages = hijack_imitation_test(
+            &fixture.test_extracted(),
+            &fixture.lut,
+            HIJACK_PROBABILITY,
+            seed,
+        );
         let curve = roc_curve(&model, &messages);
         rows.push(vec![
             metric.to_string(),

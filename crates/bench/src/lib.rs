@@ -34,8 +34,8 @@ impl BenchFixture {
         let capture = vehicle
             .capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))
             .expect("capture succeeds");
-        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps())
-            .with_metric(metric);
+        let config =
+            VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps()).with_metric(metric);
         let extractor = EdgeSetExtractor::new(config.clone());
         let extracted = capture.extract(&extractor);
         assert_eq!(extracted.failures, 0, "bench capture must extract cleanly");

@@ -25,8 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same device captured cold and hot: the hot trace sags and its
     // edges slow — the drift of thesis §4.4.1, visible sample by sample.
-    let cold = synth.synthesize(wire.bits(), &cold_tx, &Environment::idling_at(-5.0), &mut rng);
-    let hot = synth.synthesize(wire.bits(), &cold_tx, &Environment::idling_at(45.0), &mut rng);
+    let cold = synth.synthesize(
+        wire.bits(),
+        &cold_tx,
+        &Environment::idling_at(-5.0),
+        &mut rng,
+    );
+    let hot = synth.synthesize(
+        wire.bits(),
+        &cold_tx,
+        &Environment::idling_at(45.0),
+        &mut rng,
+    );
 
     println!("sample,t_us,cold_code,cold_volts,hot_code,hot_volts");
     let dt_us = 1e6 / cold.adc().sample_rate_hz;

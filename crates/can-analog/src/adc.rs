@@ -137,7 +137,10 @@ impl VoltageTrace {
 
     /// Codes converted to volts.
     pub fn to_volts(&self) -> Vec<f64> {
-        self.codes.iter().map(|&c| self.adc.code_to_volts(c)).collect()
+        self.codes
+            .iter()
+            .map(|&c| self.adc.code_to_volts(c))
+            .collect()
     }
 
     /// Software downsampling by an integer factor (thesis §4.3), yielding a

@@ -22,7 +22,8 @@ use rand::Rng;
 /// assert_eq!(x, 5.0);
 /// ```
 pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
-    if sigma == 0.0 {
+    // Exact zero is a sentinel ("no noise"), not a tolerance check.
+    if vprofile_sigstat::exactly_zero(sigma) {
         return mean;
     }
     // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
@@ -51,7 +52,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 200_000;
         let (mean, sigma) = (2.0, 0.5);
-        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, mean, sigma)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_normal(&mut rng, mean, sigma))
+            .collect();
         let m = samples.iter().sum::<f64>() / n as f64;
         let v = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n as f64 - 1.0);
         assert!((m - mean).abs() < 0.01, "mean {m}");

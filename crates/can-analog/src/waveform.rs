@@ -97,8 +97,13 @@ impl FrameSynthesizer {
                 let jitter = sample_normal(rng, 0.0, transceiver.edge_jitter_s)
                     .clamp(-max_jitter, max_jitter);
                 let t0 = nominal + jitter;
-                let (prev_t0, prev_from, prev_target) =
-                    *segments.last().expect("seeded with idle segment");
+                // The vector is seeded with the idle segment before the
+                // loop; fall back to that same idle state if empty.
+                let &(prev_t0, prev_from, prev_target) = segments.last().unwrap_or(&(
+                    f64::NEG_INFINITY,
+                    eff.recessive_v,
+                    eff.recessive_v,
+                ));
                 let start_level = eff.step_response(prev_from, prev_target, t0 - prev_t0);
                 segments.push((t0, start_level, eff.level_for_bit(bit)));
                 driven = bit;
@@ -109,7 +114,10 @@ impl FrameSynthesizer {
         // synthesizer also renders arbitrary bit patterns).
         if !driven {
             let t0 = sof_t + wire_bits.len() as f64 * bit_t;
-            let (prev_t0, prev_from, prev_target) = *segments.last().expect("non-empty");
+            let &(prev_t0, prev_from, prev_target) =
+                segments
+                    .last()
+                    .unwrap_or(&(f64::NEG_INFINITY, eff.recessive_v, eff.recessive_v));
             let start_level = eff.step_response(prev_from, prev_target, t0 - prev_t0);
             segments.push((t0, start_level, eff.recessive_v));
         }
@@ -139,8 +147,7 @@ impl FrameSynthesizer {
     /// "approximately horizontally bisects the rising edge").
     pub fn midpoint_code(&self, transceiver: &TransceiverModel, env: &Environment) -> i64 {
         let eff = transceiver.effective(env);
-        self.adc
-            .digitize((eff.dominant_v + eff.recessive_v) / 2.0)
+        self.adc.digitize((eff.dominant_v + eff.recessive_v) / 2.0)
     }
 }
 
@@ -155,8 +162,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let tx = TransceiverModel::sample_new(&mut rng);
         let synth = FrameSynthesizer::new(250_000, AdcConfig::vehicle_b());
-        let frame =
-            DataFrame::new(ExtendedId::new(0x0CF0_0417).unwrap(), &[0xA5, 0x5A]).unwrap();
+        let frame = DataFrame::new(ExtendedId::new(0x0CF0_0417).unwrap(), &[0xA5, 0x5A]).unwrap();
         (synth, tx, WireFrame::encode(&frame))
     }
 
@@ -244,9 +250,12 @@ mod tests {
         let a1 = dominant_level(&tx_a, &mut rng);
         let a2 = dominant_level(&tx_a, &mut rng);
         let b1 = dominant_level(&tx_b, &mut rng);
-        assert!((a1 - a2).abs() < (a1 - b1).abs(),
+        assert!(
+            (a1 - a2).abs() < (a1 - b1).abs(),
             "same-device spread {} should be below cross-device gap {}",
-            (a1 - a2).abs(), (a1 - b1).abs());
+            (a1 - a2).abs(),
+            (a1 - b1).abs()
+        );
     }
 
     #[test]

@@ -12,9 +12,18 @@ use vprofile_can::{DataFrame, J1939Id, Pgn, Priority, SourceAddress};
 fn main() -> Result<(), vprofile_can::CanError> {
     // Three ECUs start transmitting in the same bit slot.
     let contenders = [
-        ("ECM    (p3, EEC1)", J1939Id::new(Priority::new(3)?, Pgn::new(0xF004)?, SourceAddress(0x00))),
-        ("Brakes (p3, EBC1)", J1939Id::new(Priority::new(3)?, Pgn::new(0xF001)?, SourceAddress(0x0B))),
-        ("IC     (p6, CCVS)", J1939Id::new(Priority::new(6)?, Pgn::new(0xFEF1)?, SourceAddress(0x17))),
+        (
+            "ECM    (p3, EEC1)",
+            J1939Id::new(Priority::new(3)?, Pgn::new(0xF004)?, SourceAddress(0x00)),
+        ),
+        (
+            "Brakes (p3, EBC1)",
+            J1939Id::new(Priority::new(3)?, Pgn::new(0xF001)?, SourceAddress(0x0B)),
+        ),
+        (
+            "IC     (p6, CCVS)",
+            J1939Id::new(Priority::new(6)?, Pgn::new(0xFEF1)?, SourceAddress(0x17)),
+        ),
     ];
     let ids: Vec<_> = contenders.iter().map(|(_, id)| (*id).into()).collect();
     let outcome = arbitrate(&ids);
@@ -59,9 +68,7 @@ fn main() -> Result<(), vprofile_can::CanError> {
     for record in &log {
         println!(
             "  t={:>5} bits: {} sends {}",
-            record.start_bit_time,
-            contenders[record.node].0,
-            record.frame
+            record.start_bit_time, contenders[record.node].0, record.frame
         );
     }
     Ok(())

@@ -63,17 +63,17 @@ pub struct ArbitrationOutcome {
 /// # Ok::<(), vprofile_can::CanError>(())
 /// ```
 pub fn arbitrate(contenders: &[ExtendedId]) -> ArbitrationOutcome {
-    assert!(!contenders.is_empty(), "arbitration needs at least one node");
+    assert!(
+        !contenders.is_empty(),
+        "arbitration needs at least one node"
+    );
     for (i, a) in contenders.iter().enumerate() {
         for b in &contenders[i + 1..] {
             assert_ne!(a, b, "duplicate identifier {a} on the bus");
         }
     }
 
-    let sequences: Vec<Vec<bool>> = contenders
-        .iter()
-        .map(|&id| arbitration_bits(id))
-        .collect();
+    let sequences: Vec<Vec<bool>> = contenders.iter().map(|&id| arbitration_bits(id)).collect();
     let nbits = sequences[0].len();
     let mut active: Vec<bool> = vec![true; contenders.len()];
     let mut lost_at_bit: Vec<Option<usize>> = vec![None; contenders.len()];
@@ -96,10 +96,12 @@ pub fn arbitrate(contenders: &[ExtendedId]) -> ArbitrationOutcome {
         }
     }
 
-    let winner = active
-        .iter()
-        .position(|&a| a)
-        .expect("unique ids guarantee exactly one winner");
+    // Wired-AND arbitration always leaves a survivor: a node only
+    // deactivates on losing a bit, and the node holding the (unique)
+    // lowest identifier never loses one.
+    let winner = active.iter().position(|&a| a);
+    debug_assert!(winner.is_some(), "unique ids guarantee exactly one winner");
+    let winner = winner.unwrap_or(0);
     ArbitrationOutcome {
         winner,
         lost_at_bit,

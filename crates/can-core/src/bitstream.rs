@@ -215,8 +215,7 @@ impl WireFrame {
                 }
             }
             if body_len.is_none() && unstuffed.len() == HEADER_BITS + 4 {
-                let dlc = read_value(&unstuffed, HEADER_BITS, 4) as u8;
-                let dlc = Dlc::new(dlc.min(8)).expect("clamped dlc is valid");
+                let dlc = Dlc::new_clamped(read_value(&unstuffed, HEADER_BITS, 4) as u8);
                 body_len = Some(HEADER_BITS + 4 + dlc.len() * 8 + 15);
             }
             if let Some(total) = body_len {
@@ -225,13 +224,9 @@ impl WireFrame {
                 }
             }
         }
-        let total = body_len.ok_or(CanError::TruncatedFrame {
-            at_bit: wire.len(),
-        })?;
+        let total = body_len.ok_or(CanError::TruncatedFrame { at_bit: wire.len() })?;
         if unstuffed.len() < total {
-            return Err(CanError::TruncatedFrame {
-                at_bit: wire.len(),
-            });
+            return Err(CanError::TruncatedFrame { at_bit: wire.len() });
         }
         // Stuffing applies through the final CRC bit: if the last body bit
         // completed a run of five, one trailing stuff bit precedes the CRC
@@ -240,11 +235,7 @@ impl WireFrame {
             match wire.get(consumed) {
                 Some(&b) if prev != Some(b) => consumed += 1,
                 Some(_) => return Err(CanError::StuffError { at_bit: consumed }),
-                None => {
-                    return Err(CanError::TruncatedFrame {
-                        at_bit: wire.len(),
-                    })
-                }
+                None => return Err(CanError::TruncatedFrame { at_bit: wire.len() }),
             }
         }
 
@@ -298,11 +289,7 @@ impl WireFrame {
                         at_bit: consumed + offset,
                     })
                 }
-                None => {
-                    return Err(CanError::TruncatedFrame {
-                        at_bit: wire.len(),
-                    })
-                }
+                None => return Err(CanError::TruncatedFrame { at_bit: wire.len() }),
             }
         }
         for k in 0..7 {
@@ -314,17 +301,14 @@ impl WireFrame {
                         at_bit: consumed + 3 + k,
                     })
                 }
-                None => {
-                    return Err(CanError::TruncatedFrame {
-                        at_bit: wire.len(),
-                    })
-                }
+                None => return Err(CanError::TruncatedFrame { at_bit: wire.len() }),
             }
         }
 
         let base = read_value(&unstuffed, 1, 11) as u32;
         let ext = read_value(&unstuffed, 14, 18) as u32;
-        let id = ExtendedId::new((base << 18) | ext).expect("29-bit fields fit");
+        // 11 + 18 bits always fit in 29; truncation is a no-op here.
+        let id = ExtendedId::new_truncated((base << 18) | ext);
         let dlc = read_value(&unstuffed, HEADER_BITS, 4) as usize;
         let mut data = Vec::with_capacity(dlc);
         for k in 0..dlc {
@@ -379,22 +363,66 @@ impl WireFrame {
     pub fn field_spans(&self) -> Vec<FieldSpan> {
         let dlc_len = self.frame.data().len() * 8;
         let mut spans = vec![
-            FieldSpan { name: "SOF", start: 0, len: 1 },
-            FieldSpan { name: "Base Identifier", start: 1, len: 11 },
-            FieldSpan { name: "SRR", start: 12, len: 1 },
-            FieldSpan { name: "IDE", start: 13, len: 1 },
-            FieldSpan { name: "Extended Identifier", start: 14, len: 18 },
-            FieldSpan { name: "RTR", start: 32, len: 1 },
-            FieldSpan { name: "r1", start: 33, len: 1 },
-            FieldSpan { name: "r0", start: 34, len: 1 },
-            FieldSpan { name: "DLC", start: 35, len: 4 },
+            FieldSpan {
+                name: "SOF",
+                start: 0,
+                len: 1,
+            },
+            FieldSpan {
+                name: "Base Identifier",
+                start: 1,
+                len: 11,
+            },
+            FieldSpan {
+                name: "SRR",
+                start: 12,
+                len: 1,
+            },
+            FieldSpan {
+                name: "IDE",
+                start: 13,
+                len: 1,
+            },
+            FieldSpan {
+                name: "Extended Identifier",
+                start: 14,
+                len: 18,
+            },
+            FieldSpan {
+                name: "RTR",
+                start: 32,
+                len: 1,
+            },
+            FieldSpan {
+                name: "r1",
+                start: 33,
+                len: 1,
+            },
+            FieldSpan {
+                name: "r0",
+                start: 34,
+                len: 1,
+            },
+            FieldSpan {
+                name: "DLC",
+                start: 35,
+                len: 4,
+            },
         ];
         let mut cursor = 39;
         if dlc_len > 0 {
-            spans.push(FieldSpan { name: "Data", start: cursor, len: dlc_len });
+            spans.push(FieldSpan {
+                name: "Data",
+                start: cursor,
+                len: dlc_len,
+            });
             cursor += dlc_len;
         }
-        spans.push(FieldSpan { name: "CRC", start: cursor, len: 15 });
+        spans.push(FieldSpan {
+            name: "CRC",
+            start: cursor,
+            len: 15,
+        });
         spans
     }
 }
@@ -473,9 +501,7 @@ mod tests {
         let frame = test_frame();
         let wire = WireFrame::encode(&frame);
         let sa_bits = &wire.unstuffed_bits()[WireFrame::sa_bit_range()];
-        let sa = sa_bits
-            .iter()
-            .fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
+        let sa = sa_bits.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
         assert_eq!(sa, 0x17);
     }
 

@@ -198,15 +198,23 @@ impl BusSimulator {
             } else {
                 let ids: Vec<_> = contenders
                     .iter()
-                    .map(|&n| self.queues[n].front().expect("contender has frame").frame.id())
+                    .filter_map(|&n| self.queues[n].front().map(|q| q.frame.id()))
                     .collect();
+                debug_assert_eq!(
+                    ids.len(),
+                    contenders.len(),
+                    "every contender was selected for having a due head frame"
+                );
                 let outcome = arbitrate(&ids);
                 contenders[outcome.winner]
             };
 
-            let queued = self.queues[winner_node]
-                .pop_front()
-                .expect("winner has a frame");
+            let Some(queued) = self.queues[winner_node].pop_front() else {
+                // Unreachable: the winner was selected for having a due
+                // head frame this slot. Skipping the slot keeps the
+                // simulation moving if the invariant is ever violated.
+                continue;
+            };
             let wire = WireFrame::encode(&queued.frame);
             let duration = wire.duration_bits() as u64 + INTERFRAME_SPACE_BITS;
 

@@ -94,7 +94,9 @@ mod tests {
         let patterns: [&[bool]; 4] = [
             &[true, false, true, true, false, false, true, true],
             &[true; 15],
-            &[false, true, false, true, false, true, false, true, true, true],
+            &[
+                false, true, false, true, false, true, false, true, true, true,
+            ],
             &[true, true, false, false, true],
         ];
         for bits in patterns {

@@ -25,6 +25,18 @@ impl Dlc {
         Ok(Dlc(len))
     }
 
+    /// Creates a DLC, clamping values above 8 to 8 — the saturation CAN
+    /// itself applies to wire codes 9–15. Infallible alternative to
+    /// [`Dlc::new`] for decoders working from untrusted wire bits.
+    #[must_use]
+    pub const fn new_clamped(len: u8) -> Self {
+        if len > 8 {
+            Dlc(8)
+        } else {
+            Dlc(len)
+        }
+    }
+
     /// Payload length in bytes.
     pub fn len(self) -> usize {
         self.0 as usize

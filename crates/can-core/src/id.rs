@@ -18,9 +18,7 @@ use std::fmt;
 /// assert!(high_priority < low_priority); // wins arbitration
 /// # Ok::<(), vprofile_can::CanError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ExtendedId(u32);
 
 impl ExtendedId {
@@ -37,6 +35,15 @@ impl ExtendedId {
             return Err(CanError::IdOutOfRange { value: raw });
         }
         Ok(ExtendedId(raw))
+    }
+
+    /// Creates an identifier keeping only the low 29 bits of `raw`.
+    ///
+    /// Infallible alternative to [`ExtendedId::new`] for identifiers whose
+    /// validity is known at the call site (e.g. compile-time constants).
+    #[must_use]
+    pub const fn new_truncated(raw: u32) -> Self {
+        ExtendedId(raw & Self::MAX)
     }
 
     /// The raw 29-bit value.
@@ -115,6 +122,15 @@ impl Priority {
         Ok(Priority(raw))
     }
 
+    /// Creates a priority keeping only the low 3 bits of `raw`.
+    ///
+    /// Infallible alternative to [`Priority::new`] for values whose
+    /// validity is known at the call site (e.g. compile-time constants).
+    #[must_use]
+    pub const fn new_truncated(raw: u8) -> Self {
+        Priority(raw & 0x7)
+    }
+
     /// The raw 3-bit value.
     pub fn raw(self) -> u8 {
         self.0
@@ -148,6 +164,15 @@ impl Pgn {
             return Err(CanError::PgnOutOfRange { value: raw });
         }
         Ok(Pgn(raw))
+    }
+
+    /// Creates a PGN keeping only the low 18 bits of `raw`.
+    ///
+    /// Infallible alternative to [`Pgn::new`] for values whose validity is
+    /// known at the call site (e.g. compile-time constants).
+    #[must_use]
+    pub const fn new_truncated(raw: u32) -> Self {
+        Pgn(raw & Self::MAX)
     }
 
     /// The raw 18-bit value.
@@ -257,10 +282,7 @@ mod tests {
         let id = ExtendedId::new(0b10101010101_110011001100110011).unwrap();
         assert_eq!(id.base(), 0b10101010101);
         assert_eq!(id.extension(), 0b110011001100110011);
-        assert_eq!(
-            (u32::from(id.base()) << 18) | id.extension(),
-            id.raw()
-        );
+        assert_eq!((u32::from(id.base()) << 18) | id.extension(), id.raw());
     }
 
     #[test]
@@ -316,7 +338,11 @@ mod tests {
             Pgn::new(Pgn::MAX).unwrap(),
             SourceAddress(0xFF),
         );
-        let relaxed = J1939Id::new(Priority::new(1).unwrap(), Pgn::new(0).unwrap(), SourceAddress(0));
+        let relaxed = J1939Id::new(
+            Priority::new(1).unwrap(),
+            Pgn::new(0).unwrap(),
+            SourceAddress(0),
+        );
         assert!(ExtendedId::from(urgent) < ExtendedId::from(relaxed));
     }
 

@@ -41,9 +41,9 @@
 pub mod arbitration;
 mod bitstream;
 pub mod bus;
-pub mod fault;
 mod crc;
 mod error;
+pub mod fault;
 mod frame;
 mod id;
 

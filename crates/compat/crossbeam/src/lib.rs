@@ -1,0 +1,195 @@
+//! Offline compat stand-in for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate.
+//!
+//! Only `crossbeam::channel` is provided, implemented over
+//! `std::sync::mpsc`. The semantics this workspace relies on are preserved:
+//! `bounded(n)` back-pressures the producer, `unbounded()` never blocks on
+//! send, dropping all senders ends the receiver's iteration, and dropping
+//! the receiver makes `send` return an error instead of panicking.
+
+/// Multi-producer channels with bounded and unbounded flavors.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver has been
+    /// dropped. Carries the unsent message like crossbeam's `SendError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders have been dropped.
+    pub use mpsc::RecvError;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub use mpsc::RecvTimeoutError;
+    /// Error returned by [`Receiver::try_recv`].
+    pub use mpsc::TryRecvError;
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// The sending half of a channel (compat subset of
+    /// `crossbeam::channel::Sender`).
+    pub struct Sender<T> {
+        kind: SenderKind<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] when the receiving half has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.kind {
+                SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let kind = match &self.kind {
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+            };
+            Sender { kind }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel (compat subset of
+    /// `crossbeam::channel::Receiver`).
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Like [`Receiver::recv`] with an upper bound on the wait.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] on expiry and
+        /// [`RecvTimeoutError::Disconnected`] when the channel is closed.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when no message is queued and
+        /// [`TryRecvError::Disconnected`] when the channel is closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// A blocking iterator over received messages; ends when all
+        /// senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+
+        /// A non-blocking iterator draining currently queued messages.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued messages.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                kind: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                kind: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn unbounded_round_trip_and_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).expect("receiver alive");
+        tx.send(2).expect("receiver alive");
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_disconnect_reports_error() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+}

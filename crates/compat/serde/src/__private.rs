@@ -1,0 +1,76 @@
+//! Helpers called by `serde_derive`-generated code. Not public API.
+
+use crate::content::Content;
+use crate::de::DeError;
+use crate::{DeserializeOwned, Serialize};
+
+/// Renders one field value.
+pub fn ser_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value.to_content()
+}
+
+/// Looks up a map entry by string key.
+#[must_use]
+pub fn map_get<'c>(entries: &'c [(Content, Content)], key: &str) -> Option<&'c Content> {
+    entries
+        .iter()
+        .find(|(k, _)| k.as_str() == Some(key))
+        .map(|(_, v)| v)
+}
+
+/// Asserts the content is a map, for struct deserialization.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the content is not a map.
+pub fn expect_map<'c>(
+    content: &'c Content,
+    type_name: &str,
+) -> Result<&'c [(Content, Content)], DeError> {
+    content
+        .as_map()
+        .ok_or_else(|| DeError::invalid("map", content).context(type_name))
+}
+
+/// Asserts the content is a sequence, for tuple-struct deserialization.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the content is not a sequence.
+pub fn expect_seq<'c>(content: &'c Content, type_name: &str) -> Result<&'c [Content], DeError> {
+    content
+        .as_seq()
+        .ok_or_else(|| DeError::invalid("sequence", content).context(type_name))
+}
+
+/// Deserializes one field, using [`crate::Deserialize::from_missing`] when
+/// the key is absent (so `Option` fields tolerate omission).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is required but absent, or present
+/// with the wrong shape.
+pub fn de_field<T: DeserializeOwned>(
+    entries: &[(Content, Content)],
+    key: &'static str,
+) -> Result<T, DeError> {
+    match map_get(entries, key) {
+        Some(value) => T::from_content(value),
+        None => T::from_missing(key),
+    }
+}
+
+/// Deserializes a whole content value (newtype fields, enum payloads).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the content does not match `T`.
+pub fn de_content<T: DeserializeOwned>(content: &Content) -> Result<T, DeError> {
+    T::from_content(content)
+}
+
+impl DeError {
+    fn context(self, type_name: &str) -> Self {
+        <DeError as crate::de::Error>::custom(format!("{self} while deserializing {type_name}"))
+    }
+}

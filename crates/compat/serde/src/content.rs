@@ -1,0 +1,108 @@
+//! The owned data model every value round-trips through.
+
+use crate::de::DeError;
+
+/// A self-describing value tree: the compat stand-in's entire data model.
+///
+/// Maps preserve insertion order and are keyed by arbitrary content (format
+/// crates decide which keys they can represent — JSON stringifies numbers
+/// and rejects composites, matching real `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit in `i64`'s positive range or
+    /// was produced from an unsigned source.
+    U64(u64),
+    /// A binary float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// An ordered map.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The string payload, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The entry list, when this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// A [`crate::ser::Serializer`] whose output *is* the content tree. Used by
+/// derive-generated code to run `#[serde(with = "module")]` serializers.
+pub struct ContentSerializer;
+
+impl crate::ser::Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = crate::ser::SerError;
+
+    fn collect_content(self, content: Content) -> Result<Content, Self::Error> {
+        Ok(content)
+    }
+}
+
+/// A [`crate::de::Deserializer`] reading from an owned content tree. Used
+/// by derive-generated code to run `#[serde(with = "module")]`
+/// deserializers.
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    /// Wraps a content tree.
+    #[must_use]
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> crate::de::Deserializer<'de> for ContentDeserializer {
+    type Error = DeError;
+
+    fn into_content(self) -> Result<Content, DeError> {
+        Ok(self.content)
+    }
+}

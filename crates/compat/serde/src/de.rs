@@ -1,0 +1,74 @@
+//! Deserialization half of the compat framework.
+
+use crate::content::Content;
+use std::fmt;
+
+/// Error trait matching `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete deserialization error used by this framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error for a value whose shape does not match the target type.
+    #[must_use]
+    pub fn invalid(expected: &str, found: &Content) -> Self {
+        DeError {
+            msg: format!("invalid value: expected {expected}, found {}", found.kind()),
+        }
+    }
+
+    /// An error for a struct field absent from the input map.
+    #[must_use]
+    pub fn missing_field(field: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    /// An error for an enum tag not matching any variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` for enum {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// A deserialization source (compat subset of `serde::Deserializer`).
+///
+/// Real serde is visitor-driven; here a source simply yields its whole
+/// content tree and [`crate::Deserialize::from_content`] walks it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the source's content tree.
+    ///
+    /// # Errors
+    ///
+    /// Source-specific (e.g. malformed JSON text).
+    fn into_content(self) -> Result<Content, Self::Error>;
+}

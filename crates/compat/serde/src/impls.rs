@@ -1,0 +1,320 @@
+//! `Serialize`/`Deserialize` implementations for the std types this
+//! workspace stores in its serialized structures.
+
+use crate::content::Content;
+use crate::de::DeError;
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+// ---------------------------------------------------------------- booleans
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid("bool", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- integers
+
+fn integer_from_content(content: &Content, expected: &str) -> Result<i128, DeError> {
+    match content {
+        Content::I64(v) => Ok(i128::from(*v)),
+        Content::U64(v) => Ok(i128::from(*v)),
+        Content::F64(v) if v.fract() == 0.0 && v.is_finite() => Ok(*v as i128),
+        // JSON object keys arrive as strings; integer map keys must parse.
+        Content::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| DeError::invalid(expected, content)),
+        other => Err(DeError::invalid(expected, other)),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $variant:ident as $repr:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $repr)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide = integer_from_content(content, stringify!($t))?;
+                <$t>::try_from(wide).map_err(|_| DeError::invalid(stringify!($t), content))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+);
+
+// ------------------------------------------------------------------ floats
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // serde_json renders non-finite floats as null; accept the
+            // round trip rather than corrupting a stored model silently.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::invalid("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+// ----------------------------------------------------------------- strings
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid("string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            // The owned content tree cannot lend a borrow that outlives
+            // itself, so promote via leak. Only `&'static str` metadata
+            // fields (small, finite label sets) hit this path.
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::invalid("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(DeError::invalid("char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- sequence
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(elements) => elements.iter().map(T::from_content).collect(),
+            other => Err(DeError::invalid("sequence", other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let elements = Vec::<T>::from_content(content)?;
+        let len = elements.len();
+        elements.try_into().map_err(|_| DeError::custom_len(N, len))
+    }
+}
+
+impl DeError {
+    fn custom_len(expected: usize, actual: usize) -> Self {
+        <DeError as crate::de::Error>::custom(format!(
+            "invalid length: expected {expected} elements, found {actual}"
+        ))
+    }
+}
+
+// ------------------------------------------------------------------ option
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &'static str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+// ------------------------------------------------------------------ tuples
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let elements = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::invalid("tuple sequence", content))?;
+                if elements.len() != LEN {
+                    return Err(DeError::custom_len(LEN, elements.len()));
+                }
+                Ok(($($name::from_content(&elements[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A0: 0)
+    (A0: 0, A1: 1)
+    (A0: 0, A1: 1, A2: 2)
+    (A0: 0, A1: 1, A2: 2, A3: 3)
+}
+
+// -------------------------------------------------------------------- maps
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::invalid("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::invalid("map", other)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- content
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}

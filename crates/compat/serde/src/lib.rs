@@ -1,0 +1,103 @@
+//! Offline compat stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! small serialization framework that keeps serde's *surface* — the
+//! `Serialize`/`Deserialize` traits, derive macros, and `#[serde(with =
+//! "module")]` field attributes — while radically simplifying the engine
+//! underneath: every value round-trips through an owned
+//! [`content::Content`] tree (the moral equivalent of serde's private
+//! `Content` buffer), and format crates such as the vendored `serde_json`
+//! consume that tree. The simplification is invisible to this workspace's
+//! call sites; it only forfeits zero-copy deserialization and exotic
+//! formats, neither of which the repo uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+#[doc(hidden)]
+pub mod __private;
+
+use content::Content;
+
+/// A serializable value (compat subset of `serde::Serialize`).
+///
+/// Unlike real serde, serialization to the data model is infallible: a
+/// value renders to an owned [`Content`] tree. Format-level failures (for
+/// example non-string JSON map keys) surface when a format crate consumes
+/// the tree.
+pub trait Serialize {
+    /// Renders `self` into the content data model.
+    fn to_content(&self) -> Content;
+
+    /// Drives a [`ser::Serializer`] with the rendered content tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the serializer's sink.
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_content(self.to_content())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+/// A deserializable value (compat subset of `serde::Deserialize`).
+///
+/// The lifetime parameter is kept for signature compatibility; every
+/// implementation in this workspace deserializes into owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::DeError`] describing the first mismatch between the
+    /// tree and `Self`'s expected shape.
+    fn from_content(content: &Content) -> Result<Self, de::DeError>;
+
+    /// Hook used by derived struct deserializers when a field is absent.
+    /// `Option` overrides this to produce `None`; everything else reports
+    /// a missing field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::DeError`] for types that require the field.
+    fn from_missing(field: &'static str) -> Result<Self, de::DeError> {
+        Err(de::DeError::missing_field(field))
+    }
+
+    /// Drives `Self` out of a [`de::Deserializer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates source errors and shape mismatches.
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.into_content()?;
+        Self::from_content(&content).map_err(de::Error::custom)
+    }
+}
+
+/// Owned-deserialization alias matching `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Re-exports matching `serde::{Serializer, Deserializer}` at crate root,
+/// the paths this workspace imports.
+pub use de::Deserializer;
+pub use ser::Serializer;

@@ -1,0 +1,72 @@
+//! Serialization half of the compat framework.
+
+use crate::content::Content;
+use std::fmt;
+
+/// Error trait matching `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete serialization error used by this framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError {
+    msg: String,
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// A serialization sink (compat subset of `serde::Serializer`).
+///
+/// Real serde drives serializers event by event; here the fully rendered
+/// [`Content`] tree is handed over in one call, plus the handful of typed
+/// entry points this workspace's hand-written `with`-modules use.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a rendered content tree.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; e.g. unrepresentable map keys.
+    fn collect_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a byte string (rendered as a sequence of integers, as
+    /// `serde_json` does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Serializer::collect_content`] errors.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::Seq(
+            v.iter().map(|&b| Content::U64(u64::from(b))).collect(),
+        ))
+    }
+
+    /// Serializes a string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Serializer::collect_content`] errors.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::Str(v.to_string()))
+    }
+}

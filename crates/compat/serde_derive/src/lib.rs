@@ -1,0 +1,554 @@
+//! Offline compat stand-in for
+//! [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! `syn` and `quote` are unavailable in the offline build container, so
+//! these derive macros parse the item's `TokenStream` by hand and emit
+//! implementations of the compat `serde` crate's content-tree traits. The
+//! supported grammar is exactly what this workspace declares: non-generic
+//! structs (named, tuple, newtype, unit) and non-generic enums whose
+//! variants are unit, newtype, or struct-like, plus the
+//! `#[serde(with = "module")]` field attribute. Anything outside that
+//! grammar fails the build with a descriptive error rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named struct or struct variant.
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+/// The shape of a struct body or enum variant payload.
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// A parsed derive input item.
+struct Input {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Derives the compat `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the compat `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => match gen(&parsed).parse() {
+            Ok(stream) => stream,
+            Err(err) => compile_error(&format!(
+                "serde compat derive: generated code failed to parse: {err}"
+            )),
+        },
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+    format!("compile_error!(\"{escaped}\");")
+        .parse()
+        .unwrap_or_default()
+}
+
+// --------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => {
+            return Err(format!(
+                "serde compat derive supports structs and enums, found `{other}`"
+            ))
+        }
+    };
+
+    let name = expect_ident(&tokens, &mut i)?;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde compat derive does not support generic type `{name}`; write manual impls"
+        ));
+    }
+
+    let body = if is_enum {
+        let group = expect_group(&tokens, &mut i, Delimiter::Brace, "enum body")?;
+        Body::Enum(parse_variants(group)?)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Body::Struct(if n == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(n)
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "where" => {
+                return Err(format!(
+                    "serde compat derive does not support where-clauses on `{name}`"
+                ));
+            }
+            other => return Err(format!("unexpected token in struct `{name}`: {other:?}")),
+        }
+    };
+
+    Ok(Input { name, body })
+}
+
+/// Skips (and, for fields, inspects) a run of outer attributes. Returns the
+/// `#[serde(with = "...")]` payload when present.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Option<String>, String> {
+    let mut with = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+                    return Err("malformed attribute".to_string());
+                };
+                if let Some(found) = parse_serde_attr(group.stream())? {
+                    with = Some(found);
+                }
+                *i += 2;
+            }
+            _ => return Ok(with),
+        }
+    }
+}
+
+/// Recognizes `serde(with = "path")` inside an attribute's bracket group.
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Err("malformed #[serde] attribute".to_string());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match (args.first(), args.get(1), args.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(value)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let raw = value.to_string();
+            let path = raw.trim_matches('"').to_string();
+            if path.is_empty() || raw == path {
+                return Err("#[serde(with = ...)] expects a string literal".to_string());
+            }
+            Ok(Some(path))
+        }
+        _ => Err(
+            "serde compat derive supports only the #[serde(with = \"module\")] attribute"
+                .to_string(),
+        ),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(kw)) if kw.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(ident)) => {
+            *i += 1;
+            Ok(ident.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_group<'t>(
+    tokens: &'t [TokenTree],
+    i: &mut usize,
+    delimiter: Delimiter,
+    what: &str,
+) -> Result<&'t proc_macro::Group, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == delimiter => {
+            *i += 1;
+            Ok(group)
+        }
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, honoring attributes.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let with = skip_attrs(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+/// Advances past one type expression, stopping after the following
+/// top-level comma (or at end of stream). Delimited groups arrive as single
+/// tokens, so only `<...>` nesting needs explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_minus = false;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => {
+                    // `->` in fn-pointer types is not an angle close.
+                    if !prev_minus {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each call to skip_type consumes one element plus its separator.
+        // Attributes/visibility may prefix each element.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let mut j = i;
+        skip_visibility(&tokens, &mut j);
+        i = j;
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    return Err(format!(
+                        "serde compat derive supports newtype enum variants only; `{name}` has {n} fields"
+                    ));
+                }
+                Shape::Newtype
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen
+
+const CONTENT: &str = "::serde::content::Content";
+
+fn ser_field_expr(owner: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "match {path}::serialize(&{owner}, ::serde::content::ContentSerializer) {{ \
+               ::std::result::Result::Ok(content) => content, \
+               ::std::result::Result::Err(_) => {CONTENT}::Null, \
+             }}"
+        ),
+        None => format!("::serde::__private::ser_content(&{owner})"),
+    }
+}
+
+fn de_field_expr(field: &Field) -> String {
+    let name = &field.name;
+    match &field.with {
+        Some(path) => format!(
+            "match ::serde::__private::map_get(entries, \"{name}\") {{ \
+               ::std::option::Option::Some(value) => \
+                 {path}::deserialize(::serde::content::ContentDeserializer::new(value.clone()))?, \
+               ::std::option::Option::None => \
+                 return ::std::result::Result::Err(::serde::de::DeError::missing_field(\"{name}\")), \
+             }}"
+        ),
+        None => format!("::serde::__private::de_field(entries, \"{name}\")?"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Shape::Unit) => format!("{CONTENT}::Null"),
+        Body::Struct(Shape::Newtype) => ser_field_expr(
+            "self.0",
+            &Field {
+                name: "0".into(),
+                with: None,
+            },
+        ),
+        Body::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::__private::ser_content(&self.{idx})"))
+                .collect();
+            format!("{CONTENT}::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let mut pushes = String::new();
+            for field in fields {
+                let fname = &field.name;
+                let expr = ser_field_expr(&format!("self.{fname}"), field);
+                pushes.push_str(&format!(
+                    "fields.push(({CONTENT}::Str(::std::string::String::from(\"{fname}\")), {expr}));\n"
+                ));
+            }
+            format!(
+                "{{ let mut fields: ::std::vec::Vec<({CONTENT}, {CONTENT})> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 {CONTENT}::Map(fields) }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {CONTENT}::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(inner) => {CONTENT}::Map(::std::vec![({CONTENT}::Str(::std::string::String::from(\"{vname}\")), ::serde::__private::ser_content(inner))]),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for field in fields {
+                            let fname = &field.name;
+                            let expr = ser_field_expr(&format!("(*{fname})"), field);
+                            pushes.push_str(&format!(
+                                "fields.push(({CONTENT}::Str(::std::string::String::from(\"{fname}\")), {expr}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                               let mut fields: ::std::vec::Vec<({CONTENT}, {CONTENT})> = ::std::vec::Vec::new();\n\
+                               {pushes}\
+                               {CONTENT}::Map(::std::vec![({CONTENT}::Str(::std::string::String::from(\"{vname}\")), {CONTENT}::Map(fields))])\n\
+                             }},\n",
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                    Shape::Tuple(_) => {}
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_content(&self) -> {CONTENT} {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Struct(Shape::Newtype) => {
+            format!("::std::result::Result::Ok({name}(::serde::__private::de_content(content)?))")
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::__private::de_content(&elements[{idx}])?"))
+                .collect();
+            format!(
+                "let elements = ::serde::__private::expect_seq(content, \"{name}\")?;\n\
+                 if elements.len() != {n} {{\n\
+                   return ::std::result::Result::Err(::serde::de::Error::custom(\n\
+                     ::std::format!(\"tuple struct {name} expects {n} elements, found {{}}\", elements.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|field| format!("{}: {}", field.name, de_field_expr(field)))
+                .collect();
+            format!(
+                "let entries = ::serde::__private::expect_map(content, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .collect();
+            let mut out = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for variant in &unit {
+                    let vname = &variant.name;
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(tag) = content.as_str() {{\n\
+                       return match tag {{\n{arms}\
+                         other => ::std::result::Result::Err(::serde::de::DeError::unknown_variant(other, \"{name}\")),\n\
+                       }};\n\
+                     }}\n"
+                ));
+            }
+            if !data.is_empty() {
+                let mut arms = String::new();
+                for variant in &data {
+                    let vname = &variant.name;
+                    match &variant.shape {
+                        Shape::Newtype => arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::__private::de_content(value)?)),\n"
+                        )),
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|field| format!("{}: {}", field.name, de_field_expr(field)))
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                   let entries = ::serde::__private::expect_map(value, \"{name}::{vname}\")?;\n\
+                                   ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }},\n",
+                                inits.join(", ")
+                            ));
+                        }
+                        Shape::Unit | Shape::Tuple(_) => {}
+                    }
+                }
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(entries) = content.as_map() {{\n\
+                       if entries.len() == 1 {{\n\
+                         if let ::std::option::Option::Some(tag) = entries[0].0.as_str() {{\n\
+                           let value = &entries[0].1;\n\
+                           return match tag {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::de::DeError::unknown_variant(other, \"{name}\")),\n\
+                           }};\n\
+                         }}\n\
+                       }}\n\
+                     }}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::de::DeError::invalid(\"enum {name}\", content))"
+            ));
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn from_content(content: &{CONTENT}) -> ::std::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

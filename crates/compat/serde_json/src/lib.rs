@@ -1,0 +1,120 @@
+//! Offline compat stand-in for
+//! [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Serializes the compat `serde` crate's content trees to JSON text and
+//! parses JSON text back. Behavioral notes, all matching the real crate
+//! where this workspace can observe the difference:
+//!
+//! * map keys must be strings or integers (integers are stringified);
+//!   composite keys fail with an error,
+//! * non-finite floats serialize as `null`,
+//! * object key order is preserved.
+
+mod parse;
+mod value;
+mod write;
+
+pub use value::Value;
+
+use serde::content::Content;
+use serde::{DeserializeOwned, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure (compat subset of
+/// `serde_json::Error`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::DeError> for Error {
+    fn from(err: serde::de::DeError) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains a map whose keys are neither
+/// strings nor integers.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    write::content_to_json(&value.to_content())
+}
+
+/// Serializes a value to pretty-printed JSON text. The compat stand-in
+/// emits the same compact form as [`to_string`]; pretty-printing is a
+/// cosmetic feature no test in this workspace depends on.
+///
+/// # Errors
+///
+/// Same conditions as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let content = parse::parse(text)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for the types this workspace serializes; the `Result` wrapper
+/// matches the real crate's signature.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from_content(value.to_content()))
+}
+
+pub(crate) fn content_of(value: &Value) -> Content {
+    value.clone().into_content()
+}
+
+/// Builds a [`Value`] from a literal, mirroring `serde_json::json!`.
+///
+/// The compat form supports `json!(null)` and any single serializable
+/// expression — the shapes this workspace uses. Full object/array literal
+/// syntax is intentionally out of scope.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($value:expr) => {
+        $crate::Value::from($value)
+    };
+}

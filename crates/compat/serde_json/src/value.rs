@@ -1,0 +1,245 @@
+//! The `Value` tree and its indexing/printing behavior.
+
+use crate::{write, Error};
+use serde::content::Content;
+use serde::de::DeError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A parsed JSON document (compat subset of `serde_json::Value`).
+///
+/// Objects preserve insertion order, like `serde_json` with its default
+/// map implementation preserves neither — callers in this workspace only
+/// read back keys they know exist, so ordering is unobservable except in
+/// round-tripped text, where preserving it is the friendlier choice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number carried as a signed integer.
+    I64(i64),
+    /// JSON number carried as an unsigned integer beyond `i64`.
+    U64(u64),
+    /// JSON number carried as a float.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub(crate) fn from_content(content: Content) -> Self {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(v) => Value::I64(v),
+            Content::U64(v) => Value::U64(v),
+            Content::F64(v) => Value::F64(v),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(elements) => {
+                Value::Array(elements.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (write::key_string(&k), Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub(crate) fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::I64(v) => Content::I64(v),
+            Value::U64(v) => Content::U64(v),
+            Value::F64(v) => Content::F64(v),
+            Value::String(s) => Content::Str(s),
+            Value::Array(elements) => {
+                Content::Seq(elements.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (Content::Str(k), Value::into_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Object member by key, when this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` when this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The f64 payload of any numeric value.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(entries) = self else {
+            panic!("cannot index non-object JSON value with string key {key:?}");
+        };
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            return &mut entries[pos].1;
+        }
+        entries.push((key.to_string(), Value::Null));
+        let last = entries.len() - 1;
+        &mut entries[last].1
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(elements) => elements.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        let Value::Array(elements) = self else {
+            panic!("cannot index non-array JSON value with {idx}");
+        };
+        &mut elements[idx]
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match write::content_to_json(&crate::content_of(self)) {
+            Ok(text) => f.write_str(&text),
+            Err(_) => Err(fmt::Error),
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_content(&self) -> Content {
+        crate::content_of(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(Value::from_content(content.clone()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+macro_rules! impl_value_from_small_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::I64(i64::from(v))
+            }
+        }
+    )*};
+}
+
+impl_value_from_small_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<isize> for Value {
+    fn from(v: isize) -> Self {
+        Value::I64(v as i64)
+    }
+}
+
+macro_rules! impl_value_from_large_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(signed) => Value::I64(signed),
+                    Err(_) => Value::U64(v as u64),
+                }
+            }
+        }
+    )*};
+}
+
+impl_value_from_large_uint!(u64, usize);
+
+/// Internal conversion error kept for signature parity with future use.
+#[allow(dead_code)]
+pub(crate) type ValueError = Error;

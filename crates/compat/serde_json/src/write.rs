@@ -1,0 +1,98 @@
+//! Compact JSON text generation from content trees.
+
+use crate::Error;
+use serde::content::Content;
+use std::fmt::Write as _;
+
+/// Renders a content tree as compact JSON.
+pub(crate) fn content_to_json(content: &Content) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, content)?;
+    Ok(out)
+}
+
+fn write_content(out: &mut String, content: &Content) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                // Matches serde_json: non-finite floats render as null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(elements) => {
+            out.push('[');
+            for (i, element) in elements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, element)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, &key_string_checked(key)?);
+                out.push(':');
+                write_content(out, value)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// A map key as a JSON object key, erroring on composite keys the way
+/// `serde_json` does ("key must be a string").
+fn key_string_checked(key: &Content) -> Result<String, Error> {
+    match key {
+        Content::Str(s) => Ok(s.clone()),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::Bool(v) => Ok(v.to_string()),
+        other => Err(Error::new(format!(
+            "JSON object key must be a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Infallible key conversion used when rebuilding a [`crate::Value`] tree
+/// (composite keys degrade to their debug text; they cannot round-trip
+/// through JSON anyway).
+pub(crate) fn key_string(key: &Content) -> String {
+    key_string_checked(key).unwrap_or_else(|_| format!("{key:?}"))
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -47,11 +47,15 @@ pub fn fig_2_1(seed: u64) -> Vec<Series> {
 /// per bit index; ECU 1's series stops at its drop-out point.
 pub fn fig_2_3() -> Vec<Series> {
     // Base identifiers agreeing until base bit 6 (wire bit 7).
-    let ecu0 = ExtendedId::new((0b10101_000101 << 18) | 0x2AAAA).expect("29-bit");
-    let ecu1 = ExtendedId::new((0b10101_010101 << 18) | 0x2AAAA).expect("29-bit");
+    let ecu0 = ExtendedId::new_truncated((0b10101_000101 << 18) | 0x2AAAA);
+    let ecu1 = ExtendedId::new_truncated((0b10101_010101 << 18) | 0x2AAAA);
     let outcome = arbitrate(&[ecu0, ecu1]);
     debug_assert_eq!(outcome.winner, 0);
-    let lost_at = outcome.lost_at_bit[1].expect("ECU 1 loses");
+    let Some(lost_at) = outcome.lost_at_bit[1] else {
+        // Unreachable: ECU 1 deterministically loses at bit 7 (the test
+        // `fig_2_3_ecu1_drops_at_bit_7` pins this down).
+        return Vec::new();
+    };
     let to_points = |bits: &[bool], until: usize| -> Vec<(f64, f64)> {
         bits.iter()
             .take(until)
@@ -255,11 +259,14 @@ pub fn fig_4_5(frames: usize, seed: u64) -> Result<Vec<Series>, VProfileError> {
     let fixture =
         ExperimentFixture::prepare(VehicleKind::A, DistanceMetric::Mahalanobis, frames, seed)?;
     let model = fixture.train_model()?;
-    let probe = fixture
-        .test
-        .iter()
-        .find(|o| o.true_ecu == 0)
-        .expect("ECU 0 traffic present");
+    let probe =
+        fixture
+            .test
+            .iter()
+            .find(|o| o.true_ecu == 0)
+            .ok_or(VProfileError::DataUnavailable {
+                context: "ECU 0 traffic in the test split",
+            })?;
     let to_series = |name: &str, samples: &[f64]| {
         Series::new(
             name,
@@ -273,7 +280,10 @@ pub fn fig_4_5(frames: usize, seed: u64) -> Result<Vec<Series>, VProfileError> {
     Ok(vec![
         to_series("ECU 0 mean", model.cluster(ClusterId(0)).mean()),
         to_series("ECU 1 mean", model.cluster(ClusterId(1)).mean()),
-        to_series("test edge set (ECU 0)", probe.observation.edge_set.samples()),
+        to_series(
+            "test edge set (ECU 0)",
+            probe.observation.edge_set.samples(),
+        ),
     ])
 }
 
@@ -297,8 +307,7 @@ pub fn fig_4_6(frames_per_bin: usize, seed: u64) -> Result<Vec<Series>, VProfile
     // distances (out-of-sample, avoiding the covariance-overfit bias that
     // would otherwise inflate every warmer bin's delta uniformly).
     let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test();
-    let cold: Vec<LabeledEdgeSet> =
-        cold_train.iter().map(|o| o.observation.clone()).collect();
+    let cold: Vec<LabeledEdgeSet> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config).train_with_lut(&cold, &lut)?;
 
     let distances_of = |observations: &[vprofile_vehicle::TruthObservation]| -> Vec<Vec<f64>> {
@@ -329,8 +338,7 @@ pub fn fig_4_6(frames_per_bin: usize, seed: u64) -> Result<Vec<Series>, VProfile
         let mut bars = Vec::new();
         for tc in sweep.iter().skip(1) {
             let dists = per_ecu_distances(&tc.capture);
-            let ci = confidence_interval(&dists[ecu], 0.99)
-                .expect("bins hold several messages per ecu");
+            let ci = confidence_interval(&dists[ecu], 0.99)?;
             let mid = (tc.bin_lo_c + tc.bin_hi_c) / 2.0;
             points.push((mid, percent_delta(baseline_means[ecu], ci.mean)));
             bars.push(ci.half_width / baseline_means[ecu] * 100.0);
@@ -366,43 +374,41 @@ pub fn fig_4_7_and_4_8(
     let lut = vehicle.sa_lut();
 
     // Mean distance (over all ECUs' own clusters) of a capture to a model.
-    let mean_distance = |model: &vprofile::Model,
-                         capture: &vprofile_vehicle::Capture|
-     -> Vec<f64> {
-        capture
-            .extract(&extractor)
-            .observations
-            .iter()
-            .filter_map(|obs| {
-                model
-                    .cluster(ClusterId(obs.true_ecu))
-                    .distance(
-                        obs.observation.edge_set.samples(),
-                        DistanceMetric::Mahalanobis,
-                    )
-                    .ok()
-            })
-            .collect()
-    };
+    let mean_distance =
+        |model: &vprofile::Model, capture: &vprofile_vehicle::Capture| -> Vec<f64> {
+            capture
+                .extract(&extractor)
+                .observations
+                .iter()
+                .filter_map(|obs| {
+                    model
+                        .cluster(ClusterId(obs.true_ecu))
+                        .distance(
+                            obs.observation.edge_set.samples(),
+                            DistanceMetric::Mahalanobis,
+                        )
+                        .ok()
+                })
+                .collect()
+        };
 
     // Distances of held-out observations against a model.
-    let holdout_mean = |model: &vprofile::Model,
-                        observations: &[vprofile_vehicle::TruthObservation]|
-     -> f64 {
-        let dists: Vec<f64> = observations
-            .iter()
-            .filter_map(|obs| {
-                model
-                    .cluster(ClusterId(obs.true_ecu))
-                    .distance(
-                        obs.observation.edge_set.samples(),
-                        DistanceMetric::Mahalanobis,
-                    )
-                    .ok()
-            })
-            .collect();
-        dists.iter().sum::<f64>() / dists.len() as f64
-    };
+    let holdout_mean =
+        |model: &vprofile::Model, observations: &[vprofile_vehicle::TruthObservation]| -> f64 {
+            let dists: Vec<f64> = observations
+                .iter()
+                .filter_map(|obs| {
+                    model
+                        .cluster(ClusterId(obs.true_ecu))
+                        .distance(
+                            obs.observation.edge_set.samples(),
+                            DistanceMetric::Mahalanobis,
+                        )
+                        .ok()
+                })
+                .collect();
+            dists.iter().sum::<f64>() / dists.len() as f64
+        };
 
     // Figure 4.7: per-trial models trained on half of that trial's
     // baseline; the held-out half anchors the percent deltas (out of
@@ -412,9 +418,10 @@ pub fn fig_4_7_and_4_8(
         let baseline = all
             .iter()
             .find(|t| t.trial == trial && t.event == PowerEvent::Baseline)
-            .expect("baseline present per trial");
-        let (base_train, base_holdout) =
-            baseline.capture.extract(&extractor).split_train_test();
+            .ok_or(VProfileError::DataUnavailable {
+                context: "baseline capture for a trial",
+            })?;
+        let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test();
         let training: Vec<LabeledEdgeSet> =
             base_train.iter().map(|o| o.observation.clone()).collect();
         let model = Trainer::new(config.clone()).train_with_lut(&training, &lut)?;
@@ -423,7 +430,9 @@ pub fn fig_4_7_and_4_8(
             let tc = all
                 .iter()
                 .find(|t| t.trial == trial && t.event == event)
-                .expect("every event present per trial");
+                .ok_or(VProfileError::DataUnavailable {
+                    context: "power-event capture for a trial",
+                })?;
             let mean = if event == PowerEvent::Baseline {
                 base_mean
             } else {
@@ -437,7 +446,7 @@ pub fn fig_4_7_and_4_8(
     let mut fig47_bars = Vec::new();
     for (e, deltas) in per_event_deltas.iter().enumerate() {
         if deltas.len() >= 2 {
-            let ci = confidence_interval(deltas, 0.99).expect("two or more trials");
+            let ci = confidence_interval(deltas, 0.99)?;
             fig47_points.push((e as f64, ci.mean));
             fig47_bars.push(ci.half_width);
         } else {
@@ -456,11 +465,14 @@ pub fn fig_4_7_and_4_8(
     let first_baseline = all
         .iter()
         .find(|t| t.trial == 0 && t.event == PowerEvent::Baseline)
-        .expect("trial 0 baseline");
-    let (base_train, base_holdout) =
-        first_baseline.capture.extract(&extractor).split_train_test();
-    let training: Vec<LabeledEdgeSet> =
-        base_train.iter().map(|o| o.observation.clone()).collect();
+        .ok_or(VProfileError::DataUnavailable {
+            context: "trial 0 baseline capture",
+        })?;
+    let (base_train, base_holdout) = first_baseline
+        .capture
+        .extract(&extractor)
+        .split_train_test();
+    let training: Vec<LabeledEdgeSet> = base_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config.clone()).train_with_lut(&training, &lut)?;
     let base_mean = holdout_mean(&model, &base_holdout);
     let mut fig48_points = Vec::new();
@@ -469,9 +481,11 @@ pub fn fig_4_7_and_4_8(
         let tc = all
             .iter()
             .find(|t| t.trial == trial && t.event == PowerEvent::Baseline)
-            .expect("baseline per trial");
+            .ok_or(VProfileError::DataUnavailable {
+                context: "baseline capture for a later trial",
+            })?;
         let dists = mean_distance(&model, &tc.capture);
-        let ci = confidence_interval(&dists, 0.99).expect("several messages per trial");
+        let ci = confidence_interval(&dists, 0.99)?;
         fig48_points.push((trial as f64 + 1.0, percent_delta(base_mean, ci.mean)));
         fig48_bars.push(ci.half_width / base_mean * 100.0);
     }

@@ -59,7 +59,11 @@ pub fn select_margin(
             best = Some((margin, confusion, score));
         }
     }
-    let (margin, confusion, _) = best.expect("margin grid is non-empty");
+    let Some((margin, confusion, _)) = best else {
+        // Unreachable: MARGIN_FACTORS is a non-empty const, so the loop
+        // always seeds `best` on its first iteration.
+        return (0.0, ConfusionMatrix::default());
+    };
     (margin, confusion)
 }
 

@@ -75,7 +75,8 @@ impl ConfusionMatrix {
     pub fn f_score(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        // Exact zero is the division guard here, not a tolerance check.
+        if vprofile_sigstat::exactly_zero(p + r) {
             return 0.0;
         }
         2.0 * p * r / (p + r)

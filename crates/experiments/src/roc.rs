@@ -52,7 +52,10 @@ fn margin_scores(model: &Model, messages: &[TestMessage]) -> Vec<(f64, bool)> {
                     distance - model.cluster(cluster).max_distance()
                 }
                 Verdict::Anomaly {
-                    kind: vprofile::AnomalyKind::ThresholdExceeded { cluster, distance, .. },
+                    kind:
+                        vprofile::AnomalyKind::ThresholdExceeded {
+                            cluster, distance, ..
+                        },
                 } => distance - model.cluster(cluster).max_distance(),
                 Verdict::Anomaly { .. } => f64::INFINITY,
             };
@@ -75,7 +78,7 @@ pub fn roc_curve(model: &Model, messages: &[TestMessage]) -> RocCurve {
     assert!(negatives > 0, "ROC needs at least one legitimate message");
 
     // Sweep the threshold from +∞ down: each score is a candidate cut.
-    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite or +inf scores"));
+    scores.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut points = Vec::with_capacity(scores.len() + 1);
     points.push(RocPoint {
         threshold: f64::INFINITY,
@@ -172,7 +175,7 @@ mod tests {
     fn foreign_device_roc_dominates_chance() {
         let (fx, model) = fixture();
         let (attacker, victim, _) =
-            crate::most_similar_pair(&model, DistanceMetric::Mahalanobis);
+            crate::most_similar_pair(&model, DistanceMetric::Mahalanobis).unwrap();
         let reduced = fx.train_model_without_ecu(attacker).expect("training");
         let victim_sa = *fx
             .lut

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vprofile::{
     ClusterId, Detector, EdgeSetExtractor, LabeledEdgeSet, Model, Trainer, VProfileConfig,
+    VProfileError,
 };
 use vprofile_can::SourceAddress;
 use vprofile_sigstat::DistanceMetric;
@@ -73,7 +74,8 @@ impl ExperimentFixture {
         seed: u64,
     ) -> Result<Self, vprofile::VProfileError> {
         let vehicle = kind.build(seed);
-        let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
+        let capture =
+            vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
         Self::from_capture(vehicle, capture, metric)
     }
 
@@ -171,31 +173,32 @@ pub fn evaluate_messages(model: &Model, margin: f64, messages: &[TestMessage]) -
 ///
 /// Returns `(ecu_i, ecu_j, distance)` with `i < j`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the model has fewer than two clusters or distances cannot be
-/// computed (covariance missing).
-pub fn most_similar_pair(model: &Model, metric: DistanceMetric) -> (usize, usize, f64) {
+/// Returns [`VProfileError::DataUnavailable`] if the model has fewer than
+/// two clusters, and propagates distance failures (covariance missing,
+/// dimension mismatch).
+pub fn most_similar_pair(
+    model: &Model,
+    metric: DistanceMetric,
+) -> Result<(usize, usize, f64), VProfileError> {
     let n = model.cluster_count();
-    assert!(n >= 2, "need at least two clusters");
     let mut best: Option<(usize, usize, f64)> = None;
     for i in 0..n {
         for j in (i + 1)..n {
             let ci = model.cluster(ClusterId(i));
             let cj = model.cluster(ClusterId(j));
-            let dij = cj
-                .distance(ci.mean(), metric)
-                .expect("model clusters share dimensions");
-            let dji = ci
-                .distance(cj.mean(), metric)
-                .expect("model clusters share dimensions");
+            let dij = cj.distance(ci.mean(), metric)?;
+            let dji = ci.distance(cj.mean(), metric)?;
             let d = (dij + dji) / 2.0;
             if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
                 best = Some((i, j, d));
             }
         }
     }
-    best.expect("at least one pair")
+    best.ok_or(VProfileError::DataUnavailable {
+        context: "two or more clusters for the foreign-device pairing",
+    })
 }
 
 #[cfg(test)]
@@ -246,7 +249,7 @@ mod tests {
     fn most_similar_pair_is_symmetric_in_input_order() {
         let fx = fixture();
         let model = fx.train_model().unwrap();
-        let (i, j, d) = most_similar_pair(&model, DistanceMetric::Mahalanobis);
+        let (i, j, d) = most_similar_pair(&model, DistanceMetric::Mahalanobis).unwrap();
         assert!(i < j);
         assert!(d > 0.0);
         assert!(j < model.cluster_count());
@@ -258,7 +261,7 @@ mod tests {
         let fx =
             ExperimentFixture::prepare(VehicleKind::A, DistanceMetric::Euclidean, 1200, 3).unwrap();
         let model = fx.train_model().unwrap();
-        let (i, j, _) = most_similar_pair(&model, DistanceMetric::Euclidean);
+        let (i, j, _) = most_similar_pair(&model, DistanceMetric::Euclidean).unwrap();
         assert_eq!((i, j), (1, 4));
     }
 }

@@ -15,13 +15,13 @@ use vprofile::{
     cluster_extraction_threshold, ClusterId, EdgeSet, EdgeSetExtractor, LabeledEdgeSet, Model,
     Trainer, VProfileError,
 };
+use vprofile_analog::PowerEvent;
 use vprofile_sigstat::DistanceMetric;
 use vprofile_vehicle::attack::{
     false_positive_test, foreign_device_test, hijack_imitation_test, HIJACK_PROBABILITY,
 };
 use vprofile_vehicle::scenario::{five_degree_bins, power_event_trials, temperature_sweep};
 use vprofile_vehicle::{CaptureConfig, TruthObservation, Vehicle};
-use vprofile_analog::PowerEvent;
 
 /// One test's selected margin and resulting confusion matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,14 +88,16 @@ fn three_tests_on_fixture(
 
     // Foreign device: most similar pair (attacker, victim); attacker absent
     // from training, imitating the victim's first SA.
-    let (attacker, victim, pair_distance) = most_similar_pair(&model, metric);
+    let (attacker, victim, pair_distance) = most_similar_pair(&model, metric)?;
     let reduced = fixture.train_model_without_ecu(attacker)?;
     let victim_sa = *fixture
         .lut
         .iter()
         .find(|(_, c)| c.0 == victim)
         .map(|(sa, _)| sa)
-        .expect("victim cluster has an SA");
+        .ok_or(VProfileError::DataUnavailable {
+            context: "an SA mapped to the victim cluster",
+        })?;
     let foreign_messages = foreign_device_test(&test, attacker, victim_sa);
     let (fd_margin, fd_confusion) =
         select_margin(&reduced, &foreign_messages, MarginObjective::FScore);
@@ -144,7 +146,9 @@ pub fn table_4_5(frames: usize, seed: u64) -> Result<Table45, VProfileError> {
         .test
         .iter()
         .find(|o| o.true_ecu == 0)
-        .expect("capture contains ECU 0 traffic")
+        .ok_or(VProfileError::DataUnavailable {
+            context: "ECU 0 traffic in the test split",
+        })?
         .observation
         .edge_set
         .samples()
@@ -295,8 +299,7 @@ pub fn table_4_8(frames_per_bin: usize, seed: u64) -> Result<Table48, VProfileEr
         failures: 0,
     };
     let (cold_train, cold_holdout) = cold_extracted.split_train_test();
-    let cold: Vec<LabeledEdgeSet> =
-        cold_train.iter().map(|o| o.observation.clone()).collect();
+    let cold: Vec<LabeledEdgeSet> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let trainer = Trainer::new(config.clone());
     let model = trainer.train_with_lut(&cold, &lut)?;
     let cold_replay = false_positive_test(&vprofile_vehicle::ExtractedCapture {
@@ -367,13 +370,14 @@ pub fn table_4_9(frames_per_event: usize, seed: u64) -> Result<ConfusionMatrix, 
     let baseline = trials
         .iter()
         .find(|t| t.event == PowerEvent::Baseline)
-        .expect("trials include the baseline event");
+        .ok_or(VProfileError::DataUnavailable {
+            context: "the baseline power event in the trial sweep",
+        })?;
     // Train on half the baseline capture, calibrate the margin on the
     // held-out half (see `table_4_8` for why out-of-sample calibration is
     // required with short sessions).
     let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test();
-    let training: Vec<LabeledEdgeSet> =
-        base_train.iter().map(|o| o.observation.clone()).collect();
+    let training: Vec<LabeledEdgeSet> = base_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config).train_with_lut(&training, &lut)?;
     let baseline_replay = false_positive_test(&vprofile_vehicle::ExtractedCapture {
         observations: base_holdout,
@@ -490,7 +494,11 @@ pub fn table_5_1(frames: usize, seed: u64) -> Result<Vec<SpreadRow>, VProfileErr
         .collect();
     let enhanced_model =
         Trainer::new(fixture.config.clone()).train_with_lut(&labeled, &fixture.lut)?;
-    let enhanced_stats = spread_stats(&enhanced_model, &enhanced_train, fixture.vehicle.ecu_count());
+    let enhanced_stats = spread_stats(
+        &enhanced_model,
+        &enhanced_train,
+        fixture.vehicle.ecu_count(),
+    );
 
     Ok(build_spread_rows(&baseline_stats, &enhanced_stats))
 }
@@ -559,7 +567,10 @@ mod tests {
     fn table_4_5_mahalanobis_quotient_dominates() {
         let t = table_4_5(1200, 5).unwrap();
         assert!(t.euclidean.2 > 1.0, "probe must be closer to its own ECU");
-        assert!(t.mahalanobis.2 > t.euclidean.2, "Mahalanobis separates more");
+        assert!(
+            t.mahalanobis.2 > t.euclidean.2,
+            "Mahalanobis separates more"
+        );
     }
 
     #[test]

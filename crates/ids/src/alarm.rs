@@ -110,6 +110,7 @@ impl AlarmAggregator {
                     (AlarmClass::Impersonation, Some(predicted.0))
                 }
                 AnomalyKind::ThresholdExceeded { .. } => (AlarmClass::OutOfProfile, None),
+                AnomalyKind::Unscorable => (AlarmClass::Unparseable, None),
             },
         };
         self.anomalies_seen += 1;
@@ -221,7 +222,9 @@ mod tests {
     #[test]
     fn first_anomaly_escalates_immediately() {
         let mut agg = AlarmAggregator::new(100);
-        let escalation = agg.absorb(&mismatch_event(5, 1, 3)).expect("first escalates");
+        let escalation = agg
+            .absorb(&mismatch_event(5, 1, 3))
+            .expect("first escalates");
         assert_eq!(escalation.class, AlarmClass::Impersonation);
         assert_eq!(escalation.sa, Some(1));
         assert_eq!(escalation.suspected_origin, Some(3));

@@ -194,7 +194,10 @@ mod tests {
         let model = Trainer::new(config)
             .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
             .unwrap();
-        (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), capture)
+        (
+            IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
+            capture,
+        )
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use alarm::{AlarmAggregator, AlarmClass, Incident};
 pub use engine::{IdsEngine, IdsEvent, UpdatePolicy};
 pub use framer::StreamFramer;
 pub use period::{PeriodMonitor, PeriodVerdict};
-pub use pipeline::{IdsPipeline, PipelineStats};
+pub use pipeline::{IdsPipeline, PipelineError, PipelineStats};

@@ -12,6 +12,32 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Failure modes of the threaded pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineError {
+    /// [`IdsPipeline::feed`] was called after the input was closed.
+    InputClosed,
+    /// The detection worker is gone (its receiver hung up), so the chunk
+    /// could not be delivered.
+    WorkerUnavailable,
+    /// The detection worker panicked; its engine and final events are lost.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InputClosed => f.write_str("pipeline input already closed"),
+            PipelineError::WorkerUnavailable => {
+                f.write_str("detection worker is no longer receiving samples")
+            }
+            PipelineError::WorkerPanicked => f.write_str("detection worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Aggregate pipeline counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineStats {
@@ -71,15 +97,17 @@ impl IdsPipeline {
 
     /// Feeds one chunk of samples. Blocks when the backlog is full.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called after [`IdsPipeline::finish`] or if the worker died.
-    pub fn feed(&self, samples: Vec<f64>) {
+    /// [`PipelineError::InputClosed`] if called after
+    /// [`IdsPipeline::finish`], [`PipelineError::WorkerUnavailable`] if the
+    /// worker died.
+    pub fn feed(&self, samples: Vec<f64>) -> Result<(), PipelineError> {
         self.sample_tx
             .as_ref()
-            .expect("pipeline already finished")
+            .ok_or(PipelineError::InputClosed)?
             .send(samples)
-            .expect("detection worker alive");
+            .map_err(|_| PipelineError::WorkerUnavailable)
     }
 
     /// The event stream.
@@ -95,19 +123,18 @@ impl IdsPipeline {
     /// Closes the input, waits for the worker to drain, and returns the
     /// final engine (with its possibly-updated model).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the worker thread panicked.
-    pub fn finish(mut self) -> (IdsEngine, PipelineStats) {
+    /// [`PipelineError::WorkerPanicked`] if the worker thread panicked
+    /// (consuming `self` guarantees the worker handle is still present).
+    pub fn finish(mut self) -> Result<(IdsEngine, PipelineStats), PipelineError> {
         self.sample_tx.take();
-        let engine = self
-            .worker
-            .take()
-            .expect("finish called once")
-            .join()
-            .expect("detection worker must not panic");
+        let Some(worker) = self.worker.take() else {
+            return Err(PipelineError::WorkerPanicked);
+        };
+        let engine = worker.join().map_err(|_| PipelineError::WorkerPanicked)?;
         let stats = *self.stats.lock();
-        (engine, stats)
+        Ok((engine, stats))
     }
 }
 
@@ -149,7 +176,10 @@ mod tests {
         let model = Trainer::new(config)
             .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
             .unwrap();
-        (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), capture)
+        (
+            IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
+            capture,
+        )
     }
 
     #[test]
@@ -161,9 +191,9 @@ mod tests {
             stream.extend(frame.trace.to_f64());
         }
         for chunk in stream.chunks(2048) {
-            pipeline.feed(chunk.to_vec());
+            pipeline.feed(chunk.to_vec()).unwrap();
         }
-        let (_, stats) = pipeline.finish();
+        let (_, stats) = pipeline.finish().unwrap();
         assert_eq!(stats.frames, 40);
         assert_eq!(stats.anomalies, 0);
         assert_eq!(stats.extraction_failures, 0);
@@ -177,7 +207,7 @@ mod tests {
         for frame in capture.frames().iter().take(5) {
             stream.extend(frame.trace.to_f64());
         }
-        pipeline.feed(stream);
+        pipeline.feed(stream).unwrap();
         // At least the first few events arrive without finishing.
         let mut seen = 0;
         for _ in 0..4 {
@@ -190,7 +220,7 @@ mod tests {
             }
         }
         assert!(seen >= 4);
-        let (_, stats) = pipeline.finish();
+        let (_, stats) = pipeline.finish().unwrap();
         assert_eq!(stats.frames, 5);
     }
 
@@ -205,8 +235,8 @@ mod tests {
         for frame in capture.frames().iter().take(60) {
             stream.extend(frame.trace.to_f64());
         }
-        pipeline.feed(stream);
-        let (engine, stats) = pipeline.finish();
+        pipeline.feed(stream).unwrap();
+        let (engine, stats) = pipeline.finish().unwrap();
         assert_eq!(stats.frames, 60);
         let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
         assert!(after > before);
@@ -216,7 +246,7 @@ mod tests {
     fn drop_without_finish_does_not_hang() {
         let (engine, _) = engine_and_capture();
         let pipeline = IdsPipeline::spawn(engine, 2);
-        pipeline.feed(vec![1000.0; 100]);
+        pipeline.feed(vec![1000.0; 100]).unwrap();
         drop(pipeline); // must join cleanly
     }
 }

@@ -4,8 +4,11 @@ use crate::{Matrix, SigStatError};
 ///
 /// # Errors
 ///
-/// Returns [`SigStatError::EmptyInput`] for an empty observation set and
-/// [`SigStatError::DimensionMismatch`] for ragged observations.
+/// Returns [`SigStatError::EmptyInput`] for an empty observation set,
+/// [`SigStatError::DimensionMismatch`] for ragged observations, and
+/// [`SigStatError::NonFiniteInput`] if any observation contains a NaN or
+/// infinite value (a single non-finite sample would poison every downstream
+/// moment estimate).
 ///
 /// # Example
 ///
@@ -34,6 +37,11 @@ pub fn sample_mean(observations: &[Vec<f64>]) -> Result<Vec<f64>, SigStatError> 
             });
         }
         for (m, &v) in mean.iter_mut().zip(obs) {
+            if !v.is_finite() {
+                return Err(SigStatError::NonFiniteInput {
+                    context: "sample_mean",
+                });
+            }
             *m += v;
         }
     }
@@ -50,10 +58,7 @@ pub fn sample_mean(observations: &[Vec<f64>]) -> Result<Vec<f64>, SigStatError> 
 ///
 /// Returns [`SigStatError::InsufficientObservations`] for fewer than two
 /// observations and [`SigStatError::DimensionMismatch`] for ragged input.
-pub fn sample_covariance(
-    observations: &[Vec<f64>],
-    mean: &[f64],
-) -> Result<Matrix, SigStatError> {
+pub fn sample_covariance(observations: &[Vec<f64>], mean: &[f64]) -> Result<Matrix, SigStatError> {
     let n = observations.len();
     if n < 2 {
         return Err(SigStatError::InsufficientObservations { actual: n });
@@ -74,7 +79,7 @@ pub fn sample_covariance(
         }
         for i in 0..dim {
             let ci = centered[i];
-            if ci == 0.0 {
+            if crate::exactly_zero(ci) {
                 continue;
             }
             for j in i..dim {
@@ -123,11 +128,19 @@ impl CovarianceEstimate {
     /// repaired, which is how the resolution floor of Tables 4.6/4.7 shows
     /// up.
     ///
+    /// Condition-estimate ceiling beyond which a factored covariance is
+    /// treated as numerically unusable (distances through it amplify
+    /// rounding error past `f64` precision).
+    pub const CONDITION_LIMIT: f64 = 1e15;
+
     /// # Errors
     ///
     /// Propagates estimation errors, and returns
     /// [`SigStatError::NotPositiveDefinite`] if the covariance cannot be
-    /// factored within the ridge budget.
+    /// factored within the ridge budget, or
+    /// [`SigStatError::IllConditioned`] if it factors but its condition
+    /// estimate stays above [`CovarianceEstimate::CONDITION_LIMIT`] even
+    /// after the budgeted ridge.
     pub fn fit(observations: &[Vec<f64>], max_ridge: f64) -> Result<Self, SigStatError> {
         let mean = sample_mean(observations)?;
         let mut covariance = sample_covariance(observations, &mean)?;
@@ -135,25 +148,31 @@ impl CovarianceEstimate {
         let mut applied_ridge = 0.0;
         let mut ridge = 1e-9 * scale;
         loop {
-            match covariance.cholesky() {
-                Ok(_) => {
-                    return Ok(CovarianceEstimate {
-                        mean,
-                        covariance,
-                        count: observations.len(),
-                        applied_ridge,
-                    })
-                }
-                Err(err @ SigStatError::NotPositiveDefinite { .. }) => {
-                    if applied_ridge + ridge > max_ridge * scale.max(1.0) {
-                        return Err(err);
+            let failure = match covariance.cholesky() {
+                Ok(chol) => {
+                    let condition_estimate = chol.condition_estimate();
+                    if condition_estimate <= Self::CONDITION_LIMIT {
+                        return Ok(CovarianceEstimate {
+                            mean,
+                            covariance,
+                            count: observations.len(),
+                            applied_ridge,
+                        });
                     }
-                    covariance.add_ridge(ridge);
-                    applied_ridge += ridge;
-                    ridge *= 10.0;
+                    SigStatError::IllConditioned {
+                        condition_estimate,
+                        limit: Self::CONDITION_LIMIT,
+                    }
                 }
+                Err(err @ SigStatError::NotPositiveDefinite { .. }) => err,
                 Err(other) => return Err(other),
+            };
+            if applied_ridge + ridge > max_ridge * scale.max(1.0) {
+                return Err(failure);
             }
+            covariance.add_ridge(ridge);
+            applied_ridge += ridge;
+            ridge *= 10.0;
         }
     }
 }
@@ -180,7 +199,12 @@ mod tests {
     #[test]
     fn covariance_of_known_data() {
         // Two variables, perfectly anti-correlated.
-        let obs = vec![vec![1.0, -1.0], vec![-1.0, 1.0], vec![2.0, -2.0], vec![-2.0, 2.0]];
+        let obs = vec![
+            vec![1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![2.0, -2.0],
+            vec![-2.0, 2.0],
+        ];
         let mean = sample_mean(&obs).unwrap();
         assert_eq!(mean, vec![0.0, 0.0]);
         let cov = sample_covariance(&obs, &mean).unwrap();
@@ -215,6 +239,43 @@ mod tests {
         assert!(est.applied_ridge > 0.0);
         assert_eq!(est.count, 5);
         assert!(est.covariance.cholesky().is_ok());
+    }
+
+    #[test]
+    fn mean_rejects_non_finite_values() {
+        let err = sample_mean(&[vec![1.0, f64::NAN]]).unwrap_err();
+        assert!(matches!(err, SigStatError::NonFiniteInput { .. }));
+        let err = sample_mean(&[vec![f64::INFINITY]]).unwrap_err();
+        assert!(matches!(err, SigStatError::NonFiniteInput { .. }));
+    }
+
+    #[test]
+    fn fit_reports_ill_conditioned_with_zero_budget() {
+        // Two nearly collinear directions with wildly different scales give a
+        // factorable but numerically useless covariance.
+        let mut obs = Vec::new();
+        for i in 0..40 {
+            let t = f64::from(i);
+            obs.push(vec![t, t * (1.0 + 1e-12)]);
+        }
+        let err = CovarianceEstimate::fit(&obs, 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SigStatError::IllConditioned { .. } | SigStatError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn fit_repairs_ill_conditioned_within_budget() {
+        let mut obs = Vec::new();
+        for i in 0..40 {
+            let t = f64::from(i);
+            obs.push(vec![t, t * (1.0 + 1e-12)]);
+        }
+        let est = CovarianceEstimate::fit(&obs, 1e-3).unwrap();
+        assert!(est.applied_ridge > 0.0);
+        let chol = est.covariance.cholesky().unwrap();
+        assert!(chol.condition_estimate() <= CovarianceEstimate::CONDITION_LIMIT);
     }
 
     #[test]

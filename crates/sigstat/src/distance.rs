@@ -1,4 +1,4 @@
-use crate::{CovarianceEstimate, Cholesky, Matrix, SigStatError};
+use crate::{Cholesky, CovarianceEstimate, Matrix, SigStatError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -205,17 +205,17 @@ impl Gaussian {
     ///
     /// Returns [`SigStatError::NotPositiveDefinite`] if the updated
     /// covariance no longer factors.
-    pub fn refit(
-        mean: Vec<f64>,
-        covariance: Matrix,
-        count: usize,
-    ) -> Result<Self, SigStatError> {
+    pub fn refit(mean: Vec<f64>, covariance: Matrix, count: usize) -> Result<Self, SigStatError> {
         Gaussian::from_moments(mean, covariance, count)
     }
 
     /// Reconstructs the explicit inverse covariance (the thesis' Algorithm 4
     /// stores `clustInvCovs`; the hot path here uses the factor instead).
-    pub fn inverse_covariance(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal solve errors from [`Cholesky::inverse`].
+    pub fn inverse_covariance(&self) -> Result<Matrix, SigStatError> {
         self.chol.inverse()
     }
 }
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn inverse_covariance_matches_direct_inverse() {
         let g = sample_gaussian();
-        let inv = g.inverse_covariance();
+        let inv = g.inverse_covariance().unwrap();
         let prod = &inv * g.covariance();
         for i in 0..2 {
             for j in 0..2 {

@@ -32,6 +32,28 @@ pub enum SigStatError {
         /// Number of observations supplied.
         actual: usize,
     },
+    /// An input value was NaN or infinite. Non-finite samples poison every
+    /// downstream moment estimate, so they are rejected at the boundary.
+    NonFiniteInput {
+        /// Human-readable context, e.g. the estimator name.
+        context: &'static str,
+    },
+    /// The covariance factored, but its condition estimate exceeds the
+    /// limit: Mahalanobis distances through such a factor amplify rounding
+    /// error beyond usefulness. Distinct from
+    /// [`SigStatError::NotPositiveDefinite`], which is outright singularity.
+    IllConditioned {
+        /// Cheap condition estimate `(max L_ii / min L_ii)²` from the
+        /// Cholesky factor.
+        condition_estimate: f64,
+        /// The limit that was exceeded.
+        limit: f64,
+    },
+    /// A confidence level without a tabulated z-value was requested.
+    UnsupportedConfidenceLevel {
+        /// The level supplied by the caller.
+        level: f64,
+    },
 }
 
 impl fmt::Display for SigStatError {
@@ -56,6 +78,23 @@ impl fmt::Display for SigStatError {
                 f,
                 "covariance estimation needs at least 2 observations, got {actual}"
             ),
+            SigStatError::NonFiniteInput { context } => {
+                write!(
+                    f,
+                    "non-finite value (NaN or infinity) in input to {context}"
+                )
+            }
+            SigStatError::IllConditioned {
+                condition_estimate,
+                limit,
+            } => write!(
+                f,
+                "covariance is ill-conditioned: condition estimate {condition_estimate:e} \
+                 exceeds limit {limit:e}"
+            ),
+            SigStatError::UnsupportedConfidenceLevel { level } => {
+                write!(f, "unsupported confidence level {level}; use 0.95 or 0.99")
+            }
         }
     }
 }
@@ -88,6 +127,21 @@ mod tests {
 
         let err = SigStatError::InsufficientObservations { actual: 1 };
         assert!(err.to_string().contains("got 1"));
+
+        let err = SigStatError::NonFiniteInput {
+            context: "sample_mean",
+        };
+        assert!(err.to_string().contains("sample_mean"));
+        assert!(err.to_string().contains("NaN"));
+
+        let err = SigStatError::IllConditioned {
+            condition_estimate: 1e18,
+            limit: 1e15,
+        };
+        assert!(err.to_string().contains("ill-conditioned"));
+
+        let err = SigStatError::UnsupportedConfidenceLevel { level: 0.5 };
+        assert!(err.to_string().contains("0.5"));
     }
 
     #[test]

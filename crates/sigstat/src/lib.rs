@@ -56,3 +56,13 @@ pub use stats::{
     variance, ConfidenceInterval, Summary,
 };
 pub use welford::OnlineGaussian;
+
+/// Exact `±0.0` test via the bit pattern: NaN-safe and free of float `==`
+/// (which the workspace lint gates forbid). Used for sparsity skips and
+/// division guards where *exact* zero is the intended predicate — the
+/// epsilon-tolerance alternative would be wrong there.
+#[inline]
+#[must_use]
+pub fn exactly_zero(v: f64) -> bool {
+    v.to_bits() << 1 == 0
+}

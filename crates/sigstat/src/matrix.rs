@@ -182,6 +182,22 @@ impl Matrix {
         }
     }
 
+    /// `true` when the matrix is square and symmetric to within `tol`
+    /// (absolute, per entry).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
@@ -218,6 +234,14 @@ impl Matrix {
         }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
+        debug_assert!(
+            self.data.iter().all(|v| v.is_finite()),
+            "cholesky input must be finite"
+        );
+        debug_assert!(
+            self.is_symmetric(1e-9 * self.max_abs_diagonal().max(1.0)),
+            "cholesky input must be symmetric"
+        );
         // Tolerance scaled to the matrix magnitude: pivots smaller than this
         // are treated as zero, i.e. the matrix is singular.
         let tol = 1e-12 * self.max_abs_diagonal().max(f64::MIN_POSITIVE);
@@ -250,14 +274,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -335,7 +365,7 @@ impl Mul for &Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
-                if a == 0.0 {
+                if crate::exactly_zero(a) {
                     continue;
                 }
                 for c in 0..rhs.cols {
@@ -467,7 +497,30 @@ impl Cholesky {
     /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn quadratic_form(&self, b: &[f64]) -> Result<f64, SigStatError> {
         let y = self.forward_solve(b)?;
-        Ok(y.iter().map(|v| v * v).sum())
+        let q: f64 = y.iter().map(|v| v * v).sum();
+        debug_assert!(
+            q >= 0.0 || q.is_nan(),
+            "quadratic form is a sum of squares and cannot be negative"
+        );
+        Ok(q)
+    }
+
+    /// Cheap condition estimate `(max L_ii / min L_ii)²` from the factor's
+    /// diagonal. A lower bound on the true 2-norm condition number of `A`,
+    /// adequate for "is this covariance numerically usable" gating.
+    pub fn condition_estimate(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..self.dim() {
+            let d = self.l[(i, i)].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if lo <= f64::MIN_POSITIVE {
+            return f64::INFINITY;
+        }
+        let r = hi / lo;
+        r * r
     }
 
     /// Reconstructs the explicit inverse `A⁻¹`.
@@ -475,19 +528,24 @@ impl Cholesky {
     /// The detection hot path never needs this (it uses [`Cholesky::solve`]),
     /// but the thesis' Algorithm 4 stores `clustInvCovs` explicitly, so the
     /// model-serialization code exposes it.
-    pub fn inverse(&self) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] only if an internal
+    /// invariant is violated; propagated rather than unwrapped so the
+    /// numeric error path stays typed end to end.
+    pub fn inverse(&self) -> Result<Matrix, SigStatError> {
         let n = self.dim();
         let mut inv = Matrix::zeros(n, n);
         for j in 0..n {
             let mut e = vec![0.0; n];
             e[j] = 1.0;
-            // Unit vectors always have the right dimension.
-            let col = self.solve(&e).expect("unit basis vector has dimension n");
+            let col = self.solve(&e)?;
             for i in 0..n {
                 inv[(i, j)] = col[i];
             }
         }
-        inv
+        Ok(inv)
     }
 
     /// Log-determinant of `A`, `log det A = 2 Σ log L_ii`.
@@ -567,7 +625,10 @@ mod tests {
         // Rank-1 matrix.
         let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let err = a.cholesky().unwrap_err();
-        assert!(matches!(err, SigStatError::NotPositiveDefinite { pivot: 1, .. }));
+        assert!(matches!(
+            err,
+            SigStatError::NotPositiveDefinite { pivot: 1, .. }
+        ));
     }
 
     #[test]
@@ -605,12 +666,16 @@ mod tests {
             vec![1.0, 2.0, 4.0],
         ])
         .unwrap();
-        let inv = a.cholesky().unwrap().inverse();
+        let inv = a.cholesky().unwrap().inverse().unwrap();
         let prod = &a * &inv;
         for i in 0..3 {
             for j in 0..3 {
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!(approx(prod[(i, j)], want, 1e-10), "({i},{j}) = {}", prod[(i, j)]);
+                assert!(
+                    approx(prod[(i, j)], want, 1e-10),
+                    "({i},{j}) = {}",
+                    prod[(i, j)]
+                );
             }
         }
     }
@@ -685,7 +750,7 @@ mod tests {
             spd.add_ridge(1e-2);
             let chol = spd.cholesky().unwrap();
             let q = chol.quadratic_form(&b).unwrap();
-            let inv = chol.inverse();
+            let inv = chol.inverse().unwrap();
             let ib = inv.mul_vec(&b).unwrap();
             let q2: f64 = b.iter().zip(&ib).map(|(a, c)| a * c).sum();
             prop_assert!((q - q2).abs() < 1e-6 * (1.0 + q.abs()));

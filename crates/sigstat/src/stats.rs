@@ -81,7 +81,7 @@ pub fn max_f64(xs: &[f64]) -> Result<f64, SigStatError> {
 ///
 /// Returns `0.0` when the baseline is zero to keep plots finite.
 pub fn percent_delta(baseline: f64, value: f64) -> f64 {
-    if baseline == 0.0 {
+    if crate::exactly_zero(baseline) {
         0.0
     } else {
         (value - baseline) / baseline * 100.0
@@ -124,16 +124,13 @@ impl ConfidenceInterval {
 /// # Errors
 ///
 /// Returns [`SigStatError::InsufficientObservations`] for fewer than two
-/// values.
-///
-/// # Panics
-///
-/// Panics if `level` is not `0.95` or `0.99`.
+/// values and [`SigStatError::UnsupportedConfidenceLevel`] if `level` is not
+/// `0.95` or `0.99`.
 pub fn confidence_interval(xs: &[f64], level: f64) -> Result<ConfidenceInterval, SigStatError> {
     let z = match level {
         l if (l - 0.95).abs() < 1e-12 => 1.959_963_984_540_054,
         l if (l - 0.99).abs() < 1e-12 => 2.575_829_303_548_901,
-        _ => panic!("unsupported confidence level {level}; use 0.95 or 0.99"),
+        _ => return Err(SigStatError::UnsupportedConfidenceLevel { level }),
     };
     let m = mean(xs)?;
     let s = std_dev(xs)?;
@@ -237,9 +234,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unsupported confidence level")]
     fn confidence_interval_rejects_unknown_level() {
-        let _ = confidence_interval(&[1.0, 2.0], 0.5);
+        let err = confidence_interval(&[1.0, 2.0], 0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            SigStatError::UnsupportedConfidenceLevel { level } if (level - 0.5).abs() < 1e-12
+        ));
     }
 
     #[test]

@@ -195,8 +195,7 @@ impl OnlineGaussian {
             .collect();
         for i in 0..self.dim() {
             for j in 0..self.dim() {
-                self.comoment[(i, j)] +=
-                    other.comoment[(i, j)] + delta[i] * delta[j] * n1 * n2 / n;
+                self.comoment[(i, j)] += other.comoment[(i, j)] + delta[i] * delta[j] * n1 * n2 / n;
             }
         }
         for (m, d) in self.mean.iter_mut().zip(&delta) {

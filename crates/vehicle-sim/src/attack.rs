@@ -149,7 +149,6 @@ pub fn training_without_ecu(
         .collect()
 }
 
-
 /// Report of a simulated bus-off takeover campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BusOffReport {
@@ -235,10 +234,7 @@ pub fn bus_off_takeover_test(
 }
 
 /// Ground-truth observations for one ECU only.
-pub fn observations_of_ecu(
-    extracted: &ExtractedCapture,
-    ecu: usize,
-) -> Vec<TruthObservation> {
+pub fn observations_of_ecu(extracted: &ExtractedCapture, ecu: usize) -> Vec<TruthObservation> {
     extracted
         .observations
         .iter()
@@ -377,10 +373,7 @@ mod tests {
             assert!(matches!(attack.observation.sa.raw(), 1 | 2));
         }
         // Bystander traffic (ECU 1's own frames) is untouched.
-        assert_eq!(
-            messages.iter().filter(|m| !m.is_attack).count(),
-            16
-        );
+        assert_eq!(messages.iter().filter(|m| !m.is_attack).count(), 16);
     }
 
     #[test]

@@ -141,8 +141,13 @@ impl Capture {
                     let t_ms = release_bits as f64 / f64::from(bit_rate) * 1000.0;
                     let step = ((t_ms / 10.0) as usize).min(timeline.len() - 1);
                     timeline[step].fill_payload(schedule.pgn.raw(), &mut payload);
-                    let frame = DataFrame::new(schedule.id().into(), &payload[..schedule.dlc])
-                        .expect("dlc validated at schedule construction");
+                    let Ok(frame) = DataFrame::new(schedule.id().into(), &payload[..schedule.dlc])
+                    else {
+                        // Unreachable: MessageSchedule::new enforces
+                        // dlc ≤ 8, the only failure mode of
+                        // DataFrame::new. Skip the message otherwise.
+                        continue;
+                    };
                     releases.push((release_bits, frame));
                 }
             }
@@ -258,10 +263,7 @@ impl Capture {
                 }
             })
             .collect();
-        let adc = frames
-            .first()
-            .map(|cf| *cf.trace.adc())
-            .unwrap_or(self.adc);
+        let adc = frames.first().map(|cf| *cf.trace.adc()).unwrap_or(self.adc);
         Capture {
             vehicle_name: self.vehicle_name.clone(),
             bit_rate_bps: self.bit_rate_bps,
@@ -456,8 +458,7 @@ mod tests {
         let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
         let extracted = capture.extract(&EdgeSetExtractor::new(config));
         let labeled = extracted.labeled();
-        let sas: std::collections::BTreeSet<SourceAddress> =
-            labeled.iter().map(|l| l.sa).collect();
+        let sas: std::collections::BTreeSet<SourceAddress> = labeled.iter().map(|l| l.sa).collect();
         assert!(sas.len() >= 3);
     }
 }

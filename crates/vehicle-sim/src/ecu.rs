@@ -23,14 +23,17 @@ impl MessageSchedule {
     ///
     /// # Panics
     ///
-    /// Panics if `period_ms` is not positive or `dlc > 8`.
+    /// Panics if `period_ms` is not positive, `dlc > 8`, `priority`
+    /// exceeds 3 bits, or `pgn` exceeds 18 bits.
     pub fn new(sa: u8, priority: u8, pgn: u32, period_ms: f64, dlc: usize) -> Self {
         assert!(period_ms > 0.0, "period must be positive");
         assert!(dlc <= 8, "dlc must be at most 8");
+        assert!(priority <= 7, "priority must fit in 3 bits");
+        assert!(pgn <= Pgn::MAX, "pgn must fit in 18 bits");
         MessageSchedule {
             sa: SourceAddress(sa),
-            priority: Priority::new(priority).expect("priority fits 3 bits"),
-            pgn: Pgn::new(pgn).expect("pgn fits 18 bits"),
+            priority: Priority::new_truncated(priority),
+            pgn: Pgn::new_truncated(pgn),
             period_ms,
             dlc,
         }

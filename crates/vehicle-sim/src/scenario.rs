@@ -24,7 +24,9 @@ pub struct TemperatureCapture {
 
 /// The thesis' 5 °C temperature bins from −5 °C to 25 °C.
 pub fn five_degree_bins() -> Vec<(f64, f64)> {
-    (0..6).map(|k| (-5.0 + 5.0 * k as f64, 5.0 * k as f64)).collect()
+    (0..6)
+        .map(|k| (-5.0 + 5.0 * k as f64, 5.0 * k as f64))
+        .collect()
 }
 
 /// Runs the §4.4.1 temperature experiment: one capture per bin, at the bin
@@ -126,9 +128,7 @@ pub fn power_event_trials(
             env.battery_v -= 0.07 * e as f64 / (PowerEvent::ALL.len() - 1) as f64;
             let config = CaptureConfig::default()
                 .with_frames(frames_per_event)
-                .with_seed(
-                    seed.wrapping_add((trial * 31 + e) as u64 * 0x6C8E_9CF5),
-                )
+                .with_seed(seed.wrapping_add((trial * 31 + e) as u64 * 0x6C8E_9CF5))
                 .with_env(env);
             out.push(PowerEventCapture {
                 trial,
@@ -161,7 +161,10 @@ mod tests {
         assert_eq!(sweep[0].capture.len(), 12);
         assert_eq!(sweep[0].capture.env().temperature_c, -2.5);
         assert_eq!(sweep[1].capture.env().temperature_c, 22.5);
-        assert_eq!(sweep[1].capture.env().battery_v, Environment::ENGINE_RUNNING_V);
+        assert_eq!(
+            sweep[1].capture.env().battery_v,
+            Environment::ENGINE_RUNNING_V
+        );
     }
 
     #[test]

@@ -36,18 +36,19 @@ impl Vehicle {
         let mut seen_ids = BTreeMap::new();
         for (idx, ecu) in ecus.iter().enumerate() {
             for sa in ecu.source_addresses() {
-                if let Some(prev) = seen_sas.insert(sa, idx) {
-                    assert_ne!(prev, prev + 1, "unreachable");
-                    panic!(
-                        "source address 0x{sa} claimed by both ECU {prev} and ECU {idx}"
-                    );
-                }
+                let prev = seen_sas.insert(sa, idx);
+                assert!(
+                    prev.is_none(),
+                    "source address 0x{sa} claimed by two ECUs (second claimant is ECU {idx})"
+                );
             }
             for schedule in &ecu.schedules {
                 let raw: u32 = vprofile_can::ExtendedId::from(schedule.id()).raw();
-                if seen_ids.insert(raw, idx).is_some() {
-                    panic!("duplicate 29-bit identifier {raw:#010x}");
-                }
+                let prev = seen_ids.insert(raw, idx);
+                assert!(
+                    prev.is_none(),
+                    "duplicate 29-bit identifier {raw:#010x} (second claimant is ECU {idx})"
+                );
             }
         }
         Vehicle {
@@ -126,7 +127,12 @@ impl Vehicle {
                 vec![MessageSchedule::new(0x17, 6, 0xFEF1, 50.0, 8)],
             ),
         ];
-        Vehicle::new("Vehicle A (Peterbilt 579)", 250_000, AdcConfig::vehicle_a(), ecus)
+        Vehicle::new(
+            "Vehicle A (Peterbilt 579)",
+            250_000,
+            AdcConfig::vehicle_a(),
+            ecus,
+        )
     }
 
     /// The reproduction's Vehicle B: the confidential partner vehicle
@@ -139,10 +145,10 @@ impl Vehicle {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B);
         let level_spread = 0.80;
         let shape_spread = 0.70;
-        let next_tx =
-            |gain: f64, rng: &mut StdRng| {
-                TransceiverModel::sample_with_spreads(rng, level_spread, shape_spread).with_thermal_gain(gain)
-            };
+        let next_tx = |gain: f64, rng: &mut StdRng| {
+            TransceiverModel::sample_with_spreads(rng, level_spread, shape_spread)
+                .with_thermal_gain(gain)
+        };
         // Periods compressed (see `vehicle_a`) so short sessions feed every
         // cluster's covariance estimate.
         let configs: [(&str, u8, u32, f64, u8, u32, f64); 9] = [
@@ -229,10 +235,7 @@ mod tests {
         assert_eq!(v.adc().sample_rate_hz, 20e6);
         assert_eq!(v.adc().resolution_bits, 16);
         // ECU 0 is the ECM at SA 0.
-        assert_eq!(
-            v.sa_lut()[&SourceAddress(0x00)],
-            ClusterId(0)
-        );
+        assert_eq!(v.sa_lut()[&SourceAddress(0x00)], ClusterId(0));
     }
 
     #[test]
@@ -276,7 +279,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "claimed by both")]
+    #[should_panic(expected = "claimed by two ECUs")]
     fn duplicate_sa_across_ecus_panics() {
         let mut rng = StdRng::seed_from_u64(1);
         let tx1 = TransceiverModel::sample_new(&mut rng);

@@ -8,7 +8,7 @@
 //! then calculate the distance between the edge sets of every pair of SAs
 //! and cluster those with the smallest distance" — [`cluster_by_distance`]).
 
-use crate::{EdgeSet, LabeledEdgeSet};
+use crate::{EdgeSet, LabeledEdgeSet, VProfileError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -16,9 +16,7 @@ use vprofile_can::SourceAddress;
 use vprofile_sigstat::{euclidean, sample_mean};
 
 /// Identifier of an ECU cluster within a trained model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClusterId(pub usize);
 
 impl fmt::Display for ClusterId {
@@ -35,7 +33,10 @@ pub type SaGroups = BTreeMap<SourceAddress, Vec<EdgeSet>>;
 pub fn group_by_sa(data: &[LabeledEdgeSet]) -> SaGroups {
     let mut groups: SaGroups = BTreeMap::new();
     for item in data {
-        groups.entry(item.sa).or_default().push(item.edge_set.clone());
+        groups
+            .entry(item.sa)
+            .or_default()
+            .push(item.edge_set.clone());
     }
     groups
 }
@@ -93,29 +94,31 @@ pub fn cluster_by_lut(
 /// intra-ECU from inter-ECU distances; if no gap of at least 4× exists, no
 /// merging happens (every SA becomes its own cluster).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any SA group is empty (cannot happen through
-/// [`group_by_sa`]).
-pub fn cluster_by_distance(groups: SaGroups, linkage_threshold: Option<f64>) -> Vec<ClusterData> {
+/// Returns [`VProfileError::Numeric`] if an SA group is empty (cannot happen
+/// through [`group_by_sa`]) or its mean cannot be computed — e.g. ragged or
+/// non-finite edge sets.
+pub fn cluster_by_distance(
+    groups: SaGroups,
+    linkage_threshold: Option<f64>,
+) -> Result<Vec<ClusterData>, VProfileError> {
     let sas: Vec<SourceAddress> = groups.keys().copied().collect();
     let n = sas.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let means: Vec<Vec<f64>> = groups
-        .values()
-        .map(|sets| {
-            let obs: Vec<Vec<f64>> = sets.iter().map(|s| s.samples().to_vec()).collect();
-            sample_mean(&obs).expect("SA groups are non-empty")
-        })
-        .collect();
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for sets in groups.values() {
+        let obs: Vec<Vec<f64>> = sets.iter().map(|s| s.samples().to_vec()).collect();
+        means.push(sample_mean(&obs)?);
+    }
 
     // Pairwise distances between SA means.
     let mut pair_distances: Vec<(f64, usize, usize)> = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = euclidean(&means[i], &means[j]).expect("means share dimension");
+            let d = euclidean(&means[i], &means[j])?;
             pair_distances.push((d, i, j));
         }
     }
@@ -155,7 +158,7 @@ pub fn cluster_by_distance(groups: SaGroups, linkage_threshold: Option<f64>) -> 
         sets.extend(std::mem::take(&mut entry.edge_sets));
         entry.edge_sets = sets;
     }
-    root_to_cluster.into_values().collect()
+    Ok(root_to_cluster.into_values().collect())
 }
 
 /// Picks a linkage threshold from the largest multiplicative gap in the
@@ -166,7 +169,7 @@ fn auto_linkage_threshold(pair_distances: &[(f64, usize, usize)]) -> Option<f64>
         return None;
     }
     let mut distances: Vec<f64> = pair_distances.iter().map(|&(d, _, _)| d).collect();
-    distances.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    distances.sort_by(f64::total_cmp);
     let mut best_ratio = 0.0;
     let mut split = None;
     for w in distances.windows(2) {
@@ -237,7 +240,7 @@ mod tests {
             data.push(labeled(2, 0.05));
             data.push(labeled(3, 1000.0));
         }
-        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        let clusters = cluster_by_distance(group_by_sa(&data), None).unwrap();
         assert_eq!(clusters.len(), 2);
         let merged = clusters
             .iter()
@@ -251,11 +254,11 @@ mod tests {
     fn distance_clustering_with_explicit_threshold() {
         let data = vec![labeled(1, 0.0), labeled(2, 10.0), labeled(3, 20.0)];
         // Threshold so large everything merges.
-        let all = cluster_by_distance(group_by_sa(&data), Some(1e9));
+        let all = cluster_by_distance(group_by_sa(&data), Some(1e9)).unwrap();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].sas.len(), 3);
         // Threshold so small nothing merges.
-        let none = cluster_by_distance(group_by_sa(&data), Some(1e-9));
+        let none = cluster_by_distance(group_by_sa(&data), Some(1e-9)).unwrap();
         assert_eq!(none.len(), 3);
     }
 
@@ -268,20 +271,22 @@ mod tests {
             labeled(3, 20.0),
             labeled(4, 30.0),
         ];
-        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        let clusters = cluster_by_distance(group_by_sa(&data), None).unwrap();
         assert_eq!(clusters.len(), 4);
     }
 
     #[test]
     fn empty_input_yields_no_clusters() {
-        assert!(cluster_by_distance(SaGroups::new(), None).is_empty());
+        assert!(cluster_by_distance(SaGroups::new(), None)
+            .unwrap()
+            .is_empty());
         assert!(cluster_by_lut(SaGroups::new(), &BTreeMap::new()).is_empty());
     }
 
     #[test]
     fn single_sa_forms_single_cluster() {
         let data = vec![labeled(7, 1.0), labeled(7, 1.1)];
-        let clusters = cluster_by_distance(group_by_sa(&data), None);
+        let clusters = cluster_by_distance(group_by_sa(&data), None).unwrap();
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].sas, vec![SourceAddress(7)]);
         assert_eq!(clusters[0].edge_sets.len(), 2);

@@ -37,6 +37,13 @@ pub enum AnomalyKind {
         /// The limit that was exceeded (`max_distance + margin`).
         limit: f64,
     },
+    /// The observation could not be scored against the model at all — e.g.
+    /// its dimensionality disagrees with the training data. Such a message
+    /// can never be legitimate traffic, so the infallible
+    /// [`Detector::classify`] fails closed and reports it as anomalous;
+    /// [`Detector::try_classify`] surfaces the underlying
+    /// [`VProfileError`] instead.
+    Unscorable,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -56,6 +63,9 @@ impl fmt::Display for AnomalyKind {
                 f,
                 "{cluster} distance {distance:.3} exceeds limit {limit:.3}"
             ),
+            AnomalyKind::Unscorable => {
+                f.write_str("observation cannot be scored against the model")
+            }
         }
     }
 }
@@ -123,15 +133,15 @@ impl<'a> Detector<'a> {
         self.model
     }
 
-    /// Classifies one observation, panicking only on malformed input
-    /// dimensions (see [`Detector::try_classify`] for the fallible form).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the edge set's dimensionality does not match the model.
+    /// Classifies one observation. Infallible: an observation the model
+    /// cannot score at all (e.g. wrong dimensionality) can never be
+    /// legitimate traffic, so it fails closed as
+    /// [`AnomalyKind::Unscorable`]. Use [`Detector::try_classify`] to get
+    /// the underlying [`VProfileError`] instead.
     pub fn classify(&self, obs: &LabeledEdgeSet) -> Verdict {
-        self.try_classify(obs)
-            .expect("edge set dimension matches the model")
+        self.try_classify(obs).unwrap_or(Verdict::Anomaly {
+            kind: AnomalyKind::Unscorable,
+        })
     }
 
     /// Classifies one observation (Algorithm 3):
@@ -228,6 +238,21 @@ mod tests {
     }
 
     #[test]
+    fn wrong_dimension_fails_closed_as_unscorable() {
+        let model = two_cluster_model();
+        let detector = Detector::new(&model);
+        // 2-sample edge set against a 4-dimensional model.
+        let malformed = LabeledEdgeSet::new(SourceAddress(1), EdgeSet::new(vec![100.0, 105.0]));
+        assert!(detector.try_classify(&malformed).is_err());
+        assert!(matches!(
+            detector.classify(&malformed),
+            Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable
+            }
+        ));
+    }
+
+    #[test]
     fn unknown_sa_is_trivially_detected() {
         let model = two_cluster_model();
         let detector = Detector::new(&model);
@@ -235,7 +260,9 @@ mod tests {
         assert!(matches!(
             verdict,
             Verdict::Anomaly {
-                kind: AnomalyKind::UnknownSa { sa: SourceAddress(0x99) }
+                kind: AnomalyKind::UnknownSa {
+                    sa: SourceAddress(0x99)
+                }
             }
         ));
     }
@@ -248,7 +275,12 @@ mod tests {
         let verdict = detector.classify(&obs(1, 900.0));
         match verdict {
             Verdict::Anomaly {
-                kind: AnomalyKind::ClusterMismatch { expected, predicted, .. },
+                kind:
+                    AnomalyKind::ClusterMismatch {
+                        expected,
+                        predicted,
+                        ..
+                    },
             } => {
                 assert_eq!(expected, model.lookup_sa(SourceAddress(1)).unwrap());
                 // Attack origin identified as the real sender's cluster.

@@ -40,6 +40,13 @@ pub enum VProfileError {
     Numeric(SigStatError),
     /// The model contains no clusters.
     EmptyModel,
+    /// A pipeline step needed data that the preceding steps did not produce
+    /// — e.g. an experiment sweep yielded no traffic for a required
+    /// condition.
+    DataUnavailable {
+        /// What was missing.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for VProfileError {
@@ -47,9 +54,16 @@ impl fmt::Display for VProfileError {
         match self {
             VProfileError::SofNotFound => f.write_str("no start-of-frame found in trace"),
             VProfileError::TraceTooShort { at_sample } => {
-                write!(f, "trace ended at sample {at_sample} before extraction finished")
+                write!(
+                    f,
+                    "trace ended at sample {at_sample} before extraction finished"
+                )
             }
-            VProfileError::NotEnoughTrainingData { cluster, have, need } => write!(
+            VProfileError::NotEnoughTrainingData {
+                cluster,
+                have,
+                need,
+            } => write!(
                 f,
                 "cluster {cluster} has {have} edge sets; {need} required for training"
             ),
@@ -62,6 +76,9 @@ impl fmt::Display for VProfileError {
             }
             VProfileError::Numeric(err) => write!(f, "numeric failure: {err}"),
             VProfileError::EmptyModel => f.write_str("model contains no clusters"),
+            VProfileError::DataUnavailable { context } => {
+                write!(f, "required data unavailable: {context}")
+            }
         }
     }
 }
@@ -102,6 +119,9 @@ mod tests {
             VProfileError::CovarianceUnavailable,
             VProfileError::Numeric(SigStatError::EmptyInput { context: "mean" }),
             VProfileError::EmptyModel,
+            VProfileError::DataUnavailable {
+                context: "baseline capture",
+            },
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());

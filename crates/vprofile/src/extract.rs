@@ -68,7 +68,7 @@ impl EdgeSetExtractor {
             sets.push(self.extract_one_edge_set(samples, start)?);
         }
         let edge_set = if sets.len() == 1 {
-            sets.pop().expect("one element")
+            sets.swap_remove(0)
         } else {
             EdgeSet::mean_of(&sets)
         };
@@ -144,7 +144,12 @@ impl EdgeSetExtractor {
             }
             if bit_count == 33 {
                 let pos = pos_f.round() as usize;
-                return Ok((sa.expect("SA decoded at bit 31 before bit 33"), pos));
+                // Bit 33 is only reached after bit 31 populated `sa`; the
+                // error arm is unreachable but keeps this panic-free.
+                return match sa {
+                    Some(sa) => Ok((sa, pos)),
+                    None => Err(VProfileError::TraceTooShort { at_sample: pos }),
+                };
             }
         }
     }
@@ -152,11 +157,7 @@ impl EdgeSetExtractor {
     /// Extracts one edge set starting the scan at `pos`: the next rising
     /// edge (prefix before / suffix after its threshold crossing) followed
     /// by the next falling edge.
-    fn extract_one_edge_set(
-        &self,
-        samples: &[f64],
-        pos: usize,
-    ) -> Result<EdgeSet, VProfileError> {
+    fn extract_one_edge_set(&self, samples: &[f64], pos: usize) -> Result<EdgeSet, VProfileError> {
         let half = (self.config.bit_width_samples / 2.0).round() as usize;
         let prefix = self.config.prefix_len;
         let suffix = self.config.suffix_len;
@@ -207,7 +208,10 @@ impl EdgeSetExtractor {
 ///
 /// Panics if `samples` is empty.
 pub fn cluster_extraction_threshold(samples: &[f64]) -> f64 {
-    assert!(!samples.is_empty(), "cannot derive a threshold from no samples");
+    assert!(
+        !samples.is_empty(),
+        "cannot derive a threshold from no samples"
+    );
     let half = &samples[..samples.len().div_ceil(2)];
     let min = half.iter().copied().fold(f64::INFINITY, f64::min);
     let max = half.iter().copied().fold(f64::NEG_INFINITY, f64::max);

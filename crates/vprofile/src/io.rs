@@ -155,8 +155,7 @@ mod tests {
                 ));
             }
         }
-        let mut config =
-            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         config.prefix_len = 1;
         config.suffix_len = 1;
         Trainer::new(config).train(&data).unwrap()
@@ -186,8 +185,7 @@ mod tests {
     #[test]
     fn tampered_lut_is_rejected() {
         let model = model();
-        let mut value: serde_json::Value =
-            serde_json::from_str(&model.to_json().unwrap()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&model.to_json().unwrap()).unwrap();
         // Point an SA at a cluster index that does not exist.
         value["sa_lut"]["1"] = serde_json::json!(99);
         let err = Model::from_json(&value.to_string()).unwrap_err();
@@ -197,8 +195,7 @@ mod tests {
     #[test]
     fn tampered_max_distance_is_rejected() {
         let model = model();
-        let mut value: serde_json::Value =
-            serde_json::from_str(&model.to_json().unwrap()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&model.to_json().unwrap()).unwrap();
         value["clusters"][0]["max_distance"] = serde_json::json!(-1.0);
         let err = Model::from_json(&value.to_string()).unwrap_err();
         assert!(matches!(err, ModelIoError::Invalid(_)));

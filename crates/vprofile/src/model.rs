@@ -188,7 +188,7 @@ impl Model {
                 best = Some((ClusterId(idx), d));
             }
         }
-        Ok(best.expect("model has at least one cluster"))
+        best.ok_or(VProfileError::EmptyModel)
     }
 
     /// Installs a per-cluster extraction threshold (§5.1). The
@@ -224,10 +224,8 @@ mod tests {
 
     #[test]
     fn model_requires_clusters() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         assert_eq!(
             Model::from_clusters(vec![], config).unwrap_err(),
             VProfileError::EmptyModel
@@ -236,10 +234,8 @@ mod tests {
 
     #[test]
     fn model_rejects_mixed_dimensions() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         let err = Model::from_clusters(
             vec![stats(1, vec![0.0; 4], true), stats(2, vec![0.0; 8], true)],
             config,
@@ -250,10 +246,8 @@ mod tests {
 
     #[test]
     fn sa_lut_maps_every_cluster_sa() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         let model = Model::from_clusters(
             vec![stats(1, vec![0.0; 4], true), stats(9, vec![5.0; 4], true)],
             config,
@@ -266,10 +260,8 @@ mod tests {
 
     #[test]
     fn nearest_cluster_finds_minimum() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         let model = Model::from_clusters(
             vec![stats(1, vec![0.0; 4], true), stats(2, vec![10.0; 4], true)],
             config,
@@ -293,12 +285,9 @@ mod tests {
 
     #[test]
     fn extraction_threshold_is_settable() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
-        let mut model =
-            Model::from_clusters(vec![stats(1, vec![0.0; 4], true)], config).unwrap();
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        let mut model = Model::from_clusters(vec![stats(1, vec![0.0; 4], true)], config).unwrap();
         assert_eq!(model.cluster(ClusterId(0)).extraction_threshold(), None);
         model.set_extraction_threshold(ClusterId(0), 2047.5);
         assert_eq!(
@@ -309,10 +298,8 @@ mod tests {
 
     #[test]
     fn model_serde_round_trip() {
-        let config = crate::VProfileConfig::for_adc(
-            &vprofile_analog::AdcConfig::vehicle_b(),
-            250_000,
-        );
+        let config =
+            crate::VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         let model = Model::from_clusters(
             vec![stats(1, vec![0.0; 3], true), stats(2, vec![4.0; 3], true)],
             config,

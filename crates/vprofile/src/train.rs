@@ -2,9 +2,7 @@
 //! extension of §4.2.2 ("Updates to vProfile").
 
 use crate::cluster::{cluster_by_distance, cluster_by_lut, group_by_sa, ClusterData};
-use crate::{
-    ClusterId, ClusterStats, LabeledEdgeSet, Model, VProfileConfig, VProfileError,
-};
+use crate::{ClusterId, ClusterStats, LabeledEdgeSet, Model, VProfileConfig, VProfileError};
 use std::collections::BTreeMap;
 use vprofile_can::SourceAddress;
 use vprofile_sigstat::{CovarianceEstimate, DistanceMetric, Gaussian};
@@ -39,7 +37,7 @@ impl Trainer {
     pub fn train(&self, data: &[LabeledEdgeSet]) -> Result<Model, VProfileError> {
         check_uniform_dimensions(data)?;
         let groups = group_by_sa(data);
-        let clusters = cluster_by_distance(groups, self.config.linkage_threshold);
+        let clusters = cluster_by_distance(groups, self.config.linkage_threshold)?;
         self.build_model(clusters)
     }
 
@@ -243,7 +241,11 @@ mod tests {
         let data = synthetic_data(&mut rng, &[vec![1]], 3, 100.0, 4);
         let err = Trainer::new(config(4)).train(&data).unwrap_err();
         match err {
-            VProfileError::NotEnoughTrainingData { have, need, cluster } => {
+            VProfileError::NotEnoughTrainingData {
+                have,
+                need,
+                cluster,
+            } => {
                 assert_eq!(have, 3);
                 assert_eq!(need, 6);
                 assert!(cluster.contains("0x01"));

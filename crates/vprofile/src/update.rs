@@ -108,7 +108,8 @@ impl Model {
                     stats.mean = mean;
                     stats.count = count;
                     for item in &items {
-                        let d = stats.distance(item.edge_set.samples(), DistanceMetric::Euclidean)?;
+                        let d =
+                            stats.distance(item.edge_set.samples(), DistanceMetric::Euclidean)?;
                         stats.max_distance = stats.max_distance.max(d);
                     }
                 }
@@ -151,8 +152,7 @@ mod tests {
             data.push(sample(rng, 1, 100.0));
             data.push(sample(rng, 2, 900.0));
         }
-        let mut config =
-            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         config.prefix_len = 1;
         config.suffix_len = 1;
         Trainer::new(config).train(&data).unwrap()
@@ -233,9 +233,8 @@ mod tests {
         for _ in 0..10 {
             data.push(sample(&mut rng, 1, 100.0));
         }
-        let mut config =
-            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000)
-                .with_metric(DistanceMetric::Euclidean);
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000)
+            .with_metric(DistanceMetric::Euclidean);
         config.prefix_len = 1;
         config.suffix_len = 1;
         let mut model = Trainer::new(config).train(&data).unwrap();
@@ -274,8 +273,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let head: Vec<LabeledEdgeSet> = (0..20).map(|_| sample(&mut rng, 1, 100.0)).collect();
         let tail: Vec<LabeledEdgeSet> = (0..20).map(|_| sample(&mut rng, 1, 103.0)).collect();
-        let mut config =
-            VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
         config.prefix_len = 1;
         config.suffix_len = 1;
         let trainer = Trainer::new(config);

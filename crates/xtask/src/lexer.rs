@@ -1,0 +1,429 @@
+//! A minimal Rust lexer: just enough token structure for line-accurate
+//! static analysis without a full parser.
+//!
+//! The lexer understands the constructs that defeat naive text search —
+//! line and (nested) block comments, string literals, raw strings with
+//! hash fences, byte strings, char literals versus lifetimes — and reduces
+//! everything else to identifiers, numbers, and single-character
+//! punctuation tagged with line/column positions.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal; `is_float` captured in [`Tok::is_float`].
+    Number,
+    /// String, raw-string, or byte-string literal (contents dropped).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category of the token.
+    pub kind: TokKind,
+    /// Identifier text, number text, or the punctuation character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// For [`TokKind::Number`]: whether the literal is floating-point
+    /// (has a fractional part, an exponent, or an `f32`/`f64` suffix).
+    pub is_float: bool,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+struct Cursor<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _src: std::marker::PhantomData<&'s str>,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `source` into a token stream, discarding comments and literal
+/// contents. Unterminated constructs are tolerated (the remainder of the
+/// file is consumed) so the linter never aborts on malformed input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        _src: std::marker::PhantomData,
+    };
+    let mut toks = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                while let Some(c) = cur.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.bump(), cur.peek()) {
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (None, _) => break,
+                        _ => {}
+                    }
+                }
+            }
+            '"' => {
+                skip_string(&mut cur);
+                toks.push(tok(TokKind::Str, String::new(), line, col));
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&cur) => {
+                skip_prefixed_string(&mut cur);
+                toks.push(tok(TokKind::Str, String::new(), line, col));
+            }
+            '\'' => {
+                lex_char_or_lifetime(&mut cur, &mut toks, line, col);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(tok(TokKind::Ident, text, line, col));
+            }
+            c if c.is_ascii_digit() => {
+                let (text, is_float) = lex_number(&mut cur);
+                let mut t = tok(TokKind::Number, text, line, col);
+                t.is_float = is_float;
+                toks.push(t);
+            }
+            c => {
+                cur.bump();
+                toks.push(tok(TokKind::Punct, c.to_string(), line, col));
+            }
+        }
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: String, line: u32, col: u32) -> Tok {
+    Tok {
+        kind,
+        text,
+        line,
+        col,
+        is_float: false,
+    }
+}
+
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." — but NOT an identifier that
+    // merely starts with r/b (e.g. `radius`). Look past the prefix
+    // letters for a quote or hash fence.
+    let mut i = cur.pos;
+    let mut seen_prefix = false;
+    for _ in 0..2 {
+        match cur.chars.get(i) {
+            Some('r' | 'b') => {
+                i += 1;
+                seen_prefix = true;
+            }
+            _ => break,
+        }
+    }
+    if !seen_prefix {
+        return false;
+    }
+    loop {
+        match cur.chars.get(i) {
+            Some('#') => i += 1,
+            Some('"') => return true,
+            _ => return false,
+        }
+    }
+}
+
+fn skip_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn skip_prefixed_string(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    while matches!(cur.peek(), Some('r' | 'b')) {
+        if cur.peek() == Some('r') {
+            raw = true;
+        }
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        while let Some(c) = cur.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    } else {
+        while let Some(c) = cur.bump() {
+            match c {
+                '\\' => {
+                    cur.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>, toks: &mut Vec<Tok>, line: u32, col: u32) {
+    cur.bump(); // opening quote
+                // `'a` / `'static` (no closing quote) is a lifetime; `'x'` / `'\n'`
+                // is a char literal.
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            } else {
+                // \u{...} and similar: consume to closing quote.
+                while let Some(c) = cur.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            toks.push(tok(TokKind::Char, String::new(), line, col));
+        }
+        Some(c) if c.is_alphanumeric() || c == '_' => {
+            let mut text = String::new();
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                toks.push(tok(TokKind::Char, String::new(), line, col));
+                return;
+            }
+            while let Some(c) = cur.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            toks.push(tok(TokKind::Lifetime, text, line, col));
+        }
+        _ => {
+            // `'('` and other punctuation char literals.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            toks.push(tok(TokKind::Char, String::new(), line, col));
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> (String, bool) {
+    let mut text = String::new();
+    let mut is_float = false;
+    // Integer part (also covers 0x/0b/0o digits and underscores).
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            if c == 'e' || c == 'E' {
+                // Exponent only counts as float when followed by digits
+                // or a sign (otherwise it's a hex digit or suffix text).
+                if matches!(cur.peek2(), Some(c2) if c2.is_ascii_digit() || c2 == '+' || c2 == '-')
+                    && !text.starts_with("0x")
+                {
+                    is_float = true;
+                    text.push(c);
+                    cur.bump();
+                    if matches!(cur.peek(), Some('+' | '-')) {
+                        if let Some(s) = cur.bump() {
+                            text.push(s);
+                        }
+                    }
+                    continue;
+                }
+            }
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // `1.0` is a float; `1.method()` and `1..2` are not.
+            match cur.peek2() {
+                Some(c2) if c2.is_ascii_digit() => {
+                    is_float = true;
+                    text.push(c);
+                    cur.bump();
+                }
+                Some(c2) if c2.is_alphabetic() || c2 == '.' || c2 == '_' => break,
+                _ => {
+                    // Trailing-dot float like `1.`
+                    is_float = true;
+                    text.push(c);
+                    cur.bump();
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    if text.contains("f64") || text.contains("f32") {
+        is_float = true;
+    }
+    (text, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in /* nested */ comment */
+            let s = "unwrap inside string";
+            let r = r#"expect " inside raw"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "real_ident"]);
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = lex("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn float_literals_are_tagged() {
+        let toks = lex("a == 1.0; b == 2; c == 3e-4; d == 5f64; e == 0x1f;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number && t.is_float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "3e-4", "5f64"]);
+    }
+
+    #[test]
+    fn positions_are_line_accurate() {
+        let toks = lex("a\nbb\n  ccc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 1));
+        assert_eq!((toks[2].line, toks[2].col), (3, 3));
+    }
+
+    #[test]
+    fn range_expressions_are_not_floats() {
+        let toks = lex("for i in 0..10 { x[1].method(); }");
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .all(|t| !t.is_float));
+    }
+}

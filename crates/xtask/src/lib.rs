@@ -1,0 +1,272 @@
+//! Workspace automation: the `cargo xtask lint` numerical-hygiene pass.
+//!
+//! A dependency-light static analyzer that lexes every workspace `.rs`
+//! file (no full parse — see [`lexer`]) and enforces the rules in
+//! [`lint`]:
+//!
+//! - `no-panic` — no `.unwrap()` / `.expect(..)` / `panic!` / `todo!` /
+//!   `unimplemented!` in non-test code;
+//! - `float-eq` — no `==` / `!=` against float literals or NaN/∞
+//!   constants;
+//! - `nan-unsafe-cmp` — no `partial_cmp(..).unwrap()` comparators;
+//! - `unguarded-numeric` — no force-unwrapped `cholesky`/`solve`/
+//!   `inverse` calls in functions without a conditioning or finiteness
+//!   guard.
+//!
+//! Known-good exceptions live in the workspace-root `lint-allow.txt`
+//! ([`Allowlist`]); everything else is a hard failure (non-zero exit),
+//! reported human-readable or as JSON (`--format json`).
+
+pub mod lexer;
+pub mod lint;
+pub mod report;
+
+use lint::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: vendored compat crates (external code by
+/// proxy), lint fixtures (intentionally dirty), and build output.
+const SKIP_DIRS: [&str; 3] = ["crates/compat", "crates/xtask/tests/fixtures", "target"];
+
+/// Path components that mark a file as wholly test/bench code.
+const TEST_DIR_COMPONENTS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// File-scoped rule exceptions parsed from `lint-allow.txt`.
+///
+/// Line format: `<rule> <path>` with `#` comments; `*` as the rule
+/// allows every rule for that file. Paths are workspace-relative with
+/// forward slashes.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist text.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                entries.push((rule.to_string(), path.to_string()));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads `lint-allow.txt` from the workspace root; absent file means
+    /// an empty allowlist.
+    #[must_use]
+    pub fn load(root: &Path) -> Self {
+        match std::fs::read_to_string(root.join("lint-allow.txt")) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// `true` when `rule` is allowed in `file`.
+    #[must_use]
+    pub fn allows(&self, rule: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, p)| (r == "*" || r == rule) && p == file)
+    }
+}
+
+/// Result of a lint run over a directory tree.
+#[derive(Debug)]
+pub struct LintRun {
+    /// Surviving diagnostics, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every workspace `.rs` file under `root`, applying `allow`.
+///
+/// # Errors
+///
+/// Returns an error string when the tree cannot be walked or a file
+/// cannot be read.
+pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintRun, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("failed to read {}: {e}", rel.display()))?;
+        let rel_str = unix_path(rel);
+        let is_test_file = rel
+            .components()
+            .any(|c| TEST_DIR_COMPONENTS.iter().any(|t| c.as_os_str() == *t));
+        let mut diags = lint::lint_source(&rel_str, &source, is_test_file);
+        diags.retain(|d| !allow.allows(d.rule, &d.file));
+        diagnostics.extend(diags);
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(LintRun {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+fn unix_path(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = unix_path(rel);
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || SKIP_DIRS.contains(&rel_str.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// CLI entry point shared by the `xtask` binary. Parses
+/// `lint [--format human|json] [--root PATH]`, prints the report, and
+/// exits non-zero when diagnostics survive the allowlist.
+pub fn main_entry() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+/// Argument-driven runner returning the process exit code (separated from
+/// [`main_entry`] for testability).
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => {}
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            return 0;
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n{USAGE}");
+            return 2;
+        }
+    }
+    let mut format_json = false;
+    let mut root = workspace_root();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => {
+                    eprintln!("--format expects `human` or `json`, got {other:?}");
+                    return 2;
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root expects a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let allow = Allowlist::load(&root);
+    match lint_tree(&root, &allow) {
+        Ok(run) => {
+            if format_json {
+                println!(
+                    "{}",
+                    report::render_json(&run.diagnostics, run.files_scanned)
+                );
+            } else {
+                print!(
+                    "{}",
+                    report::render_human(&run.diagnostics, run.files_scanned)
+                );
+            }
+            i32::from(!run.diagnostics.is_empty())
+        }
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+cargo xtask <command>
+
+Commands:
+  lint [--format human|json] [--root PATH]
+      Run the numerical-hygiene static-analysis pass over every
+      workspace .rs file. Exits 1 when diagnostics are found, 2 on
+      usage or I/O errors.
+  help
+      Show this message.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_comments_and_wildcards() {
+        let allow = Allowlist::parse(
+            "# comment\n\
+             no-panic crates/a/src/lib.rs  # trailing\n\
+             * crates/b/src/lib.rs\n\
+             \n",
+        );
+        assert!(allow.allows("no-panic", "crates/a/src/lib.rs"));
+        assert!(!allow.allows("float-eq", "crates/a/src/lib.rs"));
+        assert!(allow.allows("float-eq", "crates/b/src/lib.rs"));
+        assert!(!allow.allows("no-panic", "crates/c/src/lib.rs"));
+    }
+
+    #[test]
+    fn workspace_root_contains_workspace_manifest() {
+        let root = workspace_root();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).expect("manifest");
+        assert!(manifest.contains("[workspace]"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        assert_eq!(run(&["frobnicate".to_string()]), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! The numerical-hygiene rules: panic-free non-test code, float
+//! comparison hygiene, NaN-safe ordering, and guarded numeric
+//! decompositions.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One diagnostic emitted by the lint pass.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Stable rule identifier (`no-panic`, `float-eq`, `nan-unsafe-cmp`,
+    /// `unguarded-numeric`).
+    pub rule: &'static str,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+/// Rule identifiers, in report order.
+pub const RULES: [&str; 4] = [
+    "no-panic",
+    "float-eq",
+    "nan-unsafe-cmp",
+    "unguarded-numeric",
+];
+
+/// Numeric methods whose `Result`/`Option` encodes a conditioning failure.
+const NUMERIC_METHODS: [&str; 6] = [
+    "cholesky",
+    "solve",
+    "inverse",
+    "invert",
+    "try_inverse",
+    "ldlt",
+];
+
+/// Identifiers that count as a conditioning/finiteness guard when they
+/// appear in the same function as a force-unwrapped numeric decomposition.
+const GUARD_IDENTS: [&str; 9] = [
+    "is_finite",
+    "is_nan",
+    "condition_number",
+    "add_ridge",
+    "ridge",
+    "regularize",
+    "regularized",
+    "debug_assert",
+    "min_eigenvalue",
+];
+
+/// Lints one file's source text.
+///
+/// `treat_all_as_test` marks the whole file as test code (integration
+/// tests, benches); otherwise `#[cfg(test)]` modules and `#[test]`
+/// functions are excluded token-by-token.
+#[must_use]
+pub fn lint_source(file: &str, source: &str, treat_all_as_test: bool) -> Vec<Diagnostic> {
+    let toks = lex(source);
+    let in_test = if treat_all_as_test {
+        vec![true; toks.len()]
+    } else {
+        test_spans(&toks)
+    };
+    let fn_spans = function_spans(&toks);
+
+    let mut diags = Vec::new();
+    check_no_panic(file, &toks, &in_test, &mut diags);
+    check_float_eq(file, &toks, &in_test, &mut diags);
+    check_nan_unsafe_cmp(file, &toks, &in_test, &mut diags);
+    check_unguarded_numeric(file, &toks, &in_test, &fn_spans, &mut diags);
+    diags
+}
+
+/// Marks tokens inside `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Heuristic by design: an attribute whose tokens include `test` (and not
+/// `not`) shields the item it precedes, found by matching the braces of
+/// the item body. Attributes stacked between the shield and the item are
+/// skipped.
+fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let attr_end = match matching_close(toks, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            if attr_is_test(&toks[i + 2..attr_end]) {
+                if let Some(item_end) = item_body_end(toks, attr_end + 1) {
+                    for flag in in_test.iter_mut().take(item_end + 1).skip(i) {
+                        *flag = true;
+                    }
+                    // Keep scanning inside the span: nested spans only
+                    // re-mark already-marked tokens.
+                }
+            }
+            i = attr_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// `true` when an attribute body refers to test compilation:
+/// `test`, `cfg(test)`, `cfg(all(test, ...))` — but not `cfg(not(test))`.
+fn attr_is_test(body: &[Tok]) -> bool {
+    let mut has_test = false;
+    for t in body {
+        if t.is_ident("not") {
+            return false;
+        }
+        if t.is_ident("test") {
+            has_test = true;
+        }
+    }
+    has_test
+}
+
+/// Finds the end of the item that starts at `start` (after its
+/// attributes): the matching `}` of its first brace, or the first `;` for
+/// braceless items.
+fn item_body_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip stacked attributes between the test attribute and the item.
+    while i < toks.len() && toks[i].is_punct('#') {
+        let close = matching_close(toks, i + 1, '[', ']')?;
+        i = close + 1;
+    }
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            return matching_close(toks, i, '{', '}');
+        }
+        if toks[i].is_punct(';') {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the closing delimiter matching the opener at `open_idx`.
+fn matching_close(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    if open_idx >= toks.len() || !toks[open_idx].is_punct(open) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Token spans of every `fn` body, innermost-resolvable by containment.
+fn function_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("fn") {
+            let mut j = i + 1;
+            // The body is the first `{` before a terminating `;`
+            // (trait method declarations have no body).
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                if let Some(end) = matching_close(toks, j, '{', '}') {
+                    spans.push((i, end));
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// The innermost function span containing token `idx`.
+fn enclosing_fn(spans: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .copied()
+        .filter(|&(s, e)| s <= idx && idx <= e)
+        .min_by_key(|&(s, e)| e - s)
+}
+
+fn push(diags: &mut Vec<Diagnostic>, file: &str, t: &Tok, rule: &'static str, message: String) {
+    diags.push(Diagnostic {
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    });
+}
+
+/// Rule `no-panic`: no `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, or
+/// `unimplemented!` in non-test code.
+fn check_no_panic(file: &str, toks: &[Tok], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(` — method position only, so local
+        // variables named `unwrap` or an `fn expect` definition don't fire.
+        if i >= 1 && toks[i - 1].is_punct('.') && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
+            if t.is_ident("unwrap") {
+                push(
+                    diags,
+                    file,
+                    t,
+                    "no-panic",
+                    "`.unwrap()` in non-test code; return a typed error instead".to_string(),
+                );
+            } else if t.is_ident("expect") {
+                push(
+                    diags,
+                    file,
+                    t,
+                    "no-panic",
+                    "`.expect(..)` in non-test code; return a typed error instead".to_string(),
+                );
+            }
+        }
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        if i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            for mac in ["panic", "todo", "unimplemented"] {
+                if t.is_ident(mac) {
+                    push(
+                        diags,
+                        file,
+                        t,
+                        "no-panic",
+                        format!("`{mac}!` in non-test code; return a typed error instead"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `float-eq`: no `==` / `!=` against a float literal (or
+/// `f64::NAN` / `INFINITY` constants). NaN poisons `==`, and exact float
+/// equality is almost never the intended predicate.
+fn check_float_eq(file: &str, toks: &[Tok], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len().saturating_sub(1) {
+        if in_test[i] {
+            continue;
+        }
+        let is_eq = toks[i].is_punct('=') && toks[i + 1].is_punct('=');
+        let is_ne = toks[i].is_punct('!') && toks[i + 1].is_punct('=');
+        if !(is_eq || is_ne) {
+            continue;
+        }
+        // `a == b` where `=` belongs to `==`; exclude `<=`, `>=`, `=>`
+        // by checking the token before is not `<`/`>`/`=` and after-pair
+        // is not `=`.
+        if i >= 1
+            && (toks[i - 1].is_punct('<') || toks[i - 1].is_punct('>') || toks[i - 1].is_punct('='))
+        {
+            continue;
+        }
+        if i + 2 < toks.len() && toks[i + 2].is_punct('=') {
+            continue;
+        }
+        let float_before = i >= 1 && toks[i - 1].kind == TokKind::Number && toks[i - 1].is_float;
+        let float_after = toks
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokKind::Number && t.is_float);
+        let nan_const_after = toks[i + 2..toks.len().min(i + 6)]
+            .iter()
+            .any(|t| t.is_ident("NAN") || t.is_ident("INFINITY") || t.is_ident("NEG_INFINITY"));
+        if float_before || float_after || nan_const_after {
+            let op = if is_eq { "==" } else { "!=" };
+            push(
+                diags,
+                file,
+                &toks[i],
+                "float-eq",
+                format!("float `{op}` comparison; use an epsilon tolerance or `total_cmp`"),
+            );
+        }
+    }
+}
+
+/// Rule `nan-unsafe-cmp`: `partial_cmp(..)` whose `Option` is immediately
+/// force-unwrapped. A single NaN panics the comparator mid-sort; use
+/// `f64::total_cmp` instead.
+fn check_nan_unsafe_cmp(file: &str, toks: &[Tok], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if in_test[i] || !toks[i].is_ident("partial_cmp") {
+            continue;
+        }
+        let window_end = toks.len().min(i + 12);
+        if toks[i + 1..window_end]
+            .iter()
+            .any(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+        {
+            push(
+                diags,
+                file,
+                &toks[i],
+                "nan-unsafe-cmp",
+                "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp`".to_string(),
+            );
+        }
+    }
+}
+
+/// Rule `unguarded-numeric`: a numerically fallible decomposition
+/// (`cholesky`, `solve`, `inverse`, ...) whose result is force-unwrapped
+/// in a function with no conditioning or finiteness guard in sight.
+fn check_unguarded_numeric(
+    file: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    fn_spans: &[(usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let is_numeric_method = i >= 1
+            && toks[i - 1].is_punct('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && NUMERIC_METHODS.iter().any(|m| t.is_ident(m));
+        if !is_numeric_method {
+            continue;
+        }
+        let Some(args_end) = matching_close(toks, i + 1, '(', ')') else {
+            continue;
+        };
+        let unwrapped = toks.get(args_end + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(args_end + 2)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+        if !unwrapped {
+            continue;
+        }
+        let guarded = enclosing_fn(fn_spans, i).is_some_and(|(s, e)| {
+            toks[s..=e]
+                .iter()
+                .any(|t| GUARD_IDENTS.iter().any(|g| t.is_ident(g)))
+        });
+        if !guarded {
+            push(
+                diags,
+                file,
+                t,
+                "unguarded-numeric",
+                format!(
+                    "`.{}(..)` result force-unwrapped without a conditioning or finiteness \
+                     guard; propagate the error or check the matrix first",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "
+            fn prod(x: Option<u8>) -> u8 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1u8).unwrap(); }
+            }
+        ";
+        let diags = lint_source("m.rs", src, false);
+        assert_eq!(rules_of(&diags), vec!["no-panic"]);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f() { panic!(); }";
+        let diags = lint_source("m.rs", src, false);
+        assert_eq!(rules_of(&diags), vec!["no-panic"]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = r#"
+            // x.unwrap() and panic! here
+            fn f() -> &'static str { "contains .unwrap() and panic!" }
+        "#;
+        assert!(lint_source("m.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_and_nan_consts() {
+        let src = "
+            fn f(x: f64) -> bool { x == 0.5 }
+            fn g(x: f64) -> bool { x != f64::NAN }
+            fn h(x: usize) -> bool { x == 3 }
+            fn le(x: f64) -> bool { x <= 0.5 }
+        ";
+        let diags = lint_source("m.rs", src, false);
+        assert_eq!(rules_of(&diags), vec!["float-eq", "float-eq"]);
+    }
+
+    #[test]
+    fn nan_unsafe_cmp_fires_only_when_unwrapped() {
+        let src = "
+            fn bad(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }
+            fn good(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }
+            fn also_ok(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }
+        ";
+        let diags = lint_source("m.rs", src, false);
+        // The `.unwrap()` also trips no-panic; the dedicated rule adds the
+        // NaN-specific advice.
+        assert!(rules_of(&diags).contains(&"nan-unsafe-cmp"));
+        assert_eq!(
+            diags.iter().filter(|d| d.rule == "nan-unsafe-cmp").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unguarded_numeric_respects_guards() {
+        let src = "
+            fn bad(m: &Matrix) -> Matrix { m.cholesky().unwrap() }
+            fn good(m: &Matrix) -> Matrix {
+                debug_assert!(m.iter().all(|v| v.is_finite()));
+                m.cholesky().unwrap()
+            }
+            fn propagated(m: &Matrix) -> Result<Matrix, E> { m.cholesky() }
+        ";
+        let diags = lint_source("m.rs", src, false);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == "unguarded-numeric")
+                .count(),
+            1
+        );
+        assert_eq!(
+            diags
+                .iter()
+                .find(|d| d.rule == "unguarded-numeric")
+                .map(|d| d.line),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn whole_file_test_mode_suppresses_everything() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(lint_source("tests/t.rs", src, true).is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! `cargo xtask` entry point.
+
+fn main() {
+    xtask::main_entry();
+}

@@ -1,0 +1,107 @@
+//! Report rendering: human `file:line:col` diagnostics and a
+//! machine-readable JSON document.
+
+use crate::lint::{Diagnostic, RULES};
+use serde_json::Value;
+
+/// Renders diagnostics as `file:line:col [rule] message` lines plus a
+/// summary, mirroring compiler output so editors can jump to locations.
+#[must_use]
+pub fn render_human(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}:{} [{}] {}\n",
+            d.file, d.line, d.col, d.rule, d.message
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str(&format!(
+            "xtask lint: clean ({files_scanned} files scanned)\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "xtask lint: {} diagnostic(s) in {} file(s) ({} files scanned)\n",
+            diags.len(),
+            distinct_files(diags),
+            files_scanned
+        ));
+    }
+    out
+}
+
+fn distinct_files(diags: &[Diagnostic]) -> usize {
+    let mut files: Vec<&str> = diags.iter().map(|d| d.file.as_str()).collect();
+    files.sort_unstable();
+    files.dedup();
+    files.len()
+}
+
+/// Renders the machine-readable JSON report.
+///
+/// Shape: `{"version": 1, "files_scanned": N, "total": N,
+/// "counts": {rule: N, ...}, "diagnostics": [{file, line, col, rule,
+/// message}, ...]}`. Every rule id appears in `counts`, zero or not, so
+/// consumers never need existence checks.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut counts = Value::Object(Vec::new());
+    for rule in RULES {
+        let n = diags.iter().filter(|d| d.rule == rule).count();
+        counts[rule] = Value::from(n);
+    }
+    let diag_values: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            let mut v = Value::Object(Vec::new());
+            v["file"] = Value::from(d.file.as_str());
+            v["line"] = Value::from(d.line);
+            v["col"] = Value::from(d.col);
+            v["rule"] = Value::from(d.rule);
+            v["message"] = Value::from(d.message.as_str());
+            v
+        })
+        .collect();
+    let mut report = Value::Object(Vec::new());
+    report["version"] = Value::from(1u32);
+    report["files_scanned"] = Value::from(files_scanned);
+    report["total"] = Value::from(diags.len());
+    report["counts"] = counts;
+    report["diagnostics"] = Value::Array(diag_values);
+    report.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            rule,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_output_is_compiler_style() {
+        let text = render_human(&[diag("no-panic")], 5);
+        assert!(text.starts_with("crates/x/src/lib.rs:3:7 [no-panic] msg"));
+        assert!(text.contains("1 diagnostic(s) in 1 file(s) (5 files scanned)"));
+    }
+
+    #[test]
+    fn json_report_shape_holds() {
+        let text = render_json(&[diag("no-panic"), diag("float-eq")], 9);
+        let v: Value = serde_json::from_str(&text).expect("report parses");
+        assert_eq!(v["version"].as_f64(), Some(1.0));
+        assert_eq!(v["files_scanned"].as_f64(), Some(9.0));
+        assert_eq!(v["total"].as_f64(), Some(2.0));
+        assert_eq!(v["counts"]["no-panic"].as_f64(), Some(1.0));
+        assert_eq!(v["counts"]["nan-unsafe-cmp"].as_f64(), Some(0.0));
+        assert_eq!(v["diagnostics"][0]["line"].as_f64(), Some(3.0));
+        assert_eq!(v["diagnostics"][1]["rule"].as_str(), Some("float-eq"));
+    }
+}

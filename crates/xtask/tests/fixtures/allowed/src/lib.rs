@@ -1,0 +1,9 @@
+//! Fixture: a file whose violations are excused by `lint-allow.txt`.
+
+pub fn tolerated(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn not_tolerated(x: f64) -> bool {
+    x == 0.25
+}

@@ -1,0 +1,21 @@
+//! Fixture: idiomatic error handling that must produce zero diagnostics.
+
+pub fn checked_div(a: f64, b: f64) -> Result<f64, &'static str> {
+    if b.abs() < f64::EPSILON {
+        return Err("division by (near) zero");
+    }
+    let q = a / b;
+    if q.is_finite() {
+        Ok(q)
+    } else {
+        Err("non-finite quotient")
+    }
+}
+
+pub fn max_by_total_cmp(v: &[f64]) -> Option<f64> {
+    v.iter().copied().max_by(f64::total_cmp)
+}
+
+pub fn lifetimes_are_not_char_literals<'a>(s: &'a str) -> &'a str {
+    s
+}

@@ -1,0 +1,37 @@
+//! Fixture: `float-eq` and `nan-unsafe-cmp` triggers.
+
+pub fn literal_eq(x: f64) -> bool {
+    x == 0.5 // 1: float ==
+}
+
+pub fn literal_ne(x: f64) -> bool {
+    x != 1e-9 // 2: float !=
+}
+
+pub fn nan_eq(x: f64) -> bool {
+    x == f64::NAN // 3: NaN const == (always false!)
+}
+
+pub fn int_eq(x: usize) -> bool {
+    x == 3 // integers are fine
+}
+
+pub fn tolerant(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-12 // the approved spelling
+}
+
+pub fn ordered(x: f64) -> bool {
+    x <= 0.5 && x >= -0.5 // <=, >= are fine
+}
+
+pub fn nan_unsafe_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // nan-unsafe-cmp (+ no-panic)
+}
+
+pub fn nan_safe_sort(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp); // the approved spelling
+}
+
+pub fn partial_cmp_propagated(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b) // propagating the Option is fine
+}

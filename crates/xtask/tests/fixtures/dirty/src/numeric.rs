@@ -1,0 +1,23 @@
+//! Fixture: `unguarded-numeric` triggers and guarded non-triggers.
+
+pub fn unguarded_cholesky(m: &Matrix) -> Matrix {
+    m.cholesky().unwrap() // unguarded-numeric (+ no-panic)
+}
+
+pub fn unguarded_solve(m: &Matrix, b: &[f64]) -> Vec<f64> {
+    m.solve(b).expect("solvable") // unguarded-numeric (+ no-panic)
+}
+
+pub fn guarded_inverse(m: &Matrix) -> Matrix {
+    debug_assert!(m.condition_number() < 1e12);
+    m.inverse().unwrap() // guarded: only no-panic fires
+}
+
+pub fn finite_guarded(m: &Matrix) -> Matrix {
+    assert!(m.values().iter().all(|v| v.is_finite()));
+    m.cholesky().unwrap() // guarded: only no-panic fires
+}
+
+pub fn propagated(m: &Matrix) -> Result<Matrix, MatrixError> {
+    m.cholesky() // propagating the Result is always fine
+}

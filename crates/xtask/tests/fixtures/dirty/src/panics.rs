@@ -1,0 +1,41 @@
+//! Fixture: every `no-panic` trigger, plus test code that must NOT fire.
+
+pub fn force(v: Option<u32>) -> u32 {
+    v.unwrap() // 1: .unwrap()
+}
+
+pub fn force_with_message(v: Option<u32>) -> u32 {
+    v.expect("present") // 2: .expect(..)
+}
+
+pub fn explode() {
+    panic!("boom"); // 3: panic!
+}
+
+pub fn later() {
+    todo!() // 4: todo!
+}
+
+pub fn never() {
+    unimplemented!() // 5: unimplemented!
+}
+
+// Comments mentioning .unwrap() and panic! must not fire.
+pub fn quoted() -> &'static str {
+    "strings mentioning .unwrap() and panic! must not fire"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u8).unwrap();
+        assert!(std::panic::catch_unwind(|| panic!("fine")).is_err());
+    }
+}
+
+#[test]
+fn bare_test_fn_is_also_exempt() {
+    Option::<u8>::None.unwrap_or(0);
+    Some(2u8).expect("fine in tests");
+}

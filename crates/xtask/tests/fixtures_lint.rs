@@ -1,0 +1,127 @@
+//! Proof that every lint rule fires, with exact diagnostic counts against
+//! the checked-in fixture trees, plus the JSON report contract and the
+//! workspace-clean gate.
+
+use std::path::PathBuf;
+use xtask::lint::Diagnostic;
+use xtask::report::render_json;
+use xtask::{lint_tree, Allowlist, LintRun};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> LintRun {
+    let root = fixture_root(name);
+    let allow = Allowlist::load(&root);
+    lint_tree(&root, &allow).expect("fixture tree lints")
+}
+
+fn count(diags: &[Diagnostic], rule: &str) -> usize {
+    diags.iter().filter(|d| d.rule == rule).count()
+}
+
+fn lines(diags: &[Diagnostic], file: &str, rule: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.file == file && d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn dirty_fixture_produces_exact_diagnostic_counts() {
+    let run = run_fixture("dirty");
+    assert_eq!(run.files_scanned, 4, "dirty fixture has 4 files");
+    assert_eq!(count(&run.diagnostics, "no-panic"), 10);
+    assert_eq!(count(&run.diagnostics, "float-eq"), 3);
+    assert_eq!(count(&run.diagnostics, "nan-unsafe-cmp"), 1);
+    assert_eq!(count(&run.diagnostics, "unguarded-numeric"), 2);
+    assert_eq!(run.diagnostics.len(), 16);
+}
+
+#[test]
+fn dirty_fixture_diagnostics_are_line_accurate() {
+    let run = run_fixture("dirty");
+    assert_eq!(
+        lines(&run.diagnostics, "src/panics.rs", "no-panic"),
+        vec![4, 8, 12, 16, 20]
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/floats.rs", "float-eq"),
+        vec![4, 8, 12]
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/floats.rs", "nan-unsafe-cmp"),
+        vec![28]
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/numeric.rs", "unguarded-numeric"),
+        vec![4, 8]
+    );
+}
+
+#[test]
+fn clean_fixture_file_is_silent() {
+    let run = run_fixture("dirty");
+    assert!(
+        run.diagnostics.iter().all(|d| d.file != "src/clean.rs"),
+        "clean.rs must produce no diagnostics"
+    );
+}
+
+#[test]
+fn allowlist_excuses_only_the_listed_rule() {
+    let run = run_fixture("allowed");
+    // The unwrap is excused by `no-panic src/lib.rs`; the float == is not.
+    assert_eq!(count(&run.diagnostics, "no-panic"), 0);
+    assert_eq!(count(&run.diagnostics, "float-eq"), 1);
+    assert_eq!(run.diagnostics.len(), 1);
+}
+
+#[test]
+fn json_report_has_the_documented_shape() {
+    let run = run_fixture("dirty");
+    let text = render_json(&run.diagnostics, run.files_scanned);
+    let v: serde_json::Value = serde_json::from_str(&text).expect("report is valid JSON");
+
+    assert_eq!(v["version"].as_f64(), Some(1.0));
+    assert_eq!(v["files_scanned"].as_f64(), Some(4.0));
+    assert_eq!(v["total"].as_f64(), Some(16.0));
+    assert_eq!(v["counts"]["no-panic"].as_f64(), Some(10.0));
+    assert_eq!(v["counts"]["float-eq"].as_f64(), Some(3.0));
+    assert_eq!(v["counts"]["nan-unsafe-cmp"].as_f64(), Some(1.0));
+    assert_eq!(v["counts"]["unguarded-numeric"].as_f64(), Some(2.0));
+
+    // Diagnostics are sorted (file, line, col) and carry all five keys.
+    let first = &v["diagnostics"][0];
+    assert_eq!(first["file"].as_str(), Some("src/floats.rs"));
+    assert_eq!(first["line"].as_f64(), Some(4.0));
+    assert_eq!(first["rule"].as_str(), Some("float-eq"));
+    assert!(first["col"].as_f64().is_some());
+    assert!(first["message"].as_str().is_some());
+}
+
+#[test]
+fn workspace_tree_is_clean_under_the_checked_in_allowlist() {
+    let root = xtask::workspace_root();
+    let allow = Allowlist::load(&root);
+    let run = lint_tree(&root, &allow).expect("workspace lints");
+    assert!(
+        run.files_scanned > 50,
+        "workspace walk found {} files",
+        run.files_scanned
+    );
+    let rendered: Vec<String> = run
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{} [{}] {}", d.file, d.line, d.col, d.rule, d.message))
+        .collect();
+    assert!(
+        run.diagnostics.is_empty(),
+        "workspace must be lint-clean, got:\n{}",
+        rendered.join("\n")
+    );
+}

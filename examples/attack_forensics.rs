@@ -12,7 +12,9 @@
 
 use vprofile_suite::baselines::VidenDetector;
 use vprofile_suite::can::SourceAddress;
-use vprofile_suite::core::{AnomalyKind, Detector, EdgeSetExtractor, Trainer, VProfileConfig, Verdict};
+use vprofile_suite::core::{
+    AnomalyKind, Detector, EdgeSetExtractor, Trainer, VProfileConfig, Verdict,
+};
 use vprofile_suite::vehicle::{CaptureConfig, Vehicle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (idx, attack) in attacks.iter().enumerate() {
         match detector.classify(attack) {
             Verdict::Anomaly {
-                kind: AnomalyKind::ClusterMismatch { expected, predicted, distance },
+                kind:
+                    AnomalyKind::ClusterMismatch {
+                        expected,
+                        predicted,
+                        distance,
+                    },
             } => {
                 detected += 1;
                 if predicted.0 == 1 {
@@ -58,10 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         "first alarm: claimed {expected}, waveform matches {predicted} \
                          (distance {distance:.2})"
                     );
-                    println!(
-                        "  offending ECU: \"{}\"",
-                        vehicle.ecus()[predicted.0].name
-                    );
+                    println!("  offending ECU: \"{}\"", vehicle.ecus()[predicted.0].name);
                 }
                 let (viden_origin, _) = viden.attribute(attack);
                 if viden_origin == predicted {

@@ -32,23 +32,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mean distance of the ECM's (ECU 0, engine-mounted, most
     // temperature-sensitive) messages to its cluster.
-    let mean_distance = |model: &vprofile_suite::core::Model,
-                         capture: &vprofile_suite::vehicle::Capture|
-     -> f64 {
-        let dists: Vec<f64> = capture
-            .extract(&extractor)
-            .observations
-            .iter()
-            .filter(|o| o.true_ecu == 0)
-            .filter_map(|o| {
-                model
-                    .cluster(ClusterId(0))
-                    .distance(o.observation.edge_set.samples(), DistanceMetric::Mahalanobis)
-                    .ok()
-            })
-            .collect();
-        dists.iter().sum::<f64>() / dists.len() as f64
-    };
+    let mean_distance =
+        |model: &vprofile_suite::core::Model, capture: &vprofile_suite::vehicle::Capture| -> f64 {
+            let dists: Vec<f64> = capture
+                .extract(&extractor)
+                .observations
+                .iter()
+                .filter(|o| o.true_ecu == 0)
+                .filter_map(|o| {
+                    model
+                        .cluster(ClusterId(0))
+                        .distance(
+                            o.observation.edge_set.samples(),
+                            DistanceMetric::Mahalanobis,
+                        )
+                        .ok()
+                })
+                .collect();
+            dists.iter().sum::<f64>() / dists.len() as f64
+        };
 
     let baseline = mean_distance(&static_model, &sweep[0].capture);
     println!("\n  bin        static Δ%   online Δ%   (ECM mean Mahalanobis distance)");

@@ -23,8 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train on the capture.
     let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
-    let model = Trainer::new(config.clone()).train_with_lut(&extracted.labeled(), &vehicle.sa_lut())?;
-    println!("trained on {} frames from {}", capture.len(), vehicle.name());
+    let model =
+        Trainer::new(config.clone()).train_with_lut(&extracted.labeled(), &vehicle.sa_lut())?;
+    println!(
+        "trained on {} frames from {}",
+        capture.len(),
+        vehicle.name()
+    );
 
     // The attacker: a foreign transceiver claiming the brake controller's
     // SA (0x0B) with a plausible-looking EBC1 frame.
@@ -56,9 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(4, 100_000));
     let pipeline = IdsPipeline::spawn(engine, 8);
     for chunk in stream.chunks(4096) {
-        pipeline.feed(chunk.to_vec());
+        pipeline
+            .feed(chunk.to_vec())
+            .expect("pipeline accepts chunks");
     }
-    let (engine, stats) = pipeline.finish();
+    let (engine, stats) = pipeline.finish().expect("worker joins cleanly");
 
     println!(
         "monitor saw {} frames: {} anomalies, {} unparseable",
@@ -73,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         injected_at.len(),
         "every injection (and nothing else) should alarm"
     );
-    println!("all {} injections detected, zero false alarms", injected_at.len());
+    println!(
+        "all {} injections detected, zero false alarms",
+        injected_at.len()
+    );
     Ok(())
 }

@@ -13,9 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use vprofile_suite::core::{
-    Detector, EdgeSetExtractor, Model, Trainer, VProfileConfig,
-};
+use vprofile_suite::core::{Detector, EdgeSetExtractor, Model, Trainer, VProfileConfig};
 use vprofile_suite::ids::AlarmAggregator;
 use vprofile_suite::ids::IdsEvent;
 use vprofile_suite::sigstat::DistanceMetric;
@@ -128,8 +126,7 @@ fn train(flags: &BTreeMap<String, String>) -> Result<(), String> {
         Some("euclidean") => DistanceMetric::Euclidean,
         Some(other) => return Err(format!("unknown metric {other}")),
     };
-    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps())
-        .with_metric(metric);
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps()).with_metric(metric);
     let extractor = EdgeSetExtractor::new(config.clone());
     let extracted = capture.extract(&extractor);
     if extracted.failures > 0 {
@@ -167,7 +164,10 @@ fn detect(flags: &BTreeMap<String, String>) -> Result<(), String> {
         .unwrap_or(Ok(default_margin(&model)))?;
     let hijack: f64 = flags
         .get("hijack")
-        .map(|p| p.parse().map_err(|_| "--hijack needs a probability".to_string()))
+        .map(|p| {
+            p.parse()
+                .map_err(|_| "--hijack needs a probability".to_string())
+        })
         .unwrap_or(Ok(0.0))?;
 
     let config = model.config().clone();

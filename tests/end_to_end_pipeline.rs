@@ -13,7 +13,10 @@ fn trained(
     vehicle: &Vehicle,
     frames: usize,
     seed: u64,
-) -> (vprofile_suite::core::Model, vprofile_suite::vehicle::Capture) {
+) -> (
+    vprofile_suite::core::Model,
+    vprofile_suite::vehicle::Capture,
+) {
     let capture = vehicle
         .capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))
         .expect("capture");
@@ -57,11 +60,16 @@ fn foreign_device_is_flagged_in_the_raw_stream() {
     let engine = IdsEngine::new(model, 2.0, UpdatePolicy::disabled());
     let pipeline = IdsPipeline::spawn(engine, 4);
     for chunk in stream.chunks(4096) {
-        pipeline.feed(chunk.to_vec());
+        pipeline
+            .feed(chunk.to_vec())
+            .expect("pipeline accepts chunks");
     }
-    let (_, stats) = pipeline.finish();
+    let (_, stats) = pipeline.finish().expect("worker joins cleanly");
     assert_eq!(stats.frames as usize, 120 + injected);
-    assert_eq!(stats.anomalies as usize, injected, "exactly the injections alarm");
+    assert_eq!(
+        stats.anomalies as usize, injected,
+        "exactly the injections alarm"
+    );
     assert_eq!(stats.extraction_failures, 0);
 }
 
@@ -85,10 +93,8 @@ fn hijacked_ecu_is_flagged_and_attributed() {
     let victim = SourceAddress(0x17); // instrument cluster
     let mut attributed = 0usize;
     let mut total = 0usize;
-    for obs in extracted
-        .observations
-        .iter()
-        .filter(|o| o.true_ecu == 0) // ECM messages…
+    for obs in extracted.observations.iter().filter(|o| o.true_ecu == 0)
+    // ECM messages…
     {
         let attack = obs.observation.with_sa(victim); // …claiming the IC's SA
         total += 1;
@@ -154,9 +160,8 @@ fn bus_off_takeover_is_detected_after_the_victim_goes_silent() {
     use vprofile_suite::sigstat::DistanceMetric;
     use vprofile_suite::vehicle::attack::bus_off_takeover_test;
 
-    let fixture =
-        ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, 900, 41)
-            .expect("fixture");
+    let fixture = ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, 900, 41)
+        .expect("fixture");
     let model = fixture.train_model().expect("training");
     let (messages, report) = bus_off_takeover_test(&fixture.test_extracted(), 0, 3);
     assert_eq!(report.frames_sacrificed, 32);
@@ -214,6 +219,9 @@ fn period_monitor_learns_real_bus_schedules_and_flags_injection() {
     monitor.observe(SourceAddress(0x00), last_t + 0.020);
     for k in 1..=5 {
         let verdict = monitor.observe(SourceAddress(0x00), last_t + 0.020 + k as f64 * 0.001);
-        assert!(verdict.is_anomaly(), "injected frame {k} passed: {verdict:?}");
+        assert!(
+            verdict.is_anomaly(),
+            "injected frame {k} passed: {verdict:?}"
+        );
     }
 }

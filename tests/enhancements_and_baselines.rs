@@ -49,7 +49,11 @@ fn cluster_thresholds_produce_comparable_statistics() {
 fn every_detector_family_beats_chance_on_the_hijack_test() {
     let fixture = ExperimentFixture::prepare(VehicleKind::B, DistanceMetric::Mahalanobis, 900, 13)
         .expect("fixture");
-    let train: Vec<_> = fixture.train.iter().map(|o| o.observation.clone()).collect();
+    let train: Vec<_> = fixture
+        .train
+        .iter()
+        .map(|o| o.observation.clone())
+        .collect();
     let model = fixture.train_model().expect("training");
     // Margin tuned the way the thesis tunes it (margin sweep on the replay).
     let messages = hijack_imitation_test(&fixture.test_extracted(), &fixture.lut, 0.2, 99);
@@ -63,8 +67,7 @@ fn every_detector_family_beats_chance_on_the_hijack_test() {
     let simple = SimpleDetector::fit(&train, &fixture.lut).expect("SIMPLE trains");
     let viden = VidenDetector::fit(&train, &fixture.lut, 6.0).expect("Viden trains");
     let scission = ScissionDetector::fit(&train, &fixture.lut, 0.5).expect("Scission trains");
-    let voltageids =
-        VoltageIdsDetector::fit(&train, &fixture.lut, 0.0).expect("VoltageIDS trains");
+    let voltageids = VoltageIdsDetector::fit(&train, &fixture.lut, 0.0).expect("VoltageIDS trains");
 
     let systems: Vec<&dyn SenderIdentifier> =
         vec![&vprofile_sys, &simple, &viden, &scission, &voltageids];

@@ -26,18 +26,17 @@ fn train_on_first(
     (model, holdout, extractor)
 }
 
-fn ecu_mean_distance(
-    model: &Model,
-    observations: &[TruthObservation],
-    ecu: usize,
-) -> f64 {
+fn ecu_mean_distance(model: &Model, observations: &[TruthObservation], ecu: usize) -> f64 {
     let dists: Vec<f64> = observations
         .iter()
         .filter(|o| o.true_ecu == ecu)
         .filter_map(|o| {
             model
                 .cluster(ClusterId(ecu))
-                .distance(o.observation.edge_set.samples(), DistanceMetric::Mahalanobis)
+                .distance(
+                    o.observation.edge_set.samples(),
+                    DistanceMetric::Mahalanobis,
+                )
                 .ok()
         })
         .collect();
@@ -68,8 +67,7 @@ fn temperature_drift_is_monotone_and_ecm_dominated() {
         );
         prev = d_ecm;
         hottest_delta_ecm = d_ecm / baseline_ecm - 1.0;
-        hottest_delta_body =
-            ecu_mean_distance(&model, &observations, 3) / baseline_body - 1.0;
+        hottest_delta_body = ecu_mean_distance(&model, &observations, 3) / baseline_body - 1.0;
     }
     // Figure 4.6's defining contrast: the engine-mounted ECM drifts
     // drastically, the body controller barely.
