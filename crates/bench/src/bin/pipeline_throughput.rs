@@ -1,0 +1,227 @@
+//! `pipeline_throughput` — end-to-end throughput of the sharded IDS
+//! pipeline at 1, 2, 4 and 8 detection workers, written to a JSON artifact.
+//!
+//! ```text
+//! pipeline_throughput [--frames N] [--seed S] [--out FILE]
+//! ```
+//!
+//! The workload is synthetic stress-fleet traffic (8 ECUs on staggered
+//! 12–26 ms schedules, see `vprofile_vehicle::scenario::stress_fleet`), so
+//! the source-address shard hash spreads real work across every worker.
+//! Each run feeds the same raw sample stream, waits for the pipeline to
+//! drain, and reports frames per second over the feed-to-close wall clock.
+//!
+//! Speedup over the single-worker run is only meaningful on a multi-core
+//! host; the artifact records `available_parallelism` so consumers can
+//! judge the numbers, and CI regenerates it on its own runners.
+
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+use vprofile_ids::{IdsEngine, IdsPipeline, PipelineConfig, UpdatePolicy};
+use vprofile_vehicle::scenario::stress_fleet;
+use vprofile_vehicle::CaptureConfig;
+
+/// Worker counts the artifact reports, in run order.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Frames captured once and replayed to reach the requested total.
+const CAPTURE_FRAMES: usize = 500;
+/// ECUs in the stress fleet (8 distinct SAs keeps all shards busy).
+const ECUS: usize = 8;
+
+#[derive(Serialize)]
+struct WorkerRun {
+    workers: usize,
+    frames: u64,
+    elapsed_s: f64,
+    frames_per_sec: f64,
+    speedup_vs_single: f64,
+    shard_frames: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    ecus: usize,
+    seed: u64,
+    frames_per_run: u64,
+    available_parallelism: usize,
+    note: &'static str,
+    runs: Vec<WorkerRun>,
+}
+
+struct Options {
+    frames: usize,
+    seed: u64,
+    out: String,
+}
+
+fn main() -> ExitCode {
+    let mut options = Options {
+        frames: 10_000,
+        seed: 11,
+        out: "BENCH_pipeline.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => options.frames = v,
+                _ => return usage_error("--frames needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(v) => options.out = v.clone(),
+                None => return usage_error("--out needs a file path"),
+            },
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    match run(&options) {
+        Ok(report) => {
+            let json = match serde_json::to_string_pretty(&report) {
+                Ok(json) => json,
+                Err(err) => {
+                    eprintln!("error: serializing report: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(err) = std::fs::write(&options.out, format!("{json}\n")) {
+                eprintln!("error: writing {}: {err}", options.out);
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", options.out);
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("usage: pipeline_throughput [--frames N] [--seed S] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+/// Captures and trains once, then times one pipeline run per worker count.
+fn run(options: &Options) -> Result<Report, String> {
+    let (engine, stream, reps) = prepare(options.frames, options.seed)?;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "stress fleet: {ECUS} ECUs, {} frames/run, available_parallelism {cores}",
+        reps * CAPTURE_FRAMES
+    );
+
+    let mut runs: Vec<WorkerRun> = Vec::with_capacity(WORKER_COUNTS.len());
+    for workers in WORKER_COUNTS {
+        let (frames, elapsed_s, shard_frames) = timed_run(engine.clone(), &stream, reps, workers)?;
+        let frames_per_sec = frames as f64 / elapsed_s;
+        let speedup_vs_single = runs
+            .first()
+            .map(|single: &WorkerRun| frames_per_sec / single.frames_per_sec)
+            .unwrap_or(1.0);
+        eprintln!(
+            "workers {workers}: {frames} frames in {elapsed_s:.3} s → {frames_per_sec:.0} frames/s \
+             (×{speedup_vs_single:.2} vs single)"
+        );
+        runs.push(WorkerRun {
+            workers,
+            frames,
+            elapsed_s,
+            frames_per_sec,
+            speedup_vs_single,
+            shard_frames,
+        });
+    }
+
+    Ok(Report {
+        benchmark: "pipeline_throughput",
+        ecus: ECUS,
+        seed: options.seed,
+        frames_per_run: (reps * CAPTURE_FRAMES) as u64,
+        available_parallelism: cores,
+        note: "Speedup over one worker is bounded by available_parallelism; \
+               regenerate on a multi-core host (CI does) before reading the scaling numbers.",
+        runs,
+    })
+}
+
+/// Builds the trained engine and the replayable raw sample stream.
+fn prepare(frames_target: usize, seed: u64) -> Result<(IdsEngine, Vec<f64>, usize), String> {
+    let vehicle = stress_fleet(ECUS, seed);
+    let capture = vehicle
+        .capture(
+            &CaptureConfig::default()
+                .with_frames(CAPTURE_FRAMES)
+                .with_seed(seed),
+        )
+        .map_err(|e| format!("capture failed: {e}"))?;
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    if extracted.failures != 0 {
+        return Err(format!(
+            "{} extraction failures on clean stress traffic",
+            extracted.failures
+        ));
+    }
+    let model = Trainer::new(config)
+        .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+        .map_err(|e| format!("training failed: {e}"))?;
+    let mut stream = Vec::new();
+    for frame in capture.frames() {
+        stream.extend(frame.trace.to_f64());
+    }
+    let reps = frames_target.div_ceil(CAPTURE_FRAMES).max(1);
+    Ok((
+        IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
+        stream,
+        reps,
+    ))
+}
+
+/// Feeds `reps` repetitions of `stream` through a `workers`-wide pipeline
+/// and returns (frames scored, wall-clock seconds, per-shard frame counts).
+fn timed_run(
+    engine: IdsEngine,
+    stream: &[f64],
+    reps: usize,
+    workers: usize,
+) -> Result<(u64, f64, Vec<u64>), String> {
+    let mut pipeline =
+        IdsPipeline::spawn_sharded(engine, PipelineConfig::default().with_workers(workers));
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for chunk in stream.chunks(65_536) {
+            pipeline
+                .feed(chunk.to_vec())
+                .map_err(|e| format!("feed failed: {e}"))?;
+        }
+    }
+    pipeline.close_input();
+    // Drain the (unbounded) event channel so a slow consumer does not hold
+    // the whole run's events in memory while the workers finish.
+    let mut events = 0u64;
+    for _ in pipeline.events() {
+        events += 1;
+    }
+    let (_engines, stats) = pipeline.close().map_err(|e| format!("close failed: {e}"))?;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    if events != stats.frames {
+        return Err(format!(
+            "event count {events} disagrees with stats.frames {}",
+            stats.frames
+        ));
+    }
+    Ok((stats.frames, elapsed_s, stats.shard_frames))
+}

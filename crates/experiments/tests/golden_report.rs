@@ -1,0 +1,160 @@
+//! Golden-file regression test for the experiments report output.
+//!
+//! Renders the Table-4.4-style three-test report (Vehicle B, Mahalanobis)
+//! to markdown + JSON, normalizes every float token to `{:.6e}` so the
+//! comparison tolerates platform-level formatting differences in the last
+//! digits, and diffs against `tests/golden/three_test_vehicle_b.md`.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p vprofile-experiments --test golden_report
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+use vprofile_experiments::tables::{three_test_table, ThreeTestResult};
+use vprofile_experiments::{markdown_table, VehicleKind};
+use vprofile_sigstat::DistanceMetric;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/three_test_vehicle_b.md"
+);
+
+/// Renders the report the golden file snapshots: a summary table over the
+/// three tests plus the full serialized result.
+fn render_report(result: &ThreeTestResult) -> String {
+    let rows: Vec<Vec<String>> = [
+        ("false positive", &result.false_positive),
+        ("hijack imitation", &result.hijack),
+        ("foreign device", &result.foreign),
+    ]
+    .iter()
+    .map(|(name, outcome)| {
+        vec![
+            (*name).to_string(),
+            format!("{:.6}", outcome.margin),
+            format!("{:.6}", outcome.confusion.accuracy()),
+            format!("{:.6}", outcome.confusion.precision()),
+            format!("{:.6}", outcome.confusion.recall()),
+            format!("{:.6}", outcome.confusion.f_score()),
+        ]
+    })
+    .collect();
+    let mut out = String::from("# Golden snapshot — three tests, Vehicle B, Mahalanobis\n\n");
+    let _ = writeln!(
+        out,
+        "Foreign pair: ECU {} imitates ECU {} (distance {:.6})\n",
+        result.foreign_pair.0, result.foreign_pair.1, result.foreign_pair_distance
+    );
+    out.push_str(&markdown_table(
+        &[
+            "test",
+            "margin",
+            "accuracy",
+            "precision",
+            "recall",
+            "F-score",
+        ],
+        &rows,
+    ));
+    out.push_str("\nFull result (JSON):\n\n```json\n");
+    out.push_str(&serde_json::to_string_pretty(result).expect("serializable result"));
+    out.push_str("\n```\n");
+    out
+}
+
+/// Rewrites every float-looking token (contains `.` or an exponent and
+/// parses as `f64`) to `{:.6e}` so the stored snapshot and the freshly
+/// rendered report compare under one canonical float formatting.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_digit() || matches!(ch, '.' | 'e' | 'E' | '+' | '-') {
+            token.push(ch);
+        } else {
+            flush_token(&mut out, &token);
+            token.clear();
+            out.push(ch);
+        }
+    }
+    flush_token(&mut out, &token);
+    out
+}
+
+fn flush_token(out: &mut String, token: &str) {
+    if token.is_empty() {
+        return;
+    }
+    let is_float = token.contains(['.', 'e', 'E'])
+        && token.starts_with(|c: char| c.is_ascii_digit() || c == '-');
+    match token.parse::<f64>() {
+        Ok(value) if is_float => {
+            let _ = write!(out, "{value:.6e}");
+        }
+        _ => out.push_str(token),
+    }
+}
+
+/// Panics with the first differing line and one line of context per side.
+fn assert_same(golden: &str, fresh: &str) {
+    if golden == fresh {
+        return;
+    }
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    for (i, fresh_line) in fresh_lines.iter().enumerate() {
+        let golden_line = golden_lines.get(i).copied().unwrap_or("<missing>");
+        assert_eq!(
+            golden_line,
+            *fresh_line,
+            "report diverges from golden file at line {} (run with UPDATE_GOLDEN=1 \
+             to accept intentional changes)",
+            i + 1
+        );
+    }
+    panic!(
+        "golden file has {} extra line(s) past line {} (run with UPDATE_GOLDEN=1 \
+         to accept intentional changes)",
+        golden_lines.len() - fresh_lines.len(),
+        fresh_lines.len()
+    );
+}
+
+#[test]
+fn three_test_report_matches_golden() {
+    let result = three_test_table(VehicleKind::B, DistanceMetric::Mahalanobis, 800, 11)
+        .expect("three-test experiment");
+    let fresh = normalize(&render_report(&result));
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = Path::new(GOLDEN_PATH);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, &fresh).expect("write golden file");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|err| {
+        panic!("cannot read {GOLDEN_PATH}: {err}; generate it with UPDATE_GOLDEN=1")
+    });
+    // Normalizing the stored side too keeps the comparison stable even if
+    // the snapshot was hand-edited with differently formatted floats.
+    assert_same(&normalize(&golden), &fresh);
+}
+
+#[test]
+fn normalize_canonicalizes_float_tokens_only() {
+    let text = "margin 0.25 and 1.5e-3 stay floats; 42 frames and three-test labels do not";
+    let normalized = normalize(text);
+    assert_eq!(
+        normalized,
+        "margin 2.500000e-1 and 1.500000e-3 stay floats; 42 frames and three-test labels do not"
+    );
+    // Idempotent: a second pass changes nothing.
+    assert_eq!(normalize(&normalized), normalized);
+}

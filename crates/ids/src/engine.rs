@@ -3,7 +3,7 @@
 
 use crate::StreamFramer;
 use serde::{Deserialize, Serialize};
-use vprofile::{Detector, EdgeSetExtractor, LabeledEdgeSet, Model, Verdict};
+use vprofile::{Detector, EdgeSetExtractor, LabeledEdgeSet, Model, ScoringCache, Verdict};
 use vprofile_can::SourceAddress;
 
 /// When and how the engine feeds accepted messages back into the model
@@ -66,6 +66,25 @@ pub struct IdsEvent {
     pub retrain_due: bool,
 }
 
+/// Lifecycle of the engine's batched-scoring cache.
+///
+/// The cache stacks every cluster's inverse Cholesky factor (see
+/// [`ScoringCache`]), so it must be rebuilt whenever the model changes. It
+/// starts `Stale`, is built lazily on the first scored frame, and is
+/// invalidated by online updates and model installs. A model the cache
+/// cannot be built for (e.g. Euclidean-trained without covariances going
+/// singular) parks in `Unavailable` so the engine falls back to per-cluster
+/// scoring without retrying the build on every frame.
+#[derive(Debug, Clone)]
+enum CacheState {
+    /// No cache; build one before the next frame.
+    Stale,
+    /// Valid for the current model version.
+    Ready(ScoringCache),
+    /// Building failed for this model version; use the uncached path.
+    Unavailable,
+}
+
 /// The synchronous IDS engine: owns the model, a framer, and the update
 /// policy. See the [crate-level example](crate).
 #[derive(Debug, Clone)]
@@ -77,6 +96,7 @@ pub struct IdsEngine {
     policy: UpdatePolicy,
     accepted_count: usize,
     pending_updates: Vec<LabeledEdgeSet>,
+    cache: CacheState,
 }
 
 impl IdsEngine {
@@ -93,6 +113,7 @@ impl IdsEngine {
             policy,
             accepted_count: 0,
             pending_updates: Vec::new(),
+            cache: CacheState::Stale,
         }
     }
 
@@ -107,6 +128,7 @@ impl IdsEngine {
         self.model = model;
         self.accepted_count = 0;
         self.pending_updates.clear();
+        self.cache = CacheState::Stale;
     }
 
     /// Feeds raw samples; returns one event per completed frame.
@@ -125,12 +147,27 @@ impl IdsEngine {
         Some(self.process_window(stream_pos, &window))
     }
 
+    /// Rebuilds the batched scoring cache if the model changed since the
+    /// last frame.
+    fn ensure_cache(&mut self) {
+        if matches!(self.cache, CacheState::Stale) {
+            self.cache = match ScoringCache::build(&self.model) {
+                Ok(cache) => CacheState::Ready(cache),
+                Err(_) => CacheState::Unavailable,
+            };
+        }
+    }
+
     /// Classifies one already-framed window.
     pub fn process_window(&mut self, stream_pos: u64, window: &[f64]) -> IdsEvent {
         match self.extractor.extract(window) {
             Ok(observation) => {
+                self.ensure_cache();
                 let detector = Detector::with_margin(&self.model, self.margin);
-                let verdict = detector.classify(&observation);
+                let verdict = match &self.cache {
+                    CacheState::Ready(cache) => detector.classify_cached(&observation, cache),
+                    CacheState::Stale | CacheState::Unavailable => detector.classify(&observation),
+                };
                 let mut retrain_due = false;
                 if !verdict.is_anomaly() && self.policy.is_enabled() {
                     self.accepted_count += 1;
@@ -175,6 +212,9 @@ impl IdsEngine {
         // previous model stays in force, which is the safe behaviour for a
         // monitor.
         let _ = self.model.update_online(&batch);
+        // The stacked factors snapshot the covariances; any applied update
+        // invalidates them.
+        self.cache = CacheState::Stale;
     }
 }
 
@@ -239,6 +279,52 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(events[0].extraction_failed);
         assert!(events[0].verdict.is_anomaly());
+    }
+
+    #[test]
+    fn cached_detection_matches_direct_classification() {
+        let (mut engine, capture) = trained_setup(800);
+        let model = engine.model().clone();
+        let extractor = EdgeSetExtractor::new(model.config().clone());
+        for (i, frame) in capture.frames().iter().take(30).enumerate() {
+            let window = frame.trace.to_f64();
+            let event = engine.process_window(i as u64, &window);
+            let obs = extractor.extract(&window).unwrap();
+            let direct = Detector::with_margin(&model, 2.0).classify(&obs);
+            match (event.verdict, direct) {
+                (
+                    Verdict::Ok {
+                        cluster: a,
+                        distance: da,
+                    },
+                    Verdict::Ok {
+                        cluster: b,
+                        distance: db,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert!((da - db).abs() < 1e-6, "cached {da} vs direct {db}");
+                }
+                (a, b) => assert_eq!(a.is_anomaly(), b.is_anomaly(), "{a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_rebuilt_across_online_updates() {
+        let (engine, capture) = trained_setup(800);
+        let model = engine.model().clone();
+        let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(80) {
+            stream.extend(frame.trace.to_f64());
+        }
+        // Updates apply in batches of 16 mid-stream, invalidating the cache
+        // repeatedly; a stale cache would misscore against the old factors.
+        let events = engine.process_samples(&stream);
+        assert_eq!(events.len(), 80);
+        let anomalies = events.iter().filter(|e| e.verdict.is_anomaly()).count();
+        assert_eq!(anomalies, 0, "clean replay with updates must not alarm");
     }
 
     #[test]

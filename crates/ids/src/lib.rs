@@ -13,9 +13,13 @@
 //!   extraction → Algorithm 3 detection → [`IdsEvent`]s, with an optional
 //!   online-update policy (§5.3) that absorbs accepted messages and signals
 //!   when a full retrain is due;
-//! * [`IdsPipeline`] — a threaded wrapper moving sample chunks and events
-//!   over crossbeam channels, with the model behind a `parking_lot` lock so
-//!   updates and detection interleave safely.
+//! * [`IdsPipeline`] — a threaded, sharded wrapper: a router frames the
+//!   sample stream and routes each window to one of N detection workers by
+//!   a stable hash of the claimed source address ([`stable_shard`]), so
+//!   every worker owns a disjoint set of per-SA cluster state; a merger
+//!   re-serializes events through a sequence-numbered [`ReorderBuffer`],
+//!   making the output order deterministic and identical to a
+//!   single-worker run.
 //!
 //! # Example
 //!
@@ -52,9 +56,13 @@ mod engine;
 mod framer;
 mod period;
 mod pipeline;
+mod reorder;
+mod shard;
 
 pub use alarm::{AlarmAggregator, AlarmClass, Incident};
 pub use engine::{IdsEngine, IdsEvent, UpdatePolicy};
 pub use framer::StreamFramer;
 pub use period::{PeriodMonitor, PeriodVerdict};
-pub use pipeline::{IdsPipeline, PipelineError, PipelineStats};
+pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats};
+pub use reorder::ReorderBuffer;
+pub use shard::stable_shard;

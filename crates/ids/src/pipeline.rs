@@ -1,27 +1,49 @@
-//! A threaded IDS pipeline: sample chunks in, detection events out.
+//! A threaded, sharded IDS pipeline: sample chunks in, detection events out.
 //!
-//! The detection worker owns an [`IdsEngine`]; samples arrive over a bounded
-//! crossbeam channel (back-pressuring the producer, as a real ADC DMA ring
-//! would) and events leave over an unbounded one. Aggregate statistics are
-//! shared behind a `parking_lot` mutex for cheap polling from the control
-//! thread.
+//! The pipeline runs three kinds of threads:
+//!
+//! * a **router** that frames the raw sample stream ([`crate::StreamFramer`]),
+//!   peeks each window's claimed source address
+//!   ([`vprofile::EdgeSetExtractor::peek_sa`]), and routes the window to a
+//!   worker shard via [`crate::stable_shard`]. Routing by the claimed SA
+//!   means each worker owns a *disjoint* set of per-SA cluster state, so
+//!   online updates never race across workers;
+//! * **N detection workers**, each owning a clone of the [`IdsEngine`] and
+//!   scoring only its shard's windows (batched Mahalanobis scoring through
+//!   the engine's cached stacked factors);
+//! * a **merger** that feeds scored events through a
+//!   [`crate::ReorderBuffer`] keyed by the router's sequence numbers, so the
+//!   emitted event order is deterministic and identical to a single-worker
+//!   run, and updates the shared [`PipelineStats`] *in the same critical
+//!   section* that emits each event — a stats snapshot can therefore never
+//!   disagree with the events already delivered.
+//!
+//! Samples arrive over a bounded crossbeam channel (back-pressuring the
+//! producer, as a real ADC DMA ring would); events leave over an unbounded
+//! one.
 
-use crate::{IdsEngine, IdsEvent};
+use crate::{stable_shard, IdsEngine, IdsEvent, ReorderBuffer, StreamFramer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use vprofile::EdgeSetExtractor;
 
 /// Failure modes of the threaded pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineError {
     /// [`IdsPipeline::feed`] was called after the input was closed.
     InputClosed,
-    /// The detection worker is gone (its receiver hung up), so the chunk
-    /// could not be delivered.
+    /// The routing/detection threads are gone (a receiver hung up), so the
+    /// chunk could not be delivered.
     WorkerUnavailable,
-    /// The detection worker panicked; its engine and final events are lost.
+    /// A pipeline thread panicked; its engine (and possibly trailing
+    /// events) are lost.
     WorkerPanicked,
+    /// [`IdsPipeline::finish`] was called on a pipeline with more than one
+    /// worker; use [`IdsPipeline::close`] to collect all engines.
+    NotSingleWorker,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -29,79 +51,247 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::InputClosed => f.write_str("pipeline input already closed"),
             PipelineError::WorkerUnavailable => {
-                f.write_str("detection worker is no longer receiving samples")
+                f.write_str("detection workers are no longer receiving samples")
             }
-            PipelineError::WorkerPanicked => f.write_str("detection worker panicked"),
+            PipelineError::WorkerPanicked => f.write_str("a pipeline thread panicked"),
+            PipelineError::NotSingleWorker => {
+                f.write_str("finish() requires a single-worker pipeline; use close()")
+            }
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
 
+/// Hook invoked by each worker before scoring a window; test-only fault
+/// injection.
+type FaultHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// Construction parameters for [`IdsPipeline::spawn_sharded`].
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// Number of detection workers; `0` means one per available CPU.
+    pub workers: usize,
+    /// Bound of the sample channel and of each worker's window queue
+    /// (chunks/windows, not samples): a slow detector back-pressures the
+    /// producer instead of buffering unboundedly.
+    pub chunk_backlog: usize,
+    /// Largest number of queued windows a worker drains per wakeup; the
+    /// batch shares one scoring-cache lookup run.
+    pub batch_max: usize,
+    fault_hook: Option<FaultHook>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            workers: 0,
+            chunk_backlog: 64,
+            batch_max: 32,
+            fault_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineConfig")
+            .field("workers", &self.workers)
+            .field("chunk_backlog", &self.chunk_backlog)
+            .field("batch_max", &self.batch_max)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+impl PipelineConfig {
+    /// Sets the worker count (`0` = one per available CPU).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the channel bound in chunks/windows.
+    #[must_use]
+    pub fn with_chunk_backlog(mut self, chunk_backlog: usize) -> Self {
+        self.chunk_backlog = chunk_backlog;
+        self
+    }
+
+    /// Sets the per-wakeup worker drain bound.
+    #[must_use]
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Installs a hook called as `(shard, seq)` before each window is
+    /// scored. Exists so tests can inject worker faults (e.g. panics) at
+    /// precise points; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+}
+
 /// Aggregate pipeline counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// The per-frame counters are mutually exclusive and partition the total:
+/// `frames == anomalies + normals + extraction_failures` holds in every
+/// snapshot, because the merger updates them in the same critical section
+/// that emits the corresponding event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PipelineStats {
     /// Frames classified.
     pub frames: u64,
-    /// Anomalies raised.
+    /// Frames whose verdict was anomalous (extraction failures excluded).
     pub anomalies: u64,
-    /// Frames whose extraction failed.
+    /// Frames accepted as consistent with their claimed sender.
+    pub normals: u64,
+    /// Frames whose extraction failed (reported as anomalous events, but
+    /// counted separately here).
     pub extraction_failures: u64,
+    /// Frames scored by each worker shard; sums to `frames`.
+    pub shard_frames: Vec<u64>,
+    /// Instantaneous queue depth (windows routed but not yet scored) per
+    /// shard at snapshot time; all zero after a clean [`IdsPipeline::close`].
+    pub queue_depths: Vec<usize>,
+}
+
+/// One framed window travelling from the router to a worker.
+struct WorkItem {
+    seq: u64,
+    stream_pos: u64,
+    window: Vec<f64>,
+}
+
+/// One scored event travelling from a worker to the merger.
+struct ScoredItem {
+    seq: u64,
+    shard: usize,
+    event: IdsEvent,
 }
 
 /// A running threaded IDS. Drop-free shutdown: close the sample sender
-/// (drop it or call [`IdsPipeline::finish`]) and join.
+/// (drop it, or call [`IdsPipeline::close`] / [`IdsPipeline::finish`]) and
+/// join.
 #[derive(Debug)]
 pub struct IdsPipeline {
     sample_tx: Option<Sender<Vec<f64>>>,
     event_rx: Receiver<IdsEvent>,
     stats: Arc<Mutex<PipelineStats>>,
-    worker: Option<JoinHandle<IdsEngine>>,
+    queue_depths: Arc<Vec<AtomicUsize>>,
+    router: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<IdsEngine>>,
+    merger: Option<JoinHandle<()>>,
 }
 
 impl IdsPipeline {
-    /// Spawns the detection worker around an engine.
+    /// Spawns a single-worker pipeline around an engine — the original
+    /// one-thread-per-stage topology, kept as the compatibility entry point.
     ///
-    /// `chunk_backlog` bounds the sample channel (chunks, not samples): a
-    /// slow detector back-pressures the producer instead of buffering
-    /// unboundedly.
+    /// `chunk_backlog` bounds the sample channel (chunks, not samples).
     pub fn spawn(engine: IdsEngine, chunk_backlog: usize) -> Self {
-        let (sample_tx, sample_rx) = bounded::<Vec<f64>>(chunk_backlog.max(1));
+        Self::spawn_sharded(
+            engine,
+            PipelineConfig::default()
+                .with_workers(1)
+                .with_chunk_backlog(chunk_backlog),
+        )
+    }
+
+    /// Spawns the sharded pipeline: one router, `config.workers` detection
+    /// workers (each a clone of `engine`), and one merging thread.
+    ///
+    /// Windows are routed by a stable hash of the claimed source address,
+    /// so each worker owns a disjoint set of per-SA cluster state; the
+    /// merger re-serializes events into framing order, making the output
+    /// stream deterministic and — when online updates are disabled —
+    /// identical to a single-worker run.
+    pub fn spawn_sharded(engine: IdsEngine, config: PipelineConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let backlog = config.chunk_backlog.max(1);
+        let batch_max = config.batch_max.max(1);
+
+        let (sample_tx, sample_rx) = bounded::<Vec<f64>>(backlog);
         let (event_tx, event_rx) = unbounded::<IdsEvent>();
-        let stats = Arc::new(Mutex::new(PipelineStats::default()));
-        let worker_stats = Arc::clone(&stats);
-        let worker = std::thread::spawn(move || {
-            let mut engine = engine;
-            for chunk in sample_rx {
-                for event in engine.process_samples(&chunk) {
-                    record(&worker_stats, &event);
-                    // Receiver gone: keep draining so the producer is not
-                    // blocked, but stop forwarding.
-                    let _ = event_tx.send(event);
-                }
-            }
-            if let Some(event) = engine.finish() {
-                record(&worker_stats, &event);
-                let _ = event_tx.send(event);
-            }
-            engine.apply_pending_updates();
-            engine
+        let (scored_tx, scored_rx) = unbounded::<ScoredItem>();
+        let stats = Arc::new(Mutex::new(PipelineStats {
+            shard_frames: vec![0; workers],
+            queue_depths: vec![0; workers],
+            ..PipelineStats::default()
+        }));
+        let queue_depths: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..workers).map(|_| AtomicUsize::new(0)).collect());
+
+        let mut work_txs = Vec::with_capacity(workers);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (work_tx, work_rx) = bounded::<WorkItem>(backlog);
+            work_txs.push(work_tx);
+            let scored_tx = scored_tx.clone();
+            let worker_engine = engine.clone();
+            let depths = Arc::clone(&queue_depths);
+            let hook = config.fault_hook.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                worker_loop(
+                    worker_engine,
+                    shard,
+                    work_rx,
+                    scored_tx,
+                    depths,
+                    hook,
+                    batch_max,
+                )
+            }));
+        }
+        // Only workers hold scored senders from here on: the merger exits
+        // exactly when the last worker is done.
+        drop(scored_tx);
+
+        let model_config = engine.model().config().clone();
+        let router_depths = Arc::clone(&queue_depths);
+        let router = std::thread::spawn(move || {
+            let framer =
+                StreamFramer::new(model_config.bit_width_samples, model_config.bit_threshold);
+            let peeker = EdgeSetExtractor::new(model_config);
+            router_loop(sample_rx, framer, peeker, work_txs, router_depths, workers);
         });
+
+        let merger_stats = Arc::clone(&stats);
+        let merger = std::thread::spawn(move || merger_loop(scored_rx, event_tx, merger_stats));
+
         IdsPipeline {
             sample_tx: Some(sample_tx),
             event_rx,
             stats,
-            worker: Some(worker),
+            queue_depths,
+            router: Some(router),
+            workers: worker_handles,
+            merger: Some(merger),
         }
+    }
+
+    /// Number of detection workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Feeds one chunk of samples. Blocks when the backlog is full.
     ///
     /// # Errors
     ///
-    /// [`PipelineError::InputClosed`] if called after
-    /// [`IdsPipeline::finish`], [`PipelineError::WorkerUnavailable`] if the
-    /// worker died.
+    /// [`PipelineError::InputClosed`] if called after the input was closed,
+    /// [`PipelineError::WorkerUnavailable`] if the pipeline threads died.
     pub fn feed(&self, samples: Vec<f64>) -> Result<(), PipelineError> {
         self.sample_tx
             .as_ref()
@@ -110,30 +300,79 @@ impl IdsPipeline {
             .map_err(|_| PipelineError::WorkerUnavailable)
     }
 
-    /// The event stream.
+    /// The event stream, in framing order.
     pub fn events(&self) -> &Receiver<IdsEvent> {
         &self.event_rx
     }
 
-    /// Snapshot of the aggregate counters.
-    pub fn stats(&self) -> PipelineStats {
-        *self.stats.lock()
+    /// Closes the sample input without joining. The pipeline threads drain
+    /// whatever was already fed and exit, at which point the event stream
+    /// disconnects — so a caller can iterate [`IdsPipeline::events`] to the
+    /// end before collecting engines with [`IdsPipeline::close`].
+    /// Idempotent; [`IdsPipeline::feed`] fails with
+    /// [`PipelineError::InputClosed`] afterwards.
+    pub fn close_input(&mut self) {
+        self.sample_tx.take();
     }
 
-    /// Closes the input, waits for the worker to drain, and returns the
-    /// final engine (with its possibly-updated model).
+    /// Snapshot of the aggregate counters. The per-frame counters are
+    /// internally consistent (taken under the merger's lock); the queue
+    /// depths are sampled from the live gauges at call time.
+    pub fn stats(&self) -> PipelineStats {
+        let mut snapshot = self.stats.lock().clone();
+        snapshot.queue_depths = self
+            .queue_depths
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect();
+        snapshot
+    }
+
+    /// Closes the input, waits for every thread to drain, and returns all
+    /// worker engines (in shard order) with the final statistics.
     ///
     /// # Errors
     ///
-    /// [`PipelineError::WorkerPanicked`] if the worker thread panicked
-    /// (consuming `self` guarantees the worker handle is still present).
-    pub fn finish(mut self) -> Result<(IdsEngine, PipelineStats), PipelineError> {
+    /// [`PipelineError::WorkerPanicked`] if any pipeline thread panicked.
+    /// All threads are joined before the error returns, so `close` never
+    /// hangs on a panicked worker.
+    pub fn close(mut self) -> Result<(Vec<IdsEngine>, PipelineStats), PipelineError> {
         self.sample_tx.take();
-        let Some(worker) = self.worker.take() else {
+        let mut panicked = false;
+        if let Some(router) = self.router.take() {
+            panicked |= router.join().is_err();
+        }
+        let mut engines = Vec::with_capacity(self.workers.len());
+        for worker in std::mem::take(&mut self.workers) {
+            match worker.join() {
+                Ok(engine) => engines.push(engine),
+                Err(_) => panicked = true,
+            }
+        }
+        if let Some(merger) = self.merger.take() {
+            panicked |= merger.join().is_err();
+        }
+        if panicked {
             return Err(PipelineError::WorkerPanicked);
-        };
-        let engine = worker.join().map_err(|_| PipelineError::WorkerPanicked)?;
-        let stats = *self.stats.lock();
+        }
+        let stats = self.stats();
+        Ok((engines, stats))
+    }
+
+    /// Closes a **single-worker** pipeline and returns its engine (with the
+    /// possibly-updated model) — the historical API.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotSingleWorker`] when more than one worker was
+    /// spawned (use [`IdsPipeline::close`]), [`PipelineError::WorkerPanicked`]
+    /// if a thread panicked.
+    pub fn finish(self) -> Result<(IdsEngine, PipelineStats), PipelineError> {
+        if self.workers.len() != 1 {
+            return Err(PipelineError::NotSingleWorker);
+        }
+        let (mut engines, stats) = self.close()?;
+        let engine = engines.pop().ok_or(PipelineError::WorkerPanicked)?;
         Ok((engine, stats))
     }
 }
@@ -141,21 +380,139 @@ impl IdsPipeline {
 impl Drop for IdsPipeline {
     fn drop(&mut self) {
         self.sample_tx.take();
-        if let Some(worker) = self.worker.take() {
-            // Best effort: never panic in drop.
+        // Best effort: never panic in drop.
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+        for worker in std::mem::take(&mut self.workers) {
             let _ = worker.join();
+        }
+        if let Some(merger) = self.merger.take() {
+            let _ = merger.join();
         }
     }
 }
 
-fn record(stats: &Mutex<PipelineStats>, event: &IdsEvent) {
-    let mut s = stats.lock();
-    s.frames += 1;
-    if event.verdict.is_anomaly() {
-        s.anomalies += 1;
+/// Frames the sample stream and routes each window to its shard.
+fn router_loop(
+    sample_rx: Receiver<Vec<f64>>,
+    mut framer: StreamFramer,
+    peeker: EdgeSetExtractor,
+    work_txs: Vec<Sender<WorkItem>>,
+    depths: Arc<Vec<AtomicUsize>>,
+    workers: usize,
+) {
+    let mut seq = 0u64;
+    let mut route = |stream_pos: u64, window: Vec<f64>| -> bool {
+        // A window whose SA cannot be decoded still needs an owner: 0xFF
+        // (the J1939 global address, never a legitimate claimed sender)
+        // routes all unparseable windows to one stable shard.
+        let sa = peeker.peek_sa(&window).map(|sa| sa.raw()).unwrap_or(0xFF);
+        let shard = stable_shard(sa, workers);
+        depths[shard].fetch_add(1, Ordering::Relaxed);
+        let item = WorkItem {
+            seq,
+            stream_pos,
+            window,
+        };
+        seq += 1;
+        if work_txs[shard].send(item).is_err() {
+            depths[shard].fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    };
+    'stream: for chunk in sample_rx {
+        for (stream_pos, window) in framer.push(&chunk) {
+            if !route(stream_pos, window) {
+                // A worker died. Exit: dropping the sample receiver
+                // unblocks the producer with `WorkerUnavailable`, and
+                // dropping the work senders drains the surviving workers.
+                break 'stream;
+            }
+        }
     }
-    if event.extraction_failed {
-        s.extraction_failures += 1;
+    if let Some((stream_pos, window)) = framer.flush() {
+        let _ = route(stream_pos, window);
+    }
+}
+
+/// Scores this shard's windows, draining up to `batch_max` queued windows
+/// per wakeup.
+fn worker_loop(
+    mut engine: IdsEngine,
+    shard: usize,
+    work_rx: Receiver<WorkItem>,
+    scored_tx: Sender<ScoredItem>,
+    depths: Arc<Vec<AtomicUsize>>,
+    hook: Option<FaultHook>,
+    batch_max: usize,
+) -> IdsEngine {
+    let mut batch = Vec::with_capacity(batch_max);
+    while let Ok(first) = work_rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_max {
+            match work_rx.try_recv() {
+                Ok(item) => batch.push(item),
+                Err(_) => break,
+            }
+        }
+        depths[shard].fetch_sub(batch.len(), Ordering::Relaxed);
+        for item in batch.drain(..) {
+            if let Some(hook) = &hook {
+                hook(shard, item.seq);
+            }
+            let event = engine.process_window(item.stream_pos, &item.window);
+            let scored = ScoredItem {
+                seq: item.seq,
+                shard,
+                event,
+            };
+            if scored_tx.send(scored).is_err() {
+                // Merger gone (panicked): nothing downstream to feed.
+                return engine;
+            }
+        }
+    }
+    engine.apply_pending_updates();
+    engine
+}
+
+/// Re-serializes scored events into framing order and keeps the shared
+/// statistics consistent with the emitted event stream.
+fn merger_loop(
+    scored_rx: Receiver<ScoredItem>,
+    event_tx: Sender<IdsEvent>,
+    stats: Arc<Mutex<PipelineStats>>,
+) {
+    let mut buffer: ReorderBuffer<(usize, IdsEvent)> = ReorderBuffer::new();
+    let mut ready: Vec<(usize, IdsEvent)> = Vec::new();
+    for item in scored_rx {
+        buffer.push(item.seq, (item.shard, item.event), &mut ready);
+        if ready.is_empty() {
+            continue;
+        }
+        // Counter update and event emission share one critical section, so
+        // `stats()` can never observe a count without its event (or vice
+        // versa) — `frames == anomalies + normals + extraction_failures`
+        // holds in every snapshot.
+        let mut s = stats.lock();
+        for (shard, event) in ready.drain(..) {
+            s.frames += 1;
+            if event.extraction_failed {
+                s.extraction_failures += 1;
+            } else if event.verdict.is_anomaly() {
+                s.anomalies += 1;
+            } else {
+                s.normals += 1;
+            }
+            if let Some(count) = s.shard_frames.get_mut(shard) {
+                *count += 1;
+            }
+            // Receiver gone: keep counting so stats stay truthful, but
+            // stop forwarding.
+            let _ = event_tx.send(event);
+        }
     }
 }
 
@@ -196,7 +553,10 @@ mod tests {
         let (_, stats) = pipeline.finish().unwrap();
         assert_eq!(stats.frames, 40);
         assert_eq!(stats.anomalies, 0);
+        assert_eq!(stats.normals, 40);
         assert_eq!(stats.extraction_failures, 0);
+        assert_eq!(stats.shard_frames, vec![40]);
+        assert_eq!(stats.queue_depths, vec![0]);
     }
 
     #[test]
@@ -248,5 +608,67 @@ mod tests {
         let pipeline = IdsPipeline::spawn(engine, 2);
         pipeline.feed(vec![1000.0; 100]).unwrap();
         drop(pipeline); // must join cleanly
+    }
+
+    #[test]
+    fn sharded_run_matches_single_worker_events() {
+        let (engine, capture) = engine_and_capture();
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(60) {
+            stream.extend(frame.trace.to_f64());
+        }
+
+        let run = |workers: usize| -> (Vec<IdsEvent>, PipelineStats) {
+            let mut pipeline = IdsPipeline::spawn_sharded(
+                engine.clone(),
+                PipelineConfig::default().with_workers(workers),
+            );
+            assert_eq!(pipeline.worker_count(), workers);
+            for chunk in stream.chunks(4096) {
+                pipeline.feed(chunk.to_vec()).unwrap();
+            }
+            pipeline.close_input();
+            let events: Vec<IdsEvent> = pipeline.events().into_iter().collect();
+            let (engines, stats) = pipeline.close().unwrap();
+            assert_eq!(engines.len(), workers);
+            (events, stats)
+        };
+
+        let (single_events, single_stats) = run(1);
+        let (quad_events, quad_stats) = run(4);
+        assert_eq!(single_events, quad_events);
+        assert_eq!(single_stats.frames, quad_stats.frames);
+        assert_eq!(single_stats.anomalies, quad_stats.anomalies);
+        assert_eq!(
+            quad_stats.shard_frames.iter().sum::<u64>(),
+            quad_stats.frames
+        );
+        assert!(
+            quad_stats.shard_frames.iter().filter(|&&n| n > 0).count() > 1,
+            "vehicle-B SAs should spread over multiple shards: {:?}",
+            quad_stats.shard_frames
+        );
+    }
+
+    #[test]
+    fn finish_refuses_multi_worker_pipelines() {
+        let (engine, _) = engine_and_capture();
+        let pipeline =
+            IdsPipeline::spawn_sharded(engine, PipelineConfig::default().with_workers(2));
+        assert_eq!(
+            pipeline.finish().unwrap_err(),
+            PipelineError::NotSingleWorker
+        );
+    }
+
+    #[test]
+    fn auto_worker_count_uses_available_parallelism() {
+        let (engine, _) = engine_and_capture();
+        let pipeline = IdsPipeline::spawn_sharded(engine, PipelineConfig::default());
+        let workers = pipeline.worker_count();
+        assert!(workers >= 1);
+        let (engines, stats) = pipeline.close().unwrap();
+        assert_eq!(engines.len(), workers);
+        assert_eq!(stats.shard_frames.len(), workers);
     }
 }

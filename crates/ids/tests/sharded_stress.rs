@@ -1,0 +1,175 @@
+//! Concurrency stress tests for the sharded pipeline.
+//!
+//! * Determinism: a 4-worker run over ~10k frames from 8 source addresses
+//!   must produce a byte-identical event sequence to the 1-worker run.
+//! * Fault handling: a worker panic must surface as
+//!   [`PipelineError::WorkerPanicked`] from `close()` instead of hanging.
+//! * Stats consistency: every stats snapshot — mid-run and final — must
+//!   satisfy `frames == anomalies + normals + extraction_failures`.
+
+use std::sync::Arc;
+use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+use vprofile_ids::{IdsEngine, IdsEvent, IdsPipeline, PipelineConfig, PipelineError, UpdatePolicy};
+use vprofile_vehicle::scenario::stress_fleet;
+use vprofile_vehicle::CaptureConfig;
+
+/// Trains an engine on a stress-fleet capture and returns it with the
+/// capture's concatenated raw sample stream.
+fn stress_setup(ecus: usize, frames: usize, seed: u64) -> (IdsEngine, Vec<f64>) {
+    let vehicle = stress_fleet(ecus, seed);
+    let capture = vehicle
+        .capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))
+        .expect("capture");
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    assert_eq!(extracted.failures, 0, "stress traffic must extract cleanly");
+    let model = Trainer::new(config)
+        .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+        .expect("training");
+    let mut stream = Vec::new();
+    for frame in capture.frames() {
+        stream.extend(frame.trace.to_f64());
+    }
+    (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), stream)
+}
+
+/// Feeds `reps` repetitions of `stream` and returns the full ordered event
+/// sequence plus the final stats.
+fn run_pipeline(
+    engine: IdsEngine,
+    stream: &[f64],
+    reps: usize,
+    workers: usize,
+) -> (Vec<IdsEvent>, vprofile_ids::PipelineStats) {
+    let mut pipeline =
+        IdsPipeline::spawn_sharded(engine, PipelineConfig::default().with_workers(workers));
+    for rep in 0..reps {
+        for chunk in stream.chunks(65_536) {
+            pipeline.feed(chunk.to_vec()).expect("feed");
+        }
+        // Mid-run snapshots must already satisfy the counter identity.
+        if rep % 4 == 0 {
+            let s = pipeline.stats();
+            assert_eq!(
+                s.frames,
+                s.anomalies + s.normals + s.extraction_failures,
+                "mid-run stats identity violated: {s:?}"
+            );
+        }
+    }
+    pipeline.close_input();
+    let events: Vec<IdsEvent> = pipeline.events().into_iter().collect();
+    let (engines, stats) = pipeline.close().expect("clean close");
+    assert_eq!(engines.len(), workers);
+    (events, stats)
+}
+
+#[test]
+fn four_workers_match_single_worker_byte_for_byte() {
+    let (engine, stream) = stress_setup(8, 625, 101);
+    let reps = 16; // 625 frames × 16 ≈ 10k windows
+
+    let (single_events, single_stats) = run_pipeline(engine.clone(), &stream, reps, 1);
+    let (quad_events, quad_stats) = run_pipeline(engine, &stream, reps, 4);
+
+    assert_eq!(single_stats.frames, 10_000, "expected 10k framed windows");
+    assert_eq!(quad_stats.frames, single_stats.frames);
+
+    // Byte-identical serialized event streams, not just logically equal.
+    let single_json = serde_json::to_string(&single_events).expect("serialize");
+    let quad_json = serde_json::to_string(&quad_events).expect("serialize");
+    assert!(
+        single_json == quad_json,
+        "event streams diverge: single {} bytes, quad {} bytes",
+        single_json.len(),
+        quad_json.len()
+    );
+
+    // Final stats agree on every classification counter.
+    assert_eq!(single_stats.anomalies, quad_stats.anomalies);
+    assert_eq!(single_stats.normals, quad_stats.normals);
+    assert_eq!(
+        single_stats.extraction_failures,
+        quad_stats.extraction_failures
+    );
+
+    // Per-shard accounting: all shards together scored every frame, more
+    // than one shard did real work, and no window is still queued.
+    assert_eq!(quad_stats.shard_frames.len(), 4);
+    assert_eq!(
+        quad_stats.shard_frames.iter().sum::<u64>(),
+        quad_stats.frames
+    );
+    assert!(
+        quad_stats.shard_frames.iter().filter(|&&n| n > 0).count() > 1,
+        "8 SAs collapsed onto one shard: {:?}",
+        quad_stats.shard_frames
+    );
+    assert!(quad_stats.queue_depths.iter().all(|&d| d == 0));
+
+    // The identity the merger's single critical section guarantees.
+    for stats in [&single_stats, &quad_stats] {
+        assert_eq!(
+            stats.frames,
+            stats.anomalies + stats.normals + stats.extraction_failures
+        );
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_instead_of_hanging() {
+    let (engine, stream) = stress_setup(4, 256, 77);
+    let config = PipelineConfig::default()
+        .with_workers(4)
+        .with_fault_hook(Arc::new(|shard, seq| {
+            if seq == 50 {
+                panic!("injected fault in shard {shard} at seq {seq}");
+            }
+        }));
+    let pipeline = IdsPipeline::spawn_sharded(engine, config);
+    // Feeding may start failing once the router notices the dead worker;
+    // both outcomes are fine — the pipeline just must not hang.
+    for _ in 0..4 {
+        for chunk in stream.chunks(65_536) {
+            if pipeline.feed(chunk.to_vec()).is_err() {
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        pipeline.close().expect_err("panic must be reported"),
+        PipelineError::WorkerPanicked
+    );
+}
+
+#[test]
+fn feed_after_worker_death_reports_worker_unavailable() {
+    let (engine, stream) = stress_setup(4, 256, 78);
+    let config = PipelineConfig::default()
+        .with_workers(2)
+        .with_fault_hook(Arc::new(|_, seq| {
+            if seq == 10 {
+                panic!("early injected fault at seq {seq}");
+            }
+        }));
+    let pipeline = IdsPipeline::spawn_sharded(engine, config);
+    // Keep feeding until the router exits; the bounded channel must unblock
+    // with an error rather than deadlock.
+    let mut saw_error = false;
+    for _ in 0..64 {
+        for chunk in stream.chunks(65_536) {
+            if pipeline.feed(chunk.to_vec()).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        if saw_error {
+            break;
+        }
+    }
+    assert!(saw_error, "feed never observed the dead pipeline");
+    assert_eq!(
+        pipeline.close().expect_err("panic must be reported"),
+        PipelineError::WorkerPanicked
+    );
+}

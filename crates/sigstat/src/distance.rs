@@ -159,6 +159,11 @@ impl Gaussian {
         self.mean.len()
     }
 
+    /// The cached Cholesky factor of the covariance.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+
     /// Mahalanobis distance from `x` to this distribution (Equation 2.2),
     /// computed through the cached Cholesky factor.
     ///

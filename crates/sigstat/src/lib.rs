@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batched;
 mod covariance;
 mod distance;
 mod error;
@@ -46,6 +47,7 @@ mod resample;
 mod stats;
 mod welford;
 
+pub use batched::BatchedMahalanobis;
 pub use covariance::{sample_covariance, sample_mean, CovarianceEstimate};
 pub use distance::{euclidean, squared_euclidean, DistanceMetric, Gaussian};
 pub use error::SigStatError;

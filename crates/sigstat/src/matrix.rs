@@ -548,6 +548,35 @@ impl Cholesky {
         Ok(inv)
     }
 
+    /// The explicit inverse factor `W = L⁻¹` (lower triangular), so that
+    /// `A⁻¹ = Wᵀ W` and `‖W b‖² = bᵀ A⁻¹ b`.
+    ///
+    /// This is the building block of the batched Mahalanobis kernel
+    /// ([`crate::BatchedMahalanobis`]): stacking the `W` factors of many
+    /// clusters turns a per-cluster triangular solve into one dense
+    /// matrix–vector (or matrix–matrix, for frame batches) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] only if an internal
+    /// invariant is violated; propagated rather than unwrapped so the
+    /// numeric error path stays typed end to end.
+    pub fn inverse_factor(&self) -> Result<Matrix, SigStatError> {
+        let n = self.dim();
+        let mut w = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.forward_solve(&e)?;
+            // L is lower triangular, so its inverse is too: rows above the
+            // diagonal stay exactly zero.
+            for i in j..n {
+                w[(i, j)] = col[i];
+            }
+        }
+        Ok(w)
+    }
+
     /// Log-determinant of `A`, `log det A = 2 Σ log L_ii`.
     pub fn log_determinant(&self) -> f64 {
         (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0

@@ -1,0 +1,112 @@
+//! Property tests for the batched Mahalanobis kernel and the Welford online
+//! estimator, on seeded random inputs.
+//!
+//! Random SPD covariances are generated as `A = B·Bᵀ + ridge·I` from a
+//! seeded [`rand::rngs::StdRng`], so every proptest case is a deterministic
+//! function of the case's drawn seed: failures reproduce exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vprofile_sigstat::{
+    sample_covariance, sample_mean, BatchedMahalanobis, Gaussian, Matrix, OnlineGaussian,
+};
+
+/// Random SPD matrix `B·Bᵀ + ridge·I` with entries drawn from `rng`.
+fn random_spd(rng: &mut StdRng, dim: usize, ridge: f64) -> Matrix {
+    let b: Vec<Vec<f64>> = (0..dim)
+        .map(|_| (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect())
+        .collect();
+    let mut a = Matrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            let mut s = if i == j { ridge } else { 0.0 };
+            for (bi, bj) in b[i].iter().zip(&b[j]) {
+                s += bi * bj;
+            }
+            a[(i, j)] = s;
+        }
+    }
+    a
+}
+
+fn random_gaussian(rng: &mut StdRng, dim: usize) -> Gaussian {
+    let mean: Vec<f64> = (0..dim).map(|_| rng.random_range(-10.0..10.0)).collect();
+    let cov = random_spd(rng, dim, 0.05);
+    Gaussian::from_moments(mean, cov, 16).expect("B·Bᵀ + ridge·I is positive definite")
+}
+
+proptest! {
+    /// The stacked one-product kernel must agree with the per-cluster
+    /// triangular solves to within 1e-9 on random SPD covariances.
+    #[test]
+    fn prop_batched_matches_per_cluster(
+        seed in any::<u64>(),
+        dim in 2usize..6,
+        clusters in 1usize..8,
+        frames in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gaussians: Vec<Gaussian> =
+            (0..clusters).map(|_| random_gaussian(&mut rng, dim)).collect();
+        let refs: Vec<&Gaussian> = gaussians.iter().collect();
+        let batched = BatchedMahalanobis::from_gaussians(&refs).unwrap();
+        prop_assert_eq!(batched.dim(), dim);
+        prop_assert_eq!(batched.cluster_count(), clusters);
+
+        let xs: Vec<Vec<f64>> = (0..frames)
+            .map(|_| (0..dim).map(|_| rng.random_range(-12.0..12.0)).collect())
+            .collect();
+        let many = batched.distances_many(&xs).unwrap();
+        for (x, batch_row) in xs.iter().zip(&many) {
+            let single = batched.distances(x).unwrap();
+            for (c, g) in gaussians.iter().enumerate() {
+                let reference = g.mahalanobis(x).unwrap();
+                prop_assert!(
+                    (single[c] - reference).abs() < 1e-9,
+                    "per-frame kernel: cluster {} got {} want {}", c, single[c], reference
+                );
+                prop_assert!(
+                    (batch_row[c] - reference).abs() < 1e-9,
+                    "batch kernel: cluster {} got {} want {}", c, batch_row[c], reference
+                );
+            }
+        }
+    }
+
+    /// Welford online mean/covariance must match the two-pass batch
+    /// computation on random observation sets.
+    #[test]
+    fn prop_welford_matches_two_pass(
+        seed in any::<u64>(),
+        dim in 1usize..6,
+        count in 2usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs: Vec<Vec<f64>> = (0..count)
+            .map(|_| (0..dim).map(|_| rng.random_range(-100.0..100.0)).collect())
+            .collect();
+
+        let mut online = OnlineGaussian::new(dim);
+        for o in &obs {
+            online.push(o).unwrap();
+        }
+        prop_assert_eq!(online.count(), count);
+
+        let mean = sample_mean(&obs).unwrap();
+        let cov = sample_covariance(&obs, &mean).unwrap();
+        for (a, b) in online.mean().iter().zip(&mean) {
+            prop_assert!((a - b).abs() < 1e-8, "mean: online {} vs two-pass {}", a, b);
+        }
+        let online_cov = online.sample_covariance().unwrap();
+        for i in 0..dim {
+            for j in 0..dim {
+                prop_assert!(
+                    (online_cov[(i, j)] - cov[(i, j)]).abs() < 1e-6,
+                    "cov[{},{}]: online {} vs two-pass {}",
+                    i, j, online_cov[(i, j)], cov[(i, j)]
+                );
+            }
+        }
+    }
+}

@@ -7,9 +7,11 @@
 //!   (12.61 V battery, stable ~28.4 °C), cycle the interior/exterior
 //!   lights, the A/C, and both together, capturing each event.
 
-use crate::{Capture, CaptureConfig, Vehicle};
+use crate::{Capture, CaptureConfig, EcuSpec, MessageSchedule, Vehicle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vprofile_analog::{Environment, PowerEvent};
+use vprofile_analog::{AdcConfig, Environment, PowerEvent, TransceiverModel};
 
 /// A temperature bin with its capture.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,6 +89,45 @@ pub fn warmup_drive(
         let progress = (t_s / duration_s).clamp(0.0, 1.0);
         Environment::idling_at(t0_c + (t1_c - t0_c) * progress)
     }))
+}
+
+/// Builds a synthetic high-rate fleet for pipeline throughput and
+/// concurrency stress runs: `ecus` single-schedule ECUs (one SA each,
+/// starting at 0x10) transmitting proprietary-B messages on staggered
+/// 12–26 ms periods. At eight ECUs that is roughly 1 000 frames/s on the
+/// 250 kb/s bus — about 60 % load, dense enough to stress a multi-worker
+/// pipeline without arbitration backlog distorting the schedule.
+///
+/// Transceiver spreads sit between the two thesis vehicles so clusters stay
+/// separable at vehicle-B capture resolution.
+///
+/// # Panics
+///
+/// Panics if `ecus` is 0 or exceeds 32 (the SA block reserved here).
+pub fn stress_fleet(ecus: usize, seed: u64) -> Vehicle {
+    assert!(ecus > 0, "fleet needs at least one ECU");
+    assert!(ecus <= 32, "SA block 0x10..0x30 allows at most 32 ECUs");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57E55);
+    let specs = (0..ecus)
+        .map(|i| {
+            let sa = 0x10 + i as u8;
+            let pgn = 0xFF00 + i as u32; // proprietary-B range
+            let period_ms = 12.0 + (i % 8) as f64 * 2.0;
+            let tx =
+                TransceiverModel::sample_with_spreads(&mut rng, 0.85, 0.75).with_thermal_gain(1.0);
+            EcuSpec::new(
+                format!("Stress node {i:02}"),
+                tx,
+                vec![MessageSchedule::new(sa, 3, pgn, period_ms, 8)],
+            )
+        })
+        .collect();
+    Vehicle::new(
+        format!("Stress fleet ({ecus} ECUs)"),
+        250_000,
+        AdcConfig::vehicle_b(),
+        specs,
+    )
 }
 
 /// One power-event capture within one trial.
@@ -216,6 +257,28 @@ mod tests {
             late < early - 20.0,
             "dominant level should sag measurably: {early} -> {late}"
         );
+    }
+
+    #[test]
+    fn stress_fleet_builds_and_captures() {
+        let vehicle = stress_fleet(8, 42);
+        assert_eq!(vehicle.ecu_count(), 8);
+        assert_eq!(vehicle.sa_lut().len(), 8);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(64).with_seed(42))
+            .unwrap();
+        assert_eq!(capture.len(), 64);
+        // Deterministic per seed.
+        let again = stress_fleet(8, 42)
+            .capture(&CaptureConfig::default().with_frames(64).with_seed(42))
+            .unwrap();
+        assert_eq!(capture, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ECU")]
+    fn stress_fleet_rejects_zero_ecus() {
+        let _ = stress_fleet(0, 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::{ClusterId, LabeledEdgeSet, Model, VProfileError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vprofile_can::SourceAddress;
+use vprofile_sigstat::{euclidean, BatchedMahalanobis, DistanceMetric};
 
 /// Why a message was flagged as anomalous.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,6 +95,118 @@ impl Verdict {
     }
 }
 
+/// Precomputed scoring state for a specific model version.
+///
+/// For a Mahalanobis model the cache stacks every cluster's inverse Cholesky
+/// factor into one [`BatchedMahalanobis`] kernel, so nearest-cluster scans
+/// cost a single matrix–vector product instead of one triangular solve per
+/// cluster. The cache is a snapshot: rebuild it after any online model
+/// update, and never reuse it across models (the classify entry points
+/// cross-check dimensionality and cluster count and refuse stale caches).
+#[derive(Debug, Clone)]
+pub struct ScoringCache {
+    metric: DistanceMetric,
+    dim: usize,
+    clusters: usize,
+    /// Stacked kernel for Mahalanobis models; `None` for Euclidean.
+    batched: Option<BatchedMahalanobis>,
+    /// Cluster means for the Euclidean fallback path.
+    means: Vec<Vec<f64>>,
+}
+
+impl ScoringCache {
+    /// Builds a cache from the model's current cluster statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VProfileError::CovarianceUnavailable`] if a Mahalanobis
+    /// model has a cluster without a fitted Gaussian, and propagates
+    /// factorization failures as [`VProfileError::Numeric`].
+    pub fn build(model: &Model) -> Result<Self, VProfileError> {
+        let metric = model.metric();
+        let batched = match metric {
+            DistanceMetric::Mahalanobis => {
+                let mut gaussians = Vec::with_capacity(model.cluster_count());
+                for cluster in model.clusters() {
+                    gaussians.push(
+                        cluster
+                            .gaussian()
+                            .ok_or(VProfileError::CovarianceUnavailable)?,
+                    );
+                }
+                Some(BatchedMahalanobis::from_gaussians(&gaussians)?)
+            }
+            DistanceMetric::Euclidean => None,
+        };
+        let means = match metric {
+            DistanceMetric::Euclidean => {
+                model.clusters().iter().map(|c| c.mean().to_vec()).collect()
+            }
+            DistanceMetric::Mahalanobis => Vec::new(),
+        };
+        Ok(ScoringCache {
+            metric,
+            dim: model.dim(),
+            clusters: model.cluster_count(),
+            batched,
+            means,
+        })
+    }
+
+    /// The metric the cache was built for.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Edge-set dimensionality the cache expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of clusters the cache covers.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters
+    }
+
+    /// `true` if the cache's shape matches `model` (dimensionality, cluster
+    /// count, and metric). A shape match does not prove the cache is fresh —
+    /// callers must still rebuild after online updates — but a mismatch
+    /// proves it is unusable.
+    pub fn matches(&self, model: &Model) -> bool {
+        self.metric == model.metric()
+            && self.dim == model.dim()
+            && self.clusters == model.cluster_count()
+    }
+
+    /// The nearest cluster to `x` with its distance — the same
+    /// strict-less-than, first-index-wins scan as
+    /// [`Model::nearest_cluster`], so ties break identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches; returns [`VProfileError::EmptyModel`]
+    /// if the cache covers no clusters.
+    pub fn nearest(&self, x: &[f64]) -> Result<(ClusterId, f64), VProfileError> {
+        let distances = match &self.batched {
+            Some(batched) => batched.distances(x)?,
+            None => {
+                let mut out = Vec::with_capacity(self.means.len());
+                for mean in &self.means {
+                    out.push(euclidean(x, mean)?);
+                }
+                out
+            }
+        };
+        let mut best: Option<(ClusterId, f64)> = None;
+        for (idx, &d) in distances.iter().enumerate() {
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((ClusterId(idx), d));
+            }
+        }
+        best.ok_or(VProfileError::EmptyModel)
+    }
+}
+
 /// The vProfile detector: classifies labeled edge sets against a trained
 /// [`Model`] (Algorithm 3).
 ///
@@ -163,6 +276,66 @@ impl<'a> Detector<'a> {
         };
         let x = obs.edge_set.samples();
         let (predicted, distance) = self.model.nearest_cluster(x)?;
+        if predicted != expected {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch {
+                    expected,
+                    predicted,
+                    distance,
+                },
+            });
+        }
+        let limit = self.model.cluster(predicted).max_distance() + self.margin;
+        if distance > limit {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::ThresholdExceeded {
+                    cluster: predicted,
+                    distance,
+                    limit,
+                },
+            });
+        }
+        Ok(Verdict::Ok {
+            cluster: predicted,
+            distance,
+        })
+    }
+
+    /// [`Detector::classify`] through a precomputed [`ScoringCache`]: same
+    /// verdicts, one stacked product instead of per-cluster solves. Fails
+    /// closed as [`AnomalyKind::Unscorable`] on any error, including a cache
+    /// whose shape does not match the model.
+    pub fn classify_cached(&self, obs: &LabeledEdgeSet, cache: &ScoringCache) -> Verdict {
+        self.try_classify_cached(obs, cache)
+            .unwrap_or(Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            })
+    }
+
+    /// [`Detector::try_classify`] through a precomputed [`ScoringCache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VProfileError::DataUnavailable`] if the cache's shape
+    /// (metric, dimensionality, cluster count) does not match the model, and
+    /// propagates scoring failures like [`Detector::try_classify`].
+    pub fn try_classify_cached(
+        &self,
+        obs: &LabeledEdgeSet,
+        cache: &ScoringCache,
+    ) -> Result<Verdict, VProfileError> {
+        if !cache.matches(self.model) {
+            return Err(VProfileError::DataUnavailable {
+                context: "scoring cache does not match the model shape",
+            });
+        }
+        let Some(expected) = self.model.lookup_sa(obs.sa) else {
+            return Ok(Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa: obs.sa },
+            });
+        };
+        let x = obs.edge_set.samples();
+        let (predicted, distance) = cache.nearest(x)?;
         if predicted != expected {
             return Ok(Verdict::Anomaly {
                 kind: AnomalyKind::ClusterMismatch {
@@ -325,6 +498,129 @@ mod tests {
         let detector = Detector::new(&model);
         let bad = LabeledEdgeSet::new(SourceAddress(1), EdgeSet::new(vec![1.0; 7]));
         assert!(detector.try_classify(&bad).is_err());
+    }
+
+    #[test]
+    fn cached_classify_matches_uncached_verdicts() {
+        let model = two_cluster_model();
+        let cache = ScoringCache::build(&model).unwrap();
+        assert!(cache.matches(&model));
+        let detector = Detector::with_margin(&model, 1.0);
+        for probe in [
+            obs(1, 100.0),  // legitimate
+            obs(1, 900.0),  // hijack: cluster mismatch
+            obs(2, 900.0),  // legitimate, other cluster
+            obs(0x99, 1.0), // unknown SA
+            obs(1, 160.0),  // threshold exceeded
+        ] {
+            let plain = detector.classify(&probe);
+            let cached = detector.classify_cached(&probe, &cache);
+            match (plain, cached) {
+                (
+                    Verdict::Ok {
+                        cluster: a,
+                        distance: da,
+                    },
+                    Verdict::Ok {
+                        cluster: b,
+                        distance: db,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert!((da - db).abs() < 1e-9);
+                }
+                (Verdict::Anomaly { kind: a }, Verdict::Anomaly { kind: b }) => {
+                    assert_eq!(
+                        std::mem::discriminant(&a),
+                        std::mem::discriminant(&b),
+                        "anomaly kinds diverge: {a:?} vs {b:?}"
+                    );
+                }
+                (p, c) => panic!("cached verdict {c:?} diverges from {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cached_nearest_matches_model_scan() {
+        let model = two_cluster_model();
+        let cache = ScoringCache::build(&model).unwrap();
+        for center in [100.0, 300.0, 500.0, 900.0] {
+            let x: Vec<f64> = (0..4).map(|i| center + i as f64 * 5.0).collect();
+            let (want_id, want_d) = model.nearest_cluster(&x).unwrap();
+            let (got_id, got_d) = cache.nearest(&x).unwrap();
+            assert_eq!(want_id, got_id);
+            assert!((want_d - got_d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mismatched_cache_is_refused() {
+        let model = two_cluster_model();
+        let mut rng = StdRng::seed_from_u64(9);
+        // A second model with different dimensionality (6 samples).
+        let mut data = Vec::new();
+        for (sa, center) in [(1u8, 100.0), (2u8, 900.0)] {
+            for _ in 0..14 {
+                let samples: Vec<f64> = (0..6)
+                    .map(|i| center + i as f64 * 5.0 + rng.random_range(-1.0..1.0))
+                    .collect();
+                data.push(LabeledEdgeSet::new(
+                    SourceAddress(sa),
+                    EdgeSet::new(samples),
+                ));
+            }
+        }
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        let other = Trainer::new(config).train(&data).unwrap();
+        let stale = ScoringCache::build(&other).unwrap();
+        assert!(!stale.matches(&model));
+
+        let detector = Detector::new(&model);
+        let probe = obs(1, 100.0);
+        assert!(matches!(
+            detector.try_classify_cached(&probe, &stale),
+            Err(VProfileError::DataUnavailable { .. })
+        ));
+        assert!(matches!(
+            detector.classify_cached(&probe, &stale),
+            Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable
+            }
+        ));
+    }
+
+    #[test]
+    fn euclidean_cache_matches_model_scan() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut data = Vec::new();
+        for (sa, center) in [(1u8, 100.0), (2u8, 900.0)] {
+            for _ in 0..12 {
+                let samples: Vec<f64> = (0..4)
+                    .map(|i| center + i as f64 * 5.0 + rng.random_range(-1.0..1.0))
+                    .collect();
+                data.push(LabeledEdgeSet::new(
+                    SourceAddress(sa),
+                    EdgeSet::new(samples),
+                ));
+            }
+        }
+        let mut config = VProfileConfig::for_adc(&vprofile_analog::AdcConfig::vehicle_b(), 250_000);
+        config.prefix_len = 1;
+        config.suffix_len = 1;
+        config.metric = vprofile_sigstat::DistanceMetric::Euclidean;
+        let model = Trainer::new(config).train(&data).unwrap();
+        let cache = ScoringCache::build(&model).unwrap();
+        assert_eq!(cache.metric(), vprofile_sigstat::DistanceMetric::Euclidean);
+        for center in [100.0, 450.0, 900.0] {
+            let x: Vec<f64> = (0..4).map(|i| center + i as f64 * 5.0).collect();
+            let (want_id, want_d) = model.nearest_cluster(&x).unwrap();
+            let (got_id, got_d) = cache.nearest(&x).unwrap();
+            assert_eq!(want_id, got_id);
+            assert!((want_d - got_d).abs() < 1e-12);
+        }
     }
 
     #[test]

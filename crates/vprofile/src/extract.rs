@@ -75,6 +75,21 @@ impl EdgeSetExtractor {
         Ok(LabeledEdgeSet::new(sa, edge_set))
     }
 
+    /// Decodes only the claimed source address from a framed message window,
+    /// without extracting an edge set. This is the cheap routing probe the
+    /// sharded pipeline uses to assign a window to a worker shard: it walks
+    /// the arbitration field (with resynchronization and stuff-bit handling)
+    /// and stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VProfileError::SofNotFound`] /
+    /// [`VProfileError::TraceTooShort`] exactly as [`Self::extract`] would
+    /// for the same window.
+    pub fn peek_sa(&self, samples: &[f64]) -> Result<SourceAddress, VProfileError> {
+        self.walk_to_bit_33(samples).map(|(sa, _)| sa)
+    }
+
     /// `true` if the sample reads as dominant (logical 0).
     fn is_dominant(&self, v: f64) -> bool {
         v >= self.config.bit_threshold
@@ -255,6 +270,25 @@ mod tests {
             let extraction = extractor.extract(&trace.to_f64()).unwrap();
             assert_eq!(extraction.sa, SourceAddress(sa), "sa {sa:#x} misdecoded");
         }
+    }
+
+    #[test]
+    fn peek_sa_agrees_with_full_extraction() {
+        let (synth, extractor, tx) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        for sa in [0x00u8, 0x17, 0xAA, 0xFF] {
+            let wire = WireFrame::encode(&frame_with_sa(sa));
+            let trace = synth.synthesize(wire.bits(), &tx, &Environment::default(), &mut rng);
+            let samples = trace.to_f64();
+            let peeked = extractor.peek_sa(&samples).unwrap();
+            let extracted = extractor.extract(&samples).unwrap();
+            assert_eq!(peeked, extracted.sa);
+        }
+        let flat = vec![100.0; 2000];
+        assert_eq!(
+            extractor.peek_sa(&flat).unwrap_err(),
+            VProfileError::SofNotFound
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ mod update;
 
 pub use cluster::{cluster_by_distance, cluster_by_lut, group_by_sa, ClusterId, SaGroups};
 pub use config::VProfileConfig;
-pub use detect::{AnomalyKind, Detector, Verdict};
+pub use detect::{AnomalyKind, Detector, ScoringCache, Verdict};
 pub use edge::{EdgeSet, LabeledEdgeSet};
 pub use error::VProfileError;
 pub use extract::{cluster_extraction_threshold, EdgeSetExtractor};
