@@ -11,6 +11,12 @@
 //! Each run feeds the same raw sample stream, waits for the pipeline to
 //! drain, and reports frames per second over the feed-to-close wall clock.
 //!
+//! Every worker count is timed twice: once on the clean stream, once on a
+//! `dropout_1pct` variant (1 % seeded sample dropout, gaps ≤ 4 samples)
+//! so the artifact shows what capture faults cost the hot path — corrupted
+//! windows decode to garbage SAs and score as anomalies instead of taking
+//! the clean fast path.
+//!
 //! Speedup over the single-worker run is only meaningful on a multi-core
 //! host; the artifact records `available_parallelism` so consumers can
 //! judge the numbers, and CI regenerates it on its own runners.
@@ -19,8 +25,9 @@ use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+use vprofile_analog::Fault;
 use vprofile_ids::{IdsEngine, IdsPipeline, PipelineConfig, UpdatePolicy};
-use vprofile_vehicle::scenario::stress_fleet;
+use vprofile_vehicle::scenario::{chaos_stream, stress_fleet};
 use vprofile_vehicle::CaptureConfig;
 
 /// Worker counts the artifact reports, in run order.
@@ -32,11 +39,13 @@ const ECUS: usize = 8;
 
 #[derive(Serialize)]
 struct WorkerRun {
+    variant: &'static str,
     workers: usize,
     frames: u64,
     elapsed_s: f64,
     frames_per_sec: f64,
     speedup_vs_single: f64,
+    anomalies: u64,
     shard_frames: Vec<u64>,
 }
 
@@ -112,9 +121,10 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Captures and trains once, then times one pipeline run per worker count.
+/// Captures and trains once, then times one pipeline run per worker count
+/// and stream variant (clean and 1 % sample dropout).
 fn run(options: &Options) -> Result<Report, String> {
-    let (engine, stream, reps) = prepare(options.frames, options.seed)?;
+    let (engine, stream, faulted, reps) = prepare(options.frames, options.seed)?;
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -123,26 +133,30 @@ fn run(options: &Options) -> Result<Report, String> {
         reps * CAPTURE_FRAMES
     );
 
-    let mut runs: Vec<WorkerRun> = Vec::with_capacity(WORKER_COUNTS.len());
-    for workers in WORKER_COUNTS {
-        let (frames, elapsed_s, shard_frames) = timed_run(engine.clone(), &stream, reps, workers)?;
-        let frames_per_sec = frames as f64 / elapsed_s;
-        let speedup_vs_single = runs
-            .first()
-            .map(|single: &WorkerRun| frames_per_sec / single.frames_per_sec)
-            .unwrap_or(1.0);
-        eprintln!(
-            "workers {workers}: {frames} frames in {elapsed_s:.3} s → {frames_per_sec:.0} frames/s \
-             (×{speedup_vs_single:.2} vs single)"
-        );
-        runs.push(WorkerRun {
-            workers,
-            frames,
-            elapsed_s,
-            frames_per_sec,
-            speedup_vs_single,
-            shard_frames,
-        });
+    let mut runs: Vec<WorkerRun> = Vec::with_capacity(2 * WORKER_COUNTS.len());
+    for (variant, samples) in [("clean", &stream), ("dropout_1pct", &faulted)] {
+        let mut single_fps = None;
+        for workers in WORKER_COUNTS {
+            let (frames, elapsed_s, anomalies, shard_frames) =
+                timed_run(engine.clone(), samples, reps, workers)?;
+            let frames_per_sec = frames as f64 / elapsed_s;
+            let speedup_vs_single = single_fps.map(|s| frames_per_sec / s).unwrap_or(1.0);
+            single_fps.get_or_insert(frames_per_sec);
+            eprintln!(
+                "{variant} workers {workers}: {frames} frames in {elapsed_s:.3} s → \
+                 {frames_per_sec:.0} frames/s (×{speedup_vs_single:.2} vs single)"
+            );
+            runs.push(WorkerRun {
+                variant,
+                workers,
+                frames,
+                elapsed_s,
+                frames_per_sec,
+                speedup_vs_single,
+                anomalies,
+                shard_frames,
+            });
+        }
     }
 
     Ok(Report {
@@ -152,13 +166,20 @@ fn run(options: &Options) -> Result<Report, String> {
         frames_per_run: (reps * CAPTURE_FRAMES) as u64,
         available_parallelism: cores,
         note: "Speedup over one worker is bounded by available_parallelism; \
-               regenerate on a multi-core host (CI does) before reading the scaling numbers.",
+               regenerate on a multi-core host (CI does) before reading the scaling numbers. \
+               The dropout_1pct variant replays the same traffic with 1% seeded sample \
+               dropout, so its frame count and anomaly mix differ from the clean runs.",
         runs,
     })
 }
 
-/// Builds the trained engine and the replayable raw sample stream.
-fn prepare(frames_target: usize, seed: u64) -> Result<(IdsEngine, Vec<f64>, usize), String> {
+/// Builds the trained engine plus the clean and dropout-faulted replayable
+/// raw sample streams.
+#[allow(clippy::type_complexity)]
+fn prepare(
+    frames_target: usize,
+    seed: u64,
+) -> Result<(IdsEngine, Vec<f64>, Vec<f64>, usize), String> {
     let vehicle = stress_fleet(ECUS, seed);
     let capture = vehicle
         .capture(
@@ -182,22 +203,32 @@ fn prepare(frames_target: usize, seed: u64) -> Result<(IdsEngine, Vec<f64>, usiz
     for frame in capture.frames() {
         stream.extend(frame.trace.to_f64());
     }
+    let faulted = chaos_stream(
+        &capture,
+        seed,
+        &[Fault::Dropout {
+            prob: 0.01,
+            max_gap: 4,
+        }],
+    );
     let reps = frames_target.div_ceil(CAPTURE_FRAMES).max(1);
     Ok((
         IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
         stream,
+        faulted,
         reps,
     ))
 }
 
 /// Feeds `reps` repetitions of `stream` through a `workers`-wide pipeline
-/// and returns (frames scored, wall-clock seconds, per-shard frame counts).
+/// and returns (frames scored, wall-clock seconds, anomalies, per-shard
+/// frame counts).
 fn timed_run(
     engine: IdsEngine,
     stream: &[f64],
     reps: usize,
     workers: usize,
-) -> Result<(u64, f64, Vec<u64>), String> {
+) -> Result<(u64, f64, u64, Vec<u64>), String> {
     let mut pipeline =
         IdsPipeline::spawn_sharded(engine, PipelineConfig::default().with_workers(workers));
     let t0 = Instant::now();
@@ -223,5 +254,5 @@ fn timed_run(
             stats.frames
         ));
     }
-    Ok((stats.frames, elapsed_s, stats.shard_frames))
+    Ok((stats.frames, elapsed_s, stats.anomalies, stats.shard_frames))
 }

@@ -558,7 +558,7 @@ fn singular_cov(frames: usize, seed: u64) -> Result<String, vprofile::VProfileEr
     let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
     let mut rows = Vec::new();
     for bits in [16u32, 12, 10, 8, 6] {
-        let reduced = capture.requantize(bits);
+        let reduced = capture.requantize(bits)?;
         let config = vprofile::VProfileConfig::for_adc(reduced.adc(), vehicle.bit_rate_bps());
         let extracted = reduced.extract(&EdgeSetExtractor::new(config.clone()));
         let strict = Trainer::new(config.clone().with_max_ridge(0.0))

@@ -1,3 +1,4 @@
+use crate::AnalogError;
 use serde::{Deserialize, Serialize};
 use vprofile_sigstat::{decimate, requantize};
 
@@ -68,8 +69,15 @@ impl AdcConfig {
 
     /// Converts a differential voltage to an offset-binary code on the
     /// `scale_bits` scale, truncated to the effective resolution and clamped
-    /// to the representable range.
+    /// to the representable range. Non-finite input saturates like an
+    /// overdriven front-end: `+∞` to full scale, `−∞` and NaN to code 0 —
+    /// never a garbage code.
     pub fn digitize(&self, volts: f64) -> i64 {
+        let volts = if volts.is_nan() {
+            self.v_min
+        } else {
+            volts.clamp(self.v_min, self.v_max)
+        };
         let span = self.v_max - self.v_min;
         let code = ((volts - self.v_min) / span * self.full_scale_code() as f64).round() as i64;
         let code = code.clamp(0, self.full_scale_code());
@@ -146,36 +154,45 @@ impl VoltageTrace {
     /// Software downsampling by an integer factor (thesis §4.3), yielding a
     /// trace whose nominal ADC rate is divided accordingly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `factor == 0`.
-    pub fn downsample(&self, factor: usize) -> VoltageTrace {
+    /// [`AnalogError::ZeroDecimationFactor`] if `factor == 0`.
+    pub fn downsample(&self, factor: usize) -> Result<VoltageTrace, AnalogError> {
+        if factor == 0 {
+            return Err(AnalogError::ZeroDecimationFactor);
+        }
         let f64codes: Vec<f64> = self.codes.iter().map(|&c| c as f64).collect();
         let kept = decimate(&f64codes, factor);
-        VoltageTrace {
+        Ok(VoltageTrace {
             codes: kept.into_iter().map(|c| c as i64).collect(),
             adc: AdcConfig {
                 sample_rate_hz: self.adc.sample_rate_hz / factor as f64,
                 ..self.adc
             },
-        }
+        })
     }
 
     /// Software resolution reduction by dropping least-significant bits
     /// (thesis §4.3), keeping codes on the original scale so traces remain
     /// comparable across resolutions (Figure 3.1b).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `to_bits` is zero or exceeds the current resolution.
-    pub fn requantize(&self, to_bits: u32) -> VoltageTrace {
-        assert!(
-            to_bits <= self.adc.resolution_bits,
-            "cannot requantize {}-bit data up to {to_bits} bits",
-            self.adc.resolution_bits
-        );
+    /// [`AnalogError::ZeroResolution`] if `to_bits == 0`,
+    /// [`AnalogError::ResolutionExceedsNative`] if `to_bits` exceeds the
+    /// current effective resolution.
+    pub fn requantize(&self, to_bits: u32) -> Result<VoltageTrace, AnalogError> {
+        if to_bits == 0 {
+            return Err(AnalogError::ZeroResolution);
+        }
+        if to_bits > self.adc.resolution_bits {
+            return Err(AnalogError::ResolutionExceedsNative {
+                native: self.adc.resolution_bits,
+                requested: to_bits,
+            });
+        }
         let codes = requantize(&self.codes, self.adc.scale_bits, to_bits);
-        VoltageTrace {
+        Ok(VoltageTrace {
             codes,
             adc: AdcConfig {
                 resolution_bits: to_bits,
@@ -183,7 +200,7 @@ impl VoltageTrace {
                 // place, matching the thesis' method.
                 ..self.adc
             },
-        }
+        })
     }
 }
 
@@ -231,7 +248,7 @@ mod tests {
     fn downsample_halves_rate_and_length() {
         let adc = AdcConfig::vehicle_a();
         let trace = VoltageTrace::new((0..100).collect(), adc);
-        let down = trace.downsample(2);
+        let down = trace.downsample(2).unwrap();
         assert_eq!(down.len(), 50);
         assert_eq!(down.adc().sample_rate_hz, 10e6);
         assert_eq!(down.codes()[1], 2);
@@ -241,11 +258,44 @@ mod tests {
     fn requantize_drops_lsbs_in_place() {
         let adc = AdcConfig::vehicle_a();
         let trace = VoltageTrace::new(vec![0xFFFF, 0x1234], adc);
-        let q = trace.requantize(8);
+        let q = trace.requantize(8).unwrap();
         assert_eq!(q.codes(), &[0xFF00, 0x1200]);
         assert_eq!(q.adc().resolution_bits, 8);
         // Scale retained.
         assert_eq!(q.adc().v_max, adc.v_max);
+    }
+
+    #[test]
+    fn degenerate_reduction_arguments_are_typed_errors() {
+        let trace = VoltageTrace::new(vec![1, 2, 3], AdcConfig::vehicle_b());
+        assert_eq!(
+            trace.downsample(0).unwrap_err(),
+            AnalogError::ZeroDecimationFactor
+        );
+        assert_eq!(
+            trace.requantize(0).unwrap_err(),
+            AnalogError::ZeroResolution
+        );
+        assert_eq!(
+            trace.requantize(16).unwrap_err(),
+            AnalogError::ResolutionExceedsNative {
+                native: 12,
+                requested: 16,
+            }
+        );
+    }
+
+    #[test]
+    fn digitize_clamps_non_finite_input() {
+        // Regression: NaN used to saturate-cast to code 0 by accident and
+        // ±∞ produced whatever the float cast said; now the mapping is
+        // deliberate and rail-bound.
+        let adc = AdcConfig::vehicle_b();
+        assert_eq!(adc.digitize(f64::NAN), 0);
+        assert_eq!(adc.digitize(f64::NEG_INFINITY), 0);
+        assert_eq!(adc.digitize(f64::INFINITY), adc.full_scale_code());
+        let a = AdcConfig::vehicle_a();
+        assert_eq!(a.digitize(f64::INFINITY), a.full_scale_code());
     }
 
     #[test]
@@ -274,7 +324,7 @@ mod tests {
             factor in 1usize..8,
         ) {
             let trace = VoltageTrace::new(codes.clone(), AdcConfig::vehicle_b());
-            let down = trace.downsample(factor);
+            let down = trace.downsample(factor).unwrap();
             for (i, &c) in down.codes().iter().enumerate() {
                 prop_assert_eq!(c, codes[i * factor]);
             }

@@ -135,6 +135,74 @@ impl Default for Environment {
     }
 }
 
+/// A time-varying supply-rail condition spanning a capture session.
+///
+/// [`PowerEvent`] models the thesis' steady-state load droops (tens of
+/// millivolts); `PowerState` models the transient the thesis never
+/// exercises — a brownout ramp, as seen during engine cranking or a harness
+/// short, where the rail sags by whole volts and recovers. Used by the
+/// `vehicle-sim` chaos scenarios to drive degraded-mode testing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PowerState {
+    /// Rail steady at the nominal voltage.
+    #[default]
+    Nominal,
+    /// A trapezoidal sag: the rail ramps down over `ramp_s` starting at
+    /// `start_s`, holds `depth_v` below nominal for `hold_s`, then ramps
+    /// back up over `ramp_s`.
+    Brownout {
+        /// Session time at which the sag begins, in seconds.
+        start_s: f64,
+        /// Ramp-down (and ramp-up) duration in seconds; `<= 0` means a step.
+        ramp_s: f64,
+        /// Duration at full depth, in seconds.
+        hold_s: f64,
+        /// Sag depth below nominal, in volts.
+        depth_v: f64,
+    },
+}
+
+impl PowerState {
+    /// The battery voltage at session time `t_s`, given the nominal rail.
+    pub fn battery_v_at(&self, nominal_v: f64, t_s: f64) -> f64 {
+        nominal_v - self.sag_v_at(t_s)
+    }
+
+    /// How far the rail sits below nominal at `t_s`, in volts.
+    pub fn sag_v_at(&self, t_s: f64) -> f64 {
+        match *self {
+            PowerState::Nominal => 0.0,
+            PowerState::Brownout {
+                start_s,
+                ramp_s,
+                hold_s,
+                depth_v,
+            } => {
+                let ramp = ramp_s.max(0.0);
+                let t = t_s - start_s;
+                if t < 0.0 || t > 2.0 * ramp + hold_s {
+                    0.0
+                } else if t < ramp {
+                    depth_v * (t / ramp)
+                } else if t <= ramp + hold_s {
+                    depth_v
+                } else {
+                    depth_v * (1.0 - (t - ramp - hold_s) / ramp)
+                }
+            }
+        }
+    }
+
+    /// The sag as a fraction of the nominal rail at `t_s` (`0..=1`), the
+    /// scale factor chaos scenarios apply to the differential drive.
+    pub fn sag_fraction_at(&self, nominal_v: f64, t_s: f64) -> f64 {
+        if nominal_v <= 0.0 {
+            return 0.0;
+        }
+        (self.sag_v_at(t_s) / nominal_v).clamp(0.0, 1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +255,43 @@ mod tests {
     fn event_display_names_are_human_readable() {
         assert_eq!(PowerEvent::LightsAndAc.to_string(), "lights + a/c");
         assert_eq!(PowerEvent::Baseline.to_string(), "baseline");
+    }
+
+    #[test]
+    fn nominal_power_state_never_sags() {
+        let state = PowerState::Nominal;
+        for t in [0.0, 1.0, 100.0] {
+            assert_eq!(state.battery_v_at(13.6, t), 13.6);
+            assert_eq!(state.sag_fraction_at(13.6, t), 0.0);
+        }
+    }
+
+    #[test]
+    fn brownout_ramp_is_trapezoidal() {
+        let state = PowerState::Brownout {
+            start_s: 1.0,
+            ramp_s: 0.5,
+            hold_s: 2.0,
+            depth_v: 6.8,
+        };
+        assert_eq!(state.sag_v_at(0.5), 0.0); // before
+        assert!((state.sag_v_at(1.25) - 3.4).abs() < 1e-12); // mid ramp-down
+        assert_eq!(state.sag_v_at(2.0), 6.8); // hold
+        assert!((state.sag_v_at(3.75) - 3.4).abs() < 1e-12); // mid ramp-up
+        assert_eq!(state.sag_v_at(5.0), 0.0); // after
+        assert!((state.sag_fraction_at(13.6, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_ramp_brownout_is_a_step() {
+        let state = PowerState::Brownout {
+            start_s: 1.0,
+            ramp_s: 0.0,
+            hold_s: 1.0,
+            depth_v: 2.0,
+        };
+        assert_eq!(state.sag_v_at(0.999), 0.0);
+        assert_eq!(state.sag_v_at(1.5), 2.0);
+        assert_eq!(state.sag_v_at(2.5), 0.0);
     }
 }

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced by the analog capture layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalogError {
+    /// [`crate::VoltageTrace::downsample`] was asked to decimate by zero —
+    /// there is no stride-0 sampling.
+    ZeroDecimationFactor,
+    /// [`crate::VoltageTrace::requantize`] was asked for a 0-bit resolution
+    /// — a codeless converter cannot represent anything.
+    ZeroResolution,
+    /// [`crate::VoltageTrace::requantize`] was asked for a resolution above
+    /// the data's native one; dropped LSBs cannot be reinvented.
+    ResolutionExceedsNative {
+        /// Effective resolution of the data.
+        native: u32,
+        /// The (higher) resolution requested.
+        requested: u32,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::ZeroDecimationFactor => f.write_str("downsample factor must be non-zero"),
+            AnalogError::ZeroResolution => f.write_str("requantize target must be at least 1 bit"),
+            AnalogError::ResolutionExceedsNative { native, requested } => write!(
+                f,
+                "cannot requantize {native}-bit data up to {requested} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = [
+            AnalogError::ZeroDecimationFactor,
+            AnalogError::ZeroResolution,
+            AnalogError::ResolutionExceedsNative {
+                native: 12,
+                requested: 16,
+            },
+        ];
+        for err in cases {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

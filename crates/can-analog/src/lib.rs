@@ -50,12 +50,16 @@
 
 mod adc;
 mod environment;
+mod error;
+mod fault;
 mod noise;
 mod transceiver;
 mod waveform;
 
 pub use adc::{AdcConfig, VoltageTrace};
-pub use environment::{Environment, PowerEvent};
+pub use environment::{Environment, PowerEvent, PowerState};
+pub use error::AnalogError;
+pub use fault::{Fault, FaultInjector};
 pub use noise::sample_normal;
 pub use transceiver::{EffectiveElectricals, TransceiverModel};
 pub use waveform::FrameSynthesizer;

@@ -1,0 +1,172 @@
+//! Bus-off recovery coverage: the full error-confinement journey a node
+//! takes under a bus-off attack and back.
+//!
+//! The module tests in `fault.rs` pin individual counter rules; this suite
+//! walks the whole state machine end to end — error-active through
+//! error-passive to bus-off, the frozen-counter quarantine, the reset
+//! re-join, and the arithmetic of attacks interleaved with legitimate
+//! traffic.
+
+use vprofile_can::fault::{
+    bus_off_attack_budget, ErrorCounters, ErrorEvent, FaultState, BUS_OFF_THRESHOLD,
+    ERROR_PASSIVE_THRESHOLD,
+};
+
+/// Drives a fresh node through the canonical bus-off attack and recovery:
+/// every state transition happens at exactly the documented counter value.
+#[test]
+fn full_attack_and_recovery_cycle() {
+    let mut node = ErrorCounters::new();
+    assert_eq!(node.state(), FaultState::ErrorActive);
+
+    // Phase 1: forced transmit errors walk the node to error-passive at
+    // TEC = 128 (16 × 8) and bus-off once TEC exceeds 255.
+    let mut transitions = Vec::new();
+    let mut previous = node.state();
+    for _ in 0..bus_off_attack_budget() {
+        let state = node.record(ErrorEvent::TransmitError);
+        if state != previous {
+            transitions.push((node.tec(), state));
+            previous = state;
+        }
+    }
+    assert_eq!(
+        transitions,
+        vec![
+            (ERROR_PASSIVE_THRESHOLD, FaultState::ErrorPassive),
+            (BUS_OFF_THRESHOLD + 1, FaultState::BusOff),
+        ],
+        "the walk must pass through error-passive exactly once"
+    );
+
+    // Phase 2: a bus-off node is quarantined — no event moves it.
+    let frozen = node;
+    for event in [
+        ErrorEvent::TransmitError,
+        ErrorEvent::ReceiveError,
+        ErrorEvent::SuccessfulTransmit,
+        ErrorEvent::SuccessfulReceive,
+    ] {
+        assert_eq!(node.record(event), FaultState::BusOff);
+    }
+    assert_eq!(node, frozen, "bus-off counters must not move");
+
+    // Phase 3: reset models the 128 × 11 recessive-bit recovery; the node
+    // re-joins error-active with clean counters and normal traffic keeps
+    // it there.
+    node.reset();
+    assert_eq!(node.state(), FaultState::ErrorActive);
+    assert_eq!((node.tec(), node.rec()), (0, 0));
+    for _ in 0..100 {
+        assert_eq!(
+            node.record(ErrorEvent::SuccessfulTransmit),
+            FaultState::ErrorActive
+        );
+        assert_eq!(
+            node.record(ErrorEvent::SuccessfulReceive),
+            FaultState::ErrorActive
+        );
+    }
+}
+
+/// The attack budget is a hard boundary: 31 consecutive forced errors are
+/// survivable, the 32nd disconnects the node.
+#[test]
+fn attack_budget_boundary_is_exact() {
+    assert_eq!(bus_off_attack_budget(), 32);
+    let mut node = ErrorCounters::new();
+    for k in 1..=31 {
+        node.record(ErrorEvent::TransmitError);
+        assert!(!node.is_bus_off(), "bus-off too early after {k} errors");
+    }
+    assert_eq!(node.tec(), 248);
+    assert_eq!(node.state(), FaultState::ErrorPassive);
+    node.record(ErrorEvent::TransmitError);
+    assert!(node.is_bus_off(), "the 32nd error must disconnect the node");
+}
+
+/// A victim that still completes frames between forced errors nets +7 per
+/// attack round, stretching the budget from 32 to 37 rounds — the reason
+/// bus-off attacks must outpace the victim's schedule.
+#[test]
+fn interleaved_successes_stretch_the_attack() {
+    let mut node = ErrorCounters::new();
+    let mut rounds = 0u32;
+    while !node.is_bus_off() {
+        node.record(ErrorEvent::TransmitError);
+        if !node.is_bus_off() {
+            node.record(ErrorEvent::SuccessfulTransmit);
+        }
+        rounds += 1;
+        assert!(rounds < 100, "attack must still terminate");
+    }
+    assert_eq!(
+        rounds, 37,
+        "one success per round nets +7: ceil((255 − 7) / 7) + 1 rounds"
+    );
+}
+
+/// Error-passive is recoverable without a reset: successful traffic walks
+/// the counters back below the threshold and the node turns error-active
+/// again on its own.
+#[test]
+fn error_passive_recovers_without_reset() {
+    let mut node = ErrorCounters::new();
+    for _ in 0..16 {
+        node.record(ErrorEvent::TransmitError);
+    }
+    assert_eq!(node.state(), FaultState::ErrorPassive);
+    assert_eq!(node.tec(), ERROR_PASSIVE_THRESHOLD);
+    // One successful transmit drops TEC to 127 — immediately error-active.
+    assert_eq!(
+        node.record(ErrorEvent::SuccessfulTransmit),
+        FaultState::ErrorActive
+    );
+    // And the node stays recoverable all the way down to zero.
+    for _ in 0..127 {
+        node.record(ErrorEvent::SuccessfulTransmit);
+    }
+    assert_eq!(node.tec(), 0);
+    assert_eq!(node.state(), FaultState::ErrorActive);
+}
+
+/// Repeated attack/recovery cycles are memoryless: after a reset the node
+/// costs the attacker the full budget again.
+#[test]
+fn recovery_leaves_no_residue_for_the_next_attack() {
+    let mut node = ErrorCounters::new();
+    for cycle in 0..3 {
+        let mut errors = 0u16;
+        while !node.is_bus_off() {
+            node.record(ErrorEvent::TransmitError);
+            errors += 1;
+        }
+        assert_eq!(
+            errors,
+            bus_off_attack_budget(),
+            "cycle {cycle} must cost the full budget"
+        );
+        node.reset();
+        assert_eq!(node, ErrorCounters::new(), "reset must be total");
+    }
+}
+
+/// Counters survive a serialization round trip mid-journey, so a simulated
+/// node can be checkpointed in any state — including bus-off.
+#[test]
+fn counters_round_trip_through_serde() {
+    let mut node = ErrorCounters::new();
+    for _ in 0..20 {
+        node.record(ErrorEvent::TransmitError);
+        node.record(ErrorEvent::ReceiveError);
+    }
+    for state in [FaultState::ErrorPassive, FaultState::BusOff] {
+        while node.state() != state {
+            node.record(ErrorEvent::TransmitError);
+        }
+        let json = serde_json::to_string(&node).expect("serialize");
+        let restored: ErrorCounters = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored, node);
+        assert_eq!(restored.state(), state);
+    }
+}

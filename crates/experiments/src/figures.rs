@@ -143,7 +143,10 @@ pub fn fig_3_1(seed: u64) -> Result<Vec<Series>, VProfileError> {
 
     // (a) Rate reduction, laterally scaled to µs.
     for factor in [1usize, 2, 4, 8] {
-        let reduced = frame.trace.downsample(factor);
+        let reduced = frame
+            .trace
+            .downsample(factor)
+            .map_err(VProfileError::from)?;
         let config = vprofile::VProfileConfig::for_adc(reduced.adc(), capture.bit_rate_bps());
         let extractor = EdgeSetExtractor::new(config);
         if let Ok(obs) = extractor.extract(&reduced.to_f64()) {
@@ -162,7 +165,7 @@ pub fn fig_3_1(seed: u64) -> Result<Vec<Series>, VProfileError> {
     // (b) Resolution reduction at the native rate.
     let config = vprofile::VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
     for bits in [16u32, 12, 8, 6, 4] {
-        let reduced = frame.trace.requantize(bits);
+        let reduced = frame.trace.requantize(bits).map_err(VProfileError::from)?;
         let extractor = EdgeSetExtractor::new(config.clone());
         if let Ok(obs) = extractor.extract(&reduced.to_f64()) {
             series.push(Series::new(

@@ -197,7 +197,10 @@ pub fn table_4_6(frames: usize, seed: u64) -> Result<Vec<SweepCell>, VProfileErr
     let mut cells = Vec::new();
     for &factor in &[1usize, 2, 4, 8] {
         for &bits in &[16u32, 14, 12, 10] {
-            let reduced = capture.downsample(factor).requantize(bits);
+            let reduced = capture
+                .downsample(factor)
+                .and_then(|c| c.requantize(bits))
+                .map_err(VProfileError::from)?;
             cells.push(sweep_cell(vehicle.clone(), reduced, seed)?);
         }
     }
@@ -215,7 +218,7 @@ pub fn table_4_7(frames: usize, seed: u64) -> Result<Vec<SweepCell>, VProfileErr
     let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
     let mut cells = Vec::new();
     for &factor in &[1usize, 2, 4] {
-        let reduced = capture.downsample(factor);
+        let reduced = capture.downsample(factor).map_err(VProfileError::from)?;
         cells.push(sweep_cell(vehicle.clone(), reduced, seed)?);
     }
     Ok(cells)

@@ -25,6 +25,12 @@ pub enum AlarmClass {
     OutOfProfile,
     /// The frame could not be parsed at all.
     Unparseable,
+    /// A shard ran in degraded mode (breaker open): capture integrity was
+    /// suspect, so no hard verdict exists for these frames.
+    Degraded,
+    /// Frames lost to worker restarts, failed shards, or backpressure
+    /// shedding.
+    Dropped,
 }
 
 impl fmt::Display for AlarmClass {
@@ -34,6 +40,8 @@ impl fmt::Display for AlarmClass {
             AlarmClass::Impersonation => f.write_str("impersonation"),
             AlarmClass::OutOfProfile => f.write_str("out-of-profile"),
             AlarmClass::Unparseable => f.write_str("unparseable"),
+            AlarmClass::Degraded => f.write_str("degraded"),
+            AlarmClass::Dropped => f.write_str("dropped"),
         }
     }
 }
@@ -99,28 +107,39 @@ impl AlarmAggregator {
     /// Folds one event in. Returns a snapshot of the incident when it
     /// should be escalated (first occurrence, then every `escalate_every`
     /// occurrences), `None` otherwise.
+    ///
+    /// Degraded and dropped windows open their own incident classes —
+    /// they are runtime-integrity campaigns, not anomalies, so they do not
+    /// grow [`AlarmAggregator::anomalies_seen`].
     pub fn absorb(&mut self, event: &IdsEvent) -> Option<Incident> {
         self.frames_seen += 1;
-        let (class, suspected_origin) = match (&event.verdict, event.extraction_failed) {
-            (_, true) => (AlarmClass::Unparseable, None),
-            (Verdict::Ok { .. }, false) => return None,
-            (Verdict::Anomaly { kind }, false) => match kind {
-                AnomalyKind::UnknownSa { .. } => (AlarmClass::UnknownSa, None),
-                AnomalyKind::ClusterMismatch { predicted, .. } => {
-                    (AlarmClass::Impersonation, Some(predicted.0))
-                }
-                AnomalyKind::ThresholdExceeded { .. } => (AlarmClass::OutOfProfile, None),
-                AnomalyKind::Unscorable => (AlarmClass::Unparseable, None),
-            },
+        let (class, sa, suspected_origin) = match event {
+            IdsEvent::Degraded { .. } => (AlarmClass::Degraded, None, None),
+            IdsEvent::Dropped { .. } => (AlarmClass::Dropped, None, None),
+            IdsEvent::Scored(scored) => {
+                let (class, suspected_origin) = match (&scored.verdict, scored.extraction_failed) {
+                    (_, true) => (AlarmClass::Unparseable, None),
+                    (Verdict::Ok { .. }, false) => return None,
+                    (Verdict::Anomaly { kind }, false) => match kind {
+                        AnomalyKind::UnknownSa { .. } => (AlarmClass::UnknownSa, None),
+                        AnomalyKind::ClusterMismatch { predicted, .. } => {
+                            (AlarmClass::Impersonation, Some(predicted.0))
+                        }
+                        AnomalyKind::ThresholdExceeded { .. } => (AlarmClass::OutOfProfile, None),
+                        AnomalyKind::Unscorable => (AlarmClass::Unparseable, None),
+                    },
+                };
+                self.anomalies_seen += 1;
+                (class, scored.sa.map(|sa| sa.raw()), suspected_origin)
+            }
         };
-        self.anomalies_seen += 1;
-        let sa = event.sa.map(|sa| sa.raw());
+        let stream_pos = event.stream_pos();
         let incident = self
             .incidents
             .entry((class, sa))
             .and_modify(|incident| {
                 incident.count += 1;
-                incident.last_seen = event.stream_pos;
+                incident.last_seen = stream_pos;
                 if suspected_origin.is_some() {
                     incident.suspected_origin = suspected_origin;
                 }
@@ -128,8 +147,8 @@ impl AlarmAggregator {
             .or_insert(Incident {
                 class,
                 sa,
-                first_seen: event.stream_pos,
-                last_seen: event.stream_pos,
+                first_seen: stream_pos,
+                last_seen: stream_pos,
                 count: 1,
                 suspected_origin,
             });
@@ -176,11 +195,13 @@ impl AlarmAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::{DegradeReason, DropReason};
+    use crate::ScoredEvent;
     use vprofile::{AnomalyKind, ClusterId};
     use vprofile_can::SourceAddress;
 
     fn ok_event(pos: u64) -> IdsEvent {
-        IdsEvent {
+        IdsEvent::Scored(ScoredEvent {
             stream_pos: pos,
             sa: Some(SourceAddress(1)),
             verdict: Verdict::Ok {
@@ -189,11 +210,11 @@ mod tests {
             },
             extraction_failed: false,
             retrain_due: false,
-        }
+        })
     }
 
     fn mismatch_event(pos: u64, sa: u8, origin: usize) -> IdsEvent {
-        IdsEvent {
+        IdsEvent::Scored(ScoredEvent {
             stream_pos: pos,
             sa: Some(SourceAddress(sa)),
             verdict: Verdict::Anomaly {
@@ -205,7 +226,7 @@ mod tests {
             },
             extraction_failed: false,
             retrain_due: false,
-        }
+        })
     }
 
     #[test]
@@ -265,7 +286,7 @@ mod tests {
     #[test]
     fn unparseable_frames_are_their_own_class() {
         let mut agg = AlarmAggregator::new(5);
-        let event = IdsEvent {
+        let event = IdsEvent::Scored(ScoredEvent {
             stream_pos: 9,
             sa: None,
             verdict: Verdict::Anomaly {
@@ -275,10 +296,36 @@ mod tests {
             },
             extraction_failed: true,
             retrain_due: false,
-        };
+        });
         let escalation = agg.absorb(&event).expect("escalates");
         assert_eq!(escalation.class, AlarmClass::Unparseable);
         assert_eq!(escalation.sa, None);
+    }
+
+    #[test]
+    fn degraded_and_dropped_windows_open_integrity_incidents() {
+        let mut agg = AlarmAggregator::new(5);
+        let degraded = IdsEvent::Degraded {
+            stream_pos: 4,
+            shard: 1,
+            reason: DegradeReason::ExtractionFailures,
+        };
+        let escalation = agg.absorb(&degraded).expect("first degraded escalates");
+        assert_eq!(escalation.class, AlarmClass::Degraded);
+        let dropped = IdsEvent::Dropped {
+            stream_pos: 6,
+            shard: 1,
+            reason: DropReason::WorkerRestart,
+        };
+        let escalation = agg.absorb(&dropped).expect("first dropped escalates");
+        assert_eq!(escalation.class, AlarmClass::Dropped);
+        assert_eq!(agg.frames_seen(), 2);
+        assert_eq!(
+            agg.anomalies_seen(),
+            0,
+            "integrity events are not anomalies"
+        );
+        assert!(agg.summary().contains("degraded"));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The synchronous IDS core: framing → extraction → detection → events,
 //! plus the §5.3 online-update policy.
 
+use crate::event::{IdsEvent, ScoredEvent};
 use crate::StreamFramer;
 use serde::{Deserialize, Serialize};
-use vprofile::{Detector, EdgeSetExtractor, LabeledEdgeSet, Model, ScoringCache, Verdict};
+use vprofile::{
+    Detector, EdgeSetExtractor, LabeledEdgeSet, Model, QuarantineSet, ScoringCache, Verdict,
+};
 use vprofile_can::SourceAddress;
 
 /// When and how the engine feeds accepted messages back into the model
@@ -48,24 +51,6 @@ impl UpdatePolicy {
     }
 }
 
-/// One detection event produced by the engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct IdsEvent {
-    /// Stream position (sample index) of the frame window's start.
-    pub stream_pos: u64,
-    /// The claimed source address, when extraction succeeded.
-    pub sa: Option<SourceAddress>,
-    /// The detector's verdict. Frames whose extraction failed are reported
-    /// as anomalies with [`IdsEvent::extraction_failed`] set.
-    pub verdict: Verdict,
-    /// `true` if Algorithm 1 could not parse the frame window (treated as
-    /// anomalous: an unparseable transmission on a healthy bus is itself
-    /// suspicious).
-    pub extraction_failed: bool,
-    /// `true` once the update policy wants a full retrain.
-    pub retrain_due: bool,
-}
-
 /// Lifecycle of the engine's batched-scoring cache.
 ///
 /// The cache stacks every cluster's inverse Cholesky factor (see
@@ -97,6 +82,7 @@ pub struct IdsEngine {
     accepted_count: usize,
     pending_updates: Vec<LabeledEdgeSet>,
     cache: CacheState,
+    quarantine: QuarantineSet,
 }
 
 impl IdsEngine {
@@ -114,6 +100,7 @@ impl IdsEngine {
             accepted_count: 0,
             pending_updates: Vec::new(),
             cache: CacheState::Stale,
+            quarantine: QuarantineSet::new(),
         }
     }
 
@@ -129,6 +116,30 @@ impl IdsEngine {
         self.accepted_count = 0;
         self.pending_updates.clear();
         self.cache = CacheState::Stale;
+        self.quarantine.clear();
+    }
+
+    /// Quarantines an SA from online-update absorption: its observations
+    /// are still scored, but never fed back into the model. Any buffered
+    /// updates for it are discarded.
+    pub fn quarantine_sa(&mut self, sa: u8) {
+        self.quarantine.insert(sa);
+        self.pending_updates.retain(|o| o.sa.0 != sa);
+    }
+
+    /// Releases one SA from quarantine.
+    pub fn release_sa(&mut self, sa: u8) {
+        self.quarantine.remove(sa);
+    }
+
+    /// Releases every quarantined SA (fault cleared).
+    pub fn release_all_quarantined(&mut self) {
+        self.quarantine.clear();
+    }
+
+    /// The SAs currently quarantined from model updates.
+    pub fn quarantined(&self) -> &QuarantineSet {
+        &self.quarantine
     }
 
     /// Feeds raw samples; returns one event per completed frame.
@@ -169,7 +180,10 @@ impl IdsEngine {
                     CacheState::Stale | CacheState::Unavailable => detector.classify(&observation),
                 };
                 let mut retrain_due = false;
-                if !verdict.is_anomaly() && self.policy.is_enabled() {
+                if !verdict.is_anomaly()
+                    && self.policy.is_enabled()
+                    && !self.quarantine.contains(observation.sa.0)
+                {
                     self.accepted_count += 1;
                     if self.accepted_count.is_multiple_of(self.policy.interval) {
                         self.pending_updates.push(observation.clone());
@@ -180,15 +194,15 @@ impl IdsEngine {
                     }
                     retrain_due = self.model.needs_retrain(self.policy.retrain_bound);
                 }
-                IdsEvent {
+                IdsEvent::Scored(ScoredEvent {
                     stream_pos,
                     sa: Some(observation.sa),
                     verdict,
                     extraction_failed: false,
                     retrain_due,
-                }
+                })
             }
-            Err(_) => IdsEvent {
+            Err(_) => IdsEvent::Scored(ScoredEvent {
                 stream_pos,
                 sa: None,
                 verdict: Verdict::Anomaly {
@@ -198,7 +212,7 @@ impl IdsEngine {
                 },
                 extraction_failed: true,
                 retrain_due: false,
-            },
+            }),
         }
     }
 
@@ -252,9 +266,9 @@ mod tests {
             events.push(last);
         }
         assert_eq!(events.len(), 60);
-        let anomalies = events.iter().filter(|e| e.verdict.is_anomaly()).count();
+        let anomalies = events.iter().filter(|e| e.is_anomaly()).count();
         assert_eq!(anomalies, 0, "clean replay must not alarm");
-        assert!(events.iter().all(|e| !e.extraction_failed));
+        assert!(events.iter().all(|e| !e.extraction_failed()));
     }
 
     #[test]
@@ -265,7 +279,9 @@ mod tests {
             stream.extend(frame.trace.to_f64());
         }
         let events = engine.process_samples(&stream);
-        assert!(events.windows(2).all(|w| w[0].stream_pos < w[1].stream_pos));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].stream_pos() < w[1].stream_pos()));
     }
 
     #[test]
@@ -277,8 +293,8 @@ mod tests {
         stream.extend(vec![1000.0; 600]);
         let events = engine.process_samples(&stream);
         assert_eq!(events.len(), 1);
-        assert!(events[0].extraction_failed);
-        assert!(events[0].verdict.is_anomaly());
+        assert!(events[0].extraction_failed());
+        assert!(events[0].is_anomaly());
     }
 
     #[test]
@@ -291,7 +307,7 @@ mod tests {
             let event = engine.process_window(i as u64, &window);
             let obs = extractor.extract(&window).unwrap();
             let direct = Detector::with_margin(&model, 2.0).classify(&obs);
-            match (event.verdict, direct) {
+            match (*event.verdict().unwrap(), direct) {
                 (
                     Verdict::Ok {
                         cluster: a,
@@ -323,7 +339,7 @@ mod tests {
         // repeatedly; a stale cache would misscore against the old factors.
         let events = engine.process_samples(&stream);
         assert_eq!(events.len(), 80);
-        let anomalies = events.iter().filter(|e| e.verdict.is_anomaly()).count();
+        let anomalies = events.iter().filter(|e| e.is_anomaly()).count();
         assert_eq!(anomalies, 0, "clean replay with updates must not alarm");
     }
 
@@ -355,9 +371,37 @@ mod tests {
         }
         let events = engine.process_samples(&stream);
         assert!(
-            events.iter().any(|e| e.retrain_due),
+            events.iter().any(|e| e.retrain_due()),
             "retrain flag never raised"
         );
+    }
+
+    #[test]
+    fn quarantined_sas_are_scored_but_never_absorbed() {
+        let (engine, capture) = trained_setup(800);
+        let model = engine.model().clone();
+        let before: usize = model.clusters().iter().map(|c| c.count()).sum();
+        let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
+        // Quarantine every possible SA: updates must be fully suppressed.
+        for sa in 0..=0xFF {
+            engine.quarantine_sa(sa);
+        }
+        let mut stream = Vec::new();
+        for frame in capture.frames().iter().take(80) {
+            stream.extend(frame.trace.to_f64());
+        }
+        let events = engine.process_samples(&stream);
+        engine.apply_pending_updates();
+        assert_eq!(events.len(), 80);
+        assert!(
+            events.iter().all(|e| e.verdict().is_some()),
+            "quarantine must not suppress scoring"
+        );
+        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        assert_eq!(after, before, "quarantined SAs must not grow the model");
+        assert!(!engine.quarantined().is_empty());
+        engine.release_all_quarantined();
+        assert!(engine.quarantined().is_empty());
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Detection events, including the degraded-mode variants.
+//!
+//! Historically the engine emitted one flat struct per frame; the
+//! self-healing pipeline adds two non-scored outcomes — a window dropped
+//! during a worker restart (or by backpressure shedding) and a window
+//! consumed while a shard's circuit breaker is open. [`IdsEvent`] is the
+//! sum of the three; [`ScoredEvent`] is the classic scored record.
+
+use crate::health::{DegradeReason, DropReason};
+use serde::{Deserialize, Serialize};
+use vprofile::Verdict;
+use vprofile_can::SourceAddress;
+
+/// One scored detection record (the historical event shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredEvent {
+    /// Stream position (sample index) of the frame window's start.
+    pub stream_pos: u64,
+    /// The claimed source address, when extraction succeeded.
+    pub sa: Option<SourceAddress>,
+    /// The detector's verdict. Frames whose extraction failed are reported
+    /// as anomalies with [`ScoredEvent::extraction_failed`] set.
+    pub verdict: Verdict,
+    /// `true` if Algorithm 1 could not parse the frame window (treated as
+    /// anomalous: an unparseable transmission on a healthy bus is itself
+    /// suspicious).
+    pub extraction_failed: bool,
+    /// `true` once the update policy wants a full retrain.
+    pub retrain_due: bool,
+}
+
+/// One event produced per framed window.
+///
+/// Every window the framer emits becomes exactly one of these — scored,
+/// degraded, or dropped — so event streams and the pipeline counters
+/// partition the frame total with nothing lost silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IdsEvent {
+    /// The window was classified normally.
+    Scored(ScoredEvent),
+    /// The window was consumed while its shard's circuit breaker was open:
+    /// capture integrity is suspect, so no hard verdict is issued.
+    Degraded {
+        /// Stream position of the window's start.
+        stream_pos: u64,
+        /// The shard whose breaker is open.
+        shard: usize,
+        /// Why the breaker opened.
+        reason: DegradeReason,
+    },
+    /// The window was never scored (lost to a worker restart or a
+    /// permanently failed shard). Emitted as a placeholder so the ordered
+    /// event stream has no gaps.
+    Dropped {
+        /// Stream position of the window's start.
+        stream_pos: u64,
+        /// The shard that owned the window.
+        shard: usize,
+        /// Why the window was lost.
+        reason: DropReason,
+    },
+}
+
+impl IdsEvent {
+    /// Stream position of the window's start, for any event kind.
+    pub fn stream_pos(&self) -> u64 {
+        match self {
+            IdsEvent::Scored(scored) => scored.stream_pos,
+            IdsEvent::Degraded { stream_pos, .. } | IdsEvent::Dropped { stream_pos, .. } => {
+                *stream_pos
+            }
+        }
+    }
+
+    /// The scored record, when this window was classified.
+    pub fn as_scored(&self) -> Option<&ScoredEvent> {
+        match self {
+            IdsEvent::Scored(scored) => Some(scored),
+            _ => None,
+        }
+    }
+
+    /// The verdict, when this window was classified.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.as_scored().map(|scored| &scored.verdict)
+    }
+
+    /// The claimed SA, when extraction succeeded.
+    pub fn sa(&self) -> Option<SourceAddress> {
+        self.as_scored().and_then(|scored| scored.sa)
+    }
+
+    /// `true` for a scored anomaly. Degraded and dropped windows are *not*
+    /// anomalies — they are capture/runtime integrity signals.
+    pub fn is_anomaly(&self) -> bool {
+        self.verdict().is_some_and(Verdict::is_anomaly)
+    }
+
+    /// `true` when the window was scored but could not be parsed.
+    pub fn extraction_failed(&self) -> bool {
+        self.as_scored()
+            .is_some_and(|scored| scored.extraction_failed)
+    }
+
+    /// `true` once the update policy wants a full retrain.
+    pub fn retrain_due(&self) -> bool {
+        self.as_scored().is_some_and(|scored| scored.retrain_due)
+    }
+
+    /// `true` for a degraded-mode event.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, IdsEvent::Degraded { .. })
+    }
+
+    /// `true` for a dropped-window placeholder.
+    pub fn is_dropped(&self) -> bool {
+        matches!(self, IdsEvent::Dropped { .. })
+    }
+
+    /// The owning shard, for degraded/dropped events.
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            IdsEvent::Scored(_) => None,
+            IdsEvent::Degraded { shard, .. } | IdsEvent::Dropped { shard, .. } => Some(*shard),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vprofile::ClusterId;
+
+    fn scored(pos: u64) -> IdsEvent {
+        IdsEvent::Scored(ScoredEvent {
+            stream_pos: pos,
+            sa: Some(SourceAddress(0x17)),
+            verdict: Verdict::Ok {
+                cluster: ClusterId(0),
+                distance: 1.0,
+            },
+            extraction_failed: false,
+            retrain_due: false,
+        })
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let ok = scored(7);
+        assert_eq!(ok.stream_pos(), 7);
+        assert_eq!(ok.sa(), Some(SourceAddress(0x17)));
+        assert!(!ok.is_anomaly());
+        assert!(!ok.is_degraded() && !ok.is_dropped());
+        assert_eq!(ok.shard(), None);
+
+        let degraded = IdsEvent::Degraded {
+            stream_pos: 9,
+            shard: 2,
+            reason: DegradeReason::ExtractionFailures,
+        };
+        assert_eq!(degraded.stream_pos(), 9);
+        assert!(degraded.is_degraded());
+        assert!(!degraded.is_anomaly(), "degraded is not an anomaly verdict");
+        assert_eq!(degraded.shard(), Some(2));
+        assert!(degraded.verdict().is_none());
+
+        let dropped = IdsEvent::Dropped {
+            stream_pos: 11,
+            shard: 0,
+            reason: DropReason::WorkerRestart,
+        };
+        assert!(dropped.is_dropped());
+        assert!(!dropped.extraction_failed());
+        assert_eq!(dropped.sa(), None);
+    }
+}

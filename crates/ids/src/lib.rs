@@ -19,7 +19,14 @@
 //!   every worker owns a disjoint set of per-SA cluster state; a merger
 //!   re-serializes events through a sequence-numbered [`ReorderBuffer`],
 //!   making the output order deterministic and identical to a
-//!   single-worker run.
+//!   single-worker run;
+//! * self-healing — each worker runs under a supervisor that absorbs
+//!   panics and restarts the shard from a checkpointed engine snapshot
+//!   (bounded budget, exponential backoff), a per-shard circuit breaker
+//!   ([`HealthConfig`]) trips into an explicit degraded mode
+//!   ([`IdsEvent::Degraded`], quarantined online updates) instead of
+//!   emitting false verdicts, and `feed` backpressure is configurable via
+//!   [`BackpressurePolicy`].
 //!
 //! # Example
 //!
@@ -43,7 +50,7 @@
 //! }
 //! let events = engine.process_samples(&stream);
 //! assert_eq!(events.len(), 50);
-//! assert!(events.iter().all(|e| !e.verdict.is_anomaly()));
+//! assert!(events.iter().all(|e| !e.is_anomaly()));
 //! # Ok(())
 //! # }
 //! ```
@@ -53,15 +60,19 @@
 
 mod alarm;
 mod engine;
+mod event;
 mod framer;
+mod health;
 mod period;
 mod pipeline;
 mod reorder;
 mod shard;
 
 pub use alarm::{AlarmAggregator, AlarmClass, Incident};
-pub use engine::{IdsEngine, IdsEvent, UpdatePolicy};
+pub use engine::{IdsEngine, UpdatePolicy};
+pub use event::{IdsEvent, ScoredEvent};
 pub use framer::StreamFramer;
+pub use health::{BackpressurePolicy, BreakerState, DegradeReason, DropReason, HealthConfig};
 pub use period::{PeriodMonitor, PeriodVerdict};
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats};
 pub use reorder::ReorderBuffer;

@@ -1,4 +1,5 @@
-//! A threaded, sharded IDS pipeline: sample chunks in, detection events out.
+//! A threaded, sharded, self-healing IDS pipeline: sample chunks in,
+//! detection events out.
 //!
 //! The pipeline runs three kinds of threads:
 //!
@@ -8,26 +9,42 @@
 //!   worker shard via [`crate::stable_shard`]. Routing by the claimed SA
 //!   means each worker owns a *disjoint* set of per-SA cluster state, so
 //!   online updates never race across workers;
-//! * **N detection workers**, each owning a clone of the [`IdsEngine`] and
-//!   scoring only its shard's windows (batched Mahalanobis scoring through
-//!   the engine's cached stacked factors);
-//! * a **merger** that feeds scored events through a
-//!   [`crate::ReorderBuffer`] keyed by the router's sequence numbers, so the
-//!   emitted event order is deterministic and identical to a single-worker
-//!   run, and updates the shared [`PipelineStats`] *in the same critical
-//!   section* that emits each event — a stats snapshot can therefore never
-//!   disagree with the events already delivered.
+//! * **N supervised detection workers**, each owning a clone of the
+//!   [`IdsEngine`]. Each worker runs under a supervisor that catches
+//!   panics and respawns the scoring loop from a periodically-refreshed
+//!   engine checkpoint, with exponential backoff and a bounded restart
+//!   budget; past the budget the shard fails permanently and its windows
+//!   drain as [`IdsEvent::Dropped`] placeholders. Each worker also runs a
+//!   [`crate::health::HealthMonitor`]: sustained extraction failures or
+//!   unscorable verdicts trip a circuit breaker into degraded mode
+//!   ([`IdsEvent::Degraded`] instead of hard verdicts, affected SAs
+//!   quarantined from online updates) until recovery probes succeed;
+//! * a **merger** that feeds events through a [`crate::ReorderBuffer`]
+//!   keyed by the router's sequence numbers, so the emitted event order is
+//!   deterministic, and updates the shared [`PipelineStats`] *in the same
+//!   critical section* that emits each event — a stats snapshot can
+//!   therefore never disagree with the events already delivered.
 //!
-//! Samples arrive over a bounded crossbeam channel (back-pressuring the
-//! producer, as a real ADC DMA ring would); events leave over an unbounded
-//! one.
+//! Samples arrive through a bounded queue whose overflow behaviour is the
+//! configured [`BackpressurePolicy`] (block the producer, reject the
+//! chunk, or shed the oldest); events leave over an unbounded channel.
+//! Every framed window becomes exactly one event, so
+//! `frames == anomalies + normals + extraction_failures + dropped + degraded`
+//! holds in every stats snapshot.
 
+use crate::health::{
+    BackpressurePolicy, BreakerState, DropReason, HealthConfig, HealthMonitor, WindowOutcome,
+};
 use crate::{stable_shard, IdsEngine, IdsEvent, ReorderBuffer, StreamFramer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use vprofile::EdgeSetExtractor;
 
 /// Failure modes of the threaded pipeline.
@@ -38,9 +55,13 @@ pub enum PipelineError {
     /// The routing/detection threads are gone (a receiver hung up), so the
     /// chunk could not be delivered.
     WorkerUnavailable,
-    /// A pipeline thread panicked; its engine (and possibly trailing
-    /// events) are lost.
+    /// A pipeline thread panicked beyond what supervision covers; its
+    /// engine (and possibly trailing events) are lost.
     WorkerPanicked,
+    /// The sample backlog is at the high-water mark and the pipeline runs
+    /// the [`BackpressurePolicy::Reject`] policy; the chunk was not
+    /// accepted.
+    Backlogged,
     /// [`IdsPipeline::finish`] was called on a pipeline with more than one
     /// worker; use [`IdsPipeline::close`] to collect all engines.
     NotSingleWorker,
@@ -54,6 +75,9 @@ impl std::fmt::Display for PipelineError {
                 f.write_str("detection workers are no longer receiving samples")
             }
             PipelineError::WorkerPanicked => f.write_str("a pipeline thread panicked"),
+            PipelineError::Backlogged => {
+                f.write_str("sample backlog full and the backpressure policy rejects")
+            }
             PipelineError::NotSingleWorker => {
                 f.write_str("finish() requires a single-worker pipeline; use close()")
             }
@@ -72,13 +96,26 @@ type FaultHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
 pub struct PipelineConfig {
     /// Number of detection workers; `0` means one per available CPU.
     pub workers: usize,
-    /// Bound of the sample channel and of each worker's window queue
-    /// (chunks/windows, not samples): a slow detector back-pressures the
-    /// producer instead of buffering unboundedly.
-    pub chunk_backlog: usize,
+    /// High-water mark of the sample backlog and bound of each worker's
+    /// window queue (chunks/windows, not samples). What happens when the
+    /// sample backlog reaches it is [`PipelineConfig::backpressure`].
+    pub high_water: usize,
     /// Largest number of queued windows a worker drains per wakeup; the
     /// batch shares one scoring-cache lookup run.
     pub batch_max: usize,
+    /// What [`IdsPipeline::feed`] does at the high-water mark.
+    pub backpressure: BackpressurePolicy,
+    /// How many times a panicked worker is respawned from its checkpoint
+    /// before the shard fails permanently.
+    pub restart_budget: u32,
+    /// Base of the exponential restart backoff (doubles per restart,
+    /// capped at `base << 6`).
+    pub backoff_base_ms: u64,
+    /// Refresh the restart checkpoint every this many scored windows (the
+    /// checkpoint is also refreshed on every breaker transition).
+    pub checkpoint_interval: usize,
+    /// Per-shard health-monitor tuning.
+    pub health: HealthConfig,
     fault_hook: Option<FaultHook>,
 }
 
@@ -86,8 +123,13 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             workers: 0,
-            chunk_backlog: 64,
+            high_water: 64,
             batch_max: 32,
+            backpressure: BackpressurePolicy::Block,
+            restart_budget: 3,
+            backoff_base_ms: 5,
+            checkpoint_interval: 256,
+            health: HealthConfig::default(),
             fault_hook: None,
         }
     }
@@ -97,8 +139,13 @@ impl std::fmt::Debug for PipelineConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineConfig")
             .field("workers", &self.workers)
-            .field("chunk_backlog", &self.chunk_backlog)
+            .field("high_water", &self.high_water)
             .field("batch_max", &self.batch_max)
+            .field("backpressure", &self.backpressure)
+            .field("restart_budget", &self.restart_budget)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("health", &self.health)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
             .finish()
     }
@@ -112,17 +159,58 @@ impl PipelineConfig {
         self
     }
 
-    /// Sets the channel bound in chunks/windows.
+    /// Sets the backlog high-water mark in chunks/windows.
     #[must_use]
-    pub fn with_chunk_backlog(mut self, chunk_backlog: usize) -> Self {
-        self.chunk_backlog = chunk_backlog;
+    pub fn with_high_water(mut self, high_water: usize) -> Self {
+        self.high_water = high_water;
         self
+    }
+
+    /// Historical name for [`PipelineConfig::with_high_water`].
+    #[must_use]
+    pub fn with_chunk_backlog(self, chunk_backlog: usize) -> Self {
+        self.with_high_water(chunk_backlog)
     }
 
     /// Sets the per-wakeup worker drain bound.
     #[must_use]
     pub fn with_batch_max(mut self, batch_max: usize) -> Self {
         self.batch_max = batch_max;
+        self
+    }
+
+    /// Sets the feed-side overflow policy.
+    #[must_use]
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Sets the per-shard restart budget.
+    #[must_use]
+    pub fn with_restart_budget(mut self, budget: u32) -> Self {
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Sets the restart backoff base in milliseconds.
+    #[must_use]
+    pub fn with_backoff_base_ms(mut self, base_ms: u64) -> Self {
+        self.backoff_base_ms = base_ms;
+        self
+    }
+
+    /// Sets the checkpoint refresh interval in scored windows.
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the health-monitor tuning.
+    #[must_use]
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
         self
     }
 
@@ -140,12 +228,15 @@ impl PipelineConfig {
 /// Aggregate pipeline counters.
 ///
 /// The per-frame counters are mutually exclusive and partition the total:
-/// `frames == anomalies + normals + extraction_failures` holds in every
-/// snapshot, because the merger updates them in the same critical section
-/// that emits the corresponding event.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// `frames == anomalies + normals + extraction_failures + dropped +
+/// degraded` holds in every snapshot, because the merger updates them in
+/// the same critical section that emits the corresponding event. The chunk
+/// counters (`dropped_chunks`, `rejected_chunks`) count *pre-framing* loss
+/// at the feed boundary — shed raw chunks never become frames, so they sit
+/// outside the frame identity by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
-    /// Frames classified.
+    /// Framed windows that produced an event (scored, degraded or dropped).
     pub frames: u64,
     /// Frames whose verdict was anomalous (extraction failures excluded).
     pub anomalies: u64,
@@ -154,11 +245,31 @@ pub struct PipelineStats {
     /// Frames whose extraction failed (reported as anomalous events, but
     /// counted separately here).
     pub extraction_failures: u64,
-    /// Frames scored by each worker shard; sums to `frames`.
+    /// Frames lost to worker restarts or permanently failed shards
+    /// (emitted as [`IdsEvent::Dropped`] placeholders).
+    pub dropped: u64,
+    /// Frames consumed while a shard's breaker was open (emitted as
+    /// [`IdsEvent::Degraded`]).
+    pub degraded: u64,
+    /// Raw sample chunks shed by [`BackpressurePolicy::DropOldest`] before
+    /// framing.
+    pub dropped_chunks: u64,
+    /// Raw sample chunks refused by [`BackpressurePolicy::Reject`] before
+    /// framing.
+    pub rejected_chunks: u64,
+    /// Frames handled by each worker shard; sums to `frames`.
     pub shard_frames: Vec<u64>,
-    /// Instantaneous queue depth (windows routed but not yet scored) per
+    /// Instantaneous queue depth (windows routed but not yet handled) per
     /// shard at snapshot time; all zero after a clean [`IdsPipeline::close`].
     pub queue_depths: Vec<usize>,
+    /// Supervisor restarts performed per shard.
+    pub restarts: Vec<u32>,
+    /// Circuit-breaker position per shard at snapshot time.
+    pub breaker: Vec<BreakerState>,
+    /// `true` for shards whose restart budget is exhausted.
+    pub shard_failed: Vec<bool>,
+    /// Number of SAs currently quarantined from online updates, per shard.
+    pub quarantined_sas: Vec<usize>,
 }
 
 /// One framed window travelling from the router to a worker.
@@ -168,43 +279,187 @@ struct WorkItem {
     window: Vec<f64>,
 }
 
-/// One scored event travelling from a worker to the merger.
+/// One event travelling from a worker to the merger.
 struct ScoredItem {
     seq: u64,
     shard: usize,
     event: IdsEvent,
 }
 
-/// A running threaded IDS. Drop-free shutdown: close the sample sender
-/// (drop it, or call [`IdsPipeline::close`] / [`IdsPipeline::finish`]) and
-/// join.
+/// Live per-shard gauges, written by supervisors and read by
+/// [`IdsPipeline::stats`].
+#[derive(Default)]
+struct ShardGauges {
+    depth: AtomicUsize,
+    restarts: AtomicU32,
+    breaker_open: AtomicBool,
+    failed: AtomicBool,
+    quarantined: AtomicUsize,
+}
+
+/// The bounded sample backlog between [`IdsPipeline::feed`] and the
+/// router, with policy-controlled overflow.
+///
+/// Built on `std::sync` (`Mutex` + `Condvar`) rather than a channel
+/// because the three backpressure policies need to inspect and mutate the
+/// queue under one lock. Lock poisoning is recovered (`PoisonError::
+/// into_inner`): the queue holds plain data that cannot be left in a torn
+/// state by a panicking peer.
+struct SampleQueue {
+    inner: StdMutex<SampleQueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    high_water: usize,
+}
+
+struct SampleQueueInner {
+    chunks: VecDeque<Vec<f64>>,
+    closed: bool,
+    receiver_gone: bool,
+    dropped_chunks: u64,
+    rejected_chunks: u64,
+}
+
+impl SampleQueue {
+    fn new(high_water: usize) -> Self {
+        SampleQueue {
+            inner: StdMutex::new(SampleQueueInner {
+                chunks: VecDeque::new(),
+                closed: false,
+                receiver_gone: false,
+                dropped_chunks: 0,
+                rejected_chunks: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            high_water: high_water.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SampleQueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues one chunk under the given overflow policy.
+    fn push(&self, chunk: Vec<f64>, policy: BackpressurePolicy) -> Result<(), PipelineError> {
+        let mut inner = self.lock();
+        loop {
+            if inner.receiver_gone {
+                return Err(PipelineError::WorkerUnavailable);
+            }
+            if inner.closed {
+                return Err(PipelineError::InputClosed);
+            }
+            if inner.chunks.len() < self.high_water {
+                inner.chunks.push_back(chunk);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            match policy {
+                BackpressurePolicy::Block => {
+                    inner = self
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                BackpressurePolicy::Reject => {
+                    inner.rejected_chunks += 1;
+                    return Err(PipelineError::Backlogged);
+                }
+                BackpressurePolicy::DropOldest => {
+                    inner.chunks.pop_front();
+                    inner.dropped_chunks += 1;
+                }
+            }
+        }
+    }
+
+    /// Dequeues the next chunk; blocks while empty, `None` once the input
+    /// is closed and drained.
+    fn pop(&self) -> Option<Vec<f64>> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(chunk) = inner.chunks.pop_front() {
+                self.not_full.notify_one();
+                return Some(chunk);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close_input(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Called by the router when the downstream threads are gone, so
+    /// blocked producers wake with an error instead of hanging.
+    fn mark_receiver_gone(&self) {
+        self.lock().receiver_gone = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn shed_counters(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.dropped_chunks, inner.rejected_chunks)
+    }
+}
+
+/// A running threaded IDS. Drop-free shutdown: close the sample input
+/// (call [`IdsPipeline::close`] / [`IdsPipeline::finish`]) and join.
 #[derive(Debug)]
 pub struct IdsPipeline {
-    sample_tx: Option<Sender<Vec<f64>>>,
+    queue: Arc<SampleQueue>,
+    backpressure: BackpressurePolicy,
     event_rx: Receiver<IdsEvent>,
     stats: Arc<Mutex<PipelineStats>>,
-    queue_depths: Arc<Vec<AtomicUsize>>,
+    gauges: Arc<Vec<ShardGauges>>,
     router: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<IdsEngine>>,
     merger: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SampleQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleQueue")
+            .field("high_water", &self.high_water)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ShardGauges {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardGauges")
+            .field("depth", &self.depth.load(Ordering::Relaxed))
+            .field("restarts", &self.restarts.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl IdsPipeline {
     /// Spawns a single-worker pipeline around an engine — the original
     /// one-thread-per-stage topology, kept as the compatibility entry point.
     ///
-    /// `chunk_backlog` bounds the sample channel (chunks, not samples).
+    /// `chunk_backlog` bounds the sample backlog (chunks, not samples).
     pub fn spawn(engine: IdsEngine, chunk_backlog: usize) -> Self {
         Self::spawn_sharded(
             engine,
             PipelineConfig::default()
                 .with_workers(1)
-                .with_chunk_backlog(chunk_backlog),
+                .with_high_water(chunk_backlog),
         )
     }
 
-    /// Spawns the sharded pipeline: one router, `config.workers` detection
-    /// workers (each a clone of `engine`), and one merging thread.
+    /// Spawns the sharded pipeline: one router, `config.workers` supervised
+    /// detection workers (each a clone of `engine`), and one merging thread.
     ///
     /// Windows are routed by a stable hash of the claimed source address,
     /// so each worker owns a disjoint set of per-SA cluster state; the
@@ -219,39 +474,45 @@ impl IdsPipeline {
         } else {
             config.workers
         };
-        let backlog = config.chunk_backlog.max(1);
+        let high_water = config.high_water.max(1);
         let batch_max = config.batch_max.max(1);
+        let checkpoint_interval = config.checkpoint_interval.max(1);
 
-        let (sample_tx, sample_rx) = bounded::<Vec<f64>>(backlog);
+        let queue = Arc::new(SampleQueue::new(high_water));
         let (event_tx, event_rx) = unbounded::<IdsEvent>();
         let (scored_tx, scored_rx) = unbounded::<ScoredItem>();
         let stats = Arc::new(Mutex::new(PipelineStats {
             shard_frames: vec![0; workers],
             queue_depths: vec![0; workers],
+            restarts: vec![0; workers],
+            breaker: vec![BreakerState::Closed; workers],
+            shard_failed: vec![false; workers],
+            quarantined_sas: vec![0; workers],
             ..PipelineStats::default()
         }));
-        let queue_depths: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..workers).map(|_| AtomicUsize::new(0)).collect());
+        let gauges: Arc<Vec<ShardGauges>> =
+            Arc::new((0..workers).map(|_| ShardGauges::default()).collect());
 
         let mut work_txs = Vec::with_capacity(workers);
         let mut worker_handles = Vec::with_capacity(workers);
         for shard in 0..workers {
-            let (work_tx, work_rx) = bounded::<WorkItem>(backlog);
+            let (work_tx, work_rx) = bounded::<WorkItem>(high_water);
             work_txs.push(work_tx);
-            let scored_tx = scored_tx.clone();
+            let rt = WorkerRuntime {
+                shard,
+                work_rx,
+                scored_tx: scored_tx.clone(),
+                gauges: Arc::clone(&gauges),
+                hook: config.fault_hook.clone(),
+                batch_max,
+                checkpoint_interval,
+                restart_budget: config.restart_budget,
+                backoff_base_ms: config.backoff_base_ms,
+                health: config.health,
+            };
             let worker_engine = engine.clone();
-            let depths = Arc::clone(&queue_depths);
-            let hook = config.fault_hook.clone();
             worker_handles.push(std::thread::spawn(move || {
-                worker_loop(
-                    worker_engine,
-                    shard,
-                    work_rx,
-                    scored_tx,
-                    depths,
-                    hook,
-                    batch_max,
-                )
+                supervised_worker(worker_engine, rt)
             }));
         }
         // Only workers hold scored senders from here on: the merger exits
@@ -259,22 +520,31 @@ impl IdsPipeline {
         drop(scored_tx);
 
         let model_config = engine.model().config().clone();
-        let router_depths = Arc::clone(&queue_depths);
+        let router_queue = Arc::clone(&queue);
+        let router_gauges = Arc::clone(&gauges);
         let router = std::thread::spawn(move || {
             let framer =
                 StreamFramer::new(model_config.bit_width_samples, model_config.bit_threshold);
             let peeker = EdgeSetExtractor::new(model_config);
-            router_loop(sample_rx, framer, peeker, work_txs, router_depths, workers);
+            router_loop(
+                router_queue,
+                framer,
+                peeker,
+                work_txs,
+                router_gauges,
+                workers,
+            );
         });
 
         let merger_stats = Arc::clone(&stats);
         let merger = std::thread::spawn(move || merger_loop(scored_rx, event_tx, merger_stats));
 
         IdsPipeline {
-            sample_tx: Some(sample_tx),
+            queue,
+            backpressure: config.backpressure,
             event_rx,
             stats,
-            queue_depths,
+            gauges,
             router: Some(router),
             workers: worker_handles,
             merger: Some(merger),
@@ -286,18 +556,19 @@ impl IdsPipeline {
         self.workers.len()
     }
 
-    /// Feeds one chunk of samples. Blocks when the backlog is full.
+    /// Feeds one chunk of samples. What happens at the backlog high-water
+    /// mark is the configured [`BackpressurePolicy`]: block (default),
+    /// fail with [`PipelineError::Backlogged`], or shed the oldest queued
+    /// chunk.
     ///
     /// # Errors
     ///
     /// [`PipelineError::InputClosed`] if called after the input was closed,
-    /// [`PipelineError::WorkerUnavailable`] if the pipeline threads died.
+    /// [`PipelineError::WorkerUnavailable`] if the pipeline threads died,
+    /// [`PipelineError::Backlogged`] under the reject policy at the
+    /// high-water mark.
     pub fn feed(&self, samples: Vec<f64>) -> Result<(), PipelineError> {
-        self.sample_tx
-            .as_ref()
-            .ok_or(PipelineError::InputClosed)?
-            .send(samples)
-            .map_err(|_| PipelineError::WorkerUnavailable)
+        self.queue.push(samples, self.backpressure)
     }
 
     /// The event stream, in framing order.
@@ -312,32 +583,65 @@ impl IdsPipeline {
     /// Idempotent; [`IdsPipeline::feed`] fails with
     /// [`PipelineError::InputClosed`] afterwards.
     pub fn close_input(&mut self) {
-        self.sample_tx.take();
+        self.queue.close_input();
     }
 
     /// Snapshot of the aggregate counters. The per-frame counters are
     /// internally consistent (taken under the merger's lock); the queue
-    /// depths are sampled from the live gauges at call time.
+    /// depths, restart counts, breaker states and quarantine sizes are
+    /// sampled from the live gauges at call time.
     pub fn stats(&self) -> PipelineStats {
         let mut snapshot = self.stats.lock().clone();
         snapshot.queue_depths = self
-            .queue_depths
+            .gauges
             .iter()
-            .map(|d| d.load(Ordering::Relaxed))
+            .map(|g| g.depth.load(Ordering::Relaxed))
             .collect();
+        snapshot.restarts = self
+            .gauges
+            .iter()
+            .map(|g| g.restarts.load(Ordering::Relaxed))
+            .collect();
+        snapshot.breaker = self
+            .gauges
+            .iter()
+            .map(|g| {
+                if g.breaker_open.load(Ordering::Relaxed) {
+                    BreakerState::Open
+                } else {
+                    BreakerState::Closed
+                }
+            })
+            .collect();
+        snapshot.shard_failed = self
+            .gauges
+            .iter()
+            .map(|g| g.failed.load(Ordering::Relaxed))
+            .collect();
+        snapshot.quarantined_sas = self
+            .gauges
+            .iter()
+            .map(|g| g.quarantined.load(Ordering::Relaxed))
+            .collect();
+        let (dropped_chunks, rejected_chunks) = self.queue.shed_counters();
+        snapshot.dropped_chunks = dropped_chunks;
+        snapshot.rejected_chunks = rejected_chunks;
         snapshot
     }
 
     /// Closes the input, waits for every thread to drain, and returns all
-    /// worker engines (in shard order) with the final statistics.
+    /// worker engines (in shard order) with the final statistics. A shard
+    /// whose restart budget was exhausted returns its last checkpoint.
     ///
     /// # Errors
     ///
-    /// [`PipelineError::WorkerPanicked`] if any pipeline thread panicked.
-    /// All threads are joined before the error returns, so `close` never
-    /// hangs on a panicked worker.
+    /// [`PipelineError::WorkerPanicked`] if any pipeline thread panicked
+    /// beyond what supervision covers (worker panics are absorbed by the
+    /// supervisors and surface in [`PipelineStats::restarts`] /
+    /// [`PipelineStats::shard_failed`] instead). All threads are joined
+    /// before the error returns, so `close` never hangs.
     pub fn close(mut self) -> Result<(Vec<IdsEngine>, PipelineStats), PipelineError> {
-        self.sample_tx.take();
+        self.queue.close_input();
         let mut panicked = false;
         if let Some(router) = self.router.take() {
             panicked |= router.join().is_err();
@@ -379,7 +683,7 @@ impl IdsPipeline {
 
 impl Drop for IdsPipeline {
     fn drop(&mut self) {
-        self.sample_tx.take();
+        self.queue.close_input();
         // Best effort: never panic in drop.
         if let Some(router) = self.router.take() {
             let _ = router.join();
@@ -395,11 +699,11 @@ impl Drop for IdsPipeline {
 
 /// Frames the sample stream and routes each window to its shard.
 fn router_loop(
-    sample_rx: Receiver<Vec<f64>>,
+    queue: Arc<SampleQueue>,
     mut framer: StreamFramer,
     peeker: EdgeSetExtractor,
     work_txs: Vec<Sender<WorkItem>>,
-    depths: Arc<Vec<AtomicUsize>>,
+    gauges: Arc<Vec<ShardGauges>>,
     workers: usize,
 ) {
     let mut seq = 0u64;
@@ -409,7 +713,7 @@ fn router_loop(
         // routes all unparseable windows to one stable shard.
         let sa = peeker.peek_sa(&window).map(|sa| sa.raw()).unwrap_or(0xFF);
         let shard = stable_shard(sa, workers);
-        depths[shard].fetch_add(1, Ordering::Relaxed);
+        gauges[shard].depth.fetch_add(1, Ordering::Relaxed);
         let item = WorkItem {
             seq,
             stream_pos,
@@ -417,17 +721,18 @@ fn router_loop(
         };
         seq += 1;
         if work_txs[shard].send(item).is_err() {
-            depths[shard].fetch_sub(1, Ordering::Relaxed);
+            gauges[shard].depth.fetch_sub(1, Ordering::Relaxed);
             return false;
         }
         true
     };
-    'stream: for chunk in sample_rx {
+    'stream: while let Some(chunk) = queue.pop() {
         for (stream_pos, window) in framer.push(&chunk) {
             if !route(stream_pos, window) {
-                // A worker died. Exit: dropping the sample receiver
-                // unblocks the producer with `WorkerUnavailable`, and
-                // dropping the work senders drains the surviving workers.
+                // A supervisor died beyond recovery. Wake blocked
+                // producers with an error and exit: dropping the work
+                // senders drains the surviving workers.
+                queue.mark_receiver_gone();
                 break 'stream;
             }
         }
@@ -437,48 +742,230 @@ fn router_loop(
     }
 }
 
-/// Scores this shard's windows, draining up to `batch_max` queued windows
-/// per wakeup.
-fn worker_loop(
-    mut engine: IdsEngine,
+/// Everything a shard's supervisor and scoring loop need; owned by the
+/// supervisor thread.
+struct WorkerRuntime {
     shard: usize,
     work_rx: Receiver<WorkItem>,
     scored_tx: Sender<ScoredItem>,
-    depths: Arc<Vec<AtomicUsize>>,
+    gauges: Arc<Vec<ShardGauges>>,
     hook: Option<FaultHook>,
     batch_max: usize,
-) -> IdsEngine {
-    let mut batch = Vec::with_capacity(batch_max);
-    while let Ok(first) = work_rx.recv() {
-        batch.push(first);
-        while batch.len() < batch_max {
-            match work_rx.try_recv() {
-                Ok(item) => batch.push(item),
-                Err(_) => break,
+    checkpoint_interval: usize,
+    restart_budget: u32,
+    backoff_base_ms: u64,
+    health: HealthConfig,
+}
+
+/// Mutable worker state that survives a panic of the scoring loop: the
+/// supervisor rolls `engine` back to `checkpoint` and resumes from
+/// `pending`, dropping only the window that was in flight when the panic
+/// hit.
+struct WorkerState {
+    engine: IdsEngine,
+    checkpoint: IdsEngine,
+    pending: VecDeque<WorkItem>,
+    in_flight: Option<(u64, u64)>,
+    monitor: HealthMonitor,
+    processed: usize,
+}
+
+impl WorkerState {
+    /// The scoring loop proper; returns when the work channel disconnects
+    /// (clean drain) or the merger is gone. May panic — the supervisor
+    /// catches it.
+    fn run(&mut self, rt: &WorkerRuntime) {
+        loop {
+            if self.pending.is_empty() {
+                let Ok(first) = rt.work_rx.recv() else {
+                    return;
+                };
+                self.pending.push_back(first);
+                while self.pending.len() < rt.batch_max {
+                    match rt.work_rx.try_recv() {
+                        Ok(item) => self.pending.push_back(item),
+                        Err(_) => break,
+                    }
+                }
+                rt.gauges[rt.shard]
+                    .depth
+                    .fetch_sub(self.pending.len(), Ordering::Relaxed);
             }
-        }
-        depths[shard].fetch_sub(batch.len(), Ordering::Relaxed);
-        for item in batch.drain(..) {
-            if let Some(hook) = &hook {
-                hook(shard, item.seq);
-            }
-            let event = engine.process_window(item.stream_pos, &item.window);
-            let scored = ScoredItem {
-                seq: item.seq,
-                shard,
-                event,
-            };
-            if scored_tx.send(scored).is_err() {
-                // Merger gone (panicked): nothing downstream to feed.
-                return engine;
+            while let Some(item) = self.pending.pop_front() {
+                // The in-flight marker must be set before any fallible
+                // work so a panic anywhere in scoring maps to exactly this
+                // window.
+                self.in_flight = Some((item.seq, item.stream_pos));
+                if let Some(hook) = &rt.hook {
+                    hook(rt.shard, item.seq);
+                }
+                let event = self.score(rt, item.stream_pos, &item.window);
+                self.in_flight = None;
+                self.processed += 1;
+                if self.processed.is_multiple_of(rt.checkpoint_interval) {
+                    self.checkpoint = self.engine.clone();
+                }
+                let scored = ScoredItem {
+                    seq: item.seq,
+                    shard: rt.shard,
+                    event,
+                };
+                if rt.scored_tx.send(scored).is_err() {
+                    // Merger gone (panicked): nothing downstream to feed.
+                    return;
+                }
             }
         }
     }
-    engine.apply_pending_updates();
-    engine
+
+    /// Scores one window through the circuit breaker.
+    fn score(&mut self, rt: &WorkerRuntime, stream_pos: u64, window: &[f64]) -> IdsEvent {
+        match self.monitor.state() {
+            BreakerState::Closed => {
+                let event = self.engine.process_window(stream_pos, window);
+                if let Some(sa) = event.sa() {
+                    self.monitor.note_sa(sa.0);
+                }
+                if let Some(reason) = self.monitor.observe(outcome_of(&event)) {
+                    // Trip: the capture feeding this shard is suspect.
+                    // Quarantine the SAs the fault was flowing through so
+                    // corrupt observations cannot poison the model, and
+                    // checkpoint so a restart preserves the quarantine.
+                    for sa in self.monitor.drain_recent_sas() {
+                        self.engine.quarantine_sa(sa);
+                    }
+                    let gauges = &rt.gauges[rt.shard];
+                    gauges.breaker_open.store(true, Ordering::Relaxed);
+                    gauges
+                        .quarantined
+                        .store(self.engine.quarantined().len(), Ordering::Relaxed);
+                    self.checkpoint = self.engine.clone();
+                    return IdsEvent::Degraded {
+                        stream_pos,
+                        shard: rt.shard,
+                        reason,
+                    };
+                }
+                event
+            }
+            BreakerState::Open => {
+                let reason = self.monitor.reason();
+                if self.monitor.take_probe_slot() {
+                    let event = self.engine.process_window(stream_pos, window);
+                    let healthy = matches!(outcome_of(&event), WindowOutcome::Healthy);
+                    if self.monitor.record_probe(healthy) {
+                        // Fault cleared: release the quarantine and resume
+                        // hard verdicts, starting with this probe's.
+                        self.engine.release_all_quarantined();
+                        let gauges = &rt.gauges[rt.shard];
+                        gauges.breaker_open.store(false, Ordering::Relaxed);
+                        gauges.quarantined.store(0, Ordering::Relaxed);
+                        self.checkpoint = self.engine.clone();
+                        return event;
+                    }
+                }
+                IdsEvent::Degraded {
+                    stream_pos,
+                    shard: rt.shard,
+                    reason,
+                }
+            }
+        }
+    }
 }
 
-/// Re-serializes scored events into framing order and keeps the shared
+/// How the health monitor sees one scored event. Anomaly verdicts are
+/// deliberately `Healthy` here: an attack storm must never open the
+/// breaker and silence the alarms it should raise.
+fn outcome_of(event: &IdsEvent) -> WindowOutcome {
+    if event.extraction_failed() {
+        WindowOutcome::ExtractionFailure
+    } else if event.verdict().is_some_and(|v| v.is_unscorable()) {
+        WindowOutcome::Unscorable
+    } else {
+        WindowOutcome::Healthy
+    }
+}
+
+/// Runs one shard's scoring loop under supervision: panics roll the engine
+/// back to its checkpoint and resume (bounded by the restart budget with
+/// exponential backoff); past the budget the shard fails permanently and
+/// its windows drain as [`IdsEvent::Dropped`] placeholders so the merger's
+/// reorder buffer never stalls on a sequence gap.
+fn supervised_worker(engine: IdsEngine, rt: WorkerRuntime) -> IdsEngine {
+    let mut state = WorkerState {
+        checkpoint: engine.clone(),
+        engine,
+        pending: VecDeque::new(),
+        in_flight: None,
+        monitor: HealthMonitor::new(rt.health),
+        processed: 0,
+    };
+    let mut restarts = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| state.run(&rt)));
+        match outcome {
+            Ok(()) => {
+                state.engine.apply_pending_updates();
+                return state.engine;
+            }
+            Err(_) => {
+                restarts += 1;
+                rt.gauges[rt.shard].restarts.fetch_add(1, Ordering::Relaxed);
+                // The window that was in flight died with the panic. It is
+                // *not* retried: a deterministic fault would otherwise
+                // panic-loop the shard through its whole budget. A
+                // placeholder keeps the merger's sequence space gapless.
+                if let Some((seq, stream_pos)) = state.in_flight.take() {
+                    let _ = rt.scored_tx.send(ScoredItem {
+                        seq,
+                        shard: rt.shard,
+                        event: IdsEvent::Dropped {
+                            stream_pos,
+                            shard: rt.shard,
+                            reason: DropReason::WorkerRestart,
+                        },
+                    });
+                }
+                if restarts > rt.restart_budget {
+                    rt.gauges[rt.shard].failed.store(true, Ordering::Relaxed);
+                    drain_failed_shard(&rt, std::mem::take(&mut state.pending));
+                    return state.checkpoint;
+                }
+                let exponent = restarts.saturating_sub(1).min(6);
+                std::thread::sleep(Duration::from_millis(rt.backoff_base_ms << exponent));
+                state.engine = state.checkpoint.clone();
+            }
+        }
+    }
+}
+
+/// Drains a permanently failed shard: everything still queued (and
+/// everything the router routes here from now on) becomes a `Dropped`
+/// placeholder, so the router never blocks on a dead shard and the merger
+/// never waits on a missing sequence number.
+fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
+    let drop_item = |item: WorkItem| {
+        let _ = rt.scored_tx.send(ScoredItem {
+            seq: item.seq,
+            shard: rt.shard,
+            event: IdsEvent::Dropped {
+                stream_pos: item.stream_pos,
+                shard: rt.shard,
+                reason: DropReason::ShardFailed,
+            },
+        });
+    };
+    for item in pending {
+        drop_item(item);
+    }
+    while let Ok(item) = rt.work_rx.recv() {
+        rt.gauges[rt.shard].depth.fetch_sub(1, Ordering::Relaxed);
+        drop_item(item);
+    }
+}
+
+/// Re-serializes events into framing order and keeps the shared
 /// statistics consistent with the emitted event stream.
 fn merger_loop(
     scored_rx: Receiver<ScoredItem>,
@@ -494,17 +981,23 @@ fn merger_loop(
         }
         // Counter update and event emission share one critical section, so
         // `stats()` can never observe a count without its event (or vice
-        // versa) — `frames == anomalies + normals + extraction_failures`
-        // holds in every snapshot.
+        // versa) — `frames == anomalies + normals + extraction_failures +
+        // dropped + degraded` holds in every snapshot.
         let mut s = stats.lock();
         for (shard, event) in ready.drain(..) {
             s.frames += 1;
-            if event.extraction_failed {
-                s.extraction_failures += 1;
-            } else if event.verdict.is_anomaly() {
-                s.anomalies += 1;
-            } else {
-                s.normals += 1;
+            match &event {
+                IdsEvent::Scored(scored) => {
+                    if scored.extraction_failed {
+                        s.extraction_failures += 1;
+                    } else if scored.verdict.is_anomaly() {
+                        s.anomalies += 1;
+                    } else {
+                        s.normals += 1;
+                    }
+                }
+                IdsEvent::Degraded { .. } => s.degraded += 1,
+                IdsEvent::Dropped { .. } => s.dropped += 1,
             }
             if let Some(count) = s.shard_frames.get_mut(shard) {
                 *count += 1;
@@ -555,8 +1048,13 @@ mod tests {
         assert_eq!(stats.anomalies, 0);
         assert_eq!(stats.normals, 40);
         assert_eq!(stats.extraction_failures, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.degraded, 0);
         assert_eq!(stats.shard_frames, vec![40]);
         assert_eq!(stats.queue_depths, vec![0]);
+        assert_eq!(stats.restarts, vec![0]);
+        assert_eq!(stats.breaker, vec![BreakerState::Closed]);
+        assert_eq!(stats.shard_failed, vec![false]);
     }
 
     #[test]
@@ -670,5 +1168,67 @@ mod tests {
         let (engines, stats) = pipeline.close().unwrap();
         assert_eq!(engines.len(), workers);
         assert_eq!(stats.shard_frames.len(), workers);
+    }
+
+    #[test]
+    fn sample_queue_reject_policy_returns_backlogged() {
+        let queue = SampleQueue::new(2);
+        queue.push(vec![1.0], BackpressurePolicy::Reject).unwrap();
+        queue.push(vec![2.0], BackpressurePolicy::Reject).unwrap();
+        assert_eq!(
+            queue.push(vec![3.0], BackpressurePolicy::Reject),
+            Err(PipelineError::Backlogged)
+        );
+        assert_eq!(queue.shed_counters(), (0, 1));
+        // The queue still holds (and yields) the accepted chunks.
+        assert_eq!(queue.pop(), Some(vec![1.0]));
+    }
+
+    #[test]
+    fn sample_queue_drop_oldest_sheds_the_head() {
+        let queue = SampleQueue::new(2);
+        queue
+            .push(vec![1.0], BackpressurePolicy::DropOldest)
+            .unwrap();
+        queue
+            .push(vec![2.0], BackpressurePolicy::DropOldest)
+            .unwrap();
+        queue
+            .push(vec![3.0], BackpressurePolicy::DropOldest)
+            .unwrap();
+        assert_eq!(queue.shed_counters(), (1, 0));
+        assert_eq!(queue.pop(), Some(vec![2.0]), "oldest chunk was shed");
+        assert_eq!(queue.pop(), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn sample_queue_block_policy_waits_for_the_consumer() {
+        let queue = Arc::new(SampleQueue::new(1));
+        queue.push(vec![1.0], BackpressurePolicy::Block).unwrap();
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                queue.pop()
+            })
+        };
+        // Blocks until the consumer pops, then succeeds without loss.
+        queue.push(vec![2.0], BackpressurePolicy::Block).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(vec![1.0]));
+        assert_eq!(queue.shed_counters(), (0, 0));
+        assert_eq!(queue.pop(), Some(vec![2.0]));
+    }
+
+    #[test]
+    fn sample_queue_close_unblocks_and_errors() {
+        let queue = SampleQueue::new(1);
+        queue.push(vec![1.0], BackpressurePolicy::Block).unwrap();
+        queue.close_input();
+        assert_eq!(
+            queue.push(vec![2.0], BackpressurePolicy::Block),
+            Err(PipelineError::InputClosed)
+        );
+        assert_eq!(queue.pop(), Some(vec![1.0]), "closing drains, not drops");
+        assert_eq!(queue.pop(), None);
     }
 }

@@ -2,14 +2,18 @@
 //!
 //! * Determinism: a 4-worker run over ~10k frames from 8 source addresses
 //!   must produce a byte-identical event sequence to the 1-worker run.
-//! * Fault handling: a worker panic must surface as
-//!   [`PipelineError::WorkerPanicked`] from `close()` instead of hanging.
+//! * Fault handling: a worker panic is absorbed by its supervisor — the
+//!   shard restarts from checkpoint, drops exactly the in-flight window,
+//!   and the pipeline closes cleanly; exhausting the restart budget fails
+//!   the shard permanently without hanging anything.
 //! * Stats consistency: every stats snapshot — mid-run and final — must
-//!   satisfy `frames == anomalies + normals + extraction_failures`.
+//!   satisfy `frames == anomalies + normals + extraction_failures +
+//!   dropped + degraded`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
-use vprofile_ids::{IdsEngine, IdsEvent, IdsPipeline, PipelineConfig, PipelineError, UpdatePolicy};
+use vprofile_ids::{IdsEngine, IdsEvent, IdsPipeline, PipelineConfig, UpdatePolicy};
 use vprofile_vehicle::scenario::stress_fleet;
 use vprofile_vehicle::CaptureConfig;
 
@@ -33,6 +37,15 @@ fn stress_setup(ecus: usize, frames: usize, seed: u64) -> (IdsEngine, Vec<f64>) 
     (IdsEngine::new(model, 2.0, UpdatePolicy::disabled()), stream)
 }
 
+/// The five-way counter identity every snapshot must satisfy.
+fn assert_identity(s: &vprofile_ids::PipelineStats, context: &str) {
+    assert_eq!(
+        s.frames,
+        s.anomalies + s.normals + s.extraction_failures + s.dropped + s.degraded,
+        "{context}: stats identity violated: {s:?}"
+    );
+}
+
 /// Feeds `reps` repetitions of `stream` and returns the full ordered event
 /// sequence plus the final stats.
 fn run_pipeline(
@@ -49,12 +62,7 @@ fn run_pipeline(
         }
         // Mid-run snapshots must already satisfy the counter identity.
         if rep % 4 == 0 {
-            let s = pipeline.stats();
-            assert_eq!(
-                s.frames,
-                s.anomalies + s.normals + s.extraction_failures,
-                "mid-run stats identity violated: {s:?}"
-            );
+            assert_identity(&pipeline.stats(), "mid-run");
         }
     }
     pipeline.close_input();
@@ -92,6 +100,11 @@ fn four_workers_match_single_worker_byte_for_byte() {
         single_stats.extraction_failures,
         quad_stats.extraction_failures
     );
+    // A clean run never restarts, degrades, or drops anything.
+    assert_eq!(quad_stats.dropped, 0);
+    assert_eq!(quad_stats.degraded, 0);
+    assert_eq!(quad_stats.restarts, vec![0; 4]);
+    assert_eq!(quad_stats.shard_failed, vec![false; 4]);
 
     // Per-shard accounting: all shards together scored every frame, more
     // than one shard did real work, and no window is still queued.
@@ -109,67 +122,126 @@ fn four_workers_match_single_worker_byte_for_byte() {
 
     // The identity the merger's single critical section guarantees.
     for stats in [&single_stats, &quad_stats] {
-        assert_eq!(
-            stats.frames,
-            stats.anomalies + stats.normals + stats.extraction_failures
-        );
+        assert_identity(stats, "final");
     }
 }
 
 #[test]
-fn worker_panic_surfaces_instead_of_hanging() {
+fn worker_panic_restarts_the_shard_and_drops_one_window() {
     let (engine, stream) = stress_setup(4, 256, 77);
+    let total_frames = 4 * 256u64;
     let config = PipelineConfig::default()
         .with_workers(4)
+        .with_backoff_base_ms(1)
         .with_fault_hook(Arc::new(|shard, seq| {
             if seq == 50 {
                 panic!("injected fault in shard {shard} at seq {seq}");
             }
         }));
     let pipeline = IdsPipeline::spawn_sharded(engine, config);
-    // Feeding may start failing once the router notices the dead worker;
-    // both outcomes are fine — the pipeline just must not hang.
     for _ in 0..4 {
         for chunk in stream.chunks(65_536) {
-            if pipeline.feed(chunk.to_vec()).is_err() {
-                break;
-            }
+            pipeline.feed(chunk.to_vec()).expect("supervised feed");
         }
     }
+    let (engines, stats) = pipeline.close().expect("supervision absorbs the panic");
+    assert_eq!(engines.len(), 4);
+    assert_eq!(stats.frames, total_frames, "no window may vanish");
     assert_eq!(
-        pipeline.close().expect_err("panic must be reported"),
-        PipelineError::WorkerPanicked
+        stats.restarts.iter().sum::<u32>(),
+        1,
+        "exactly one restart: {:?}",
+        stats.restarts
     );
+    assert_eq!(stats.dropped, 1, "exactly the in-flight window is dropped");
+    assert_eq!(stats.shard_failed, vec![false; 4], "budget not exhausted");
+    assert_identity(&stats, "post-restart");
 }
 
 #[test]
-fn feed_after_worker_death_reports_worker_unavailable() {
+fn exhausted_restart_budget_fails_the_shard_without_hanging() {
     let (engine, stream) = stress_setup(4, 256, 78);
+    let total_frames = 2 * 256u64;
+    // Shard 0 panics on every window it ever sees: the supervisor burns its
+    // whole budget (budget+1 panics), then the shard fails permanently and
+    // every remaining window drains as a Dropped placeholder.
     let config = PipelineConfig::default()
         .with_workers(2)
-        .with_fault_hook(Arc::new(|_, seq| {
-            if seq == 10 {
-                panic!("early injected fault at seq {seq}");
+        .with_restart_budget(2)
+        .with_backoff_base_ms(1)
+        .with_fault_hook(Arc::new(|shard, seq| {
+            if shard == 0 {
+                panic!("persistent fault in shard {shard} at seq {seq}");
             }
         }));
     let pipeline = IdsPipeline::spawn_sharded(engine, config);
-    // Keep feeding until the router exits; the bounded channel must unblock
-    // with an error rather than deadlock.
-    let mut saw_error = false;
-    for _ in 0..64 {
+    for _ in 0..2 {
         for chunk in stream.chunks(65_536) {
-            if pipeline.feed(chunk.to_vec()).is_err() {
-                saw_error = true;
-                break;
-            }
-        }
-        if saw_error {
-            break;
+            pipeline.feed(chunk.to_vec()).expect("feed survives");
         }
     }
-    assert!(saw_error, "feed never observed the dead pipeline");
+    let (engines, stats) = pipeline.close().expect("permanent failure still closes");
+    assert_eq!(engines.len(), 2, "failed shard returns its checkpoint");
+    assert_eq!(stats.frames, total_frames, "every window became an event");
+    assert_eq!(stats.shard_failed, vec![true, false]);
+    assert_eq!(stats.restarts[0], 3, "budget 2 → 3 panics absorbed");
+    assert_eq!(stats.restarts[1], 0);
     assert_eq!(
-        pipeline.close().expect_err("panic must be reported"),
-        PipelineError::WorkerPanicked
+        stats.dropped, stats.shard_frames[0],
+        "every window routed to the dead shard is dropped, none scored"
     );
+    assert!(stats.dropped > 0, "shard 0 must have owned some windows");
+    assert!(
+        stats.normals > 0,
+        "the surviving shard keeps scoring normally"
+    );
+    assert_identity(&stats, "post-failure");
+    // Dropped placeholders preserved stream continuity for the merger.
+}
+
+#[test]
+fn restarted_shard_resumes_byte_identical_after_the_fault_window() {
+    // A one-shot panic drops exactly one window; every event after the
+    // faulted sequence number must match the fault-free run byte for byte
+    // (the checkpoint restart must not perturb later verdicts).
+    let (engine, stream) = stress_setup(4, 256, 79);
+    let fault_seq = 100u64;
+    let fired = Arc::new(AtomicU64::new(0));
+    let hook_fired = Arc::clone(&fired);
+    let config = PipelineConfig::default()
+        .with_workers(4)
+        .with_backoff_base_ms(1)
+        .with_fault_hook(Arc::new(move |_, seq| {
+            if seq == fault_seq && hook_fired.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("one-shot fault at seq {seq}");
+            }
+        }));
+    let run = |config: PipelineConfig| {
+        let mut pipeline = IdsPipeline::spawn_sharded(engine.clone(), config);
+        for chunk in stream.chunks(65_536) {
+            pipeline.feed(chunk.to_vec()).expect("feed");
+        }
+        pipeline.close_input();
+        let events: Vec<IdsEvent> = pipeline.events().into_iter().collect();
+        pipeline.close().expect("clean close");
+        events
+    };
+    let faulted = run(config);
+    let clean = run(PipelineConfig::default().with_workers(4));
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "fault fired exactly once");
+    assert_eq!(faulted.len(), clean.len(), "placeholder keeps the count");
+    let mut dropped_seen = 0;
+    for (got, want) in faulted.iter().zip(&clean) {
+        if got.is_dropped() {
+            dropped_seen += 1;
+            assert_eq!(got.stream_pos(), want.stream_pos());
+            continue;
+        }
+        assert_eq!(
+            serde_json::to_string(got).expect("serialize"),
+            serde_json::to_string(want).expect("serialize"),
+            "non-dropped events must match the fault-free run"
+        );
+    }
+    assert_eq!(dropped_seen, 1, "exactly one window became a placeholder");
 }

@@ -3,7 +3,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vprofile::{EdgeSetExtractor, LabeledEdgeSet};
-use vprofile_analog::{AdcConfig, Environment, FrameSynthesizer, VoltageTrace};
+use vprofile_analog::{AdcConfig, AnalogError, Environment, FrameSynthesizer, VoltageTrace};
 use vprofile_can::bus::BusSimulator;
 use vprofile_can::{DataFrame, WireFrame};
 
@@ -240,37 +240,48 @@ impl Capture {
 
     /// Software-downsamples every trace by an integer factor (the
     /// Tables 4.6/4.7 method).
-    pub fn downsample(&self, factor: usize) -> Capture {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalogError`] for a zero factor.
+    pub fn downsample(&self, factor: usize) -> Result<Capture, AnalogError> {
         self.map_traces(|t| t.downsample(factor))
     }
 
     /// Software-requantizes every trace to a lower resolution.
-    pub fn requantize(&self, to_bits: u32) -> Capture {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalogError`] for a zero or above-native resolution.
+    pub fn requantize(&self, to_bits: u32) -> Result<Capture, AnalogError> {
         self.map_traces(|t| t.requantize(to_bits))
     }
 
-    fn map_traces(&self, f: impl Fn(&VoltageTrace) -> VoltageTrace) -> Capture {
+    fn map_traces(
+        &self,
+        f: impl Fn(&VoltageTrace) -> Result<VoltageTrace, AnalogError>,
+    ) -> Result<Capture, AnalogError> {
         let frames: Vec<CapturedFrame> = self
             .frames
             .iter()
             .map(|cf| {
-                let trace = f(&cf.trace);
-                CapturedFrame {
+                let trace = f(&cf.trace)?;
+                Ok(CapturedFrame {
                     frame: cf.frame.clone(),
                     true_ecu: cf.true_ecu,
                     start_bit_time: cf.start_bit_time,
                     trace,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, AnalogError>>()?;
         let adc = frames.first().map(|cf| *cf.trace.adc()).unwrap_or(self.adc);
-        Capture {
+        Ok(Capture {
             vehicle_name: self.vehicle_name.clone(),
             bit_rate_bps: self.bit_rate_bps,
             adc,
             env: self.env,
             frames,
-        }
+        })
     }
 
     /// Runs Algorithm 1 over every captured frame.
@@ -417,7 +428,7 @@ mod tests {
     #[test]
     fn downsample_and_requantize_propagate_to_all_traces() {
         let (_, capture) = small_capture();
-        let reduced = capture.downsample(2).requantize(10);
+        let reduced = capture.downsample(2).unwrap().requantize(10).unwrap();
         assert_eq!(reduced.adc().sample_rate_hz, 5e6);
         assert_eq!(reduced.adc().resolution_bits, 10);
         for cf in reduced.frames() {

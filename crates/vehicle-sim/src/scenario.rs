@@ -6,12 +6,19 @@
 //! * [`power_event_trials`] — the §4.4.2 procedure: in accessory mode
 //!   (12.61 V battery, stable ~28.4 °C), cycle the interior/exterior
 //!   lights, the A/C, and both together, capturing each event.
+//! * [`chaos_faulted_capture`] / [`chaos_brownout_capture`] /
+//!   [`chaos_stream`] — seeded capture-fault scenarios (dropouts, stuck
+//!   ADC codes, noise bursts, supply brownouts) for exercising the IDS
+//!   pipeline's degraded-mode and self-healing paths. Everything is
+//!   reproducible from one `u64` seed.
 
 use crate::{Capture, CaptureConfig, EcuSpec, MessageSchedule, Vehicle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vprofile_analog::{AdcConfig, Environment, PowerEvent, TransceiverModel};
+use vprofile_analog::{
+    AdcConfig, Environment, Fault, FaultInjector, PowerEvent, PowerState, TransceiverModel,
+};
 
 /// A temperature bin with its capture.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -181,6 +188,120 @@ pub fn power_event_trials(
     Ok(out)
 }
 
+/// Re-captures every frame of `capture` through a seeded [`FaultInjector`]
+/// carrying `faults`. The injection is deterministic: the same capture,
+/// seed and fault list always produce the same corrupted capture.
+pub fn chaos_inject(capture: &Capture, seed: u64, faults: &[Fault]) -> Capture {
+    let mut injector = faults.iter().fold(
+        FaultInjector::new(seed, *capture.adc()),
+        |injector, &fault| injector.with(fault),
+    );
+    let frames = capture
+        .frames()
+        .iter()
+        .map(|cf| {
+            let mut cf = cf.clone();
+            cf.trace = injector.apply_trace(&cf.trace);
+            cf
+        })
+        .collect();
+    Capture::from_frames(
+        format!("{} (chaos)", capture.vehicle_name()),
+        capture.bit_rate_bps(),
+        *capture.adc(),
+        *capture.env(),
+        frames,
+    )
+}
+
+/// Records a clean capture of `vehicle` and runs it through
+/// [`chaos_inject`]: the fault-free traffic schedule stays identical to a
+/// plain `vehicle.capture(..)` with the same seed, so a test can diff the
+/// corrupted run against its clean twin frame for frame.
+///
+/// # Errors
+///
+/// Propagates capture failures.
+pub fn chaos_faulted_capture(
+    vehicle: &Vehicle,
+    frames: usize,
+    seed: u64,
+    faults: &[Fault],
+) -> Result<Capture, vprofile::VProfileError> {
+    let capture = vehicle.capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))?;
+    Ok(chaos_inject(&capture, seed, faults))
+}
+
+/// Records a capture through a supply-brownout event: the physical rail
+/// follows `power` (the transceiver sees the sagging battery), and frames
+/// transmitted while the rail is down are additionally collapsed in the
+/// code domain ([`Fault::Brownout`], modelling the rail falling below the
+/// transceiver's regulated operating range, which the small linear
+/// `supply_level_coeff` transfer cannot represent) plus any `extra` faults
+/// (e.g. impulse noise from a failing regulator). Frames outside the
+/// brownout window are untouched, so the capture re-converges to clean
+/// traffic after the event.
+///
+/// # Errors
+///
+/// Propagates capture failures.
+pub fn chaos_brownout_capture(
+    vehicle: &Vehicle,
+    frames: usize,
+    seed: u64,
+    power: &PowerState,
+    extra: &[Fault],
+) -> Result<Capture, vprofile::VProfileError> {
+    let nominal = Environment::ENGINE_RUNNING_V;
+    let config = CaptureConfig::default().with_frames(frames).with_seed(seed);
+    let capture = Capture::record_with_env(vehicle, &config, |t_s| {
+        let mut env = Environment::idling_at(21.0);
+        env.battery_v = power.battery_v_at(nominal, t_s);
+        env
+    });
+    let bit_rate = capture.bit_rate_bps();
+    let mut injector = FaultInjector::new(seed, *capture.adc());
+    let frames = capture
+        .frames()
+        .iter()
+        .map(|cf| {
+            let t_s = cf.start_bit_time as f64 / f64::from(bit_rate);
+            let sag = power.sag_fraction_at(nominal, t_s);
+            let mut cf = cf.clone();
+            if sag > 0.0 {
+                cf.trace = injector.apply_fault_trace(&cf.trace, Fault::Brownout { sag });
+                for &fault in extra {
+                    cf.trace = injector.apply_fault_trace(&cf.trace, fault);
+                }
+            }
+            cf
+        })
+        .collect();
+    Ok(Capture::from_frames(
+        format!("{} (chaos brownout)", capture.vehicle_name()),
+        bit_rate,
+        *capture.adc(),
+        *capture.env(),
+        frames,
+    ))
+}
+
+/// Concatenates a capture's traces into one raw sample stream and corrupts
+/// it with stream-level faults (including [`Fault::NonFinite`], which only
+/// exists in the sample domain) — the shape the IDS pipeline's `feed`
+/// consumes.
+pub fn chaos_stream(capture: &Capture, seed: u64, faults: &[Fault]) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for frame in capture.frames() {
+        samples.extend(frame.trace.to_f64());
+    }
+    let mut injector = faults.iter().fold(
+        FaultInjector::new(seed, *capture.adc()),
+        |injector, &fault| injector.with(fault),
+    );
+    injector.apply_stream(&samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +408,86 @@ mod tests {
         let a = temperature_sweep(&vehicle, &[(-5.0, 0.0)], 6, 11).unwrap();
         let b = temperature_sweep(&vehicle, &[(-5.0, 0.0)], 6, 11).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_capture_is_seed_deterministic_and_corrupting() {
+        let vehicle = stress_fleet(4, 7);
+        let faults = [Fault::Dropout {
+            prob: 0.01,
+            max_gap: 4,
+        }];
+        let a = chaos_faulted_capture(&vehicle, 16, 7, &faults).unwrap();
+        let b = chaos_faulted_capture(&vehicle, 16, 7, &faults).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same corruption");
+        let clean = vehicle
+            .capture(&CaptureConfig::default().with_frames(16).with_seed(7))
+            .unwrap();
+        assert_eq!(a.len(), clean.len(), "corruption never loses frames");
+        assert_ne!(
+            a.frames()[0].trace,
+            clean.frames()[0].trace,
+            "1% dropout must actually corrupt traces"
+        );
+        let other = chaos_faulted_capture(&vehicle, 16, 8, &faults).unwrap();
+        assert_ne!(a.frames()[0].trace, other.frames()[0].trace);
+    }
+
+    #[test]
+    fn chaos_brownout_corrupts_only_the_event_window() {
+        let vehicle = stress_fleet(4, 9);
+        // Sag deep enough to pull the dominant level under the framing
+        // threshold (full-scale/2) for the middle of the session.
+        let power = PowerState::Brownout {
+            start_s: 0.02,
+            ramp_s: 0.01,
+            hold_s: 0.05,
+            depth_v: 0.6 * Environment::ENGINE_RUNNING_V,
+        };
+        let capture = chaos_brownout_capture(&vehicle, 48, 9, &power, &[]).unwrap();
+        let clean = vehicle
+            .capture(&CaptureConfig::default().with_frames(48).with_seed(9))
+            .unwrap();
+        assert_eq!(capture.len(), clean.len());
+        let bit_rate = f64::from(capture.bit_rate_bps());
+        let mut touched = 0usize;
+        for (chaotic, reference) in capture.frames().iter().zip(clean.frames()) {
+            let t_s = chaotic.start_bit_time as f64 / bit_rate;
+            let nominal = Environment::ENGINE_RUNNING_V;
+            if power.sag_fraction_at(nominal, t_s) > 0.0 {
+                touched += 1;
+                let chaotic_max = chaotic.trace.codes().iter().max().copied().unwrap();
+                let clean_max = reference.trace.codes().iter().max().copied().unwrap();
+                assert!(
+                    chaotic_max < clean_max,
+                    "brownout must collapse the dominant level: {chaotic_max} vs {clean_max}"
+                );
+            }
+        }
+        assert!(touched > 0, "brownout window must cover some frames");
+        assert!(
+            touched < capture.len(),
+            "brownout must not cover the whole session"
+        );
+    }
+
+    #[test]
+    fn chaos_stream_matches_clean_concatenation_without_faults() {
+        let vehicle = stress_fleet(2, 11);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(8).with_seed(11))
+            .unwrap();
+        let stream = chaos_stream(&capture, 11, &[]);
+        let mut clean = Vec::new();
+        for frame in capture.frames() {
+            clean.extend(frame.trace.to_f64());
+        }
+        assert_eq!(stream, clean, "no faults → identity transform");
+        let corrupted = chaos_stream(&capture, 11, &[Fault::NonFinite { prob: 0.01 }]);
+        assert_eq!(corrupted.len(), clean.len());
+        assert!(
+            corrupted.iter().any(|s| !s.is_finite()),
+            "NonFinite fault must inject non-finite samples"
+        );
     }
 }

@@ -93,6 +93,19 @@ impl Verdict {
     pub fn is_anomaly(&self) -> bool {
         matches!(self, Verdict::Anomaly { .. })
     }
+
+    /// `true` when the message could not be scored at all (dimension
+    /// mismatch or numeric failure) — a capture-integrity signal, distinct
+    /// from a scored-and-rejected anomaly. The IDS health monitor keys its
+    /// circuit breaker on this.
+    pub fn is_unscorable(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable
+            }
+        )
+    }
 }
 
 /// Precomputed scoring state for a specific model version.

@@ -1,4 +1,5 @@
 use std::fmt;
+use vprofile_analog::AnalogError;
 use vprofile_sigstat::SigStatError;
 
 /// Errors produced by the vProfile pipeline.
@@ -47,6 +48,8 @@ pub enum VProfileError {
         /// What was missing.
         context: &'static str,
     },
+    /// A capture-layer failure (degenerate downsample/requantize arguments).
+    Analog(AnalogError),
 }
 
 impl fmt::Display for VProfileError {
@@ -79,6 +82,7 @@ impl fmt::Display for VProfileError {
             VProfileError::DataUnavailable { context } => {
                 write!(f, "required data unavailable: {context}")
             }
+            VProfileError::Analog(err) => write!(f, "capture-layer failure: {err}"),
         }
     }
 }
@@ -87,6 +91,7 @@ impl std::error::Error for VProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VProfileError::Numeric(err) => Some(err),
+            VProfileError::Analog(err) => Some(err),
             _ => None,
         }
     }
@@ -95,6 +100,12 @@ impl std::error::Error for VProfileError {
 impl From<SigStatError> for VProfileError {
     fn from(err: SigStatError) -> Self {
         VProfileError::Numeric(err)
+    }
+}
+
+impl From<AnalogError> for VProfileError {
+    fn from(err: AnalogError) -> Self {
+        VProfileError::Analog(err)
     }
 }
 
@@ -122,6 +133,7 @@ mod tests {
             VProfileError::DataUnavailable {
                 context: "baseline capture",
             },
+            VProfileError::Analog(AnalogError::ZeroDecimationFactor),
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());

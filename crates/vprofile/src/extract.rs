@@ -451,7 +451,7 @@ mod tests {
         let synth = FrameSynthesizer::new(250_000, AdcConfig::vehicle_a());
         let wire = WireFrame::encode(&frame_with_sa(0x31));
         let trace = synth.synthesize(wire.bits(), &tx, &Environment::default(), &mut rng);
-        let reduced = trace.downsample(8).requantize(10); // 2.5 MS/s @ 10 bit
+        let reduced = trace.downsample(8).unwrap().requantize(10).unwrap(); // 2.5 MS/s @ 10 bit
         let config = VProfileConfig::for_adc(reduced.adc(), 250_000);
         let extractor = EdgeSetExtractor::new(config);
         let extraction = extractor.extract(&reduced.to_f64()).unwrap();

@@ -75,6 +75,7 @@ mod error;
 mod extract;
 mod io;
 mod model;
+mod quarantine;
 mod train;
 mod update;
 
@@ -86,5 +87,6 @@ pub use error::VProfileError;
 pub use extract::{cluster_extraction_threshold, EdgeSetExtractor};
 pub use io::ModelIoError;
 pub use model::{ClusterStats, Model};
+pub use quarantine::QuarantineSet;
 pub use train::Trainer;
 pub use update::UpdateOutcome;

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vprofile_suite::core::{Detector, EdgeSetExtractor, Model, Trainer, VProfileConfig};
 use vprofile_suite::ids::AlarmAggregator;
-use vprofile_suite::ids::IdsEvent;
+use vprofile_suite::ids::{IdsEvent, ScoredEvent};
 use vprofile_suite::sigstat::DistanceMetric;
 use vprofile_suite::vehicle::attack::hijack_imitation_test;
 use vprofile_suite::vehicle::{Capture, CaptureConfig, Vehicle};
@@ -197,13 +197,13 @@ fn detect(flags: &BTreeMap<String, String>) -> Result<(), String> {
         if verdict.is_anomaly() {
             anomalies += 1;
         }
-        let event = IdsEvent {
+        let event = IdsEvent::Scored(ScoredEvent {
             stream_pos: idx as u64,
             sa: Some(message.observation.sa),
             verdict,
             extraction_failed: false,
             retrain_due: false,
-        };
+        });
         if let Some(incident) = aggregator.absorb(&event) {
             println!(
                 "escalation: [{}] count {} under SA {:?}",

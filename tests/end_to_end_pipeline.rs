@@ -145,7 +145,7 @@ fn stream_replay_matches_per_frame_replay() {
     }
     assert_eq!(events.len(), take);
     for (event, &expected) in events.iter().zip(&per_frame) {
-        assert_eq!(event.verdict.is_anomaly(), expected);
+        assert_eq!(event.is_anomaly(), expected);
     }
 }
 

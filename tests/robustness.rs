@@ -91,7 +91,7 @@ proptest! {
         let capture = vehicle
             .capture(&CaptureConfig::default().with_frames(2).with_seed(seed))
             .unwrap();
-        let reduced = capture.requantize(bits);
+        let reduced = capture.requantize(bits).unwrap();
         let config = VProfileConfig::for_adc(reduced.adc(), reduced.bit_rate_bps());
         let dim = config.edge_set_dim();
         let extractor = EdgeSetExtractor::new(config);
