@@ -1,0 +1,170 @@
+//! Hot-path microbenchmarks: the per-frame costs behind the pipeline's
+//! frames/sec number, measured in isolation so a regression is
+//! attributable to a single kernel.
+//!
+//! * `extract` — Algorithm 1 (SOF walk, resync, stuff-skip, edge capture)
+//!   into a reused [`vprofile::ScratchArena`];
+//! * `score/single_frame` — cached nearest-cluster scan plus verdict for
+//!   one already-extracted edge set;
+//! * `score/process_window` — the full engine hot path (extract + score)
+//!   for one framed window;
+//! * `score/batched_64` — the flat [`SampleBatch`] Mahalanobis kernel over
+//!   64 frames at once;
+//! * `matmul` — the cache-blocked `mul_add` matrix kernel the scoring
+//!   factors are built with.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vprofile::{Detector, EdgeSetExtractor, ScoringCache, ScratchArena, Trainer, VProfileConfig};
+use vprofile_ids::{IdsEngine, UpdatePolicy};
+use vprofile_sigstat::{BatchedMahalanobis, Gaussian, Matrix, SampleBatch};
+use vprofile_vehicle::{CaptureConfig, Vehicle};
+
+/// Trained setup shared by the extraction and scoring benches.
+#[allow(clippy::type_complexity)]
+fn trained() -> (
+    vprofile::Model,
+    EdgeSetExtractor,
+    Vec<f64>, // one framed window (with lead-in idle)
+) {
+    let vehicle = Vehicle::vehicle_b(23);
+    let capture = vehicle
+        .capture(&CaptureConfig::default().with_frames(400).with_seed(23))
+        .expect("capture");
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extractor = EdgeSetExtractor::new(config.clone());
+    let extracted = capture.extract(&extractor);
+    let model = Trainer::new(config)
+        .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+        .expect("training");
+    let window = capture.frames()[0].trace.to_f64();
+    (model, extractor, window)
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let (_, extractor, window) = trained();
+    let mut scratch = ScratchArena::new();
+    // Warm the arena so the measured iterations are allocation-free.
+    extractor
+        .extract_into(&window, &mut scratch)
+        .expect("extract");
+    c.bench_function("extract", |b| {
+        b.iter(|| {
+            extractor
+                .extract_into(black_box(&window), &mut scratch)
+                .expect("extract")
+        })
+    });
+}
+
+fn bench_score(c: &mut Criterion) {
+    let (model, extractor, window) = trained();
+    let cache = ScoringCache::build(&model).expect("cache");
+    let mut scratch = ScratchArena::new();
+    let sa = extractor
+        .extract_into(&window, &mut scratch)
+        .expect("extract");
+    let edge_set = scratch.edge_set.clone();
+    let detector = Detector::with_margin(&model, 2.0);
+
+    let mut group = c.benchmark_group("score");
+    let mut distances = Vec::new();
+    group.bench_function("single_frame", |b| {
+        b.iter(|| detector.classify_cached_with(sa, black_box(&edge_set), &cache, &mut distances))
+    });
+
+    let mut engine = IdsEngine::new(model.clone(), 2.0, UpdatePolicy::disabled());
+    engine.process_window(0, &window); // warm cache + scratch
+    group.bench_function("process_window", |b| {
+        b.iter(|| engine.process_window(0, black_box(&window)))
+    });
+
+    // Batched kernel: 64 jittered copies of the real edge set.
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut batch = SampleBatch::new(edge_set.len());
+    let mut probe = vec![0.0; edge_set.len()];
+    for _ in 0..64 {
+        for (p, &e) in probe.iter_mut().zip(&edge_set) {
+            *p = e + rng.random_range(-0.5..0.5);
+        }
+        batch.push_row(&probe).expect("dims match");
+    }
+    let gaussians: Vec<Gaussian> = model
+        .clusters()
+        .iter()
+        .filter_map(|c| c.gaussian().cloned())
+        .collect();
+    let refs: Vec<&Gaussian> = gaussians.iter().collect();
+    if !refs.is_empty() {
+        let batched = BatchedMahalanobis::from_gaussians(&refs).expect("stacked factors");
+        let mut out = SampleBatch::with_capacity(batched.cluster_count(), batch.rows());
+        group.bench_function("batched_64", |b| {
+            b.iter(|| {
+                batched
+                    .distances_batch_into(black_box(&batch), &mut out)
+                    .expect("dims match")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let (model, extractor, window) = trained();
+    let config = model.config();
+    let mut group = c.benchmark_group("router");
+    group.bench_function("peek_sa", |b| {
+        b.iter(|| extractor.peek_sa(black_box(&window)).expect("peek"))
+    });
+    // Per-frame framing cost: push a 64-frame stream through per iteration.
+    let mut stream = Vec::new();
+    for _ in 0..64 {
+        stream.extend_from_slice(&window);
+    }
+    let mut framer =
+        vprofile_ids::StreamFramer::new(config.bit_width_samples, config.bit_threshold);
+    group.bench_function("framer_push_64_frames", |b| {
+        b.iter(|| black_box(framer.push(black_box(&stream))).len())
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64] {
+        let a = Matrix::from_row_major(
+            n,
+            n,
+            (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect(),
+        )
+        .expect("square");
+        let b_m = Matrix::from_row_major(
+            n,
+            n,
+            (0..n * n).map(|_| rng.random_range(-1.0..1.0)).collect(),
+        )
+        .expect("square");
+        let mut out = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.mul_into(black_box(&b_m), &mut out).expect("dims match"))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(50)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_extract, bench_score, bench_router, bench_matmul
+}
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! `alloc_audit` — proves the steady-state score path is allocation-free.
+//!
+//! ```text
+//! alloc_audit [--frames N] [--seed S] [--out FILE]
+//! ```
+//!
+//! The binary installs [`alloc_counter::CountingAllocator`] as the global
+//! allocator, builds a trained engine on stress-fleet traffic, pre-frames
+//! the raw stream into windows (framing owns its own buffers and is audited
+//! separately below), then:
+//!
+//! 1. **warm-up pass** — one full pass over every window, letting the
+//!    scoring cache build and the [`vprofile::ScratchArena`] buffers grow to
+//!    their steady-state capacity;
+//! 2. **measured pass(es)** — at least `--frames` windows through
+//!    [`vprofile_ids::IdsEngine::process_window`] with the allocator
+//!    counters snapshotted around the loop.
+//!
+//! The process exits non-zero if the measured passes touch the allocator at
+//! all (`allocations + reallocations > 0`), making "zero allocations per
+//! frame" a CI-enforced invariant rather than a code comment. A JSON
+//! artifact with the counter deltas is written for the benchmark record.
+//!
+//! The measured section is single-threaded, so every counted event is
+//! attributable to the score path.
+
+use serde::Serialize;
+use std::process::ExitCode;
+use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
+use vprofile_ids::{IdsEngine, StreamFramer, UpdatePolicy};
+use vprofile_vehicle::scenario::stress_fleet;
+use vprofile_vehicle::CaptureConfig;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator::new();
+
+/// Frames captured once; the measured loop replays them as often as needed.
+const CAPTURE_FRAMES: usize = 400;
+/// ECUs in the stress fleet.
+const ECUS: usize = 8;
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    ecus: usize,
+    seed: u64,
+    frames_measured: u64,
+    allocations: u64,
+    reallocations: u64,
+    deallocations: u64,
+    bytes_requested: u64,
+    allocs_per_frame: f64,
+    anomalies: u64,
+    passed: bool,
+    note: &'static str,
+}
+
+struct Options {
+    frames: u64,
+    seed: u64,
+    out: String,
+}
+
+fn main() -> ExitCode {
+    let mut options = Options {
+        frames: 10_000,
+        seed: 11,
+        out: "BENCH_alloc.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => options.frames = v,
+                _ => return usage_error("--frames needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(v) => options.out = v.clone(),
+                None => return usage_error("--out needs a file path"),
+            },
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    let report = match run(&options) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("error: serializing report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = std::fs::write(&options.out, format!("{json}\n")) {
+        eprintln!("error: writing {}: {err}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", options.out);
+    if report.passed {
+        eprintln!(
+            "PASS: 0 heap allocations over {} steady-state frames",
+            report.frames_measured
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {} allocations + {} reallocations over {} frames \
+             ({:.4} allocs/frame) — the steady-state score path must not allocate",
+            report.allocations,
+            report.reallocations,
+            report.frames_measured,
+            report.allocs_per_frame
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("usage: alloc_audit [--frames N] [--seed S] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+fn run(options: &Options) -> Result<Report, String> {
+    // Build phase: allocate freely.
+    let vehicle = stress_fleet(ECUS, options.seed);
+    let capture = vehicle
+        .capture(
+            &CaptureConfig::default()
+                .with_frames(CAPTURE_FRAMES)
+                .with_seed(options.seed),
+        )
+        .map_err(|e| format!("capture failed: {e}"))?;
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    if extracted.failures != 0 {
+        return Err(format!(
+            "{} extraction failures on clean stress traffic",
+            extracted.failures
+        ));
+    }
+    let model = Trainer::new(config.clone())
+        .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+        .map_err(|e| format!("training failed: {e}"))?;
+
+    // Pre-frame the raw stream so the measured loop exercises exactly the
+    // extract-and-score path (the pipeline's workers see the same shape:
+    // each receives an already-framed window).
+    let mut stream = Vec::with_capacity(capture.frames().iter().map(|f| f.trace.len()).sum());
+    for frame in capture.frames() {
+        frame.trace.extend_f64_into(&mut stream);
+    }
+    let mut framer = StreamFramer::new(config.bit_width_samples, config.bit_threshold);
+    let mut windows = framer.push(&stream);
+    if let Some(last) = framer.flush() {
+        windows.push(last);
+    }
+    if windows.len() < CAPTURE_FRAMES / 2 {
+        return Err(format!(
+            "framer produced only {} windows from {CAPTURE_FRAMES} frames",
+            windows.len()
+        ));
+    }
+
+    let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::disabled());
+
+    // Warm-up: builds the scoring cache and grows the scratch arena to its
+    // steady-state capacity.
+    let mut warm_anomalies = 0u64;
+    for (pos, window) in &windows {
+        if engine.process_window(*pos, window).is_anomaly() {
+            warm_anomalies += 1;
+        }
+    }
+    if warm_anomalies != 0 {
+        return Err(format!(
+            "{warm_anomalies} anomalies during warm-up on clean traffic"
+        ));
+    }
+
+    // Measured passes: nothing in this loop may allocate.
+    let passes = options.frames.div_ceil(windows.len() as u64).max(1);
+    let frames_measured = passes * windows.len() as u64;
+    let mut anomalies = 0u64;
+    let before = ALLOC.snapshot();
+    for _ in 0..passes {
+        for (pos, window) in &windows {
+            if engine.process_window(*pos, window).is_anomaly() {
+                anomalies += 1;
+            }
+        }
+    }
+    let delta = ALLOC.snapshot().since(&before);
+
+    let total = delta.total_allocations();
+    Ok(Report {
+        benchmark: "alloc_audit",
+        ecus: ECUS,
+        seed: options.seed,
+        frames_measured,
+        allocations: delta.allocations,
+        reallocations: delta.reallocations,
+        deallocations: delta.deallocations,
+        bytes_requested: delta.bytes_requested,
+        allocs_per_frame: total as f64 / frames_measured as f64,
+        anomalies,
+        passed: total == 0,
+        note: "Counts cover the steady-state extract+score loop only: windows are \
+               pre-framed and the scoring cache plus scratch arena are warmed by one \
+               full pass before the counters are read. passed == (allocations + \
+               reallocations == 0).",
+    })
+}

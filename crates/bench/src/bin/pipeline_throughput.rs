@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
 use vprofile_analog::Fault;
-use vprofile_ids::{IdsEngine, IdsPipeline, PipelineConfig, UpdatePolicy};
+use vprofile_ids::{IdsEngine, IdsPipeline, PipelineConfig, StageBreakdown, UpdatePolicy};
 use vprofile_vehicle::scenario::{chaos_stream, stress_fleet};
 use vprofile_vehicle::CaptureConfig;
 
@@ -47,6 +47,10 @@ struct WorkerRun {
     speedup_vs_single: f64,
     anomalies: u64,
     shard_frames: Vec<u64>,
+    /// Cumulative per-stage nanoseconds (router framing+routing, worker
+    /// extraction, worker scoring, merger reordering). Extract/score sum
+    /// across workers, so they can exceed the run's wall clock.
+    stage_ns: StageBreakdown,
 }
 
 #[derive(Serialize)]
@@ -137,7 +141,7 @@ fn run(options: &Options) -> Result<Report, String> {
     for (variant, samples) in [("clean", &stream), ("dropout_1pct", &faulted)] {
         let mut single_fps = None;
         for workers in WORKER_COUNTS {
-            let (frames, elapsed_s, anomalies, shard_frames) =
+            let (frames, elapsed_s, anomalies, shard_frames, stage_ns) =
                 timed_run(engine.clone(), samples, reps, workers)?;
             let frames_per_sec = frames as f64 / elapsed_s;
             let speedup_vs_single = single_fps.map(|s| frames_per_sec / s).unwrap_or(1.0);
@@ -155,6 +159,7 @@ fn run(options: &Options) -> Result<Report, String> {
                 speedup_vs_single,
                 anomalies,
                 shard_frames,
+                stage_ns,
             });
         }
     }
@@ -199,9 +204,9 @@ fn prepare(
     let model = Trainer::new(config)
         .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
         .map_err(|e| format!("training failed: {e}"))?;
-    let mut stream = Vec::new();
+    let mut stream = Vec::with_capacity(capture.frames().iter().map(|f| f.trace.len()).sum());
     for frame in capture.frames() {
-        stream.extend(frame.trace.to_f64());
+        frame.trace.extend_f64_into(&mut stream);
     }
     let faulted = chaos_stream(
         &capture,
@@ -222,13 +227,14 @@ fn prepare(
 
 /// Feeds `reps` repetitions of `stream` through a `workers`-wide pipeline
 /// and returns (frames scored, wall-clock seconds, anomalies, per-shard
-/// frame counts).
+/// frame counts, per-stage timing breakdown).
+#[allow(clippy::type_complexity)]
 fn timed_run(
     engine: IdsEngine,
     stream: &[f64],
     reps: usize,
     workers: usize,
-) -> Result<(u64, f64, u64, Vec<u64>), String> {
+) -> Result<(u64, f64, u64, Vec<u64>, StageBreakdown), String> {
     let mut pipeline =
         IdsPipeline::spawn_sharded(engine, PipelineConfig::default().with_workers(workers));
     let t0 = Instant::now();
@@ -254,5 +260,11 @@ fn timed_run(
             stats.frames
         ));
     }
-    Ok((stats.frames, elapsed_s, stats.anomalies, stats.shard_frames))
+    Ok((
+        stats.frames,
+        elapsed_s,
+        stats.anomalies,
+        stats.shard_frames,
+        stats.stage_ns,
+    ))
 }

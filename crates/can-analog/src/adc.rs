@@ -143,6 +143,14 @@ impl VoltageTrace {
         self.codes.iter().map(|&c| c as f64).collect()
     }
 
+    /// Appends the codes as `f64` to `out`, reusing its capacity. Stream
+    /// builders concatenate thousands of frame traces; this skips the
+    /// per-frame temporary that `out.extend(trace.to_f64())` would
+    /// allocate.
+    pub fn extend_f64_into(&self, out: &mut Vec<f64>) {
+        out.extend(self.codes.iter().map(|&c| c as f64));
+    }
+
     /// Codes converted to volts.
     pub fn to_volts(&self) -> Vec<f64> {
         self.codes

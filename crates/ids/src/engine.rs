@@ -4,10 +4,18 @@
 use crate::event::{IdsEvent, ScoredEvent};
 use crate::StreamFramer;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use vprofile::{
-    Detector, EdgeSetExtractor, LabeledEdgeSet, Model, QuarantineSet, ScoringCache, Verdict,
+    Detector, EdgeSet, EdgeSetExtractor, LabeledEdgeSet, Model, QuarantineSet, ScoringCache,
+    ScratchArena, Verdict,
 };
 use vprofile_can::SourceAddress;
+
+/// Nanoseconds since `since`, saturating instead of truncating on the
+/// (never-in-practice) u128 → u64 overflow.
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// When and how the engine feeds accepted messages back into the model
 /// (thesis §5.3 / Algorithm 4).
@@ -83,6 +91,11 @@ pub struct IdsEngine {
     pending_updates: Vec<LabeledEdgeSet>,
     cache: CacheState,
     quarantine: QuarantineSet,
+    /// Per-engine reusable buffers; with these, the steady-state
+    /// extract-and-score path of [`IdsEngine::process_window`] performs no
+    /// heap allocations (the bench crate's counting allocator enforces
+    /// this).
+    scratch: ScratchArena,
 }
 
 impl IdsEngine {
@@ -101,6 +114,7 @@ impl IdsEngine {
             pending_updates: Vec::new(),
             cache: CacheState::Stale,
             quarantine: QuarantineSet::new(),
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -171,22 +185,53 @@ impl IdsEngine {
 
     /// Classifies one already-framed window.
     pub fn process_window(&mut self, stream_pos: u64, window: &[f64]) -> IdsEvent {
-        match self.extractor.extract(window) {
-            Ok(observation) => {
+        self.process_window_timed(stream_pos, window).0
+    }
+
+    /// [`IdsEngine::process_window`] with a per-stage breakdown: returns
+    /// `(event, extract_ns, score_ns)` so the pipeline can attribute time
+    /// to extraction vs. scoring. The hot path runs through the engine's
+    /// [`ScratchArena`]: extraction writes into `scratch.edge_set`, the
+    /// nearest-cluster scan into `scratch.distances`, and nothing touches
+    /// the allocator in steady state (observations are only materialized
+    /// for the occasional online-update absorption or uncached fallback).
+    pub fn process_window_timed(
+        &mut self,
+        stream_pos: u64,
+        window: &[f64],
+    ) -> (IdsEvent, u64, u64) {
+        let extracting = Instant::now();
+        let extracted = self.extractor.extract_into(window, &mut self.scratch);
+        let extract_ns = elapsed_ns(extracting);
+        let scoring = Instant::now();
+        let event = match extracted {
+            Ok(sa) => {
                 self.ensure_cache();
                 let detector = Detector::with_margin(&self.model, self.margin);
+                let ScratchArena {
+                    edge_set,
+                    distances,
+                    ..
+                } = &mut self.scratch;
                 let verdict = match &self.cache {
-                    CacheState::Ready(cache) => detector.classify_cached(&observation, cache),
-                    CacheState::Stale | CacheState::Unavailable => detector.classify(&observation),
+                    CacheState::Ready(cache) => {
+                        detector.classify_cached_with(sa, edge_set, cache, distances)
+                    }
+                    CacheState::Stale | CacheState::Unavailable => {
+                        let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.clone()));
+                        detector.classify(&obs)
+                    }
                 };
                 let mut retrain_due = false;
                 if !verdict.is_anomaly()
                     && self.policy.is_enabled()
-                    && !self.quarantine.contains(observation.sa.0)
+                    && !self.quarantine.contains(sa.0)
                 {
                     self.accepted_count += 1;
                     if self.accepted_count.is_multiple_of(self.policy.interval) {
-                        self.pending_updates.push(observation.clone());
+                        let obs =
+                            LabeledEdgeSet::new(sa, EdgeSet::new(self.scratch.edge_set.clone()));
+                        self.pending_updates.push(obs);
                         // Batch pending updates to amortize refactorization.
                         if self.pending_updates.len() >= 16 {
                             self.apply_pending_updates();
@@ -196,7 +241,7 @@ impl IdsEngine {
                 }
                 IdsEvent::Scored(ScoredEvent {
                     stream_pos,
-                    sa: Some(observation.sa),
+                    sa: Some(sa),
                     verdict,
                     extraction_failed: false,
                     retrain_due,
@@ -213,7 +258,8 @@ impl IdsEngine {
                 extraction_failed: true,
                 retrain_due: false,
             }),
-        }
+        };
+        (event, extract_ns, elapsed_ns(scoring))
     }
 
     /// Applies any buffered online updates immediately.

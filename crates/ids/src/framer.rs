@@ -62,39 +62,114 @@ impl StreamFramer {
     /// Pushes a chunk of samples; returns every frame window completed by
     /// this chunk, each paired with the stream position of its first
     /// sample.
+    ///
+    /// The chunk is consumed in *runs*, not sample by sample: idle spans
+    /// are skipped with one vectorizable threshold scan and copied into the
+    /// buffer with one `extend_from_slice` (trimmed to the lead-in tail
+    /// once per span rather than once per sample), and in-frame spans use a
+    /// gap-skip search — a close needs `end_gap` consecutive recessive
+    /// samples, so the scan probes the earliest offset where the gap could
+    /// complete and leaps `end_gap` ahead of the last dominant sample it
+    /// finds, never touching most of the frame body. A closed frame's
+    /// window is assembled directly from the buffered head plus the in-chunk
+    /// tail (one copy of the body, not two). Output is identical to the
+    /// historical per-sample loop for every chunking of the stream.
     pub fn push(&mut self, samples: &[f64]) -> Vec<(u64, Vec<f64>)> {
         let mut out = Vec::new();
         let end_gap = (self.end_gap_bits * self.bit_width) as usize;
-        for &sample in samples {
-            self.consumed += 1;
-            self.buffer.push(sample);
-            let dominant = sample >= self.threshold;
-            if dominant {
-                self.recessive_run = 0;
-                if self.sof_at.is_none() {
-                    self.sof_at = Some(self.buffer.len() - 1);
+        let mut i = 0usize;
+        while i < samples.len() {
+            if self.sof_at.is_none() {
+                // Idle: find the next dominant sample (SOF), keeping only a
+                // lead-in tail of the idle span before it.
+                let sof_off = samples[i..].iter().position(|&v| v >= self.threshold);
+                let idle_len = sof_off.unwrap_or(samples.len() - i);
+                self.consumed += idle_len as u64;
+                if idle_len >= self.lead_in {
+                    // The span alone covers the lead-in: whatever idle tail
+                    // the buffer held is superseded, skip copying the rest.
+                    self.buffer.clear();
+                    self.buffer
+                        .extend_from_slice(&samples[i + idle_len - self.lead_in..i + idle_len]);
+                } else {
+                    self.buffer.extend_from_slice(&samples[i..i + idle_len]);
+                    if self.buffer.len() > self.lead_in {
+                        let excess = self.buffer.len() - self.lead_in;
+                        self.buffer.drain(..excess);
+                    }
                 }
-            } else {
-                self.recessive_run += 1;
+                i += idle_len;
+                let Some(_) = sof_off else {
+                    break; // chunk was pure idle
+                };
+                self.sof_at = Some(self.buffer.len());
+                self.recessive_run = 0;
+                // Fall through: `i` points at the SOF sample, handled by the
+                // in-frame branch below.
             }
-            match self.sof_at {
-                Some(sof) if self.recessive_run >= end_gap => {
+            // In frame: find the first offset `c` (into `rel`) where the
+            // trailing recessive run reaches `end_gap`. Such a close sits
+            // exactly `end_gap` after the last dominant sample, so probe the
+            // earliest candidate and jump from each dominant found: the
+            // backward scan only ever reads each sample once, and the
+            // samples between a found dominant and its candidate are
+            // skipped outright.
+            let rel = &samples[i..];
+            let run = self.recessive_run;
+            let mut lo = 0usize; // rel[..lo] already verified/accounted
+            let mut last_dom: Option<usize> = None;
+            // First offset whose gap could complete, given the carried run.
+            let mut cand = end_gap - 1 - run;
+            let close = loop {
+                if cand >= rel.len() {
+                    break None;
+                }
+                match rel[lo..=cand].iter().rposition(|&v| v >= self.threshold) {
+                    // No dominant since the last one (or chunk start):
+                    // the gap ending at `cand` is complete.
+                    None => break Some(cand),
+                    Some(p) => {
+                        let d = lo + p;
+                        last_dom = Some(d);
+                        lo = cand + 1;
+                        cand = d + end_gap;
+                    }
+                }
+            };
+            match close {
+                Some(k) => {
                     // Frame closed: emit from lead-in before SOF through the
-                    // current sample.
+                    // closing sample, copying the in-chunk body straight
+                    // into the window.
+                    self.consumed += (k + 1) as u64;
+                    let sof = self.sof_at.take().unwrap_or(0);
                     let start = sof.saturating_sub(self.lead_in);
-                    let window = self.buffer[start..].to_vec();
+                    let mut window = Vec::with_capacity(self.buffer.len() - start + k + 1);
+                    window.extend_from_slice(&self.buffer[start..]);
+                    window.extend_from_slice(&samples[i..=i + k]);
                     let stream_pos = self.consumed - window.len() as u64;
                     out.push((stream_pos, window));
                     self.buffer.clear();
-                    self.sof_at = None;
                     self.recessive_run = 0;
+                    i += k + 1;
                 }
-                // Pure idle: keep only the lead-in tail.
-                None if self.buffer.len() > self.lead_in => {
-                    let excess = self.buffer.len() - self.lead_in;
-                    self.buffer.drain(..excess);
+                None => {
+                    // Chunk ends mid-frame: buffer the rest and carry the
+                    // trailing recessive run (only the unverified tail needs
+                    // scanning; everything after the last dominant is known
+                    // recessive).
+                    self.recessive_run = match rel[lo..].iter().rposition(|&v| v >= self.threshold)
+                    {
+                        Some(p) => rel.len() - 1 - (lo + p),
+                        None => match last_dom {
+                            Some(d) => rel.len() - 1 - d,
+                            None => run + rel.len(),
+                        },
+                    };
+                    self.buffer.extend_from_slice(rel);
+                    self.consumed += rel.len() as u64;
+                    break;
                 }
-                _ => {}
             }
         }
         out

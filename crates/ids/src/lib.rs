@@ -74,6 +74,6 @@ pub use event::{IdsEvent, ScoredEvent};
 pub use framer::StreamFramer;
 pub use health::{BackpressurePolicy, BreakerState, DegradeReason, DropReason, HealthConfig};
 pub use period::{PeriodMonitor, PeriodVerdict};
-pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats};
+pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats, StageBreakdown};
 pub use reorder::ReorderBuffer;
 pub use shard::stable_shard;

@@ -32,6 +32,7 @@
 //! `frames == anomalies + normals + extraction_failures + dropped + degraded`
 //! holds in every stats snapshot.
 
+use crate::engine::elapsed_ns;
 use crate::health::{
     BackpressurePolicy, BreakerState, DropReason, HealthConfig, HealthMonitor, WindowOutcome,
 };
@@ -41,10 +42,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vprofile::EdgeSetExtractor;
 
 /// Failure modes of the threaded pipeline.
@@ -270,6 +271,51 @@ pub struct PipelineStats {
     pub shard_failed: Vec<bool>,
     /// Number of SAs currently quarantined from online updates, per shard.
     pub quarantined_sas: Vec<usize>,
+    /// Cumulative wall-clock time spent in each pipeline stage, summed
+    /// across the threads running it.
+    pub stage_ns: StageBreakdown,
+}
+
+/// Per-stage wall-clock attribution of pipeline work, in nanoseconds.
+///
+/// Counters are cumulative and monotonic; `extract_ns` and `score_ns` sum
+/// over every detection worker, so with N busy workers their sum can
+/// exceed the pipeline's elapsed wall time. Time the router spends blocked
+/// on a full worker queue (backpressure) is *not* counted — the counters
+/// attribute compute, not waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Framing the raw sample stream plus the SA-peek shard routing
+    /// decision, in the router thread.
+    pub router_ns: u64,
+    /// Algorithm 1 edge-set extraction, across all workers.
+    pub extract_ns: u64,
+    /// Scoring — cache upkeep, nearest-cluster classification, and online
+    /// update absorption — across all workers.
+    pub score_ns: u64,
+    /// Reorder-buffer pushes and the stats/emit critical sections in the
+    /// merger thread.
+    pub merge_ns: u64,
+}
+
+/// Live atomics behind [`StageBreakdown`], shared by all pipeline threads.
+#[derive(Debug, Default)]
+struct StageClocks {
+    router: AtomicU64,
+    extract: AtomicU64,
+    score: AtomicU64,
+    merge: AtomicU64,
+}
+
+impl StageClocks {
+    fn snapshot(&self) -> StageBreakdown {
+        StageBreakdown {
+            router_ns: self.router.load(Ordering::Relaxed),
+            extract_ns: self.extract.load(Ordering::Relaxed),
+            score_ns: self.score.load(Ordering::Relaxed),
+            merge_ns: self.merge.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One framed window travelling from the router to a worker.
@@ -422,6 +468,7 @@ pub struct IdsPipeline {
     event_rx: Receiver<IdsEvent>,
     stats: Arc<Mutex<PipelineStats>>,
     gauges: Arc<Vec<ShardGauges>>,
+    clocks: Arc<StageClocks>,
     router: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<IdsEngine>>,
     merger: Option<JoinHandle<()>>,
@@ -492,6 +539,7 @@ impl IdsPipeline {
         }));
         let gauges: Arc<Vec<ShardGauges>> =
             Arc::new((0..workers).map(|_| ShardGauges::default()).collect());
+        let clocks = Arc::new(StageClocks::default());
 
         let mut work_txs = Vec::with_capacity(workers);
         let mut worker_handles = Vec::with_capacity(workers);
@@ -503,6 +551,7 @@ impl IdsPipeline {
                 work_rx,
                 scored_tx: scored_tx.clone(),
                 gauges: Arc::clone(&gauges),
+                clocks: Arc::clone(&clocks),
                 hook: config.fault_hook.clone(),
                 batch_max,
                 checkpoint_interval,
@@ -522,6 +571,7 @@ impl IdsPipeline {
         let model_config = engine.model().config().clone();
         let router_queue = Arc::clone(&queue);
         let router_gauges = Arc::clone(&gauges);
+        let router_clocks = Arc::clone(&clocks);
         let router = std::thread::spawn(move || {
             let framer =
                 StreamFramer::new(model_config.bit_width_samples, model_config.bit_threshold);
@@ -532,12 +582,16 @@ impl IdsPipeline {
                 peeker,
                 work_txs,
                 router_gauges,
+                router_clocks,
                 workers,
             );
         });
 
         let merger_stats = Arc::clone(&stats);
-        let merger = std::thread::spawn(move || merger_loop(scored_rx, event_tx, merger_stats));
+        let merger_clocks = Arc::clone(&clocks);
+        let merger = std::thread::spawn(move || {
+            merger_loop(scored_rx, event_tx, merger_stats, merger_clocks)
+        });
 
         IdsPipeline {
             queue,
@@ -545,6 +599,7 @@ impl IdsPipeline {
             event_rx,
             stats,
             gauges,
+            clocks,
             router: Some(router),
             workers: worker_handles,
             merger: Some(merger),
@@ -626,6 +681,7 @@ impl IdsPipeline {
         let (dropped_chunks, rejected_chunks) = self.queue.shed_counters();
         snapshot.dropped_chunks = dropped_chunks;
         snapshot.rejected_chunks = rejected_chunks;
+        snapshot.stage_ns = self.clocks.snapshot();
         snapshot
     }
 
@@ -704,6 +760,7 @@ fn router_loop(
     peeker: EdgeSetExtractor,
     work_txs: Vec<Sender<WorkItem>>,
     gauges: Arc<Vec<ShardGauges>>,
+    clocks: Arc<StageClocks>,
     workers: usize,
 ) {
     let mut seq = 0u64;
@@ -711,8 +768,12 @@ fn router_loop(
         // A window whose SA cannot be decoded still needs an owner: 0xFF
         // (the J1939 global address, never a legitimate claimed sender)
         // routes all unparseable windows to one stable shard.
+        let peeking = Instant::now();
         let sa = peeker.peek_sa(&window).map(|sa| sa.raw()).unwrap_or(0xFF);
         let shard = stable_shard(sa, workers);
+        clocks
+            .router
+            .fetch_add(elapsed_ns(peeking), Ordering::Relaxed);
         gauges[shard].depth.fetch_add(1, Ordering::Relaxed);
         let item = WorkItem {
             seq,
@@ -720,6 +781,8 @@ fn router_loop(
             window,
         };
         seq += 1;
+        // Deliberately untimed: a full worker queue blocks here, and that
+        // wait is backpressure, not routing work.
         if work_txs[shard].send(item).is_err() {
             gauges[shard].depth.fetch_sub(1, Ordering::Relaxed);
             return false;
@@ -727,7 +790,12 @@ fn router_loop(
         true
     };
     'stream: while let Some(chunk) = queue.pop() {
-        for (stream_pos, window) in framer.push(&chunk) {
+        let framing = Instant::now();
+        let windows = framer.push(&chunk);
+        clocks
+            .router
+            .fetch_add(elapsed_ns(framing), Ordering::Relaxed);
+        for (stream_pos, window) in windows {
             if !route(stream_pos, window) {
                 // A supervisor died beyond recovery. Wake blocked
                 // producers with an error and exit: dropping the work
@@ -749,6 +817,7 @@ struct WorkerRuntime {
     work_rx: Receiver<WorkItem>,
     scored_tx: Sender<ScoredItem>,
     gauges: Arc<Vec<ShardGauges>>,
+    clocks: Arc<StageClocks>,
     hook: Option<FaultHook>,
     batch_max: usize,
     checkpoint_interval: usize,
@@ -818,11 +887,20 @@ impl WorkerState {
         }
     }
 
+    /// Scores one window through the engine, attributing extraction and
+    /// scoring time to the shared stage clocks.
+    fn process_timed(&mut self, rt: &WorkerRuntime, stream_pos: u64, window: &[f64]) -> IdsEvent {
+        let (event, extract_ns, score_ns) = self.engine.process_window_timed(stream_pos, window);
+        rt.clocks.extract.fetch_add(extract_ns, Ordering::Relaxed);
+        rt.clocks.score.fetch_add(score_ns, Ordering::Relaxed);
+        event
+    }
+
     /// Scores one window through the circuit breaker.
     fn score(&mut self, rt: &WorkerRuntime, stream_pos: u64, window: &[f64]) -> IdsEvent {
         match self.monitor.state() {
             BreakerState::Closed => {
-                let event = self.engine.process_window(stream_pos, window);
+                let event = self.process_timed(rt, stream_pos, window);
                 if let Some(sa) = event.sa() {
                     self.monitor.note_sa(sa.0);
                 }
@@ -851,7 +929,7 @@ impl WorkerState {
             BreakerState::Open => {
                 let reason = self.monitor.reason();
                 if self.monitor.take_probe_slot() {
-                    let event = self.engine.process_window(stream_pos, window);
+                    let event = self.process_timed(rt, stream_pos, window);
                     let healthy = matches!(outcome_of(&event), WindowOutcome::Healthy);
                     if self.monitor.record_probe(healthy) {
                         // Fault cleared: release the quarantine and resume
@@ -971,12 +1049,17 @@ fn merger_loop(
     scored_rx: Receiver<ScoredItem>,
     event_tx: Sender<IdsEvent>,
     stats: Arc<Mutex<PipelineStats>>,
+    clocks: Arc<StageClocks>,
 ) {
     let mut buffer: ReorderBuffer<(usize, IdsEvent)> = ReorderBuffer::new();
     let mut ready: Vec<(usize, IdsEvent)> = Vec::new();
     for item in scored_rx {
+        let merging = Instant::now();
         buffer.push(item.seq, (item.shard, item.event), &mut ready);
         if ready.is_empty() {
+            clocks
+                .merge
+                .fetch_add(elapsed_ns(merging), Ordering::Relaxed);
             continue;
         }
         // Counter update and event emission share one critical section, so
@@ -1006,6 +1089,10 @@ fn merger_loop(
             // stop forwarding.
             let _ = event_tx.send(event);
         }
+        drop(s);
+        clocks
+            .merge
+            .fetch_add(elapsed_ns(merging), Ordering::Relaxed);
     }
 }
 

@@ -6,14 +6,23 @@
 //! This is what makes the sharded pipeline's output deterministic and
 //! byte-identical to the single-worker engine.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Buffers out-of-order items and releases them in contiguous sequence
 /// order, starting from sequence 0.
+///
+/// Implemented as a ring of slots indexed by offset from the release
+/// cursor, so the merger's steady state moves items through without
+/// allocating (a `BTreeMap` would pay one node allocation per event) or
+/// cloning: every item is moved in exactly once and moved out exactly once.
 #[derive(Debug, Clone, Default)]
 pub struct ReorderBuffer<T> {
+    /// The next sequence to release; slot `i` of `slots` holds sequence
+    /// `next + i`.
     next: u64,
-    pending: BTreeMap<u64, T>,
+    slots: VecDeque<Option<T>>,
+    /// Number of occupied slots.
+    buffered: usize,
 }
 
 impl<T> ReorderBuffer<T> {
@@ -22,7 +31,8 @@ impl<T> ReorderBuffer<T> {
     pub fn new() -> Self {
         ReorderBuffer {
             next: 0,
-            pending: BTreeMap::new(),
+            slots: VecDeque::new(),
+            buffered: 0,
         }
     }
 
@@ -35,18 +45,41 @@ impl<T> ReorderBuffer<T> {
             debug_assert!(false, "sequence {seq} arrived after its release point");
             return;
         }
-        let evicted = self.pending.insert(seq, value);
-        debug_assert!(evicted.is_none(), "duplicate sequence {seq}");
-        while let Some(value) = self.pending.remove(&self.next) {
-            out.push(value);
-            self.next += 1;
+        let offset = usize::try_from(seq - self.next).unwrap_or(usize::MAX);
+        if offset >= self.slots.len() {
+            self.slots.resize_with(offset + 1, || None);
         }
+        let slot = &mut self.slots[offset];
+        if slot.is_some() {
+            debug_assert!(false, "duplicate sequence {seq}");
+            return;
+        }
+        *slot = Some(value);
+        self.buffered += 1;
+        // Release the contiguous run at the cursor; the run's sequence
+        // numbers are dense by construction (slot i ↔ next + i).
+        while matches!(self.slots.front(), Some(Some(_))) {
+            if let Some(Some(value)) = self.slots.pop_front() {
+                out.push(value);
+                self.buffered -= 1;
+                self.next += 1;
+            }
+        }
+        debug_assert_eq!(
+            self.buffered,
+            self.slots.iter().filter(|s| s.is_some()).count(),
+            "occupancy count must match the slots still waiting on a gap"
+        );
+        debug_assert!(
+            !matches!(self.slots.front(), Some(Some(_))),
+            "a releasable item was left behind the cursor"
+        );
     }
 
     /// Number of items waiting on a gap in the sequence.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.buffered
     }
 
     /// The next sequence number the buffer will release.
@@ -106,5 +139,33 @@ mod tests {
         buf.push(6, 6, &mut out);
         assert_eq!(buf.pending(), 2);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn in_order_steady_state_reuses_capacity() {
+        let mut buf = ReorderBuffer::new();
+        let mut out = Vec::new();
+        // Warm up: one out-of-order burst sizes the ring.
+        for seq in [3u64, 1, 0, 2] {
+            buf.push(seq, seq, &mut out);
+        }
+        let cap = buf.slots.capacity();
+        for seq in 4..2000u64 {
+            buf.push(seq, seq, &mut out);
+        }
+        assert_eq!(buf.slots.capacity(), cap, "steady state must not regrow");
+        assert_eq!(out.len(), 2000);
+        assert!(out.iter().copied().eq(0..2000));
+    }
+
+    #[test]
+    fn moves_items_without_cloning() {
+        // A type that is not Clone: compiles only if the buffer moves.
+        struct NoClone(u64);
+        let mut buf = ReorderBuffer::new();
+        let mut out: Vec<NoClone> = Vec::new();
+        buf.push(1, NoClone(1), &mut out);
+        buf.push(0, NoClone(0), &mut out);
+        assert_eq!(out.iter().map(|v| v.0).collect::<Vec<_>>(), vec![0, 1]);
     }
 }

@@ -16,7 +16,8 @@
 //! `X ∈ ℝ^{d×B}`. The factorization cost is paid once and reused across
 //! frames until an online model update invalidates it.
 
-use crate::{Gaussian, Matrix, SigStatError};
+use crate::matrix::dot;
+use crate::{Gaussian, Matrix, SampleBatch, SigStatError};
 
 /// Precomputed stacked-inverse-factor state for scoring one observation
 /// against `K` Gaussians in a single dense product.
@@ -116,15 +117,28 @@ impl BatchedMahalanobis {
                 context: "BatchedMahalanobis::distances_into",
             });
         }
-        let y = self.stacked.mul_vec(x)?;
         out.clear();
         out.reserve(self.clusters);
+        self.score_row(x, out);
+        Ok(())
+    }
+
+    /// The per-frame kernel: every stacked row is one contiguous 4-wide
+    /// [`dot`] with `x`, the residual against the precomputed offset is
+    /// squared and accumulated per cluster. No intermediate `y` buffer —
+    /// the product row is consumed as it is produced, so the hot path
+    /// never touches the allocator. Each `W_c = L_c⁻¹` is lower
+    /// triangular, so row `i` carries only `i + 1` non-zeros and the dot
+    /// is truncated accordingly (half the flops of the dense product).
+    fn score_row(&self, x: &[f64], out: &mut Vec<f64>) {
+        let stacked = self.stacked.as_slice();
         for c in 0..self.clusters {
             let base = c * self.dim;
             let mut q = 0.0;
             for i in 0..self.dim {
-                let r = y[base + i] - self.offsets[base + i];
-                q += r * r;
+                let start = (base + i) * self.dim;
+                let r = dot(&stacked[start..start + i + 1], &x[..=i]) - self.offsets[base + i];
+                q = r.mul_add(r, q);
             }
             debug_assert!(
                 q >= 0.0 || q.is_nan(),
@@ -132,7 +146,6 @@ impl BatchedMahalanobis {
             );
             out.push(q.sqrt());
         }
-        Ok(())
     }
 
     /// Mahalanobis distances from `x` to every cluster.
@@ -146,21 +159,76 @@ impl BatchedMahalanobis {
         Ok(out)
     }
 
-    /// Distances for a whole batch of frames with one matrix–matrix
-    /// product: `xs.len()` frames in, one `Vec` of per-cluster distances
-    /// per frame out.
+    /// Distances for a whole flat batch of frames: row `b` of the returned
+    /// [`SampleBatch`] holds the per-cluster distances for row `b` of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `xs.dim() != self.dim()`.
+    pub fn distances_batch(&self, xs: &SampleBatch) -> Result<SampleBatch, SigStatError> {
+        let mut out = SampleBatch::with_capacity(self.clusters, xs.rows());
+        self.distances_batch_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`BatchedMahalanobis::distances_batch`] into a reusable output batch
+    /// (cleared first), so batched scoring is allocation-free once both
+    /// buffers are warm. The batch kernel streams each frame row through
+    /// [`BatchedMahalanobis::score_row`]: the stacked factor matrix (tens
+    /// of KiB) stays cache-resident while frame rows stream past it, which
+    /// is the same access pattern a blocked `M · Xᵀ` product would produce
+    /// without ever materializing `Xᵀ` or the `(K·d) × B` intermediate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `xs.dim() != self.dim()`
+    /// or `out.dim() != self.cluster_count()`.
+    pub fn distances_batch_into(
+        &self,
+        xs: &SampleBatch,
+        out: &mut SampleBatch,
+    ) -> Result<(), SigStatError> {
+        if xs.dim() != self.dim {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.dim,
+                actual: xs.dim(),
+                context: "BatchedMahalanobis::distances_batch",
+            });
+        }
+        if out.dim() != self.clusters {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.clusters,
+                actual: out.dim(),
+                context: "BatchedMahalanobis::distances_batch",
+            });
+        }
+        out.clear();
+        let mut row = Vec::with_capacity(self.clusters);
+        for x in xs.iter_rows() {
+            row.clear();
+            self.score_row(x, &mut row);
+            out.push_row(&row)?;
+        }
+        Ok(())
+    }
+
+    /// Nested-`Vec` batch scoring, kept as a conversion shim for tests and
+    /// legacy callers.
     ///
     /// # Errors
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if any frame's length
     /// differs from `self.dim()`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `distances_batch` with a flat `SampleBatch`; the nested \
+                layout costs one allocation per frame"
+    )]
     pub fn distances_many(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, SigStatError> {
         if xs.is_empty() {
             return Ok(Vec::new());
         }
-        let batch = xs.len();
-        let mut x_mat = Matrix::zeros(self.dim, batch);
-        for (b, x) in xs.iter().enumerate() {
+        for x in xs {
             if x.len() != self.dim {
                 return Err(SigStatError::DimensionMismatch {
                     expected: self.dim,
@@ -168,26 +236,9 @@ impl BatchedMahalanobis {
                     context: "BatchedMahalanobis::distances_many",
                 });
             }
-            for (i, &v) in x.iter().enumerate() {
-                x_mat[(i, b)] = v;
-            }
         }
-        let y = &self.stacked * &x_mat; // (K·d) × B
-        let mut out = Vec::with_capacity(batch);
-        for b in 0..batch {
-            let mut per_cluster = Vec::with_capacity(self.clusters);
-            for c in 0..self.clusters {
-                let base = c * self.dim;
-                let mut q = 0.0;
-                for i in 0..self.dim {
-                    let r = y[(base + i, b)] - self.offsets[base + i];
-                    q += r * r;
-                }
-                per_cluster.push(q.sqrt());
-            }
-            out.push(per_cluster);
-        }
-        Ok(out)
+        let batch = SampleBatch::from_nested(xs)?;
+        Ok(self.distances_batch(&batch)?.to_nested())
     }
 }
 
@@ -227,13 +278,16 @@ mod tests {
         let a = gaussian(3.0, 0.5);
         let b = gaussian(7.0, 1.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a, &b]).unwrap();
-        let xs = vec![
+        let xs = SampleBatch::from_nested(&[
             vec![3.0, 1.5, 3.0],
             vec![7.0, 3.5, 7.0],
             vec![0.0, 0.0, 0.0],
-        ];
-        let many = batched.distances_many(&xs).unwrap();
-        for (x, row) in xs.iter().zip(&many) {
+        ])
+        .unwrap();
+        let many = batched.distances_batch(&xs).unwrap();
+        assert_eq!(many.rows(), 3);
+        assert_eq!(many.dim(), 2);
+        for (x, row) in xs.iter_rows().zip(many.iter_rows()) {
             let single = batched.distances(x).unwrap();
             for (m, s) in row.iter().zip(&single) {
                 assert!((m - s).abs() < 1e-12, "batch {m} vs single {s}");
@@ -242,11 +296,57 @@ mod tests {
     }
 
     #[test]
+    fn batch_into_reuse_is_bit_identical() {
+        let a = gaussian(3.0, 0.5);
+        let b = gaussian(7.0, 1.5);
+        let batched = BatchedMahalanobis::from_gaussians(&[&a, &b]).unwrap();
+        let xs = SampleBatch::from_nested(&[vec![3.0, 1.5, 3.0], vec![7.0, 3.5, 7.0]]).unwrap();
+        let fresh = batched.distances_batch(&xs).unwrap();
+        let mut reused = SampleBatch::new(2);
+        batched.distances_batch_into(&xs, &mut reused).unwrap();
+        // Dirty and repeat: the reused buffer must produce the same bits.
+        batched
+            .distances_batch_into(
+                &SampleBatch::from_nested(&[vec![0.0; 3]]).unwrap(),
+                &mut reused,
+            )
+            .unwrap();
+        batched.distances_batch_into(&xs, &mut reused).unwrap();
+        for (f, r) in fresh.as_slice().iter().zip(reused.as_slice()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn nested_shim_matches_flat_batch() {
+        let a = gaussian(3.0, 0.5);
+        let b = gaussian(7.0, 1.5);
+        let batched = BatchedMahalanobis::from_gaussians(&[&a, &b]).unwrap();
+        let nested = vec![vec![3.0, 1.5, 3.0], vec![7.0, 3.5, 7.0]];
+        let via_shim = batched.distances_many(&nested).unwrap();
+        let flat = batched
+            .distances_batch(&SampleBatch::from_nested(&nested).unwrap())
+            .unwrap();
+        for (row, want) in via_shim.iter().zip(flat.iter_rows()) {
+            assert_eq!(row.as_slice(), want);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn rejects_dimension_mismatches() {
         let a = gaussian(1.0, 0.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a]).unwrap();
         assert!(batched.distances(&[1.0]).is_err());
         assert!(batched.distances_many(&[vec![1.0]]).is_err());
+        let bad = SampleBatch::from_nested(&[vec![1.0]]).unwrap();
+        assert!(batched.distances_batch(&bad).is_err());
+        let mut wrong_out = SampleBatch::new(3);
+        let ok_in = SampleBatch::new(batched.dim());
+        assert!(batched
+            .distances_batch_into(&ok_in, &mut wrong_out)
+            .is_err());
         let short = Gaussian::from_moments(vec![0.0; 2], Matrix::identity(2), 3).unwrap();
         assert!(BatchedMahalanobis::from_gaussians(&[&a, &short]).is_err());
     }
@@ -260,9 +360,12 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_batch_is_fine() {
         let a = gaussian(1.0, 0.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a]).unwrap();
         assert!(batched.distances_many(&[]).unwrap().is_empty());
+        let empty = SampleBatch::new(batched.dim());
+        assert!(batched.distances_batch(&empty).unwrap().is_empty());
     }
 }

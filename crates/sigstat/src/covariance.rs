@@ -1,4 +1,4 @@
-use crate::{Matrix, SigStatError};
+use crate::{Matrix, SampleBatch, SigStatError};
 
 /// Sample mean of a set of equal-length observations.
 ///
@@ -20,28 +20,40 @@ use crate::{Matrix, SigStatError};
 /// # Ok::<(), vprofile_sigstat::SigStatError>(())
 /// ```
 pub fn sample_mean(observations: &[Vec<f64>]) -> Result<Vec<f64>, SigStatError> {
-    let n = observations.len();
+    if observations.is_empty() {
+        return Err(SigStatError::EmptyInput {
+            context: "sample_mean",
+        });
+    }
+    let batch = SampleBatch::from_nested(observations)?;
+    sample_mean_batch(&batch)
+}
+
+/// [`sample_mean`] over a flat [`SampleBatch`]: the contiguous layout makes
+/// the accumulation one streaming pass with no per-observation pointer
+/// chase. This is the form the training path uses; the nested-`Vec` entry
+/// point is a conversion shim over it.
+///
+/// # Errors
+///
+/// Returns [`SigStatError::EmptyInput`] for an empty batch and
+/// [`SigStatError::NonFiniteInput`] if any observation contains a NaN or
+/// infinite value.
+pub fn sample_mean_batch(batch: &SampleBatch) -> Result<Vec<f64>, SigStatError> {
+    let n = batch.rows();
     if n == 0 {
         return Err(SigStatError::EmptyInput {
             context: "sample_mean",
         });
     }
-    let dim = observations[0].len();
-    let mut mean = vec![0.0; dim];
-    for obs in observations {
-        if obs.len() != dim {
-            return Err(SigStatError::DimensionMismatch {
-                expected: dim,
-                actual: obs.len(),
-                context: "sample_mean",
-            });
-        }
+    if !batch.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(SigStatError::NonFiniteInput {
+            context: "sample_mean",
+        });
+    }
+    let mut mean = vec![0.0; batch.dim()];
+    for obs in batch.iter_rows() {
         for (m, &v) in mean.iter_mut().zip(obs) {
-            if !v.is_finite() {
-                return Err(SigStatError::NonFiniteInput {
-                    context: "sample_mean",
-                });
-            }
             *m += v;
         }
     }
@@ -63,29 +75,48 @@ pub fn sample_covariance(observations: &[Vec<f64>], mean: &[f64]) -> Result<Matr
     if n < 2 {
         return Err(SigStatError::InsufficientObservations { actual: n });
     }
-    let dim = mean.len();
-    let mut cov = Matrix::zeros(dim, dim);
-    let mut centered = vec![0.0; dim];
     for obs in observations {
-        if obs.len() != dim {
+        if obs.len() != mean.len() {
             return Err(SigStatError::DimensionMismatch {
-                expected: dim,
+                expected: mean.len(),
                 actual: obs.len(),
                 context: "sample_covariance",
             });
         }
+    }
+    let batch = SampleBatch::from_nested(observations)?;
+    sample_covariance_batch(&batch, mean)
+}
+
+/// [`sample_covariance`] over a flat [`SampleBatch`]: the upper-triangle
+/// rank-1 accumulation runs over one contiguous centered row per
+/// observation, with the 4-wide `mul_add` axpy kernel on each triangle row.
+///
+/// # Errors
+///
+/// Returns [`SigStatError::InsufficientObservations`] for fewer than two
+/// observations and [`SigStatError::DimensionMismatch`] if
+/// `batch.dim() != mean.len()`.
+pub fn sample_covariance_batch(batch: &SampleBatch, mean: &[f64]) -> Result<Matrix, SigStatError> {
+    let n = batch.rows();
+    if n < 2 {
+        return Err(SigStatError::InsufficientObservations { actual: n });
+    }
+    let dim = mean.len();
+    if batch.dim() != dim {
+        return Err(SigStatError::DimensionMismatch {
+            expected: dim,
+            actual: batch.dim(),
+            context: "sample_covariance",
+        });
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    let mut centered = vec![0.0; dim];
+    for obs in batch.iter_rows() {
         for (c, (&v, &m)) in centered.iter_mut().zip(obs.iter().zip(mean)) {
             *c = v - m;
         }
-        for i in 0..dim {
-            let ci = centered[i];
-            if crate::exactly_zero(ci) {
-                continue;
-            }
-            for j in i..dim {
-                cov[(i, j)] += ci * centered[j];
-            }
-        }
+        cov.add_upper_triangle_outer(&centered);
     }
     let denom = (n - 1) as f64;
     for i in 0..dim {
@@ -142,8 +173,25 @@ impl CovarianceEstimate {
     /// estimate stays above [`CovarianceEstimate::CONDITION_LIMIT`] even
     /// after the budgeted ridge.
     pub fn fit(observations: &[Vec<f64>], max_ridge: f64) -> Result<Self, SigStatError> {
-        let mean = sample_mean(observations)?;
-        let mut covariance = sample_covariance(observations, &mean)?;
+        if observations.is_empty() {
+            return Err(SigStatError::EmptyInput {
+                context: "sample_mean",
+            });
+        }
+        let batch = SampleBatch::from_nested(observations)?;
+        Self::fit_batch(&batch, max_ridge)
+    }
+
+    /// [`CovarianceEstimate::fit`] over a flat [`SampleBatch`] — the form
+    /// the training path uses; the nested-`Vec` entry point is a conversion
+    /// shim over it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CovarianceEstimate::fit`].
+    pub fn fit_batch(batch: &SampleBatch, max_ridge: f64) -> Result<Self, SigStatError> {
+        let mean = sample_mean_batch(batch)?;
+        let mut covariance = sample_covariance_batch(batch, &mean)?;
         let scale = covariance.max_abs_diagonal().max(f64::MIN_POSITIVE);
         let mut applied_ridge = 0.0;
         let mut ridge = 1e-9 * scale;
@@ -155,7 +203,7 @@ impl CovarianceEstimate {
                         return Ok(CovarianceEstimate {
                             mean,
                             covariance,
-                            count: observations.len(),
+                            count: batch.rows(),
                             applied_ridge,
                         });
                     }

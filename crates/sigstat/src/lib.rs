@@ -44,15 +44,19 @@ mod distance;
 mod error;
 mod matrix;
 mod resample;
+mod samples;
 mod stats;
 mod welford;
 
 pub use batched::BatchedMahalanobis;
-pub use covariance::{sample_covariance, sample_mean, CovarianceEstimate};
+pub use covariance::{
+    sample_covariance, sample_covariance_batch, sample_mean, sample_mean_batch, CovarianceEstimate,
+};
 pub use distance::{euclidean, squared_euclidean, DistanceMetric, Gaussian};
 pub use error::SigStatError;
 pub use matrix::{Cholesky, Matrix};
 pub use resample::{decimate, decimate_average, requantize, resample_to_rate};
+pub use samples::SampleBatch;
 pub use stats::{
     confidence_interval, max_f64, mean, min_f64, percent_delta, population_variance, std_dev,
     variance, ConfidenceInterval, Summary,

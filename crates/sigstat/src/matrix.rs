@@ -3,6 +3,88 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+/// Columns per output block in the matmul kernel: one output-row segment
+/// (`NB · 8` bytes = 1 KiB) plus the matching right-hand-side row segments
+/// stay L1-resident while a depth block is swept.
+const BLOCK_COLS: usize = 128;
+/// Depth (inner-dimension) per block: right-hand-side rows are revisited
+/// `rows(A)` times while hot instead of streaming the full inner dimension.
+const BLOCK_DEPTH: usize = 64;
+
+/// Dot product of two equal-length slices with four independent `mul_add`
+/// accumulator lanes, so the reduction carries no loop-order dependency and
+/// autovectorizes to fused multiply-adds.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot requires equal lengths");
+    let mut acc = [0.0f64; 4];
+    let mut ai = a.chunks_exact(4);
+    let mut bi = b.chunks_exact(4);
+    for (ca, cb) in ai.by_ref().zip(bi.by_ref()) {
+        acc[0] = ca[0].mul_add(cb[0], acc[0]);
+        acc[1] = ca[1].mul_add(cb[1], acc[1]);
+        acc[2] = ca[2].mul_add(cb[2], acc[2]);
+        acc[3] = ca[3].mul_add(cb[3], acc[3]);
+    }
+    let mut tail = 0.0;
+    for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
+        tail = x.mul_add(*y, tail);
+    }
+    (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail
+}
+
+/// `y += a · x` over equal-length slices, 4-wide-chunked `mul_add`.
+#[inline]
+pub(crate) fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    let mut xi = x.chunks_exact(4);
+    let mut yi = y.chunks_exact_mut(4);
+    for (xc, yc) in xi.by_ref().zip(yi.by_ref()) {
+        yc[0] = a.mul_add(xc[0], yc[0]);
+        yc[1] = a.mul_add(xc[1], yc[1]);
+        yc[2] = a.mul_add(xc[2], yc[2]);
+        yc[3] = a.mul_add(xc[3], yc[3]);
+    }
+    for (xv, yv) in xi.remainder().iter().zip(yi.into_remainder()) {
+        *yv = a.mul_add(*xv, *yv);
+    }
+}
+
+/// Cache-blocked row-major matmul kernel: `out = a · b` with
+/// `a: m × k`, `b: k × n`, all row-major. The loop nest is
+/// (depth block, column block, row, depth): each `BLOCK_COLS`-wide output
+/// segment accumulates a `BLOCK_DEPTH`-deep partial product via the 4-wide
+/// [`axpy`], so the inner loop is a pure streaming fused multiply-add over
+/// contiguous memory. Exact zeros in `a` skip their row pass — the stacked
+/// whitening factors of the batched Mahalanobis kernel are half zeros.
+fn matmul_into(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + BLOCK_DEPTH).min(k);
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + BLOCK_COLS).min(n);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_seg = &mut out[i * n + jb..i * n + jend];
+                for kk in kb..kend {
+                    let aik = a_row[kk];
+                    if crate::exactly_zero(aik) {
+                        continue;
+                    }
+                    axpy(aik, &b[kk * n + jb..kk * n + jend], out_seg);
+                }
+            }
+            jb = jend;
+        }
+        kb = kend;
+    }
+}
+
 /// A dense, row-major, heap-allocated matrix of `f64`.
 ///
 /// Sized for the vProfile workload: edge sets are a few dozen samples long,
@@ -153,6 +235,19 @@ impl Matrix {
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.mul_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x` written into `out` (cleared first),
+    /// so a reused output buffer makes the product allocation-free. Each
+    /// output entry is one 4-wide [`dot`] over a contiguous row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), SigStatError> {
         if x.len() != self.cols {
             return Err(SigStatError::DimensionMismatch {
                 expected: self.cols,
@@ -160,10 +255,61 @@ impl Matrix {
                 context: "Matrix::mul_vec",
             });
         }
-        let out = (0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect();
-        Ok(out)
+        out.clear();
+        out.extend(self.data.chunks_exact(self.cols).map(|row| dot(row, x)));
+        Ok(())
+    }
+
+    /// Matrix product `self * rhs` written into `out` (overwritten), using
+    /// the cache-blocked `mul_add` kernel. With a reused `out` the product
+    /// is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if the inner dimensions
+    /// disagree or `out` is not `self.rows() × rhs.cols()`.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), SigStatError> {
+        if self.cols != rhs.rows {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.cols,
+                actual: rhs.rows,
+                context: "Matrix::mul_into",
+            });
+        }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.rows * rhs.cols,
+                actual: out.rows * out.cols,
+                context: "Matrix::mul_into",
+            });
+        }
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        Ok(())
+    }
+
+    /// Accumulates the upper triangle of the outer product `v vᵀ` into
+    /// `self` (a symmetric rank-1 update touching only `j ≥ i`), with the
+    /// 4-wide [`axpy`] kernel on each contiguous row tail. Exact zeros in
+    /// `v` contribute nothing and skip their row.
+    pub(crate) fn add_upper_triangle_outer(&mut self, v: &[f64]) {
+        debug_assert!(
+            self.is_square() && self.rows == v.len(),
+            "rank-1 update requires a square matrix matching the vector"
+        );
+        for (i, &vi) in v.iter().enumerate() {
+            if crate::exactly_zero(vi) {
+                continue;
+            }
+            let row = &mut self.data[i * self.cols + i..(i + 1) * self.cols];
+            axpy(vi, &v[i..], row);
+        }
     }
 
     /// Adds `lambda` to every diagonal entry, in place.
@@ -362,17 +508,14 @@ impl Mul for &Matrix {
             "matrix product requires inner dimensions to match"
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if crate::exactly_zero(a) {
-                    continue;
-                }
-                for c in 0..rhs.cols {
-                    out[(r, c)] += a * rhs[(k, c)];
-                }
-            }
-        }
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         out
     }
 }
@@ -433,8 +576,21 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // triangular solves read partial results
     pub fn forward_solve(&self, b: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let mut y = Vec::with_capacity(self.dim());
+        self.forward_solve_into(b, &mut y)?;
+        Ok(y)
+    }
+
+    /// Forward substitution into a reusable buffer (cleared first): row `i`
+    /// subtracts the 4-wide [`dot`] of `L`'s contiguous row prefix with the
+    /// already-solved prefix of `y`, so the solve is allocation-free once
+    /// `y` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn forward_solve_into(&self, b: &[f64], y: &mut Vec<f64>) -> Result<(), SigStatError> {
         let n = self.dim();
         if b.len() != n {
             return Err(SigStatError::DimensionMismatch {
@@ -443,15 +599,13 @@ impl Cholesky {
                 context: "Cholesky::forward_solve",
             });
         }
-        let mut y = vec![0.0; n];
+        y.clear();
         for i in 0..n {
-            let mut v = b[i];
-            for k in 0..i {
-                v -= self.l[(i, k)] * y[k];
-            }
-            y[i] = v / self.l[(i, i)];
+            let row = self.l.row(i);
+            let v = b[i] - dot(&row[..i], &y[..i]);
+            y.push(v / row[i]);
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Solves `Lᵀ x = y` by back substitution.
@@ -459,8 +613,22 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `y.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // triangular solves read partial results
     pub fn backward_solve(&self, y: &[f64]) -> Result<Vec<f64>, SigStatError> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.backward_solve_into(y, &mut x)?;
+        Ok(x)
+    }
+
+    /// Back substitution into a reusable buffer (cleared first). `Lᵀ` has
+    /// stride-`n` columns, so instead of strided dots this uses the
+    /// column-sweep formulation: once `x_i` is fixed, `x_i · L[i, ..i]`
+    /// (a contiguous row prefix) is subtracted from the remaining partial
+    /// sums with the 4-wide [`axpy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `y.len() != self.dim()`.
+    pub fn backward_solve_into(&self, y: &[f64], x: &mut Vec<f64>) -> Result<(), SigStatError> {
         let n = self.dim();
         if y.len() != n {
             return Err(SigStatError::DimensionMismatch {
@@ -469,15 +637,15 @@ impl Cholesky {
                 context: "Cholesky::backward_solve",
             });
         }
-        let mut x = vec![0.0; n];
+        x.clear();
+        x.extend_from_slice(y);
         for i in (0..n).rev() {
-            let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l[(k, i)] * x[k];
-            }
-            x[i] = v / self.l[(i, i)];
+            let row = self.l.row(i);
+            let xi = x[i] / row[i];
+            x[i] = xi;
+            axpy(-xi, &row[..i], &mut x[..i]);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A x = b` where `A = L Lᵀ`.
@@ -496,8 +664,24 @@ impl Cholesky {
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn quadratic_form(&self, b: &[f64]) -> Result<f64, SigStatError> {
-        let y = self.forward_solve(b)?;
-        let q: f64 = y.iter().map(|v| v * v).sum();
+        let mut scratch = Vec::with_capacity(self.dim());
+        self.quadratic_form_with(b, &mut scratch)
+    }
+
+    /// [`Cholesky::quadratic_form`] with a caller-provided solve buffer, so
+    /// repeated distance evaluations are allocation-free once the buffer
+    /// has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn quadratic_form_with(
+        &self,
+        b: &[f64],
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, SigStatError> {
+        self.forward_solve_into(b, scratch)?;
+        let q = dot(scratch, scratch);
         debug_assert!(
             q >= 0.0 || q.is_nan(),
             "quadratic form is a sum of squares and cannot be negative"
@@ -729,6 +913,175 @@ mod tests {
         let s = m.to_string();
         assert!(s.lines().count() == 2);
         assert!(s.contains("1.000000"));
+    }
+
+    /// Textbook triple-loop reference matmul: the blocked `mul_add` kernel
+    /// is property-tested against this.
+    fn reference_mul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(r, k)] * b[(k, c)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Scalar-reference forward substitution (the pre-kernel formulation).
+    fn reference_forward_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+        let n = l.rows();
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                v -= l[(i, k)] * yk;
+            }
+            y[i] = v / l[(i, i)];
+        }
+        y
+    }
+
+    /// Scalar-reference back substitution (the pre-kernel formulation).
+    fn reference_backward_solve(l: &Matrix, y: &[f64]) -> Vec<f64> {
+        let n = l.rows();
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= l[(k, i)] * x[k];
+            }
+            x[i] = v / l[(i, i)];
+        }
+        x
+    }
+
+    #[test]
+    fn mul_into_validates_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(a.mul_into(&b, &mut bad).is_err());
+        assert!(b.mul_into(&a, &mut bad).is_err());
+        let mut ok = Matrix::zeros(2, 4);
+        assert!(a.mul_into(&b, &mut ok).is_ok());
+    }
+
+    #[test]
+    fn blocked_kernel_crosses_block_boundaries() {
+        // 150×150: exercises both the depth (64) and column (128) block
+        // seams plus non-multiple-of-4 tails.
+        let n = 150;
+        let a = Matrix::from_row_major(
+            n,
+            n,
+            (0..n * n).map(|i| ((i * 37 % 113) as f64) - 56.0).collect(),
+        )
+        .unwrap();
+        let b = Matrix::from_row_major(
+            n,
+            n,
+            (0..n * n).map(|i| ((i * 53 % 97) as f64) - 48.0).collect(),
+        )
+        .unwrap();
+        let got = &a * &b;
+        let want = reference_mul(&a, &b);
+        for r in 0..n {
+            for c in 0..n {
+                assert!(
+                    approx(got[(r, c)], want[(r, c)], 1e-9),
+                    "({r},{c}): {} vs {}",
+                    got[(r, c)],
+                    want[(r, c)]
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// Blocked `mul_add` matmul agrees with the scalar triple loop to
+        /// ≤ 1e-9 (relative) on arbitrary shapes, including tails that do
+        /// not divide the 4-wide chunking or the block sizes.
+        #[test]
+        fn prop_blocked_mul_matches_reference(
+            m in 1usize..12,
+            k in 1usize..12,
+            n in 1usize..12,
+            seed in proptest::collection::vec(-10.0f64..10.0, 144 * 2),
+        ) {
+            let a = Matrix::from_row_major(m, k, seed[..m * k].to_vec()).unwrap();
+            let b = Matrix::from_row_major(k, n, seed[144..144 + k * n].to_vec()).unwrap();
+            let got = &a * &b;
+            let want = reference_mul(&a, &b);
+            for r in 0..m {
+                for c in 0..n {
+                    prop_assert!(approx(got[(r, c)], want[(r, c)], 1e-9));
+                }
+            }
+        }
+
+        /// `mul_vec` (4-wide dot kernel) agrees with the scalar reference.
+        #[test]
+        fn prop_mul_vec_matches_reference(
+            m in 1usize..10,
+            k in 1usize..32,
+            seed in proptest::collection::vec(-10.0f64..10.0, 10 * 32 + 32),
+        ) {
+            let a = Matrix::from_row_major(m, k, seed[..m * k].to_vec()).unwrap();
+            let x = &seed[10 * 32..10 * 32 + k];
+            let got = a.mul_vec(x).unwrap();
+            for (r, g) in got.iter().enumerate() {
+                let want: f64 = (0..k).map(|c| a[(r, c)] * x[c]).sum();
+                prop_assert!(approx(*g, want, 1e-9));
+            }
+        }
+
+        /// Kernelized triangular solves agree with the scalar-reference
+        /// substitutions to ≤ 1e-9 on random SPD factors.
+        #[test]
+        fn prop_solves_match_reference(
+            vals in proptest::collection::vec(-3.0f64..3.0, 36),
+            b in proptest::collection::vec(-10.0f64..10.0, 6),
+        ) {
+            let bmat = Matrix::from_row_major(6, 6, vals).unwrap();
+            let mut spd = &bmat * &bmat.transpose();
+            spd.add_ridge(1e-2);
+            let chol = spd.cholesky().unwrap();
+            let fwd = chol.forward_solve(&b).unwrap();
+            let fwd_ref = reference_forward_solve(chol.factor(), &b);
+            for (g, w) in fwd.iter().zip(&fwd_ref) {
+                prop_assert!(approx(*g, *w, 1e-9));
+            }
+            let bwd = chol.backward_solve(&fwd).unwrap();
+            let bwd_ref = reference_backward_solve(chol.factor(), &fwd_ref);
+            for (g, w) in bwd.iter().zip(&bwd_ref) {
+                prop_assert!(approx(*g, *w, 1e-9));
+            }
+        }
+
+        /// The scratch-buffer entry points return bit-identical results when
+        /// the buffer is reused across calls (no state leaks between solves).
+        #[test]
+        fn prop_scratch_reuse_is_identical(
+            vals in proptest::collection::vec(-3.0f64..3.0, 16),
+            b1 in proptest::collection::vec(-10.0f64..10.0, 4),
+            b2 in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let bmat = Matrix::from_row_major(4, 4, vals).unwrap();
+            let mut spd = &bmat * &bmat.transpose();
+            spd.add_ridge(1e-2);
+            let chol = spd.cholesky().unwrap();
+            let mut scratch = Vec::new();
+            let first = chol.quadratic_form_with(&b2, &mut scratch).unwrap();
+            // Dirty the scratch with a different solve, then repeat.
+            let _ = chol.quadratic_form_with(&b1, &mut scratch).unwrap();
+            let again = chol.quadratic_form_with(&b2, &mut scratch).unwrap();
+            prop_assert_eq!(first.to_bits(), again.to_bits());
+            prop_assert_eq!(chol.quadratic_form(&b2).unwrap().to_bits(), first.to_bits());
+        }
     }
 
     proptest! {

@@ -1,0 +1,223 @@
+//! Flat, contiguous storage for batches of equal-length observations.
+//!
+//! The training and scoring paths used to shuttle observations around as
+//! `Vec<Vec<f64>>`: one heap allocation per observation plus a pointer
+//! chase per access, which is exactly what the cache-blocked kernels in
+//! [`crate::Matrix`] cannot hide. [`SampleBatch`] stores the same data
+//! row-major in one `Vec<f64>` so a batch of `rows` observations of
+//! dimension `dim` is a single `rows · dim` slab: rows are contiguous,
+//! iteration is a `chunks_exact`, and the buffer can be `clear()`ed and
+//! refilled without touching the allocator.
+
+use crate::SigStatError;
+use serde::{Deserialize, Serialize};
+
+/// A batch of equal-length observations in one contiguous row-major buffer.
+///
+/// # Example
+///
+/// ```
+/// use vprofile_sigstat::SampleBatch;
+///
+/// # fn main() -> Result<(), vprofile_sigstat::SigStatError> {
+/// let mut batch = SampleBatch::new(2);
+/// batch.push_row(&[1.0, 4.0])?;
+/// batch.push_row(&[3.0, 8.0])?;
+/// assert_eq!(batch.rows(), 2);
+/// assert_eq!(batch.row(1), &[3.0, 8.0]);
+/// assert_eq!(batch.as_slice(), &[1.0, 4.0, 3.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleBatch {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl SampleBatch {
+    /// Creates an empty batch of `dim`-dimensional observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "sample dimension must be non-zero");
+        SampleBatch {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with capacity reserved for `rows` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0, "sample dimension must be non-zero");
+        SampleBatch {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+        }
+    }
+
+    /// Builds a batch from nested per-observation vectors (the legacy
+    /// `Vec<Vec<f64>>` layout). This is the single conversion shim kept for
+    /// tests and for callers still holding nested data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::EmptyInput`] for an empty set (the dimension
+    /// would be unknowable) and [`SigStatError::DimensionMismatch`] for
+    /// ragged rows.
+    pub fn from_nested(rows: &[Vec<f64>]) -> Result<Self, SigStatError> {
+        let Some(first) = rows.first() else {
+            return Err(SigStatError::EmptyInput {
+                context: "SampleBatch::from_nested",
+            });
+        };
+        let mut batch = SampleBatch::with_capacity(first.len(), rows.len());
+        for row in rows {
+            batch.push_row(row)?;
+        }
+        Ok(batch)
+    }
+
+    /// Observation dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of observations currently stored.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when the batch holds no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if `row.len() != self.dim()`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), SigStatError> {
+        if row.len() != self.dim {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+                context: "SampleBatch::push_row",
+            });
+        }
+        self.data.extend_from_slice(row);
+        Ok(())
+    }
+
+    /// Borrows observation `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows(), "row index {i} out of bounds");
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over observations as contiguous slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The raw row-major backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Drops all observations but keeps the allocation, so a reused batch
+    /// buffer stops touching the allocator once warm.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Converts back to the nested layout (test/diagnostic convenience; the
+    /// hot path never calls this).
+    #[must_use]
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back_rows() {
+        let mut batch = SampleBatch::new(3);
+        assert!(batch.is_empty());
+        batch.push_row(&[1.0, 2.0, 3.0]).unwrap();
+        batch.push_row(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(batch.rows(), 2);
+        assert_eq!(batch.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(batch.row(1), &[4.0, 5.0, 6.0]);
+        let rows: Vec<&[f64]> = batch.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn push_rejects_wrong_dimension() {
+        let mut batch = SampleBatch::new(2);
+        assert!(matches!(
+            batch.push_row(&[1.0]).unwrap_err(),
+            SigStatError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn from_nested_round_trips() {
+        let nested = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let batch = SampleBatch::from_nested(&nested).unwrap();
+        assert_eq!(batch.dim(), 2);
+        assert_eq!(batch.to_nested(), nested);
+    }
+
+    #[test]
+    fn from_nested_rejects_empty_and_ragged() {
+        assert!(matches!(
+            SampleBatch::from_nested(&[]).unwrap_err(),
+            SigStatError::EmptyInput { .. }
+        ));
+        assert!(matches!(
+            SampleBatch::from_nested(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            SigStatError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut batch = SampleBatch::with_capacity(4, 8);
+        for _ in 0..8 {
+            batch.push_row(&[0.0; 4]).unwrap();
+        }
+        let cap = batch.data.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.data.capacity(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_is_rejected() {
+        let _ = SampleBatch::new(0);
+    }
+}

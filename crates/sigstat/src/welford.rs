@@ -1,4 +1,4 @@
-use crate::{Matrix, SigStatError};
+use crate::{Matrix, SampleBatch, SigStatError};
 use serde::{Deserialize, Serialize};
 
 /// Welford-style online estimator of a multivariate mean and covariance.
@@ -104,10 +104,15 @@ impl OnlineGaussian {
 
     /// Absorbs one observation.
     ///
+    /// The update is allocation-free: the mean moves first, and the rank-1
+    /// co-moment update uses `δ_old = δ_new · n / (n − 1)` (exact in real
+    /// arithmetic, since `μ_n` splits the step `n − 1 : 1`), so neither
+    /// delta vector is materialized. The online-update path of the IDS
+    /// engine calls this per accepted frame and stays off the allocator.
+    ///
     /// # Errors
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `x.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // symmetric rank-1 update is clearest indexed
     pub fn push(&mut self, x: &[f64]) -> Result<(), SigStatError> {
         let dim = self.dim();
         if x.len() != dim {
@@ -119,17 +124,40 @@ impl OnlineGaussian {
         }
         self.count += 1;
         let n = self.count as f64;
-        // delta_old = x − μ_{n−1}
-        let delta_old: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
-        for (m, d) in self.mean.iter_mut().zip(&delta_old) {
-            *m += d / n;
+        for (m, &v) in self.mean.iter_mut().zip(x) {
+            *m += (v - *m) / n;
         }
-        // delta_new = x − μ_n
-        let delta_new: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
-        for i in 0..dim {
-            for j in 0..dim {
-                self.comoment[(i, j)] += delta_old[i] * delta_new[j];
+        if self.count > 1 {
+            // δ_old[i] · δ_new[j] with δ_old recovered from δ_new; the first
+            // observation's contribution is exactly zero (δ_new = 0) and is
+            // skipped rather than scaled by the singular n/(n−1) factor.
+            let scale = n / (n - 1.0);
+            for i in 0..dim {
+                let di = (x[i] - self.mean[i]) * scale;
+                for j in 0..dim {
+                    self.comoment[(i, j)] = di.mul_add(x[j] - self.mean[j], self.comoment[(i, j)]);
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Absorbs every observation of a flat [`SampleBatch`] in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] if
+    /// `batch.dim() != self.dim()`; the estimator is unchanged on error.
+    pub fn push_batch(&mut self, batch: &SampleBatch) -> Result<(), SigStatError> {
+        if batch.dim() != self.dim() {
+            return Err(SigStatError::DimensionMismatch {
+                expected: self.dim(),
+                actual: batch.dim(),
+                context: "OnlineGaussian::push_batch",
+            });
+        }
+        for row in batch.iter_rows() {
+            self.push(row)?;
         }
         Ok(())
     }
@@ -311,6 +339,31 @@ mod tests {
                 assert!((ca[(i, j)] - cb[(i, j)]).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let obs = vec![
+            vec![1.0, -2.0],
+            vec![2.0, -1.0],
+            vec![0.5, 0.25],
+            vec![-1.0, 3.0],
+        ];
+        let mut seq = OnlineGaussian::new(2);
+        for o in &obs {
+            seq.push(o).unwrap();
+        }
+        let mut batched = OnlineGaussian::new(2);
+        batched
+            .push_batch(&crate::SampleBatch::from_nested(&obs).unwrap())
+            .unwrap();
+        assert_eq!(seq, batched);
+
+        let mut wrong = OnlineGaussian::new(3);
+        assert!(wrong
+            .push_batch(&crate::SampleBatch::from_nested(&obs).unwrap())
+            .is_err());
+        assert_eq!(wrong.count(), 0);
     }
 
     #[test]

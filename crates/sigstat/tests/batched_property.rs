@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vprofile_sigstat::{
     sample_covariance, sample_mean, BatchedMahalanobis, Gaussian, Matrix, OnlineGaussian,
+    SampleBatch,
 };
 
 /// Random SPD matrix `B·Bᵀ + ridge·I` with entries drawn from `rng`.
@@ -54,11 +55,17 @@ proptest! {
         prop_assert_eq!(batched.dim(), dim);
         prop_assert_eq!(batched.cluster_count(), clusters);
 
-        let xs: Vec<Vec<f64>> = (0..frames)
-            .map(|_| (0..dim).map(|_| rng.random_range(-12.0..12.0)).collect())
-            .collect();
-        let many = batched.distances_many(&xs).unwrap();
-        for (x, batch_row) in xs.iter().zip(&many) {
+        let mut xs = SampleBatch::with_capacity(dim, frames);
+        let mut row = vec![0.0; dim];
+        for _ in 0..frames {
+            for v in &mut row {
+                *v = rng.random_range(-12.0..12.0);
+            }
+            xs.push_row(&row).unwrap();
+        }
+        let many = batched.distances_batch(&xs).unwrap();
+        prop_assert_eq!(many.rows(), frames);
+        for (x, batch_row) in xs.iter_rows().zip(many.iter_rows()) {
             let single = batched.distances(x).unwrap();
             for (c, g) in gaussians.iter().enumerate() {
                 let reference = g.mahalanobis(x).unwrap();

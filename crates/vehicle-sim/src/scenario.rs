@@ -291,9 +291,9 @@ pub fn chaos_brownout_capture(
 /// exists in the sample domain) — the shape the IDS pipeline's `feed`
 /// consumes.
 pub fn chaos_stream(capture: &Capture, seed: u64, faults: &[Fault]) -> Vec<f64> {
-    let mut samples = Vec::new();
+    let mut samples = Vec::with_capacity(capture.frames().iter().map(|f| f.trace.len()).sum());
     for frame in capture.frames() {
-        samples.extend(frame.trace.to_f64());
+        frame.trace.extend_f64_into(&mut samples);
     }
     let mut injector = faults.iter().fold(
         FaultInjector::new(seed, *capture.adc()),

@@ -200,16 +200,33 @@ impl ScoringCache {
     /// Propagates dimension mismatches; returns [`VProfileError::EmptyModel`]
     /// if the cache covers no clusters.
     pub fn nearest(&self, x: &[f64]) -> Result<(ClusterId, f64), VProfileError> {
-        let distances = match &self.batched {
-            Some(batched) => batched.distances(x)?,
+        let mut distances = Vec::with_capacity(self.clusters);
+        self.nearest_with(x, &mut distances)
+    }
+
+    /// [`Self::nearest`] into a caller-owned distance buffer, so steady-state
+    /// scoring allocates nothing. `distances` is cleared and refilled with
+    /// the per-cluster distances (the pipeline workers reuse one buffer per
+    /// worker, via [`crate::ScratchArena::distances`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches; returns [`VProfileError::EmptyModel`]
+    /// if the cache covers no clusters.
+    pub fn nearest_with(
+        &self,
+        x: &[f64],
+        distances: &mut Vec<f64>,
+    ) -> Result<(ClusterId, f64), VProfileError> {
+        distances.clear();
+        match &self.batched {
+            Some(batched) => batched.distances_into(x, distances)?,
             None => {
-                let mut out = Vec::with_capacity(self.means.len());
                 for mean in &self.means {
-                    out.push(euclidean(x, mean)?);
+                    distances.push(euclidean(x, mean)?);
                 }
-                out
             }
-        };
+        }
         let mut best: Option<(ClusterId, f64)> = None;
         for (idx, &d) in distances.iter().enumerate() {
             if best.map(|(_, bd)| d < bd).unwrap_or(true) {
@@ -337,18 +354,54 @@ impl<'a> Detector<'a> {
         obs: &LabeledEdgeSet,
         cache: &ScoringCache,
     ) -> Result<Verdict, VProfileError> {
+        let mut distances = Vec::with_capacity(cache.cluster_count());
+        self.try_classify_cached_with(obs.sa, obs.edge_set.samples(), cache, &mut distances)
+    }
+
+    /// [`Detector::classify_cached`] on a raw `(sa, edge set)` pair with a
+    /// caller-owned distance buffer — the zero-allocation per-frame entry
+    /// point. Taking the observation as parts (rather than a
+    /// [`LabeledEdgeSet`]) lets a pipeline worker score straight out of its
+    /// extraction scratch while lending the arena's distance buffer, with
+    /// disjoint borrows.
+    pub fn classify_cached_with(
+        &self,
+        sa: SourceAddress,
+        x: &[f64],
+        cache: &ScoringCache,
+        distances: &mut Vec<f64>,
+    ) -> Verdict {
+        self.try_classify_cached_with(sa, x, cache, distances)
+            .unwrap_or(Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            })
+    }
+
+    /// Fallible form of [`Detector::classify_cached_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VProfileError::DataUnavailable`] if the cache's shape
+    /// (metric, dimensionality, cluster count) does not match the model, and
+    /// propagates scoring failures like [`Detector::try_classify`].
+    pub fn try_classify_cached_with(
+        &self,
+        sa: SourceAddress,
+        x: &[f64],
+        cache: &ScoringCache,
+        distances: &mut Vec<f64>,
+    ) -> Result<Verdict, VProfileError> {
         if !cache.matches(self.model) {
             return Err(VProfileError::DataUnavailable {
                 context: "scoring cache does not match the model shape",
             });
         }
-        let Some(expected) = self.model.lookup_sa(obs.sa) else {
+        let Some(expected) = self.model.lookup_sa(sa) else {
             return Ok(Verdict::Anomaly {
-                kind: AnomalyKind::UnknownSa { sa: obs.sa },
+                kind: AnomalyKind::UnknownSa { sa },
             });
         };
-        let x = obs.edge_set.samples();
-        let (predicted, distance) = cache.nearest(x)?;
+        let (predicted, distance) = cache.nearest_with(x, distances)?;
         if predicted != expected {
             return Ok(Verdict::Anomaly {
                 kind: AnomalyKind::ClusterMismatch {
@@ -551,6 +604,30 @@ mod tests {
                 }
                 (p, c) => panic!("cached verdict {c:?} diverges from {p:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn classify_cached_with_reused_buffer_matches() {
+        let model = two_cluster_model();
+        let cache = ScoringCache::build(&model).unwrap();
+        let detector = Detector::with_margin(&model, 1.0);
+        let mut distances = Vec::new();
+        for probe in [
+            obs(1, 100.0),
+            obs(1, 900.0),
+            obs(2, 900.0),
+            obs(0x99, 1.0),
+            obs(1, 160.0),
+        ] {
+            let fresh = detector.classify_cached(&probe, &cache);
+            let reused = detector.classify_cached_with(
+                probe.sa,
+                probe.edge_set.samples(),
+                &cache,
+                &mut distances,
+            );
+            assert_eq!(fresh, reused);
         }
     }
 

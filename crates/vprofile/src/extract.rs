@@ -21,7 +21,7 @@
 //!   falling edge") and Figures 2.5/4.5 show rising-then-falling, which is
 //!   what this implementation does.
 
-use crate::{EdgeSet, LabeledEdgeSet, VProfileConfig, VProfileError};
+use crate::{EdgeSet, LabeledEdgeSet, ScratchArena, VProfileConfig, VProfileError};
 use vprofile_can::SourceAddress;
 
 /// Extracts source addresses and edge sets from raw voltage traces
@@ -61,33 +61,65 @@ impl EdgeSetExtractor {
     /// * [`VProfileError::SofNotFound`] if the trace never goes dominant;
     /// * [`VProfileError::TraceTooShort`] if it ends mid-extraction.
     pub fn extract(&self, samples: &[f64]) -> Result<LabeledEdgeSet, VProfileError> {
-        let (sa, pos) = self.walk_to_bit_33(samples)?;
-        let mut sets = Vec::with_capacity(self.config.edge_sets_per_message);
-        for k in 0..self.config.edge_sets_per_message {
+        let mut scratch = ScratchArena::new();
+        let sa = self.extract_into(samples, &mut scratch)?;
+        Ok(LabeledEdgeSet::new(sa, EdgeSet::new(scratch.edge_set)))
+    }
+
+    /// [`Self::extract`] into caller-owned scratch buffers: the extracted
+    /// (and, for multi-set configs, averaged) edge set is left in
+    /// `scratch.edge_set` and the decoded SA is returned. After the first
+    /// call sizes the buffers, subsequent calls allocate nothing — this is
+    /// the per-frame entry point of the IDS workers.
+    ///
+    /// On error, the scratch buffer contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// * [`VProfileError::SofNotFound`] if the trace never goes dominant;
+    /// * [`VProfileError::TraceTooShort`] if it ends mid-extraction.
+    pub fn extract_into(
+        &self,
+        samples: &[f64],
+        scratch: &mut ScratchArena,
+    ) -> Result<SourceAddress, VProfileError> {
+        let (sa, pos) = self.walk_arbitration(samples, false)?;
+        scratch.edge_set.clear();
+        self.extract_one_edge_set_into(samples, pos, &mut scratch.edge_set)?;
+        let n = self.config.edge_sets_per_message;
+        for k in 1..n {
             let start = pos + k * self.config.edge_set_spacing;
-            sets.push(self.extract_one_edge_set(samples, start)?);
+            scratch.edge_tmp.clear();
+            self.extract_one_edge_set_into(samples, start, &mut scratch.edge_tmp)?;
+            for (acc, &s) in scratch.edge_set.iter_mut().zip(&scratch.edge_tmp) {
+                *acc += s;
+            }
         }
-        let edge_set = if sets.len() == 1 {
-            sets.swap_remove(0)
-        } else {
-            EdgeSet::mean_of(&sets)
-        };
-        Ok(LabeledEdgeSet::new(sa, edge_set))
+        if n > 1 {
+            // Same sum-then-divide averaging as [`EdgeSet::mean_of`].
+            for acc in &mut scratch.edge_set {
+                *acc /= n as f64;
+            }
+        }
+        Ok(sa)
     }
 
     /// Decodes only the claimed source address from a framed message window,
     /// without extracting an edge set. This is the cheap routing probe the
     /// sharded pipeline uses to assign a window to a worker shard: it walks
     /// the arbitration field (with resynchronization and stuff-bit handling)
-    /// and stops.
+    /// and returns as soon as the last SA bit — unstuffed bit 31 — has been
+    /// decoded, two bit times before [`Self::extract`] stops walking.
     ///
     /// # Errors
     ///
     /// Returns [`VProfileError::SofNotFound`] /
-    /// [`VProfileError::TraceTooShort`] exactly as [`Self::extract`] would
-    /// for the same window.
+    /// [`VProfileError::TraceTooShort`] as [`Self::extract`] would for the
+    /// same window, except that a window truncated *between* bits 31 and 33
+    /// still peeks successfully (extraction would fail later regardless, at
+    /// the edge-set scan).
     pub fn peek_sa(&self, samples: &[f64]) -> Result<SourceAddress, VProfileError> {
-        self.walk_to_bit_33(samples).map(|(sa, _)| sa)
+        self.walk_arbitration(samples, true).map(|(sa, _)| sa)
     }
 
     /// `true` if the sample reads as dominant (logical 0).
@@ -95,10 +127,20 @@ impl EdgeSetExtractor {
         v >= self.config.bit_threshold
     }
 
-    /// Walks the message from SOF to bit 33 (the first bit after the
-    /// arbitration field), decoding the SA along the way. Returns the SA and
-    /// the sample index at the center of bit 33.
-    fn walk_to_bit_33(&self, samples: &[f64]) -> Result<(SourceAddress, usize), VProfileError> {
+    /// Walks the message from SOF through the arbitration field, decoding
+    /// the SA along the way, with zero heap allocations: unstuffed bits
+    /// accumulate in a `u64` shift register instead of a `Vec<bool>`, and
+    /// the SA is simply the register's low byte once bit 31 lands.
+    ///
+    /// With `stop_after_sa` the walk returns right at bit 31 (the cheap
+    /// routing probe); otherwise it continues to bit 33 — the first bit
+    /// after the arbitration field — and returns the sample index at that
+    /// bit's center, where edge-set extraction starts.
+    fn walk_arbitration(
+        &self,
+        samples: &[f64],
+        stop_after_sa: bool,
+    ) -> Result<(SourceAddress, usize), VProfileError> {
         let bw = self.config.bit_width_samples;
         let half = bw / 2.0;
 
@@ -109,7 +151,6 @@ impl EdgeSetExtractor {
 
         // Cursor kept in f64 so fractional bit widths accumulate correctly.
         let mut pos_f = sof as f64 + half;
-        let mut bits: Vec<bool> = Vec::with_capacity(40);
         let at = |p: f64| -> Result<f64, VProfileError> {
             let idx = p.round() as usize;
             samples
@@ -118,9 +159,10 @@ impl EdgeSetExtractor {
                 .ok_or(VProfileError::TraceTooShort { at_sample: idx })
         };
         // SOF is bit 0 (dominant). The walk reads it for symmetry with the
-        // pseudocode's `bitValues`.
-        bits.push(!self.is_dominant(at(pos_f)?)); // logical value: true = 1
-        let mut prev = bits[0];
+        // pseudocode's `bitValues`. Logical value: true = 1 (recessive).
+        let first = !self.is_dominant(at(pos_f)?);
+        let mut acc = u64::from(first);
+        let mut prev = first;
         let mut same_count = 1usize;
         let mut bit_count = 0usize;
         let mut sa: Option<SourceAddress> = None;
@@ -148,14 +190,17 @@ impl EdgeSetExtractor {
             } else {
                 same_count += 1;
             }
-            bits.push(bit);
+            acc = (acc << 1) | u64::from(bit);
             bit_count += 1;
             if bit_count == 31 {
-                // Bits 24–31 of the unstuffed stream carry the J1939 SA.
-                let value = bits[24..=31]
-                    .iter()
-                    .fold(0u8, |acc, &b| (acc << 1) | u8::from(b));
-                sa = Some(SourceAddress(value));
+                // Bits 24–31 of the unstuffed stream carry the J1939 SA —
+                // exactly the last eight bits shifted in, i.e. the low byte
+                // of the register at this point of the walk.
+                let decoded = SourceAddress((acc & 0xFF) as u8);
+                if stop_after_sa {
+                    return Ok((decoded, pos_f.round() as usize));
+                }
+                sa = Some(decoded);
             }
             if bit_count == 33 {
                 let pos = pos_f.round() as usize;
@@ -169,10 +214,16 @@ impl EdgeSetExtractor {
         }
     }
 
-    /// Extracts one edge set starting the scan at `pos`: the next rising
-    /// edge (prefix before / suffix after its threshold crossing) followed
-    /// by the next falling edge.
-    fn extract_one_edge_set(&self, samples: &[f64], pos: usize) -> Result<EdgeSet, VProfileError> {
+    /// Extracts one edge set starting the scan at `pos`, appending the
+    /// `2 * (prefix + suffix)` samples to `out`: the next rising edge
+    /// (prefix before / suffix after its threshold crossing) followed by
+    /// the next falling edge.
+    fn extract_one_edge_set_into(
+        &self,
+        samples: &[f64],
+        pos: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), VProfileError> {
         let half = (self.config.bit_width_samples / 2.0).round() as usize;
         let prefix = self.config.prefix_len;
         let suffix = self.config.suffix_len;
@@ -207,10 +258,10 @@ impl EdgeSetExtractor {
         let falling = j;
         need(falling + suffix.saturating_sub(1))?;
 
-        let mut out = Vec::with_capacity(2 * (prefix + suffix));
+        out.reserve(2 * (prefix + suffix));
         out.extend_from_slice(&samples[rising - prefix..rising + suffix]);
         out.extend_from_slice(&samples[falling - prefix..falling + suffix]);
-        Ok(EdgeSet::new(out))
+        Ok(())
     }
 }
 
@@ -399,6 +450,37 @@ mod tests {
         // The averaged set differs from the single set but stays close.
         let d = euclidean(one.edge_set.samples(), three.edge_set.samples()).unwrap();
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn extract_into_reuse_is_byte_identical_to_extract() {
+        let (synth, extractor, tx) = setup();
+        let extractor3 =
+            EdgeSetExtractor::new(extractor.config().clone().with_edge_sets_per_message(3));
+        let mut rng = StdRng::seed_from_u64(12);
+        let env = Environment::default();
+        let mut scratch = ScratchArena::new();
+        for sa in [0x05u8, 0x42, 0xEE] {
+            let wire = WireFrame::encode(&frame_with_sa(sa));
+            let trace = synth.synthesize(wire.bits(), &tx, &env, &mut rng);
+            let samples = trace.to_f64();
+            for ex in [&extractor, &extractor3] {
+                let fresh = ex.extract(&samples).unwrap();
+                let got_sa = ex.extract_into(&samples, &mut scratch).unwrap();
+                assert_eq!(got_sa, fresh.sa);
+                let fresh_bits: Vec<u64> = fresh
+                    .edge_set
+                    .samples()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let reused_bits: Vec<u64> = scratch.edge_set.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    reused_bits, fresh_bits,
+                    "scratch path diverged for sa {sa:#x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,7 @@ mod extract;
 mod io;
 mod model;
 mod quarantine;
+mod scratch;
 mod train;
 mod update;
 
@@ -88,5 +89,6 @@ pub use extract::{cluster_extraction_threshold, EdgeSetExtractor};
 pub use io::ModelIoError;
 pub use model::{ClusterStats, Model};
 pub use quarantine::QuarantineSet;
+pub use scratch::ScratchArena;
 pub use train::Trainer;
 pub use update::UpdateOutcome;

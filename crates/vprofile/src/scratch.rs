@@ -1,0 +1,77 @@
+//! Reusable per-worker scratch buffers for the per-frame hot path.
+//!
+//! Extraction and scoring both need small working buffers (the extracted
+//! edge set, the per-cluster distance vector). Allocating them per frame
+//! dominates the steady-state cost of the detection loop, so each pipeline
+//! worker owns one [`ScratchArena`] and threads it through
+//! [`crate::EdgeSetExtractor::extract_into`] and
+//! [`crate::Detector::classify_cached_with`]: after the first frame sizes
+//! the buffers, the loop performs zero heap allocations (verified by the
+//! counting-allocator harness in the bench crate).
+
+/// A bag of reusable buffers for one detection worker.
+///
+/// Fields are public so a caller can split borrows — e.g. score
+/// `&scratch.edge_set` while the distance scan fills
+/// `&mut scratch.distances`. Buffer contents are unspecified between
+/// calls (each entry point clears what it writes); only the capacity is
+/// meaningful state, so two arenas always compare equal in the containers
+/// that embed them.
+#[derive(Debug, Default, Clone)]
+pub struct ScratchArena {
+    /// The extracted (and, for §5.2 multi-set configs, averaged) edge set.
+    pub edge_set: Vec<f64>,
+    /// Per-set extraction buffer used when averaging multiple edge sets.
+    pub edge_tmp: Vec<f64>,
+    /// Per-cluster distance vector filled by the nearest-cluster scan.
+    pub distances: Vec<f64>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena; buffers grow to steady-state size on first
+    /// use and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Creates an arena pre-sized for `edge_dim`-sample edge sets scored
+    /// against `clusters` clusters, so even the first frame allocates
+    /// nothing.
+    #[must_use]
+    pub fn with_dims(edge_dim: usize, clusters: usize) -> Self {
+        ScratchArena {
+            edge_set: Vec::with_capacity(edge_dim),
+            edge_tmp: Vec::with_capacity(edge_dim),
+            distances: Vec::with_capacity(clusters),
+        }
+    }
+}
+
+/// Scratch capacity is invisible state: arenas never make two otherwise
+/// equal holders unequal.
+impl PartialEq for ScratchArena {
+    fn eq(&self, _other: &ScratchArena) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_always_compare_equal() {
+        let empty = ScratchArena::new();
+        let sized = ScratchArena::with_dims(32, 8);
+        assert_eq!(empty, sized);
+    }
+
+    #[test]
+    fn with_dims_presizes_buffers() {
+        let arena = ScratchArena::with_dims(32, 8);
+        assert!(arena.edge_set.capacity() >= 32);
+        assert!(arena.edge_tmp.capacity() >= 32);
+        assert!(arena.distances.capacity() >= 8);
+    }
+}
