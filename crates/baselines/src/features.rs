@@ -51,15 +51,39 @@ impl RegionFeatures {
 ///
 /// Panics if `samples` is empty.
 pub fn region_features(samples: &[f64]) -> RegionFeatures {
-    assert!(!samples.is_empty(), "cannot featurize an empty region");
-    let n = samples.len() as f64;
-    let mean = samples.iter().sum::<f64>() / n;
-    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let rms = (samples.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
-    let roughness = if samples.len() > 1 {
-        samples.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1.0)
+    region_features_concat(samples, &[])
+}
+
+/// Computes [`RegionFeatures`] over the logical concatenation `a ++ b`
+/// without materializing it — the streaming backends feature the
+/// steady-state region (which straddles the two edge-set halves) straight
+/// from borrowed slices. Bit-identical to
+/// `region_features(&[a, b].concat())`: every accumulation visits the
+/// samples in the same order with the same operations.
+///
+/// # Panics
+///
+/// Panics if both slices are empty.
+pub fn region_features_concat(a: &[f64], b: &[f64]) -> RegionFeatures {
+    let len = a.len() + b.len();
+    assert!(len > 0, "cannot featurize an empty region");
+    let n = len as f64;
+    let samples = || a.iter().chain(b);
+    let mean = samples().sum::<f64>() / n;
+    let var = samples().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = samples().copied().fold(f64::INFINITY, f64::min);
+    let max = samples().copied().fold(f64::NEG_INFINITY, f64::max);
+    let rms = (samples().map(|x| x * x).sum::<f64>() / n).sqrt();
+    let roughness = if len > 1 {
+        let mut sum = 0.0;
+        let mut prev = f64::NAN;
+        for (i, &x) in samples().enumerate() {
+            if i > 0 {
+                sum += (x - prev).abs();
+            }
+            prev = x;
+        }
+        sum / (n - 1.0)
     } else {
         0.0
     };
@@ -85,29 +109,67 @@ pub fn region_features(samples: &[f64]) -> RegionFeatures {
 ///
 /// Panics if the edge set has fewer than 8 samples.
 pub fn split_regions(edge_set: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let (rising, falling, steady_rise, steady_fall) = region_slices(edge_set);
+    let mut steady = steady_rise.to_vec();
+    steady.extend_from_slice(steady_fall);
+    (rising.to_vec(), falling.to_vec(), steady)
+}
+
+/// The borrowed-slice view of [`split_regions`], for allocation-free
+/// streaming extraction: `(rising, falling, steady_rise, steady_fall)`,
+/// where the steady region is the concatenation of the last two slices.
+///
+/// # Panics
+///
+/// Panics if the edge set has fewer than 8 samples.
+pub fn region_slices(edge_set: &[f64]) -> (&[f64], &[f64], &[f64], &[f64]) {
     assert!(edge_set.len() >= 8, "edge set too short to split");
     let half = edge_set.len() / 2;
     let (rise, fall) = edge_set.split_at(half);
     let quarter = (half / 4).max(1);
-    // Transition windows: the central part of each half.
-    let rising = rise[..half - quarter].to_vec();
-    let falling = fall[..half - quarter].to_vec();
-    // Steady states: the tails of both halves, where the level has settled.
-    let mut steady = rise[half - quarter..].to_vec();
-    steady.extend_from_slice(&fall[half - quarter..]);
-    (rising, falling, steady)
+    // Transition windows are the central part of each half; steady states
+    // are the tails of both halves, where the level has settled.
+    (
+        &rise[..half - quarter],
+        &fall[..half - quarter],
+        &rise[half - quarter..],
+        &fall[half - quarter..],
+    )
 }
 
 /// The full Scission-style feature vector of an edge set: region features
 /// of the rising, falling, and steady regions concatenated
 /// (3 × [`RegionFeatures::COUNT`] values).
 pub fn scission_features(edge_set: &[f64]) -> Vec<f64> {
-    let (rising, falling, steady) = split_regions(edge_set);
     let mut out = Vec::with_capacity(3 * RegionFeatures::COUNT);
-    out.extend(region_features(&rising).to_vec());
-    out.extend(region_features(&falling).to_vec());
-    out.extend(region_features(&steady).to_vec());
+    scission_features_into(edge_set, &mut out);
     out
+}
+
+/// [`scission_features`] into a caller-provided buffer: clears `out` and
+/// appends the 21 feature values without allocating once the buffer has
+/// steady-state capacity. The streaming baseline backends call this with
+/// `ScratchArena::features` on every frame.
+///
+/// # Panics
+///
+/// Panics if the edge set has fewer than 8 samples.
+pub fn scission_features_into(edge_set: &[f64], out: &mut Vec<f64>) {
+    let (rising, falling, steady_rise, steady_fall) = region_slices(edge_set);
+    out.clear();
+    push_region(out, region_features_concat(rising, &[]));
+    push_region(out, region_features_concat(falling, &[]));
+    push_region(out, region_features_concat(steady_rise, steady_fall));
+}
+
+fn push_region(out: &mut Vec<f64>, f: RegionFeatures) {
+    out.push(f.mean);
+    out.push(f.std_dev);
+    out.push(f.min);
+    out.push(f.max);
+    out.push(f.rms);
+    out.push(f.peak_to_peak);
+    out.push(f.roughness);
 }
 
 #[cfg(test)]
@@ -165,5 +227,50 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn tiny_edge_set_panics() {
         let _ = split_regions(&[1.0; 4]);
+    }
+
+    #[test]
+    fn region_slices_mirror_split_regions() {
+        let edge_set: Vec<f64> = (0..33).map(|i| (i as f64 * 0.7).sin()).collect();
+        let (r, f, s) = split_regions(&edge_set);
+        let (rs, fs, sa, sb) = region_slices(&edge_set);
+        assert_eq!(r, rs);
+        assert_eq!(f, fs);
+        assert_eq!(s, [sa, sb].concat());
+    }
+
+    #[test]
+    fn concat_features_are_bit_identical_to_materialized() {
+        // The streaming backends score the steady region from two borrowed
+        // slices; any rounding difference versus the materialized batch
+        // path would break batch/stream verdict equivalence.
+        let a: Vec<f64> = (0..13)
+            .map(|i| 1000.0 + (i as f64 * 1.3).cos() * 40.0)
+            .collect();
+        let b: Vec<f64> = (0..9)
+            .map(|i| 15.0 + (i as f64 * 0.9).sin() * 30.0)
+            .collect();
+        let joined = [a.clone(), b.clone()].concat();
+        let direct = region_features(&joined);
+        let streamed = region_features_concat(&a, &b);
+        assert!(direct
+            .to_vec()
+            .iter()
+            .zip(streamed.to_vec())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn features_into_matches_allocating_path() {
+        let edge_set: Vec<f64> = (0..32).map(|i| (i as f64).sin() * 500.0).collect();
+        let direct = scission_features(&edge_set);
+        let mut buffered = Vec::new();
+        scission_features_into(&edge_set, &mut buffered);
+        scission_features_into(&edge_set, &mut buffered); // idempotent reuse
+        assert_eq!(buffered.len(), 21);
+        assert!(direct
+            .iter()
+            .zip(&buffered)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -20,6 +20,15 @@
 //! [`VProfileIdentifier`] adapter, so harness code can drive any of them
 //! interchangeably.
 //!
+//! [`VidenDetector`], [`ScissionDetector`], and [`VoltageIdsDetector`]
+//! additionally implement the streaming
+//! [`vprofile_detector_core::DetectionBackend`] contract (re-exported here
+//! as [`DetectionBackend`]): per-edge-set scoring through a
+//! [`vprofile::ScratchArena`] with no steady-state allocations, plus
+//! snapshot/restore for pipeline supervisor checkpointing — which lets the
+//! sharded `vprofile-ids` pipeline run them online, not just in batch
+//! experiments.
+//!
 //! These are *faithful-flavor* reconstructions, not line-by-line ports: each
 //! keeps the published method's defining pipeline stages while consuming the
 //! reproduction's edge sets instead of the original full-message captures.
@@ -37,13 +46,17 @@ mod viden;
 mod voltageids;
 
 pub use fda::FisherDiscriminant;
-pub use features::{region_features, split_regions, RegionFeatures};
+pub use features::{
+    region_features, region_features_concat, region_slices, scission_features,
+    scission_features_into, split_regions, RegionFeatures,
+};
 pub use logreg::LogisticRegression;
 pub use scission::ScissionDetector;
 pub use simple::SimpleDetector;
 pub use svm::{LinearSvm, OneVsRestSvm, SvmParams};
 pub use viden::VidenDetector;
 pub use voltageids::VoltageIdsDetector;
+pub use vprofile_detector_core::{BackendSnapshot, DetectionBackend, SnapshotError};
 
 use vprofile::{Detector, LabeledEdgeSet, Model};
 

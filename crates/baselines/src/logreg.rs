@@ -188,6 +188,63 @@ impl LogisticRegression {
             })?;
         Ok((idx, p))
     }
+
+    /// [`LogisticRegression::predict`] with a caller-provided probability
+    /// buffer: no heap allocation once `probs` has steady-state capacity,
+    /// and bit-identical results (the standardization and logit
+    /// accumulation visit the features in the same order with the same
+    /// operations). The streaming Scission backend calls this with
+    /// `ScratchArena::distances` on every frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigStatError::DimensionMismatch`] on wrong input length and
+    /// [`SigStatError::EmptyInput`] for a model with zero classes.
+    pub fn predict_with(
+        &self,
+        x: &[f64],
+        probs: &mut Vec<f64>,
+    ) -> Result<(usize, f64), SigStatError> {
+        let dim = self.dim();
+        if x.len() != dim {
+            return Err(SigStatError::DimensionMismatch {
+                expected: dim,
+                actual: x.len(),
+                context: "LogisticRegression::predict_with",
+            });
+        }
+        probs.clear();
+        probs.resize(self.classes(), 0.0);
+        let mut max_logit = f64::NEG_INFINITY;
+        for (out, w) in probs.iter_mut().zip(&self.weights) {
+            let mut logit = 0.0;
+            for (&wi, (&v, (&m, &s))) in w[..dim].iter().zip(
+                x.iter()
+                    .zip(self.feature_means.iter().zip(&self.feature_stds)),
+            ) {
+                logit += wi * ((v - m) / s);
+            }
+            logit += w[dim];
+            *out = logit;
+            max_logit = max_logit.max(logit);
+        }
+        let mut sum = 0.0;
+        for v in probs.iter_mut() {
+            *v = (*v - max_logit).exp();
+            sum += *v;
+        }
+        for v in probs.iter_mut() {
+            *v /= sum;
+        }
+        let (idx, &p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .ok_or(SigStatError::EmptyInput {
+                context: "LogisticRegression::predict_with",
+            })?;
+        Ok((idx, p))
+    }
 }
 
 fn softmax_into(weights: &[Vec<f64>], z: &[f64], out: &mut [f64]) {
@@ -290,6 +347,26 @@ mod tests {
             .count() as f64
             / data.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_with_matches_predict_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = blobs(&mut rng, &[(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)], 40);
+        let model = LogisticRegression::fit(&data, 3, TrainParams::default()).unwrap();
+        let mut probs = Vec::new();
+        for (x, _) in &data {
+            let (ci, pi) = model.predict(x).unwrap();
+            let (cb, pb) = model.predict_with(x, &mut probs).unwrap();
+            assert_eq!(ci, cb);
+            assert_eq!(pi.to_bits(), pb.to_bits());
+            let direct = model.predict_proba(x).unwrap();
+            assert!(direct
+                .iter()
+                .zip(&probs)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        assert!(model.predict_with(&[1.0], &mut probs).is_err());
     }
 
     #[test]

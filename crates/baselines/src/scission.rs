@@ -4,12 +4,13 @@
 //! … Scission uses the logistic regression machine learning algorithm for
 //! training and classification."
 
-use crate::features::scission_features;
+use crate::features::{scission_features, scission_features_into};
 use crate::logreg::{LogisticRegression, TrainParams};
 use crate::{BaselineVerdict, SenderIdentifier};
 use std::collections::BTreeMap;
-use vprofile::{ClusterId, LabeledEdgeSet};
+use vprofile::{AnomalyKind, ClusterId, LabeledEdgeSet, ScratchArena, VProfileError, Verdict};
 use vprofile_can::SourceAddress;
+use vprofile_detector_core::{BackendSnapshot, DetectionBackend, SnapshotError};
 use vprofile_sigstat::SigStatError;
 
 /// A trained Scission-style detector.
@@ -64,6 +65,86 @@ impl ScissionDetector {
     /// Number of classes the classifier separates.
     pub fn classes(&self) -> usize {
         self.model.classes()
+    }
+}
+
+impl DetectionBackend for ScissionDetector {
+    fn name(&self) -> &'static str {
+        "scission"
+    }
+
+    fn train(
+        &mut self,
+        data: &[LabeledEdgeSet],
+        lut: &BTreeMap<SourceAddress, ClusterId>,
+    ) -> Result<(), VProfileError> {
+        *self = ScissionDetector::fit(data, lut, self.min_confidence)
+            .map_err(VProfileError::Numeric)?;
+        Ok(())
+    }
+
+    /// Streaming identification of the edge set in `scratch.edge_set`:
+    /// features go through `scratch.features`, class posteriors through
+    /// `scratch.distances`, so the steady-state path is allocation-free.
+    /// The verdict's nonconformity score is `1 − posterior`, making the
+    /// confidence floor a [`AnomalyKind::ThresholdExceeded`] limit of
+    /// `1 − min_confidence`.
+    fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
+        let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa },
+            };
+        };
+        if scratch.edge_set.len() < 8 {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            };
+        }
+        let ScratchArena {
+            edge_set,
+            features,
+            distances,
+            ..
+        } = scratch;
+        scission_features_into(edge_set, features);
+        match self.model.predict_with(features, distances) {
+            Ok((predicted, confidence)) => {
+                let distance = 1.0 - confidence;
+                if predicted != expected {
+                    Verdict::Anomaly {
+                        kind: AnomalyKind::ClusterMismatch {
+                            expected: ClusterId(expected),
+                            predicted: ClusterId(predicted),
+                            distance,
+                        },
+                    }
+                } else if confidence < self.min_confidence {
+                    Verdict::Anomaly {
+                        kind: AnomalyKind::ThresholdExceeded {
+                            cluster: ClusterId(expected),
+                            distance,
+                            limit: 1.0 - self.min_confidence,
+                        },
+                    }
+                } else {
+                    Verdict::Ok {
+                        cluster: ClusterId(expected),
+                        distance,
+                    }
+                }
+            }
+            Err(_) => Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            },
+        }
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(DetectionBackend::name(self), self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
+        snapshot.restore_into("scission", self)
     }
 }
 
@@ -170,10 +251,60 @@ mod tests {
     }
 
     #[test]
+    fn streaming_verdicts_agree_with_batch_classify() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut detector, a, b) = train(&mut rng);
+        let mut scratch = ScratchArena::new();
+        let attacks: Vec<LabeledEdgeSet> = b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
+        for obs in a.iter().chain(&attacks) {
+            scratch.edge_set.clear();
+            scratch.edge_set.extend_from_slice(obs.edge_set.samples());
+            let streamed = detector.classify_into(&mut scratch, obs.sa);
+            let batch = detector.classify(obs);
+            assert_eq!(streamed.is_anomaly(), batch.is_anomaly(), "{streamed:?}");
+            // The streamed distance is exactly 1 − the batch posterior.
+            if let (Verdict::Ok { distance, .. }, Ok((_, p))) = (streamed, detector.identify(obs)) {
+                assert_eq!(distance.to_bits(), (1.0 - p).to_bits());
+            }
+        }
+        let unknown = detector.classify_into(&mut scratch, SourceAddress(9));
+        assert!(matches!(
+            unknown,
+            Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { .. }
+            }
+        ));
+        scratch.edge_set.clear();
+        assert!(detector
+            .classify_into(&mut scratch, SourceAddress(1))
+            .is_unscorable());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (detector, a, _) = train(&mut rng);
+        let snapshot = detector.snapshot();
+        assert_eq!(snapshot.kind(), "scission");
+        let mut restored = detector.clone();
+        restored.restore(&snapshot).unwrap();
+        assert_eq!(
+            restored.identify(&a[0]).unwrap(),
+            detector.identify(&a[0]).unwrap()
+        );
+        // A foreign snapshot must be rejected without clobbering state.
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let (mut other, _, _) = train(&mut rng2);
+        let foreign = vprofile_detector_core::BackendSnapshot::new("viden", 1u8);
+        assert!(other.restore(&foreign).is_err());
+    }
+
+    #[test]
     fn classes_match_lut() {
         let mut rng = StdRng::seed_from_u64(4);
         let (detector, _, _) = train(&mut rng);
         assert_eq!(detector.classes(), 2);
-        assert_eq!(detector.name(), "Scission-style");
+        assert_eq!(SenderIdentifier::name(&detector), "Scission-style");
+        assert_eq!(DetectionBackend::name(&detector), "scission");
     }
 }

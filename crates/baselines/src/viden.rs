@@ -11,8 +11,9 @@
 
 use crate::{BaselineVerdict, SenderIdentifier};
 use std::collections::BTreeMap;
-use vprofile::{ClusterId, LabeledEdgeSet};
+use vprofile::{AnomalyKind, ClusterId, LabeledEdgeSet, ScratchArena, VProfileError, Verdict};
 use vprofile_can::SourceAddress;
+use vprofile_detector_core::{BackendSnapshot, DetectionBackend, SnapshotError};
 use vprofile_sigstat::SigStatError;
 
 /// Dimension of the tracking-point feature: dominant level, recessive
@@ -154,12 +155,104 @@ impl VidenDetector {
     /// continuously updates its profiles as the bus voltage drifts.
     pub fn update_profile(&mut self, cluster: ClusterId, observation: &LabeledEdgeSet) {
         let tp = tracking_points(observation.edge_set.samples());
-        let profile = &mut self.profiles[cluster.0];
+        self.absorb_tracking_points(cluster.0, &tp);
+    }
+
+    /// Running-mean update of one profile from a single tracking-point
+    /// observation; allocation-free.
+    fn absorb_tracking_points(&mut self, cluster: usize, tp: &[f64; TRACKING_DIM]) {
+        let Some(profile) = self.profiles.get_mut(cluster) else {
+            return;
+        };
         profile.count += 1;
         let n = profile.count as f64;
-        for (m, &v) in profile.mean.iter_mut().zip(&tp) {
+        for (m, &v) in profile.mean.iter_mut().zip(tp) {
             *m += (v - *m) / n;
         }
+    }
+}
+
+impl DetectionBackend for VidenDetector {
+    fn name(&self) -> &'static str {
+        "viden"
+    }
+
+    fn train(
+        &mut self,
+        data: &[LabeledEdgeSet],
+        lut: &BTreeMap<SourceAddress, ClusterId>,
+    ) -> Result<(), VProfileError> {
+        *self = VidenDetector::fit(data, lut, self.radius).map_err(VProfileError::Numeric)?;
+        Ok(())
+    }
+
+    /// Streaming attribution over the tracking points of the edge set in
+    /// `scratch.edge_set`. Allocation-free: the tracking-point feature is a
+    /// fixed-size array and the nearest-profile scan needs no buffers.
+    fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
+        let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa },
+            };
+        };
+        if scratch.edge_set.len() < 8 {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            };
+        }
+        let tp = tracking_points(&scratch.edge_set);
+        let mut best = (0usize, f64::INFINITY);
+        for idx in 0..self.profiles.len() {
+            let d = self.profile_distance(idx, &tp);
+            if d < best.1 {
+                best = (idx, d);
+            }
+        }
+        let (predicted, distance) = best;
+        if predicted != expected {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::ClusterMismatch {
+                    expected: ClusterId(expected),
+                    predicted: ClusterId(predicted),
+                    distance,
+                },
+            };
+        }
+        if distance > self.radius {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::ThresholdExceeded {
+                    cluster: ClusterId(expected),
+                    distance,
+                    limit: self.radius,
+                },
+            };
+        }
+        Verdict::Ok {
+            cluster: ClusterId(expected),
+            distance,
+        }
+    }
+
+    /// Viden's continuous profile update: the accepted edge set's tracking
+    /// points are folded into the claimed SA's profile mean immediately
+    /// (no pending buffer, no allocation).
+    fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
+        let Some(&cluster) = self.sa_lut.get(&sa.raw()) else {
+            return;
+        };
+        if edge_set.len() < 8 {
+            return;
+        }
+        let tp = tracking_points(edge_set);
+        self.absorb_tracking_points(cluster, &tp);
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(DetectionBackend::name(self), self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
+        snapshot.restore_into("viden", self)
     }
 }
 
@@ -289,6 +382,63 @@ mod tests {
             .filter(|m| detector.classify(m).is_anomaly())
             .count();
         assert!(after <= before, "updates must not worsen drift handling");
+    }
+
+    #[test]
+    fn streaming_verdicts_agree_with_batch_classify() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut detector, a, b) = train(&mut rng);
+        let mut scratch = ScratchArena::new();
+        let attacks: Vec<LabeledEdgeSet> = b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
+        for obs in a.iter().chain(&attacks) {
+            scratch.edge_set.clear();
+            scratch.edge_set.extend_from_slice(obs.edge_set.samples());
+            let streamed = detector.classify_into(&mut scratch, obs.sa);
+            let batch = detector.classify(obs);
+            assert_eq!(streamed.is_anomaly(), batch.is_anomaly(), "{streamed:?}");
+        }
+        // Unknown SA and degenerate windows are anomalous, fail-closed.
+        let unknown = detector.classify_into(&mut scratch, SourceAddress(0x70));
+        assert!(matches!(
+            unknown,
+            Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { .. }
+            }
+        ));
+        scratch.edge_set.clear();
+        assert!(detector
+            .classify_into(&mut scratch, SourceAddress(1))
+            .is_unscorable());
+    }
+
+    #[test]
+    fn backend_absorb_matches_update_profile() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut via_backend, _, _) = train(&mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut via_update, _, _) = train(&mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let drifted = synthetic(&mut rng, 1, 1030.0, 30);
+        for m in &drifted {
+            DetectionBackend::absorb(&mut via_backend, m.sa, m.edge_set.samples());
+            via_update.update_profile(ClusterId(0), m);
+        }
+        assert_eq!(via_backend.profiles, via_update.profiles);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (mut detector, _, _) = train(&mut rng);
+        let snapshot = detector.snapshot();
+        assert_eq!(snapshot.kind(), "viden");
+        let drifted = synthetic(&mut rng, 1, 1100.0, 30);
+        for m in &drifted {
+            DetectionBackend::absorb(&mut detector, m.sa, m.edge_set.samples());
+        }
+        detector.restore(&snapshot).unwrap();
+        let original = snapshot.downcast_ref::<VidenDetector>().unwrap();
+        assert_eq!(detector.profiles, original.profiles);
     }
 
     #[test]

@@ -11,12 +11,13 @@
 //! floor guards against unknown devices whose best class is still a poor
 //! match.
 
-use crate::features::scission_features;
+use crate::features::{scission_features, scission_features_into};
 use crate::svm::{OneVsRestSvm, SvmParams};
 use crate::{BaselineVerdict, SenderIdentifier};
 use std::collections::BTreeMap;
-use vprofile::{ClusterId, LabeledEdgeSet};
+use vprofile::{AnomalyKind, ClusterId, LabeledEdgeSet, ScratchArena, VProfileError, Verdict};
 use vprofile_can::SourceAddress;
+use vprofile_detector_core::{BackendSnapshot, DetectionBackend, SnapshotError};
 use vprofile_sigstat::SigStatError;
 
 /// A trained VoltageIDS-style detector.
@@ -72,6 +73,83 @@ impl VoltageIdsDetector {
     /// Number of classes the classifier separates.
     pub fn classes(&self) -> usize {
         self.svm.classes()
+    }
+}
+
+impl DetectionBackend for VoltageIdsDetector {
+    fn name(&self) -> &'static str {
+        "voltage-ids"
+    }
+
+    fn train(
+        &mut self,
+        data: &[LabeledEdgeSet],
+        lut: &BTreeMap<SourceAddress, ClusterId>,
+    ) -> Result<(), VProfileError> {
+        *self =
+            VoltageIdsDetector::fit(data, lut, self.min_margin).map_err(VProfileError::Numeric)?;
+        Ok(())
+    }
+
+    /// Streaming identification of the edge set in `scratch.edge_set`.
+    /// SVM decision margins grow with confidence, so the verdict reports
+    /// the *negated* margin as its nonconformity distance: the margin
+    /// floor becomes a [`AnomalyKind::ThresholdExceeded`] limit of
+    /// `-min_margin`, keeping "larger distance = worse match" uniform
+    /// across backends.
+    fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
+        let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { sa },
+            };
+        };
+        if scratch.edge_set.len() < 8 {
+            return Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            };
+        }
+        let ScratchArena {
+            edge_set, features, ..
+        } = scratch;
+        scission_features_into(edge_set, features);
+        match self.svm.predict(features) {
+            Ok((predicted, margin)) => {
+                let distance = -margin;
+                if predicted != expected {
+                    Verdict::Anomaly {
+                        kind: AnomalyKind::ClusterMismatch {
+                            expected: ClusterId(expected),
+                            predicted: ClusterId(predicted),
+                            distance,
+                        },
+                    }
+                } else if margin < self.min_margin {
+                    Verdict::Anomaly {
+                        kind: AnomalyKind::ThresholdExceeded {
+                            cluster: ClusterId(expected),
+                            distance,
+                            limit: -self.min_margin,
+                        },
+                    }
+                } else {
+                    Verdict::Ok {
+                        cluster: ClusterId(expected),
+                        distance,
+                    }
+                }
+            }
+            Err(_) => Verdict::Anomaly {
+                kind: AnomalyKind::Unscorable,
+            },
+        }
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(DetectionBackend::name(self), self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
+        snapshot.restore_into("voltage-ids", self)
     }
 }
 
@@ -173,6 +251,46 @@ mod tests {
         assert!(detector
             .classify(&a[0].with_sa(SourceAddress(0x42)))
             .is_anomaly());
+    }
+
+    #[test]
+    fn streaming_verdicts_agree_with_batch_classify() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut detector, a, b) = train(&mut rng);
+        let mut scratch = ScratchArena::new();
+        let attacks: Vec<LabeledEdgeSet> = b.iter().map(|m| m.with_sa(SourceAddress(1))).collect();
+        for obs in a.iter().chain(&attacks) {
+            scratch.edge_set.clear();
+            scratch.edge_set.extend_from_slice(obs.edge_set.samples());
+            let streamed = detector.classify_into(&mut scratch, obs.sa);
+            let batch = detector.classify(obs);
+            assert_eq!(streamed.is_anomaly(), batch.is_anomaly(), "{streamed:?}");
+            // The streamed distance is exactly the negated decision margin.
+            if let (Verdict::Ok { distance, .. }, Ok((_, margin))) =
+                (streamed, detector.identify(obs))
+            {
+                assert_eq!(distance.to_bits(), (-margin).to_bits());
+            }
+        }
+        let unknown = detector.classify_into(&mut scratch, SourceAddress(0x42));
+        assert!(matches!(
+            unknown,
+            Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa { .. }
+            }
+        ));
+        scratch.edge_set.clear();
+        assert!(detector
+            .classify_into(&mut scratch, SourceAddress(1))
+            .is_unscorable());
+        let snapshot = detector.snapshot();
+        assert_eq!(snapshot.kind(), "voltage-ids");
+        let mut restored = detector.clone();
+        restored.restore(&snapshot).unwrap();
+        assert_eq!(
+            restored.identify(&a[0]).unwrap(),
+            detector.identify(&a[0]).unwrap()
+        );
     }
 
     #[test]

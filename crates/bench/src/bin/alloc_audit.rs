@@ -1,13 +1,14 @@
-//! `alloc_audit` — proves the steady-state score path is allocation-free.
+//! `alloc_audit` — proves the steady-state score path is allocation-free,
+//! for the vProfile backend *and* for the Viden baseline backend.
 //!
 //! ```text
 //! alloc_audit [--frames N] [--seed S] [--out FILE]
 //! ```
 //!
 //! The binary installs [`alloc_counter::CountingAllocator`] as the global
-//! allocator, builds a trained engine on stress-fleet traffic, pre-frames
-//! the raw stream into windows (framing owns its own buffers and is audited
-//! separately below), then:
+//! allocator, trains both backends on the same stress-fleet traffic,
+//! pre-frames the raw stream into windows (framing owns its own buffers and
+//! is audited separately below), then, per backend:
 //!
 //! 1. **warm-up pass** — one full pass over every window, letting the
 //!    scoring cache build and the [`vprofile::ScratchArena`] buffers grow to
@@ -16,18 +17,21 @@
 //!    [`vprofile_ids::IdsEngine::process_window`] with the allocator
 //!    counters snapshotted around the loop.
 //!
-//! The process exits non-zero if the measured passes touch the allocator at
-//! all (`allocations + reallocations > 0`), making "zero allocations per
-//! frame" a CI-enforced invariant rather than a code comment. A JSON
-//! artifact with the counter deltas is written for the benchmark record.
+//! The process exits non-zero if any backend's measured passes touch the
+//! allocator at all (`allocations + reallocations > 0`), making "zero
+//! allocations per frame" a CI-enforced invariant for the primary backend
+//! and for at least one baseline rather than a code comment. A JSON
+//! artifact with the per-backend counter deltas is written for the
+//! benchmark record.
 //!
-//! The measured section is single-threaded, so every counted event is
+//! The measured sections are single-threaded, so every counted event is
 //! attributable to the score path.
 
 use serde::Serialize;
 use std::process::ExitCode;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
-use vprofile_ids::{IdsEngine, StreamFramer, UpdatePolicy};
+use vprofile_baselines::VidenDetector;
+use vprofile_ids::{Backend, IdsEngine, StreamFramer, UpdatePolicy};
 use vprofile_vehicle::scenario::stress_fleet;
 use vprofile_vehicle::CaptureConfig;
 
@@ -40,10 +44,8 @@ const CAPTURE_FRAMES: usize = 400;
 const ECUS: usize = 8;
 
 #[derive(Serialize)]
-struct Report {
-    benchmark: &'static str,
-    ecus: usize,
-    seed: u64,
+struct BackendAudit {
+    backend: &'static str,
     frames_measured: u64,
     allocations: u64,
     reallocations: u64,
@@ -52,6 +54,15 @@ struct Report {
     allocs_per_frame: f64,
     anomalies: u64,
     passed: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    ecus: usize,
+    seed: u64,
+    passed: bool,
+    backends: Vec<BackendAudit>,
     note: &'static str,
 }
 
@@ -106,21 +117,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", options.out);
+    for audit in &report.backends {
+        if audit.passed {
+            eprintln!(
+                "PASS [{}]: 0 heap allocations over {} steady-state frames",
+                audit.backend, audit.frames_measured
+            );
+        } else {
+            eprintln!(
+                "FAIL [{}]: {} allocations + {} reallocations over {} frames \
+                 ({:.4} allocs/frame) — the steady-state score path must not allocate",
+                audit.backend,
+                audit.allocations,
+                audit.reallocations,
+                audit.frames_measured,
+                audit.allocs_per_frame
+            );
+        }
+    }
     if report.passed {
-        eprintln!(
-            "PASS: 0 heap allocations over {} steady-state frames",
-            report.frames_measured
-        );
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "FAIL: {} allocations + {} reallocations over {} frames \
-             ({:.4} allocs/frame) — the steady-state score path must not allocate",
-            report.allocations,
-            report.reallocations,
-            report.frames_measured,
-            report.allocs_per_frame
-        );
         ExitCode::FAILURE
     }
 }
@@ -149,9 +166,13 @@ fn run(options: &Options) -> Result<Report, String> {
             extracted.failures
         ));
     }
+    let labeled = extracted.labeled();
+    let lut = vehicle.sa_lut();
     let model = Trainer::new(config.clone())
-        .train_with_lut(&extracted.labeled(), &vehicle.sa_lut())
+        .train_with_lut(&labeled, &lut)
         .map_err(|e| format!("training failed: {e}"))?;
+    let viden =
+        VidenDetector::fit(&labeled, &lut, 6.0).map_err(|e| format!("viden training: {e}"))?;
 
     // Pre-frame the raw stream so the measured loop exercises exactly the
     // extract-and-score path (the pipeline's workers see the same shape:
@@ -172,29 +193,60 @@ fn run(options: &Options) -> Result<Report, String> {
         ));
     }
 
-    let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::disabled());
+    let engines = [
+        IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
+        IdsEngine::with_backend(Backend::from(viden), config, UpdatePolicy::disabled()),
+    ];
+    let mut backends = Vec::with_capacity(engines.len());
+    for engine in engines {
+        backends.push(audit(engine, &windows, options.frames)?);
+    }
+
+    Ok(Report {
+        benchmark: "alloc_audit",
+        ecus: ECUS,
+        seed: options.seed,
+        passed: backends.iter().all(|a| a.passed),
+        backends,
+        note: "Counts cover the steady-state extract+score loop only: windows are \
+               pre-framed and the scoring cache plus scratch arena are warmed by one \
+               full pass before the counters are read. passed == (allocations + \
+               reallocations == 0) for every audited backend.",
+    })
+}
+
+/// Warms one engine over every window, then measures allocator deltas over
+/// the steady-state replay loop.
+fn audit(
+    mut engine: IdsEngine,
+    windows: &[(u64, Vec<f64>)],
+    frames: u64,
+) -> Result<BackendAudit, String> {
+    let backend = engine.backend_name();
 
     // Warm-up: builds the scoring cache and grows the scratch arena to its
-    // steady-state capacity.
+    // steady-state capacity. Clean stress traffic must score overwhelmingly
+    // normal under every audited backend.
     let mut warm_anomalies = 0u64;
-    for (pos, window) in &windows {
+    for (pos, window) in windows {
         if engine.process_window(*pos, window).is_anomaly() {
             warm_anomalies += 1;
         }
     }
-    if warm_anomalies != 0 {
+    if warm_anomalies * 10 > windows.len() as u64 {
         return Err(format!(
-            "{warm_anomalies} anomalies during warm-up on clean traffic"
+            "{backend}: {warm_anomalies}/{} anomalies during warm-up on clean traffic",
+            windows.len()
         ));
     }
 
     // Measured passes: nothing in this loop may allocate.
-    let passes = options.frames.div_ceil(windows.len() as u64).max(1);
+    let passes = frames.div_ceil(windows.len() as u64).max(1);
     let frames_measured = passes * windows.len() as u64;
     let mut anomalies = 0u64;
     let before = ALLOC.snapshot();
     for _ in 0..passes {
-        for (pos, window) in &windows {
+        for (pos, window) in windows {
             if engine.process_window(*pos, window).is_anomaly() {
                 anomalies += 1;
             }
@@ -203,10 +255,8 @@ fn run(options: &Options) -> Result<Report, String> {
     let delta = ALLOC.snapshot().since(&before);
 
     let total = delta.total_allocations();
-    Ok(Report {
-        benchmark: "alloc_audit",
-        ecus: ECUS,
-        seed: options.seed,
+    Ok(BackendAudit {
+        backend,
         frames_measured,
         allocations: delta.allocations,
         reallocations: delta.reallocations,
@@ -215,9 +265,5 @@ fn run(options: &Options) -> Result<Report, String> {
         allocs_per_frame: total as f64 / frames_measured as f64,
         anomalies,
         passed: total == 0,
-        note: "Counts cover the steady-state extract+score loop only: windows are \
-               pre-framed and the scoring cache plus scratch arena are warmed by one \
-               full pass before the counters are read. passed == (allocations + \
-               reallocations == 0).",
     })
 }

@@ -1,0 +1,287 @@
+//! The backend-agnostic detection contract shared by the vProfile IDS
+//! pipeline and the voltage-fingerprinting baselines.
+//!
+//! The sharded streaming pipeline in `vprofile-ids` was originally
+//! hard-wired to `vprofile::Detector`. This crate extracts the contract
+//! that pipeline actually needs from a detector into the object-safe
+//! [`DetectionBackend`] trait, so Viden-, Scission- and VoltageIDS-style
+//! detectors can ride the same sharding, supervision, backpressure, and
+//! zero-allocation scratch machinery:
+//!
+//! * **scratch-aware scoring** — [`DetectionBackend::classify_into`] reads
+//!   the extracted edge set from [`ScratchArena::edge_set`] and may use the
+//!   arena's other buffers as working memory, so steady-state scoring
+//!   performs no heap allocations;
+//! * **snapshot / restore** — the pipeline supervisor checkpoints a
+//!   worker's detector and rolls it back after a panic;
+//!   [`DetectionBackend::snapshot`] / [`DetectionBackend::restore`] make
+//!   that checkpointing backend-agnostic and drift-free (snapshots hold a
+//!   clone of the concrete state, not a lossy serialization);
+//! * **online updates** — backends that learn continuously (vProfile's
+//!   Algorithm 4, Viden's profile drift tracking) hook
+//!   [`DetectionBackend::absorb`]; stateless classifiers keep the default
+//!   no-ops.
+//!
+//! [`VProfileBackend`] is the reference implementation, wrapping a trained
+//! [`vprofile::Model`] together with its batched scoring cache and pending
+//! online-update buffer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod vprofile_backend;
+
+pub use vprofile_backend::VProfileBackend;
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use vprofile::{ClusterId, LabeledEdgeSet, ScratchArena, VProfileError, Verdict};
+use vprofile_can::SourceAddress;
+
+/// An opaque, byte-exact checkpoint of one backend's mutable state.
+///
+/// Snapshots wrap a *clone* of the concrete backend rather than a
+/// serialized form: restoring reproduces the exact floating-point state,
+/// so a supervisor-restarted worker scores byte-identically to an
+/// unrestarted one. The `kind` tag guards against restoring a snapshot
+/// into a different backend type.
+#[derive(Debug)]
+pub struct BackendSnapshot {
+    kind: &'static str,
+    state: Box<dyn Any + Send + Sync>,
+}
+
+impl BackendSnapshot {
+    /// Wraps a clone of a concrete backend state under a kind tag.
+    pub fn new<T: Any + Send + Sync>(kind: &'static str, state: T) -> Self {
+        BackendSnapshot {
+            kind,
+            state: Box::new(state),
+        }
+    }
+
+    /// The backend kind this snapshot was taken from.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Borrows the concrete state, if `T` matches the snapshotted type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.state.downcast_ref::<T>()
+    }
+
+    /// Restores this snapshot into `target`, verifying the kind tag.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] when the snapshot was taken from a
+    /// different backend kind (or a different concrete type).
+    pub fn restore_into<T: Any + Clone>(
+        &self,
+        expected: &'static str,
+        target: &mut T,
+    ) -> Result<(), SnapshotError> {
+        let state = (self.kind == expected)
+            .then(|| self.downcast_ref::<T>())
+            .flatten()
+            .ok_or(SnapshotError::KindMismatch {
+                expected,
+                found: self.kind,
+            })?;
+        target.clone_from(state);
+        Ok(())
+    }
+}
+
+/// Failure modes of [`DetectionBackend::restore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was taken from a different backend kind.
+    KindMismatch {
+        /// The kind the restoring backend expected.
+        expected: &'static str,
+        /// The kind recorded in the snapshot.
+        found: &'static str,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::KindMismatch { expected, found } => write!(
+                f,
+                "snapshot kind mismatch: expected `{expected}`, snapshot holds `{found}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The detection contract the streaming IDS pipeline runs against.
+///
+/// The trait is **object-safe** (no generic methods, no `Self` returns) so
+/// harness code can hold `&dyn DetectionBackend`; the pipeline hot path
+/// nevertheless dispatches statically through an enum to keep scoring
+/// monomorphized and allocation-free.
+///
+/// # Scratch contract
+///
+/// [`DetectionBackend::classify_into`] and [`DetectionBackend::absorb`]
+/// are the per-frame hot path. `classify_into` reads the extracted edge
+/// set from [`ScratchArena::edge_set`] (filled by
+/// `vprofile::EdgeSetExtractor::extract_into`) and may use
+/// [`ScratchArena::distances`] and [`ScratchArena::features`] as working
+/// buffers; it must not allocate once those buffers have reached
+/// steady-state capacity. Verdict semantics are fail-closed: a scoring
+/// failure maps to [`vprofile::AnomalyKind::Unscorable`], never to a
+/// silent pass.
+pub trait DetectionBackend: Send {
+    /// Short stable identifier for reports and snapshot tags
+    /// (e.g. `"vprofile"`, `"viden"`).
+    fn name(&self) -> &'static str;
+
+    /// Re-fits the backend in place from labeled training data and the
+    /// SA → cluster lookup table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures; the previous state stays in force
+    /// when training fails.
+    fn train(
+        &mut self,
+        data: &[LabeledEdgeSet],
+        lut: &BTreeMap<SourceAddress, ClusterId>,
+    ) -> Result<(), VProfileError>;
+
+    /// Classifies the edge set currently held in `scratch.edge_set`,
+    /// claimed to originate from `sa`.
+    fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict;
+
+    /// Optional online-update hook: feeds one accepted (non-anomalous)
+    /// edge set back into the backend. Stateless backends keep the
+    /// default no-op.
+    fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
+        let _ = (sa, edge_set);
+    }
+
+    /// Flushes any buffered online updates immediately. Default no-op.
+    fn apply_pending_updates(&mut self) {}
+
+    /// Drops buffered online updates attributed to a quarantined SA, so a
+    /// suspect sender cannot poison the model. Default no-op.
+    fn discard_pending_for(&mut self, sa: SourceAddress) {
+        let _ = sa;
+    }
+
+    /// `true` once absorbed updates warrant a full retrain (the thesis'
+    /// upper bound `M`). Default `false` for backends without online
+    /// updates.
+    fn retrain_due(&self, bound: usize) -> bool {
+        let _ = bound;
+        false
+    }
+
+    /// Captures a byte-exact checkpoint of the backend's mutable state for
+    /// supervisor restarts.
+    fn snapshot(&self) -> BackendSnapshot;
+
+    /// Rolls the backend back to a previously captured checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] when the snapshot belongs to a
+    /// different backend kind; the current state is left untouched.
+    fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal stateless backend used to pin down the trait contract.
+    #[derive(Debug, Clone, PartialEq)]
+    struct FlagEverything;
+
+    impl DetectionBackend for FlagEverything {
+        fn name(&self) -> &'static str {
+            "flag-everything"
+        }
+
+        fn train(
+            &mut self,
+            _data: &[LabeledEdgeSet],
+            _lut: &BTreeMap<SourceAddress, ClusterId>,
+        ) -> Result<(), VProfileError> {
+            Ok(())
+        }
+
+        fn classify_into(&mut self, _scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
+            Verdict::Anomaly {
+                kind: vprofile::AnomalyKind::UnknownSa { sa },
+            }
+        }
+
+        fn snapshot(&self) -> BackendSnapshot {
+            BackendSnapshot::new(self.name(), self.clone())
+        }
+
+        fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
+            snapshot.restore_into("flag-everything", self)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut backend = FlagEverything;
+        let dynamic: &mut dyn DetectionBackend = &mut backend;
+        assert_eq!(dynamic.name(), "flag-everything");
+        let mut scratch = ScratchArena::new();
+        let verdict = dynamic.classify_into(&mut scratch, SourceAddress(7));
+        assert!(verdict.is_anomaly());
+    }
+
+    #[test]
+    fn default_hooks_are_inert() {
+        let mut backend = FlagEverything;
+        backend.absorb(SourceAddress(1), &[1.0, 2.0]);
+        backend.apply_pending_updates();
+        backend.discard_pending_for(SourceAddress(1));
+        assert!(!backend.retrain_due(0));
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let backend = FlagEverything;
+        let snapshot = backend.snapshot();
+        assert_eq!(snapshot.kind(), "flag-everything");
+        let mut other = FlagEverything;
+        other.restore(&snapshot).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let foreign = BackendSnapshot::new("something-else", 42u32);
+        let mut backend = FlagEverything;
+        let err = backend.restore(&foreign).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::KindMismatch {
+                expected: "flag-everything",
+                found: "something-else",
+            }
+        );
+        assert!(err.to_string().contains("something-else"));
+    }
+
+    #[test]
+    fn downcast_rejects_wrong_type() {
+        let snapshot = BackendSnapshot::new("flag-everything", 42u32);
+        // Kind matches but the concrete type does not: restore must fail
+        // rather than clobber state.
+        let mut backend = FlagEverything;
+        assert!(backend.restore(&snapshot).is_err());
+        assert!(snapshot.downcast_ref::<FlagEverything>().is_none());
+        assert_eq!(snapshot.downcast_ref::<u32>(), Some(&42));
+    }
+}

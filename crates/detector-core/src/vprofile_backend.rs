@@ -1,0 +1,277 @@
+//! The reference [`DetectionBackend`]: vProfile's Mahalanobis
+//! nearest-cluster detector with batched scoring and §5.3 online updates.
+
+use crate::{BackendSnapshot, DetectionBackend, SnapshotError};
+use std::collections::BTreeMap;
+use vprofile::{
+    ClusterId, Detector, EdgeSet, LabeledEdgeSet, Model, ScoringCache, ScratchArena, Trainer,
+    VProfileConfig, VProfileError, Verdict,
+};
+use vprofile_can::SourceAddress;
+
+/// How many absorbed observations are buffered before an online update is
+/// applied, amortizing the cache refactorization.
+const UPDATE_BATCH: usize = 16;
+
+/// Lifecycle of the backend's batched-scoring cache.
+///
+/// The cache stacks every cluster's inverse Cholesky factor (see
+/// [`ScoringCache`]), so it must be rebuilt whenever the model changes. It
+/// starts `Stale`, is built lazily on the first scored frame, and is
+/// invalidated by online updates and model installs. A model the cache
+/// cannot be built for (e.g. Euclidean-trained without covariances, or
+/// gone singular) parks in `Unavailable` so scoring falls back to the
+/// per-cluster path without retrying the build on every frame.
+#[derive(Debug, Clone)]
+enum CacheState {
+    /// No cache; build one before the next frame.
+    Stale,
+    /// Valid for the current model version.
+    Ready(ScoringCache),
+    /// Building failed for this model version; use the uncached path.
+    Unavailable,
+}
+
+/// vProfile's trained model plus the mutable scoring state the streaming
+/// pipeline needs: the batched-scoring cache and the pending
+/// online-update buffer.
+///
+/// This is the logic that used to live inside `ids::IdsEngine`, extracted
+/// so the engine can treat vProfile as one [`DetectionBackend`] among
+/// several. The steady-state [`DetectionBackend::classify_into`] path
+/// performs no heap allocations (enforced by the bench crate's counting
+/// allocator).
+#[derive(Debug, Clone)]
+pub struct VProfileBackend {
+    model: Model,
+    margin: f64,
+    cache: CacheState,
+    pending: Vec<LabeledEdgeSet>,
+}
+
+impl VProfileBackend {
+    /// Wraps a trained model with the thesis' threshold margin `k`.
+    pub fn new(model: Model, margin: f64) -> Self {
+        VProfileBackend {
+            model,
+            margin,
+            cache: CacheState::Stale,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current model (reflects online updates).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The detection threshold margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Replaces the model after an external retrain, dropping buffered
+    /// updates and invalidating the scoring cache.
+    pub fn install_model(&mut self, model: Model) {
+        self.model = model;
+        self.pending.clear();
+        self.cache = CacheState::Stale;
+    }
+
+    /// Rebuilds the batched scoring cache if the model changed since the
+    /// last frame.
+    fn ensure_cache(&mut self) {
+        if matches!(self.cache, CacheState::Stale) {
+            self.cache = match ScoringCache::build(&self.model) {
+                Ok(cache) => CacheState::Ready(cache),
+                Err(_) => CacheState::Unavailable,
+            };
+        }
+    }
+}
+
+impl DetectionBackend for VProfileBackend {
+    fn name(&self) -> &'static str {
+        "vprofile"
+    }
+
+    fn train(
+        &mut self,
+        data: &[LabeledEdgeSet],
+        lut: &BTreeMap<SourceAddress, ClusterId>,
+    ) -> Result<(), VProfileError> {
+        let config: VProfileConfig = self.model.config().clone();
+        let model = Trainer::new(config).train_with_lut(data, lut)?;
+        self.install_model(model);
+        Ok(())
+    }
+
+    fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
+        self.ensure_cache();
+        let detector = Detector::with_margin(&self.model, self.margin);
+        let ScratchArena {
+            edge_set,
+            distances,
+            ..
+        } = scratch;
+        match &self.cache {
+            CacheState::Ready(cache) => {
+                detector.classify_cached_with(sa, edge_set, cache, distances)
+            }
+            CacheState::Stale | CacheState::Unavailable => {
+                let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.clone()));
+                detector.classify(&obs)
+            }
+        }
+    }
+
+    fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
+        let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.to_vec()));
+        self.pending.push(obs);
+        // Batch pending updates to amortize refactorization.
+        if self.pending.len() >= UPDATE_BATCH {
+            self.apply_pending_updates();
+        }
+    }
+
+    fn apply_pending_updates(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        // A failed update (e.g. covariance went singular) is dropped: the
+        // previous model stays in force, which is the safe behaviour for a
+        // monitor.
+        let _ = self.model.update_online(&batch);
+        // The stacked factors snapshot the covariances; any applied update
+        // invalidates them.
+        self.cache = CacheState::Stale;
+    }
+
+    fn discard_pending_for(&mut self, sa: SourceAddress) {
+        self.pending.retain(|o| o.sa != sa);
+    }
+
+    fn retrain_due(&self, bound: usize) -> bool {
+        self.model.needs_retrain(bound)
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot::new(DetectionBackend::name(self), self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
+        snapshot.restore_into("vprofile", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vprofile::EdgeSetExtractor;
+    use vprofile_vehicle::{CaptureConfig, Vehicle};
+
+    fn trained() -> (VProfileBackend, Vec<LabeledEdgeSet>) {
+        let vehicle = Vehicle::vehicle_b(17);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(400).with_seed(17))
+            .unwrap();
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+        let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+        let labeled = extracted.labeled();
+        let model = Trainer::new(config)
+            .train_with_lut(&labeled, &vehicle.sa_lut())
+            .unwrap();
+        (VProfileBackend::new(model, 2.0), labeled)
+    }
+
+    #[test]
+    fn classify_into_matches_direct_detector() {
+        let (mut backend, observations) = trained();
+        let model = backend.model().clone();
+        let mut scratch = ScratchArena::new();
+        for obs in observations.iter().take(40) {
+            scratch.edge_set.clear();
+            scratch.edge_set.extend_from_slice(obs.edge_set.samples());
+            let cached = backend.classify_into(&mut scratch, obs.sa);
+            let direct = Detector::with_margin(&model, 2.0).classify(obs);
+            match (cached, direct) {
+                (
+                    Verdict::Ok {
+                        cluster: a,
+                        distance: da,
+                    },
+                    Verdict::Ok {
+                        cluster: b,
+                        distance: db,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert!((da - db).abs() < 1e-6, "cached {da} vs direct {db}");
+                }
+                (a, b) => assert_eq!(a.is_anomaly(), b.is_anomaly(), "{a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_batches_and_grows_counts() {
+        let (mut backend, observations) = trained();
+        let before: usize = backend.model().clusters().iter().map(|c| c.count()).sum();
+        for obs in observations.iter().take(40) {
+            backend.absorb(obs.sa, obs.edge_set.samples());
+        }
+        backend.apply_pending_updates();
+        let after: usize = backend.model().clusters().iter().map(|c| c.count()).sum();
+        assert!(after > before, "counts must grow: {before} → {after}");
+    }
+
+    #[test]
+    fn discard_pending_suppresses_quarantined_sa() {
+        let (mut backend, observations) = trained();
+        let before: usize = backend.model().clusters().iter().map(|c| c.count()).sum();
+        let sa = observations[0].sa;
+        for obs in observations.iter().filter(|o| o.sa == sa).take(8) {
+            backend.absorb(obs.sa, obs.edge_set.samples());
+        }
+        backend.discard_pending_for(sa);
+        backend.apply_pending_updates();
+        let after: usize = backend.model().clusters().iter().map(|c| c.count()).sum();
+        assert_eq!(after, before, "discarded updates must not grow the model");
+    }
+
+    #[test]
+    fn train_refits_in_place() {
+        let (mut backend, observations) = trained();
+        let vehicle = Vehicle::vehicle_b(17);
+        backend.train(&observations, &vehicle.sa_lut()).unwrap();
+        assert!(!backend.model().clusters().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_identical() {
+        let (mut backend, observations) = trained();
+        let snapshot = DetectionBackend::snapshot(&backend);
+        assert_eq!(snapshot.kind(), "vprofile");
+        // Mutate, then roll back.
+        for obs in observations.iter().take(20) {
+            backend.absorb(obs.sa, obs.edge_set.samples());
+        }
+        backend.apply_pending_updates();
+        backend.restore(&snapshot).unwrap();
+        let restored: Vec<usize> = backend
+            .model()
+            .clusters()
+            .iter()
+            .map(|c| c.count())
+            .collect();
+        let original = snapshot.downcast_ref::<VProfileBackend>().unwrap();
+        let expected: Vec<usize> = original
+            .model()
+            .clusters()
+            .iter()
+            .map(|c| c.count())
+            .collect();
+        assert_eq!(restored, expected);
+    }
+}

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backends;
 pub mod figures;
 mod margin;
 mod metrics;
@@ -31,6 +32,7 @@ mod roc;
 mod setup;
 pub mod tables;
 
+pub use backends::{backend_comparison, backend_markdown, BackendReport, ComparisonError};
 pub use margin::{select_margin, MarginObjective};
 pub use metrics::ConfusionMatrix;
 pub use report::{markdown_table, Series};

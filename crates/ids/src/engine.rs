@@ -1,15 +1,14 @@
 //! The synchronous IDS core: framing → extraction → detection → events,
 //! plus the §5.3 online-update policy.
 
+use crate::backend::Backend;
 use crate::event::{IdsEvent, ScoredEvent};
 use crate::StreamFramer;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use vprofile::{
-    Detector, EdgeSet, EdgeSetExtractor, LabeledEdgeSet, Model, QuarantineSet, ScoringCache,
-    ScratchArena, Verdict,
-};
+use vprofile::{EdgeSetExtractor, Model, QuarantineSet, ScratchArena, VProfileConfig, Verdict};
 use vprofile_can::SourceAddress;
+use vprofile_detector_core::{DetectionBackend, VProfileBackend};
 
 /// Nanoseconds since `since`, saturating instead of truncating on the
 /// (never-in-practice) u128 → u64 overflow.
@@ -59,37 +58,23 @@ impl UpdatePolicy {
     }
 }
 
-/// Lifecycle of the engine's batched-scoring cache.
+/// The synchronous IDS engine: owns a detection [`Backend`], a framer,
+/// and the update policy. See the [crate-level example](crate).
 ///
-/// The cache stacks every cluster's inverse Cholesky factor (see
-/// [`ScoringCache`]), so it must be rebuilt whenever the model changes. It
-/// starts `Stale`, is built lazily on the first scored frame, and is
-/// invalidated by online updates and model installs. A model the cache
-/// cannot be built for (e.g. Euclidean-trained without covariances going
-/// singular) parks in `Unavailable` so the engine falls back to per-cluster
-/// scoring without retrying the build on every frame.
-#[derive(Debug, Clone)]
-enum CacheState {
-    /// No cache; build one before the next frame.
-    Stale,
-    /// Valid for the current model version.
-    Ready(ScoringCache),
-    /// Building failed for this model version; use the uncached path.
-    Unavailable,
-}
-
-/// The synchronous IDS engine: owns the model, a framer, and the update
-/// policy. See the [crate-level example](crate).
+/// The engine is backend-agnostic: [`IdsEngine::new`] wires up the
+/// classic vProfile detector, while [`IdsEngine::with_backend`] runs any
+/// [`Backend`] variant (Viden, Scission, VoltageIDS) through the same
+/// framing/extraction/quarantine/update machinery. Framing and extraction
+/// parameters come from a [`VProfileConfig`] in either case, since every
+/// backend scores the same extracted edge sets.
 #[derive(Debug, Clone)]
 pub struct IdsEngine {
-    model: Model,
+    backend: Backend,
+    config: VProfileConfig,
     extractor: EdgeSetExtractor,
     framer: StreamFramer,
-    margin: f64,
     policy: UpdatePolicy,
     accepted_count: usize,
-    pending_updates: Vec<LabeledEdgeSet>,
-    cache: CacheState,
     quarantine: QuarantineSet,
     /// Per-engine reusable buffers; with these, the steady-state
     /// extract-and-score path of [`IdsEngine::process_window`] performs no
@@ -99,37 +84,66 @@ pub struct IdsEngine {
 }
 
 impl IdsEngine {
-    /// Creates an engine around a trained model.
+    /// Creates an engine around a trained vProfile model.
     pub fn new(model: Model, margin: f64, policy: UpdatePolicy) -> Self {
         let config = model.config().clone();
+        IdsEngine::with_backend(Backend::vprofile(model, margin), config, policy)
+    }
+
+    /// Creates an engine around any detection backend. `config` supplies
+    /// the framing and edge-set extraction parameters (backends all score
+    /// the same extracted edge sets).
+    pub fn with_backend(backend: Backend, config: VProfileConfig, policy: UpdatePolicy) -> Self {
         let framer = StreamFramer::new(config.bit_width_samples, config.bit_threshold);
-        let extractor = EdgeSetExtractor::new(config);
+        let extractor = EdgeSetExtractor::new(config.clone());
         IdsEngine {
-            model,
+            backend,
+            config,
             extractor,
             framer,
-            margin,
             policy,
             accepted_count: 0,
-            pending_updates: Vec::new(),
-            cache: CacheState::Stale,
             quarantine: QuarantineSet::new(),
             scratch: ScratchArena::new(),
         }
     }
 
-    /// The current model (reflects online updates).
-    pub fn model(&self) -> &Model {
-        &self.model
+    /// The framing/extraction configuration the engine was built with.
+    pub fn config(&self) -> &VProfileConfig {
+        &self.config
     }
 
-    /// Replaces the model after an external retrain and resets the update
-    /// bookkeeping.
+    /// The detection backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Mutable access to the detection backend (snapshot/restore, retrain).
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// The backend's stable name (e.g. `"vprofile"`, `"viden"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.kind().label()
+    }
+
+    /// The current vProfile model (reflects online updates), or `None`
+    /// when the engine runs a non-vProfile backend.
+    pub fn model(&self) -> Option<&Model> {
+        self.backend.as_vprofile().map(VProfileBackend::model)
+    }
+
+    /// Replaces the vProfile model after an external retrain and resets
+    /// the update bookkeeping. On a non-vProfile backend the engine
+    /// switches to a vProfile backend with a zero margin (install a full
+    /// backend via [`IdsEngine::with_backend`] to control the margin).
     pub fn install_model(&mut self, model: Model) {
-        self.model = model;
+        match self.backend.as_vprofile_mut() {
+            Some(b) => b.install_model(model),
+            None => self.backend = Backend::vprofile(model, 0.0),
+        }
         self.accepted_count = 0;
-        self.pending_updates.clear();
-        self.cache = CacheState::Stale;
         self.quarantine.clear();
     }
 
@@ -138,7 +152,7 @@ impl IdsEngine {
     /// updates for it are discarded.
     pub fn quarantine_sa(&mut self, sa: u8) {
         self.quarantine.insert(sa);
-        self.pending_updates.retain(|o| o.sa.0 != sa);
+        self.backend.discard_pending_for(SourceAddress(sa));
     }
 
     /// Releases one SA from quarantine.
@@ -172,17 +186,6 @@ impl IdsEngine {
         Some(self.process_window(stream_pos, &window))
     }
 
-    /// Rebuilds the batched scoring cache if the model changed since the
-    /// last frame.
-    fn ensure_cache(&mut self) {
-        if matches!(self.cache, CacheState::Stale) {
-            self.cache = match ScoringCache::build(&self.model) {
-                Ok(cache) => CacheState::Ready(cache),
-                Err(_) => CacheState::Unavailable,
-            };
-        }
-    }
-
     /// Classifies one already-framed window.
     pub fn process_window(&mut self, stream_pos: u64, window: &[f64]) -> IdsEvent {
         self.process_window_timed(stream_pos, window).0
@@ -206,22 +209,7 @@ impl IdsEngine {
         let scoring = Instant::now();
         let event = match extracted {
             Ok(sa) => {
-                self.ensure_cache();
-                let detector = Detector::with_margin(&self.model, self.margin);
-                let ScratchArena {
-                    edge_set,
-                    distances,
-                    ..
-                } = &mut self.scratch;
-                let verdict = match &self.cache {
-                    CacheState::Ready(cache) => {
-                        detector.classify_cached_with(sa, edge_set, cache, distances)
-                    }
-                    CacheState::Stale | CacheState::Unavailable => {
-                        let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.clone()));
-                        detector.classify(&obs)
-                    }
-                };
+                let verdict = self.backend.classify_into(&mut self.scratch, sa);
                 let mut retrain_due = false;
                 if !verdict.is_anomaly()
                     && self.policy.is_enabled()
@@ -229,15 +217,9 @@ impl IdsEngine {
                 {
                     self.accepted_count += 1;
                     if self.accepted_count.is_multiple_of(self.policy.interval) {
-                        let obs =
-                            LabeledEdgeSet::new(sa, EdgeSet::new(self.scratch.edge_set.clone()));
-                        self.pending_updates.push(obs);
-                        // Batch pending updates to amortize refactorization.
-                        if self.pending_updates.len() >= 16 {
-                            self.apply_pending_updates();
-                        }
+                        self.backend.absorb(sa, &self.scratch.edge_set);
                     }
-                    retrain_due = self.model.needs_retrain(self.policy.retrain_bound);
+                    retrain_due = self.backend.retrain_due(self.policy.retrain_bound);
                 }
                 IdsEvent::Scored(ScoredEvent {
                     stream_pos,
@@ -264,24 +246,14 @@ impl IdsEngine {
 
     /// Applies any buffered online updates immediately.
     pub fn apply_pending_updates(&mut self) {
-        if self.pending_updates.is_empty() {
-            return;
-        }
-        let batch = std::mem::take(&mut self.pending_updates);
-        // A failed update (e.g. covariance went singular) is dropped: the
-        // previous model stays in force, which is the safe behaviour for a
-        // monitor.
-        let _ = self.model.update_online(&batch);
-        // The stacked factors snapshot the covariances; any applied update
-        // invalidates them.
-        self.cache = CacheState::Stale;
+        self.backend.apply_pending_updates();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vprofile::{Trainer, VProfileConfig};
+    use vprofile::{Detector, Trainer, VProfileConfig};
     use vprofile_vehicle::{CaptureConfig, Vehicle};
 
     fn trained_setup(frames: usize) -> (IdsEngine, vprofile_vehicle::Capture) {
@@ -346,7 +318,7 @@ mod tests {
     #[test]
     fn cached_detection_matches_direct_classification() {
         let (mut engine, capture) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let extractor = EdgeSetExtractor::new(model.config().clone());
         for (i, frame) in capture.frames().iter().take(30).enumerate() {
             let window = frame.trace.to_f64();
@@ -375,7 +347,7 @@ mod tests {
     #[test]
     fn cache_is_rebuilt_across_online_updates() {
         let (engine, capture) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
         let mut stream = Vec::new();
         for frame in capture.frames().iter().take(80) {
@@ -392,7 +364,7 @@ mod tests {
     #[test]
     fn online_updates_grow_cluster_counts() {
         let (engine, capture) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let before: usize = model.clusters().iter().map(|c| c.count()).sum();
         let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
         let mut stream = Vec::new();
@@ -401,14 +373,20 @@ mod tests {
         }
         engine.process_samples(&stream);
         engine.apply_pending_updates();
-        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        let after: usize = engine
+            .model()
+            .unwrap()
+            .clusters()
+            .iter()
+            .map(|c| c.count())
+            .sum();
         assert!(after > before, "counts must grow: {before} → {after}");
     }
 
     #[test]
     fn retrain_bound_is_signalled() {
         let (engine, capture) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let bound = model.clusters().iter().map(|c| c.count()).max().unwrap() + 4;
         let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, bound));
         let mut stream = Vec::new();
@@ -425,7 +403,7 @@ mod tests {
     #[test]
     fn quarantined_sas_are_scored_but_never_absorbed() {
         let (engine, capture) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let before: usize = model.clusters().iter().map(|c| c.count()).sum();
         let mut engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
         // Quarantine every possible SA: updates must be fully suppressed.
@@ -443,7 +421,13 @@ mod tests {
             events.iter().all(|e| e.verdict().is_some()),
             "quarantine must not suppress scoring"
         );
-        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        let after: usize = engine
+            .model()
+            .unwrap()
+            .clusters()
+            .iter()
+            .map(|c| c.count())
+            .sum();
         assert_eq!(after, before, "quarantined SAs must not grow the model");
         assert!(!engine.quarantined().is_empty());
         engine.release_all_quarantined();
@@ -453,7 +437,7 @@ mod tests {
     #[test]
     fn install_model_resets_update_state() {
         let (engine, _) = trained_setup(800);
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let mut engine = IdsEngine::new(model.clone(), 2.0, UpdatePolicy::every(1, 10));
         engine.accepted_count = 7;
         engine.install_model(model);

@@ -26,7 +26,13 @@
 //!   ([`HealthConfig`]) trips into an explicit degraded mode
 //!   ([`IdsEvent::Degraded`], quarantined online updates) instead of
 //!   emitting false verdicts, and `feed` backpressure is configurable via
-//!   [`BackpressurePolicy`].
+//!   [`BackpressurePolicy`];
+//! * backend-agnostic — the engine scores through a [`Backend`]
+//!   (enum-dispatched [`DetectionBackend`]), so the same framing, sharding,
+//!   supervision, and health machinery runs vProfile, Viden-style,
+//!   Scission-style, and VoltageIDS-style detectors interchangeably, and
+//!   [`ShadowPipeline`] evaluates candidate backends against live traffic
+//!   without letting them raise alarms.
 //!
 //! # Example
 //!
@@ -59,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod alarm;
+mod backend;
 mod engine;
 mod event;
 mod framer;
@@ -66,9 +73,11 @@ mod health;
 mod period;
 mod pipeline;
 mod reorder;
+mod shadow;
 mod shard;
 
 pub use alarm::{AlarmAggregator, AlarmClass, Incident};
+pub use backend::{Backend, BackendKind};
 pub use engine::{IdsEngine, UpdatePolicy};
 pub use event::{IdsEvent, ScoredEvent};
 pub use framer::StreamFramer;
@@ -76,4 +85,8 @@ pub use health::{BackpressurePolicy, BreakerState, DegradeReason, DropReason, He
 pub use period::{PeriodMonitor, PeriodVerdict};
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats, StageBreakdown};
 pub use reorder::ReorderBuffer;
+pub use shadow::{ShadowEvent, ShadowPipeline, ShadowVerdict};
 pub use shard::stable_shard;
+pub use vprofile_detector_core::{
+    BackendSnapshot, DetectionBackend, SnapshotError, VProfileBackend,
+};

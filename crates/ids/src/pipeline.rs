@@ -36,6 +36,7 @@ use crate::engine::elapsed_ns;
 use crate::health::{
     BackpressurePolicy, BreakerState, DropReason, HealthConfig, HealthMonitor, WindowOutcome,
 };
+use crate::shadow::{ShadowEvent, ShadowVerdict};
 use crate::{stable_shard, IdsEngine, IdsEvent, ReorderBuffer, StreamFramer};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -271,6 +272,12 @@ pub struct PipelineStats {
     pub shard_failed: Vec<bool>,
     /// Number of SAs currently quarantined from online updates, per shard.
     pub quarantined_sas: Vec<usize>,
+    /// Frames that were also scored by shadow backends (zero unless the
+    /// pipeline was spawned through [`crate::ShadowPipeline`]).
+    pub shadow_frames: u64,
+    /// Frames on which each shadow backend's anomaly/normal call differed
+    /// from the primary's, indexed in shadow order.
+    pub shadow_disagreements: Vec<u64>,
     /// Cumulative wall-clock time spent in each pipeline stage, summed
     /// across the threads running it.
     pub stage_ns: StageBreakdown,
@@ -293,6 +300,9 @@ pub struct StageBreakdown {
     /// Scoring — cache upkeep, nearest-cluster classification, and online
     /// update absorption — across all workers.
     pub score_ns: u64,
+    /// Shadow-backend scoring (extraction + classification for every
+    /// shadow engine), across all workers; zero without shadow mode.
+    pub shadow_ns: u64,
     /// Reorder-buffer pushes and the stats/emit critical sections in the
     /// merger thread.
     pub merge_ns: u64,
@@ -304,6 +314,7 @@ struct StageClocks {
     router: AtomicU64,
     extract: AtomicU64,
     score: AtomicU64,
+    shadow: AtomicU64,
     merge: AtomicU64,
 }
 
@@ -313,6 +324,7 @@ impl StageClocks {
             router_ns: self.router.load(Ordering::Relaxed),
             extract_ns: self.extract.load(Ordering::Relaxed),
             score_ns: self.score.load(Ordering::Relaxed),
+            shadow_ns: self.shadow.load(Ordering::Relaxed),
             merge_ns: self.merge.load(Ordering::Relaxed),
         }
     }
@@ -325,11 +337,14 @@ struct WorkItem {
     window: Vec<f64>,
 }
 
-/// One event travelling from a worker to the merger.
+/// One event travelling from a worker to the merger. `shadow` is empty
+/// unless the pipeline runs shadow backends, so the non-shadow hot path
+/// stays allocation-free.
 struct ScoredItem {
     seq: u64,
     shard: usize,
     event: IdsEvent,
+    shadow: Vec<ShadowVerdict>,
 }
 
 /// Live per-shard gauges, written by supervisors and read by
@@ -514,6 +529,17 @@ impl IdsPipeline {
     /// stream deterministic and — when online updates are disabled —
     /// identical to a single-worker run.
     pub fn spawn_sharded(engine: IdsEngine, config: PipelineConfig) -> Self {
+        let (pipeline, _shadow_rx) = Self::spawn_with_shadows(engine, Vec::new(), config);
+        pipeline
+    }
+
+    /// Spawns the sharded pipeline with `shadows` scored alongside the
+    /// primary engine on every shard; used by [`crate::ShadowPipeline`].
+    pub(crate) fn spawn_with_shadows(
+        engine: IdsEngine,
+        shadows: Vec<IdsEngine>,
+        config: PipelineConfig,
+    ) -> (Self, Receiver<ShadowEvent>) {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -528,6 +554,7 @@ impl IdsPipeline {
         let queue = Arc::new(SampleQueue::new(high_water));
         let (event_tx, event_rx) = unbounded::<IdsEvent>();
         let (scored_tx, scored_rx) = unbounded::<ScoredItem>();
+        let (shadow_tx, shadow_rx) = unbounded::<ShadowEvent>();
         let stats = Arc::new(Mutex::new(PipelineStats {
             shard_frames: vec![0; workers],
             queue_depths: vec![0; workers],
@@ -535,6 +562,7 @@ impl IdsPipeline {
             breaker: vec![BreakerState::Closed; workers],
             shard_failed: vec![false; workers],
             quarantined_sas: vec![0; workers],
+            shadow_disagreements: vec![0; shadows.len()],
             ..PipelineStats::default()
         }));
         let gauges: Arc<Vec<ShardGauges>> =
@@ -560,15 +588,16 @@ impl IdsPipeline {
                 health: config.health,
             };
             let worker_engine = engine.clone();
+            let worker_shadows = shadows.clone();
             worker_handles.push(std::thread::spawn(move || {
-                supervised_worker(worker_engine, rt)
+                supervised_worker(worker_engine, worker_shadows, rt)
             }));
         }
         // Only workers hold scored senders from here on: the merger exits
         // exactly when the last worker is done.
         drop(scored_tx);
 
-        let model_config = engine.model().config().clone();
+        let model_config = engine.config().clone();
         let router_queue = Arc::clone(&queue);
         let router_gauges = Arc::clone(&gauges);
         let router_clocks = Arc::clone(&clocks);
@@ -590,10 +619,10 @@ impl IdsPipeline {
         let merger_stats = Arc::clone(&stats);
         let merger_clocks = Arc::clone(&clocks);
         let merger = std::thread::spawn(move || {
-            merger_loop(scored_rx, event_tx, merger_stats, merger_clocks)
+            merger_loop(scored_rx, event_tx, shadow_tx, merger_stats, merger_clocks)
         });
 
-        IdsPipeline {
+        let pipeline = IdsPipeline {
             queue,
             backpressure: config.backpressure,
             event_rx,
@@ -603,7 +632,8 @@ impl IdsPipeline {
             router: Some(router),
             workers: worker_handles,
             merger: Some(merger),
-        }
+        };
+        (pipeline, shadow_rx)
     }
 
     /// Number of detection workers.
@@ -833,6 +863,8 @@ struct WorkerRuntime {
 struct WorkerState {
     engine: IdsEngine,
     checkpoint: IdsEngine,
+    shadows: Vec<IdsEngine>,
+    shadow_checkpoints: Vec<IdsEngine>,
     pending: VecDeque<WorkItem>,
     in_flight: Option<(u64, u64)>,
     monitor: HealthMonitor,
@@ -840,6 +872,51 @@ struct WorkerState {
 }
 
 impl WorkerState {
+    /// Refreshes the restart checkpoint — primary and shadows together,
+    /// so a rollback replays both from the same stream position.
+    fn refresh_checkpoint(&mut self) {
+        self.checkpoint = self.engine.clone();
+        self.shadow_checkpoints = self.shadows.clone();
+    }
+
+    /// Scores the window through every shadow engine, marking each
+    /// verdict that disagrees with the primary's anomaly/normal call.
+    /// Shadow time is attributed to its own stage clock, not `score_ns`.
+    fn score_shadows(
+        &mut self,
+        rt: &WorkerRuntime,
+        stream_pos: u64,
+        window: &[f64],
+        primary_anomaly: bool,
+    ) -> Vec<ShadowVerdict> {
+        if self.shadows.is_empty() {
+            return Vec::new();
+        }
+        let shadowing = Instant::now();
+        let verdicts = self
+            .shadows
+            .iter_mut()
+            .map(|shadow| {
+                let name = shadow.backend_name();
+                let (event, _, _) = shadow.process_window_timed(stream_pos, window);
+                let verdict = event
+                    .verdict()
+                    .copied()
+                    .unwrap_or(vprofile::Verdict::Anomaly {
+                        kind: vprofile::AnomalyKind::Unscorable,
+                    });
+                ShadowVerdict {
+                    backend: name,
+                    verdict,
+                    disagrees: verdict.is_anomaly() != primary_anomaly,
+                }
+            })
+            .collect();
+        rt.clocks
+            .shadow
+            .fetch_add(elapsed_ns(shadowing), Ordering::Relaxed);
+        verdicts
+    }
     /// The scoring loop proper; returns when the work channel disconnects
     /// (clean drain) or the merger is gone. May panic — the supervisor
     /// catches it.
@@ -869,15 +946,28 @@ impl WorkerState {
                     hook(rt.shard, item.seq);
                 }
                 let event = self.score(rt, item.stream_pos, &item.window);
+                // Shadows only mirror frames the primary actually scored:
+                // degraded/dropped placeholders carry no primary verdict
+                // to disagree with.
+                let shadow = match &event {
+                    IdsEvent::Scored(scored) if !scored.extraction_failed => self.score_shadows(
+                        rt,
+                        item.stream_pos,
+                        &item.window,
+                        scored.verdict.is_anomaly(),
+                    ),
+                    _ => Vec::new(),
+                };
                 self.in_flight = None;
                 self.processed += 1;
                 if self.processed.is_multiple_of(rt.checkpoint_interval) {
-                    self.checkpoint = self.engine.clone();
+                    self.refresh_checkpoint();
                 }
                 let scored = ScoredItem {
                     seq: item.seq,
                     shard: rt.shard,
                     event,
+                    shadow,
                 };
                 if rt.scored_tx.send(scored).is_err() {
                     // Merger gone (panicked): nothing downstream to feed.
@@ -917,7 +1007,7 @@ impl WorkerState {
                     gauges
                         .quarantined
                         .store(self.engine.quarantined().len(), Ordering::Relaxed);
-                    self.checkpoint = self.engine.clone();
+                    self.refresh_checkpoint();
                     return IdsEvent::Degraded {
                         stream_pos,
                         shard: rt.shard,
@@ -938,7 +1028,7 @@ impl WorkerState {
                         let gauges = &rt.gauges[rt.shard];
                         gauges.breaker_open.store(false, Ordering::Relaxed);
                         gauges.quarantined.store(0, Ordering::Relaxed);
-                        self.checkpoint = self.engine.clone();
+                        self.refresh_checkpoint();
                         return event;
                     }
                 }
@@ -970,10 +1060,12 @@ fn outcome_of(event: &IdsEvent) -> WindowOutcome {
 /// exponential backoff); past the budget the shard fails permanently and
 /// its windows drain as [`IdsEvent::Dropped`] placeholders so the merger's
 /// reorder buffer never stalls on a sequence gap.
-fn supervised_worker(engine: IdsEngine, rt: WorkerRuntime) -> IdsEngine {
+fn supervised_worker(engine: IdsEngine, shadows: Vec<IdsEngine>, rt: WorkerRuntime) -> IdsEngine {
     let mut state = WorkerState {
         checkpoint: engine.clone(),
         engine,
+        shadow_checkpoints: shadows.clone(),
+        shadows,
         pending: VecDeque::new(),
         in_flight: None,
         monitor: HealthMonitor::new(rt.health),
@@ -1003,6 +1095,7 @@ fn supervised_worker(engine: IdsEngine, rt: WorkerRuntime) -> IdsEngine {
                             shard: rt.shard,
                             reason: DropReason::WorkerRestart,
                         },
+                        shadow: Vec::new(),
                     });
                 }
                 if restarts > rt.restart_budget {
@@ -1013,6 +1106,7 @@ fn supervised_worker(engine: IdsEngine, rt: WorkerRuntime) -> IdsEngine {
                 let exponent = restarts.saturating_sub(1).min(6);
                 std::thread::sleep(Duration::from_millis(rt.backoff_base_ms << exponent));
                 state.engine = state.checkpoint.clone();
+                state.shadows = state.shadow_checkpoints.clone();
             }
         }
     }
@@ -1032,6 +1126,7 @@ fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
                 shard: rt.shard,
                 reason: DropReason::ShardFailed,
             },
+            shadow: Vec::new(),
         });
     };
     for item in pending {
@@ -1048,14 +1143,15 @@ fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
 fn merger_loop(
     scored_rx: Receiver<ScoredItem>,
     event_tx: Sender<IdsEvent>,
+    shadow_tx: Sender<ShadowEvent>,
     stats: Arc<Mutex<PipelineStats>>,
     clocks: Arc<StageClocks>,
 ) {
-    let mut buffer: ReorderBuffer<(usize, IdsEvent)> = ReorderBuffer::new();
-    let mut ready: Vec<(usize, IdsEvent)> = Vec::new();
+    let mut buffer: ReorderBuffer<(usize, IdsEvent, Vec<ShadowVerdict>)> = ReorderBuffer::new();
+    let mut ready: Vec<(usize, IdsEvent, Vec<ShadowVerdict>)> = Vec::new();
     for item in scored_rx {
         let merging = Instant::now();
-        buffer.push(item.seq, (item.shard, item.event), &mut ready);
+        buffer.push(item.seq, (item.shard, item.event, item.shadow), &mut ready);
         if ready.is_empty() {
             clocks
                 .merge
@@ -1065,9 +1161,10 @@ fn merger_loop(
         // Counter update and event emission share one critical section, so
         // `stats()` can never observe a count without its event (or vice
         // versa) — `frames == anomalies + normals + extraction_failures +
-        // dropped + degraded` holds in every snapshot.
+        // dropped + degraded` holds in every snapshot. Shadow counters
+        // live in the same section for the same reason.
         let mut s = stats.lock();
-        for (shard, event) in ready.drain(..) {
+        for (shard, event, shadow) in ready.drain(..) {
             s.frames += 1;
             match &event {
                 IdsEvent::Scored(scored) => {
@@ -1084,6 +1181,28 @@ fn merger_loop(
             }
             if let Some(count) = s.shard_frames.get_mut(shard) {
                 *count += 1;
+            }
+            if !shadow.is_empty() {
+                s.shadow_frames += 1;
+                let mut any_disagree = false;
+                for (index, verdict) in shadow.iter().enumerate() {
+                    if verdict.disagrees {
+                        any_disagree = true;
+                        if let Some(count) = s.shadow_disagreements.get_mut(index) {
+                            *count += 1;
+                        }
+                    }
+                }
+                if any_disagree {
+                    let stream_pos = event.stream_pos();
+                    let primary_anomaly =
+                        event.verdict().is_some_and(vprofile::Verdict::is_anomaly);
+                    let _ = shadow_tx.send(ShadowEvent {
+                        stream_pos,
+                        primary_anomaly,
+                        shadows: shadow,
+                    });
+                }
             }
             // Receiver gone: keep counting so stats stay truthful, but
             // stop forwarding.
@@ -1172,7 +1291,7 @@ mod tests {
     #[test]
     fn finish_returns_engine_with_updates_applied() {
         let (engine, capture) = engine_and_capture();
-        let model = engine.model().clone();
+        let model = engine.model().unwrap().clone();
         let before: usize = model.clusters().iter().map(|c| c.count()).sum();
         let engine = IdsEngine::new(model, 2.0, UpdatePolicy::every(1, usize::MAX));
         let pipeline = IdsPipeline::spawn(engine, 2);
@@ -1183,7 +1302,13 @@ mod tests {
         pipeline.feed(stream).unwrap();
         let (engine, stats) = pipeline.finish().unwrap();
         assert_eq!(stats.frames, 60);
-        let after: usize = engine.model().clusters().iter().map(|c| c.count()).sum();
+        let after: usize = engine
+            .model()
+            .unwrap()
+            .clusters()
+            .iter()
+            .map(|c| c.count())
+            .sum();
         assert!(after > before);
     }
 

@@ -18,8 +18,9 @@ use std::sync::Arc;
 use std::time::Duration;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
 use vprofile_analog::{Environment, Fault, PowerState};
+use vprofile_baselines::{ScissionDetector, VidenDetector};
 use vprofile_ids::{
-    BackpressurePolicy, BreakerState, IdsEngine, IdsEvent, IdsPipeline, PipelineConfig,
+    Backend, BackpressurePolicy, BreakerState, IdsEngine, IdsEvent, IdsPipeline, PipelineConfig,
     PipelineError, PipelineStats, UpdatePolicy,
 };
 use vprofile_vehicle::scenario::{chaos_brownout_capture, chaos_stream, stress_fleet};
@@ -51,6 +52,32 @@ fn chaos_setup(ecus: usize, frames: usize, seed: u64) -> (IdsEngine, Vehicle, Ca
         vehicle,
         capture,
     )
+}
+
+/// Trains the Viden- and Scission-style backends on the same clean
+/// stress-fleet capture, so the chaos invariants can be checked for every
+/// baseline flowing through the identical pipeline machinery.
+fn baseline_setup(ecus: usize, frames: usize, seed: u64) -> (Vec<IdsEngine>, Vehicle, Capture) {
+    let vehicle = stress_fleet(ecus, seed);
+    let capture = vehicle
+        .capture(&CaptureConfig::default().with_frames(frames).with_seed(seed))
+        .expect("capture");
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    assert_eq!(extracted.failures, 0, "training traffic must be clean");
+    let labeled = extracted.labeled();
+    let lut = vehicle.sa_lut();
+    let viden = VidenDetector::fit(&labeled, &lut, 6.0).expect("viden training");
+    let scission = ScissionDetector::fit(&labeled, &lut, 0.5).expect("scission training");
+    let engines = vec![
+        IdsEngine::with_backend(
+            Backend::from(viden),
+            config.clone(),
+            UpdatePolicy::disabled(),
+        ),
+        IdsEngine::with_backend(Backend::from(scission), config, UpdatePolicy::disabled()),
+    ];
+    (engines, vehicle, capture)
 }
 
 fn stream_of(capture: &Capture) -> Vec<f64> {
@@ -368,4 +395,154 @@ fn reject_policy_surfaces_backpressure_to_the_producer() {
     assert_eq!(stats.dropped_chunks, 0, "reject never silently sheds");
     assert!(stats.frames > 0, "accepted chunks still flow through");
     assert_identity(&stats, "reject");
+}
+
+#[test]
+fn dropout_accounting_holds_for_baseline_backends() {
+    let workers = chaos_workers();
+    let (engines, _, capture) = baseline_setup(8, 512, 2006);
+    let clean = stream_of(&capture);
+    let faulted = chaos_stream(
+        &capture,
+        2006,
+        &[Fault::Dropout {
+            prob: 0.01,
+            max_gap: 8,
+        }],
+    );
+    assert!(faulted.len() < clean.len(), "dropout must remove samples");
+
+    for engine in engines {
+        let name = engine.backend_name();
+        // One forced worker panic inside the faulted repetition, exactly
+        // as the vProfile dropout test injects it.
+        let config = PipelineConfig::default()
+            .with_workers(workers)
+            .with_backoff_base_ms(1)
+            .with_fault_hook(Arc::new(|shard, seq| {
+                if seq == 600 {
+                    panic!("chaos panic in shard {shard} at seq {seq}");
+                }
+            }));
+        let streams = [clean.clone(), faulted.clone(), clean.clone()];
+        let (events, stats) = run_streams(engine, config, &streams);
+
+        assert_eq!(
+            events.len() as u64,
+            stats.frames,
+            "{name}: one event per frame"
+        );
+        assert_identity(&stats, name);
+        assert_eq!(
+            stats.restarts.iter().sum::<u32>(),
+            1,
+            "{name}: the panic is absorbed by supervision"
+        );
+        assert_eq!(
+            stats.dropped, 1,
+            "{name}: exactly the in-flight window drops"
+        );
+        assert_eq!(
+            stats.shard_failed,
+            vec![false; workers],
+            "{name}: one panic stays within the restart budget"
+        );
+        assert!(
+            stats.anomalies > 0,
+            "{name}: dropout-corrupted frames must not score clean"
+        );
+        assert!(
+            stats.normals > 0,
+            "{name}: the clean repetitions must still score normal"
+        );
+    }
+}
+
+#[test]
+fn brownout_degrades_instead_of_lying_for_baseline_backends() {
+    let (engines, vehicle, _) = baseline_setup(4, 192, 2007);
+    let power = PowerState::Brownout {
+        start_s: 0.25,
+        ramp_s: 0.02,
+        hold_s: 0.15,
+        depth_v: 0.58 * Environment::ENGINE_RUNNING_V,
+    };
+    let browned = chaos_brownout_capture(
+        &vehicle,
+        192,
+        2007,
+        &power,
+        &[Fault::Impulse {
+            prob: 0.0004,
+            magnitude_codes: 1400.0,
+        }],
+    )
+    .expect("brownout capture");
+
+    let frame_starts: Vec<u64> = browned
+        .frames()
+        .iter()
+        .scan(0u64, |acc, f| {
+            let here = *acc;
+            *acc += f.trace.codes().len() as u64;
+            Some(here)
+        })
+        .collect();
+    let sag_of = |stream_pos: u64| -> f64 {
+        let idx = frame_starts.partition_point(|&s| s <= stream_pos) - 1;
+        let t_s = browned.frames()[idx].start_bit_time as f64 / f64::from(browned.bit_rate_bps());
+        power.sag_fraction_at(Environment::ENGINE_RUNNING_V, t_s)
+    };
+    let stream = stream_of(&browned);
+
+    for engine in engines {
+        let name = engine.backend_name();
+        // Single worker so the whole capture shares one breaker.
+        let (events, stats) = run_streams(
+            engine,
+            PipelineConfig::default().with_workers(1),
+            &[stream.clone()],
+        );
+
+        assert_identity(&stats, name);
+        assert!(
+            stats.degraded > 0,
+            "{name}: the breaker must trip during the brownout: {stats:?}"
+        );
+        assert_eq!(
+            stats.breaker,
+            vec![BreakerState::Closed],
+            "{name}: the breaker must close after the rail recovers"
+        );
+        assert_eq!(
+            stats.quarantined_sas,
+            vec![0],
+            "{name}: quarantine released"
+        );
+
+        // Fail-safe per backend: no deep-sag window may score Ok.
+        let mut deep_sag_windows = 0;
+        for event in &events {
+            if sag_of(event.stream_pos()) < 0.5 {
+                continue;
+            }
+            deep_sag_windows += 1;
+            let lied = event
+                .verdict()
+                .is_some_and(|v| !v.is_anomaly() && !event.extraction_failed());
+            assert!(
+                !lied,
+                "{name}: deep-brownout window scored Ok at pos {}: {event:?}",
+                event.stream_pos()
+            );
+        }
+        assert!(
+            deep_sag_windows > 0,
+            "{name}: impulse blips must surface windows during the blackout"
+        );
+        assert!(
+            stats.normals > 0,
+            "{name}: post-recovery traffic must score clean"
+        );
+    }
 }

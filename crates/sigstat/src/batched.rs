@@ -211,35 +211,6 @@ impl BatchedMahalanobis {
         }
         Ok(())
     }
-
-    /// Nested-`Vec` batch scoring, kept as a conversion shim for tests and
-    /// legacy callers.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SigStatError::DimensionMismatch`] if any frame's length
-    /// differs from `self.dim()`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `distances_batch` with a flat `SampleBatch`; the nested \
-                layout costs one allocation per frame"
-    )]
-    pub fn distances_many(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, SigStatError> {
-        if xs.is_empty() {
-            return Ok(Vec::new());
-        }
-        for x in xs {
-            if x.len() != self.dim {
-                return Err(SigStatError::DimensionMismatch {
-                    expected: self.dim,
-                    actual: x.len(),
-                    context: "BatchedMahalanobis::distances_many",
-                });
-            }
-        }
-        let batch = SampleBatch::from_nested(xs)?;
-        Ok(self.distances_batch(&batch)?.to_nested())
-    }
 }
 
 #[cfg(test)]
@@ -318,28 +289,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn nested_shim_matches_flat_batch() {
+    fn nested_round_trip_matches_flat_batch() {
         let a = gaussian(3.0, 0.5);
         let b = gaussian(7.0, 1.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a, &b]).unwrap();
         let nested = vec![vec![3.0, 1.5, 3.0], vec![7.0, 3.5, 7.0]];
-        let via_shim = batched.distances_many(&nested).unwrap();
         let flat = batched
             .distances_batch(&SampleBatch::from_nested(&nested).unwrap())
             .unwrap();
-        for (row, want) in via_shim.iter().zip(flat.iter_rows()) {
+        // from_nested/to_nested round-trips the row layout the legacy
+        // nested API exposed.
+        let via_nested = flat.to_nested();
+        for (row, want) in via_nested.iter().zip(flat.iter_rows()) {
             assert_eq!(row.as_slice(), want);
         }
     }
 
     #[test]
-    #[allow(deprecated)]
     fn rejects_dimension_mismatches() {
         let a = gaussian(1.0, 0.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a]).unwrap();
         assert!(batched.distances(&[1.0]).is_err());
-        assert!(batched.distances_many(&[vec![1.0]]).is_err());
+        assert!(SampleBatch::from_nested(&[vec![1.0], vec![2.0, 3.0]]).is_err());
         let bad = SampleBatch::from_nested(&[vec![1.0]]).unwrap();
         assert!(batched.distances_batch(&bad).is_err());
         let mut wrong_out = SampleBatch::new(3);
@@ -360,11 +331,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn empty_batch_is_fine() {
         let a = gaussian(1.0, 0.5);
         let batched = BatchedMahalanobis::from_gaussians(&[&a]).unwrap();
-        assert!(batched.distances_many(&[]).unwrap().is_empty());
         let empty = SampleBatch::new(batched.dim());
         assert!(batched.distances_batch(&empty).unwrap().is_empty());
     }

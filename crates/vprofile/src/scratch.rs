@@ -25,6 +25,10 @@ pub struct ScratchArena {
     pub edge_tmp: Vec<f64>,
     /// Per-cluster distance vector filled by the nearest-cluster scan.
     pub distances: Vec<f64>,
+    /// Derived-feature buffer for backends that score hand-crafted
+    /// features (e.g. the Scission-style 21-value region summary) instead
+    /// of raw edge sets.
+    pub features: Vec<f64>,
 }
 
 impl ScratchArena {
@@ -44,6 +48,9 @@ impl ScratchArena {
             edge_set: Vec::with_capacity(edge_dim),
             edge_tmp: Vec::with_capacity(edge_dim),
             distances: Vec::with_capacity(clusters),
+            // Large enough for the 21-value Scission feature set without
+            // a first-frame allocation.
+            features: Vec::with_capacity(24),
         }
     }
 }
@@ -73,5 +80,6 @@ mod tests {
         assert!(arena.edge_set.capacity() >= 32);
         assert!(arena.edge_tmp.capacity() >= 32);
         assert!(arena.distances.capacity() >= 8);
+        assert!(arena.features.capacity() >= 21);
     }
 }

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "model absorbed online updates; ECU 0 now holds {} edge sets",
-        engine.model().clusters()[0].count()
+        engine.model().unwrap().clusters()[0].count()
     );
     assert_eq!(
         stats.anomalies as usize,
