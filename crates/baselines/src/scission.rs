@@ -89,6 +89,7 @@ impl DetectionBackend for ScissionDetector {
     /// The verdict's nonconformity score is `1 − posterior`, making the
     /// confidence floor a [`AnomalyKind::ThresholdExceeded`] limit of
     /// `1 − min_confidence`.
+    // xtask: cold
     fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
         let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
             return Verdict::Anomaly {

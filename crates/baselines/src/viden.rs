@@ -189,6 +189,7 @@ impl DetectionBackend for VidenDetector {
     /// Streaming attribution over the tracking points of the edge set in
     /// `scratch.edge_set`. Allocation-free: the tracking-point feature is a
     /// fixed-size array and the nearest-profile scan needs no buffers.
+    // xtask: cold
     fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
         let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
             return Verdict::Anomaly {
@@ -236,6 +237,7 @@ impl DetectionBackend for VidenDetector {
     /// Viden's continuous profile update: the accepted edge set's tracking
     /// points are folded into the claimed SA's profile mean immediately
     /// (no pending buffer, no allocation).
+    // xtask: cold
     fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
         let Some(&cluster) = self.sa_lut.get(&sa.raw()) else {
             return;

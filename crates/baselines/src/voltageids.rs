@@ -97,6 +97,7 @@ impl DetectionBackend for VoltageIdsDetector {
     /// floor becomes a [`AnomalyKind::ThresholdExceeded`] limit of
     /// `-min_margin`, keeping "larger distance = worse match" uniform
     /// across backends.
+    // xtask: cold
     fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
         let Some(&expected) = self.sa_lut.get(&sa.raw()) else {
             return Verdict::Anomaly {

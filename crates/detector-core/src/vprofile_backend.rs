@@ -80,6 +80,7 @@ impl VProfileBackend {
 
     /// Rebuilds the batched scoring cache if the model changed since the
     /// last frame.
+    // xtask: cold
     fn ensure_cache(&mut self) {
         if matches!(self.cache, CacheState::Stale) {
             self.cache = match ScoringCache::build(&self.model) {
@@ -106,6 +107,7 @@ impl DetectionBackend for VProfileBackend {
         Ok(())
     }
 
+    // xtask: hot-path
     fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
         self.ensure_cache();
         let detector = Detector::with_margin(&self.model, self.margin);
@@ -119,12 +121,12 @@ impl DetectionBackend for VProfileBackend {
                 detector.classify_cached_with(sa, edge_set, cache, distances)
             }
             CacheState::Stale | CacheState::Unavailable => {
-                let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.clone()));
-                detector.classify(&obs)
+                classify_uncached(&detector, sa, edge_set)
             }
         }
     }
 
+    // xtask: cold
     fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
         let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.to_vec()));
         self.pending.push(obs);
@@ -134,6 +136,7 @@ impl DetectionBackend for VProfileBackend {
         }
     }
 
+    // xtask: cold
     fn apply_pending_updates(&mut self) {
         if self.pending.is_empty() {
             return;
@@ -163,6 +166,17 @@ impl DetectionBackend for VProfileBackend {
     fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError> {
         snapshot.restore_into("vprofile", self)
     }
+}
+
+/// Slow-path classification for the rare windows scored while the
+/// scoring cache is stale (model just installed or invalidated by an
+/// online update): builds an owned observation and runs the uncached
+/// detector. The next `ensure_cache` rebuild returns scoring to the
+/// zero-alloc cached path.
+// xtask: cold
+fn classify_uncached(detector: &Detector<'_>, sa: SourceAddress, edge_set: &[f64]) -> Verdict {
+    let obs = LabeledEdgeSet::new(sa, EdgeSet::new(edge_set.to_vec()));
+    detector.classify(&obs)
 }
 
 #[cfg(test)]

@@ -111,6 +111,7 @@ impl AlarmAggregator {
     /// Degraded and dropped windows open their own incident classes —
     /// they are runtime-integrity campaigns, not anomalies, so they do not
     /// grow [`AlarmAggregator::anomalies_seen`].
+    // xtask: cold
     pub fn absorb(&mut self, event: &IdsEvent) -> Option<Incident> {
         self.frames_seen += 1;
         let (class, sa, suspected_origin) = match event {

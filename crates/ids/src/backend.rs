@@ -139,14 +139,17 @@ impl DetectionBackend for Backend {
         delegate!(self, b => b.train(data, lut))
     }
 
+    // xtask: hot-path
     fn classify_into(&mut self, scratch: &mut ScratchArena, sa: SourceAddress) -> Verdict {
         delegate!(self, b => b.classify_into(scratch, sa))
     }
 
+    // xtask: cold
     fn absorb(&mut self, sa: SourceAddress, edge_set: &[f64]) {
         delegate!(self, b => b.absorb(sa, edge_set));
     }
 
+    // xtask: cold
     fn apply_pending_updates(&mut self) {
         delegate!(self, b => b.apply_pending_updates());
     }

@@ -187,6 +187,7 @@ impl IdsEngine {
     }
 
     /// Classifies one already-framed window.
+    // xtask: hot-path
     pub fn process_window(&mut self, stream_pos: u64, window: &[f64]) -> IdsEvent {
         self.process_window_timed(stream_pos, window).0
     }
@@ -245,6 +246,7 @@ impl IdsEngine {
     }
 
     /// Applies any buffered online updates immediately.
+    // xtask: cold
     pub fn apply_pending_updates(&mut self) {
         self.backend.apply_pending_updates();
     }

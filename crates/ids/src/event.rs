@@ -34,6 +34,7 @@ pub struct ScoredEvent {
 /// Every window the framer emits becomes exactly one of these — scored,
 /// degraded, or dropped — so event streams and the pipeline counters
 /// partition the frame total with nothing lost silently.
+// xtask: accounted-event
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum IdsEvent {
     /// The window was classified normally.

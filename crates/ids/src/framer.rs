@@ -74,7 +74,9 @@ impl StreamFramer {
     /// window is assembled directly from the buffered head plus the in-chunk
     /// tail (one copy of the body, not two). Output is identical to the
     /// historical per-sample loop for every chunking of the stream.
+    // xtask: hot-path
     pub fn push(&mut self, samples: &[f64]) -> Vec<(u64, Vec<f64>)> {
+        // xtask: allow(hot-path-alloc): an empty Vec does not touch the heap; it only grows when a frame closes and is moved out to the caller
         let mut out = Vec::new();
         let end_gap = (self.end_gap_bits * self.bit_width) as usize;
         let mut i = 0usize;
@@ -144,6 +146,7 @@ impl StreamFramer {
                     self.consumed += (k + 1) as u64;
                     let sof = self.sof_at.take().unwrap_or(0);
                     let start = sof.saturating_sub(self.lead_in);
+                    // xtask: allow(hot-path-alloc): one buffer per closed frame whose ownership moves into the emitted window; gated by the runtime alloc harness
                     let mut window = Vec::with_capacity(self.buffer.len() - start + k + 1);
                     window.extend_from_slice(&self.buffer[start..]);
                     window.extend_from_slice(&samples[i..=i + k]);

@@ -236,6 +236,7 @@ impl PipelineConfig {
 /// counters (`dropped_chunks`, `rejected_chunks`) count *pre-framing* loss
 /// at the feed boundary — shed raw chunks never become frames, so they sit
 /// outside the frame identity by construction.
+// xtask: frame-identity: frames == anomalies + normals + extraction_failures + dropped + degraded
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Framed windows that produced an event (scored, degraded or dropped).
@@ -255,9 +256,11 @@ pub struct PipelineStats {
     pub degraded: u64,
     /// Raw sample chunks shed by [`BackpressurePolicy::DropOldest`] before
     /// framing.
+    // xtask: outside-frame-identity
     pub dropped_chunks: u64,
     /// Raw sample chunks refused by [`BackpressurePolicy::Reject`] before
     /// framing.
+    // xtask: outside-frame-identity
     pub rejected_chunks: u64,
     /// Frames handled by each worker shard; sums to `frames`.
     pub shard_frames: Vec<u64>,
@@ -274,6 +277,7 @@ pub struct PipelineStats {
     pub quarantined_sas: Vec<usize>,
     /// Frames that were also scored by shadow backends (zero unless the
     /// pipeline was spawned through [`crate::ShadowPipeline`]).
+    // xtask: outside-frame-identity
     pub shadow_frames: u64,
     /// Frames on which each shadow backend's anomaly/normal call differed
     /// from the primary's, indexed in shadow order.
@@ -1140,6 +1144,8 @@ fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
 
 /// Re-serializes events into framing order and keeps the shared
 /// statistics consistent with the emitted event stream.
+// xtask: hot-path
+// xtask: accounting(IdsEvent)
 fn merger_loop(
     scored_rx: Receiver<ScoredItem>,
     event_tx: Sender<IdsEvent>,
@@ -1148,6 +1154,7 @@ fn merger_loop(
     clocks: Arc<StageClocks>,
 ) {
     let mut buffer: ReorderBuffer<(usize, IdsEvent, Vec<ShadowVerdict>)> = ReorderBuffer::new();
+    // xtask: allow(hot-path-alloc): one scratch Vec per merger-thread lifetime, drained and reused across frames
     let mut ready: Vec<(usize, IdsEvent, Vec<ShadowVerdict>)> = Vec::new();
     for item in scored_rx {
         let merging = Instant::now();
@@ -1163,6 +1170,7 @@ fn merger_loop(
         // versa) — `frames == anomalies + normals + extraction_failures +
         // dropped + degraded` holds in every snapshot. Shadow counters
         // live in the same section for the same reason.
+        // xtask: allow(hot-path-lock): counters and event emission must share one critical section so stats snapshots never disagree with the emitted stream
         let mut s = stats.lock();
         for (shard, event, shadow) in ready.drain(..) {
             s.frames += 1;
@@ -1197,6 +1205,7 @@ fn merger_loop(
                     let stream_pos = event.stream_pos();
                     let primary_anomaly =
                         event.verdict().is_some_and(vprofile::Verdict::is_anomaly);
+                    // xtask: allow(guard-across-blocking): shadow_tx is unbounded, send never blocks; atomicity of counters+events requires the guard
                     let _ = shadow_tx.send(ShadowEvent {
                         stream_pos,
                         primary_anomaly,
@@ -1206,6 +1215,7 @@ fn merger_loop(
             }
             // Receiver gone: keep counting so stats stay truthful, but
             // stop forwarding.
+            // xtask: allow(guard-across-blocking): event_tx is unbounded, send never blocks; atomicity of counters+events requires the guard
             let _ = event_tx.send(event);
         }
         drop(s);

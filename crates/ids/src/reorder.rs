@@ -40,6 +40,7 @@ impl<T> ReorderBuffer<T> {
     /// sequence order. `out` is not cleared; items arriving below the
     /// release cursor or at an already-buffered sequence are dropped (each
     /// sequence is released at most once).
+    // xtask: hot-path
     pub fn push(&mut self, seq: u64, value: T, out: &mut Vec<T>) {
         if seq < self.next {
             debug_assert!(false, "sequence {seq} arrived after its release point");
@@ -49,6 +50,7 @@ impl<T> ReorderBuffer<T> {
         if offset >= self.slots.len() {
             self.slots.resize_with(offset + 1, || None);
         }
+        // xtask: allow(hot-path-panic): the resize_with above guarantees offset < slots.len()
         let slot = &mut self.slots[offset];
         if slot.is_some() {
             debug_assert!(false, "duplicate sequence {seq}");

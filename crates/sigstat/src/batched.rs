@@ -109,6 +109,7 @@ impl BatchedMahalanobis {
     /// # Errors
     ///
     /// Returns [`SigStatError::DimensionMismatch`] if `x.len() != self.dim()`.
+    // xtask: hot-path
     pub fn distances_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), SigStatError> {
         if x.len() != self.dim {
             return Err(SigStatError::DimensionMismatch {
@@ -137,6 +138,7 @@ impl BatchedMahalanobis {
             let mut q = 0.0;
             for i in 0..self.dim {
                 let start = (base + i) * self.dim;
+                // xtask: allow(hot-path-panic): offsets holds clusters*dim entries by construction; the innermost kernel keeps bounds checks hoisted
                 let r = dot(&stacked[start..start + i + 1], &x[..=i]) - self.offsets[base + i];
                 q = r.mul_add(r, q);
             }

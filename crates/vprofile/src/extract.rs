@@ -78,6 +78,7 @@ impl EdgeSetExtractor {
     ///
     /// * [`VProfileError::SofNotFound`] if the trace never goes dominant;
     /// * [`VProfileError::TraceTooShort`] if it ends mid-extraction.
+    // xtask: hot-path
     pub fn extract_into(
         &self,
         samples: &[f64],
@@ -176,6 +177,7 @@ impl EdgeSetExtractor {
                 // the new bit (thesis: "we align ourselves to the center of
                 // every edge we encounter").
                 let mut edge = pos_f.round() as usize;
+                // xtask: allow(hot-path-panic): edge > 0 is checked first, so edge - 1 is in bounds
                 while edge > 0 && self.is_dominant(samples[edge - 1]) != bit {
                     edge -= 1;
                 }

@@ -149,6 +149,7 @@ impl Model {
     ///
     /// Panics if `id` is out of range.
     pub fn cluster(&self, id: ClusterId) -> &ClusterStats {
+        // xtask: allow(hot-path-panic): documented `# Panics` accessor; scoring passes ClusterIds from the model's own LUT
         &self.clusters[id.0]
     }
 
@@ -170,6 +171,7 @@ impl Model {
 
     /// Edge-set dimensionality the model expects.
     pub fn dim(&self) -> usize {
+        // xtask: allow(hot-path-panic): a trained model always holds at least one cluster
         self.clusters[0].dim()
     }
 

@@ -1,44 +1,59 @@
-//! Workspace automation: the `cargo xtask lint` numerical-hygiene pass.
+//! Workspace automation: the `cargo xtask lint` multi-pass static
+//! analyzer.
 //!
-//! A dependency-light static analyzer that lexes every workspace `.rs`
-//! file (no full parse — see [`lexer`]) and enforces the rules in
-//! [`lint`]:
+//! A dependency-light analyzer that lexes every workspace `.rs` file
+//! (no full parse — see [`lexer`]) and runs two layers of checks:
 //!
-//! - `no-panic` — no `.unwrap()` / `.expect(..)` / `panic!` / `todo!` /
-//!   `unimplemented!` in non-test code;
-//! - `float-eq` — no `==` / `!=` against float literals or NaN/∞
-//!   constants;
-//! - `nan-unsafe-cmp` — no `partial_cmp(..).unwrap()` comparators;
-//! - `unguarded-numeric` — no force-unwrapped `cholesky`/`solve`/
-//!   `inverse` calls in functions without a conditioning or finiteness
-//!   guard.
+//! **Per-file numerical hygiene** ([`lint`]): `no-panic`, `float-eq`,
+//! `nan-unsafe-cmp`, `unguarded-numeric`.
+//!
+//! **Workspace passes** ([`passes`]):
+//!
+//! - `lock-order` / `guard-across-blocking` — lock-discipline analysis
+//!   against the `lock-order.toml` manifest;
+//! - `hot-path-alloc` / `hot-path-panic` / `hot-path-lock` — purity of
+//!   everything reachable from `// xtask: hot-path` seeds;
+//! - `event-accounting` / `counter-identity` — exhaustive event
+//!   accounting and the frame conservation identity;
+//! - `unsafe-surface` — `unsafe` and lint-wall escapes outside the
+//!   sanctioned alloc-counter island;
+//! - `allow-no-reason` / `stale-allow` / `bad-directive` — the meta
+//!   rules that keep the exception surface itself honest.
 //!
 //! Known-good exceptions live in the workspace-root `lint-allow.txt`
-//! ([`Allowlist`]); everything else is a hard failure (non-zero exit),
-//! reported human-readable or as JSON (`--format json`).
+//! ([`Allowlist`]) — every entry needs a `# reason:` — or inline as
+//! `// xtask: allow(<rule>): <reason>`. Everything else is a hard
+//! failure (non-zero exit), reported human-readable, as JSON
+//! (`--format json`), or as SARIF (`--format sarif`).
 
 pub mod lexer;
 pub mod lint;
+pub mod passes;
 pub mod report;
 
 use lint::Diagnostic;
 use std::path::{Path, PathBuf};
 
-/// Directories never scanned: vendored compat crates (external code by
-/// proxy), lint fixtures (intentionally dirty), and build output.
-const SKIP_DIRS: [&str; 3] = ["crates/compat", "crates/xtask/tests/fixtures", "target"];
-
-/// Path components that mark a file as wholly test/bench code.
-const TEST_DIR_COMPONENTS: [&str; 3] = ["tests", "benches", "examples"];
+/// One parsed `lint-allow.txt` entry.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    line: u32,
+    reason: Option<String>,
+}
 
 /// File-scoped rule exceptions parsed from `lint-allow.txt`.
 ///
 /// Line format: `<rule> <path>` with `#` comments; `*` as the rule
 /// allows every rule for that file. Paths are workspace-relative with
-/// forward slashes.
+/// forward slashes. Every entry must carry a justification — a
+/// `# reason: ...` comment trailing the entry or in the comment block
+/// directly above it — and must excuse at least one diagnostic per
+/// run; violations surface as `allow-no-reason` and `stale-allow`.
 #[derive(Debug, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String)>,
+    entries: Vec<AllowEntry>,
 }
 
 impl Allowlist {
@@ -46,15 +61,36 @@ impl Allowlist {
     #[must_use]
     pub fn parse(text: &str) -> Self {
         let mut entries = Vec::new();
-        for line in text.lines() {
-            let line = line.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
+        let mut pending_reason: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                pending_reason = None;
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
-                entries.push((rule.to_string(), path.to_string()));
+            if trimmed.starts_with('#') {
+                if let Some(r) = reason_in(trimmed) {
+                    pending_reason = Some(r);
+                }
+                continue;
             }
+            let (code, comment) = match trimmed.split_once('#') {
+                Some((c, rest)) => (c, Some(rest)),
+                None => (trimmed, None),
+            };
+            let mut parts = code.split_whitespace();
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                let reason = comment
+                    .and_then(reason_in)
+                    .or_else(|| pending_reason.take());
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    line: u32::try_from(idx + 1).unwrap_or(u32::MAX),
+                    reason,
+                });
+            }
+            pending_reason = None;
         }
         Allowlist { entries }
     }
@@ -72,10 +108,61 @@ impl Allowlist {
     /// `true` when `rule` is allowed in `file`.
     #[must_use]
     pub fn allows(&self, rule: &str, file: &str) -> bool {
+        self.match_idx(rule, file).is_some()
+    }
+
+    fn match_idx(&self, rule: &str, file: &str) -> Option<usize> {
         self.entries
             .iter()
-            .any(|(r, p)| (r == "*" || r == rule) && p == file)
+            .position(|e| (e.rule == "*" || e.rule == rule) && e.path == file)
     }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Meta diagnostics about the allowlist itself: entries without a
+    /// `# reason:` and entries that excused nothing this run.
+    fn audit(&self, used: &[bool]) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.reason.is_none() {
+                diags.push(Diagnostic::at(
+                    "lint-allow.txt",
+                    e.line,
+                    1,
+                    "allow-no-reason",
+                    format!(
+                        "allowlist entry `{} {}` has no `# reason:` comment; \
+                         justify the exception",
+                        e.rule, e.path
+                    ),
+                ));
+            }
+            if !used.get(i).copied().unwrap_or(false) {
+                diags.push(Diagnostic::at(
+                    "lint-allow.txt",
+                    e.line,
+                    1,
+                    "stale-allow",
+                    format!(
+                        "allowlist entry `{} {}` excused no diagnostic; remove it",
+                        e.rule, e.path
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+/// The reason text of a `# reason: ...` comment, if present and
+/// non-empty.
+fn reason_in(comment: &str) -> Option<String> {
+    comment
+        .split_once("reason:")
+        .map(|(_, r)| r.trim().to_string())
+        .filter(|r| !r.is_empty())
 }
 
 /// Result of a lint run over a directory tree.
@@ -87,64 +174,48 @@ pub struct LintRun {
     pub files_scanned: usize,
 }
 
-/// Lints every workspace `.rs` file under `root`, applying `allow`.
+/// Lints every workspace `.rs` file (and `Cargo.toml`) under `root`:
+/// per-file rules, then the workspace passes, then the allow layers.
 ///
 /// # Errors
 ///
 /// Returns an error string when the tree cannot be walked or a file
 /// cannot be read.
 pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintRun, String> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-
+    let ws = passes::Workspace::load(root)?;
+    let files_scanned = ws.files.len();
     let mut diagnostics = Vec::new();
-    let files_scanned = files.len();
-    for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("failed to read {}: {e}", rel.display()))?;
-        let rel_str = unix_path(rel);
-        let is_test_file = rel
-            .components()
-            .any(|c| TEST_DIR_COMPONENTS.iter().any(|t| c.as_os_str() == *t));
-        let mut diags = lint::lint_source(&rel_str, &source, is_test_file);
-        diags.retain(|d| !allow.allows(d.rule, &d.file));
-        diagnostics.extend(diags);
+
+    for f in &ws.files {
+        lint::lint_toks(&f.rel, &f.toks, &f.in_test, &mut diagnostics);
     }
-    diagnostics.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    let graph = passes::callgraph::CallGraph::build(&ws, &mut diagnostics);
+    passes::locks::check(&ws, &mut diagnostics);
+    passes::hotpath::check(&ws, &graph, &mut diagnostics);
+    passes::accounting::check(&ws, &graph, &mut diagnostics);
+    passes::unsafe_surface::check(&ws, &mut diagnostics);
+
+    // Inline waivers first, then the file-scoped allowlist, then the
+    // audit of the allowlist itself.
+    for f in &ws.files {
+        passes::directives::apply_file_allows(&f.rel, &f.directives, &mut diagnostics);
+    }
+    let mut used = vec![false; allow.len()];
+    diagnostics.retain(|d| match allow.match_idx(d.rule, &d.file) {
+        Some(i) => {
+            used[i] = true;
+            false
+        }
+        None => true,
+    });
+    diagnostics.extend(allow.audit(&used));
+
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(LintRun {
         diagnostics,
         files_scanned,
     })
-}
-
-fn unix_path(p: &Path) -> String {
-    p.components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
-        let path = entry.path();
-        let rel = path.strip_prefix(root).unwrap_or(&path);
-        let rel_str = unix_path(rel);
-        if path.is_dir() {
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if name.starts_with('.') || SKIP_DIRS.contains(&rel_str.as_str()) {
-                continue;
-            }
-            collect_rs_files(root, &path, out)?;
-        } else if rel_str.ends_with(".rs") {
-            out.push(rel.to_path_buf());
-        }
-    }
-    Ok(())
 }
 
 /// The workspace root: two levels above this crate's manifest dir.
@@ -158,11 +229,19 @@ pub fn workspace_root() -> PathBuf {
 }
 
 /// CLI entry point shared by the `xtask` binary. Parses
-/// `lint [--format human|json] [--root PATH]`, prints the report, and
-/// exits non-zero when diagnostics survive the allowlist.
+/// `lint [--format human|json|sarif] [--root PATH]`, prints the
+/// report, and exits non-zero when diagnostics survive the allow
+/// layers.
 pub fn main_entry() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(run(&args));
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
 }
 
 /// Argument-driven runner returning the process exit code (separated from
@@ -181,15 +260,16 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     }
-    let mut format_json = false;
+    let mut format = Format::Human;
     let mut root = workspace_root();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => format_json = true,
-                Some("human") => format_json = false,
+                Some("json") => format = Format::Json,
+                Some("human") => format = Format::Human,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("--format expects `human` or `json`, got {other:?}");
+                    eprintln!("--format expects `human`, `json`, or `sarif`, got {other:?}");
                     return 2;
                 }
             },
@@ -209,16 +289,16 @@ pub fn run(args: &[String]) -> i32 {
     let allow = Allowlist::load(&root);
     match lint_tree(&root, &allow) {
         Ok(run) => {
-            if format_json {
-                println!(
+            match format {
+                Format::Json => println!(
                     "{}",
                     report::render_json(&run.diagnostics, run.files_scanned)
-                );
-            } else {
-                print!(
+                ),
+                Format::Sarif => println!("{}", report::render_sarif(&run.diagnostics)),
+                Format::Human => print!(
                     "{}",
                     report::render_human(&run.diagnostics, run.files_scanned)
-                );
+                ),
             }
             i32::from(!run.diagnostics.is_empty())
         }
@@ -233,10 +313,11 @@ const USAGE: &str = "\
 cargo xtask <command>
 
 Commands:
-  lint [--format human|json] [--root PATH]
-      Run the numerical-hygiene static-analysis pass over every
-      workspace .rs file. Exits 1 when diagnostics are found, 2 on
-      usage or I/O errors.
+  lint [--format human|json|sarif] [--root PATH]
+      Run the static-analysis passes over every workspace .rs file:
+      numerical hygiene, lock discipline (lock-order.toml), hot-path
+      purity, event accounting, and the unsafe-surface audit. Exits 1
+      when diagnostics are found, 2 on usage or I/O errors.
   help
       Show this message.";
 
@@ -256,6 +337,38 @@ mod tests {
         assert!(!allow.allows("float-eq", "crates/a/src/lib.rs"));
         assert!(allow.allows("float-eq", "crates/b/src/lib.rs"));
         assert!(!allow.allows("no-panic", "crates/c/src/lib.rs"));
+    }
+
+    #[test]
+    fn allowlist_reasons_come_from_trailing_or_block_comments() {
+        let allow = Allowlist::parse(
+            "# reason: block justification\n\
+             no-panic crates/a/src/lib.rs\n\
+             float-eq crates/b/src/lib.rs # reason: trailing justification\n\
+             unguarded-numeric crates/c/src/lib.rs\n",
+        );
+        assert_eq!(
+            allow.entries[0].reason.as_deref(),
+            Some("block justification")
+        );
+        assert_eq!(
+            allow.entries[1].reason.as_deref(),
+            Some("trailing justification")
+        );
+        assert!(allow.entries[2].reason.is_none());
+        let audit = allow.audit(&[true, true, true]);
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].rule, "allow-no-reason");
+        assert_eq!(audit[0].line, 4);
+    }
+
+    #[test]
+    fn unused_entries_are_reported_stale() {
+        let allow = Allowlist::parse("no-panic crates/a/src/lib.rs # reason: ok\n");
+        let audit = allow.audit(&[false]);
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].rule, "stale-allow");
+        assert_eq!(audit[0].severity, "warning");
     }
 
     #[test]

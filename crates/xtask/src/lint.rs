@@ -13,20 +13,62 @@ pub struct Diagnostic {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Stable rule identifier (`no-panic`, `float-eq`, `nan-unsafe-cmp`,
-    /// `unguarded-numeric`).
+    /// Stable rule identifier (one of [`RULES`]).
     pub rule: &'static str,
+    /// `error` or `warning` (see [`severity_for`]).
+    pub severity: &'static str,
     /// Human-readable explanation with a suggested fix.
     pub message: String,
 }
 
-/// Rule identifiers, in report order.
-pub const RULES: [&str; 4] = [
+impl Diagnostic {
+    /// Builds a diagnostic at an explicit position, deriving severity
+    /// from the rule.
+    #[must_use]
+    pub fn at(file: &str, line: u32, col: u32, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            severity: severity_for(rule),
+            message,
+        }
+    }
+}
+
+/// Rule identifiers, in report order: the four numerical-hygiene rules
+/// from the original pass, the concurrency and hot-path families, and
+/// the meta rules that keep the exception surface honest.
+pub const RULES: [&str; 15] = [
     "no-panic",
     "float-eq",
     "nan-unsafe-cmp",
     "unguarded-numeric",
+    "lock-order",
+    "guard-across-blocking",
+    "hot-path-alloc",
+    "hot-path-panic",
+    "hot-path-lock",
+    "event-accounting",
+    "counter-identity",
+    "unsafe-surface",
+    "allow-no-reason",
+    "stale-allow",
+    "bad-directive",
 ];
+
+/// Severity of a rule: everything is an `error` except `stale-allow`
+/// (an exception that excuses nothing is debt, not danger). The exit
+/// code treats both as failures; the distinction only feeds reports.
+#[must_use]
+pub fn severity_for(rule: &str) -> &'static str {
+    if rule == "stale-allow" {
+        "warning"
+    } else {
+        "error"
+    }
+}
 
 /// Numeric methods whose `Result`/`Option` encodes a conditioning failure.
 const NUMERIC_METHODS: [&str; 6] = [
@@ -65,14 +107,19 @@ pub fn lint_source(file: &str, source: &str, treat_all_as_test: bool) -> Vec<Dia
     } else {
         test_spans(&toks)
     };
-    let fn_spans = function_spans(&toks);
-
     let mut diags = Vec::new();
-    check_no_panic(file, &toks, &in_test, &mut diags);
-    check_float_eq(file, &toks, &in_test, &mut diags);
-    check_nan_unsafe_cmp(file, &toks, &in_test, &mut diags);
-    check_unguarded_numeric(file, &toks, &in_test, &fn_spans, &mut diags);
+    lint_toks(file, &toks, &in_test, &mut diags);
     diags
+}
+
+/// Runs the per-file rules over a pre-lexed token stream (shared with
+/// the workspace passes, which lex each file exactly once).
+pub(crate) fn lint_toks(file: &str, toks: &[Tok], in_test: &[bool], diags: &mut Vec<Diagnostic>) {
+    let fn_spans = function_spans(toks);
+    check_no_panic(file, toks, in_test, diags);
+    check_float_eq(file, toks, in_test, diags);
+    check_nan_unsafe_cmp(file, toks, in_test, diags);
+    check_unguarded_numeric(file, toks, in_test, &fn_spans, diags);
 }
 
 /// Marks tokens inside `#[cfg(test)]` items and `#[test]` functions.
@@ -81,7 +128,7 @@ pub fn lint_source(file: &str, source: &str, treat_all_as_test: bool) -> Vec<Dia
 /// `not`) shields the item it precedes, found by matching the braces of
 /// the item body. Attributes stacked between the shield and the item are
 /// skipped.
-fn test_spans(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_spans(toks: &[Tok]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -109,7 +156,7 @@ fn test_spans(toks: &[Tok]) -> Vec<bool> {
 
 /// `true` when an attribute body refers to test compilation:
 /// `test`, `cfg(test)`, `cfg(all(test, ...))` — but not `cfg(not(test))`.
-fn attr_is_test(body: &[Tok]) -> bool {
+pub(crate) fn attr_is_test(body: &[Tok]) -> bool {
     let mut has_test = false;
     for t in body {
         if t.is_ident("not") {
@@ -125,7 +172,7 @@ fn attr_is_test(body: &[Tok]) -> bool {
 /// Finds the end of the item that starts at `start` (after its
 /// attributes): the matching `}` of its first brace, or the first `;` for
 /// braceless items.
-fn item_body_end(toks: &[Tok], start: usize) -> Option<usize> {
+pub(crate) fn item_body_end(toks: &[Tok], start: usize) -> Option<usize> {
     let mut i = start;
     // Skip stacked attributes between the test attribute and the item.
     while i < toks.len() && toks[i].is_punct('#') {
@@ -145,7 +192,12 @@ fn item_body_end(toks: &[Tok], start: usize) -> Option<usize> {
 }
 
 /// Index of the closing delimiter matching the opener at `open_idx`.
-fn matching_close(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching_close(
+    toks: &[Tok],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     if open_idx >= toks.len() || !toks[open_idx].is_punct(open) {
         return None;
     }
@@ -164,7 +216,7 @@ fn matching_close(toks: &[Tok], open_idx: usize, open: char, close: char) -> Opt
 }
 
 /// Token spans of every `fn` body, innermost-resolvable by containment.
-fn function_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn function_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if t.is_ident("fn") {
@@ -185,7 +237,7 @@ fn function_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
 }
 
 /// The innermost function span containing token `idx`.
-fn enclosing_fn(spans: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> {
+pub(crate) fn enclosing_fn(spans: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> {
     spans
         .iter()
         .copied()
@@ -194,13 +246,7 @@ fn enclosing_fn(spans: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> 
 }
 
 fn push(diags: &mut Vec<Diagnostic>, file: &str, t: &Tok, rule: &'static str, message: String) {
-    diags.push(Diagnostic {
-        file: file.to_string(),
-        line: t.line,
-        col: t.col,
-        rule,
-        message,
-    });
+    diags.push(Diagnostic::at(file, t.line, t.col, rule, message));
 }
 
 /// Rule `no-panic`: no `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, or

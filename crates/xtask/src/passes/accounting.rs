@@ -1,0 +1,404 @@
+//! Event-accounting exhaustiveness: every variant of an
+//! `accounted-event` enum must be named in some `accounting(..)`
+//! critical section, and every scalar counter of a `frame-identity`
+//! struct must sit on exactly one side of its declared conservation
+//! identity — and actually be incremented where the accounting happens.
+//!
+//! This turns the pipeline's documented invariant (`frames ==
+//! anomalies + normals + extraction_failures + dropped + degraded`,
+//! the fail-closed "every frame lands in exactly one bucket"
+//! guarantee) from a runtime assert into a lint: adding an `IdsEvent`
+//! variant, or a `PipelineStats` counter, without extending the merger
+//! accounting is an error at `cargo xtask lint` time.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lint::{matching_close, Diagnostic};
+use crate::passes::callgraph::CallGraph;
+use crate::passes::directives::DirectiveKind;
+use crate::passes::Workspace;
+
+/// A parsed `accounted-event` enum.
+struct AccountedEnum {
+    name: String,
+    file: usize,
+    line: u32,
+    variants: Vec<String>,
+}
+
+/// A parsed `accounting(..)` function.
+struct AccountingFn {
+    enum_name: String,
+    def: usize,
+    file: usize,
+    line: u32,
+}
+
+/// A scalar `u64` field of a `frame-identity` struct.
+struct CounterField {
+    name: String,
+    line: u32,
+    outside: bool,
+}
+
+/// Runs the pass.
+pub fn check(ws: &Workspace, graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    let mut enums: Vec<AccountedEnum> = Vec::new();
+    let mut fns: Vec<AccountingFn> = Vec::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        if file.is_test_file {
+            continue;
+        }
+        for d in &file.directives {
+            match &d.kind {
+                DirectiveKind::AccountedEvent => match parse_enum_after(ws, file_idx, d.line) {
+                    Some(e) => enums.push(e),
+                    None => diags.push(Diagnostic::at(
+                        &file.rel,
+                        d.line,
+                        1,
+                        "bad-directive",
+                        "`accounted-event` precedes no enum definition".to_string(),
+                    )),
+                },
+                DirectiveKind::Accounting { enum_name } => {
+                    match graph.def_at_or_after(file_idx, d.line) {
+                        Some(def) => fns.push(AccountingFn {
+                            enum_name: enum_name.clone(),
+                            def,
+                            file: file_idx,
+                            line: graph.defs[def].line,
+                        }),
+                        None => diags.push(Diagnostic::at(
+                            &file.rel,
+                            d.line,
+                            1,
+                            "bad-directive",
+                            "`accounting(..)` precedes no function definition".to_string(),
+                        )),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    check_variants(ws, graph, &enums, &fns, diags);
+    check_identities(ws, graph, &fns, diags);
+}
+
+/// Every accounted enum needs at least one accounting fn, and each
+/// accounting fn must name every variant of its enum.
+fn check_variants(
+    ws: &Workspace,
+    graph: &CallGraph,
+    enums: &[AccountedEnum],
+    fns: &[AccountingFn],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for f in fns {
+        let Some(e) = enums.iter().find(|e| e.name == f.enum_name) else {
+            diags.push(Diagnostic::at(
+                &ws.files[f.file].rel,
+                f.line,
+                1,
+                "event-accounting",
+                format!(
+                    "fn is marked `accounting({})` but no enum `{}` is marked \
+                     `accounted-event`",
+                    f.enum_name, f.enum_name
+                ),
+            ));
+            continue;
+        };
+        let def = &graph.defs[f.def];
+        let toks = &ws.files[def.file].toks;
+        for variant in &e.variants {
+            let mentioned = (def.body.0..=def.body.1).any(|i| {
+                toks[i].is_ident(&e.name)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_ident(variant))
+            });
+            if !mentioned {
+                diags.push(Diagnostic::at(
+                    &ws.files[f.file].rel,
+                    f.line,
+                    1,
+                    "event-accounting",
+                    format!(
+                        "accounting fn `{}` does not handle `{}::{}`; every \
+                         variant must land in a stats bucket",
+                        def.name, e.name, variant
+                    ),
+                ));
+            }
+        }
+    }
+    for e in enums {
+        if !fns.iter().any(|f| f.enum_name == e.name) {
+            diags.push(Diagnostic::at(
+                &ws.files[e.file].rel,
+                e.line,
+                1,
+                "event-accounting",
+                format!(
+                    "enum `{}` is marked `accounted-event` but no fn is marked \
+                     `accounting({})`",
+                    e.name, e.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks every `frame-identity` struct against its declared identity
+/// and the accounting fns' increments.
+fn check_identities(
+    ws: &Workspace,
+    graph: &CallGraph,
+    fns: &[AccountingFn],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        if file.is_test_file {
+            continue;
+        }
+        let outside_lines: Vec<u32> = file
+            .directives
+            .iter()
+            .filter(|d| d.kind == DirectiveKind::OutsideFrameIdentity)
+            .map(|d| d.line)
+            .collect();
+        for d in &file.directives {
+            let DirectiveKind::FrameIdentity { lhs, rhs } = &d.kind else {
+                continue;
+            };
+            let Some((struct_line, fields)) = parse_struct_after(ws, file_idx, d.line) else {
+                diags.push(Diagnostic::at(
+                    &file.rel,
+                    d.line,
+                    1,
+                    "bad-directive",
+                    "`frame-identity` precedes no struct with named fields".to_string(),
+                ));
+                continue;
+            };
+            let fields: Vec<CounterField> = fields
+                .into_iter()
+                .map(|(name, line)| CounterField {
+                    outside: outside_lines.contains(&line) || outside_lines.contains(&(line - 1)),
+                    name,
+                    line,
+                })
+                .collect();
+            let mut terms: Vec<&str> = Vec::with_capacity(rhs.len() + 1);
+            terms.push(lhs.as_str());
+            terms.extend(rhs.iter().map(String::as_str));
+            check_one_identity(
+                ws,
+                graph,
+                fns,
+                &file.rel,
+                struct_line,
+                &terms,
+                &fields,
+                diags,
+            );
+        }
+    }
+}
+
+fn check_one_identity(
+    ws: &Workspace,
+    graph: &CallGraph,
+    fns: &[AccountingFn],
+    file: &str,
+    struct_line: u32,
+    terms: &[&str],
+    fields: &[CounterField],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, term) in terms.iter().enumerate() {
+        if !fields.iter().any(|f| f.name == *term) {
+            diags.push(Diagnostic::at(
+                file,
+                struct_line,
+                1,
+                "counter-identity",
+                format!("identity names `{term}`, which is not a `u64` counter field"),
+            ));
+        }
+        if terms[..i].contains(term) {
+            diags.push(Diagnostic::at(
+                file,
+                struct_line,
+                1,
+                "counter-identity",
+                format!("counter `{term}` appears on both sides (or twice) in the identity"),
+            ));
+        }
+    }
+    for f in fields {
+        let in_identity = terms.contains(&f.name.as_str());
+        if in_identity && f.outside {
+            diags.push(Diagnostic::at(
+                file,
+                f.line,
+                1,
+                "counter-identity",
+                format!(
+                    "counter `{}` is in the identity but marked outside-frame-identity",
+                    f.name
+                ),
+            ));
+        }
+        if !in_identity && !f.outside {
+            diags.push(Diagnostic::at(
+                file,
+                f.line,
+                1,
+                "counter-identity",
+                format!(
+                    "counter `{}` is in neither the frame identity nor marked \
+                     `xtask: outside-frame-identity`; every counter must be \
+                     accounted or explicitly excluded",
+                    f.name
+                ),
+            ));
+        }
+        if in_identity && !incremented_in_accounting(ws, graph, fns, &f.name) {
+            diags.push(Diagnostic::at(
+                file,
+                f.line,
+                1,
+                "counter-identity",
+                format!(
+                    "identity counter `{}` is never incremented (`{} += ..`) in \
+                     any accounting critical section",
+                    f.name, f.name
+                ),
+            ));
+        }
+    }
+}
+
+fn incremented_in_accounting(
+    ws: &Workspace,
+    graph: &CallGraph,
+    fns: &[AccountingFn],
+    field: &str,
+) -> bool {
+    fns.iter().any(|f| {
+        let def = &graph.defs[f.def];
+        let toks = &ws.files[def.file].toks;
+        (def.body.0..def.body.1).any(|i| {
+            toks[i].is_ident(field)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('+'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        })
+    })
+}
+
+/// Parses the first enum at or after `line`: `(name, line, variants)`.
+fn parse_enum_after(ws: &Workspace, file_idx: usize, line: u32) -> Option<AccountedEnum> {
+    let file = &ws.files[file_idx];
+    let toks = &file.toks;
+    let e = item_at_or_after(toks, &file.in_test, "enum", line)?;
+    let name = toks.get(e + 1).filter(|t| t.kind == TokKind::Ident)?;
+    let open = body_open(toks, e + 2)?;
+    let close = matching_close(toks, open, '{', '}')?;
+    let mut variants = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        i = skip_attributes(toks, i)?;
+        if i >= close {
+            break;
+        }
+        if toks[i].kind == TokKind::Ident {
+            variants.push(toks[i].text.clone());
+        }
+        i = next_item_sep(toks, i, close)? + 1;
+    }
+    Some(AccountedEnum {
+        name: name.text.clone(),
+        file: file_idx,
+        line: toks[e].line,
+        variants,
+    })
+}
+
+/// Parses the first struct at or after `line`: its line plus each
+/// `u64`-typed field as `(name, line)`.
+fn parse_struct_after(
+    ws: &Workspace,
+    file_idx: usize,
+    line: u32,
+) -> Option<(u32, Vec<(String, u32)>)> {
+    let file = &ws.files[file_idx];
+    let toks = &file.toks;
+    let s = item_at_or_after(toks, &file.in_test, "struct", line)?;
+    let open = body_open(toks, s + 2)?;
+    let close = matching_close(toks, open, '{', '}')?;
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        i = skip_attributes(toks, i)?;
+        if i >= close {
+            break;
+        }
+        if toks[i].is_ident("pub") {
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = matching_close(toks, i, '(', ')')? + 1;
+            }
+        }
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            let is_u64 = toks.get(i + 2).is_some_and(|t| t.is_ident("u64"));
+            if is_u64 {
+                fields.push((toks[i].text.clone(), toks[i].line));
+            }
+        }
+        i = next_item_sep(toks, i, close)? + 1;
+    }
+    Some((toks[s].line, fields))
+}
+
+fn item_at_or_after(toks: &[Tok], in_test: &[bool], kw: &str, line: u32) -> Option<usize> {
+    (0..toks.len()).find(|&i| !in_test[i] && toks[i].is_ident(kw) && toks[i].line >= line)
+}
+
+/// First `{` from `start`, stopping at `;` (no body).
+fn body_open(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut i = start;
+    while i < toks.len() && !toks[i].is_punct(';') {
+        if toks[i].is_punct('{') {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn skip_attributes(toks: &[Tok], mut i: usize) -> Option<usize> {
+    while toks.get(i).is_some_and(|t| t.is_punct('#')) {
+        i = matching_close(toks, i + 1, '[', ']')? + 1;
+    }
+    Some(i)
+}
+
+/// Index of the `,` (at bracket depth 0) or closing brace ending the
+/// item that starts at `i`.
+fn next_item_sep(toks: &[Tok], mut i: usize, close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    while i < close {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(',') && depth == 0 {
+            return Some(i);
+        }
+        i += 1;
+    }
+    Some(close)
+}

@@ -1,0 +1,312 @@
+//! `xtask:` source directives: the comment markers that feed the
+//! workspace passes.
+//!
+//! A directive is a line comment of the form `// xtask: <directive>`
+//! (an ordinary `//` comment — doc comments never carry directives, so
+//! rule documentation can quote them safely). Recognized forms:
+//!
+//! - `hot-path` — seeds the hot-path purity pass at the next `fn`;
+//! - `cold` — the next `fn` is an acknowledged slow path: it is neither
+//!   scanned nor traversed by the reachability walk;
+//! - `allow(<rule>): <reason>` — waives `<rule>` diagnostics on this
+//!   line and the next; a missing reason is itself a diagnostic;
+//! - `accounted-event` — the next `enum` must be exhaustively handled
+//!   by some `accounting(..)`-marked function;
+//! - `accounting(<Enum>)` — the next `fn` is the stats critical section
+//!   for `<Enum>`;
+//! - `frame-identity: <lhs> == <a> + <b> + ...` — the next `struct`
+//!   declares the conservation identity its counters must satisfy;
+//! - `outside-frame-identity` — the field on this line or the next is
+//!   deliberately outside the identity.
+//!
+//! Anything else after the marker is reported under `bad-directive`, so
+//! a typo (`hotpath`, `allow(no-panic)` with no reason) fails loudly
+//! instead of silently disabling a check.
+
+use crate::lint::Diagnostic;
+
+/// The marker prefix, split so this file's own scanner does not match
+/// the string literal in its source.
+const MARKER: &str = concat!("// ", "xtask:");
+
+/// Parsed directive payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// Seeds the hot-path reachability walk at the next `fn`.
+    HotPath,
+    /// Marks the next `fn` as an acknowledged slow path.
+    Cold,
+    /// Waives `rule` on the directive's line and the next one.
+    Allow {
+        /// Rule identifier being waived.
+        rule: String,
+        /// Justification text after the colon; empty means missing.
+        reason: String,
+    },
+    /// Marks the next `enum` as requiring exhaustive accounting.
+    AccountedEvent,
+    /// Marks the next `fn` as the accounting critical section for an enum.
+    Accounting {
+        /// Name of the accounted enum.
+        enum_name: String,
+    },
+    /// Declares the counter conservation identity for the next `struct`.
+    FrameIdentity {
+        /// Left-hand counter (the total).
+        lhs: String,
+        /// Right-hand counters (the buckets).
+        rhs: Vec<String>,
+    },
+    /// Marks the field on this or the next line as outside the identity.
+    OutsideFrameIdentity,
+    /// Unrecognized directive text (reported as `bad-directive`).
+    Unknown,
+}
+
+/// One directive with its source position.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Parsed payload.
+    pub kind: DirectiveKind,
+    /// Raw text after the marker, for diagnostics.
+    pub raw: String,
+}
+
+/// Scans `source` for directives, skipping lines covered by
+/// `test_lines` (1-based index `line - 1`; directives in test code are
+/// inert because test code produces no diagnostics).
+#[must_use]
+pub fn scan(source: &str, test_lines: &[bool]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (idx, text) in source.lines().enumerate() {
+        if test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(pos) = find_marker(text) else {
+            continue;
+        };
+        let raw = text[pos + MARKER.len()..].trim().to_string();
+        let line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        out.push(Directive {
+            line,
+            kind: parse(&raw),
+            raw,
+        });
+    }
+    out
+}
+
+/// Position of a real `// xtask:` marker in `text`.
+///
+/// The marker must begin exactly at the line's first `//`: that single
+/// rule rejects doc comments (`///`/`//!` open earlier) and marker text
+/// quoted *inside* another comment, while still accepting trailing
+/// directives after code.
+fn find_marker(text: &str) -> Option<usize> {
+    let pos = text.find(MARKER)?;
+    (text.find("//") == Some(pos)).then_some(pos)
+}
+
+fn parse(text: &str) -> DirectiveKind {
+    match text {
+        "hot-path" => return DirectiveKind::HotPath,
+        "cold" => return DirectiveKind::Cold,
+        "accounted-event" => return DirectiveKind::AccountedEvent,
+        "outside-frame-identity" => return DirectiveKind::OutsideFrameIdentity,
+        _ => {}
+    }
+    if let Some(rest) = text.strip_prefix("allow(") {
+        if let Some((rule, after)) = rest.split_once(')') {
+            let reason = after.strip_prefix(':').unwrap_or("").trim();
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                return DirectiveKind::Allow {
+                    rule: rule.to_string(),
+                    reason: reason.to_string(),
+                };
+            }
+        }
+        return DirectiveKind::Unknown;
+    }
+    if let Some(rest) = text.strip_prefix("accounting(") {
+        if let Some((name, after)) = rest.split_once(')') {
+            let name = name.trim();
+            if !name.is_empty() && after.trim().is_empty() {
+                return DirectiveKind::Accounting {
+                    enum_name: name.to_string(),
+                };
+            }
+        }
+        return DirectiveKind::Unknown;
+    }
+    if let Some(expr) = text.strip_prefix("frame-identity:") {
+        if let Some((lhs, rhs)) = expr.split_once("==") {
+            let lhs = lhs.trim();
+            let terms: Vec<String> = rhs
+                .split('+')
+                .map(|t| t.trim().to_string())
+                .filter(|t| !t.is_empty())
+                .collect();
+            if !lhs.is_empty() && !terms.is_empty() {
+                return DirectiveKind::FrameIdentity {
+                    lhs: lhs.to_string(),
+                    rhs: terms,
+                };
+            }
+        }
+        return DirectiveKind::Unknown;
+    }
+    DirectiveKind::Unknown
+}
+
+/// Applies inline `allow(..)` directives to `diags` for one file:
+/// removes waived diagnostics (same file, named rule, directive line or
+/// the line after) and appends the meta diagnostics — `allow-no-reason`
+/// for justification-free waivers, `stale-allow` for waivers that
+/// excused nothing, and `bad-directive` for unparsable markers.
+pub fn apply_file_allows(file: &str, directives: &[Directive], diags: &mut Vec<Diagnostic>) {
+    let mut meta = Vec::new();
+    for d in directives {
+        match &d.kind {
+            DirectiveKind::Allow { rule, reason } => {
+                let before = diags.len();
+                diags.retain(|g| {
+                    !(g.file == file
+                        && g.rule == *rule
+                        && (g.line == d.line || g.line == d.line + 1))
+                });
+                let used = diags.len() < before;
+                if reason.is_empty() {
+                    meta.push(Diagnostic::at(
+                        file,
+                        d.line,
+                        1,
+                        "allow-no-reason",
+                        format!(
+                            "inline `allow({rule})` has no `: <reason>`; justify the exception"
+                        ),
+                    ));
+                }
+                if !used {
+                    meta.push(Diagnostic::at(
+                        file,
+                        d.line,
+                        1,
+                        "stale-allow",
+                        format!("inline `allow({rule})` excuses nothing; remove it"),
+                    ));
+                }
+            }
+            DirectiveKind::Unknown => {
+                meta.push(Diagnostic::at(
+                    file,
+                    d.line,
+                    1,
+                    "bad-directive",
+                    format!("unrecognized xtask directive `{}`", d.raw),
+                ));
+            }
+            _ => {}
+        }
+    }
+    diags.extend(meta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_all(src: &str) -> Vec<Directive> {
+        let lines = vec![false; src.lines().count()];
+        scan(src, &lines)
+    }
+
+    #[test]
+    fn recognizes_every_directive_form() {
+        let src = "\
+// xtask: hot-path
+// xtask: cold
+// xtask: allow(no-panic): framer hands off ownership
+// xtask: accounted-event
+// xtask: accounting(IdsEvent)
+// xtask: frame-identity: frames == anomalies + normals
+// xtask: outside-frame-identity
+// xtask: frobnicate
+";
+        let kinds: Vec<DirectiveKind> = scan_all(src).into_iter().map(|d| d.kind).collect();
+        assert_eq!(kinds.len(), 8);
+        assert_eq!(kinds[0], DirectiveKind::HotPath);
+        assert_eq!(kinds[1], DirectiveKind::Cold);
+        assert_eq!(
+            kinds[2],
+            DirectiveKind::Allow {
+                rule: "no-panic".to_string(),
+                reason: "framer hands off ownership".to_string()
+            }
+        );
+        assert_eq!(kinds[3], DirectiveKind::AccountedEvent);
+        assert_eq!(
+            kinds[4],
+            DirectiveKind::Accounting {
+                enum_name: "IdsEvent".to_string()
+            }
+        );
+        assert_eq!(
+            kinds[5],
+            DirectiveKind::FrameIdentity {
+                lhs: "frames".to_string(),
+                rhs: vec!["anomalies".to_string(), "normals".to_string()]
+            }
+        );
+        assert_eq!(kinds[6], DirectiveKind::OutsideFrameIdentity);
+        assert_eq!(kinds[7], DirectiveKind::Unknown);
+    }
+
+    #[test]
+    fn doc_comments_and_test_lines_are_ignored() {
+        let src = "/// xtask: hot-path\n// xtask: cold\n";
+        let ds = scan(src, &[false, true]);
+        assert!(ds.is_empty(), "doc comment and test line must not scan");
+        let ds = scan(src, &[false, false]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].kind, DirectiveKind::Cold);
+        assert_eq!(ds[0].line, 2);
+    }
+
+    #[test]
+    fn trailing_directives_attach_to_their_line() {
+        let src = "let x = y.lock(); // xtask: allow(hot-path-lock): cold setup\n";
+        let ds = scan_all(src);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 1);
+    }
+
+    #[test]
+    fn allow_waives_same_and_next_line_and_tracks_usage() {
+        let file = "src/lib.rs";
+        let src = "// xtask: allow(no-panic): covered by caller\n\
+                   // xtask: allow(float-eq): never fires\n";
+        let ds = scan_all(src);
+        let mut diags = vec![Diagnostic::at(file, 2, 5, "no-panic", "x".to_string())];
+        apply_file_allows(file, &ds, &mut diags);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["stale-allow"],
+            "waived diag gone, unused allow flagged"
+        );
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn reasonless_allow_is_reported_but_still_waives() {
+        let file = "src/lib.rs";
+        let ds = scan_all("// xtask: allow(no-panic)\n");
+        let mut diags = vec![Diagnostic::at(file, 1, 9, "no-panic", "x".to_string())];
+        apply_file_allows(file, &ds, &mut diags);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["allow-no-reason"]);
+    }
+}

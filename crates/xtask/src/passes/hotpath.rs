@@ -1,0 +1,237 @@
+//! Hot-path purity: no allocation, no panics, no blocking locks in any
+//! function reachable from a `// xtask: hot-path` seed.
+//!
+//! This is the static twin of the runtime counting-allocator gate: the
+//! bench harness proves the steady state allocates zero bytes, this
+//! pass fails the build when a refactor introduces a new allocation,
+//! panic edge, or lock acquisition anywhere in the reachable hot set —
+//! before a bench ever runs.
+//!
+//! What counts, deliberately, mirrors the workspace's zero-alloc idiom:
+//! fresh allocations (`Vec::new`, `with_capacity`, `collect`,
+//! `to_vec`, `format!`, `.clone()`) are flagged, while amortized
+//! appends into reused scratch buffers (`push`, `extend_from_slice`,
+//! `reserve`, `resize_with`) are not — those grow to steady state and
+//! are covered by the runtime gate. Panics cover `unwrap`/`expect`,
+//! panicking macros, `assert!`-family, and plain (non-range) indexing.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lint::{matching_close, Diagnostic};
+use crate::passes::callgraph::CallGraph;
+use crate::passes::Workspace;
+
+/// Methods/associated calls that perform a fresh allocation.
+const ALLOC_CALLS: [&str; 6] = [
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "with_capacity",
+    "clone",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Types whose `::new` constructor owns heap storage (or will on first
+/// push) — flagged so hot code receives buffers instead of making them.
+const ALLOC_TYPES: [&str; 10] = [
+    "Vec", "String", "Box", "VecDeque", "BTreeMap", "HashMap", "BTreeSet", "HashSet", "Rc", "Arc",
+];
+
+/// Macros that panic in release builds (`debug_assert!` is exempt).
+const PANIC_MACROS: [&str; 6] = [
+    "panic",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can precede `[` without forming an index expression.
+const NON_INDEX_PREV: [&str; 17] = [
+    "mut", "ref", "let", "in", "return", "as", "else", "match", "if", "while", "loop", "move",
+    "dyn", "impl", "box", "break", "continue",
+];
+
+/// Runs the pass: scans every non-`cold` definition whose name is
+/// reachable from a hot-path seed.
+pub fn check(ws: &Workspace, graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    let reach = graph.reachable();
+    for def in &graph.defs {
+        if def.cold {
+            continue;
+        }
+        let via = if def.hot_seed {
+            format!("`{}` is marked hot-path", def.name)
+        } else if let Some(path) = reach.get(&def.name) {
+            format!("reachable via `{}`", path.join("` -> `"))
+        } else {
+            continue;
+        };
+        let file = &ws.files[def.file];
+        scan_body(&file.rel, &file.toks, &file.in_test, def.body, &via, diags);
+    }
+}
+
+fn scan_body(
+    file: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    body: (usize, usize),
+    via: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in body.0 + 1..body.1 {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            check_ident(file, toks, i, via, diags);
+        } else if t.is_punct('[') {
+            check_index(file, toks, i, body.1, via, diags);
+        }
+    }
+}
+
+fn check_ident(file: &str, toks: &[Tok], i: usize, via: &str, diags: &mut Vec<Diagnostic>) {
+    let t = &toks[i];
+    let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+    let prev_colon = i >= 1 && toks[i - 1].is_punct(':');
+    let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+    let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+    let called = (prev_dot || prev_colon) && next_paren;
+
+    if called && ALLOC_CALLS.iter().any(|m| t.is_ident(m)) {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-alloc",
+            &format!(
+                "`.{}(..)` allocates on the hot path ({via}); reuse a scratch buffer",
+                t.text
+            ),
+        );
+        return;
+    }
+    if next_bang && ALLOC_MACROS.iter().any(|m| t.is_ident(m)) {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-alloc",
+            &format!(
+                "`{}!` allocates on the hot path ({via}); reuse a scratch buffer",
+                t.text
+            ),
+        );
+        return;
+    }
+    // `Vec::new(..)`-style constructor: Type `::` new `(`.
+    if t.is_ident("new")
+        && next_paren
+        && prev_colon
+        && i >= 3
+        && toks[i - 2].is_punct(':')
+        && ALLOC_TYPES.iter().any(|ty| toks[i - 3].is_ident(ty))
+    {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-alloc",
+            &format!(
+                "`{}::new()` creates an owning container on the hot path ({via}); \
+             thread a reusable buffer through instead",
+                toks[i - 3].text
+            ),
+        );
+        return;
+    }
+    if prev_dot && next_paren && (t.is_ident("unwrap") || t.is_ident("expect")) {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-panic",
+            &format!(
+                "`.{}(..)` can panic on the hot path ({via}); handle the failure as data",
+                t.text
+            ),
+        );
+        return;
+    }
+    if next_bang && PANIC_MACROS.iter().any(|m| t.is_ident(m)) {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-panic",
+            &format!(
+                "`{}!` panics on the hot path ({via}); degrade instead of aborting",
+                t.text
+            ),
+        );
+        return;
+    }
+    if prev_dot && next_paren && t.is_ident("lock") {
+        push(
+            diags,
+            file,
+            t,
+            "hot-path-lock",
+            &format!(
+                "blocking `.lock(..)` on the hot path ({via}); move the critical \
+             section off the per-frame path or use a lock-free hand-off",
+            ),
+        );
+    }
+}
+
+/// Plain `expr[index]` (no `..` range) panics on an out-of-bounds
+/// index; ranged slicing is the workspace idiom for checked windows and
+/// is left to the runtime gate.
+fn check_index(
+    file: &str,
+    toks: &[Tok],
+    i: usize,
+    body_end: usize,
+    via: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let indexable_prev = i >= 1
+        && match toks[i - 1].kind {
+            TokKind::Ident => !NON_INDEX_PREV.iter().any(|k| toks[i - 1].is_ident(k)),
+            TokKind::Punct => toks[i - 1].is_punct(')') || toks[i - 1].is_punct(']'),
+            _ => false,
+        };
+    if !indexable_prev {
+        return;
+    }
+    let Some(close) = matching_close(toks, i, '[', ']') else {
+        return;
+    };
+    if close > body_end || close == i + 1 {
+        return;
+    }
+    let has_range = (i + 1..close.saturating_sub(1))
+        .any(|j| toks[j].is_punct('.') && toks[j + 1].is_punct('.'));
+    if !has_range {
+        push(
+            diags,
+            file,
+            &toks[i],
+            "hot-path-panic",
+            &format!(
+                "plain `[..]` indexing can panic on the hot path ({via}); use `get` or a range",
+            ),
+        );
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, file: &str, t: &Tok, rule: &'static str, msg: &str) {
+    diags.push(Diagnostic::at(file, t.line, t.col, rule, msg.to_string()));
+}

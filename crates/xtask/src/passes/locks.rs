@@ -1,0 +1,249 @@
+//! Lock discipline: every acquisition matched against the
+//! `lock-order.toml` manifest, nested acquisitions checked against the
+//! declared order, and no guard held across a blocking call.
+//!
+//! The analysis is intraprocedural and token-level. An acquisition is
+//! a `receiver.method(..)` call matching a manifest `acquire` pattern;
+//! the guard's extent is estimated from the statement shape:
+//!
+//! - `let g = recv.lock();` — the guard lives to the end of the
+//!   innermost enclosing block, or to an explicit `drop(g)`;
+//! - a chained or discarded guard (`recv.lock().field = ..`) lives to
+//!   the end of the statement.
+//!
+//! Inside an extent, acquiring a lock of equal or earlier rank is a
+//! `lock-order` violation (equal rank = recursive acquisition, a
+//! guaranteed deadlock on a non-reentrant mutex), and calling a
+//! blocking operation — channel `send`/`recv`, `join`, or backend
+//! scoring — is `guard-across-blocking`. Condvar `wait` is exempt: it
+//! releases the guard while parked. Any bare `.lock(..)` call that
+//! matches no manifest pattern is reported so the manifest cannot
+//! silently go stale.
+
+use crate::lexer::{Tok, TokKind};
+use crate::lint::{matching_close, Diagnostic};
+use crate::passes::manifest::LockOrder;
+use crate::passes::Workspace;
+
+/// Calls that block (or can block arbitrarily long) while a guard is
+/// held. `wait`/`wait_timeout` are condvar parks that release the
+/// guard, so they are deliberately absent.
+const BLOCKING: [&str; 8] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "join",
+    "classify_into",
+    "process_window",
+    "process_window_timed",
+    "process_samples",
+];
+
+/// One recognized acquisition site.
+struct Acquisition {
+    /// Token index of the method name.
+    idx: usize,
+    /// Manifest lock name.
+    lock: String,
+    /// Exclusive token bound of the guard's estimated extent.
+    extent_end: usize,
+}
+
+/// Runs the pass when a manifest is present; a manifest parse error is
+/// itself a diagnostic so a broken `lock-order.toml` cannot silently
+/// disable the discipline checks.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let manifest = match &ws.lock_order {
+        None => return,
+        Some(Err(msg)) => {
+            diags.push(Diagnostic::at(
+                "lock-order.toml",
+                1,
+                1,
+                "lock-order",
+                format!("manifest rejected: {msg}"),
+            ));
+            return;
+        }
+        Some(Ok(m)) => m,
+    };
+    for file in &ws.files {
+        if file.is_test_file {
+            continue;
+        }
+        check_file(&file.rel, &file.toks, &file.in_test, manifest, diags);
+    }
+}
+
+fn check_file(
+    file: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    manifest: &LockOrder,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut sites: Vec<Acquisition> = Vec::new();
+    for i in 0..toks.len() {
+        if in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let is_method = i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_method {
+            continue;
+        }
+        let receiver = toks[i - 2].text.as_str();
+        let method = toks[i].text.as_str();
+        match manifest.lock_for(receiver, method) {
+            Some(lock) => sites.push(Acquisition {
+                idx: i,
+                lock: lock.to_string(),
+                extent_end: guard_extent(toks, i),
+            }),
+            None if method == "lock" => diags.push(Diagnostic::at(
+                file,
+                toks[i].line,
+                toks[i].col,
+                "lock-order",
+                format!(
+                    "`{receiver}.lock(..)` acquires a lock not declared in \
+                     lock-order.toml; add an acquire pattern for it"
+                ),
+            )),
+            None => {}
+        }
+    }
+    for a in &sites {
+        check_extent(file, toks, in_test, a, &sites, manifest, diags);
+    }
+}
+
+/// Estimates the guard's extent (exclusive token bound) from the
+/// statement that contains the acquisition at `i`.
+fn guard_extent(toks: &[Tok], i: usize) -> usize {
+    let args_close = matching_close(toks, i + 1, '(', ')').unwrap_or(i + 1);
+    let chained = toks.get(args_close + 1).is_some_and(|t| t.is_punct('.'));
+    if !chained {
+        if let Some(name) = let_binding(toks, i) {
+            return block_or_drop_end(toks, i, &name);
+        }
+    }
+    // Temporary guard: dropped at the end of the statement.
+    let mut j = args_close + 1;
+    while j < toks.len() && !toks[j].is_punct(';') && !toks[j].is_punct('}') {
+        j += 1;
+    }
+    j
+}
+
+/// The binding name when the statement has the shape
+/// `let [mut] name = ... recv.method(..)`.
+fn let_binding(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            while toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            return toks
+                .get(k)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+        }
+    }
+    None
+}
+
+/// End of the innermost block enclosing `i`, cut short by `drop(name)`.
+fn block_or_drop_end(toks: &[Tok], i: usize, name: &str) -> usize {
+    let mut end = toks.len();
+    let mut innermost = usize::MAX;
+    for (open, t) in toks.iter().enumerate() {
+        if !t.is_punct('{') || open >= i {
+            continue;
+        }
+        if let Some(close) = matching_close(toks, open, '{', '}') {
+            if close > i && close - open < innermost {
+                innermost = close - open;
+                end = close;
+            }
+        }
+    }
+    for j in i..end {
+        if toks[j].is_ident("drop")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(j + 2).is_some_and(|t| t.is_ident(name))
+        {
+            return j;
+        }
+    }
+    end
+}
+
+fn check_extent(
+    file: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    held: &Acquisition,
+    sites: &[Acquisition],
+    manifest: &LockOrder,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let held_rank = manifest.rank(&held.lock).unwrap_or(usize::MAX);
+    for j in held.idx + 2..held.extent_end.min(toks.len()) {
+        if in_test[j] {
+            continue;
+        }
+        let t = &toks[j];
+        let is_method =
+            j >= 1 && toks[j - 1].is_punct('.') && toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+        if is_method && BLOCKING.iter().any(|b| t.is_ident(b)) {
+            diags.push(Diagnostic::at(
+                file,
+                t.line,
+                t.col,
+                "guard-across-blocking",
+                format!(
+                    "guard for lock `{}` held across blocking `.{}(..)`; \
+                     drop the guard first",
+                    held.lock, t.text
+                ),
+            ));
+        }
+        if let Some(inner) = sites.iter().find(|s| s.idx == j) {
+            let inner_rank = manifest.rank(&inner.lock).unwrap_or(usize::MAX);
+            if inner.lock == held.lock {
+                diags.push(Diagnostic::at(
+                    file,
+                    t.line,
+                    t.col,
+                    "lock-order",
+                    format!(
+                        "recursive acquisition of `{}` while its guard is live",
+                        held.lock
+                    ),
+                ));
+            } else if inner_rank <= held_rank {
+                diags.push(Diagnostic::at(
+                    file,
+                    t.line,
+                    t.col,
+                    "lock-order",
+                    format!(
+                        "`{}` acquired while holding `{}`, violating the declared \
+                         order ({} ranks before {})",
+                        inner.lock, held.lock, inner.lock, held.lock
+                    ),
+                ));
+            }
+        }
+    }
+}

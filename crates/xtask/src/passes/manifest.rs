@@ -1,0 +1,208 @@
+//! The `lock-order.toml` manifest: the declared acquisition order and
+//! recognition patterns for every lock in the workspace.
+//!
+//! Hand-parsed subset of TOML (the workspace vendors no TOML crate):
+//!
+//! ```toml
+//! order = ["sample_queue", "pipeline_stats"]
+//!
+//! [[lock]]
+//! name = "sample_queue"
+//! acquire = ["inner.lock", "self.lock"]
+//! ```
+//!
+//! `order` ranks locks outermost-first: a lock may only be acquired
+//! while holding locks that rank strictly earlier. Each `[[lock]]`
+//! section names the lock and lists the `receiver.method` call patterns
+//! that acquire it. Arrays must fit on one line; `#` starts a comment.
+
+/// One declared lock.
+#[derive(Debug, Clone, Default)]
+pub struct LockSpec {
+    /// Manifest name, referenced by `order`.
+    pub name: String,
+    /// `(receiver, method)` call patterns that acquire this lock.
+    pub acquire: Vec<(String, String)>,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    /// Lock names, outermost-first.
+    pub order: Vec<String>,
+    /// Declared locks.
+    pub locks: Vec<LockSpec>,
+}
+
+impl LockOrder {
+    /// Parses the manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for syntax errors,
+    /// unknown keys, locks missing from `order`, or duplicate names.
+    pub fn parse(text: &str) -> Result<LockOrder, String> {
+        let mut manifest = LockOrder::default();
+        let mut in_lock = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[lock]]" {
+                manifest.locks.push(LockSpec::default());
+                in_lock = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {lineno}: unknown section `{line}`"));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (in_lock, key) {
+                (false, "order") => manifest.order = parse_array(value, lineno)?,
+                (true, "name") => {
+                    if let Some(lock) = manifest.locks.last_mut() {
+                        lock.name = parse_string(value, lineno)?;
+                    }
+                }
+                (true, "acquire") => {
+                    let mut pairs = Vec::new();
+                    for item in parse_array(value, lineno)? {
+                        let Some((recv, method)) = item.split_once('.') else {
+                            return Err(format!(
+                                "line {lineno}: acquire pattern `{item}` is not `receiver.method`"
+                            ));
+                        };
+                        pairs.push((recv.to_string(), method.to_string()));
+                    }
+                    if let Some(lock) = manifest.locks.last_mut() {
+                        lock.acquire = pairs;
+                    }
+                }
+                _ => return Err(format!("line {lineno}: unknown key `{key}`")),
+            }
+        }
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (i, lock) in self.locks.iter().enumerate() {
+            if lock.name.is_empty() {
+                return Err(format!("lock #{} has no name", i + 1));
+            }
+            if lock.acquire.is_empty() {
+                return Err(format!("lock `{}` has no acquire patterns", lock.name));
+            }
+            if self.rank(&lock.name).is_none() {
+                return Err(format!("lock `{}` is missing from `order`", lock.name));
+            }
+            if self.locks.iter().filter(|l| l.name == lock.name).count() > 1 {
+                return Err(format!("lock `{}` is declared twice", lock.name));
+            }
+        }
+        for name in &self.order {
+            if !self.locks.iter().any(|l| l.name == *name) {
+                return Err(format!("`order` names undeclared lock `{name}`"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank of `name` in the declared order (0 = outermost).
+    #[must_use]
+    pub fn rank(&self, name: &str) -> Option<usize> {
+        self.order.iter().position(|n| n == name)
+    }
+
+    /// The lock acquired by a `receiver.method(..)` call, if declared.
+    #[must_use]
+    pub fn lock_for(&self, receiver: &str, method: &str) -> Option<&str> {
+        self.locks
+            .iter()
+            .find(|l| l.acquire.iter().any(|(r, m)| r == receiver && m == method))
+            .map(|l| l.name.as_str())
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "line {lineno}: expected a quoted string, got `{v}`"
+        ))
+    }
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(format!(
+            "line {lineno}: expected a one-line `[..]` array, got `{v}`"
+        ));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+order = ["sample_queue", "pipeline_stats"]
+
+[[lock]]
+name = "sample_queue"
+acquire = ["inner.lock", "self.lock"]
+
+[[lock]]
+name = "pipeline_stats"
+acquire = ["stats.lock"]
+"#;
+
+    #[test]
+    fn parses_order_and_acquire_patterns() {
+        let m = LockOrder::parse(GOOD).expect("parses");
+        assert_eq!(m.rank("sample_queue"), Some(0));
+        assert_eq!(m.rank("pipeline_stats"), Some(1));
+        assert_eq!(m.lock_for("stats", "lock"), Some("pipeline_stats"));
+        assert_eq!(m.lock_for("self", "lock"), Some("sample_queue"));
+        assert_eq!(m.lock_for("other", "lock"), None);
+    }
+
+    #[test]
+    fn rejects_locks_missing_from_order() {
+        let bad = "order = []\n[[lock]]\nname = \"a\"\nacquire = [\"a.lock\"]\n";
+        let err = LockOrder::parse(bad).expect_err("must fail");
+        assert!(err.contains("missing from `order`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_acquire_patterns() {
+        let bad = "order = [\"a\"]\n[[lock]]\nname = \"a\"\nacquire = [\"nodot\"]\n";
+        let err = LockOrder::parse(bad).expect_err("must fail");
+        assert!(err.contains("receiver.method"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let err = LockOrder::parse("bogus = 1\n").expect_err("must fail");
+        assert!(err.starts_with("line 1"), "{err}");
+    }
+}

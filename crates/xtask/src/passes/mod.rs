@@ -1,0 +1,192 @@
+//! Workspace-level analysis passes and the source model they share.
+//!
+//! [`Workspace::load`] walks the tree once, lexing every `.rs` file,
+//! scanning `xtask:` directives, and collecting `Cargo.toml` manifests
+//! plus the optional `lock-order.toml`; the passes
+//! ([`locks`], [`hotpath`], [`accounting`], [`unsafe_surface`]) then
+//! run over that shared model.
+
+pub mod accounting;
+pub mod callgraph;
+pub mod directives;
+pub mod hotpath;
+pub mod locks;
+pub mod manifest;
+pub mod unsafe_surface;
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok};
+use crate::lint::test_spans;
+use directives::Directive;
+use manifest::LockOrder;
+
+/// Directories never scanned: vendored compat crates (external code by
+/// proxy), lint fixtures (intentionally dirty), and build output.
+const SKIP_DIRS: [&str; 3] = ["crates/compat", "crates/xtask/tests/fixtures", "target"];
+
+/// Path components that mark a file as wholly test/bench code.
+const TEST_DIR_COMPONENTS: [&str; 3] = ["tests", "benches", "examples"];
+
+/// One lexed `.rs` source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Per-token test-code flags (all `true` for whole-test files).
+    pub in_test: Vec<bool>,
+    /// Whole file is test/bench/example code.
+    pub is_test_file: bool,
+    /// Parsed `xtask:` directives (empty for test files).
+    pub directives: Vec<Directive>,
+}
+
+/// One collected `Cargo.toml`.
+#[derive(Debug)]
+pub struct ManifestFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Raw manifest text.
+    pub text: String,
+}
+
+/// The loaded analysis model.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every scanned `.rs` file, path-sorted.
+    pub files: Vec<SourceFile>,
+    /// Every collected `Cargo.toml`, path-sorted.
+    pub manifests: Vec<ManifestFile>,
+    /// `lock-order.toml` at the root: absent, parsed, or rejected.
+    pub lock_order: Option<Result<LockOrder, String>>,
+}
+
+impl Workspace {
+    /// Walks `root` and builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the tree cannot be walked or a
+    /// file cannot be read.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut rs = Vec::new();
+        let mut toml = Vec::new();
+        walk(root, root, &mut rs, &mut toml)?;
+        rs.sort();
+        toml.sort();
+
+        let mut files = Vec::with_capacity(rs.len());
+        for rel in rs {
+            let source = std::fs::read_to_string(root.join(&rel))
+                .map_err(|e| format!("failed to read {}: {e}", rel.display()))?;
+            files.push(load_source(&unix_path(&rel), &source));
+        }
+        let mut manifests = Vec::with_capacity(toml.len());
+        for rel in toml {
+            let text = std::fs::read_to_string(root.join(&rel))
+                .map_err(|e| format!("failed to read {}: {e}", rel.display()))?;
+            manifests.push(ManifestFile {
+                rel: unix_path(&rel),
+                text,
+            });
+        }
+        let lock_order = match std::fs::read_to_string(root.join("lock-order.toml")) {
+            Ok(text) => Some(LockOrder::parse(&text)),
+            Err(_) => None,
+        };
+        Ok(Workspace {
+            files,
+            manifests,
+            lock_order,
+        })
+    }
+}
+
+fn load_source(rel: &str, source: &str) -> SourceFile {
+    let is_test_file = rel
+        .split('/')
+        .any(|c| TEST_DIR_COMPONENTS.iter().any(|t| c == *t));
+    let toks = lex(source);
+    let in_test = if is_test_file {
+        vec![true; toks.len()]
+    } else {
+        test_spans(&toks)
+    };
+    let directives = if is_test_file {
+        Vec::new()
+    } else {
+        directives::scan(source, &test_line_flags(source, &toks, &in_test))
+    };
+    SourceFile {
+        rel: rel.to_string(),
+        toks,
+        in_test,
+        is_test_file,
+        directives,
+    }
+}
+
+/// Expands per-token test flags to per-line flags (1-based line `n` at
+/// index `n - 1`), so comment-only lines inside a test span — which
+/// own no tokens — are still excluded from directive scanning.
+fn test_line_flags(source: &str, toks: &[Tok], in_test: &[bool]) -> Vec<bool> {
+    let mut flags = vec![false; source.lines().count()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_test[i] {
+            let start = toks[i].line;
+            let mut j = i;
+            while j + 1 < toks.len() && in_test[j + 1] {
+                j += 1;
+            }
+            let end = toks[j].line;
+            for line in start..=end {
+                if let Some(f) = flags.get_mut(line as usize - 1) {
+                    *f = true;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn unix_path(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs: &mut Vec<PathBuf>,
+    toml: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("failed to list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = unix_path(rel);
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().to_string();
+            if name.starts_with('.') || SKIP_DIRS.contains(&rel_str.as_str()) {
+                continue;
+            }
+            walk(root, &path, rs, toml)?;
+        } else if rel_str.ends_with(".rs") {
+            rs.push(rel.to_path_buf());
+        } else if rel_str.ends_with("Cargo.toml") {
+            toml.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}

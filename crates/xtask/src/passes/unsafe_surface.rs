@@ -1,0 +1,91 @@
+//! Unsafe-surface audit: `crates/alloc-counter` is the workspace's one
+//! sanctioned `unsafe` island (a `GlobalAlloc` cannot be written
+//! without it); everywhere else, an `unsafe` token, an
+//! `allow(unsafe_code)` attribute, or a crate-local `[lints]` table
+//! that sidesteps the workspace lint wall is a diagnostic.
+
+use crate::lint::Diagnostic;
+use crate::passes::Workspace;
+
+/// Path prefix of the sanctioned unsafe island.
+const SANCTIONED: &str = "crates/alloc-counter/";
+
+/// Runs the pass over every `.rs` file and `Cargo.toml` manifest.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if file.rel.starts_with(SANCTIONED) {
+            continue;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.is_ident("unsafe") {
+                diags.push(Diagnostic::at(
+                    &file.rel,
+                    t.line,
+                    t.col,
+                    "unsafe-surface",
+                    "`unsafe` outside the sanctioned alloc-counter island; \
+                     redesign with safe primitives"
+                        .to_string(),
+                ));
+            }
+            if t.is_ident("unsafe_code")
+                && i >= 2
+                && file.toks[i - 1].is_punct('(')
+                && file.toks[i - 2].is_ident("allow")
+            {
+                diags.push(Diagnostic::at(
+                    &file.rel,
+                    t.line,
+                    t.col,
+                    "unsafe-surface",
+                    "`allow(unsafe_code)` re-opens the unsafe escape hatch; \
+                     the workspace denies it"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    for m in &ws.manifests {
+        if m.rel.starts_with(SANCTIONED) {
+            continue;
+        }
+        check_manifest(&m.rel, &m.text, diags);
+    }
+}
+
+/// Flags crate-local `[lints.rust]`/`[lints.clippy]` tables and
+/// `[lints]` sections that do anything but inherit the workspace wall.
+/// `[workspace.lints.*]` (the wall itself, in the root manifest) is
+/// allowed.
+fn check_manifest(rel: &str, text: &str, diags: &mut Vec<Diagnostic>) {
+    let mut in_lints_inherit = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        if line.starts_with('[') {
+            in_lints_inherit = line == "[lints]";
+            if line.starts_with("[lints.") {
+                diags.push(Diagnostic::at(
+                    rel,
+                    lineno,
+                    1,
+                    "unsafe-surface",
+                    format!(
+                        "crate-local `{line}` table overrides the workspace lint \
+                         wall; use `[lints] workspace = true`"
+                    ),
+                ));
+            }
+            continue;
+        }
+        if in_lints_inherit && !line.is_empty() && line != "workspace = true" {
+            diags.push(Diagnostic::at(
+                rel,
+                lineno,
+                1,
+                "unsafe-surface",
+                format!("`[lints]` must contain exactly `workspace = true`, found `{line}`"),
+            ));
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! Report rendering: human `file:line:col` diagnostics and a
-//! machine-readable JSON document.
+//! Report rendering: human `file:line:col` diagnostics, a
+//! machine-readable JSON document, and a SARIF 2.1.0 log for code
+//! scanning UIs.
 
-use crate::lint::{Diagnostic, RULES};
+use crate::lint::{severity_for, Diagnostic, RULES};
 use serde_json::Value;
 
 /// Renders diagnostics as `file:line:col [rule] message` lines plus a
@@ -39,10 +40,10 @@ fn distinct_files(diags: &[Diagnostic]) -> usize {
 
 /// Renders the machine-readable JSON report.
 ///
-/// Shape: `{"version": 1, "files_scanned": N, "total": N,
+/// Shape (version 2): `{"version": 2, "files_scanned": N, "total": N,
 /// "counts": {rule: N, ...}, "diagnostics": [{file, line, col, rule,
-/// message}, ...]}`. Every rule id appears in `counts`, zero or not, so
-/// consumers never need existence checks.
+/// severity, message}, ...]}`. Every rule id appears in `counts`, zero
+/// or not, so consumers never need existence checks.
 #[must_use]
 pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     let mut counts = Value::Object(Vec::new());
@@ -58,12 +59,13 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
             v["line"] = Value::from(d.line);
             v["col"] = Value::from(d.col);
             v["rule"] = Value::from(d.rule);
+            v["severity"] = Value::from(d.severity);
             v["message"] = Value::from(d.message.as_str());
             v
         })
         .collect();
     let mut report = Value::Object(Vec::new());
-    report["version"] = Value::from(1u32);
+    report["version"] = Value::from(2u32);
     report["files_scanned"] = Value::from(files_scanned);
     report["total"] = Value::from(diags.len());
     report["counts"] = counts;
@@ -71,18 +73,69 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     report.to_string()
 }
 
+/// Renders a minimal SARIF 2.1.0 log: one run, one `xtask-lint`
+/// driver with every rule id registered, one result per diagnostic
+/// with a physical location. Uploadable to code-scanning UIs and
+/// stable enough to diff across runs.
+#[must_use]
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|rule| {
+            let mut r = Value::Object(Vec::new());
+            r["id"] = Value::from(*rule);
+            let mut cfg = Value::Object(Vec::new());
+            cfg["level"] = Value::from(severity_for(rule));
+            r["defaultConfiguration"] = cfg;
+            r
+        })
+        .collect();
+    let results: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            let mut msg = Value::Object(Vec::new());
+            msg["text"] = Value::from(d.message.as_str());
+            let mut artifact = Value::Object(Vec::new());
+            artifact["uri"] = Value::from(d.file.as_str());
+            let mut region = Value::Object(Vec::new());
+            region["startLine"] = Value::from(d.line);
+            region["startColumn"] = Value::from(d.col);
+            let mut physical = Value::Object(Vec::new());
+            physical["artifactLocation"] = artifact;
+            physical["region"] = region;
+            let mut location = Value::Object(Vec::new());
+            location["physicalLocation"] = physical;
+            let mut result = Value::Object(Vec::new());
+            result["ruleId"] = Value::from(d.rule);
+            result["level"] = Value::from(d.severity);
+            result["message"] = msg;
+            result["locations"] = Value::Array(vec![location]);
+            result
+        })
+        .collect();
+    let mut driver = Value::Object(Vec::new());
+    driver["name"] = Value::from("xtask-lint");
+    driver["informationUri"] = Value::from("https://example.invalid/xtask-lint");
+    driver["rules"] = Value::Array(rules);
+    let mut tool = Value::Object(Vec::new());
+    tool["driver"] = driver;
+    let mut run = Value::Object(Vec::new());
+    run["tool"] = tool;
+    run["results"] = Value::Array(results);
+    let mut log = Value::Object(Vec::new());
+    log["version"] = Value::from("2.1.0");
+    log["$schema"] =
+        Value::from("https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-schema-2.1.0.json");
+    log["runs"] = Value::Array(vec![run]);
+    log.to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn diag(rule: &'static str) -> Diagnostic {
-        Diagnostic {
-            file: "crates/x/src/lib.rs".to_string(),
-            line: 3,
-            col: 7,
-            rule,
-            message: "msg".to_string(),
-        }
+        Diagnostic::at("crates/x/src/lib.rs", 3, 7, rule, "msg".to_string())
     }
 
     #[test]
@@ -96,12 +149,37 @@ mod tests {
     fn json_report_shape_holds() {
         let text = render_json(&[diag("no-panic"), diag("float-eq")], 9);
         let v: Value = serde_json::from_str(&text).expect("report parses");
-        assert_eq!(v["version"].as_f64(), Some(1.0));
+        assert_eq!(v["version"].as_f64(), Some(2.0));
         assert_eq!(v["files_scanned"].as_f64(), Some(9.0));
         assert_eq!(v["total"].as_f64(), Some(2.0));
         assert_eq!(v["counts"]["no-panic"].as_f64(), Some(1.0));
-        assert_eq!(v["counts"]["nan-unsafe-cmp"].as_f64(), Some(0.0));
+        assert_eq!(v["counts"]["hot-path-alloc"].as_f64(), Some(0.0));
         assert_eq!(v["diagnostics"][0]["line"].as_f64(), Some(3.0));
+        assert_eq!(v["diagnostics"][0]["severity"].as_str(), Some("error"));
         assert_eq!(v["diagnostics"][1]["rule"].as_str(), Some("float-eq"));
+    }
+
+    #[test]
+    fn sarif_log_registers_rules_and_locates_results() {
+        let text = render_sarif(&[diag("stale-allow")]);
+        let v: Value = serde_json::from_str(&text).expect("log parses");
+        assert_eq!(v["version"].as_str(), Some("2.1.0"));
+        let rules = &v["runs"][0]["tool"]["driver"]["rules"];
+        assert_eq!(
+            rules[RULES.len() - 1]["id"].as_str(),
+            Some(RULES[RULES.len() - 1])
+        );
+        assert!(rules[RULES.len()].is_null());
+        let result = &v["runs"][0]["results"][0];
+        assert_eq!(result["ruleId"].as_str(), Some("stale-allow"));
+        assert_eq!(result["level"].as_str(), Some("warning"));
+        assert_eq!(
+            result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"].as_str(),
+            Some("crates/x/src/lib.rs")
+        );
+        assert_eq!(
+            result["locations"][0]["physicalLocation"]["region"]["startLine"].as_f64(),
+            Some(3.0)
+        );
     }
 }

@@ -1,0 +1,32 @@
+//! Event-accounting fixture: a three-variant accounted enum whose
+//! accounting fn only handles two, an identity counter that is never
+//! incremented, and a stray counter outside the identity with no
+//! marker.
+
+// xtask: accounted-event
+pub enum Event {
+    Scored,
+    Dropped,
+    Degraded,
+}
+
+// xtask: frame-identity: frames == anomalies + normals + missing_bucket
+pub struct Stats {
+    pub frames: u64,
+    pub anomalies: u64,
+    pub normals: u64,
+    pub missing_bucket: u64,
+    pub stray: u64,
+    // xtask: outside-frame-identity
+    pub shadow_frames: u64,
+}
+
+// xtask: accounting(Event)
+pub fn account(stats: &mut Stats, event: &Event) {
+    stats.frames += 1;
+    match event {
+        Event::Scored => stats.anomalies += 1,
+        Event::Dropped => stats.normals += 1,
+        _ => stats.shadow_frames += 1,
+    }
+}

@@ -1,0 +1,8 @@
+//! Allowlist-audit fixture: the unwrap is excused by a reasonless
+//! entry, no float comparison exists for the second entry, and the
+//! typo'd directive below must be reported.
+
+// xtask: frobnicate
+pub fn boom(v: &[u32]) -> u32 {
+    v.first().unwrap()
+}

@@ -1,0 +1,29 @@
+//! Hot-path purity fixture: one seed, a reachable helper with one
+//! allocation, two panic edges, and one blocking lock; a `cold` helper
+//! and an unreachable function that must stay silent.
+
+// xtask: hot-path
+pub fn hot_entry(data: &[f32], out: &mut Scratch, mu: &Mutex) {
+    helper(data, out, mu);
+}
+
+pub fn helper(data: &[f32], out: &mut Scratch, mu: &Mutex) {
+    let scratch = Vec::new();
+    let first = data.first().unwrap();
+    let second = data[1];
+    let guard = mu.lock();
+    out.store(scratch, first, second, guard);
+    cold_helper(out);
+}
+
+// xtask: cold
+pub fn cold_helper(out: &mut Scratch) {
+    let rebuilt = vec![00f32; 4];
+    out.swap(rebuilt);
+}
+
+/// Never called from the hot set: its allocation is not a diagnostic.
+pub fn unreachable_helper(data: &[f32]) {
+    let copy = data.to_vec();
+    let _copy = copy;
+}

@@ -1,0 +1,35 @@
+//! Lock-discipline fixture: three `lock-order` violations (one
+//! out-of-order nesting, one recursive acquisition, one undeclared
+//! lock) and one `guard-across-blocking`.
+
+pub struct Shared {
+    pub outer: Mutex,
+    pub inner: Mutex,
+}
+
+/// `inner` is held, then `outer` is acquired — but `outer` ranks first.
+pub fn out_of_order(s: &Shared) {
+    let g1 = s.inner.lock();
+    let g2 = s.outer.lock();
+    let _pair = (g1, g2);
+}
+
+/// Re-acquiring a lock whose guard is live deadlocks a plain mutex.
+pub fn recursive(s: &Shared) {
+    let a = s.outer.lock();
+    let b = s.outer.lock();
+    let _pair = (a, b);
+}
+
+/// A lock that appears in no `acquire` pattern: the manifest is stale.
+pub fn undeclared(m: &Mutex) {
+    let g = m.lock();
+    let _g = g;
+}
+
+/// The guard is live across a channel send; `drop(g)` comes too late.
+pub fn held_across_send(s: &Shared, tx: &Sender) {
+    let g = s.outer.lock();
+    let _ = tx.send(0);
+    drop(g);
+}

@@ -1,0 +1,7 @@
+//! Unsafe-surface fixture: an `unsafe` block and an
+//! `allow(unsafe_code)` attribute outside the sanctioned island.
+#![allow(unsafe_code)]
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

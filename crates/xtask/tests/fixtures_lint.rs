@@ -87,7 +87,7 @@ fn json_report_has_the_documented_shape() {
     let text = render_json(&run.diagnostics, run.files_scanned);
     let v: serde_json::Value = serde_json::from_str(&text).expect("report is valid JSON");
 
-    assert_eq!(v["version"].as_f64(), Some(1.0));
+    assert_eq!(v["version"].as_f64(), Some(2.0));
     assert_eq!(v["files_scanned"].as_f64(), Some(4.0));
     assert_eq!(v["total"].as_f64(), Some(16.0));
     assert_eq!(v["counts"]["no-panic"].as_f64(), Some(10.0));
@@ -95,13 +95,106 @@ fn json_report_has_the_documented_shape() {
     assert_eq!(v["counts"]["nan-unsafe-cmp"].as_f64(), Some(1.0));
     assert_eq!(v["counts"]["unguarded-numeric"].as_f64(), Some(2.0));
 
-    // Diagnostics are sorted (file, line, col) and carry all five keys.
+    // Diagnostics are sorted (file, line, col) and carry all six keys.
     let first = &v["diagnostics"][0];
     assert_eq!(first["file"].as_str(), Some("src/floats.rs"));
     assert_eq!(first["line"].as_f64(), Some(4.0));
     assert_eq!(first["rule"].as_str(), Some("float-eq"));
+    assert_eq!(first["severity"].as_str(), Some("error"));
     assert!(first["col"].as_f64().is_some());
     assert!(first["message"].as_str().is_some());
+}
+
+#[test]
+fn lock_fixture_reports_order_violations_and_blocking_guards() {
+    let run = run_fixture("locks");
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "lock-order"),
+        vec![13, 20, 26],
+        "out-of-order nesting, recursive acquisition, undeclared lock"
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "guard-across-blocking"),
+        vec![33],
+        "guard held across tx.send"
+    );
+    assert_eq!(run.diagnostics.len(), 4);
+}
+
+#[test]
+fn hotpath_fixture_flags_reachable_impurity_only() {
+    let run = run_fixture("hotpath");
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "hot-path-alloc"),
+        vec![11],
+        "Vec::new in the reachable helper"
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "hot-path-panic"),
+        vec![12, 13],
+        "unwrap and plain indexing in the reachable helper"
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "hot-path-lock"),
+        vec![14],
+        "blocking lock in the reachable helper"
+    );
+    // The unwrap also trips the plain no-panic rule; the cold helper's
+    // vec! and the unreachable to_vec stay silent.
+    assert_eq!(count(&run.diagnostics, "no-panic"), 1);
+    assert_eq!(run.diagnostics.len(), 5);
+}
+
+#[test]
+fn accounting_fixture_flags_missing_arm_and_unbalanced_counters() {
+    let run = run_fixture("accounting");
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "event-accounting"),
+        vec![25],
+        "Event::Degraded never lands in a bucket"
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "counter-identity"),
+        vec![18, 19],
+        "missing_bucket never incremented; stray neither in the \
+         identity nor marked outside it"
+    );
+    assert_eq!(run.diagnostics.len(), 3);
+}
+
+#[test]
+fn unsafe_fixture_flags_code_and_manifest_escapes() {
+    let run = run_fixture("unsafe");
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "unsafe-surface"),
+        vec![3, 6],
+        "allow(unsafe_code) attribute and unsafe block"
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "Cargo.toml", "unsafe-surface"),
+        vec![5],
+        "crate-local [lints.rust] table"
+    );
+    assert_eq!(run.diagnostics.len(), 3);
+}
+
+#[test]
+fn allow_audit_fixture_reports_reasonless_stale_and_typoed_entries() {
+    let run = run_fixture("allow-audit");
+    assert_eq!(count(&run.diagnostics, "no-panic"), 0, "unwrap is excused");
+    assert_eq!(
+        lines(&run.diagnostics, "lint-allow.txt", "allow-no-reason"),
+        vec![3]
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "lint-allow.txt", "stale-allow"),
+        vec![4]
+    );
+    assert_eq!(
+        lines(&run.diagnostics, "src/lib.rs", "bad-directive"),
+        vec![5]
+    );
+    assert_eq!(run.diagnostics.len(), 3);
 }
 
 #[test]
