@@ -1,0 +1,94 @@
+//! `red_team` — runs the adversarial red-team sweep
+//! ([`vprofile_experiments::red_team`]) and writes both report twins: the
+//! markdown tables (human review, committed as `RED_TEAM.md`) and the JSON
+//! artifact (machine consumption, uploaded from CI).
+//!
+//! ```text
+//! red_team [--frames N] [--seed S] [--md FILE] [--json FILE]
+//! ```
+//!
+//! The sweep is deterministic in `(seed, frames)`: rerunning with the
+//! defaults reproduces the committed artifacts byte-for-byte.
+
+use std::process::ExitCode;
+use vprofile_experiments::{red_team, red_team_markdown};
+
+struct Options {
+    frames: usize,
+    seed: u64,
+    md: String,
+    json: String,
+}
+
+fn main() -> ExitCode {
+    let mut options = Options {
+        frames: 700,
+        seed: 23,
+        md: "RED_TEAM.md".into(),
+        json: "RED_TEAM.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => options.frames = v,
+                _ => return usage_error("--frames needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--md" => match iter.next() {
+                Some(v) => options.md = v.clone(),
+                None => return usage_error("--md needs a file path"),
+            },
+            "--json" => match iter.next() {
+                Some(v) => options.json = v.clone(),
+                None => return usage_error("--json needs a file path"),
+            },
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    let report = match red_team(options.seed, options.frames) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: red-team sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("error: serializing report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = std::fs::write(&options.json, format!("{json}\n")) {
+        eprintln!("error: writing {}: {err}", options.json);
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::write(&options.md, red_team_markdown(&report)) {
+        eprintln!("error: writing {}: {err}", options.md);
+        return ExitCode::FAILURE;
+    }
+    for cell in &report.cells {
+        let threshold = cell
+            .effort_threshold
+            .map(|e| format!("{e:.2}"))
+            .unwrap_or_else(|| "never".into());
+        eprintln!(
+            "{:<12} {:<14} threshold {threshold}",
+            cell.backend, cell.family
+        );
+    }
+    eprintln!("wrote {} and {}", options.md, options.json);
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("usage: red_team [--frames N] [--seed S] [--md FILE] [--json FILE]");
+    ExitCode::FAILURE
+}

@@ -503,7 +503,7 @@ fn online_update(frames_per_bin: usize, seed: u64) -> Result<String, vprofile::V
 
     // Train both models on half of the cold bin (the held-out half anchors
     // the baseline, see `fig_4_6`).
-    let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test();
+    let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test()?;
     let cold: Vec<_> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let static_model = Trainer::new(config).train_with_lut(&cold, &lut)?;
     let mut online_model = static_model.clone();

@@ -163,6 +163,43 @@ impl TransceiverModel {
         }
     }
 
+    /// Interpolates this device's analog signature toward a victim's by an
+    /// adversarial `effort` knob in `[0, 1]`.
+    ///
+    /// This is the *voltage-mimicry masquerade* threat model: an attacker
+    /// who knows the defense fingerprints transceiver electricals tunes
+    /// their hardware toward the victim's profile. Every parameter the
+    /// fingerprint observes is blended linearly — steady-state dominant and
+    /// recessive levels, the rise/fall natural frequencies and damping
+    /// ratios (transient shape and ringing), the noise floor, edge jitter,
+    /// and the environmental coefficients. At `effort = 0` the attacker
+    /// transmits with their own electricals; at `effort = 1` the device is
+    /// electrically indistinguishable from the victim's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effort` is outside `[0, 1]`.
+    pub fn mimic_toward(&self, victim: &TransceiverModel, effort: f64) -> TransceiverModel {
+        assert!(
+            (0.0..=1.0).contains(&effort),
+            "mimicry effort must be in [0, 1]"
+        );
+        let lerp = |own: f64, target: f64| own + (target - own) * effort;
+        TransceiverModel {
+            dominant_v: lerp(self.dominant_v, victim.dominant_v),
+            recessive_v: lerp(self.recessive_v, victim.recessive_v),
+            rise_omega: lerp(self.rise_omega, victim.rise_omega),
+            rise_zeta: lerp(self.rise_zeta, victim.rise_zeta),
+            fall_omega: lerp(self.fall_omega, victim.fall_omega),
+            fall_zeta: lerp(self.fall_zeta, victim.fall_zeta),
+            noise_sigma_v: lerp(self.noise_sigma_v, victim.noise_sigma_v),
+            edge_jitter_s: lerp(self.edge_jitter_s, victim.edge_jitter_s),
+            temp_level_coeff: lerp(self.temp_level_coeff, victim.temp_level_coeff),
+            temp_omega_coeff: lerp(self.temp_omega_coeff, victim.temp_omega_coeff),
+            supply_level_coeff: lerp(self.supply_level_coeff, victim.supply_level_coeff),
+        }
+    }
+
     /// Returns this device with its environmental sensitivities scaled.
     ///
     /// The thesis observes that temperature affects ECUs very unevenly:
@@ -366,6 +403,28 @@ mod tests {
         let base = device(8);
         assert!((d.temp_level_coeff - 4.0 * base.temp_level_coeff).abs() < 1e-12);
         assert!((d.temp_omega_coeff - 4.0 * base.temp_omega_coeff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mimicry_endpoints_and_monotone_blend() {
+        let attacker = device(11);
+        let victim = device(12);
+        assert_eq!(attacker.mimic_toward(&victim, 0.0), attacker);
+        assert_eq!(attacker.mimic_toward(&victim, 1.0), victim);
+        // The dominant-level gap to the victim shrinks monotonically.
+        let gap = |e: f64| (attacker.mimic_toward(&victim, e).dominant_v - victim.dominant_v).abs();
+        assert!(gap(0.25) > gap(0.5));
+        assert!(gap(0.5) > gap(0.75));
+        // Edge-shape (ringing) parameters blend too.
+        let half = attacker.mimic_toward(&victim, 0.5);
+        let expected = (attacker.rise_zeta + victim.rise_zeta) / 2.0;
+        assert!((half.rise_zeta - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "effort must be in [0, 1]")]
+    fn mimicry_rejects_out_of_range_effort() {
+        let _ = device(1).mimic_toward(&device(2), 1.5);
     }
 
     #[test]

@@ -182,6 +182,18 @@ pub trait DetectionBackend: Send {
         false
     }
 
+    /// How far applied online updates have moved the model away from its
+    /// last trained/installed baseline, as a backend-defined scalar (for
+    /// vProfile: the largest Euclidean displacement of any cluster mean).
+    /// The IDS engine's poisoning drift guard compares this against a
+    /// threshold and quarantines the absorbing sender when it trips — the
+    /// defense-in-depth catch for an attacker walking the §5.3 update
+    /// toward their own signature. Default `0.0` for backends without
+    /// online updates.
+    fn update_drift(&self) -> f64 {
+        0.0
+    }
+
     /// Captures a byte-exact checkpoint of the backend's mutable state for
     /// supervisor restarts.
     fn snapshot(&self) -> BackendSnapshot;
@@ -248,6 +260,7 @@ mod tests {
         backend.apply_pending_updates();
         backend.discard_pending_for(SourceAddress(1));
         assert!(!backend.retrain_due(0));
+        assert!(backend.update_drift().abs() < 1e-12);
     }
 
     #[test]

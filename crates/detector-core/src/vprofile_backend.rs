@@ -47,16 +47,26 @@ pub struct VProfileBackend {
     margin: f64,
     cache: CacheState,
     pending: Vec<LabeledEdgeSet>,
+    /// Cluster means as of the last train/install, the reference the
+    /// poisoning drift guard measures against.
+    baseline_means: Vec<Vec<f64>>,
+}
+
+/// Snapshots every cluster mean of `model` for drift measurement.
+fn baseline_of(model: &Model) -> Vec<Vec<f64>> {
+    model.clusters().iter().map(|c| c.mean().to_vec()).collect()
 }
 
 impl VProfileBackend {
     /// Wraps a trained model with the thesis' threshold margin `k`.
     pub fn new(model: Model, margin: f64) -> Self {
+        let baseline_means = baseline_of(&model);
         VProfileBackend {
             model,
             margin,
             cache: CacheState::Stale,
             pending: Vec::new(),
+            baseline_means,
         }
     }
 
@@ -73,6 +83,7 @@ impl VProfileBackend {
     /// Replaces the model after an external retrain, dropping buffered
     /// updates and invalidating the scoring cache.
     pub fn install_model(&mut self, model: Model) {
+        self.baseline_means = baseline_of(&model);
         self.model = model;
         self.pending.clear();
         self.cache = CacheState::Stale;
@@ -157,6 +168,30 @@ impl DetectionBackend for VProfileBackend {
 
     fn retrain_due(&self, bound: usize) -> bool {
         self.model.needs_retrain(bound)
+    }
+
+    // xtask: cold
+    fn update_drift(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for (cluster, base) in self.model.clusters().iter().zip(&self.baseline_means) {
+            if cluster.mean().len() != base.len() {
+                continue;
+            }
+            let sq: f64 = cluster
+                .mean()
+                .iter()
+                .zip(base)
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum();
+            let d = sq.sqrt();
+            if d > worst {
+                worst = d;
+            }
+        }
+        worst
     }
 
     fn snapshot(&self) -> BackendSnapshot {
@@ -252,6 +287,36 @@ mod tests {
         backend.apply_pending_updates();
         let after: usize = backend.model().clusters().iter().map(|c| c.count()).sum();
         assert_eq!(after, before, "discarded updates must not grow the model");
+    }
+
+    #[test]
+    fn update_drift_tracks_mean_movement_and_resets_on_install() {
+        let (mut backend, observations) = trained();
+        assert!(
+            backend.update_drift().abs() < 1e-12,
+            "fresh model: no drift"
+        );
+
+        // Absorb shifted copies of one SA's observations: the cluster mean
+        // must move and the drift measure must see it.
+        let sa = observations[0].sa;
+        let donors: Vec<&LabeledEdgeSet> = observations
+            .iter()
+            .filter(|o| o.sa == sa)
+            .take(32)
+            .collect();
+        for obs in &donors {
+            let shifted: Vec<f64> = obs.edge_set.samples().iter().map(|s| s + 50.0).collect();
+            backend.absorb(sa, &shifted);
+        }
+        backend.apply_pending_updates();
+        let drifted = backend.update_drift();
+        assert!(drifted > 0.0, "absorbed shift must register as drift");
+
+        // Re-installing a model re-baselines: drift returns to zero.
+        let model = backend.model().clone();
+        backend.install_model(model);
+        assert!(backend.update_drift().abs() < 1e-12, "install resets drift");
     }
 
     #[test]

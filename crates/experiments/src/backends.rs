@@ -187,7 +187,7 @@ pub fn backend_markdown(reports: &[BackendReport]) -> String {
 /// Trains the full backend roster on shared data. Baseline detection
 /// thresholds follow the values their own test suites converge on:
 /// Viden radius 6.0, Scission confidence 0.5, VoltageIDS margin 0.0.
-fn trained_backends(
+pub(crate) fn trained_backends(
     labeled: &[LabeledEdgeSet],
     lut: &BTreeMap<SourceAddress, ClusterId>,
     config: &VProfileConfig,

@@ -309,7 +309,7 @@ pub fn fig_4_6(frames_per_bin: usize, seed: u64) -> Result<Vec<Series>, VProfile
     // Train on half the cold bin; the held-out half provides the baseline
     // distances (out-of-sample, avoiding the covariance-overfit bias that
     // would otherwise inflate every warmer bin's delta uniformly).
-    let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test();
+    let (cold_train, cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test()?;
     let cold: Vec<LabeledEdgeSet> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config).train_with_lut(&cold, &lut)?;
 
@@ -424,7 +424,7 @@ pub fn fig_4_7_and_4_8(
             .ok_or(VProfileError::DataUnavailable {
                 context: "baseline capture for a trial",
             })?;
-        let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test();
+        let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test()?;
         let training: Vec<LabeledEdgeSet> =
             base_train.iter().map(|o| o.observation.clone()).collect();
         let model = Trainer::new(config.clone()).train_with_lut(&training, &lut)?;
@@ -474,7 +474,7 @@ pub fn fig_4_7_and_4_8(
     let (base_train, base_holdout) = first_baseline
         .capture
         .extract(&extractor)
-        .split_train_test();
+        .split_train_test()?;
     let training: Vec<LabeledEdgeSet> = base_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config.clone()).train_with_lut(&training, &lut)?;
     let base_mean = holdout_mean(&model, &base_holdout);

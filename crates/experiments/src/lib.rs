@@ -27,6 +27,7 @@ mod backends;
 pub mod figures;
 mod margin;
 mod metrics;
+mod red_team;
 mod report;
 mod roc;
 mod setup;
@@ -35,6 +36,10 @@ pub mod tables;
 pub use backends::{backend_comparison, backend_markdown, BackendReport, ComparisonError};
 pub use margin::{select_margin, MarginObjective};
 pub use metrics::ConfusionMatrix;
+pub use red_team::{
+    red_team, red_team_markdown, EffortPoint, RedTeamCell, RedTeamReport, ATTACK_FAMILIES, EFFORTS,
+    POISON_DRIFT_THRESHOLD, RECALL_FLOOR,
+};
 pub use report::{markdown_table, Series};
 pub use roc::{confusion_at, roc_curve, RocCurve, RocPoint};
 pub use setup::{evaluate_messages, most_similar_pair, ExperimentFixture, VehicleKind};

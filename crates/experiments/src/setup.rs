@@ -95,7 +95,7 @@ impl ExperimentFixture {
             .with_max_ridge(0.0);
         let extractor = EdgeSetExtractor::new(config.clone());
         let extracted = capture.extract(&extractor);
-        let (train, test) = extracted.split_train_test();
+        let (train, test) = extracted.split_train_test()?;
         let lut = vehicle.sa_lut();
         Ok(ExperimentFixture {
             vehicle,

@@ -301,7 +301,7 @@ pub fn table_4_8(frames_per_bin: usize, seed: u64) -> Result<Table48, VProfileEr
         observations: extract_bin(0),
         failures: 0,
     };
-    let (cold_train, cold_holdout) = cold_extracted.split_train_test();
+    let (cold_train, cold_holdout) = cold_extracted.split_train_test()?;
     let cold: Vec<LabeledEdgeSet> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let trainer = Trainer::new(config.clone());
     let model = trainer.train_with_lut(&cold, &lut)?;
@@ -379,7 +379,7 @@ pub fn table_4_9(frames_per_event: usize, seed: u64) -> Result<ConfusionMatrix, 
     // Train on half the baseline capture, calibrate the margin on the
     // held-out half (see `table_4_8` for why out-of-sample calibration is
     // required with short sessions).
-    let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test();
+    let (base_train, base_holdout) = baseline.capture.extract(&extractor).split_train_test()?;
     let training: Vec<LabeledEdgeSet> = base_train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config).train_with_lut(&training, &lut)?;
     let baseline_replay = false_positive_test(&vprofile_vehicle::ExtractedCapture {
@@ -521,7 +521,7 @@ pub fn table_5_2(frames: usize, seed: u64) -> Result<Vec<SpreadRow>, VProfileErr
     let config3 = fixture.config.clone().with_edge_sets_per_message(3);
     let extractor3 = EdgeSetExtractor::new(config3.clone());
     let extracted3 = fixture.capture.extract(&extractor3);
-    let (train3, _) = extracted3.split_train_test();
+    let (train3, _) = extracted3.split_train_test()?;
     let labeled3: Vec<LabeledEdgeSet> = train3.iter().map(|o| o.observation.clone()).collect();
     let model3 = Trainer::new(config3).train_with_lut(&labeled3, &fixture.lut)?;
     let enhanced_stats = spread_stats(&model3, &train3, fixture.vehicle.ecu_count());

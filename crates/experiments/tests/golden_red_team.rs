@@ -1,0 +1,118 @@
+//! Golden-file regression test for the red-team sweep report.
+//!
+//! Runs the full adversarial sweep at the committed-artifact parameters
+//! (seed 23, 700 frames — the `red_team` binary's defaults, so this also
+//! pins `RED_TEAM.md`), renders markdown + JSON, normalizes every float
+//! token to `{:.6e}`, and diffs against `tests/golden/red_team.md`.
+//!
+//! The sweep is deterministic end to end (the adversary generators are
+//! pure functions of the seed — see `tests/adversary_determinism.rs` in
+//! `vprofile-vehicle`), so any diff here means a behavioural change in a
+//! generator, a backend, or the drift guard, not noise.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p vprofile-experiments --test golden_red_team
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+use vprofile_experiments::{red_team, red_team_markdown, RedTeamReport};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/red_team.md");
+
+/// The markdown twin plus the full JSON twin, exactly what the `red_team`
+/// binary writes, in one snapshot.
+fn render_report(report: &RedTeamReport) -> String {
+    let mut out = red_team_markdown(report);
+    out.push_str("\nFull report (JSON):\n\n```json\n");
+    let _ = write!(
+        out,
+        "{}",
+        serde_json::to_string_pretty(report).expect("serializable report")
+    );
+    out.push_str("\n```\n");
+    out
+}
+
+/// Rewrites every float-looking token (contains `.` or an exponent and
+/// parses as `f64`) to `{:.6e}` so the stored snapshot and the freshly
+/// rendered report compare under one canonical float formatting.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_digit() || matches!(ch, '.' | 'e' | 'E' | '+' | '-') {
+            token.push(ch);
+        } else {
+            flush_token(&mut out, &token);
+            token.clear();
+            out.push(ch);
+        }
+    }
+    flush_token(&mut out, &token);
+    out
+}
+
+fn flush_token(out: &mut String, token: &str) {
+    if token.is_empty() {
+        return;
+    }
+    let is_float = token.contains(['.', 'e', 'E'])
+        && token.starts_with(|c: char| c.is_ascii_digit() || c == '-');
+    match token.parse::<f64>() {
+        Ok(value) if is_float => {
+            let _ = write!(out, "{value:.6e}");
+        }
+        _ => out.push_str(token),
+    }
+}
+
+/// Panics with the first differing line and one line of context per side.
+fn assert_same(golden: &str, fresh: &str) {
+    if golden == fresh {
+        return;
+    }
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    for (i, fresh_line) in fresh_lines.iter().enumerate() {
+        let golden_line = golden_lines.get(i).copied().unwrap_or("<missing>");
+        assert_eq!(
+            golden_line,
+            *fresh_line,
+            "report diverges from golden file at line {} (run with UPDATE_GOLDEN=1 \
+             to accept intentional changes)",
+            i + 1
+        );
+    }
+    panic!(
+        "golden file has {} extra line(s) past line {} (run with UPDATE_GOLDEN=1 \
+         to accept intentional changes)",
+        golden_lines.len() - fresh_lines.len(),
+        fresh_lines.len()
+    );
+}
+
+#[test]
+fn red_team_report_matches_golden() {
+    let report = red_team(23, 700).expect("red-team sweep");
+    let fresh = normalize(&render_report(&report));
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = Path::new(GOLDEN_PATH);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, &fresh).expect("write golden file");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|err| {
+        panic!("cannot read {GOLDEN_PATH}: {err}; generate it with UPDATE_GOLDEN=1")
+    });
+    // Normalizing the stored side too keeps the comparison stable even if
+    // the snapshot was hand-edited with differently formatted floats.
+    assert_same(&normalize(&golden), &fresh);
+}

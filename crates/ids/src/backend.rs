@@ -162,6 +162,11 @@ impl DetectionBackend for Backend {
         delegate!(self, b => b.retrain_due(bound))
     }
 
+    // xtask: cold
+    fn update_drift(&self) -> f64 {
+        delegate!(self, b => b.update_drift())
+    }
+
     fn snapshot(&self) -> BackendSnapshot {
         delegate!(self, b => b.snapshot())
     }

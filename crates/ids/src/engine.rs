@@ -76,6 +76,11 @@ pub struct IdsEngine {
     policy: UpdatePolicy,
     accepted_count: usize,
     quarantine: QuarantineSet,
+    /// Online-update poisoning guard: when set, an applied update that
+    /// moves the model more than this far from its trained baseline
+    /// (backend-defined scalar, see
+    /// [`DetectionBackend::update_drift`]) quarantines the absorbing SA.
+    drift_guard: Option<f64>,
     /// Per-engine reusable buffers; with these, the steady-state
     /// extract-and-score path of [`IdsEngine::process_window`] performs no
     /// heap allocations (the bench crate's counting allocator enforces
@@ -104,8 +109,32 @@ impl IdsEngine {
             policy,
             accepted_count: 0,
             quarantine: QuarantineSet::new(),
+            drift_guard: None,
             scratch: ScratchArena::new(),
         }
+    }
+
+    /// Arms the online-update poisoning guard: after every absorption the
+    /// engine asks the backend how far applied updates have moved the
+    /// model from its trained baseline
+    /// ([`DetectionBackend::update_drift`]); past `threshold`, the
+    /// absorbing SA is quarantined (degraded mode for that sender) and its
+    /// buffered updates are discarded. This is the engine-level catch for
+    /// a compromised ECU feeding slowly-drifting frames into `absorb` to
+    /// walk the §5.3 update toward its own signature: each step can stay
+    /// individually acceptable, but the accumulated displacement cannot.
+    ///
+    /// Release is the operator's call ([`IdsEngine::release_sa`]) or a
+    /// model reinstall ([`IdsEngine::install_model`]), both of which
+    /// re-baseline the drift measure.
+    pub fn with_drift_guard(mut self, threshold: f64) -> Self {
+        self.drift_guard = Some(threshold);
+        self
+    }
+
+    /// The armed drift-guard threshold, if any.
+    pub fn drift_guard(&self) -> Option<f64> {
+        self.drift_guard
     }
 
     /// The framing/extraction configuration the engine was built with.
@@ -219,6 +248,7 @@ impl IdsEngine {
                     self.accepted_count += 1;
                     if self.accepted_count.is_multiple_of(self.policy.interval) {
                         self.backend.absorb(sa, &self.scratch.edge_set);
+                        self.drift_guard_check(sa);
                     }
                     retrain_due = self.backend.retrain_due(self.policy.retrain_bound);
                 }
@@ -249,6 +279,20 @@ impl IdsEngine {
     // xtask: cold
     pub fn apply_pending_updates(&mut self) {
         self.backend.apply_pending_updates();
+    }
+
+    /// Trips the poisoning drift guard: quarantines `sa` (and drops its
+    /// buffered updates) once applied online updates have displaced the
+    /// model past the armed threshold.
+    // xtask: cold
+    fn drift_guard_check(&mut self, sa: SourceAddress) {
+        let Some(threshold) = self.drift_guard else {
+            return;
+        };
+        if self.backend.update_drift() > threshold {
+            self.quarantine.insert(sa.0);
+            self.backend.discard_pending_for(sa);
+        }
     }
 }
 

@@ -1,0 +1,567 @@
+//! Adversarial attack families beyond the thesis' three tests: attacker
+//! models that *know the defense* and spend effort evading it.
+//!
+//! The [`crate::attack`] module replays the thesis workloads (hijack
+//! imitation, foreign device, bus-off takeover) with attacker hardware
+//! that makes no attempt to look like the victim. The generators here model
+//! the stronger adversary the red-team harness sweeps:
+//!
+//! * [`mimicry_masquerade_test`] — a **voltage-mimicry masquerade**: an
+//!   external device whose analog signature interpolates from its own
+//!   profile toward the victim's by an `effort ∈ [0, 1]` knob
+//!   ([`TransceiverModel::mimic_toward`]), transmitting under the victim's
+//!   source address;
+//! * [`drift_window_attack_test`] — **drift-window timing**: the same
+//!   masquerade, but injected inside a thermal-drift window (the coldest
+//!   §4.4.1 temperature bin) where every profile has moved off its trained
+//!   geometry and Mahalanobis distances are already inflated;
+//! * [`bus_off_mimicry_test`] — **bus-off forcing**: the attacker drives
+//!   the victim off the bus first (the fault-confinement arithmetic of
+//!   [`vprofile_can::fault`]), then impersonates it with mimicry-tuned
+//!   hardware, so the observed profile mix shifts before the masquerade
+//!   begins;
+//! * [`update_poisoning_capture`] — **online-update poisoning**: a
+//!   compromised ECU emits frames whose electricals drift slowly from the
+//!   victim's signature toward the attacker's, walking the §5.3 online
+//!   update toward acceptance of the attacker. The engine's drift guard
+//!   (quarantine/degraded mode) must catch this.
+//!
+//! Every generator is a pure function of its seed: identical inputs
+//! reproduce byte-identical outputs (pinned by the serialized-JSON
+//! property tests in `tests/adversary_determinism.rs`, mirroring the
+//! `chaos_*` twin-capture guarantee).
+
+use crate::attack::{BusOffReport, TestMessage};
+use crate::{Capture, CaptureConfig, CapturedFrame, Vehicle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vprofile::{EdgeSetExtractor, LabeledEdgeSet, VProfileConfig};
+use vprofile_analog::{Environment, FrameSynthesizer, TransceiverModel};
+use vprofile_can::{DataFrame, WireFrame};
+
+/// Seed salt for the attacker's own device draw.
+const ATTACKER_SALT: u64 = 0xAD5A_517E;
+/// Seed salt for masquerade payloads and noise.
+const MASQUERADE_SALT: u64 = 0x3A5C_AB1E;
+/// Seed salt for the drift-window background capture.
+const DRIFT_SALT: u64 = 0xD21F_7155;
+/// Seed salt for poisoning payloads and noise.
+const POISON_SALT: u64 = 0x9015_00ED;
+
+/// Midpoint of the coldest §4.4.1 temperature bin (−5 °C to 0 °C), the
+/// drift window where trained profile geometry is loosest.
+pub const DRIFT_WINDOW_TEMP_C: f64 = -2.5;
+
+/// Parameters of one adversarial campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryPlan {
+    /// Index of the ECU whose identity the attacker assumes.
+    pub victim_ecu: usize,
+    /// Mimicry effort in `[0, 1]`: how far the attacker's electricals are
+    /// tuned toward the victim's (see [`TransceiverModel::mimic_toward`]).
+    /// For [`update_poisoning_capture`] this is the final walk depth of
+    /// the poisoned signature toward the attacker's.
+    pub effort: f64,
+    /// Seed for the attacker device draw, payloads, and analog noise.
+    pub seed: u64,
+}
+
+impl AdversaryPlan {
+    /// A campaign against `victim_ecu` at the given effort and seed.
+    pub fn new(victim_ecu: usize, effort: f64, seed: u64) -> Self {
+        AdversaryPlan {
+            victim_ecu,
+            effort,
+            seed,
+        }
+    }
+}
+
+/// Failure modes of the adversarial generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryError {
+    /// The plan names an ECU index the vehicle does not have.
+    NoSuchEcu {
+        /// The requested index.
+        ecu: usize,
+        /// Number of ECUs on the vehicle.
+        count: usize,
+    },
+    /// The victim ECU has no message schedule to impersonate.
+    NoSchedule {
+        /// The victim index.
+        ecu: usize,
+    },
+    /// A synthesized attack frame could not be assembled or decoded back
+    /// through Algorithm 1 (carries the underlying context).
+    Synthesis(String),
+    /// The underlying background capture failed.
+    Capture(String),
+}
+
+impl std::fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryError::NoSuchEcu { ecu, count } => {
+                write!(f, "victim ECU {ecu} does not exist (vehicle has {count})")
+            }
+            AdversaryError::NoSchedule { ecu } => {
+                write!(f, "victim ECU {ecu} has no message schedule")
+            }
+            AdversaryError::Synthesis(context) => write!(f, "attack synthesis failed: {context}"),
+            AdversaryError::Capture(context) => write!(f, "background capture failed: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
+/// The ground-truth `true_ecu` value the generators assign to frames
+/// physically transmitted by the external adversary device: one past the
+/// vehicle's last ECU index, so it never collides with a real ECU.
+pub fn external_attacker_id(vehicle: &Vehicle) -> usize {
+    vehicle.ecu_count()
+}
+
+/// Draws the attacker's device and tunes it toward the victim's profile by
+/// `plan.effort`.
+///
+/// The attacker's *own* electricals come from the full manufacturing
+/// distribution (a foreign device, not one of the vehicle's ECUs), seeded
+/// by `plan.seed` so campaigns reproduce.
+///
+/// # Errors
+///
+/// [`AdversaryError::NoSuchEcu`] when `plan.victim_ecu` is out of range.
+pub fn mimicry_attacker(
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+) -> Result<TransceiverModel, AdversaryError> {
+    let victim = vehicle
+        .ecus()
+        .get(plan.victim_ecu)
+        .ok_or(AdversaryError::NoSuchEcu {
+            ecu: plan.victim_ecu,
+            count: vehicle.ecu_count(),
+        })?;
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ ATTACKER_SALT);
+    let own = TransceiverModel::sample_new(&mut rng);
+    Ok(own.mimic_toward(&victim.transceiver, plan.effort))
+}
+
+/// Synthesizes one attack frame under a victim schedule with the given
+/// transceiver and extracts its edge set.
+fn synth_observation(
+    synth: &FrameSynthesizer,
+    extractor: &EdgeSetExtractor,
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+    schedule_idx: usize,
+    transceiver: &TransceiverModel,
+    env: &Environment,
+    rng: &mut StdRng,
+) -> Result<LabeledEdgeSet, AdversaryError> {
+    let victim = vehicle
+        .ecus()
+        .get(plan.victim_ecu)
+        .ok_or(AdversaryError::NoSuchEcu {
+            ecu: plan.victim_ecu,
+            count: vehicle.ecu_count(),
+        })?;
+    if victim.schedules.is_empty() {
+        return Err(AdversaryError::NoSchedule {
+            ecu: plan.victim_ecu,
+        });
+    }
+    let schedule = &victim.schedules[schedule_idx % victim.schedules.len()];
+    let mut payload = [0u8; 8];
+    rng.fill(&mut payload[..]);
+    let frame = DataFrame::new(schedule.id().into(), &payload[..schedule.dlc])
+        .map_err(|e| AdversaryError::Synthesis(format!("frame assembly: {e:?}")))?;
+    let wire = WireFrame::encode(&frame);
+    let trace = synth.synthesize(wire.bits(), transceiver, env, rng);
+    extractor
+        .extract(&trace.to_f64())
+        .map_err(|e| AdversaryError::Synthesis(format!("edge-set extraction: {e}")))
+}
+
+/// Shared masquerade core: replays `capture` as clean background and
+/// interleaves `attacks` mimicry frames synthesized under `env`.
+fn masquerade_into(
+    capture: &Capture,
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+    attacks: usize,
+    env: &Environment,
+) -> Result<Vec<TestMessage>, AdversaryError> {
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extractor = EdgeSetExtractor::new(config);
+    let synth = FrameSynthesizer::new(capture.bit_rate_bps(), *capture.adc());
+    let attacker = mimicry_attacker(vehicle, plan)?;
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ MASQUERADE_SALT);
+
+    let mut messages: Vec<TestMessage> = capture
+        .extract(&extractor)
+        .observations
+        .into_iter()
+        .map(|obs| TestMessage {
+            observation: obs.observation,
+            is_attack: false,
+            true_ecu: obs.true_ecu,
+        })
+        .collect();
+
+    // Interleave injections evenly through the background so every part of
+    // the session sees attack traffic, then let the seeded payloads and
+    // noise carry the per-frame randomness.
+    let background = messages.len();
+    for k in 0..attacks {
+        let observation = synth_observation(
+            &synth, &extractor, vehicle, plan, k, &attacker, env, &mut rng,
+        )?;
+        let slot = ((k + 1) * background) / (attacks + 1) + k;
+        messages.insert(
+            slot.min(messages.len()),
+            TestMessage {
+                observation,
+                is_attack: true,
+                true_ecu: external_attacker_id(vehicle),
+            },
+        );
+    }
+    Ok(messages)
+}
+
+/// Builds the voltage-mimicry masquerade test: `capture` replays as clean
+/// background while an external attacker injects `attacks` frames under
+/// the victim's source address, with electricals tuned `plan.effort` of
+/// the way toward the victim's profile.
+///
+/// At `effort = 0` this degenerates to the foreign-device test (the
+/// attacker's raw signature under the victim's SA); at `effort = 1` the
+/// injected frames are electrically indistinguishable from the victim's
+/// own — no voltage fingerprint can separate them, which is exactly the
+/// ceiling the detection-rate-vs-effort curves measure.
+///
+/// # Errors
+///
+/// [`AdversaryError`] for an out-of-range victim or a synthesis failure.
+pub fn mimicry_masquerade_test(
+    capture: &Capture,
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+    attacks: usize,
+) -> Result<Vec<TestMessage>, AdversaryError> {
+    masquerade_into(capture, vehicle, plan, attacks, capture.env())
+}
+
+/// Builds the drift-window timing attack: the masquerade of
+/// [`mimicry_masquerade_test`], but the whole session — background *and*
+/// injections — runs inside the coldest §4.4.1 thermal bin
+/// ([`DRIFT_WINDOW_TEMP_C`]). Against a model trained at reference
+/// temperature, every legitimate profile has drifted, distances are
+/// inflated, and the attacker needs less effort to hide inside the
+/// loosened geometry.
+///
+/// # Errors
+///
+/// [`AdversaryError`] for an out-of-range victim, a capture failure, or a
+/// synthesis failure.
+pub fn drift_window_attack_test(
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+    frames: usize,
+    attacks: usize,
+) -> Result<Vec<TestMessage>, AdversaryError> {
+    let env = Environment::idling_at(DRIFT_WINDOW_TEMP_C);
+    let config = CaptureConfig::default()
+        .with_frames(frames)
+        .with_seed(plan.seed ^ DRIFT_SALT)
+        .with_env(env);
+    let capture = vehicle
+        .capture(&config)
+        .map_err(|e| AdversaryError::Capture(e.to_string()))?;
+    masquerade_into(&capture, vehicle, plan, attacks, &env)
+}
+
+/// Builds the bus-off forcing campaign with a mimicry-equipped attacker:
+/// phase 1 corrupts the victim's transmissions until fault confinement
+/// forces it bus-off (shifting the observed profile mix — the victim
+/// vanishes from the bus); phase 2 re-synthesizes every silenced victim
+/// frame with the attacker's mimicry-tuned transceiver and replays it
+/// under the victim's SA.
+///
+/// Unlike [`crate::attack::bus_off_takeover_test`], which replays donor
+/// edge sets from the attacker's own clean traffic, the takeover frames
+/// here are *physically synthesized* at the plan's mimicry effort, so the
+/// red-team harness can sweep how much tuning the takeover needs to stick.
+///
+/// # Errors
+///
+/// [`AdversaryError`] for an out-of-range victim or a synthesis failure.
+pub fn bus_off_mimicry_test(
+    capture: &Capture,
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+) -> Result<(Vec<TestMessage>, BusOffReport), AdversaryError> {
+    use vprofile_can::fault::{ErrorCounters, ErrorEvent};
+
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extractor = EdgeSetExtractor::new(config);
+    let synth = FrameSynthesizer::new(capture.bit_rate_bps(), *capture.adc());
+    let attacker = mimicry_attacker(vehicle, plan)?;
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ MASQUERADE_SALT);
+
+    let mut counters = ErrorCounters::new();
+    let mut messages = Vec::with_capacity(capture.len());
+    let mut report = BusOffReport {
+        frames_sacrificed: 0,
+        frames_taken_over: 0,
+    };
+    for cf in capture.frames() {
+        if cf.true_ecu != plan.victim_ecu {
+            // Bystander traffic replays unchanged.
+            if let Ok(observation) = extractor.extract(&cf.trace.to_f64()) {
+                messages.push(TestMessage {
+                    observation,
+                    is_attack: false,
+                    true_ecu: cf.true_ecu,
+                });
+            }
+            continue;
+        }
+        if !counters.is_bus_off() {
+            // Phase 1: the attacker corrupts this victim transmission; the
+            // frame never completes and the victim's TEC climbs.
+            counters.record(ErrorEvent::TransmitError);
+            report.frames_sacrificed += 1;
+            continue;
+        }
+        // Phase 2: the victim is off the bus; the attacker transmits the
+        // victim's own message with mimicry-tuned hardware.
+        let wire = WireFrame::encode(&cf.frame);
+        let trace = synth.synthesize(wire.bits(), &attacker, capture.env(), &mut rng);
+        let observation = extractor
+            .extract(&trace.to_f64())
+            .map_err(|e| AdversaryError::Synthesis(format!("takeover extraction: {e}")))?;
+        messages.push(TestMessage {
+            observation,
+            is_attack: true,
+            true_ecu: external_attacker_id(vehicle),
+        });
+        report.frames_taken_over += 1;
+    }
+    Ok((messages, report))
+}
+
+/// Builds the online-update poisoning capture: `frames` frames under the
+/// victim's first source address whose electricals start at the victim's
+/// exact signature and drift *linearly* toward the attacker's, reaching a
+/// final blend of `plan.effort` on the last frame.
+///
+/// Fed through an engine with online updates enabled, early frames are
+/// accepted and absorbed; each §5.3 retrain cycle then re-centers the
+/// cluster slightly toward the attacker, keeping the next, further-drifted
+/// frames inside the accept region — the classic boiling-the-frog
+/// poisoning walk. Stealth is the `frames` knob: the same walk spread over
+/// more frames moves less per retrain cycle and stays under the drift
+/// guard longer.
+///
+/// The returned [`Capture`] replays like any other (same ADC, bit rate,
+/// environment), so it drives the full framer → extractor → backend path.
+///
+/// # Errors
+///
+/// [`AdversaryError`] for an out-of-range victim or a synthesis failure.
+pub fn update_poisoning_capture(
+    vehicle: &Vehicle,
+    plan: &AdversaryPlan,
+    frames: usize,
+) -> Result<Capture, AdversaryError> {
+    let victim = vehicle
+        .ecus()
+        .get(plan.victim_ecu)
+        .ok_or(AdversaryError::NoSuchEcu {
+            ecu: plan.victim_ecu,
+            count: vehicle.ecu_count(),
+        })?;
+    let schedule = victim.schedules.first().ok_or(AdversaryError::NoSchedule {
+        ecu: plan.victim_ecu,
+    })?;
+    let env = Environment::default();
+    let synth = FrameSynthesizer::new(vehicle.bit_rate_bps(), *vehicle.adc());
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ POISON_SALT);
+    let attacker = mimicry_attacker(
+        vehicle,
+        &AdversaryPlan {
+            effort: 0.0,
+            ..*plan
+        },
+    )?;
+    let period_bits = schedule.period_bits(vehicle.bit_rate_bps());
+
+    let mut captured = Vec::with_capacity(frames);
+    for k in 0..frames {
+        // Walk fraction ramps 0 → plan.effort across the session.
+        let blend = if frames <= 1 {
+            plan.effort
+        } else {
+            plan.effort * k as f64 / (frames - 1) as f64
+        };
+        let tx = victim.transceiver.mimic_toward(&attacker, blend);
+        let mut payload = [0u8; 8];
+        rng.fill(&mut payload[..]);
+        let frame = DataFrame::new(schedule.id().into(), &payload[..schedule.dlc])
+            .map_err(|e| AdversaryError::Synthesis(format!("poison frame assembly: {e:?}")))?;
+        let wire = WireFrame::encode(&frame);
+        let trace = synth.synthesize(wire.bits(), &tx, &env, &mut rng);
+        captured.push(CapturedFrame {
+            frame,
+            true_ecu: external_attacker_id(vehicle),
+            start_bit_time: k as u64 * period_bits,
+            trace,
+        });
+    }
+    Ok(Capture::from_frames(
+        format!("{} (update poisoning)", vehicle.name()),
+        vehicle.bit_rate_bps(),
+        *vehicle.adc(),
+        env,
+        captured,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::stress_fleet;
+
+    fn small_setup() -> (Vehicle, Capture) {
+        let vehicle = stress_fleet(3, 41);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(24).with_seed(41))
+            .unwrap();
+        (vehicle, capture)
+    }
+
+    #[test]
+    fn mimicry_attacker_effort_endpoints() {
+        let (vehicle, _) = small_setup();
+        let victim_tx = &vehicle.ecus()[0].transceiver;
+        let zero = mimicry_attacker(&vehicle, &AdversaryPlan::new(0, 0.0, 7)).unwrap();
+        let full = mimicry_attacker(&vehicle, &AdversaryPlan::new(0, 1.0, 7)).unwrap();
+        assert_ne!(
+            &zero, victim_tx,
+            "zero effort keeps the attacker's own device"
+        );
+        assert_eq!(&full, victim_tx, "full effort clones the victim");
+    }
+
+    #[test]
+    fn masquerade_interleaves_marked_attacks() {
+        let (vehicle, capture) = small_setup();
+        let plan = AdversaryPlan::new(0, 0.5, 7);
+        let test = mimicry_masquerade_test(&capture, &vehicle, &plan, 6).unwrap();
+        let attacks: Vec<&TestMessage> = test.iter().filter(|m| m.is_attack).collect();
+        assert_eq!(attacks.len(), 6);
+        let victim_sa = vehicle.ecus()[0].schedules[0].sa;
+        for attack in &attacks {
+            assert_eq!(
+                attack.observation.sa, victim_sa,
+                "attacks claim the victim SA"
+            );
+            assert_eq!(attack.true_ecu, external_attacker_id(&vehicle));
+        }
+        // Background survives intact.
+        assert_eq!(test.len() - attacks.len(), capture.len());
+        // Injections are spread out, not clumped at one end.
+        let positions: Vec<usize> = test
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_attack)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(positions[0] < test.len() / 2);
+        assert!(*positions.last().unwrap() > test.len() / 2);
+    }
+
+    #[test]
+    fn masquerade_is_deterministic_per_seed() {
+        let (vehicle, capture) = small_setup();
+        let plan = AdversaryPlan::new(1, 0.3, 99);
+        let a = mimicry_masquerade_test(&capture, &vehicle, &plan, 4).unwrap();
+        let b = mimicry_masquerade_test(&capture, &vehicle, &plan, 4).unwrap();
+        assert_eq!(a, b);
+        let other =
+            mimicry_masquerade_test(&capture, &vehicle, &AdversaryPlan::new(1, 0.3, 100), 4)
+                .unwrap();
+        assert_ne!(a, other, "a different seed draws a different attacker");
+    }
+
+    #[test]
+    fn drift_window_runs_in_the_cold_bin() {
+        let (vehicle, _) = small_setup();
+        let plan = AdversaryPlan::new(0, 0.4, 5);
+        let test = drift_window_attack_test(&vehicle, &plan, 16, 4).unwrap();
+        assert_eq!(test.iter().filter(|m| m.is_attack).count(), 4);
+        assert_eq!(test.iter().filter(|m| !m.is_attack).count(), 16);
+    }
+
+    #[test]
+    fn bus_off_mimicry_follows_fault_arithmetic() {
+        let (vehicle, _) = small_setup();
+        // A longer capture so the victim has more than 32 frames to lose.
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(160).with_seed(3))
+            .unwrap();
+        let victim_frames = capture.frames().iter().filter(|f| f.true_ecu == 0).count();
+        assert!(victim_frames > 32, "setup: victim needs > 32 frames");
+        let plan = AdversaryPlan::new(0, 0.8, 3);
+        let (messages, report) = bus_off_mimicry_test(&capture, &vehicle, &plan).unwrap();
+        assert_eq!(report.frames_sacrificed, 32, "fresh node bus-off budget");
+        assert_eq!(report.frames_taken_over, victim_frames - 32);
+        let attacks = messages.iter().filter(|m| m.is_attack).count();
+        assert_eq!(attacks, report.frames_taken_over);
+        // Takeover frames claim the victim's SA but carry attacker hardware.
+        let victim_sa = vehicle.ecus()[0].schedules[0].sa;
+        for m in messages.iter().filter(|m| m.is_attack) {
+            assert_eq!(m.observation.sa, victim_sa);
+            assert_eq!(m.true_ecu, external_attacker_id(&vehicle));
+        }
+    }
+
+    #[test]
+    fn poisoning_capture_drifts_monotonically_toward_attacker() {
+        let (vehicle, _) = small_setup();
+        let plan = AdversaryPlan::new(0, 1.0, 13);
+        let poison = update_poisoning_capture(&vehicle, &plan, 30).unwrap();
+        assert_eq!(poison.len(), 30);
+        // The dominant level walks monotonically from the victim's toward
+        // the attacker's: compare first and last frames' peak codes.
+        let peak = |cf: &CapturedFrame| cf.trace.codes().iter().copied().max().unwrap();
+        let victim_like = peak(&poison.frames()[0]);
+        let attacker_like = peak(&poison.frames()[29]);
+        assert_ne!(
+            victim_like, attacker_like,
+            "the walk must move the signature"
+        );
+        // Deterministic per seed.
+        let again = update_poisoning_capture(&vehicle, &plan, 30).unwrap();
+        assert_eq!(poison, again);
+    }
+
+    #[test]
+    fn generators_reject_missing_victims() {
+        let (vehicle, capture) = small_setup();
+        let plan = AdversaryPlan::new(99, 0.5, 1);
+        assert!(matches!(
+            mimicry_attacker(&vehicle, &plan),
+            Err(AdversaryError::NoSuchEcu { ecu: 99, .. })
+        ));
+        assert!(mimicry_masquerade_test(&capture, &vehicle, &plan, 2).is_err());
+        assert!(update_poisoning_capture(&vehicle, &plan, 4).is_err());
+        let err = AdversaryError::NoSuchEcu { ecu: 99, count: 3 };
+        assert!(err.to_string().contains("99"));
+    }
+}

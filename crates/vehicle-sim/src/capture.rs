@@ -2,7 +2,8 @@ use crate::Vehicle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use vprofile::{EdgeSetExtractor, LabeledEdgeSet};
+use std::collections::BTreeMap;
+use vprofile::{EdgeSetExtractor, LabeledEdgeSet, VProfileError};
 use vprofile_analog::{AdcConfig, AnalogError, Environment, FrameSynthesizer, VoltageTrace};
 use vprofile_can::bus::BusSimulator;
 use vprofile_can::{DataFrame, WireFrame};
@@ -333,7 +334,34 @@ impl ExtractedCapture {
 
     /// Splits into train/test halves by interleaving (even indices train,
     /// odd test), preserving per-ECU balance.
-    pub fn split_train_test(&self) -> (Vec<TruthObservation>, Vec<TruthObservation>) {
+    ///
+    /// # Errors
+    ///
+    /// [`VProfileError::DataUnavailable`] if the extraction holds no
+    /// observations at all, and [`VProfileError::NotEnoughTrainingData`]
+    /// if any source address appears fewer than twice — an interleaved
+    /// split would then silently leave that SA out of the train or the
+    /// test half, and every downstream per-SA metric over the missing
+    /// half would be computed on nothing.
+    pub fn split_train_test(
+        &self,
+    ) -> Result<(Vec<TruthObservation>, Vec<TruthObservation>), VProfileError> {
+        if self.observations.is_empty() {
+            return Err(VProfileError::DataUnavailable {
+                context: "train/test split of an empty extraction",
+            });
+        }
+        let mut per_sa: BTreeMap<u8, usize> = BTreeMap::new();
+        for obs in &self.observations {
+            *per_sa.entry(obs.observation.sa.raw()).or_insert(0) += 1;
+        }
+        if let Some((&sa, &have)) = per_sa.iter().find(|(_, &have)| have < 2) {
+            return Err(VProfileError::NotEnoughTrainingData {
+                cluster: format!("SA 0x{sa:02X}"),
+                have,
+                need: 2,
+            });
+        }
         let mut train = Vec::new();
         let mut test = Vec::new();
         for (i, obs) in self.observations.iter().enumerate() {
@@ -343,7 +371,7 @@ impl ExtractedCapture {
                 test.push(obs.clone());
             }
         }
-        (train, test)
+        Ok((train, test))
     }
 }
 
@@ -440,14 +468,65 @@ mod tests {
         assert_eq!(extracted.failures, 0);
     }
 
+    /// A capture long enough that every scheduled SA shows up at least
+    /// twice — the 40-frame `small_capture` leaves the rarest SA with one
+    /// observation, which `split_train_test` now rejects by design.
+    fn splittable_capture() -> Capture {
+        let vehicle = Vehicle::vehicle_b(3);
+        vehicle
+            .capture(&CaptureConfig::default().with_frames(160).with_seed(9))
+            .unwrap()
+    }
+
     #[test]
     fn split_train_test_balances_order() {
-        let (_, capture) = small_capture();
+        let capture = splittable_capture();
         let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
         let extracted = capture.extract(&EdgeSetExtractor::new(config));
-        let (train, test) = extracted.split_train_test();
+        let (train, test) = extracted.split_train_test().unwrap();
         assert_eq!(train.len() + test.len(), extracted.observations.len());
         assert!((train.len() as i64 - test.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn split_train_test_rejects_underrepresented_sas() {
+        let capture = splittable_capture();
+        let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+        let extracted = capture.extract(&EdgeSetExtractor::new(config));
+
+        // Empty extraction: typed error, not an empty split.
+        let empty = ExtractedCapture {
+            observations: Vec::new(),
+            failures: 0,
+        };
+        assert!(matches!(
+            empty.split_train_test(),
+            Err(VProfileError::DataUnavailable { .. })
+        ));
+
+        // A single observation for one SA: previously this silently
+        // produced an empty test set; now it names the starved SA.
+        let lone = ExtractedCapture {
+            observations: vec![extracted.observations[0].clone()],
+            failures: 0,
+        };
+        let err = lone.split_train_test().unwrap_err();
+        match err {
+            VProfileError::NotEnoughTrainingData {
+                cluster,
+                have,
+                need,
+            } => {
+                let sa = extracted.observations[0].observation.sa.raw();
+                assert_eq!(cluster, format!("SA 0x{sa:02X}"));
+                assert_eq!(have, 1);
+                assert_eq!(need, 2);
+            }
+            other => panic!("expected NotEnoughTrainingData, got {other:?}"),
+        }
+
+        // A healthy capture still splits.
+        assert!(extracted.split_train_test().is_ok());
     }
 
     #[test]

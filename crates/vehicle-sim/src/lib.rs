@@ -20,12 +20,15 @@
 //! A [`CaptureSession`](CaptureConfig) replays scheduled traffic through
 //! arbitration and renders every transmitted frame to a [`CapturedFrame`]
 //! voltage trace. [`attack`] builds the three thesis test sets (false
-//! positive, hijack imitation, foreign device imitation) and [`scenario`]
+//! positive, hijack imitation, foreign device imitation), [`adversary`]
+//! the red-team attack families (voltage-mimicry masquerade, drift-window
+//! timing, bus-off forcing, online-update poisoning), and [`scenario`]
 //! drives the environmental sweeps of §4.4.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod attack;
 mod capture;
 mod ecu;

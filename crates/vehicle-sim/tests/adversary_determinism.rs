@@ -1,0 +1,107 @@
+//! Determinism pins for every adversarial generator (ISSUE 7 satellite):
+//! the same u64 seed must reproduce a byte-identical artifact — compared
+//! as serialized JSON so every float bit matters — and a different seed
+//! must not, mirroring the `chaos_*` twin-capture guarantee.
+//!
+//! Effort and victim vary per proptest case; the generators are pure
+//! functions of `(vehicle, plan, sizes)`, so a regression here means a
+//! hidden source of nondeterminism leaked into an attack family (shared
+//! RNG state, map iteration order, time), which would silently unpin the
+//! whole red-team evaluation.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vprofile_vehicle::adversary::{
+    bus_off_mimicry_test, drift_window_attack_test, mimicry_masquerade_test,
+    update_poisoning_capture, AdversaryPlan,
+};
+use vprofile_vehicle::scenario::stress_fleet;
+use vprofile_vehicle::{Capture, CaptureConfig, Vehicle};
+
+/// A five-ECU fleet with a long-enough background capture for every
+/// family (bus-off needs > 32 victim frames), trained lazily once.
+fn setup() -> &'static (Vehicle, Capture) {
+    static SETUP: OnceLock<(Vehicle, Capture)> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let vehicle = stress_fleet(5, 811);
+        let capture = vehicle
+            .capture(&CaptureConfig::default().with_frames(260).with_seed(811))
+            .expect("capture");
+        (vehicle, capture)
+    })
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serialize")
+}
+
+proptest! {
+    #[test]
+    fn mimicry_masquerade_is_byte_deterministic(
+        victim in 0usize..5,
+        effort in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (vehicle, capture) = setup();
+        let plan = AdversaryPlan::new(victim, effort, seed);
+        let a = mimicry_masquerade_test(capture, vehicle, &plan, 8).unwrap();
+        let b = mimicry_masquerade_test(capture, vehicle, &plan, 8).unwrap();
+        prop_assert_eq!(json(&a), json(&b), "same seed must be byte-identical");
+        let other = AdversaryPlan::new(victim, effort, seed ^ 1);
+        let c = mimicry_masquerade_test(capture, vehicle, &other, 8).unwrap();
+        prop_assert_ne!(json(&a), json(&c), "a flipped seed must diverge");
+    }
+
+    #[test]
+    fn drift_window_attack_is_byte_deterministic(
+        victim in 0usize..5,
+        effort in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (vehicle, _) = setup();
+        let plan = AdversaryPlan::new(victim, effort, seed);
+        let a = drift_window_attack_test(vehicle, &plan, 24, 6).unwrap();
+        let b = drift_window_attack_test(vehicle, &plan, 24, 6).unwrap();
+        prop_assert_eq!(json(&a), json(&b), "same seed must be byte-identical");
+        let other = AdversaryPlan::new(victim, effort, seed ^ 1);
+        let c = drift_window_attack_test(vehicle, &other, 24, 6).unwrap();
+        prop_assert_ne!(json(&a), json(&c), "a flipped seed must diverge");
+    }
+
+    #[test]
+    fn bus_off_mimicry_is_byte_deterministic(
+        victim in 0usize..5,
+        effort in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (vehicle, capture) = setup();
+        let plan = AdversaryPlan::new(victim, effort, seed);
+        let a = bus_off_mimicry_test(capture, vehicle, &plan).unwrap();
+        let b = bus_off_mimicry_test(capture, vehicle, &plan).unwrap();
+        prop_assert_eq!(json(&a.0), json(&b.0), "same seed must be byte-identical");
+        prop_assert_eq!(a.1, b.1, "reports must agree");
+        // The takeover phase synthesizes with a seeded attacker device, so
+        // a flipped seed diverges whenever any frame was taken over.
+        if a.1.frames_taken_over > 0 {
+            let other = AdversaryPlan::new(victim, effort, seed ^ 1);
+            let c = bus_off_mimicry_test(capture, vehicle, &other).unwrap();
+            prop_assert_ne!(json(&a.0), json(&c.0), "a flipped seed must diverge");
+        }
+    }
+
+    #[test]
+    fn update_poisoning_capture_is_byte_deterministic(
+        victim in 0usize..5,
+        effort in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (vehicle, _) = setup();
+        let plan = AdversaryPlan::new(victim, effort, seed);
+        let a = update_poisoning_capture(vehicle, &plan, 40).unwrap();
+        let b = update_poisoning_capture(vehicle, &plan, 40).unwrap();
+        prop_assert_eq!(json(&a), json(&b), "same seed must be byte-identical");
+        let other = AdversaryPlan::new(victim, effort, seed ^ 1);
+        let c = update_poisoning_capture(vehicle, &other, 40).unwrap();
+        prop_assert_ne!(json(&a), json(&c), "a flipped seed must diverge");
+    }
+}

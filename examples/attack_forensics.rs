@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let capture = vehicle.capture(&CaptureConfig::default().with_frames(2200).with_seed(31))?;
     let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
     let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
-    let (train, test) = extracted.split_train_test();
+    let (train, test) = extracted.split_train_test()?;
     let training: Vec<_> = train.iter().map(|o| o.observation.clone()).collect();
     let lut = vehicle.sa_lut();
 

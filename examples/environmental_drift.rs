@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train both models on half the coldest bin; the held-out half anchors
     // the baseline distance (out of sample).
-    let (cold_train, _cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test();
+    let (cold_train, _cold_holdout) = sweep[0].capture.extract(&extractor).split_train_test()?;
     let cold: Vec<_> = cold_train.iter().map(|o| o.observation.clone()).collect();
     let static_model = Trainer::new(config).train_with_lut(&cold, &lut)?;
     let mut online_model = static_model.clone();

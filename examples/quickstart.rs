@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train on the first half, with the vehicle's SA database (the
     // "fortunate" branch of Algorithm 2).
-    let (train, test) = extracted.split_train_test();
+    let (train, test) = extracted.split_train_test()?;
     let training: Vec<_> = train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config).train_with_lut(&training, &vehicle.sa_lut())?;
     for (idx, cluster) in model.clusters().iter().enumerate() {

@@ -1,0 +1,9 @@
+//! libFuzzer entry point for the Algorithm 1 edge-set extractor: arbitrary
+//! bytes decode to a sample window (including NaN/±∞ codes); the target
+//! asserts the owned and scratch-arena entry points agree bit for bit. See
+//! `vprofile_fuzz_targets::extractor_target` for the invariants.
+#![no_main]
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    vprofile_fuzz_targets::extractor_target(data);
+});

@@ -1,0 +1,9 @@
+//! libFuzzer entry point for the stream framer: arbitrary bytes decode to
+//! a (bit-width, threshold, chunk-size, samples) input; the target asserts
+//! chunking invariance and exact sample accounting. See
+//! `vprofile_fuzz_targets::framer_target` for the invariants.
+#![no_main]
+
+libfuzzer_sys::fuzz_target!(|data: &[u8]| {
+    vprofile_fuzz_targets::framer_target(data);
+});

@@ -18,7 +18,10 @@ fn train_on_first(
 ) -> (Model, Vec<TruthObservation>, EdgeSetExtractor) {
     let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
     let extractor = EdgeSetExtractor::new(config.clone());
-    let (train, holdout) = capture.extract(&extractor).split_train_test();
+    let (train, holdout) = capture
+        .extract(&extractor)
+        .split_train_test()
+        .expect("split");
     let labeled: Vec<_> = train.iter().map(|o| o.observation.clone()).collect();
     let model = Trainer::new(config)
         .train_with_lut(&labeled, &vehicle.sa_lut())
