@@ -1,28 +1,33 @@
 //! `alloc_audit` — proves the steady-state score path is allocation-free,
-//! for the vProfile backend *and* for the Viden baseline backend.
+//! for the vProfile backend, the Viden baseline backend, *and* the fused
+//! three-voter ensemble (vProfile + Viden + Scission with drift
+//! detection live).
 //!
 //! ```text
 //! alloc_audit [--frames N] [--seed S] [--out FILE]
 //! ```
 //!
 //! The binary installs [`alloc_counter::CountingAllocator`] as the global
-//! allocator, trains both backends on the same stress-fleet traffic,
+//! allocator, trains every backend on the same stress-fleet traffic,
 //! pre-frames the raw stream into windows (framing owns its own buffers and
-//! is audited separately below), then, per backend:
+//! is audited separately below), then, per audited engine:
 //!
 //! 1. **warm-up pass** — one full pass over every window, letting the
-//!    scoring cache build and the [`vprofile::ScratchArena`] buffers grow to
-//!    their steady-state capacity;
+//!    scoring cache build, the [`vprofile::ScratchArena`] buffers grow to
+//!    their steady-state capacity, and (for the ensemble) the per-SA
+//!    fusion weights and drift-chart state tables fill in;
 //! 2. **measured pass(es)** — at least `--frames` windows through
-//!    [`vprofile_ids::IdsEngine::process_window`] with the allocator
+//!    [`vprofile_ids::IdsEngine::process_window`] (or the fused
+//!    [`vprofile_ids::FusionEngine::process_window`]) with the allocator
 //!    counters snapshotted around the loop.
 //!
-//! The process exits non-zero if any backend's measured passes touch the
+//! The process exits non-zero if any engine's measured passes touch the
 //! allocator at all (`allocations + reallocations > 0`), making "zero
-//! allocations per frame" a CI-enforced invariant for the primary backend
-//! and for at least one baseline rather than a code comment. A JSON
-//! artifact with the per-backend counter deltas is written for the
-//! benchmark record.
+//! allocations per frame" a CI-enforced invariant for the primary backend,
+//! for at least one baseline, and for the full ensemble (every voter
+//! scored + calibrated + fused + drift-charted per frame) rather than a
+//! code comment. A JSON artifact with the per-engine counter deltas is
+//! written for the benchmark record.
 //!
 //! The measured sections are single-threaded, so every counted event is
 //! attributable to the score path.
@@ -30,8 +35,8 @@
 use serde::Serialize;
 use std::process::ExitCode;
 use vprofile::{EdgeSetExtractor, Trainer, VProfileConfig};
-use vprofile_baselines::VidenDetector;
-use vprofile_ids::{Backend, IdsEngine, StreamFramer, UpdatePolicy};
+use vprofile_baselines::{ScissionDetector, VidenDetector};
+use vprofile_ids::{Backend, FusionConfig, FusionEngine, IdsEngine, StreamFramer, UpdatePolicy};
 use vprofile_vehicle::scenario::stress_fleet;
 use vprofile_vehicle::CaptureConfig;
 
@@ -173,6 +178,8 @@ fn run(options: &Options) -> Result<Report, String> {
         .map_err(|e| format!("training failed: {e}"))?;
     let viden =
         VidenDetector::fit(&labeled, &lut, 6.0).map_err(|e| format!("viden training: {e}"))?;
+    let scission = ScissionDetector::fit(&labeled, &lut, 0.5)
+        .map_err(|e| format!("scission training: {e}"))?;
 
     // Pre-frame the raw stream so the measured loop exercises exactly the
     // extract-and-score path (the pipeline's workers see the same shape:
@@ -193,14 +200,34 @@ fn run(options: &Options) -> Result<Report, String> {
         ));
     }
 
+    let primary = Backend::vprofile(model, 2.0);
+    let viden = Backend::from(viden);
+    let scission = Backend::from(scission);
+
     let engines = [
-        IdsEngine::new(model, 2.0, UpdatePolicy::disabled()),
-        IdsEngine::with_backend(Backend::from(viden), config, UpdatePolicy::disabled()),
+        IdsEngine::with_backend(primary.clone(), config.clone(), UpdatePolicy::disabled()),
+        IdsEngine::with_backend(viden.clone(), config.clone(), UpdatePolicy::disabled()),
     ];
-    let mut backends = Vec::with_capacity(engines.len());
-    for engine in engines {
-        backends.push(audit(engine, &windows, options.frames)?);
+    let mut backends = Vec::with_capacity(engines.len() + 1);
+    for mut engine in engines {
+        let name = engine.backend_name();
+        backends.push(audit(name, &windows, options.frames, |pos, window| {
+            engine.process_window(pos, window).is_anomaly()
+        })?);
     }
+
+    // The full ensemble: every frame scores under all three voters, runs
+    // calibration + weighted fusion + the CUSUM/EWMA drift charts, and
+    // still must not touch the allocator once warm.
+    let mut fused = FusionEngine::new(
+        vec![primary, viden, scission],
+        config,
+        FusionConfig::default(),
+        UpdatePolicy::disabled(),
+    );
+    backends.push(audit("fusion", &windows, options.frames, |pos, window| {
+        fused.process_window(pos, window).is_anomaly()
+    })?);
 
     Ok(Report {
         benchmark: "alloc_audit",
@@ -215,21 +242,21 @@ fn run(options: &Options) -> Result<Report, String> {
     })
 }
 
-/// Warms one engine over every window, then measures allocator deltas over
-/// the steady-state replay loop.
+/// Warms one engine (`score` returns "was this window an anomaly") over
+/// every window, then measures allocator deltas over the steady-state
+/// replay loop.
 fn audit(
-    mut engine: IdsEngine,
+    backend: &'static str,
     windows: &[(u64, Vec<f64>)],
     frames: u64,
+    mut score: impl FnMut(u64, &[f64]) -> bool,
 ) -> Result<BackendAudit, String> {
-    let backend = engine.backend_name();
-
     // Warm-up: builds the scoring cache and grows the scratch arena to its
     // steady-state capacity. Clean stress traffic must score overwhelmingly
     // normal under every audited backend.
     let mut warm_anomalies = 0u64;
     for (pos, window) in windows {
-        if engine.process_window(*pos, window).is_anomaly() {
+        if score(*pos, window) {
             warm_anomalies += 1;
         }
     }
@@ -247,7 +274,7 @@ fn audit(
     let before = ALLOC.snapshot();
     for _ in 0..passes {
         for (pos, window) in windows {
-            if engine.process_window(*pos, window).is_anomaly() {
+            if score(*pos, window) {
                 anomalies += 1;
             }
         }

@@ -194,6 +194,24 @@ pub trait DetectionBackend: Send {
         0.0
     }
 
+    /// Maps a verdict onto a calibrated anomaly score in `[0, 1]`, where
+    /// `0.5` is the backend's own decision boundary: `< 0.5` means the
+    /// backend would accept the frame, `> 0.5` means it would alarm, and
+    /// the distance from `0.5` expresses confidence. `None` means the
+    /// backend abstains ([`vprofile::AnomalyKind::Unscorable`]) — a fusion
+    /// layer must reweight the remaining voters rather than count an
+    /// abstention as a vote.
+    ///
+    /// The default maps the shared verdict shapes without model knowledge:
+    /// accepted frames land below `0.5` by a monotone squash of the
+    /// reported distance, threshold excesses land above `0.5` scaled by
+    /// the relative overshoot. Backends that know their per-cluster
+    /// thresholds (vProfile) override this with a sharper map.
+    fn calibrated_score(&self, sa: SourceAddress, verdict: &Verdict) -> Option<f64> {
+        let _ = sa;
+        default_calibration(verdict)
+    }
+
     /// Captures a byte-exact checkpoint of the backend's mutable state for
     /// supervisor restarts.
     fn snapshot(&self) -> BackendSnapshot;
@@ -205,6 +223,42 @@ pub trait DetectionBackend: Send {
     /// [`SnapshotError::KindMismatch`] when the snapshot belongs to a
     /// different backend kind; the current state is left untouched.
     fn restore(&mut self, snapshot: &BackendSnapshot) -> Result<(), SnapshotError>;
+}
+
+/// The model-agnostic verdict → score map backing
+/// [`DetectionBackend::calibrated_score`]'s default implementation.
+///
+/// * `Ok { distance }` → `0.5 · d / (d + 1)`: monotone in the distance,
+///   always strictly below the `0.5` boundary.
+/// * `ThresholdExceeded { distance, limit }` → `0.5 + 0.5 · min(1, (d − l)/l)`:
+///   scaled by the relative overshoot, always at or above the boundary.
+/// * `ClusterMismatch` → `0.9`: the waveform identifies a *different* ECU,
+///   a high-confidence alarm regardless of distance scale.
+/// * `UnknownSa` → `1.0`: trivially anomalous.
+/// * `Unscorable` → `None`: the backend abstains.
+pub fn default_calibration(verdict: &Verdict) -> Option<f64> {
+    use vprofile::AnomalyKind;
+    match verdict {
+        Verdict::Ok { distance, .. } => {
+            let d = distance.max(0.0);
+            Some(0.5 * d / (d + 1.0))
+        }
+        Verdict::Anomaly { kind } => match kind {
+            AnomalyKind::ThresholdExceeded {
+                distance, limit, ..
+            } => {
+                let overshoot = if *limit > f64::EPSILON {
+                    ((distance - limit) / limit).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                Some(0.5 + 0.5 * overshoot)
+            }
+            AnomalyKind::ClusterMismatch { .. } => Some(0.9),
+            AnomalyKind::UnknownSa { .. } => Some(1.0),
+            AnomalyKind::Unscorable => None,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +339,68 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("something-else"));
+    }
+
+    #[test]
+    fn default_calibration_brackets_the_decision_boundary() {
+        use vprofile::AnomalyKind;
+        // Accepted frames stay strictly below 0.5, monotone in distance.
+        let near = default_calibration(&Verdict::Ok {
+            cluster: ClusterId(0),
+            distance: 0.1,
+        })
+        .unwrap();
+        let far = default_calibration(&Verdict::Ok {
+            cluster: ClusterId(0),
+            distance: 10.0,
+        })
+        .unwrap();
+        assert!(near < far && far < 0.5, "{near} < {far} < 0.5");
+
+        // Threshold excesses start at the boundary and grow with overshoot.
+        let grazing = default_calibration(&Verdict::Anomaly {
+            kind: AnomalyKind::ThresholdExceeded {
+                cluster: ClusterId(0),
+                distance: 5.0,
+                limit: 5.0,
+            },
+        })
+        .unwrap();
+        let blown = default_calibration(&Verdict::Anomaly {
+            kind: AnomalyKind::ThresholdExceeded {
+                cluster: ClusterId(0),
+                distance: 50.0,
+                limit: 5.0,
+            },
+        })
+        .unwrap();
+        assert!((grazing - 0.5).abs() < 1e-12);
+        assert!((blown - 1.0).abs() < 1e-12);
+
+        let mismatch = default_calibration(&Verdict::Anomaly {
+            kind: AnomalyKind::ClusterMismatch {
+                expected: ClusterId(0),
+                predicted: ClusterId(1),
+                distance: 1.0,
+            },
+        })
+        .unwrap();
+        assert!(mismatch > 0.5);
+        assert!(
+            default_calibration(&Verdict::Anomaly {
+                kind: AnomalyKind::UnknownSa {
+                    sa: SourceAddress(9)
+                },
+            })
+            .unwrap()
+            .to_bits()
+                == 1.0f64.to_bits()
+        );
+        // Unscorable abstains rather than voting.
+        assert!(default_calibration(&Verdict::Anomaly {
+            kind: AnomalyKind::Unscorable,
+        })
+        .is_none());
     }
 
     #[test]

@@ -194,6 +194,23 @@ impl DetectionBackend for VProfileBackend {
         worst
     }
 
+    fn calibrated_score(&self, sa: SourceAddress, verdict: &Verdict) -> Option<f64> {
+        let _ = sa;
+        // Accepted frames: vProfile knows the exact per-cluster limit
+        // (`max_distance + margin`), so scale the distance against it —
+        // sharper than the default's unitless squash. Everything else
+        // already carries its limit in the verdict; fall through.
+        if let Verdict::Ok { cluster, distance } = verdict {
+            if let Some(stats) = self.model.clusters().get(cluster.0) {
+                let limit = stats.max_distance() + self.margin;
+                if limit > f64::EPSILON {
+                    return Some(0.5 * (distance / limit).clamp(0.0, 1.0));
+                }
+            }
+        }
+        crate::default_calibration(verdict)
+    }
+
     fn snapshot(&self) -> BackendSnapshot {
         BackendSnapshot::new(DetectionBackend::name(self), self.clone())
     }
@@ -317,6 +334,32 @@ mod tests {
         let model = backend.model().clone();
         backend.install_model(model);
         assert!(backend.update_drift().abs() < 1e-12, "install resets drift");
+    }
+
+    #[test]
+    fn calibrated_score_tracks_cluster_limits() {
+        let (mut backend, observations) = trained();
+        let mut scratch = ScratchArena::new();
+        for obs in observations.iter().take(40) {
+            scratch.edge_set.clear();
+            scratch.edge_set.extend_from_slice(obs.edge_set.samples());
+            let verdict = backend.classify_into(&mut scratch, obs.sa);
+            let score = backend.calibrated_score(obs.sa, &verdict);
+            match verdict {
+                Verdict::Ok { .. } => {
+                    let s = score.expect("accepted frames must score");
+                    assert!(
+                        (0.0..0.5).contains(&s),
+                        "accepted frame must land below the boundary: {s}"
+                    );
+                }
+                Verdict::Anomaly { .. } => {
+                    if let Some(s) = score {
+                        assert!(s >= 0.5, "alarms must land at or above the boundary: {s}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,8 @@ use vprofile_baselines::{ScissionDetector, VidenDetector, VoltageIdsDetector};
 use vprofile_can::SourceAddress;
 use vprofile_detector_core::DetectionBackend;
 use vprofile_ids::{
-    Backend, IdsEngine, IdsPipeline, PipelineConfig, PipelineError, StageBreakdown, UpdatePolicy,
+    Backend, FusionConfig, FusionEngine, FusionPipeline, IdsEngine, IdsPipeline, PipelineConfig,
+    PipelineError, ShadowPipeline, StageBreakdown, UpdatePolicy,
 };
 use vprofile_vehicle::attack::{hijack_imitation_test, HIJACK_PROBABILITY};
 use vprofile_vehicle::{CaptureConfig, Vehicle};
@@ -81,15 +82,23 @@ pub struct BackendReport {
     pub frames: u64,
     /// Per-stage wall-clock attribution of the clean pipeline replay.
     pub stage_ns: StageBreakdown,
+    /// Disagreements with the vProfile primary when this backend rode the
+    /// clean replay as a passive shadow (0 for the primary itself and for
+    /// the fusion row, which *is* an ensemble).
+    pub shadow_disagreements: u64,
 }
 
 /// Trains vProfile, Viden, Scission, and VoltageIDS on one clean capture
 /// and scores each on the hijack-imitation test plus a clean pipeline
-/// replay.
+/// replay — then scores the drift-aware fusion ensemble of all four on
+/// the identical data as a final `fusion` row.
 ///
-/// All four backends see identical training data, identical attack
-/// messages, and the identical single-worker pipeline configuration, so
-/// the reports differ only in the detectors themselves.
+/// All rows see identical training data, identical attack messages, and
+/// the identical single-worker pipeline configuration, so the reports
+/// differ only in the detectors themselves. One extra shadow-mode replay
+/// (vProfile primary, the three baselines as passive shadows) supplies
+/// the per-shadow disagreement counts and the shadow-stage wall clock
+/// that the merger counts but previously never reported.
 ///
 /// # Errors
 ///
@@ -112,7 +121,7 @@ pub fn backend_comparison(seed: u64, frames: usize) -> Result<Vec<BackendReport>
         stream.extend(frame.trace.to_f64());
     }
 
-    let mut reports = Vec::with_capacity(backends.len());
+    let mut reports = Vec::with_capacity(backends.len() + 1);
     for backend in &mut backends {
         let name = backend.name();
         let mut confusion = ConfusionMatrix::new();
@@ -134,24 +143,87 @@ pub fn backend_comparison(seed: u64, frames: usize) -> Result<Vec<BackendReport>
             pipeline.feed(chunk.to_vec())?;
         }
         let (_, stats) = pipeline.close()?;
-        let scored = stats.anomalies + stats.normals;
-        let false_positive_rate = if scored == 0 {
-            0.0
-        } else {
-            stats.anomalies as f64 / scored as f64
-        };
 
         reports.push(BackendReport {
             backend: name,
             confusion,
             precision: confusion.precision(),
             recall: confusion.recall(),
-            false_positive_rate,
+            false_positive_rate: clean_fpr(&stats),
             frames: stats.frames,
             stage_ns: stats.stage_ns,
+            shadow_disagreements: 0,
         });
     }
+
+    // Shadow-mode replay: the primary carries the three baselines as
+    // passive shadows, surfacing the merger's per-shadow disagreement
+    // counters and the shadow-stage clock in the report.
+    let primary = IdsEngine::with_backend(
+        backends[0].clone(),
+        config.clone(),
+        UpdatePolicy::disabled(),
+    );
+    let shadows: Vec<IdsEngine> = backends[1..]
+        .iter()
+        .map(|b| IdsEngine::with_backend(b.clone(), config.clone(), UpdatePolicy::disabled()))
+        .collect();
+    let shadow_pipeline =
+        ShadowPipeline::spawn(primary, shadows, PipelineConfig::default().with_workers(1));
+    for chunk in stream.chunks(65_536) {
+        shadow_pipeline.feed(chunk.to_vec())?;
+    }
+    let (_, shadow_stats) = shadow_pipeline.close()?;
+    reports[0].stage_ns.shadow_ns = shadow_stats.stage_ns.shadow_ns;
+    for (report, disagreements) in reports[1..]
+        .iter_mut()
+        .zip(&shadow_stats.shadow_disagreements)
+    {
+        report.shadow_disagreements = *disagreements;
+    }
+
+    // The fusion row: all four backends as first-class voters.
+    let fusion = FusionEngine::new(
+        backends.clone(),
+        config,
+        FusionConfig::default(),
+        UpdatePolicy::disabled(),
+    );
+    let mut quality = fusion.clone();
+    let mut confusion = ConfusionMatrix::new();
+    for message in &attacks {
+        let scored = quality.classify_extracted(
+            message.observation.sa,
+            message.observation.edge_set.samples(),
+        );
+        confusion.record(message.is_attack, scored.verdict.is_anomaly());
+    }
+    let pipeline = FusionPipeline::spawn(fusion, PipelineConfig::default().with_workers(1));
+    for chunk in stream.chunks(65_536) {
+        pipeline.feed(chunk.to_vec())?;
+    }
+    let (_, stats) = pipeline.close()?;
+    reports.push(BackendReport {
+        backend: "fusion",
+        confusion,
+        precision: confusion.precision(),
+        recall: confusion.recall(),
+        false_positive_rate: clean_fpr(&stats),
+        frames: stats.frames,
+        stage_ns: stats.stage_ns,
+        shadow_disagreements: 0,
+    });
     Ok(reports)
+}
+
+/// Anomaly rate over the scored frames of a clean replay.
+fn clean_fpr(stats: &vprofile_ids::PipelineStats) -> f64 {
+    let scored = stats.anomalies + stats.normals;
+    if scored == 0 {
+        0.0
+    } else {
+        stats.anomalies as f64 / scored as f64
+    }
 }
 
 /// Renders the comparison as a markdown table (one row per backend).
@@ -167,6 +239,8 @@ pub fn backend_markdown(reports: &[BackendReport]) -> String {
                 r.frames.to_string(),
                 format!("{:.1}", r.stage_ns.extract_ns as f64 / 1e6),
                 format!("{:.1}", r.stage_ns.score_ns as f64 / 1e6),
+                format!("{:.1}", r.stage_ns.shadow_ns as f64 / 1e6),
+                r.shadow_disagreements.to_string(),
             ]
         })
         .collect();
@@ -179,6 +253,8 @@ pub fn backend_markdown(reports: &[BackendReport]) -> String {
             "frames",
             "extract (ms)",
             "score (ms)",
+            "shadow (ms)",
+            "shadow disagree",
         ],
         &rows,
     )
@@ -212,7 +288,10 @@ mod tests {
     fn comparison_covers_all_backends_with_sane_metrics() {
         let reports = backend_comparison(51, 400).expect("comparison");
         let names: Vec<&str> = reports.iter().map(|r| r.backend).collect();
-        assert_eq!(names, ["vprofile", "viden", "scission", "voltage-ids"]);
+        assert_eq!(
+            names,
+            ["vprofile", "viden", "scission", "voltage-ids", "fusion"]
+        );
         for report in &reports {
             let name = report.backend;
             assert_eq!(report.frames, 400, "{name}: full clean replay");
@@ -233,9 +312,46 @@ mod tests {
                 "{name}: pipeline replay must attribute scoring time"
             );
         }
+        assert!(
+            reports[0].stage_ns.shadow_ns > 0,
+            "the shadow replay must attribute shadow-stage time to the primary row"
+        );
         let table = backend_markdown(&reports);
         for name in names {
             assert!(table.contains(name), "table must list {name}:\n{table}");
+        }
+        assert!(table.contains("shadow disagree"), "table: {table}");
+    }
+
+    /// ISSUE 8 acceptance: the fused verdict is at least as good as every
+    /// single voter on all three headline metrics.
+    #[test]
+    fn fusion_beats_every_single_backend() {
+        let reports = backend_comparison(51, 400).expect("comparison");
+        let fusion = reports
+            .iter()
+            .find(|r| r.backend == "fusion")
+            .expect("fusion row");
+        for report in reports.iter().filter(|r| r.backend != "fusion") {
+            let name = report.backend;
+            assert!(
+                fusion.precision >= report.precision,
+                "fusion precision {} must be >= {name}'s {}",
+                fusion.precision,
+                report.precision
+            );
+            assert!(
+                fusion.recall >= report.recall,
+                "fusion recall {} must be >= {name}'s {}",
+                fusion.recall,
+                report.recall
+            );
+            assert!(
+                fusion.false_positive_rate <= report.false_positive_rate,
+                "fusion clean FPR {} must be <= {name}'s {}",
+                fusion.false_positive_rate,
+                report.false_positive_rate
+            );
         }
     }
 }

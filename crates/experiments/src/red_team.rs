@@ -30,7 +30,7 @@ use crate::ComparisonError;
 use vprofile::{EdgeSetExtractor, ScratchArena, VProfileConfig};
 use vprofile_analog::Environment;
 use vprofile_detector_core::DetectionBackend;
-use vprofile_ids::{Backend, IdsEngine, UpdatePolicy};
+use vprofile_ids::{Backend, FusionConfig, FusionEngine, IdsEngine, UpdatePolicy};
 use vprofile_vehicle::adversary::{
     bus_off_mimicry_test, drift_window_attack_test, mimicry_masquerade_test,
     update_poisoning_capture, AdversaryPlan, DRIFT_WINDOW_TEMP_C,
@@ -149,6 +149,26 @@ fn score_messages(backend: &mut Backend, messages: &[TestMessage]) -> (usize, us
     (attacks, detected)
 }
 
+/// Scores one message set through the fused ensemble and returns
+/// `(attacks, detected)` over the attack-labeled messages.
+fn score_messages_fused(engine: &mut FusionEngine, messages: &[TestMessage]) -> (usize, usize) {
+    let mut attacks = 0usize;
+    let mut detected = 0usize;
+    for message in messages {
+        let scored = engine.classify_extracted(
+            message.observation.sa,
+            message.observation.edge_set.samples(),
+        );
+        if message.is_attack {
+            attacks += 1;
+            if scored.verdict.is_anomaly() {
+                detected += 1;
+            }
+        }
+    }
+    (attacks, detected)
+}
+
 fn rate(attacks: usize, detected: usize) -> f64 {
     if attacks == 0 {
         0.0
@@ -209,10 +229,28 @@ pub fn red_team(seed: u64, frames: usize) -> Result<RedTeamReport, ComparisonErr
         .labeled();
     let mut cold_backends = trained_backends(&cold_labeled, &lut, &config)?;
 
+    // The fused ensemble rides the sweep as its own row: the warm-bin
+    // engine for mimicry/bus-off, its cold-bin twin for drift-window.
+    // Its adaptive state (weights, per-SA thresholds) carries across
+    // effort steps, exactly as a deployed ensemble would.
+    let mut fusion_warm = FusionEngine::new(
+        backends.clone(),
+        config.clone(),
+        FusionConfig::default(),
+        UpdatePolicy::disabled(),
+    );
+    let mut fusion_cold = FusionEngine::new(
+        cold_backends.clone(),
+        config.clone(),
+        FusionConfig::default(),
+        UpdatePolicy::disabled(),
+    );
+
     // Per effort step, generate each family's test set once and score it
-    // against every backend, accumulating curves per (backend, family).
+    // against every backend, accumulating curves per (backend, family);
+    // the last row of `curves` belongs to the fused ensemble.
     let mut curves: Vec<Vec<Vec<EffortPoint>>> =
-        vec![vec![Vec::new(); ATTACK_FAMILIES.len()]; backends.len()];
+        vec![vec![Vec::new(); ATTACK_FAMILIES.len()]; backends.len() + 1];
     for &effort in &EFFORTS {
         let plan = AdversaryPlan::new(VICTIM_ECU, effort, seed);
         let mimicry = mimicry_masquerade_test(&capture, &vehicle, &plan, MASQUERADE_ATTACKS)
@@ -268,15 +306,64 @@ pub fn red_team(seed: u64, frames: usize) -> Result<RedTeamReport, ComparisonErr
                 guard_caught: engine.quarantined().contains(victim_sa.raw()),
             });
         }
+
+        // The fusion row, over the identical message sets.
+        let fused_row = backends.len();
+        for (f, messages) in [&mimicry, &drift, &bus_off].into_iter().enumerate() {
+            let scorer = if f == 1 {
+                &mut fusion_cold
+            } else {
+                &mut fusion_warm
+            };
+            let (attacks, detected) = score_messages_fused(scorer, messages);
+            curves[fused_row][f].push(EffortPoint {
+                effort,
+                attacks,
+                detected,
+                detection_rate: rate(attacks, detected),
+                guard_caught: false,
+            });
+        }
+        // Poisoning through the full fusion engine: absorption is
+        // drift-gated here, with the same poisoning guard armed on top.
+        let mut engine = FusionEngine::new(
+            backends.clone(),
+            config.clone(),
+            FusionConfig::default(),
+            UpdatePolicy::every(1, usize::MAX),
+        )
+        .with_drift_guard(POISON_DRIFT_THRESHOLD);
+        let mut detected = 0usize;
+        for (i, frame) in poison.frames().iter().enumerate() {
+            if engine
+                .process_window(i as u64, &frame.trace.to_f64())
+                .is_anomaly()
+            {
+                detected += 1;
+            }
+        }
+        let attacks = poison.len();
+        curves[fused_row][3].push(EffortPoint {
+            effort,
+            attacks,
+            detected,
+            detection_rate: rate(attacks, detected),
+            guard_caught: engine.quarantined().contains(victim_sa.raw()),
+        });
     }
 
-    let mut cells = Vec::with_capacity(backends.len() * ATTACK_FAMILIES.len());
-    for (b, backend) in backends.iter().enumerate() {
+    let mut cells = Vec::with_capacity((backends.len() + 1) * ATTACK_FAMILIES.len());
+    let row_names: Vec<&'static str> = backends
+        .iter()
+        .map(DetectionBackend::name)
+        .chain(std::iter::once("fusion"))
+        .collect();
+    for (b, name) in row_names.into_iter().enumerate() {
         for (f, family) in ATTACK_FAMILIES.iter().enumerate() {
             let curve = curves[b][f].clone();
             let effort_threshold = threshold_of(&curve);
             cells.push(RedTeamCell {
-                backend: backend.name(),
+                backend: name,
                 family,
                 curve,
                 effort_threshold,
@@ -375,7 +462,7 @@ mod tests {
     #[test]
     fn sweep_covers_every_backend_and_family_with_sane_curves() {
         let report = report();
-        let backends = ["vprofile", "viden", "scission", "voltage-ids"];
+        let backends = ["vprofile", "viden", "scission", "voltage-ids", "fusion"];
         assert_eq!(report.cells.len(), backends.len() * ATTACK_FAMILIES.len());
         for backend in backends {
             for family in ATTACK_FAMILIES {
@@ -443,11 +530,40 @@ mod tests {
         );
     }
 
+    /// ISSUE 8: the fused ensemble holds the recall floor everywhere short
+    /// of the perfect electrical clone, and its drift-gated absorption
+    /// starves the patient poisoning walk — per-frame recall against the
+    /// most patient attacker stays far above the single vProfile engine,
+    /// whose cadence-based updates let the walk drag the model along.
+    #[test]
+    fn fusion_holds_the_floor_and_starves_patient_poisoning() {
+        let report = report();
+        for family in ["mimicry", "drift-window", "bus-off"] {
+            let cell = report.cell("fusion", family).expect("fusion cell");
+            assert_eq!(
+                cell.effort_threshold,
+                Some(1.0),
+                "fusion must only lose {family} to the perfect clone: {:?}",
+                cell.curve
+            );
+        }
+        let fused = report.cell("fusion", "poisoning").expect("fusion cell");
+        let single = report.cell("vprofile", "poisoning").expect("vprofile cell");
+        let fused_patient = fused.curve.last().expect("curve");
+        let single_patient = single.curve.last().expect("curve");
+        assert!(
+            fused_patient.detection_rate > 10.0 * single_patient.detection_rate,
+            "drift-gated absorption must starve the patient walk: fusion {} vs vprofile {}",
+            fused_patient.detection_rate,
+            single_patient.detection_rate
+        );
+    }
+
     #[test]
     fn markdown_lists_every_backend_and_family() {
         let report = report();
         let table = red_team_markdown(report);
-        for name in ["vprofile", "viden", "scission", "voltage-ids"] {
+        for name in ["vprofile", "viden", "scission", "voltage-ids", "fusion"] {
             assert!(table.contains(name), "missing {name}:\n{table}");
         }
         for family in ATTACK_FAMILIES {

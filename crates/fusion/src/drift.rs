@@ -1,0 +1,514 @@
+//! Allocation-free change-point detectors over per-SA calibrated-score
+//! streams.
+//!
+//! Two complementary detectors watch every voter's score stream (and the
+//! ensemble-disagreement stream) per source address:
+//!
+//! * [`Cusum`] — a two-sided cumulative-sum detector. Slow but sensitive:
+//!   it accumulates standardized deviations beyond a slack `k` and fires
+//!   when either running sum crosses a threshold `h`, catching sustained
+//!   small shifts a per-frame threshold misses. A shift of `Δσ` is
+//!   detected after roughly `h / (Δ − k)` frames; a constant offset below
+//!   the slack (`Δ < k`) is never detected — the documented blind spot an
+//!   adversarial slow-walk exploits, which is why the fusion layer pairs
+//!   it with the ensemble-disagreement signal.
+//! * [`Ewma`] — an exponentially-weighted moving-average control chart.
+//!   Fast: the smoothed statistic `z ← (1−λ)z + λx` is compared against
+//!   `L·σ·√(λ/(2−λ))`; it reacts within a few frames to large steps and
+//!   carries an `in_alarm` hysteresis state that models a drift *episode*
+//!   (alarm holds until the statistic returns inside a release band).
+//!
+//! Both detectors learn their baseline (mean, σ) from the first
+//! `warmup` observations via Welford's algorithm, then freeze it; both
+//! are deterministic, `Copy`-cheap state machines with no heap state, so
+//! per-SA × per-voter banks preallocate and the per-frame
+//! [`Cusum::observe`]/[`Ewma::observe`] calls stay allocation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// What a change-point detector concluded about one observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSignal {
+    /// Still learning the baseline; no verdict possible yet.
+    Warmup,
+    /// The stream is consistent with the learned baseline.
+    Stable,
+    /// A change-point fired on this observation.
+    Drift {
+        /// Tripped statistic normalized by its threshold (≥ 1 at firing).
+        magnitude: f64,
+    },
+}
+
+/// Which stream a [`DriftVerdict`] fired on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftKind {
+    /// One voter's per-SA calibrated-score stream shifted — the
+    /// environment (or the model) moved and absorption should adapt.
+    ScoreShift {
+        /// Index of the voter whose score stream shifted (0 = primary).
+        voter: u8,
+    },
+    /// The voters stopped agreeing with the fused call — the signature of
+    /// an attack exploiting one model's blind spot, not of benign drift.
+    EnsembleDisagreement,
+}
+
+/// A typed change-point event emitted by the fusion layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftVerdict {
+    /// Source address whose score stream drifted.
+    pub sa: u8,
+    /// Which stream fired.
+    pub kind: DriftKind,
+    /// Tripped statistic normalized by its threshold (≥ 1 at firing).
+    pub magnitude: f64,
+}
+
+/// Parameters of the [`Cusum`] detector, in baseline-σ units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumConfig {
+    /// Baseline-learning observations before detection starts.
+    pub warmup: u32,
+    /// Slack `k`: standardized deviations below this accumulate nothing.
+    pub slack: f64,
+    /// Decision threshold `h` on the cumulative sums.
+    pub threshold: f64,
+    /// Floor on the learned σ, guarding constant warmup streams.
+    pub min_sigma: f64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        CusumConfig {
+            warmup: 64,
+            slack: 0.5,
+            threshold: 9.0,
+            min_sigma: 0.02,
+        }
+    }
+}
+
+/// Two-sided CUSUM change-point detector with a Welford-learned baseline.
+///
+/// After firing, the detector re-enters warmup ([`Cusum::rebaseline`]) so
+/// it re-learns the post-change level instead of alarming forever on a
+/// persistent shift.
+#[derive(Debug, Clone, Copy)]
+pub struct Cusum {
+    config: CusumConfig,
+    seen: u64,
+    mean: f64,
+    m2: f64,
+    sigma: f64,
+    pos: f64,
+    neg: f64,
+}
+
+impl Cusum {
+    /// A fresh detector that will learn its baseline from the stream.
+    pub fn new(config: CusumConfig) -> Self {
+        Cusum {
+            config,
+            seen: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sigma: config.min_sigma,
+            pos: 0.0,
+            neg: 0.0,
+        }
+    }
+
+    /// Feeds one observation; fires at most once per call.
+    pub fn observe(&mut self, x: f64) -> DriftSignal {
+        if self.seen < u64::from(self.config.warmup) {
+            self.seen += 1;
+            let delta = x - self.mean;
+            self.mean += delta / self.seen as f64;
+            self.m2 += delta * (x - self.mean);
+            if self.seen == u64::from(self.config.warmup) {
+                let var = if self.seen > 1 {
+                    self.m2 / (self.seen - 1) as f64
+                } else {
+                    0.0
+                };
+                self.sigma = var.sqrt().max(self.config.min_sigma);
+            }
+            return DriftSignal::Warmup;
+        }
+        let z = (x - self.mean) / self.sigma;
+        self.pos = (self.pos + z - self.config.slack).max(0.0);
+        self.neg = (self.neg - z - self.config.slack).max(0.0);
+        let tripped = self.pos.max(self.neg);
+        if tripped > self.config.threshold {
+            let magnitude = tripped / self.config.threshold;
+            self.rebaseline();
+            return DriftSignal::Drift { magnitude };
+        }
+        DriftSignal::Stable
+    }
+
+    /// Discards the learned baseline and cumulative sums; the next
+    /// `warmup` observations re-learn the (possibly shifted) level.
+    pub fn rebaseline(&mut self) {
+        self.seen = 0;
+        self.mean = 0.0;
+        self.m2 = 0.0;
+        self.sigma = self.config.min_sigma;
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+
+    /// `true` while the baseline is still being learned.
+    pub fn warming_up(&self) -> bool {
+        self.seen < u64::from(self.config.warmup)
+    }
+}
+
+/// Parameters of the [`Ewma`] control chart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaConfig {
+    /// Baseline-learning observations before detection starts.
+    pub warmup: u32,
+    /// Smoothing factor λ ∈ (0, 1]; smaller λ smooths harder.
+    pub lambda: f64,
+    /// Control-limit multiplier `L` on the asymptotic EWMA σ.
+    pub limit: f64,
+    /// Floor on the learned σ, guarding constant warmup streams.
+    pub min_sigma: f64,
+    /// Alarm releases once the deviation falls below `release × limit`
+    /// (hysteresis, so episodes don't flap at the boundary).
+    pub release: f64,
+    /// Re-enter warmup when the chart fires. `true` for per-voter score
+    /// charts (a persistent shift becomes the new baseline once
+    /// reported); `false` for the ensemble-disagreement chart, whose
+    /// alarm must *persist* as an episode while voters keep disagreeing.
+    pub rebaseline_on_fire: bool,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        EwmaConfig {
+            warmup: 64,
+            lambda: 0.2,
+            limit: 4.0,
+            min_sigma: 0.02,
+            release: 0.5,
+            rebaseline_on_fire: true,
+        }
+    }
+}
+
+/// EWMA control chart with Welford-learned baseline and episode
+/// hysteresis.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    config: EwmaConfig,
+    seen: u64,
+    mean: f64,
+    m2: f64,
+    sigma: f64,
+    z: f64,
+    in_alarm: bool,
+}
+
+impl Ewma {
+    /// A fresh chart that will learn its baseline from the stream.
+    pub fn new(config: EwmaConfig) -> Self {
+        Ewma {
+            config,
+            seen: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sigma: config.min_sigma,
+            z: 0.0,
+            in_alarm: false,
+        }
+    }
+
+    /// Feeds one observation; fires only on the alarm *transition*.
+    pub fn observe(&mut self, x: f64) -> DriftSignal {
+        if self.seen < u64::from(self.config.warmup) {
+            self.seen += 1;
+            let delta = x - self.mean;
+            self.mean += delta / self.seen as f64;
+            self.m2 += delta * (x - self.mean);
+            if self.seen == u64::from(self.config.warmup) {
+                let var = if self.seen > 1 {
+                    self.m2 / (self.seen - 1) as f64
+                } else {
+                    0.0
+                };
+                self.sigma = var.sqrt().max(self.config.min_sigma);
+                self.z = self.mean;
+            }
+            return DriftSignal::Warmup;
+        }
+        self.z = (1.0 - self.config.lambda) * self.z + self.config.lambda * x;
+        let deviation = (self.z - self.mean).abs();
+        let limit = self.control_limit();
+        if !self.in_alarm && deviation > limit {
+            self.in_alarm = true;
+            let magnitude = deviation / limit;
+            if self.config.rebaseline_on_fire {
+                self.rebaseline();
+            }
+            return DriftSignal::Drift { magnitude };
+        }
+        if self.in_alarm && deviation < self.config.release * limit {
+            self.in_alarm = false;
+        }
+        DriftSignal::Stable
+    }
+
+    /// The absolute control limit `L·σ·√(λ/(2−λ))`.
+    fn control_limit(&self) -> f64 {
+        self.config.limit * self.sigma * (self.config.lambda / (2.0 - self.config.lambda)).sqrt()
+    }
+
+    /// `true` while an alarm episode is active (hysteresis applies).
+    pub fn in_alarm(&self) -> bool {
+        self.in_alarm
+    }
+
+    /// Discards the learned baseline and clears any active alarm.
+    pub fn rebaseline(&mut self) {
+        self.seen = 0;
+        self.mean = 0.0;
+        self.m2 = 0.0;
+        self.sigma = self.config.min_sigma;
+        self.z = 0.0;
+        self.in_alarm = false;
+    }
+
+    /// `true` while the baseline is still being learned.
+    pub fn warming_up(&self) -> bool {
+        self.seen < u64::from(self.config.warmup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic ≈N(0,1) noise: Irwin–Hall sum of 12 xorshift
+    /// uniforms, recentred. Seeded, no external RNG dependency.
+    struct Noise(u64);
+
+    impl Noise {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn gaussian(&mut self) -> f64 {
+            let mut sum = 0.0;
+            for _ in 0..12 {
+                sum += self.next_u64() as f64 / u64::MAX as f64;
+            }
+            sum - 6.0
+        }
+    }
+
+    fn warmed_cusum(noise: &mut Noise, level: f64, sigma: f64) -> Cusum {
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::new(config);
+        for _ in 0..config.warmup {
+            let signal = cusum.observe(level + sigma * noise.gaussian());
+            assert_eq!(signal, DriftSignal::Warmup);
+        }
+        cusum
+    }
+
+    /// A 4σ step is caught within the `h/(Δ−k)` delay bound (plus head
+    /// room for noise).
+    #[test]
+    fn cusum_catches_step_within_delay_bound() {
+        let mut noise = Noise(0x5eed_0001);
+        let mut cusum = warmed_cusum(&mut noise, 0.3, 0.02);
+        let config = CusumConfig::default();
+        // Expected delay ≈ h / (Δ − k) = 8 / 3.5 ≈ 2.3 frames; allow 3×.
+        let bound = (config.threshold / (4.0 - config.slack)).ceil() as usize * 3;
+        let mut fired_at = None;
+        for i in 0..64 {
+            let x = 0.3 + 4.0 * 0.02 + 0.02 * noise.gaussian();
+            if let DriftSignal::Drift { magnitude } = cusum.observe(x) {
+                assert!(magnitude >= 1.0, "magnitude normalized by threshold");
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let delay = fired_at.expect("4σ step must be detected");
+        assert!(
+            delay <= bound,
+            "detected after {delay} frames, bound {bound}"
+        );
+        // Firing rebaselines: the detector is back in warmup.
+        assert!(cusum.warming_up());
+    }
+
+    /// A slow ramp (0.2σ per frame) is still caught once the cumulative
+    /// deviation clears the slack.
+    #[test]
+    fn cusum_catches_ramp() {
+        let mut noise = Noise(0x5eed_0002);
+        let mut cusum = warmed_cusum(&mut noise, 0.3, 0.02);
+        let mut fired_at = None;
+        for i in 0..256 {
+            let x = 0.3 + 0.2 * 0.02 * i as f64 + 0.02 * noise.gaussian();
+            if let DriftSignal::Drift { .. } = cusum.observe(x) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let delay = fired_at.expect("ramp must be detected");
+        assert!(delay < 64, "ramp detected after {delay} frames");
+    }
+
+    /// A zero-mean oscillation that is part of the baseline behavior
+    /// (learned during warmup) cancels in the running sums and must not
+    /// fire.
+    #[test]
+    fn cusum_ignores_oscillation() {
+        let mut noise = Noise(0x5eed_0003);
+        let config = CusumConfig::default();
+        let mut cusum = Cusum::new(config);
+        let sample = |i: usize, noise: &mut Noise| {
+            let swing = if i % 2 == 0 { 0.02 } else { -0.02 };
+            0.3 + swing + 0.02 * noise.gaussian()
+        };
+        for i in 0..config.warmup as usize {
+            assert_eq!(cusum.observe(sample(i, &mut noise)), DriftSignal::Warmup);
+        }
+        for i in 0..2048 {
+            let signal = cusum.observe(sample(i, &mut noise));
+            assert!(
+                !matches!(signal, DriftSignal::Drift { .. }),
+                "oscillation fired at frame {i}"
+            );
+        }
+    }
+
+    /// The documented blind spot: a constant offset below the slack
+    /// (0.4σ < k = 0.5σ) never accumulates, so CUSUM alone never fires —
+    /// the reason the fusion layer pairs it with the disagreement signal.
+    #[test]
+    fn cusum_is_blind_to_slow_walk_below_slack() {
+        let mut cusum = warmed_cusum(&mut Noise(0x5eed_0004), 0.3, 0.02);
+        // Noise-free adversarial walk parked just under the slack.
+        for _ in 0..4096 {
+            let signal = cusum.observe(0.3 + 0.4 * 0.02);
+            assert!(
+                !matches!(signal, DriftSignal::Drift { .. }),
+                "sub-slack walk must stay below the radar"
+            );
+        }
+    }
+
+    /// False-alarm budget: the σ baseline is estimated from only
+    /// `warmup` samples, so a rare unlucky estimate can fire on clean
+    /// noise — the budget bounds that at ≤ 1 alarm per 4096 clean frames
+    /// per stream, ≤ 4 across 8 seeded streams.
+    #[test]
+    fn cusum_false_alarm_budget_on_clean_streams() {
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut noise = Noise(0x5eed_1000 + seed);
+            let mut cusum = warmed_cusum(&mut noise, 0.3, 0.02);
+            let mut alarms = 0usize;
+            for _ in 0..4096 {
+                if let DriftSignal::Drift { .. } = cusum.observe(0.3 + 0.02 * noise.gaussian()) {
+                    alarms += 1;
+                }
+            }
+            assert!(
+                alarms <= 1,
+                "seed {seed}: clean stream fired {alarms} times"
+            );
+            total += alarms;
+        }
+        assert!(total <= 4, "8 clean streams fired {total} times in total");
+    }
+
+    fn warmed_ewma(noise: &mut Noise, config: EwmaConfig, level: f64, sigma: f64) -> Ewma {
+        let mut ewma = Ewma::new(config);
+        for _ in 0..config.warmup {
+            let signal = ewma.observe(level + sigma * noise.gaussian());
+            assert_eq!(signal, DriftSignal::Warmup);
+        }
+        ewma
+    }
+
+    /// The EWMA chart reacts to a 4σ step within a handful of frames.
+    #[test]
+    fn ewma_catches_step_fast() {
+        let mut noise = Noise(0x5eed_0005);
+        let mut ewma = warmed_ewma(&mut noise, EwmaConfig::default(), 0.3, 0.02);
+        let mut fired_at = None;
+        for i in 0..32 {
+            let x = 0.3 + 4.0 * 0.02 + 0.02 * noise.gaussian();
+            if let DriftSignal::Drift { magnitude } = ewma.observe(x) {
+                assert!(magnitude >= 1.0);
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let delay = fired_at.expect("4σ step must fire the EWMA chart");
+        assert!(delay <= 8, "EWMA is the fast detector: delay {delay}");
+    }
+
+    /// With `rebaseline_on_fire: false` the alarm persists as an episode
+    /// while the shift lasts, and releases with hysteresis once the
+    /// stream returns to baseline.
+    #[test]
+    fn ewma_episode_persists_and_releases() {
+        let config = EwmaConfig {
+            rebaseline_on_fire: false,
+            ..EwmaConfig::default()
+        };
+        let mut noise = Noise(0x5eed_0006);
+        let mut ewma = warmed_ewma(&mut noise, config, 0.0, 0.05);
+        // Shifted regime: fires once, then holds the episode.
+        let mut fires = 0usize;
+        for _ in 0..64 {
+            if let DriftSignal::Drift { .. } = ewma.observe(0.5 + 0.05 * noise.gaussian()) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 1, "transition-only firing");
+        assert!(ewma.in_alarm(), "episode persists while shifted");
+        // Back to baseline: the episode releases (and does not re-fire).
+        for _ in 0..64 {
+            let signal = ewma.observe(0.05 * noise.gaussian());
+            assert!(!matches!(signal, DriftSignal::Drift { .. }));
+        }
+        assert!(!ewma.in_alarm(), "episode releases at baseline");
+    }
+
+    /// Clean streams stay inside the EWMA false-alarm budget: ≤ 1 alarm
+    /// per 4096 clean frames per stream, ≤ 4 across 8 seeded streams.
+    #[test]
+    fn ewma_false_alarm_budget_on_clean_streams() {
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut noise = Noise(0x5eed_2000 + seed);
+            let mut ewma = warmed_ewma(&mut noise, EwmaConfig::default(), 0.3, 0.02);
+            let mut alarms = 0usize;
+            for _ in 0..4096 {
+                if let DriftSignal::Drift { .. } = ewma.observe(0.3 + 0.02 * noise.gaussian()) {
+                    alarms += 1;
+                }
+            }
+            assert!(
+                alarms <= 1,
+                "seed {seed}: clean stream fired {alarms} times"
+            );
+            total += alarms;
+        }
+        assert!(total <= 4, "8 clean streams fired {total} times in total");
+    }
+}

@@ -1,0 +1,100 @@
+//! Agreement-learned per-voter confidence weights.
+//!
+//! Each secondary voter's weight derives from an exponentially-weighted
+//! running estimate of how often its calibrated call (score ≥ 0.5) agreed
+//! with the primary's call on the same frame, per source address. The
+//! weight is `floor + (1 − floor) · agreement²` — quadratic so a voter
+//! that has drifted away from consensus loses influence quickly, floored
+//! so it keeps casting a (small) vote and can earn its way back. The
+//! primary voter is pinned at weight 1.0 by the fusion core and never
+//! carries one of these.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the agreement-weight update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightConfig {
+    /// Minimum weight: a fully-disagreeing voter still contributes this.
+    pub floor: f64,
+    /// EWMA factor for the agreement estimate.
+    pub lambda: f64,
+}
+
+impl Default for WeightConfig {
+    fn default() -> Self {
+        WeightConfig {
+            floor: 0.25,
+            lambda: 0.05,
+        }
+    }
+}
+
+/// One voter's running agreement-vs-primary estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct AgreementWeight {
+    agreement: f64,
+}
+
+impl Default for AgreementWeight {
+    fn default() -> Self {
+        // Voters start fully trusted; evidence erodes trust.
+        AgreementWeight { agreement: 1.0 }
+    }
+}
+
+impl AgreementWeight {
+    /// Folds one frame's agreed/disagreed observation into the estimate.
+    pub fn observe(&mut self, agreed: bool, config: &WeightConfig) {
+        let x = if agreed { 1.0 } else { 0.0 };
+        self.agreement = (1.0 - config.lambda) * self.agreement + config.lambda * x;
+    }
+
+    /// The current confidence weight in `[floor, 1]`.
+    pub fn weight(&self, config: &WeightConfig) -> f64 {
+        config.floor + (1.0 - config.floor) * self.agreement * self.agreement
+    }
+
+    /// The raw agreement estimate in `[0, 1]`.
+    pub fn agreement(&self) -> f64 {
+        self.agreement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disagreement_erodes_weight_to_the_floor() {
+        let config = WeightConfig::default();
+        let mut w = AgreementWeight::default();
+        assert!((w.weight(&config) - 1.0).abs() < 1e-12, "starts trusted");
+        for _ in 0..512 {
+            w.observe(false, &config);
+        }
+        assert!(
+            (w.weight(&config) - config.floor).abs() < 1e-3,
+            "persistent disagreement lands on the floor: {}",
+            w.weight(&config)
+        );
+        // Agreement earns trust back.
+        for _ in 0..512 {
+            w.observe(true, &config);
+        }
+        assert!(w.weight(&config) > 0.95, "trust is recoverable");
+    }
+
+    #[test]
+    fn weight_is_quadratic_in_agreement() {
+        let config = WeightConfig {
+            floor: 0.0,
+            lambda: 0.5,
+        };
+        let mut w = AgreementWeight::default();
+        for _ in 0..3 {
+            w.observe(false, &config);
+        }
+        let a = w.agreement();
+        assert!((w.weight(&config) - a * a).abs() < 1e-12);
+    }
+}

@@ -17,7 +17,7 @@ use vprofile_detector_core::{BackendSnapshot, DetectionBackend, SnapshotError, V
 
 /// Which detection backend a pipeline is running — a plain tag for
 /// reports, benches, and config plumbing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum BackendKind {
     /// vProfile's Mahalanobis nearest-cluster detector (the reference).
     VProfile,
@@ -165,6 +165,10 @@ impl DetectionBackend for Backend {
     // xtask: cold
     fn update_drift(&self) -> f64 {
         delegate!(self, b => b.update_drift())
+    }
+
+    fn calibrated_score(&self, sa: SourceAddress, verdict: &Verdict) -> Option<f64> {
+        delegate!(self, b => b.calibrated_score(sa, verdict))
     }
 
     fn snapshot(&self) -> BackendSnapshot {

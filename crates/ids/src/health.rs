@@ -15,6 +15,7 @@
 //! `probe_interval`-th window is still scored as a recovery probe;
 //! `close_after` consecutive healthy probes close the breaker again.
 
+use crate::backend::BackendKind;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -43,6 +44,37 @@ pub enum DegradeReason {
     ExtractionFailures,
     /// The rolling unscorable-verdict rate tripped the breaker.
     UnscorableVerdicts,
+    /// A fusion ensemble voter dropped out mid-stream; the ensemble
+    /// reweighted around it and kept scoring, consuming this one frame as
+    /// an explicit, backend-attributed degradation marker.
+    VoterOutage {
+        /// Index of the voter that dropped out (0 = primary).
+        voter: u8,
+        /// Which detection backend the voter was running.
+        backend: BackendKind,
+        /// What took the voter out.
+        cause: OutageCause,
+    },
+}
+
+/// Why a fusion voter dropped out of the ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageCause {
+    /// The voter returned `Unscorable` for enough consecutive frames to
+    /// be suspended (it keeps getting recovery probes).
+    UnscorableStreak,
+    /// The voter was taken out by an injected fault (chaos testing); it
+    /// is never readmitted.
+    Fault,
+}
+
+impl fmt::Display for OutageCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutageCause::UnscorableStreak => f.write_str("unscorable streak"),
+            OutageCause::Fault => f.write_str("injected fault"),
+        }
+    }
 }
 
 impl fmt::Display for DegradeReason {
@@ -50,6 +82,11 @@ impl fmt::Display for DegradeReason {
         match self {
             DegradeReason::ExtractionFailures => f.write_str("extraction failures"),
             DegradeReason::UnscorableVerdicts => f.write_str("unscorable verdicts"),
+            DegradeReason::VoterOutage {
+                voter,
+                backend,
+                cause,
+            } => write!(f, "voter {voter} ({}) outage: {cause}", backend.label()),
         }
     }
 }
@@ -399,6 +436,15 @@ mod tests {
         assert_eq!(
             DropReason::ShardFailed.to_string(),
             "shard permanently failed"
+        );
+        assert_eq!(
+            DegradeReason::VoterOutage {
+                voter: 2,
+                backend: BackendKind::Scission,
+                cause: OutageCause::UnscorableStreak,
+            }
+            .to_string(),
+            "voter 2 (scission) outage: unscorable streak"
         );
     }
 }

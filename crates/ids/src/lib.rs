@@ -69,6 +69,7 @@ mod backend;
 mod engine;
 mod event;
 mod framer;
+mod fusion;
 mod health;
 mod period;
 mod pipeline;
@@ -81,7 +82,10 @@ pub use backend::{Backend, BackendKind};
 pub use engine::{IdsEngine, UpdatePolicy};
 pub use event::{IdsEvent, ScoredEvent};
 pub use framer::StreamFramer;
-pub use health::{BackpressurePolicy, BreakerState, DegradeReason, DropReason, HealthConfig};
+pub use fusion::{FusedScore, FusionEngine, FusionEvent, FusionPipeline, FusionRecord};
+pub use health::{
+    BackpressurePolicy, BreakerState, DegradeReason, DropReason, HealthConfig, OutageCause,
+};
 pub use period::{PeriodMonitor, PeriodVerdict};
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats, StageBreakdown};
 pub use reorder::ReorderBuffer;
@@ -89,4 +93,8 @@ pub use shadow::{ShadowEvent, ShadowPipeline, ShadowVerdict};
 pub use shard::stable_shard;
 pub use vprofile_detector_core::{
     BackendSnapshot, DetectionBackend, SnapshotError, VProfileBackend,
+};
+pub use vprofile_fusion::{
+    CusumConfig, DriftKind, DriftLedger, DriftRecord, DriftVerdict, EwmaConfig, FusionConfig,
+    FusionCore, FusionDecision, OutageRecord,
 };

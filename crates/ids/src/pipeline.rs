@@ -33,6 +33,7 @@
 //! holds in every stats snapshot.
 
 use crate::engine::elapsed_ns;
+use crate::fusion::{FusionEngine, FusionEvent, FusionRecord};
 use crate::health::{
     BackpressurePolicy, BreakerState, DropReason, HealthConfig, HealthMonitor, WindowOutcome,
 };
@@ -47,7 +48,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vprofile::EdgeSetExtractor;
+use vprofile::{EdgeSetExtractor, VProfileConfig};
+use vprofile_fusion::DriftLedger;
 
 /// Failure modes of the threaded pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,98 @@ impl std::error::Error for PipelineError {}
 /// Hook invoked by each worker before scoring a window; test-only fault
 /// injection.
 type FaultHook = Arc<dyn Fn(usize, u64) + Send + Sync>;
+
+/// The engine a shard worker runs: a single-backend [`IdsEngine`] or a
+/// multi-voter [`FusionEngine`]. One enum keeps the router, supervisor,
+/// breaker, checkpoint, and merger machinery identical for both — a
+/// fused pipeline is the same pipeline with a different core.
+#[derive(Debug, Clone)]
+pub(crate) enum CoreEngine {
+    /// One detection backend (the historical pipeline).
+    Single(IdsEngine),
+    /// An N-voter fusion ensemble (boxed: the fusion core preallocates
+    /// per-SA state for every voter, so the variant is large).
+    Fused(Box<FusionEngine>),
+}
+
+impl CoreEngine {
+    /// The framing/extraction configuration, for the router.
+    fn config(&self) -> &VProfileConfig {
+        match self {
+            CoreEngine::Single(engine) => engine.config(),
+            CoreEngine::Fused(engine) => engine.config(),
+        }
+    }
+
+    /// Scores one window; the fused variant also returns its per-frame
+    /// fusion telemetry.
+    fn process_window_shard(
+        &mut self,
+        stream_pos: u64,
+        window: &[f64],
+        shard: usize,
+    ) -> (IdsEvent, u64, u64, Option<FusionRecord>) {
+        match self {
+            CoreEngine::Single(engine) => {
+                let (event, extract_ns, score_ns) = engine.process_window_timed(stream_pos, window);
+                (event, extract_ns, score_ns, None)
+            }
+            CoreEngine::Fused(engine) => engine.process_window_shard(stream_pos, window, shard),
+        }
+    }
+
+    fn apply_pending_updates(&mut self) {
+        match self {
+            CoreEngine::Single(engine) => engine.apply_pending_updates(),
+            CoreEngine::Fused(engine) => engine.apply_pending_updates(),
+        }
+    }
+
+    fn quarantine_sa(&mut self, sa: u8) {
+        match self {
+            CoreEngine::Single(engine) => engine.quarantine_sa(sa),
+            CoreEngine::Fused(engine) => engine.quarantine_sa(sa),
+        }
+    }
+
+    fn release_all_quarantined(&mut self) {
+        match self {
+            CoreEngine::Single(engine) => engine.release_all_quarantined(),
+            CoreEngine::Fused(engine) => engine.release_all_quarantined(),
+        }
+    }
+
+    fn quarantined_len(&self) -> usize {
+        match self {
+            CoreEngine::Single(engine) => engine.quarantined().len(),
+            CoreEngine::Fused(engine) => engine.quarantined().len(),
+        }
+    }
+
+    /// Number of fusion voters (0 for a single-backend core).
+    fn voter_count(&self) -> usize {
+        match self {
+            CoreEngine::Single(_) => 0,
+            CoreEngine::Fused(engine) => engine.voters().len(),
+        }
+    }
+
+    /// Unwraps the single-backend engine.
+    pub(crate) fn into_single(self) -> Option<IdsEngine> {
+        match self {
+            CoreEngine::Single(engine) => Some(engine),
+            CoreEngine::Fused(_) => None,
+        }
+    }
+
+    /// Unwraps the fusion engine.
+    pub(crate) fn into_fused(self) -> Option<FusionEngine> {
+        match self {
+            CoreEngine::Fused(engine) => Some(*engine),
+            CoreEngine::Single(_) => None,
+        }
+    }
+}
 
 /// Construction parameters for [`IdsPipeline::spawn_sharded`].
 #[derive(Clone)]
@@ -282,6 +376,23 @@ pub struct PipelineStats {
     /// Frames on which each shadow backend's anomaly/normal call differed
     /// from the primary's, indexed in shadow order.
     pub shadow_disagreements: Vec<u64>,
+    /// Frames scored through the fusion ensemble (zero unless the
+    /// pipeline was spawned through [`crate::FusionPipeline`]). Counts
+    /// fused frames, which already partition into the per-frame counters
+    /// above, so it sits outside the frame identity.
+    // xtask: outside-frame-identity
+    pub fusion_frames: u64,
+    /// Frames on which each fusion voter's individual calibrated call
+    /// differed from the fused call, indexed by voter (0 = primary).
+    pub voter_disagreements: Vec<u64>,
+    /// Typed change-point verdicts emitted by the fusion drift detectors
+    /// (a property of fused frames, not a frame class of its own).
+    // xtask: outside-frame-identity
+    pub drift_verdicts: u64,
+    /// Fusion voters suspended mid-stream. The outage *frames* are
+    /// already counted in `degraded`; this counts the transitions.
+    // xtask: outside-frame-identity
+    pub voter_outages: u64,
     /// Cumulative wall-clock time spent in each pipeline stage, summed
     /// across the threads running it.
     pub stage_ns: StageBreakdown,
@@ -343,12 +454,15 @@ struct WorkItem {
 
 /// One event travelling from a worker to the merger. `shadow` is empty
 /// unless the pipeline runs shadow backends, so the non-shadow hot path
-/// stays allocation-free.
+/// stays allocation-free; `fusion` is `None` unless the core is a
+/// [`FusionEngine`] (the record itself is `Copy`, so attaching it costs
+/// no allocation either way).
 struct ScoredItem {
     seq: u64,
     shard: usize,
     event: IdsEvent,
     shadow: Vec<ShadowVerdict>,
+    fusion: Option<FusionRecord>,
 }
 
 /// Live per-shard gauges, written by supervisors and read by
@@ -489,7 +603,7 @@ pub struct IdsPipeline {
     gauges: Arc<Vec<ShardGauges>>,
     clocks: Arc<StageClocks>,
     router: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<IdsEngine>>,
+    workers: Vec<JoinHandle<CoreEngine>>,
     merger: Option<JoinHandle<()>>,
 }
 
@@ -544,6 +658,20 @@ impl IdsPipeline {
         shadows: Vec<IdsEngine>,
         config: PipelineConfig,
     ) -> (Self, Receiver<ShadowEvent>) {
+        let (pipeline, shadow_rx, _fusion_rx) =
+            Self::spawn_core(CoreEngine::Single(engine), shadows, config, None);
+        (pipeline, shadow_rx)
+    }
+
+    /// Spawns the sharded pipeline around any [`CoreEngine`] — the one
+    /// construction path behind every public `spawn*`. `ledger`, when
+    /// given, receives every notable fusion frame from the merger.
+    pub(crate) fn spawn_core(
+        engine: CoreEngine,
+        shadows: Vec<IdsEngine>,
+        config: PipelineConfig,
+        ledger: Option<Arc<DriftLedger>>,
+    ) -> (Self, Receiver<ShadowEvent>, Receiver<FusionEvent>) {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -559,6 +687,7 @@ impl IdsPipeline {
         let (event_tx, event_rx) = unbounded::<IdsEvent>();
         let (scored_tx, scored_rx) = unbounded::<ScoredItem>();
         let (shadow_tx, shadow_rx) = unbounded::<ShadowEvent>();
+        let (fusion_tx, fusion_rx) = unbounded::<FusionEvent>();
         let stats = Arc::new(Mutex::new(PipelineStats {
             shard_frames: vec![0; workers],
             queue_depths: vec![0; workers],
@@ -567,6 +696,7 @@ impl IdsPipeline {
             shard_failed: vec![false; workers],
             quarantined_sas: vec![0; workers],
             shadow_disagreements: vec![0; shadows.len()],
+            voter_disagreements: vec![0; engine.voter_count()],
             ..PipelineStats::default()
         }));
         let gauges: Arc<Vec<ShardGauges>> =
@@ -623,7 +753,15 @@ impl IdsPipeline {
         let merger_stats = Arc::clone(&stats);
         let merger_clocks = Arc::clone(&clocks);
         let merger = std::thread::spawn(move || {
-            merger_loop(scored_rx, event_tx, shadow_tx, merger_stats, merger_clocks)
+            merger_loop(
+                scored_rx,
+                event_tx,
+                shadow_tx,
+                fusion_tx,
+                ledger,
+                merger_stats,
+                merger_clocks,
+            )
         });
 
         let pipeline = IdsPipeline {
@@ -637,7 +775,7 @@ impl IdsPipeline {
             workers: worker_handles,
             merger: Some(merger),
         };
-        (pipeline, shadow_rx)
+        (pipeline, shadow_rx, fusion_rx)
     }
 
     /// Number of detection workers.
@@ -730,7 +868,19 @@ impl IdsPipeline {
     /// supervisors and surface in [`PipelineStats::restarts`] /
     /// [`PipelineStats::shard_failed`] instead). All threads are joined
     /// before the error returns, so `close` never hangs.
-    pub fn close(mut self) -> Result<(Vec<IdsEngine>, PipelineStats), PipelineError> {
+    pub fn close(self) -> Result<(Vec<IdsEngine>, PipelineStats), PipelineError> {
+        let (cores, stats) = self.close_core()?;
+        let engines = cores
+            .into_iter()
+            .filter_map(CoreEngine::into_single)
+            .collect();
+        Ok((engines, stats))
+    }
+
+    /// [`IdsPipeline::close`] without unwrapping the engine kind; used by
+    /// the typed wrappers ([`crate::FusionPipeline`]) to recover their
+    /// own engine type.
+    pub(crate) fn close_core(mut self) -> Result<(Vec<CoreEngine>, PipelineStats), PipelineError> {
         self.queue.close_input();
         let mut panicked = false;
         if let Some(router) = self.router.take() {
@@ -865,8 +1015,8 @@ struct WorkerRuntime {
 /// `pending`, dropping only the window that was in flight when the panic
 /// hit.
 struct WorkerState {
-    engine: IdsEngine,
-    checkpoint: IdsEngine,
+    engine: CoreEngine,
+    checkpoint: CoreEngine,
     shadows: Vec<IdsEngine>,
     shadow_checkpoints: Vec<IdsEngine>,
     pending: VecDeque<WorkItem>,
@@ -949,7 +1099,7 @@ impl WorkerState {
                 if let Some(hook) = &rt.hook {
                     hook(rt.shard, item.seq);
                 }
-                let event = self.score(rt, item.stream_pos, &item.window);
+                let (event, fusion) = self.score(rt, item.stream_pos, &item.window);
                 // Shadows only mirror frames the primary actually scored:
                 // degraded/dropped placeholders carry no primary verdict
                 // to disagree with.
@@ -972,6 +1122,7 @@ impl WorkerState {
                     shard: rt.shard,
                     event,
                     shadow,
+                    fusion,
                 };
                 if rt.scored_tx.send(scored).is_err() {
                     // Merger gone (panicked): nothing downstream to feed.
@@ -983,18 +1134,30 @@ impl WorkerState {
 
     /// Scores one window through the engine, attributing extraction and
     /// scoring time to the shared stage clocks.
-    fn process_timed(&mut self, rt: &WorkerRuntime, stream_pos: u64, window: &[f64]) -> IdsEvent {
-        let (event, extract_ns, score_ns) = self.engine.process_window_timed(stream_pos, window);
+    fn process_timed(
+        &mut self,
+        rt: &WorkerRuntime,
+        stream_pos: u64,
+        window: &[f64],
+    ) -> (IdsEvent, Option<FusionRecord>) {
+        let (event, extract_ns, score_ns, fusion) = self
+            .engine
+            .process_window_shard(stream_pos, window, rt.shard);
         rt.clocks.extract.fetch_add(extract_ns, Ordering::Relaxed);
         rt.clocks.score.fetch_add(score_ns, Ordering::Relaxed);
-        event
+        (event, fusion)
     }
 
     /// Scores one window through the circuit breaker.
-    fn score(&mut self, rt: &WorkerRuntime, stream_pos: u64, window: &[f64]) -> IdsEvent {
+    fn score(
+        &mut self,
+        rt: &WorkerRuntime,
+        stream_pos: u64,
+        window: &[f64],
+    ) -> (IdsEvent, Option<FusionRecord>) {
         match self.monitor.state() {
             BreakerState::Closed => {
-                let event = self.process_timed(rt, stream_pos, window);
+                let (event, fusion) = self.process_timed(rt, stream_pos, window);
                 if let Some(sa) = event.sa() {
                     self.monitor.note_sa(sa.0);
                 }
@@ -1010,20 +1173,23 @@ impl WorkerState {
                     gauges.breaker_open.store(true, Ordering::Relaxed);
                     gauges
                         .quarantined
-                        .store(self.engine.quarantined().len(), Ordering::Relaxed);
+                        .store(self.engine.quarantined_len(), Ordering::Relaxed);
                     self.refresh_checkpoint();
-                    return IdsEvent::Degraded {
-                        stream_pos,
-                        shard: rt.shard,
-                        reason,
-                    };
+                    return (
+                        IdsEvent::Degraded {
+                            stream_pos,
+                            shard: rt.shard,
+                            reason,
+                        },
+                        fusion,
+                    );
                 }
-                event
+                (event, fusion)
             }
             BreakerState::Open => {
                 let reason = self.monitor.reason();
                 if self.monitor.take_probe_slot() {
-                    let event = self.process_timed(rt, stream_pos, window);
+                    let (event, fusion) = self.process_timed(rt, stream_pos, window);
                     let healthy = matches!(outcome_of(&event), WindowOutcome::Healthy);
                     if self.monitor.record_probe(healthy) {
                         // Fault cleared: release the quarantine and resume
@@ -1033,14 +1199,25 @@ impl WorkerState {
                         gauges.breaker_open.store(false, Ordering::Relaxed);
                         gauges.quarantined.store(0, Ordering::Relaxed);
                         self.refresh_checkpoint();
-                        return event;
+                        return (event, fusion);
                     }
+                    return (
+                        IdsEvent::Degraded {
+                            stream_pos,
+                            shard: rt.shard,
+                            reason,
+                        },
+                        fusion,
+                    );
                 }
-                IdsEvent::Degraded {
-                    stream_pos,
-                    shard: rt.shard,
-                    reason,
-                }
+                (
+                    IdsEvent::Degraded {
+                        stream_pos,
+                        shard: rt.shard,
+                        reason,
+                    },
+                    None,
+                )
             }
         }
     }
@@ -1064,7 +1241,7 @@ fn outcome_of(event: &IdsEvent) -> WindowOutcome {
 /// exponential backoff); past the budget the shard fails permanently and
 /// its windows drain as [`IdsEvent::Dropped`] placeholders so the merger's
 /// reorder buffer never stalls on a sequence gap.
-fn supervised_worker(engine: IdsEngine, shadows: Vec<IdsEngine>, rt: WorkerRuntime) -> IdsEngine {
+fn supervised_worker(engine: CoreEngine, shadows: Vec<IdsEngine>, rt: WorkerRuntime) -> CoreEngine {
     let mut state = WorkerState {
         checkpoint: engine.clone(),
         engine,
@@ -1100,6 +1277,7 @@ fn supervised_worker(engine: IdsEngine, shadows: Vec<IdsEngine>, rt: WorkerRunti
                             reason: DropReason::WorkerRestart,
                         },
                         shadow: Vec::new(),
+                        fusion: None,
                     });
                 }
                 if restarts > rt.restart_budget {
@@ -1131,6 +1309,7 @@ fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
                 reason: DropReason::ShardFailed,
             },
             shadow: Vec::new(),
+            fusion: None,
         });
     };
     for item in pending {
@@ -1150,15 +1329,24 @@ fn merger_loop(
     scored_rx: Receiver<ScoredItem>,
     event_tx: Sender<IdsEvent>,
     shadow_tx: Sender<ShadowEvent>,
+    fusion_tx: Sender<FusionEvent>,
+    ledger: Option<Arc<DriftLedger>>,
     stats: Arc<Mutex<PipelineStats>>,
     clocks: Arc<StageClocks>,
 ) {
-    let mut buffer: ReorderBuffer<(usize, IdsEvent, Vec<ShadowVerdict>)> = ReorderBuffer::new();
+    let mut buffer: ReorderBuffer<(usize, IdsEvent, Vec<ShadowVerdict>, Option<FusionRecord>)> =
+        ReorderBuffer::new();
     // xtask: allow(hot-path-alloc): one scratch Vec per merger-thread lifetime, drained and reused across frames
-    let mut ready: Vec<(usize, IdsEvent, Vec<ShadowVerdict>)> = Vec::new();
+    let mut ready: Vec<(usize, IdsEvent, Vec<ShadowVerdict>, Option<FusionRecord>)> = Vec::new();
+    // xtask: allow(hot-path-alloc): one scratch Vec per merger-thread lifetime, drained and reused across frames
+    let mut notables: Vec<(u64, usize, FusionRecord)> = Vec::new();
     for item in scored_rx {
         let merging = Instant::now();
-        buffer.push(item.seq, (item.shard, item.event, item.shadow), &mut ready);
+        buffer.push(
+            item.seq,
+            (item.shard, item.event, item.shadow, item.fusion),
+            &mut ready,
+        );
         if ready.is_empty() {
             clocks
                 .merge
@@ -1172,7 +1360,7 @@ fn merger_loop(
         // live in the same section for the same reason.
         // xtask: allow(hot-path-lock): counters and event emission must share one critical section so stats snapshots never disagree with the emitted stream
         let mut s = stats.lock();
-        for (shard, event, shadow) in ready.drain(..) {
+        for (shard, event, shadow, fusion) in ready.drain(..) {
             s.frames += 1;
             match &event {
                 IdsEvent::Scored(scored) => {
@@ -1189,6 +1377,29 @@ fn merger_loop(
             }
             if let Some(count) = s.shard_frames.get_mut(shard) {
                 *count += 1;
+            }
+            if let Some(record) = fusion {
+                s.fusion_frames += 1;
+                let mut mask = record.disagree_mask;
+                let mut index = 0usize;
+                while mask != 0 {
+                    if mask & 1 != 0 {
+                        if let Some(count) = s.voter_disagreements.get_mut(index) {
+                            *count += 1;
+                        }
+                    }
+                    mask >>= 1;
+                    index += 1;
+                }
+                if record.drift.is_some() {
+                    s.drift_verdicts += 1;
+                }
+                if record.outage.is_some() {
+                    s.voter_outages += 1;
+                }
+                if record.drift.is_some() || record.outage.is_some() {
+                    notables.push((event.stream_pos(), shard, record));
+                }
             }
             if !shadow.is_empty() {
                 s.shadow_frames += 1;
@@ -1222,6 +1433,34 @@ fn merger_loop(
         clocks
             .merge
             .fetch_add(elapsed_ns(merging), Ordering::Relaxed);
+        if !notables.is_empty() {
+            publish_fusion_notables(&fusion_tx, ledger.as_deref(), &mut notables);
+        }
+    }
+}
+
+/// Records drift and outage frames in the [`DriftLedger`] and forwards them
+/// on the fusion event channel, outside the stats critical section.
+// xtask: cold
+fn publish_fusion_notables(
+    fusion_tx: &Sender<FusionEvent>,
+    ledger: Option<&DriftLedger>,
+    notables: &mut Vec<(u64, usize, FusionRecord)>,
+) {
+    for (stream_pos, shard, record) in notables.drain(..) {
+        if let Some(ledger) = ledger {
+            if let Some(verdict) = record.drift {
+                ledger.record_drift(stream_pos, shard, verdict);
+            }
+            if let Some(voter) = record.outage {
+                ledger.record_outage(stream_pos, shard, voter);
+            }
+        }
+        let _ = fusion_tx.send(FusionEvent {
+            stream_pos,
+            shard,
+            record,
+        });
     }
 }
 

@@ -16,7 +16,7 @@
 
 use vprofile::{EdgeSetExtractor, LabeledEdgeSet, Trainer, VProfileConfig};
 use vprofile_detector_core::{DetectionBackend, VProfileBackend};
-use vprofile_ids::{IdsEngine, UpdatePolicy};
+use vprofile_ids::{Backend, FusionConfig, FusionEngine, IdsEngine, UpdatePolicy};
 use vprofile_vehicle::adversary::{update_poisoning_capture, AdversaryPlan};
 use vprofile_vehicle::{Capture, CaptureConfig, Vehicle};
 
@@ -204,6 +204,112 @@ fn poisoning_walk_is_quarantined_and_releases_cleanly() {
         "clean absorption must resume after release"
     );
     assert!(engine.quarantined().is_empty(), "no quarantine residue");
+}
+
+/// Builds the ensemble counterpart of the single-backend setup: vProfile
+/// primary plus Viden- and Scission-style secondaries, all trained on the
+/// same clean session, with online updates enabled.
+fn fusion_setup(vehicle: &Vehicle, capture: &Capture) -> FusionEngine {
+    let config = VProfileConfig::for_adc(capture.adc(), capture.bit_rate_bps());
+    let extracted = capture.extract(&EdgeSetExtractor::new(config.clone()));
+    let labeled = extracted.labeled();
+    let lut = vehicle.sa_lut();
+    let model = Trainer::new(config.clone())
+        .train_with_lut(&labeled, &lut)
+        .expect("training");
+    let voters = vec![
+        Backend::vprofile(model, 2.0),
+        Backend::from(vprofile_baselines::VidenDetector::fit(&labeled, &lut, 6.0).expect("viden")),
+        Backend::from(
+            vprofile_baselines::ScissionDetector::fit(&labeled, &lut, 0.5).expect("scission"),
+        ),
+    ];
+    FusionEngine::new(
+        voters,
+        config,
+        FusionConfig::default(),
+        UpdatePolicy::every(1, usize::MAX),
+    )
+}
+
+/// Sum of the primary (vProfile) voter's cluster counts — the observable
+/// that grows iff absorption reached the model.
+fn primary_counts(engine: &FusionEngine) -> usize {
+    engine.voters()[0]
+        .as_vprofile()
+        .expect("voter 0 is the vProfile primary")
+        .model()
+        .clusters()
+        .iter()
+        .map(|c| c.count())
+        .sum()
+}
+
+/// ISSUE 8: absorption in the fusion engine is *drift-gated* — there is
+/// no cadence to exploit. A stationary clean replay opens no change-point
+/// budget, so even with updates enabled on every frame the model must not
+/// move at all.
+#[test]
+fn fusion_does_not_absorb_stationary_traffic() {
+    let (vehicle, capture, _, _) = trained_setup(700);
+    let mut engine = fusion_setup(&vehicle, &capture);
+    let before = primary_counts(&engine);
+    for (i, frame) in capture.frames().iter().enumerate() {
+        let _ = engine.process_window(i as u64, &frame.trace.to_f64());
+    }
+    engine.apply_pending_updates();
+    assert_eq!(
+        primary_counts(&engine),
+        before,
+        "no ScoreShift verdict, no absorption: the drift gate stays shut"
+    );
+    assert!(engine.quarantined().is_empty());
+}
+
+/// ISSUE 8: the mimicry walk that defeats per-frame detection cannot buy
+/// model movement from the fusion engine. Either its frames split the
+/// ensemble (disagreement voids the absorption budget), or enough drift
+/// accumulates to trip the poisoning guard and quarantine the SA —
+/// both ways the primary model ends essentially where it started.
+#[test]
+fn fusion_starves_or_quarantines_the_poisoning_walk() {
+    let (vehicle, _, backend, _) = trained_setup(700);
+    let baseline = backend.model().clone();
+    let victim_sa = vehicle.ecus()[0].schedules[0].sa;
+    let plan = AdversaryPlan::new(0, 0.3, 77);
+    let poison = update_poisoning_capture(&vehicle, &plan, 600).expect("poison capture");
+
+    let capture = vehicle
+        .capture(&CaptureConfig::default().with_frames(700).with_seed(23))
+        .expect("capture");
+    let mut engine = fusion_setup(&vehicle, &capture).with_drift_guard(DRIFT_THRESHOLD);
+    let before = primary_counts(&engine);
+
+    for (i, frame) in poison.frames().iter().enumerate() {
+        let _ = engine.process_window(i as u64, &frame.trace.to_f64());
+    }
+    engine.apply_pending_updates();
+    let absorbed = primary_counts(&engine) - before;
+    let quarantined = engine.quarantined().contains(victim_sa.raw());
+    assert!(
+        absorbed == 0 || quarantined,
+        "the walk bought {absorbed} absorbed frames without tripping quarantine"
+    );
+
+    // Whatever leaked through before the gate shut, the model must end
+    // close to its baseline — far under the unguarded walk's ~1250 drift.
+    let victim_cluster = baseline.lookup_sa(victim_sa).expect("trained SA");
+    let mean_before = baseline.cluster(victim_cluster).mean().to_vec();
+    let model_after = engine.voters()[0]
+        .as_vprofile()
+        .expect("vprofile primary")
+        .model();
+    let mean_after = model_after.cluster(victim_cluster).mean().to_vec();
+    let moved = euclid(&mean_before, &mean_after);
+    assert!(
+        moved < DRIFT_THRESHOLD,
+        "fusion must hold the poisoned mean near baseline, moved {moved}"
+    );
 }
 
 /// The guard is an engine feature: per-SA release alone (attacker still
