@@ -11,7 +11,11 @@
 //! * `score/batched_64` — the flat [`SampleBatch`] Mahalanobis kernel over
 //!   64 frames at once;
 //! * `matmul` — the cache-blocked `mul_add` matrix kernel the scoring
-//!   factors are built with.
+//!   factors are built with;
+//! * `gap_skip` — the block (8-lane) dominant-sample scans behind the
+//!   splitter's idle-gap skip, benchmarked against their scalar twins on
+//!   the same inputs so the speedup (and any regression to parity) is
+//!   measured, not assumed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -155,6 +159,34 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gap_skip(c: &mut Criterion) {
+    use vprofile_ids::scan;
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut group = c.benchmark_group("gap_skip");
+    for gap in [256usize, 4096] {
+        // An idle gap of recessive noise with a single dominant edge at
+        // the far end: the exact shape the splitter's SOF search (find)
+        // and close probe (rfind) burn their cycles on.
+        let mut fwd: Vec<f64> = (0..gap).map(|_| rng.random_range(80.0..120.0)).collect();
+        fwd.push(3000.0);
+        let mut rev = vec![3000.0];
+        rev.extend((0..gap).map(|_| rng.random_range(80.0..120.0)));
+        group.bench_with_input(BenchmarkId::new("find_block", gap), &gap, |b, _| {
+            b.iter(|| scan::find_dominant(black_box(&fwd), 1500.0))
+        });
+        group.bench_with_input(BenchmarkId::new("find_scalar", gap), &gap, |b, _| {
+            b.iter(|| scan::find_dominant_scalar(black_box(&fwd), 1500.0))
+        });
+        group.bench_with_input(BenchmarkId::new("rfind_block", gap), &gap, |b, _| {
+            b.iter(|| scan::rfind_dominant(black_box(&rev), 1500.0))
+        });
+        group.bench_with_input(BenchmarkId::new("rfind_scalar", gap), &gap, |b, _| {
+            b.iter(|| scan::rfind_dominant_scalar(black_box(&rev), 1500.0))
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(50)
@@ -165,6 +197,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_extract, bench_score, bench_router, bench_matmul
+    targets = bench_extract, bench_score, bench_router, bench_matmul, bench_gap_skip
 }
 criterion_main!(benches);

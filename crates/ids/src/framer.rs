@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::scan;
+
 /// Splits a continuous sample stream into per-frame windows.
 ///
 /// Feed samples incrementally with [`StreamFramer::push`]; completed frame
@@ -59,6 +61,21 @@ impl StreamFramer {
         self.consumed
     }
 
+    /// Resets the framer to the idle state at absolute stream position
+    /// `pos`: buffer emptied, no frame open, no carried recessive run.
+    ///
+    /// This is exactly the state a framer holds immediately after a frame
+    /// closes (or before it has seen any samples), which is what lets a
+    /// worker re-frame a routed substream segment with a single reusable
+    /// framer: `reset_to(segment.base)` then `push_into` reproduces the
+    /// global framer's output for that segment byte-for-byte.
+    pub fn reset_to(&mut self, pos: u64) {
+        self.buffer.clear();
+        self.sof_at = None;
+        self.recessive_run = 0;
+        self.consumed = pos;
+    }
+
     /// Pushes a chunk of samples; returns every frame window completed by
     /// this chunk, each paired with the stream position of its first
     /// sample.
@@ -66,11 +83,10 @@ impl StreamFramer {
     /// The chunk is consumed in *runs*, not sample by sample: idle spans
     /// are skipped with one vectorizable threshold scan and copied into the
     /// buffer with one `extend_from_slice` (trimmed to the lead-in tail
-    /// once per span rather than once per sample), and in-frame spans use a
-    /// gap-skip search — a close needs `end_gap` consecutive recessive
-    /// samples, so the scan probes the earliest offset where the gap could
-    /// complete and leaps `end_gap` ahead of the last dominant sample it
-    /// finds, never touching most of the frame body. A closed frame's
+    /// once per span rather than once per sample), and in-frame spans use
+    /// the fused block-max gap search ([`scan::gap_close`]) — a close
+    /// needs `end_gap` consecutive recessive samples, and the search folds
+    /// eight lanes per step to find where that run completes. A closed frame's
     /// window is assembled directly from the buffered head plus the in-chunk
     /// tail (one copy of the body, not two). Output is identical to the
     /// historical per-sample loop for every chunking of the stream.
@@ -78,13 +94,21 @@ impl StreamFramer {
     pub fn push(&mut self, samples: &[f64]) -> Vec<(u64, Vec<f64>)> {
         // xtask: allow(hot-path-alloc): an empty Vec does not touch the heap; it only grows when a frame closes and is moved out to the caller
         let mut out = Vec::new();
+        self.push_into(samples, &mut out);
+        out
+    }
+
+    /// [`StreamFramer::push`] into a caller-owned output vector, so a
+    /// steady-state caller can reuse one scratch allocation across chunks.
+    // xtask: hot-path
+    pub fn push_into(&mut self, samples: &[f64], out: &mut Vec<(u64, Vec<f64>)>) {
         let end_gap = (self.end_gap_bits * self.bit_width) as usize;
         let mut i = 0usize;
         while i < samples.len() {
             if self.sof_at.is_none() {
                 // Idle: find the next dominant sample (SOF), keeping only a
                 // lead-in tail of the idle span before it.
-                let sof_off = samples[i..].iter().position(|&v| v >= self.threshold);
+                let sof_off = scan::find_dominant(&samples[i..], self.threshold);
                 let idle_len = sof_off.unwrap_or(samples.len() - i);
                 self.consumed += idle_len as u64;
                 if idle_len >= self.lead_in {
@@ -109,37 +133,14 @@ impl StreamFramer {
                 // Fall through: `i` points at the SOF sample, handled by the
                 // in-frame branch below.
             }
-            // In frame: find the first offset `c` (into `rel`) where the
-            // trailing recessive run reaches `end_gap`. Such a close sits
-            // exactly `end_gap` after the last dominant sample, so probe the
-            // earliest candidate and jump from each dominant found: the
-            // backward scan only ever reads each sample once, and the
-            // samples between a found dominant and its candidate are
-            // skipped outright.
+            // In frame: find the first offset (into `rel`) where the
+            // trailing recessive run reaches `end_gap` — one fused forward
+            // block pass ([`scan::gap_close`]) that grows the run a whole
+            // 8-lane block at a time through recessive spans and restarts
+            // it at each block's trailing recessive tail otherwise.
             let rel = &samples[i..];
-            let run = self.recessive_run;
-            let mut lo = 0usize; // rel[..lo] already verified/accounted
-            let mut last_dom: Option<usize> = None;
-            // First offset whose gap could complete, given the carried run.
-            let mut cand = end_gap - 1 - run;
-            let close = loop {
-                if cand >= rel.len() {
-                    break None;
-                }
-                match rel[lo..=cand].iter().rposition(|&v| v >= self.threshold) {
-                    // No dominant since the last one (or chunk start):
-                    // the gap ending at `cand` is complete.
-                    None => break Some(cand),
-                    Some(p) => {
-                        let d = lo + p;
-                        last_dom = Some(d);
-                        lo = cand + 1;
-                        cand = d + end_gap;
-                    }
-                }
-            };
-            match close {
-                Some(k) => {
+            match scan::gap_close(rel, self.threshold, end_gap, self.recessive_run) {
+                Ok(k) => {
                     // Frame closed: emit from lead-in before SOF through the
                     // closing sample, copying the in-chunk body straight
                     // into the window.
@@ -156,30 +157,21 @@ impl StreamFramer {
                     self.recessive_run = 0;
                     i += k + 1;
                 }
-                None => {
+                Err(run_out) => {
                     // Chunk ends mid-frame: buffer the rest and carry the
-                    // trailing recessive run (only the unverified tail needs
-                    // scanning; everything after the last dominant is known
-                    // recessive).
-                    self.recessive_run = match rel[lo..].iter().rposition(|&v| v >= self.threshold)
-                    {
-                        Some(p) => rel.len() - 1 - (lo + p),
-                        None => match last_dom {
-                            Some(d) => rel.len() - 1 - d,
-                            None => run + rel.len(),
-                        },
-                    };
+                    // trailing recessive run.
+                    self.recessive_run = run_out;
                     self.buffer.extend_from_slice(rel);
                     self.consumed += rel.len() as u64;
                     break;
                 }
             }
         }
-        out
     }
 
     /// Flushes a trailing frame that never saw its closing idle gap (e.g.
     /// at end of capture). Returns `None` when no frame is open.
+    // xtask: cold
     pub fn flush(&mut self) -> Option<(u64, Vec<f64>)> {
         let sof = self.sof_at.take()?;
         let start = sof.saturating_sub(self.lead_in);

@@ -100,6 +100,9 @@ pub enum DropReason {
     /// The window was queued to a shard whose restart budget was already
     /// exhausted.
     ShardFailed,
+    /// The frame's segment was shed by the router because its shard's
+    /// ring was full under the `DropOldest` policy.
+    Backlogged,
 }
 
 impl fmt::Display for DropReason {
@@ -107,6 +110,7 @@ impl fmt::Display for DropReason {
         match self {
             DropReason::WorkerRestart => f.write_str("worker restart"),
             DropReason::ShardFailed => f.write_str("shard permanently failed"),
+            DropReason::Backlogged => f.write_str("shed by shard backpressure"),
         }
     }
 }
@@ -436,6 +440,10 @@ mod tests {
         assert_eq!(
             DropReason::ShardFailed.to_string(),
             "shard permanently failed"
+        );
+        assert_eq!(
+            DropReason::Backlogged.to_string(),
+            "shed by shard backpressure"
         );
         assert_eq!(
             DegradeReason::VoterOutage {

@@ -13,13 +13,16 @@
 //!   extraction → Algorithm 3 detection → [`IdsEvent`]s, with an optional
 //!   online-update policy (§5.3) that absorbs accepted messages and signals
 //!   when a full retrain is due;
-//! * [`IdsPipeline`] — a threaded, sharded wrapper: a router frames the
-//!   sample stream and routes each window to one of N detection workers by
-//!   a stable hash of the claimed source address ([`stable_shard`]), so
-//!   every worker owns a disjoint set of per-SA cluster state; a merger
-//!   re-serializes events through a sequence-numbered [`ReorderBuffer`],
-//!   making the output order deterministic and identical to a
-//!   single-worker run;
+//! * [`IdsPipeline`] — a threaded, sharded wrapper: a router *splits* the
+//!   sample stream into raw per-frame segments (peeking only the
+//!   arbitration field) and routes each to one of N detection workers by a
+//!   stable hash of the claimed source address ([`stable_shard`], seedable
+//!   via [`stable_shard_seeded`]) over bounded per-shard SPSC rings with
+//!   batched hand-off; each worker re-frames its segments with its own
+//!   [`StreamFramer`], so every worker owns a disjoint set of per-SA
+//!   cluster state and framing runs in parallel; a merger re-serializes
+//!   events through a sequence-numbered [`ReorderBuffer`], making the
+//!   output order deterministic and identical to a single-worker run;
 //! * self-healing — each worker runs under a supervisor that absorbs
 //!   panics and restarts the shard from a checkpointed engine snapshot
 //!   (bounded budget, exponential backoff), a per-shard circuit breaker
@@ -74,8 +77,11 @@ mod health;
 mod period;
 mod pipeline;
 mod reorder;
+mod ring;
+pub mod scan;
 mod shadow;
 mod shard;
+mod splitter;
 
 pub use alarm::{AlarmAggregator, AlarmClass, Incident};
 pub use backend::{Backend, BackendKind};
@@ -90,7 +96,7 @@ pub use period::{PeriodMonitor, PeriodVerdict};
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineError, PipelineStats, StageBreakdown};
 pub use reorder::ReorderBuffer;
 pub use shadow::{ShadowEvent, ShadowPipeline, ShadowVerdict};
-pub use shard::stable_shard;
+pub use shard::{stable_shard, stable_shard_seeded};
 pub use vprofile_detector_core::{
     BackendSnapshot, DetectionBackend, SnapshotError, VProfileBackend,
 };

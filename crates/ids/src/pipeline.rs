@@ -3,14 +3,23 @@
 //!
 //! The pipeline runs three kinds of threads:
 //!
-//! * a **router** that frames the raw sample stream ([`crate::StreamFramer`]),
-//!   peeks each window's claimed source address
-//!   ([`vprofile::EdgeSetExtractor::peek_sa`]), and routes the window to a
-//!   worker shard via [`crate::stable_shard`]. Routing by the claimed SA
-//!   means each worker owns a *disjoint* set of per-SA cluster state, so
-//!   online updates never race across workers;
+//! * a **router** that *splits* the raw sample stream into per-frame
+//!   segments without framing it: a [`FrameSplitter`] mirrors the
+//!   framer's boundary state machine over borrowed (`Arc`) chunk slices,
+//!   peeks each frame's claimed source address
+//!   ([`vprofile::EdgeSetExtractor::peek_sa`]) on exactly the frame's
+//!   sample range, and routes the raw segment to a worker shard via
+//!   [`crate::stable_shard_seeded`]. Segments travel over bounded
+//!   per-shard SPSC rings ([`SpscRing`]) in batches of [`ROUTE_BATCH`],
+//!   so the hand-off costs one atomic per batch, not per frame. Routing
+//!   by the claimed SA means each worker owns a *disjoint* set of per-SA
+//!   cluster state, so online updates never race across workers;
 //! * **N supervised detection workers**, each owning a clone of the
-//!   [`IdsEngine`]. Each worker runs under a supervisor that catches
+//!   [`IdsEngine`] *and its own [`crate::StreamFramer`]*: the worker
+//!   re-frames each routed segment locally (byte-identical to a single
+//!   global framer, because a framer's post-close state is exactly its
+//!   reset state and its output is chunking-invariant) and scores the
+//!   resulting window. Each worker runs under a supervisor that catches
 //!   panics and respawns the scoring loop from a periodically-refreshed
 //!   engine checkpoint, with exponential backoff and a bounded restart
 //!   budget; past the budget the shard fails permanently and its windows
@@ -26,9 +35,24 @@
 //!   therefore never disagree with the events already delivered.
 //!
 //! Samples arrive through a bounded queue whose overflow behaviour is the
-//! configured [`BackpressurePolicy`] (block the producer, reject the
-//! chunk, or shed the oldest); events leave over an unbounded channel.
-//! Every framed window becomes exactly one event, so
+//! configured [`BackpressurePolicy`]; events leave over an unbounded
+//! channel. Loss can happen at two distinct points, accounted separately:
+//!
+//! * **pre-framing, at the feed boundary** — `Reject` refuses the
+//!   incoming chunk and `DropOldest` sheds the oldest *queued* chunk when
+//!   the sample backlog is full (`rejected_chunks` / `dropped_chunks`,
+//!   outside the frame identity: a shed raw chunk never became frames);
+//! * **post-split, at a shard's ring** — under `DropOldest` a full shard
+//!   ring sheds the *incoming* frame segments (an SPSC producer cannot
+//!   retract items it already published), each becoming an
+//!   [`IdsEvent::Dropped`] placeholder with
+//!   [`DropReason::Backlogged`], attributed to exactly one shard in
+//!   [`PipelineStats::shard_sheds`] and counted in `dropped` *inside*
+//!   the frame identity. Under `Block` and `Reject` the router instead
+//!   blocks on the full ring, which fills the feed queue and lets the
+//!   feed-level policy fire.
+//!
+//! Every split frame becomes exactly one event, so
 //! `frames == anomalies + normals + extraction_failures + dropped + degraded`
 //! holds in every stats snapshot.
 
@@ -37,9 +61,11 @@ use crate::fusion::{FusionEngine, FusionEvent, FusionRecord};
 use crate::health::{
     BackpressurePolicy, BreakerState, DropReason, HealthConfig, HealthMonitor, WindowOutcome,
 };
+use crate::ring::SpscRing;
 use crate::shadow::{ShadowEvent, ShadowVerdict};
-use crate::{stable_shard, IdsEngine, IdsEvent, ReorderBuffer, StreamFramer};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::splitter::{FrameSplitter, RawSegment};
+use crate::{stable_shard_seeded, IdsEngine, IdsEvent, ReorderBuffer, StreamFramer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -212,6 +238,13 @@ pub struct PipelineConfig {
     pub checkpoint_interval: usize,
     /// Per-shard health-monitor tuning.
     pub health: HealthConfig,
+    /// Rebalance seed folded into the SA→shard hash
+    /// ([`crate::stable_shard_seeded`]). `0` (default) is the historical
+    /// pinned mapping; any other value deterministically reshuffles shard
+    /// ownership, the knob a deployment turns when its chatty SAs happen
+    /// to collide on one worker (measure with
+    /// [`PipelineStats::shard_frames`], pick a seed offline, pin it).
+    pub shard_seed: u64,
     fault_hook: Option<FaultHook>,
 }
 
@@ -226,6 +259,7 @@ impl Default for PipelineConfig {
             backoff_base_ms: 5,
             checkpoint_interval: 256,
             health: HealthConfig::default(),
+            shard_seed: 0,
             fault_hook: None,
         }
     }
@@ -242,6 +276,7 @@ impl std::fmt::Debug for PipelineConfig {
             .field("backoff_base_ms", &self.backoff_base_ms)
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("health", &self.health)
+            .field("shard_seed", &self.shard_seed)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
             .finish()
     }
@@ -310,6 +345,13 @@ impl PipelineConfig {
         self
     }
 
+    /// Sets the SA→shard rebalance seed (see [`PipelineConfig::shard_seed`]).
+    #[must_use]
+    pub fn with_shard_seed(mut self, seed: u64) -> Self {
+        self.shard_seed = seed;
+        self
+    }
+
     /// Installs a hook called as `(shard, seq)` before each window is
     /// scored. Exists so tests can inject worker faults (e.g. panics) at
     /// precise points; not part of the stable API.
@@ -328,8 +370,11 @@ impl PipelineConfig {
 /// degraded` holds in every snapshot, because the merger updates them in
 /// the same critical section that emits the corresponding event. The chunk
 /// counters (`dropped_chunks`, `rejected_chunks`) count *pre-framing* loss
-/// at the feed boundary — shed raw chunks never become frames, so they sit
-/// outside the frame identity by construction.
+/// at the feed boundary — a shed raw chunk never became frames, so they sit
+/// outside the frame identity by construction. Ring-level shedding is
+/// different: a shed *segment* is already a split frame, so it is counted
+/// in `dropped` (inside the identity) and attributed to its shard in
+/// `shard_sheds`.
 // xtask: frame-identity: frames == anomalies + normals + extraction_failures + dropped + degraded
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
@@ -342,8 +387,9 @@ pub struct PipelineStats {
     /// Frames whose extraction failed (reported as anomalous events, but
     /// counted separately here).
     pub extraction_failures: u64,
-    /// Frames lost to worker restarts or permanently failed shards
-    /// (emitted as [`IdsEvent::Dropped`] placeholders).
+    /// Frames lost to worker restarts, permanently failed shards, or
+    /// ring-level backpressure shedding (emitted as [`IdsEvent::Dropped`]
+    /// placeholders).
     pub dropped: u64,
     /// Frames consumed while a shard's breaker was open (emitted as
     /// [`IdsEvent::Degraded`]).
@@ -357,7 +403,13 @@ pub struct PipelineStats {
     // xtask: outside-frame-identity
     pub rejected_chunks: u64,
     /// Frames handled by each worker shard; sums to `frames`.
+    // xtask: shard-breakdown(frames)
     pub shard_frames: Vec<u64>,
+    /// Frame segments shed by each shard's full ring under
+    /// [`BackpressurePolicy::DropOldest`]; the subset of `dropped` with
+    /// [`DropReason::Backlogged`], attributed to exactly one shard.
+    // xtask: shard-breakdown(dropped)
+    pub shard_sheds: Vec<u64>,
     /// Instantaneous queue depth (windows routed but not yet handled) per
     /// shard at snapshot time; all zero after a clean [`IdsPipeline::close`].
     pub queue_depths: Vec<usize>,
@@ -375,6 +427,7 @@ pub struct PipelineStats {
     pub shadow_frames: u64,
     /// Frames on which each shadow backend's anomaly/normal call differed
     /// from the primary's, indexed in shadow order.
+    // xtask: outside-frame-identity
     pub shadow_disagreements: Vec<u64>,
     /// Frames scored through the fusion ensemble (zero unless the
     /// pipeline was spawned through [`crate::FusionPipeline`]). Counts
@@ -384,6 +437,7 @@ pub struct PipelineStats {
     pub fusion_frames: u64,
     /// Frames on which each fusion voter's individual calibrated call
     /// differed from the fused call, indexed by voter (0 = primary).
+    // xtask: outside-frame-identity
     pub voter_disagreements: Vec<u64>,
     /// Typed change-point verdicts emitted by the fusion drift detectors
     /// (a property of fused frames, not a frame class of its own).
@@ -407,9 +461,13 @@ pub struct PipelineStats {
 /// attribute compute, not waiting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StageBreakdown {
-    /// Framing the raw sample stream plus the SA-peek shard routing
-    /// decision, in the router thread.
+    /// Splitting the raw sample stream into frame segments plus the
+    /// SA-peek shard routing decision, in the router thread. Framing
+    /// proper happens on the workers and lands in `frame_ns`.
     pub router_ns: u64,
+    /// Re-framing routed segments into score-ready windows, across all
+    /// workers.
+    pub frame_ns: u64,
     /// Algorithm 1 edge-set extraction, across all workers.
     pub extract_ns: u64,
     /// Scoring — cache upkeep, nearest-cluster classification, and online
@@ -427,6 +485,7 @@ pub struct StageBreakdown {
 #[derive(Debug, Default)]
 struct StageClocks {
     router: AtomicU64,
+    frame: AtomicU64,
     extract: AtomicU64,
     score: AtomicU64,
     shadow: AtomicU64,
@@ -437,6 +496,7 @@ impl StageClocks {
     fn snapshot(&self) -> StageBreakdown {
         StageBreakdown {
             router_ns: self.router.load(Ordering::Relaxed),
+            frame_ns: self.frame.load(Ordering::Relaxed),
             extract_ns: self.extract.load(Ordering::Relaxed),
             score_ns: self.score.load(Ordering::Relaxed),
             shadow_ns: self.shadow.load(Ordering::Relaxed),
@@ -445,11 +505,11 @@ impl StageClocks {
     }
 }
 
-/// One framed window travelling from the router to a worker.
-struct WorkItem {
+/// One routed raw frame segment travelling from the router to a worker
+/// over the shard's ring; the worker re-frames it locally.
+struct SegmentItem {
     seq: u64,
-    stream_pos: u64,
-    window: Vec<f64>,
+    segment: RawSegment,
 }
 
 /// One event travelling from a worker to the merger. `shadow` is empty
@@ -690,6 +750,7 @@ impl IdsPipeline {
         let (fusion_tx, fusion_rx) = unbounded::<FusionEvent>();
         let stats = Arc::new(Mutex::new(PipelineStats {
             shard_frames: vec![0; workers],
+            shard_sheds: vec![0; workers],
             queue_depths: vec![0; workers],
             restarts: vec![0; workers],
             breaker: vec![BreakerState::Closed; workers],
@@ -703,14 +764,14 @@ impl IdsPipeline {
             Arc::new((0..workers).map(|_| ShardGauges::default()).collect());
         let clocks = Arc::new(StageClocks::default());
 
-        let mut work_txs = Vec::with_capacity(workers);
+        let mut rings: Vec<Arc<SpscRing<SegmentItem>>> = Vec::with_capacity(workers);
         let mut worker_handles = Vec::with_capacity(workers);
         for shard in 0..workers {
-            let (work_tx, work_rx) = bounded::<WorkItem>(high_water);
-            work_txs.push(work_tx);
+            let ring = Arc::new(SpscRing::new(high_water));
+            rings.push(Arc::clone(&ring));
             let rt = WorkerRuntime {
                 shard,
-                work_rx,
+                ring,
                 scored_tx: scored_tx.clone(),
                 gauges: Arc::clone(&gauges),
                 clocks: Arc::clone(&clocks),
@@ -727,27 +788,29 @@ impl IdsPipeline {
                 supervised_worker(worker_engine, worker_shadows, rt)
             }));
         }
-        // Only workers hold scored senders from here on: the merger exits
-        // exactly when the last worker is done.
+        // The router holds a scored sender only for its DropOldest shed
+        // placeholders; beyond that, only workers hold scored senders, so
+        // the merger exits exactly when the router and the last worker are
+        // both done.
+        let router_scored_tx = scored_tx.clone();
         drop(scored_tx);
 
         let model_config = engine.config().clone();
-        let router_queue = Arc::clone(&queue);
-        let router_gauges = Arc::clone(&gauges);
-        let router_clocks = Arc::clone(&clocks);
+        let router_rt = RouterRuntime {
+            queue: Arc::clone(&queue),
+            rings,
+            scored_tx: router_scored_tx,
+            gauges: Arc::clone(&gauges),
+            clocks: Arc::clone(&clocks),
+            workers,
+            shard_seed: config.shard_seed,
+            policy: config.backpressure,
+        };
         let router = std::thread::spawn(move || {
-            let framer =
-                StreamFramer::new(model_config.bit_width_samples, model_config.bit_threshold);
+            let splitter =
+                FrameSplitter::new(model_config.bit_width_samples, model_config.bit_threshold);
             let peeker = EdgeSetExtractor::new(model_config);
-            router_loop(
-                router_queue,
-                framer,
-                peeker,
-                work_txs,
-                router_gauges,
-                router_clocks,
-                workers,
-            );
+            router_loop(splitter, peeker, router_rt);
         });
 
         let merger_stats = Arc::clone(&stats);
@@ -937,60 +1000,151 @@ impl Drop for IdsPipeline {
     }
 }
 
-/// Frames the sample stream and routes each window to its shard.
-fn router_loop(
+/// Everything the router thread needs; owned by the router.
+struct RouterRuntime {
     queue: Arc<SampleQueue>,
-    mut framer: StreamFramer,
-    peeker: EdgeSetExtractor,
-    work_txs: Vec<Sender<WorkItem>>,
+    rings: Vec<Arc<SpscRing<SegmentItem>>>,
+    scored_tx: Sender<ScoredItem>,
     gauges: Arc<Vec<ShardGauges>>,
     clocks: Arc<StageClocks>,
     workers: usize,
-) {
-    let mut seq = 0u64;
-    let mut route = |stream_pos: u64, window: Vec<f64>| -> bool {
-        // A window whose SA cannot be decoded still needs an owner: 0xFF
-        // (the J1939 global address, never a legitimate claimed sender)
-        // routes all unparseable windows to one stable shard.
-        let peeking = Instant::now();
-        let sa = peeker.peek_sa(&window).map(|sa| sa.raw()).unwrap_or(0xFF);
-        let shard = stable_shard(sa, workers);
-        clocks
-            .router
-            .fetch_add(elapsed_ns(peeking), Ordering::Relaxed);
-        gauges[shard].depth.fetch_add(1, Ordering::Relaxed);
-        let item = WorkItem {
-            seq,
-            stream_pos,
-            window,
-        };
-        seq += 1;
-        // Deliberately untimed: a full worker queue blocks here, and that
-        // wait is backpressure, not routing work.
-        if work_txs[shard].send(item).is_err() {
-            gauges[shard].depth.fetch_sub(1, Ordering::Relaxed);
-            return false;
+    shard_seed: u64,
+    policy: BackpressurePolicy,
+}
+
+/// Segments the router accumulates per shard before publishing them to
+/// the shard's ring in one batch — one `Release` store (plus at most one
+/// condvar signal) per [`ROUTE_BATCH`] frames instead of per frame.
+/// Batches are also flushed at the end of every chunk so a trickle of
+/// input never strands a frame in a half-full batch.
+const ROUTE_BATCH: usize = 8;
+
+/// Closes every shard ring when dropped, so the workers observe
+/// end-of-stream no matter how the router exits — clean drain, dead
+/// consumer, or a panic.
+struct RingCloser<'a>(&'a [Arc<SpscRing<SegmentItem>>]);
+
+impl Drop for RingCloser<'_> {
+    fn drop(&mut self) {
+        for ring in self.0 {
+            ring.close();
         }
-        true
-    };
-    'stream: while let Some(chunk) = queue.pop() {
-        let framing = Instant::now();
-        let windows = framer.push(&chunk);
-        clocks
+    }
+}
+
+/// Splits the sample stream into raw frame segments and routes each to
+/// its shard's ring by the peeked source address.
+fn router_loop(splitter: FrameSplitter, peeker: EdgeSetExtractor, rt: RouterRuntime) {
+    let _closer = RingCloser(&rt.rings);
+    route_stream(splitter, peeker, &rt);
+}
+
+/// The routing loop proper; returns early (after waking blocked
+/// producers) when a shard's consumer died beyond supervision.
+fn route_stream(mut splitter: FrameSplitter, peeker: EdgeSetExtractor, rt: &RouterRuntime) {
+    let mut seq = 0u64;
+    let mut segments: Vec<RawSegment> = Vec::new();
+    let mut batches: Vec<Vec<SegmentItem>> = (0..rt.workers).map(|_| Vec::new()).collect();
+    while let Some(chunk) = rt.queue.pop() {
+        let chunk: Arc<[f64]> = chunk.into();
+        let splitting = Instant::now();
+        splitter.split_chunk(&chunk, &peeker, &mut segments);
+        rt.clocks
             .router
-            .fetch_add(elapsed_ns(framing), Ordering::Relaxed);
-        for (stream_pos, window) in windows {
-            if !route(stream_pos, window) {
-                // A supervisor died beyond recovery. Wake blocked
-                // producers with an error and exit: dropping the work
-                // senders drains the surviving workers.
-                queue.mark_receiver_gone();
-                break 'stream;
+            .fetch_add(elapsed_ns(splitting), Ordering::Relaxed);
+        for segment in segments.drain(..) {
+            // A segment whose SA could not be decoded (sa == 0xFF, the
+            // J1939 global address, never a legitimate claimed sender)
+            // still lands on one stable shard.
+            let shard = stable_shard_seeded(segment.sa, rt.workers, rt.shard_seed);
+            let Some(batch) = batches.get_mut(shard) else {
+                continue;
+            };
+            batch.push(SegmentItem { seq, segment });
+            seq += 1;
+            if batch.len() >= ROUTE_BATCH && !flush_batch(rt, shard, batch) {
+                rt.queue.mark_receiver_gone();
+                return;
+            }
+        }
+        // End-of-chunk flush: publishing (or blocking on) the ring is
+        // deliberately untimed — that wait is backpressure, not routing.
+        for shard in 0..rt.workers {
+            let Some(batch) = batches.get_mut(shard) else {
+                continue;
+            };
+            if !batch.is_empty() && !flush_batch(rt, shard, batch) {
+                rt.queue.mark_receiver_gone();
+                return;
             }
         }
     }
-    if let Some((stream_pos, window)) = framer.flush() {
-        let _ = route(stream_pos, window);
+    if let Some(segment) = splitter.flush(&peeker) {
+        let shard = stable_shard_seeded(segment.sa, rt.workers, rt.shard_seed);
+        if let Some(batch) = batches.get_mut(shard) {
+            batch.push(SegmentItem { seq, segment });
+            let _ = flush_batch(rt, shard, batch);
+        }
+    }
+}
+
+/// Publishes one shard's accumulated batch onto its ring under the
+/// configured policy; the batch is empty afterwards. Returns `false`
+/// when the shard's consumer is gone (its supervisor died in a way
+/// supervision does not cover), which ends routing.
+fn flush_batch(rt: &RouterRuntime, shard: usize, batch: &mut Vec<SegmentItem>) -> bool {
+    let (Some(ring), Some(gauge)) = (rt.rings.get(shard), rt.gauges.get(shard)) else {
+        batch.clear();
+        return false;
+    };
+    match rt.policy {
+        BackpressurePolicy::Block | BackpressurePolicy::Reject => {
+            // Deliberately blocking: a full ring stalls the router, the
+            // sample backlog fills behind it, and the *feed-level* policy
+            // decides what happens — ring-level loss only exists under
+            // `DropOldest`.
+            gauge.depth.fetch_add(batch.len(), Ordering::Relaxed);
+            if ring.push_batch(batch) {
+                true
+            } else {
+                gauge.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+                batch.clear();
+                false
+            }
+        }
+        BackpressurePolicy::DropOldest => {
+            if ring.is_consumer_gone() {
+                batch.clear();
+                return false;
+            }
+            let accepted = ring.try_push_batch(batch);
+            gauge.depth.fetch_add(accepted, Ordering::Relaxed);
+            // An SPSC producer cannot retract items it already published,
+            // so the ring-level analogue of "drop oldest" sheds the
+            // *incoming* overflow: each rejected segment becomes a
+            // `Dropped` placeholder sent straight to the merger, keeping
+            // the sequence space gapless and the loss attributed to
+            // exactly this shard.
+            let mut merger_gone = false;
+            for item in batch.drain(..) {
+                if merger_gone {
+                    continue;
+                }
+                let shed = ScoredItem {
+                    seq: item.seq,
+                    shard,
+                    event: IdsEvent::Dropped {
+                        stream_pos: item.segment.base,
+                        shard,
+                        reason: DropReason::Backlogged,
+                    },
+                    shadow: Vec::new(),
+                    fusion: None,
+                };
+                merger_gone = rt.scored_tx.send(shed).is_err();
+            }
+            !merger_gone
+        }
     }
 }
 
@@ -998,7 +1152,7 @@ fn router_loop(
 /// supervisor thread.
 struct WorkerRuntime {
     shard: usize,
-    work_rx: Receiver<WorkItem>,
+    ring: Arc<SpscRing<SegmentItem>>,
     scored_tx: Sender<ScoredItem>,
     gauges: Arc<Vec<ShardGauges>>,
     clocks: Arc<StageClocks>,
@@ -1012,14 +1166,21 @@ struct WorkerRuntime {
 
 /// Mutable worker state that survives a panic of the scoring loop: the
 /// supervisor rolls `engine` back to `checkpoint` and resumes from
-/// `pending`, dropping only the window that was in flight when the panic
-/// hit.
+/// `pending`, dropping only the segment that was in flight when the panic
+/// hit. The framer needs no checkpoint: it is `reset_to` the segment base
+/// before every frame, so it carries no cross-segment state.
 struct WorkerState {
     engine: CoreEngine,
     checkpoint: CoreEngine,
     shadows: Vec<IdsEngine>,
     shadow_checkpoints: Vec<IdsEngine>,
-    pending: VecDeque<WorkItem>,
+    /// This shard's own framer, re-framing each routed segment locally.
+    framer: StreamFramer,
+    pending: VecDeque<SegmentItem>,
+    /// Scratch for ring pops; drained into `pending` immediately.
+    batch: Vec<SegmentItem>,
+    /// Scratch for per-segment framing output; cleared before each frame.
+    frames_scratch: Vec<(u64, Vec<f64>)>,
     in_flight: Option<(u64, u64)>,
     monitor: HealthMonitor,
     processed: usize,
@@ -1071,45 +1232,86 @@ impl WorkerState {
             .fetch_add(elapsed_ns(shadowing), Ordering::Relaxed);
         verdicts
     }
-    /// The scoring loop proper; returns when the work channel disconnects
-    /// (clean drain) or the merger is gone. May panic — the supervisor
-    /// catches it.
+    /// Re-frames one routed segment into its score-ready window, exactly
+    /// as the single global framer would have: reset to the segment base,
+    /// replay head and tail, flush if the capture ended mid-frame (see
+    /// [`FrameSplitter`] for why this is byte-identical).
+    // xtask: hot-path
+    fn frame_segment(&mut self, segment: &RawSegment) -> (u64, Vec<f64>) {
+        self.framer.reset_to(segment.base);
+        self.frames_scratch.clear();
+        if !segment.head.is_empty() {
+            self.framer
+                .push_into(&segment.head, &mut self.frames_scratch);
+        }
+        let mid = segment.mid_slice();
+        if !mid.is_empty() {
+            self.framer.push_into(mid, &mut self.frames_scratch);
+        }
+        let tail = segment.tail_slice();
+        if !tail.is_empty() {
+            self.framer.push_into(tail, &mut self.frames_scratch);
+        }
+        if segment.open_tail {
+            if let Some(window) = self.framer.flush() {
+                self.frames_scratch.push(window);
+            }
+        }
+        debug_assert_eq!(
+            self.frames_scratch.len(),
+            1,
+            "a routed segment re-frames to exactly one window"
+        );
+        self.frames_scratch.pop().unwrap_or_else(|| {
+            // Defensive (unreachable by the splitter/framer equivalence):
+            // score the raw segment samples at its base position rather
+            // than losing the frame and stalling the merger's sequence.
+            // xtask: allow(hot-path-alloc): unreachable fallback arm, not the steady-state path
+            let mut window = segment.head.clone();
+            window.extend_from_slice(segment.mid_slice());
+            window.extend_from_slice(segment.tail_slice());
+            (segment.base, window)
+        })
+    }
+
+    /// The scoring loop proper; returns when the shard's ring closes and
+    /// drains (clean shutdown) or the merger is gone. May panic — the
+    /// supervisor catches it.
     fn run(&mut self, rt: &WorkerRuntime) {
         loop {
             if self.pending.is_empty() {
-                let Ok(first) = rt.work_rx.recv() else {
+                let got = rt.ring.pop_batch(&mut self.batch, rt.batch_max);
+                if got == 0 {
                     return;
-                };
-                self.pending.push_back(first);
-                while self.pending.len() < rt.batch_max {
-                    match rt.work_rx.try_recv() {
-                        Ok(item) => self.pending.push_back(item),
-                        Err(_) => break,
-                    }
                 }
-                rt.gauges[rt.shard]
-                    .depth
-                    .fetch_sub(self.pending.len(), Ordering::Relaxed);
+                rt.gauges[rt.shard].depth.fetch_sub(got, Ordering::Relaxed);
+                self.pending.extend(self.batch.drain(..));
             }
             while let Some(item) = self.pending.pop_front() {
                 // The in-flight marker must be set before any fallible
-                // work so a panic anywhere in scoring maps to exactly this
-                // window.
-                self.in_flight = Some((item.seq, item.stream_pos));
+                // work so a panic anywhere in framing or scoring maps to
+                // exactly this segment.
+                self.in_flight = Some((item.seq, item.segment.base));
+                let framing = Instant::now();
+                let (stream_pos, window) = self.frame_segment(&item.segment);
+                rt.clocks
+                    .frame
+                    .fetch_add(elapsed_ns(framing), Ordering::Relaxed);
+                // Re-point the marker at the framed window position so a
+                // restart placeholder lands exactly where the scored event
+                // would have (keeps merged positions monotonic).
+                self.in_flight = Some((item.seq, stream_pos));
                 if let Some(hook) = &rt.hook {
                     hook(rt.shard, item.seq);
                 }
-                let (event, fusion) = self.score(rt, item.stream_pos, &item.window);
+                let (event, fusion) = self.score(rt, stream_pos, &window);
                 // Shadows only mirror frames the primary actually scored:
                 // degraded/dropped placeholders carry no primary verdict
                 // to disagree with.
                 let shadow = match &event {
-                    IdsEvent::Scored(scored) if !scored.extraction_failed => self.score_shadows(
-                        rt,
-                        item.stream_pos,
-                        &item.window,
-                        scored.verdict.is_anomaly(),
-                    ),
+                    IdsEvent::Scored(scored) if !scored.extraction_failed => {
+                        self.score_shadows(rt, stream_pos, &window, scored.verdict.is_anomaly())
+                    }
                     _ => Vec::new(),
                 };
                 self.in_flight = None;
@@ -1242,12 +1444,23 @@ fn outcome_of(event: &IdsEvent) -> WindowOutcome {
 /// its windows drain as [`IdsEvent::Dropped`] placeholders so the merger's
 /// reorder buffer never stalls on a sequence gap.
 fn supervised_worker(engine: CoreEngine, shadows: Vec<IdsEngine>, rt: WorkerRuntime) -> CoreEngine {
+    // Held for the whole thread: if this worker dies in any way
+    // supervision does not cover, the router must not park forever on a
+    // ring nobody will ever drain again.
+    let _consumer_guard = RingConsumerGuard(Arc::clone(&rt.ring));
+    let framer = {
+        let config = engine.config();
+        StreamFramer::new(config.bit_width_samples, config.bit_threshold)
+    };
     let mut state = WorkerState {
         checkpoint: engine.clone(),
         engine,
         shadow_checkpoints: shadows.clone(),
         shadows,
+        framer,
         pending: VecDeque::new(),
+        batch: Vec::new(),
+        frames_scratch: Vec::new(),
         in_flight: None,
         monitor: HealthMonitor::new(rt.health),
         processed: 0,
@@ -1282,7 +1495,8 @@ fn supervised_worker(engine: CoreEngine, shadows: Vec<IdsEngine>, rt: WorkerRunt
                 }
                 if restarts > rt.restart_budget {
                     rt.gauges[rt.shard].failed.store(true, Ordering::Relaxed);
-                    drain_failed_shard(&rt, std::mem::take(&mut state.pending));
+                    let pending = std::mem::take(&mut state.pending);
+                    drain_failed_shard(&rt, pending, &mut state.batch);
                     return state.checkpoint;
                 }
                 let exponent = restarts.saturating_sub(1).min(6);
@@ -1294,17 +1508,34 @@ fn supervised_worker(engine: CoreEngine, shadows: Vec<IdsEngine>, rt: WorkerRunt
     }
 }
 
+/// Marks the shard's ring consumer as gone when the worker thread exits
+/// by any path — clean return, permanent failure, or a panic that escapes
+/// the supervisor — so the router cannot park forever publishing to a
+/// ring with no reader.
+struct RingConsumerGuard(Arc<SpscRing<SegmentItem>>);
+
+impl Drop for RingConsumerGuard {
+    fn drop(&mut self) {
+        self.0.mark_consumer_gone();
+    }
+}
+
 /// Drains a permanently failed shard: everything still queued (and
 /// everything the router routes here from now on) becomes a `Dropped`
 /// placeholder, so the router never blocks on a dead shard and the merger
-/// never waits on a missing sequence number.
-fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
-    let drop_item = |item: WorkItem| {
+/// never waits on a missing sequence number. The un-framed segment base
+/// stands in for the window position the worker never computed.
+fn drain_failed_shard(
+    rt: &WorkerRuntime,
+    pending: VecDeque<SegmentItem>,
+    batch: &mut Vec<SegmentItem>,
+) {
+    let drop_item = |item: SegmentItem| {
         let _ = rt.scored_tx.send(ScoredItem {
             seq: item.seq,
             shard: rt.shard,
             event: IdsEvent::Dropped {
-                stream_pos: item.stream_pos,
+                stream_pos: item.segment.base,
                 shard: rt.shard,
                 reason: DropReason::ShardFailed,
             },
@@ -1315,9 +1546,15 @@ fn drain_failed_shard(rt: &WorkerRuntime, pending: VecDeque<WorkItem>) {
     for item in pending {
         drop_item(item);
     }
-    while let Ok(item) = rt.work_rx.recv() {
-        rt.gauges[rt.shard].depth.fetch_sub(1, Ordering::Relaxed);
-        drop_item(item);
+    loop {
+        let got = rt.ring.pop_batch(batch, rt.batch_max);
+        if got == 0 {
+            return;
+        }
+        rt.gauges[rt.shard].depth.fetch_sub(got, Ordering::Relaxed);
+        for item in batch.drain(..) {
+            drop_item(item);
+        }
     }
 }
 
@@ -1373,7 +1610,16 @@ fn merger_loop(
                     }
                 }
                 IdsEvent::Degraded { .. } => s.degraded += 1,
-                IdsEvent::Dropped { .. } => s.dropped += 1,
+                IdsEvent::Dropped { reason, .. } => {
+                    s.dropped += 1;
+                    // Ring-shed segments are additionally attributed to
+                    // the shard whose full ring shed them.
+                    if matches!(reason, DropReason::Backlogged) {
+                        if let Some(count) = s.shard_sheds.get_mut(shard) {
+                            *count += 1;
+                        }
+                    }
+                }
             }
             if let Some(count) = s.shard_frames.get_mut(shard) {
                 *count += 1;
@@ -1506,6 +1752,7 @@ mod tests {
         assert_eq!(stats.dropped, 0);
         assert_eq!(stats.degraded, 0);
         assert_eq!(stats.shard_frames, vec![40]);
+        assert_eq!(stats.shard_sheds, vec![0]);
         assert_eq!(stats.queue_depths, vec![0]);
         assert_eq!(stats.restarts, vec![0]);
         assert_eq!(stats.breaker, vec![BreakerState::Closed]);

@@ -24,6 +24,49 @@
 use crate::{EdgeSet, LabeledEdgeSet, ScratchArena, VProfileConfig, VProfileError};
 use vprofile_can::SourceAddress;
 
+/// Lanes folded per block in the resynchronization scan; eight `f64`s fill
+/// one 512-bit vector or two 256-bit ones.
+const LANES: usize = 8;
+
+/// Index of the last sample whose dominance equals `dominant`, searching
+/// `samples` backward, or `None`. Exactly
+/// `samples.iter().rposition(|&v| (v >= threshold) == dominant)`, but
+/// folded eight lanes per step with the blocks aligned to the *end* of the
+/// slice — a resynchronization walk's crossing is at most one bit behind
+/// the probe, so the first block fold almost always contains the hit.
+///
+/// NaN reads as recessive on both paths: `NaN >= threshold` is `false`, a
+/// block maximum folded from `NEG_INFINITY` ignores NaN lanes, and the
+/// all-dominant test `v >= threshold` fails on NaN, so a NaN lane makes a
+/// block a candidate for `dominant == false` and never for `true` — the
+/// per-sample `rposition` inside the candidate block settles the index.
+// xtask: hot-path
+#[inline]
+fn rfind_dominance(samples: &[f64], threshold: f64, dominant: bool) -> Option<usize> {
+    let head_len = samples.len() % LANES;
+    let (head, body) = samples.split_at(head_len);
+    for (bi, block) in body.chunks_exact(LANES).enumerate().rev() {
+        let mut max = f64::NEG_INFINITY;
+        let mut all_dominant = true;
+        for &v in block {
+            max = max.max(v);
+            all_dominant &= v >= threshold;
+        }
+        let candidate = if dominant {
+            max >= threshold
+        } else {
+            !all_dominant
+        };
+        if candidate {
+            return block
+                .iter()
+                .rposition(|&v| (v >= threshold) == dominant)
+                .map(|p| head_len + bi * LANES + p);
+        }
+    }
+    head.iter().rposition(|&v| (v >= threshold) == dominant)
+}
+
 /// Extracts source addresses and edge sets from raw voltage traces
 /// (Algorithm 1).
 ///
@@ -119,6 +162,7 @@ impl EdgeSetExtractor {
     /// same window, except that a window truncated *between* bits 31 and 33
     /// still peeks successfully (extraction would fail later regardless, at
     /// the edge-set scan).
+    // xtask: hot-path
     pub fn peek_sa(&self, samples: &[f64]) -> Result<SourceAddress, VProfileError> {
         self.walk_arbitration(samples, true).map(|(sa, _)| sa)
     }
@@ -175,12 +219,13 @@ impl EdgeSetExtractor {
             if bit != prev {
                 // Re-synchronize: find the threshold crossing and center on
                 // the new bit (thesis: "we align ourselves to the center of
-                // every edge we encounter").
-                let mut edge = pos_f.round() as usize;
-                // xtask: allow(hot-path-panic): edge > 0 is checked first, so edge - 1 is in bounds
-                while edge > 0 && self.is_dominant(samples[edge - 1]) != bit {
-                    edge -= 1;
-                }
+                // every edge we encounter"). The crossing is the sample
+                // after the last one still reading as the *previous* bit —
+                // whose dominance, with logical values, equals `bit` — so a
+                // backward block scan replaces the per-sample walk.
+                let probe = pos_f.round() as usize;
+                let edge = rfind_dominance(&samples[..probe], self.config.bit_threshold, bit)
+                    .map_or(0, |j| j + 1);
                 pos_f = edge as f64 + half;
                 let was_stuff = same_count == 5;
                 prev = bit;
@@ -540,5 +585,41 @@ mod tests {
         let extractor = EdgeSetExtractor::new(config);
         let extraction = extractor.extract(&reduced.to_f64()).unwrap();
         assert_eq!(extraction.sa, SourceAddress(0x31));
+    }
+
+    /// The block-folded resynchronization scan must agree with the
+    /// per-sample `rposition` it replaced on every input, NaN lanes and
+    /// both polarities included.
+    #[test]
+    fn rfind_dominance_matches_scalar_rposition() {
+        // splitmix64, so the streams are deterministic without a dev-dep.
+        let mut state = 0x7e5b_c0de_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let threshold = 1500.0;
+        for len in 0..64 {
+            for _ in 0..8 {
+                let s: Vec<f64> = (0..len)
+                    .map(|_| match next() % 16 {
+                        0 => 3000.0,
+                        1 => f64::NAN,
+                        2 => threshold, // exactly at the decision boundary
+                        _ => 100.0,
+                    })
+                    .collect();
+                for dominant in [true, false] {
+                    assert_eq!(
+                        rfind_dominance(&s, threshold, dominant),
+                        s.iter().rposition(|&v| (v >= threshold) == dominant),
+                        "len={len} dominant={dominant} s={s:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -10,6 +10,13 @@
 //! guarantee) from a runtime assert into a lint: adding an `IdsEvent`
 //! variant, or a `PipelineStats` counter, without extending the merger
 //! accounting is an error at `cargo xtask lint` time.
+//!
+//! Per-shard `Vec<u64>` counters are covered too: each one must either
+//! be marked `outside-frame-identity` or carry
+//! `shard-breakdown(<term>)` naming the identity term it attributes —
+//! and a breakdown must actually be touched inside an accounting
+//! critical section, so a per-shard vector cannot silently stop being
+//! maintained while the scalar identity still balances.
 
 use crate::lexer::{Tok, TokKind};
 use crate::lint::{matching_close, Diagnostic};
@@ -38,6 +45,22 @@ struct CounterField {
     name: String,
     line: u32,
     outside: bool,
+}
+
+/// A per-shard `Vec<u64>` field of a `frame-identity` struct.
+struct BreakdownField {
+    name: String,
+    line: u32,
+    outside: bool,
+    /// Identity term named by a `shard-breakdown(..)` marker, if any.
+    term: Option<String>,
+}
+
+/// Type of a struct field the identity check cares about.
+#[derive(PartialEq, Eq)]
+enum FieldTy {
+    U64,
+    VecU64,
 }
 
 /// Runs the pass.
@@ -168,11 +191,19 @@ fn check_identities(
             .filter(|d| d.kind == DirectiveKind::OutsideFrameIdentity)
             .map(|d| d.line)
             .collect();
+        let breakdown_marks: Vec<(u32, &str)> = file
+            .directives
+            .iter()
+            .filter_map(|d| match &d.kind {
+                DirectiveKind::ShardBreakdown { term } => Some((d.line, term.as_str())),
+                _ => None,
+            })
+            .collect();
         for d in &file.directives {
             let DirectiveKind::FrameIdentity { lhs, rhs } = &d.kind else {
                 continue;
             };
-            let Some((struct_line, fields)) = parse_struct_after(ws, file_idx, d.line) else {
+            let Some((struct_line, raw_fields)) = parse_struct_after(ws, file_idx, d.line) else {
                 diags.push(Diagnostic::at(
                     &file.rel,
                     d.line,
@@ -182,14 +213,28 @@ fn check_identities(
                 ));
                 continue;
             };
-            let fields: Vec<CounterField> = fields
-                .into_iter()
-                .map(|(name, line)| CounterField {
-                    outside: outside_lines.contains(&line) || outside_lines.contains(&(line - 1)),
-                    name,
-                    line,
-                })
-                .collect();
+            let marked =
+                |line: u32, marks: &[u32]| marks.contains(&line) || marks.contains(&(line - 1));
+            let mut fields: Vec<CounterField> = Vec::new();
+            let mut breakdowns: Vec<BreakdownField> = Vec::new();
+            for (name, line, ty) in raw_fields {
+                match ty {
+                    FieldTy::U64 => fields.push(CounterField {
+                        outside: marked(line, &outside_lines),
+                        name,
+                        line,
+                    }),
+                    FieldTy::VecU64 => breakdowns.push(BreakdownField {
+                        outside: marked(line, &outside_lines),
+                        term: breakdown_marks
+                            .iter()
+                            .find(|(l, _)| *l == line || *l == line - 1)
+                            .map(|(_, t)| t.to_string()),
+                        name,
+                        line,
+                    }),
+                }
+            }
             let mut terms: Vec<&str> = Vec::with_capacity(rhs.len() + 1);
             terms.push(lhs.as_str());
             terms.extend(rhs.iter().map(String::as_str));
@@ -203,6 +248,7 @@ fn check_identities(
                 &fields,
                 diags,
             );
+            check_breakdowns(ws, graph, fns, &file.rel, &terms, &breakdowns, diags);
         }
     }
 }
@@ -281,6 +327,83 @@ fn check_one_identity(
     }
 }
 
+/// Checks every per-shard `Vec<u64>` field: it must be marked outside
+/// the identity or attribute a real identity term, and an attributed
+/// breakdown must be touched in an accounting critical section.
+fn check_breakdowns(
+    ws: &Workspace,
+    graph: &CallGraph,
+    fns: &[AccountingFn],
+    file: &str,
+    terms: &[&str],
+    breakdowns: &[BreakdownField],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for b in breakdowns {
+        if b.outside {
+            continue;
+        }
+        let Some(term) = &b.term else {
+            diags.push(Diagnostic::at(
+                file,
+                b.line,
+                1,
+                "counter-identity",
+                format!(
+                    "per-shard counter `{}` is neither marked \
+                     `xtask: outside-frame-identity` nor \
+                     `xtask: shard-breakdown(<term>)`; every per-shard vector \
+                     must attribute an identity term or be explicitly excluded",
+                    b.name
+                ),
+            ));
+            continue;
+        };
+        if !terms.contains(&term.as_str()) {
+            diags.push(Diagnostic::at(
+                file,
+                b.line,
+                1,
+                "counter-identity",
+                format!(
+                    "per-shard counter `{}` attributes `{term}`, which is not a \
+                     term of the frame identity",
+                    b.name
+                ),
+            ));
+        }
+        if !mentioned_in_accounting(ws, graph, fns, &b.name) {
+            diags.push(Diagnostic::at(
+                file,
+                b.line,
+                1,
+                "counter-identity",
+                format!(
+                    "per-shard breakdown `{}` is never touched in any accounting \
+                     critical section",
+                    b.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether `field` is named anywhere inside an accounting fn body. A
+/// mention (not a `+=`) is the bar because per-shard vectors are updated
+/// through `get_mut` or indexing, not a bare compound assignment.
+fn mentioned_in_accounting(
+    ws: &Workspace,
+    graph: &CallGraph,
+    fns: &[AccountingFn],
+    field: &str,
+) -> bool {
+    fns.iter().any(|f| {
+        let def = &graph.defs[f.def];
+        let toks = &ws.files[def.file].toks;
+        (def.body.0..=def.body.1).any(|i| toks[i].is_ident(field))
+    })
+}
+
 fn incremented_in_accounting(
     ws: &Workspace,
     graph: &CallGraph,
@@ -327,12 +450,12 @@ fn parse_enum_after(ws: &Workspace, file_idx: usize, line: u32) -> Option<Accoun
 }
 
 /// Parses the first struct at or after `line`: its line plus each
-/// `u64`-typed field as `(name, line)`.
+/// `u64`- or `Vec<u64>`-typed field as `(name, line, type)`.
 fn parse_struct_after(
     ws: &Workspace,
     file_idx: usize,
     line: u32,
-) -> Option<(u32, Vec<(String, u32)>)> {
+) -> Option<(u32, Vec<(String, u32, FieldTy)>)> {
     let file = &ws.files[file_idx];
     let toks = &file.toks;
     let s = item_at_or_after(toks, &file.in_test, "struct", line)?;
@@ -352,9 +475,14 @@ fn parse_struct_after(
             }
         }
         if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
-            let is_u64 = toks.get(i + 2).is_some_and(|t| t.is_ident("u64"));
-            if is_u64 {
-                fields.push((toks[i].text.clone(), toks[i].line));
+            if toks.get(i + 2).is_some_and(|t| t.is_ident("u64")) {
+                fields.push((toks[i].text.clone(), toks[i].line, FieldTy::U64));
+            } else if toks.get(i + 2).is_some_and(|t| t.is_ident("Vec"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+                && toks.get(i + 4).is_some_and(|t| t.is_ident("u64"))
+                && toks.get(i + 5).is_some_and(|t| t.is_punct('>'))
+            {
+                fields.push((toks[i].text.clone(), toks[i].line, FieldTy::VecU64));
             }
         }
         i = next_item_sep(toks, i, close)? + 1;

@@ -19,7 +19,12 @@ use crate::passes::directives::DirectiveKind;
 use crate::passes::Workspace;
 
 /// Method/function names too universal to resolve into call edges.
-const STOPLIST: [&str; 46] = [
+const STOPLIST: [&str; 48] = [
+    // `load`/`store` are atomic-cell accessors on every hot path; without
+    // stoplisting them, any workspace fn of the same name would merge into
+    // the traversal.
+    "load",
+    "store",
     "new",
     "default",
     "clone",

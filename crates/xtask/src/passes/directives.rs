@@ -17,7 +17,9 @@
 //! - `frame-identity: <lhs> == <a> + <b> + ...` — the next `struct`
 //!   declares the conservation identity its counters must satisfy;
 //! - `outside-frame-identity` — the field on this line or the next is
-//!   deliberately outside the identity.
+//!   deliberately outside the identity;
+//! - `shard-breakdown(<term>)` — the `Vec<u64>` field on this line or
+//!   the next is a per-shard attribution of identity term `<term>`.
 //!
 //! Anything else after the marker is reported under `bad-directive`, so
 //! a typo (`hotpath`, `allow(no-panic)` with no reason) fails loudly
@@ -59,6 +61,12 @@ pub enum DirectiveKind {
     },
     /// Marks the field on this or the next line as outside the identity.
     OutsideFrameIdentity,
+    /// Marks the `Vec<u64>` field on this or the next line as a
+    /// per-shard attribution of one identity term.
+    ShardBreakdown {
+        /// Identity term the per-shard vector attributes.
+        term: String,
+    },
     /// Unrecognized directive text (reported as `bad-directive`).
     Unknown,
 }
@@ -136,6 +144,17 @@ fn parse(text: &str) -> DirectiveKind {
             if !name.is_empty() && after.trim().is_empty() {
                 return DirectiveKind::Accounting {
                     enum_name: name.to_string(),
+                };
+            }
+        }
+        return DirectiveKind::Unknown;
+    }
+    if let Some(rest) = text.strip_prefix("shard-breakdown(") {
+        if let Some((term, after)) = rest.split_once(')') {
+            let term = term.trim();
+            if !term.is_empty() && after.trim().is_empty() {
+                return DirectiveKind::ShardBreakdown {
+                    term: term.to_string(),
                 };
             }
         }
@@ -233,10 +252,11 @@ mod tests {
 // xtask: accounting(IdsEvent)
 // xtask: frame-identity: frames == anomalies + normals
 // xtask: outside-frame-identity
+// xtask: shard-breakdown(frames)
 // xtask: frobnicate
 ";
         let kinds: Vec<DirectiveKind> = scan_all(src).into_iter().map(|d| d.kind).collect();
-        assert_eq!(kinds.len(), 8);
+        assert_eq!(kinds.len(), 9);
         assert_eq!(kinds[0], DirectiveKind::HotPath);
         assert_eq!(kinds[1], DirectiveKind::Cold);
         assert_eq!(
@@ -261,7 +281,13 @@ mod tests {
             }
         );
         assert_eq!(kinds[6], DirectiveKind::OutsideFrameIdentity);
-        assert_eq!(kinds[7], DirectiveKind::Unknown);
+        assert_eq!(
+            kinds[7],
+            DirectiveKind::ShardBreakdown {
+                term: "frames".to_string()
+            }
+        );
+        assert_eq!(kinds[8], DirectiveKind::Unknown);
     }
 
     #[test]

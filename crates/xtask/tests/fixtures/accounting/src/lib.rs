@@ -1,7 +1,7 @@
 //! Event-accounting fixture: a three-variant accounted enum whose
 //! accounting fn only handles two, an identity counter that is never
-//! incremented, and a stray counter outside the identity with no
-//! marker.
+//! incremented, a stray counter outside the identity with no marker,
+//! and per-shard vectors exercising the shard-breakdown rules.
 
 // xtask: accounted-event
 pub enum Event {
@@ -19,11 +19,19 @@ pub struct Stats {
     pub stray: u64,
     // xtask: outside-frame-identity
     pub shadow_frames: u64,
+    // xtask: shard-breakdown(frames)
+    pub shard_frames: Vec<u64>,
+    pub orphan_breakdown: Vec<u64>,
+    // xtask: shard-breakdown(ghosts)
+    pub phantom_split: Vec<u64>,
 }
 
 // xtask: accounting(Event)
 pub fn account(stats: &mut Stats, event: &Event) {
     stats.frames += 1;
+    if let Some(slot) = stats.shard_frames.get_mut(0) {
+        *slot += 1;
+    }
     match event {
         Event::Scored => stats.anomalies += 1,
         Event::Dropped => stats.normals += 1,

@@ -150,16 +150,17 @@ fn accounting_fixture_flags_missing_arm_and_unbalanced_counters() {
     let run = run_fixture("accounting");
     assert_eq!(
         lines(&run.diagnostics, "src/lib.rs", "event-accounting"),
-        vec![25],
+        vec![30],
         "Event::Degraded never lands in a bucket"
     );
     assert_eq!(
         lines(&run.diagnostics, "src/lib.rs", "counter-identity"),
-        vec![18, 19],
+        vec![18, 19, 24, 26, 26],
         "missing_bucket never incremented; stray neither in the \
-         identity nor marked outside it"
+         identity nor marked outside it; orphan_breakdown unmarked; \
+         phantom_split attributes a non-term and is never touched"
     );
-    assert_eq!(run.diagnostics.len(), 3);
+    assert_eq!(run.diagnostics.len(), 6);
 }
 
 #[test]
